@@ -1,0 +1,32 @@
+//! Criterion bench: the NApprox corelet's per-cell simulation cost at
+//! several spike precisions (hardware ticks are 1 ms; the simulator runs
+//! them as fast as it can).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_corelets::NApproxHogCorelet;
+use pcnn_vision::GrayImage;
+use std::hint::black_box;
+
+fn bench_extract(c: &mut Criterion) {
+    let patch = GrayImage::from_fn(10, 10, |x, y| {
+        0.5 + 0.4 * ((x as f32 * 0.7).sin() * (y as f32 * 0.9).cos())
+    });
+    let mut group = c.benchmark_group("napprox_corelet_cell");
+    group.sample_size(20);
+    for &spikes in &[16u32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(spikes), &spikes, |b, &s| {
+            let mut module = NApproxHogCorelet::new(s);
+            b.iter(|| black_box(module.extract(black_box(&patch))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("napprox_corelet_build", |b| {
+        b.iter(|| black_box(NApproxHogCorelet::new(64)));
+    });
+}
+
+criterion_group!(benches, bench_extract, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: Eedn training-step cost, float vs trinary — the
+//! constraint's training overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcnn_eedn::activation::HardSigmoid;
+use pcnn_eedn::fc::GroupedLinear;
+use pcnn_eedn::tensor::Tensor;
+use pcnn_eedn::Sequential;
+use std::hint::black_box;
+
+fn batch(n: usize, d: usize) -> (Tensor, Vec<usize>) {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * 31 + j * 17) % 100) as f32 / 100.0).collect())
+        .collect();
+    let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+    (Tensor::from_rows(&rows), labels)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eedn_train_step");
+    for (label, trinary) in [("float", false), ("trinary", true)] {
+        group.bench_function(label, |b| {
+            let mut net = Sequential::new()
+                .push(GroupedLinear::new(128, 128, 2, trinary, 1))
+                .push(HardSigmoid::new())
+                .push(GroupedLinear::new(128, 2, 1, trinary, 2));
+            let (x, y) = batch(32, 128);
+            b.iter(|| black_box(net.train_step_classify(&x, &y, 0.002, 0.9)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eedn_inference");
+    for (label, trinary) in [("float", false), ("trinary", true)] {
+        group.bench_function(label, |b| {
+            let mut net = Sequential::new()
+                .push(GroupedLinear::new(128, 128, 2, trinary, 1))
+                .push(HardSigmoid::new())
+                .push(GroupedLinear::new(128, 2, 1, trinary, 2));
+            let (x, _) = batch(32, 128);
+            b.iter(|| black_box(net.predict(&x)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_inference);
+criterion_main!(benches);

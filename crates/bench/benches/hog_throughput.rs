@@ -1,0 +1,48 @@
+//! Criterion bench: HoG window-descriptor throughput per extractor
+//! variant — the software-model cost behind every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_core::Extractor;
+use pcnn_hog::BlockNorm;
+use pcnn_vision::GrayImage;
+use std::hint::black_box;
+
+fn bench_extractors(c: &mut Criterion) {
+    let img = GrayImage::from_fn(64, 128, |x, y| {
+        0.5 + 0.3 * ((x as f32 * 0.37).sin() * (y as f32 * 0.21).cos())
+    });
+    let mut group = c.benchmark_group("window_descriptor");
+    for (label, extractor) in [
+        ("fpga", Extractor::fpga()),
+        ("traditional", Extractor::traditional()),
+        ("napprox_fp", Extractor::napprox_fp(BlockNorm::L2)),
+        ("napprox_q64", Extractor::napprox_quantized(64, BlockNorm::L2)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &extractor, |b, e| {
+            b.iter(|| black_box(e.crop_descriptor(black_box(&img))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_norms(c: &mut Criterion) {
+    let img = GrayImage::from_fn(64, 128, |x, y| {
+        0.5 + 0.3 * ((x as f32 * 0.43).sin() * (y as f32 * 0.19).cos())
+    });
+    let mut group = c.benchmark_group("block_norm_ablation");
+    for (label, norm) in [
+        ("none", BlockNorm::None),
+        ("l2", BlockNorm::L2),
+        ("l2hys", BlockNorm::L2Hys),
+        ("l1", BlockNorm::L1),
+    ] {
+        let e = Extractor::napprox_fp(norm);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(e.crop_descriptor(black_box(&img))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extractors, bench_block_norms);
+criterion_main!(benches);

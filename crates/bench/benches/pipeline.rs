@@ -1,0 +1,35 @@
+//! Criterion bench: end-to-end detection cost on one test scene.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcnn_core::{Detector, Extractor, PartitionedSystem, TrainSetConfig, TrainedDetector};
+use pcnn_hog::BlockNorm;
+use pcnn_vision::{SynthConfig, SynthDataset};
+use std::hint::black_box;
+
+fn trained() -> TrainedDetector {
+    let ds = SynthDataset::new(SynthConfig::default());
+    PartitionedSystem::train_svm_detector(
+        Extractor::napprox_fp(BlockNorm::L2),
+        &ds,
+        TrainSetConfig { n_pos: 60, n_neg: 120, mining_scenes: 1, mining_rounds: 1 },
+    )
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let ds = SynthDataset::new(SynthConfig::default());
+    let scene = ds.test_scene(0);
+    let engine = Detector::default();
+    let mut det = trained();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("detect_320x240_scene", |b| {
+        b.iter(|| black_box(engine.detect(&mut det, black_box(&scene.image))));
+    });
+    group.bench_function("cell_grid_320x240", |b| {
+        b.iter(|| black_box(Detector::cell_grid(&det.extractor, black_box(&scene.image))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: dual-coordinate-descent SVM training and scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_svm::{train, TrainConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn dataset(n: usize, dim: usize) -> (Vec<Vec<f32>>, Vec<bool>) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..n {
+        let label: bool = rng.random_bool(0.5);
+        let c = if label { 0.3 } else { -0.3 };
+        xs.push((0..dim).map(|_| c + rng.random_range(-1.0..1.0f32)).collect());
+        ys.push(label);
+    }
+    (xs, ys)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_train");
+    group.sample_size(10);
+    for &dim in &[256usize, 2304] {
+        let (xs, ys) = dataset(400, dim);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| {
+                black_box(train(
+                    &xs,
+                    &ys,
+                    TrainConfig { max_epochs: 20, ..TrainConfig::default() },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_score(c: &mut Criterion) {
+    let (xs, ys) = dataset(200, 2304);
+    let model = train(&xs, &ys, TrainConfig { max_epochs: 20, ..TrainConfig::default() });
+    c.bench_function("svm_score_2304d", |b| {
+        b.iter(|| black_box(model.score(black_box(&xs[0]))));
+    });
+}
+
+criterion_group!(benches, bench_train, bench_score);
+criterion_main!(benches);

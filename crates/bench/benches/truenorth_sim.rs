@@ -1,0 +1,72 @@
+//! Criterion bench: simulator tick rate as the system grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_truenorth::{NeuroCoreBuilder, NeuronConfig, SpikeTarget, System};
+use std::hint::black_box;
+
+/// Builds a ring of `n` relay cores, each forwarding 32 channels to the
+/// next core, so every tick carries real spike traffic.
+fn ring_system(n: usize) -> System {
+    let mut sys = System::new();
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let mut b = NeuroCoreBuilder::new();
+            for ch in 0..32usize {
+                b.connect(ch, ch);
+                b.set_neuron(ch, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+            }
+            let _ = i;
+            sys.add_core(b.build())
+        })
+        .collect();
+    // Routing pass: rebuild with routes (builders are cheap).
+    let mut sys2 = System::new();
+    for i in 0..n {
+        let next = handles[(i + 1) % n];
+        let mut b = NeuroCoreBuilder::new();
+        for ch in 0..32usize {
+            b.connect(ch, ch);
+            b.set_neuron(ch, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+            b.route_neuron(ch, SpikeTarget::axon(next, ch as u16));
+        }
+        sys2.add_core(b.build());
+    }
+    sys2
+}
+
+fn bench_tick_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_ticks");
+    for &cores in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &n| {
+            let mut sys = ring_system(n);
+            // Seed traffic on every core.
+            for i in 0..n {
+                for ch in 0..32 {
+                    sys.inject(pcnn_truenorth::CoreHandle::from_index(i as u32), ch);
+                }
+            }
+            b.iter(|| {
+                sys.tick();
+                black_box(sys.now());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_build(c: &mut Criterion) {
+    c.bench_function("core_build_full_crossbar", |b| {
+        b.iter(|| {
+            let mut builder = NeuroCoreBuilder::new();
+            for a in 0..256usize {
+                for n in (0..256usize).step_by(4) {
+                    builder.connect(a, n);
+                }
+            }
+            black_box(builder.build())
+        });
+    });
+}
+
+criterion_group!(benches, bench_tick_rate, bench_core_build);
+criterion_main!(benches);

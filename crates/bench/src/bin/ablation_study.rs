@@ -1,0 +1,44 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! * NApprox vote threshold (count voting needs a noise floor);
+//! * count voting vs magnitude-weighted voting (Table 1's histogram row);
+//! * 9 vs 18 orientation bins;
+//! * block normalization on/off (elided on the neuromorphic path).
+//!
+//! Run with `cargo run --release -p pcnn-bench --bin ablation_study`
+//! (append `quick` for a smoke-scale run).
+
+use pcnn_bench::{standard_dataset, test_scenes, ExperimentScale};
+use pcnn_core::{Detector, Extractor, PartitionedSystem};
+use pcnn_hog::{BlockNorm, NApproxHog};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let ds = standard_dataset();
+    let scenes = test_scenes(scale.test_scenes);
+    let engine = Detector::default();
+    let eval = |label: &str, extractor: Extractor| {
+        let mut det = PartitionedSystem::train_svm_detector(extractor, &ds, scale.train);
+        let lamr = engine.evaluate(&mut det, &scenes).log_average_miss_rate();
+        println!("{label:<44} lamr = {lamr:.4}");
+    };
+
+    println!("Ablation: NApprox vote threshold (count voting noise floor)");
+    for tau in [0.01f32, 0.02, 0.04, 0.06, 0.08, 0.12] {
+        let model = NApproxHog { vote_threshold: tau, ..NApproxHog::full_precision() };
+        eval(&format!("  napprox-fp tau={tau:.2} L2"), Extractor::napprox_custom(model, BlockNorm::L2));
+    }
+
+    println!("\nAblation: voting scheme and bin count");
+    eval("  traditional 9-bin magnitude-voted L2", Extractor::traditional());
+    eval(
+        "  traditional 18-bin signed magnitude L2",
+        Extractor::traditional_signed_18(),
+    );
+    eval("  napprox-fp 18-bin count-voted L2", Extractor::napprox_fp(BlockNorm::L2));
+
+    println!("\nAblation: block normalization");
+    eval("  napprox-fp L2 blocks", Extractor::napprox_fp(BlockNorm::L2));
+    eval("  napprox-fp no blocks", Extractor::napprox_fp(BlockNorm::None));
+    eval("  napprox-fp L2-hys blocks", Extractor::napprox_custom(NApproxHog::full_precision(), BlockNorm::L2Hys));
+}

@@ -1,0 +1,32 @@
+//! Figure 4 — miss rate vs false positives per image for the three HoG
+//! feature-extraction approaches under an equivalent linear SVM
+//! classifier (with hard-negative mining).
+//!
+//! Paper's claim: FPGA-HoG, NApprox(fp) and the TrueNorth-quantized
+//! NApprox produce comparable precision-recall characteristics — all
+//! three curves nearly overlap.
+//!
+//! Run with `cargo run --release -p pcnn-bench --bin fig4_svm_curves`
+//! (append `quick` for a smoke-scale run).
+
+use pcnn_bench::{fig4_curves, ExperimentScale};
+use pcnn_core::report::render_curves;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("Figure 4 reproduction: SVM-classified feature extractors");
+    println!("=========================================================\n");
+    let curves = fig4_curves(&scale);
+    let refs: Vec<(&str, &pcnn_vision::DetectionCurve)> =
+        curves.iter().map(|(l, c)| (l.as_str(), c)).collect();
+    println!("{}", render_curves(&refs));
+
+    let lamrs: Vec<f64> = curves.iter().map(|(_, c)| c.log_average_miss_rate()).collect();
+    let spread = lamrs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - lamrs.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("log-average miss-rate spread across approaches: {spread:.4}");
+    println!(
+        "paper's expectation: the three approaches produce similar-quality \
+         features (near-overlapping curves)."
+    );
+}

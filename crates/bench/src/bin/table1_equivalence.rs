@@ -1,0 +1,116 @@
+//! Table 1 — per-operation equivalence between the conventional HoG
+//! computation and its TrueNorth-friendly approximation.
+//!
+//! For each row of Table 1 the harness measures, over a large population
+//! of random gradient vectors and cell patches, how closely the
+//! approximation tracks the original:
+//!
+//! * **gradient vector** — pattern-matching filters ±(-1 0 1) recover the
+//!   same `(Ix, Iy)` as the centered derivative (exact);
+//! * **gradient angle** — `argmax_θ (Ix cosθ + Iy sinθ)` vs
+//!   `atan2`-based binning: fraction of agreeing bins;
+//! * **gradient magnitude** — `max_θ (Ix cosθ + Iy sinθ)` vs
+//!   `√(Ix² + Iy²)`: correlation and worst-case relative error (bounded
+//!   by `1 − cos(10°) ≈ 1.5 %` for 18 directions);
+//! * **histogram** — count voting (18 bins, 0–360°) vs magnitude-weighted
+//!   voting (9 bins, 0–180°): correlation of folded histograms.
+
+use pcnn_hog::cell::CellExtractor;
+use pcnn_hog::quantize::pearson_correlation;
+use pcnn_hog::{NApproxHog, TraditionalHog};
+use pcnn_vision::GrayImage;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::f32::consts::PI;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0x7AB1E);
+    println!("Table 1 reproduction: conventional vs TrueNorth HoG operations");
+    println!("===============================================================\n");
+
+    // --- Row 1: gradient vector -----------------------------------------
+    // Pattern matching computes Ix, -Ix, Iy, -Iy with the same filters the
+    // conventional path uses; rectified pairs reassemble exactly.
+    let mut max_err = 0.0f32;
+    for _ in 0..10_000 {
+        let (ix, iy): (f32, f32) = (rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0));
+        let (p, n) = (ix.max(0.0), (-ix).max(0.0));
+        let (q, m) = (iy.max(0.0), (-iy).max(0.0));
+        max_err = max_err.max(((p - n) - ix).abs()).max(((q - m) - iy).abs());
+    }
+    println!("gradient vector : pattern matching vs filters      max |error| = {max_err:.2e} (exact)");
+
+    // --- Rows 2-3: angle and magnitude -----------------------------------
+    let hog = NApproxHog::full_precision();
+    let centers: Vec<f32> = (0..18).map(|b| 2.0 * PI * (b as f32 + 0.5) / 18.0).collect();
+    let mut angle_agree = 0usize;
+    let mut trials = 0usize;
+    let mut mags_true = Vec::new();
+    let mut mags_approx = Vec::new();
+    let mut worst_rel = 0.0f32;
+    for _ in 0..20_000 {
+        let ix: f32 = rng.random_range(-1.0..1.0);
+        let iy: f32 = rng.random_range(-1.0..1.0);
+        let mag = (ix * ix + iy * iy).sqrt();
+        if mag < 0.05 {
+            continue;
+        }
+        trials += 1;
+        // Conventional: atan2 angle binned to 18 bins.
+        let mut angle = iy.atan2(ix);
+        if angle < 0.0 {
+            angle += 2.0 * PI;
+        }
+        let conventional_bin = ((angle / (2.0 * PI / 18.0)) as usize).min(17);
+        // Approximation: argmax of the inner products.
+        let (approx_bin, best_ip) = centers
+            .iter()
+            .enumerate()
+            .map(|(b, &t)| (b, ix * t.cos() + iy * t.sin()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        if approx_bin == conventional_bin {
+            angle_agree += 1;
+        }
+        mags_true.push(mag);
+        mags_approx.push(best_ip);
+        worst_rel = worst_rel.max((mag - best_ip) / mag);
+    }
+    println!(
+        "gradient angle  : argmax inner product vs atan2    bin agreement = {:.2}%",
+        100.0 * angle_agree as f64 / trials as f64
+    );
+    let mag_corr = pearson_correlation(&mags_approx, &mags_true).unwrap();
+    println!(
+        "gradient magn.  : inner product vs sqrt(Ix²+Iy²)   correlation = {:.5}, worst rel. err = {:.2}% (bound 1−cos10° = 1.52%)",
+        mag_corr,
+        100.0 * worst_rel
+    );
+
+    // --- Row 4: histogram -------------------------------------------------
+    // Count-voted 18-bin signed histograms, folded to unsigned 9 bins,
+    // against the conventional magnitude-weighted 9-bin histogram.
+    let conventional = TraditionalHog::new();
+    let mut counts_all = Vec::new();
+    let mut weighted_all = Vec::new();
+    for k in 0..200 {
+        let patch = GrayImage::from_fn(10, 10, |x, y| {
+            0.5 + 0.3
+                * ((x as f32 * (0.3 + 0.05 * (k % 13) as f32)).sin()
+                    * (y as f32 * (0.2 + 0.04 * (k % 7) as f32) + k as f32).cos())
+        });
+        let h18 = hog.cell_histogram(&patch);
+        // Fold signed 18 bins onto unsigned 9.
+        let folded: Vec<f32> = (0..9).map(|b| h18[b] + h18[b + 9]).collect();
+        counts_all.extend(folded);
+        weighted_all.extend(conventional.cell_histogram(&patch));
+    }
+    let hist_corr = pearson_correlation(&counts_all, &weighted_all).unwrap();
+    println!(
+        "histogram       : count voting vs magnitude voting correlation = {hist_corr:.4} over 200 random cells"
+    );
+    println!(
+        "\nconclusion: every Table 1 approximation tracks its conventional \
+         counterpart closely enough to preserve feature quality (Fig. 4)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Table 2 — estimated power for the HoG feature-extraction approaches on
+//! the full-HD @ 26 fps workload.
+//!
+//! Reproduces the paper's analytic model exactly (§5.2): 57,749 cells per
+//! frame across six 1.1× scale layers, module throughput of one cell per
+//! coding window at the 1 kHz tick, 16 µW per occupied core. Also prints
+//! the table recomputed with *this workspace's* measured module sizes
+//! (the simulator's NApprox corelet packs to 30 cores, the trained parrot
+//! module to 10) to show the conclusion is robust to packing details.
+
+use pcnn_core::power::{full_hd_cells_per_second, DeploymentPower, PowerTable};
+use pcnn_core::report::render_power_table;
+
+fn main() {
+    println!("Table 2 reproduction: power comparison");
+    println!("======================================\n");
+
+    let paper = PowerTable::paper();
+    println!("--- with the paper's module core counts (NApprox 26, Parrot 8) ---\n");
+    println!("{}", render_power_table(&paper));
+    println!(
+        "Parrot power advantage over NApprox: {:.1}x at 32-spike, {:.0}x at 1-spike",
+        paper.napprox_over(1),
+        paper.napprox_over(3)
+    );
+    println!("(paper: 6.5x - 208x)\n");
+
+    // Our own implementations' module sizes.
+    let napprox_cores = pcnn_corelets::NApproxHogCorelet::new(64).core_count();
+    let parrot_cores = {
+        let cfg = pcnn_parrot::ParrotTrainConfig::default();
+        cfg.replicas + cfg.l2_groups
+    };
+    let ours = PowerTable::for_configs(
+        full_hd_cells_per_second(),
+        &[
+            DeploymentPower {
+                approach: "NApprox HoG".to_owned(),
+                window: 64,
+                module_cores: napprox_cores,
+            },
+            DeploymentPower {
+                approach: "Parrot HoG".to_owned(),
+                window: 32,
+                module_cores: parrot_cores,
+            },
+            DeploymentPower {
+                approach: "Parrot HoG".to_owned(),
+                window: 4,
+                module_cores: parrot_cores,
+            },
+            DeploymentPower {
+                approach: "Parrot HoG".to_owned(),
+                window: 1,
+                module_cores: parrot_cores,
+            },
+        ],
+    );
+    println!(
+        "--- with this workspace's measured module core counts (NApprox {napprox_cores}, Parrot {parrot_cores}) ---\n"
+    );
+    println!("{}", render_power_table(&ours));
+    println!(
+        "Parrot power advantage over NApprox: {:.1}x at 32-spike, {:.0}x at 1-spike",
+        ours.napprox_over(1),
+        ours.napprox_over(3)
+    );
+}

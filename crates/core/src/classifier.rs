@@ -1,0 +1,285 @@
+//! Window classifiers: linear SVM and the Eedn-constrained network.
+
+use pcnn_eedn::activation::HardSigmoid;
+use pcnn_eedn::fc::GroupedLinear;
+use pcnn_eedn::mapping::check_crossbar_fit;
+use pcnn_eedn::permute::Permute;
+use pcnn_eedn::tensor::Tensor;
+use pcnn_eedn::{Dataset, Sequential};
+use pcnn_svm::{FeatureScaler, LinearSvm};
+use serde::{Deserialize, Serialize};
+
+/// A trained classifier scoring window descriptors (higher = more
+/// person-like).
+pub enum WindowClassifier {
+    /// Linear SVM (with its fitted feature scaler).
+    Svm {
+        /// The trained model.
+        model: LinearSvm,
+        /// The feature standardizer fitted on training descriptors.
+        scaler: FeatureScaler,
+    },
+    /// Eedn-constrained network.
+    Eedn(EednClassifier),
+}
+
+impl std::fmt::Debug for WindowClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowClassifier::Svm { model, .. } => {
+                f.debug_struct("WindowClassifier::Svm").field("dim", &model.dim()).finish()
+            }
+            WindowClassifier::Eedn(c) => f
+                .debug_struct("WindowClassifier::Eedn")
+                .field("dim", &c.in_dim)
+                .field("cores", &c.core_count)
+                .finish(),
+        }
+    }
+}
+
+impl WindowClassifier {
+    /// Scores one descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the descriptor dimensionality mismatches the training
+    /// dimensionality.
+    pub fn score(&mut self, descriptor: &[f32]) -> f32 {
+        match self {
+            WindowClassifier::Svm { model, scaler } => model.score(&scaler.apply(descriptor)),
+            WindowClassifier::Eedn(c) => c.score(descriptor),
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WindowClassifier::Svm { .. } => "SVM",
+            WindowClassifier::Eedn(_) => "Eedn",
+        }
+    }
+}
+
+/// Configuration of the Eedn window classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EednClassifierConfig {
+    /// First hidden width (grouped to fit crossbars).
+    pub hidden1: usize,
+    /// Second hidden width.
+    pub hidden2: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate (Adam).
+    pub lr: f32,
+    /// Seed for init and batching.
+    pub seed: u64,
+}
+
+impl Default for EednClassifierConfig {
+    fn default() -> Self {
+        EednClassifierConfig {
+            hidden1: 240,
+            hidden2: 120,
+            epochs: 30,
+            batch: 32,
+            lr: 0.002,
+            seed: 0xC1A5,
+        }
+    }
+}
+
+/// The Eedn-constrained window classifier: three grouped trinary layers
+/// with hard-sigmoid activations, trained with softmax cross-entropy.
+///
+/// Group counts are chosen so every layer fits the 256×256 crossbar with
+/// the pos/neg axon convention (fan-in ≤ 127 per group); the resulting
+/// core count is the resource metric of §5.1.
+pub struct EednClassifier {
+    net: Sequential,
+    scaler: FeatureScaler,
+    in_dim: usize,
+    core_count: usize,
+}
+
+impl std::fmt::Debug for EednClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EednClassifier")
+            .field("in_dim", &self.in_dim)
+            .field("cores", &self.core_count)
+            .finish()
+    }
+}
+
+/// Picks the smallest group count that divides both dims and keeps the
+/// per-group fan-in within the crossbar (127 with the ± convention).
+fn pick_groups(in_dim: usize, out_dim: usize) -> usize {
+    for g in 1..=in_dim {
+        if in_dim.is_multiple_of(g) && out_dim.is_multiple_of(g) && in_dim / g <= 127 {
+            return g;
+        }
+    }
+    in_dim
+}
+
+impl EednClassifier {
+    /// Trains the classifier on labelled descriptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or single-class.
+    pub fn train(
+        descriptors: &[Vec<f32>],
+        labels: &[bool],
+        config: EednClassifierConfig,
+    ) -> Self {
+        assert!(!descriptors.is_empty(), "no training descriptors");
+        assert_eq!(descriptors.len(), labels.len(), "descriptor/label mismatch");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        assert!(n_pos > 0 && n_pos < labels.len(), "training needs both classes");
+        let in_dim = descriptors[0].len();
+
+        let scaler = FeatureScaler::fit(descriptors);
+        let scaled = scaler.apply_all(descriptors);
+
+        let g1 = pick_groups(in_dim, config.hidden1);
+        let g2 = pick_groups(config.hidden1, config.hidden2);
+        let g3 = pick_groups(config.hidden2, 2).min(2);
+        let core_count = g1 + g2 + g3;
+        // Every layer must really fit (an unsatisfiable shape panics in
+        // GroupedLinear::new; the explicit check gives a better message).
+        check_crossbar_fit(in_dim, config.hidden1, g1).expect("layer 1 exceeds crossbar");
+
+        let mut net = Sequential::new()
+            .push(GroupedLinear::new(in_dim, config.hidden1, g1, true, config.seed ^ 1).with_bias_init(0.5))
+            .push(HardSigmoid::new())
+            .push(Permute::random(config.hidden1, config.seed ^ 2))
+            .push(GroupedLinear::new(config.hidden1, config.hidden2, g2, true, config.seed ^ 3).with_bias_init(0.5))
+            .push(HardSigmoid::new())
+            .push(Permute::random(config.hidden2, config.seed ^ 4))
+            .push(GroupedLinear::new(config.hidden2, 2, g3, true, config.seed ^ 5));
+
+        let ds = Dataset::from_parts(scaled, labels.iter().map(|&l| l as usize).collect());
+        for epoch in 0..config.epochs {
+            for (x, y) in ds.batches(config.batch, config.seed ^ (0x100 + epoch as u64)) {
+                net.train_step_classify(&x, &y, config.lr, 0.9);
+            }
+        }
+
+        EednClassifier { net, scaler, in_dim, core_count }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// TrueNorth cores the classifier occupies (one per layer group).
+    pub fn core_count(&self) -> usize {
+        self.core_count
+    }
+
+    /// The decision value: positive-class logit minus negative-class
+    /// logit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the descriptor dimensionality is wrong.
+    pub fn score(&mut self, descriptor: &[f32]) -> f32 {
+        assert_eq!(descriptor.len(), self.in_dim, "descriptor dimensionality mismatch");
+        let x = Tensor::from_rows(&[self.scaler.apply(descriptor)]);
+        let y = self.net.predict(&x);
+        y.at2(0, 1) - y.at2(0, 0)
+    }
+
+    /// Classification accuracy on a labelled set.
+    pub fn accuracy(&mut self, descriptors: &[Vec<f32>], labels: &[bool]) -> f32 {
+        let correct = descriptors
+            .iter()
+            .zip(labels)
+            .filter(|(d, &l)| (self.score(d) > 0.0) == l)
+            .count();
+        correct as f32 / descriptors.len().max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let label: bool = rng.random_bool(0.5);
+            let c = if label { 0.7 } else { 0.3 };
+            xs.push((0..dim).map(|_| c + rng.random_range(-0.2..0.2)).collect());
+            ys.push(label);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn eedn_classifier_learns_blobs() {
+        let (xs, ys) = blobs(300, 48, 3);
+        let mut c = EednClassifier::train(
+            &xs,
+            &ys,
+            EednClassifierConfig { hidden1: 48, hidden2: 24, epochs: 20, ..Default::default() },
+        );
+        let acc = c.accuracy(&xs, &ys);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn group_picker_respects_crossbar() {
+        assert_eq!(pick_groups(96, 240), 1);
+        assert_eq!(pick_groups(2304, 240), 24); // 2304/24 = 96 <= 127
+        assert!(2304 % pick_groups(2304, 240) == 0);
+        assert_eq!(pick_groups(240, 120), 2); // 240/2 = 120 <= 127
+    }
+
+    #[test]
+    fn core_count_is_group_sum() {
+        let (xs, ys) = blobs(60, 2304, 4);
+        let c = EednClassifier::train(
+            &xs,
+            &ys,
+            EednClassifierConfig { hidden1: 240, hidden2: 120, epochs: 1, ..Default::default() },
+        );
+        // 24 groups + 2 groups + 1-2 for the head.
+        assert!(c.core_count() >= 27 && c.core_count() <= 28, "cores {}", c.core_count());
+    }
+
+    #[test]
+    fn window_classifier_unifies_backends() {
+        let (xs, ys) = blobs(200, 16, 5);
+        let scaler = FeatureScaler::fit(&xs);
+        let model = pcnn_svm::train(&scaler.apply_all(&xs), &ys, Default::default());
+        let mut svm = WindowClassifier::Svm { model, scaler };
+        let mut eedn = WindowClassifier::Eedn(EednClassifier::train(
+            &xs,
+            &ys,
+            EednClassifierConfig { hidden1: 16, hidden2: 8, epochs: 15, ..Default::default() },
+        ));
+        // Both score positives above negatives on average.
+        for c in [&mut svm, &mut eedn] {
+            let mean_pos: f32 = xs.iter().zip(&ys).filter(|(_, &y)| y).map(|(x, _)| c.score(x)).sum::<f32>()
+                / ys.iter().filter(|&&y| y).count() as f32;
+            let mean_neg: f32 = xs.iter().zip(&ys).filter(|(_, &y)| !y).map(|(x, _)| c.score(x)).sum::<f32>()
+                / ys.iter().filter(|&&y| !y).count() as f32;
+            assert!(mean_pos > mean_neg, "{}: pos {mean_pos} vs neg {mean_neg}", c.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_rejected() {
+        EednClassifier::train(&[vec![0.0; 4]], &[true], Default::default());
+    }
+}

@@ -1,0 +1,266 @@
+//! The feature-extraction paradigms behind one type.
+
+use pcnn_hog::cell::CellExtractor;
+use pcnn_hog::{BlockNorm, FpgaHog, HogDescriptor, NApproxHog, RawCells, TraditionalHog};
+use pcnn_parrot::ParrotExtractor;
+use pcnn_vision::GrayImage;
+
+/// Which extraction paradigm an [`Extractor`] embodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtractorKind {
+    /// The FPGA baseline: 9-bin fixed-point HoG.
+    Fpga,
+    /// The Dalal–Triggs float reference.
+    Traditional,
+    /// NApprox in full precision (`NApprox(fp)`).
+    NApproxFp,
+    /// NApprox quantized to the TrueNorth spike width.
+    NApproxQuantized,
+    /// The trained Parrot network.
+    Parrot,
+    /// Raw window pixels — the identity features of the Absorbed
+    /// monolithic paradigm.
+    Raw,
+}
+
+impl ExtractorKind {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExtractorKind::Fpga => "FPGA-HoG",
+            ExtractorKind::Traditional => "Traditional-HoG",
+            ExtractorKind::NApproxFp => "NApprox(fp)",
+            ExtractorKind::NApproxQuantized => "NApprox",
+            ExtractorKind::Parrot => "Parrot",
+            ExtractorKind::Raw => "Raw-pixels",
+        }
+    }
+}
+
+// Variants differ in size (the parrot carries a trained network); the
+// enum is created a handful of times per experiment, so boxing would
+// only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum Inner {
+    Fpga(HogDescriptor<FpgaHog>),
+    Traditional(HogDescriptor<TraditionalHog>),
+    NApprox(HogDescriptor<NApproxHog>),
+    Parrot(HogDescriptor<ParrotExtractor>),
+    Raw(HogDescriptor<RawCells>),
+}
+
+/// A window-level feature extractor of any paradigm.
+pub struct Extractor {
+    kind: ExtractorKind,
+    inner: Inner,
+}
+
+impl std::fmt::Debug for Extractor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Extractor")
+            .field("kind", &self.kind)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Extractor {
+    /// The FPGA baseline with the paper's Figure 4 configuration (L2
+    /// block normalization).
+    pub fn fpga() -> Self {
+        Extractor {
+            kind: ExtractorKind::Fpga,
+            inner: Inner::Fpga(HogDescriptor::new(FpgaHog::new(), BlockNorm::L2)),
+        }
+    }
+
+    /// The Dalal–Triggs reference with L2 block normalization.
+    pub fn traditional() -> Self {
+        Extractor {
+            kind: ExtractorKind::Traditional,
+            inner: Inner::Traditional(HogDescriptor::new(TraditionalHog::new(), BlockNorm::L2)),
+        }
+    }
+
+    /// An 18-bin signed magnitude-voted variant of the reference —
+    /// isolates the count-vs-magnitude voting choice from the bin count
+    /// in ablations.
+    pub fn traditional_signed_18() -> Self {
+        Extractor {
+            kind: ExtractorKind::Traditional,
+            inner: Inner::Traditional(HogDescriptor::new(
+                TraditionalHog::signed_18(),
+                BlockNorm::L2,
+            )),
+        }
+    }
+
+    /// NApprox in full precision. `norm` selects block normalization:
+    /// the SVM experiments (Fig. 4) use [`BlockNorm::L2`], the
+    /// neuromorphic-classifier experiments (Fig. 5) elide it.
+    pub fn napprox_fp(norm: BlockNorm) -> Self {
+        Extractor {
+            kind: ExtractorKind::NApproxFp,
+            inner: Inner::NApprox(HogDescriptor::new(NApproxHog::full_precision(), norm)),
+        }
+    }
+
+    /// A custom-configured NApprox extractor (ablation studies: vote
+    /// threshold, bin count, quantization).
+    pub fn napprox_custom(model: NApproxHog, norm: BlockNorm) -> Self {
+        Extractor {
+            kind: if model.quant.is_some() {
+                ExtractorKind::NApproxQuantized
+            } else {
+                ExtractorKind::NApproxFp
+            },
+            inner: Inner::NApprox(HogDescriptor::new(model, norm)),
+        }
+    }
+
+    /// NApprox quantized to `spikes`-spike input coding.
+    pub fn napprox_quantized(spikes: u32, norm: BlockNorm) -> Self {
+        Extractor {
+            kind: ExtractorKind::NApproxQuantized,
+            inner: Inner::NApprox(HogDescriptor::new(NApproxHog::quantized(spikes), norm)),
+        }
+    }
+
+    /// A trained Parrot extractor (Fig. 5 configuration: no block
+    /// normalization, matching the TrueNorth classifier path).
+    pub fn parrot(parrot: ParrotExtractor, norm: BlockNorm) -> Self {
+        Extractor {
+            kind: ExtractorKind::Parrot,
+            inner: Inner::Parrot(HogDescriptor::new(parrot, norm)),
+        }
+    }
+
+    /// Raw window pixels for the Absorbed paradigm (8192 values per
+    /// window, cell-block-major).
+    pub fn raw() -> Self {
+        Extractor {
+            kind: ExtractorKind::Raw,
+            inner: Inner::Raw(HogDescriptor::new(RawCells::new(), BlockNorm::None)),
+        }
+    }
+
+    /// The paradigm.
+    pub fn kind(&self) -> ExtractorKind {
+        self.kind
+    }
+
+    /// Descriptor dimensionality.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Fpga(d) => d.len(),
+            Inner::Traditional(d) => d.len(),
+            Inner::NApprox(d) => d.len(),
+            Inner::Parrot(d) => d.len(),
+            Inner::Raw(d) => d.len(),
+        }
+    }
+
+    /// Whether descriptors are empty (never, for valid configurations).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of orientation bins per cell.
+    pub fn bins(&self) -> usize {
+        match &self.inner {
+            Inner::Fpga(d) => d.extractor().bins(),
+            Inner::Traditional(d) => d.extractor().bins(),
+            Inner::NApprox(d) => d.extractor().bins(),
+            Inner::Parrot(d) => d.extractor().bins(),
+            Inner::Raw(d) => d.extractor().bins(),
+        }
+    }
+
+    /// Block-normalization policy.
+    pub fn norm(&self) -> BlockNorm {
+        match &self.inner {
+            Inner::Fpga(d) => d.norm(),
+            Inner::Traditional(d) => d.norm(),
+            Inner::NApprox(d) => d.norm(),
+            Inner::Parrot(d) => d.norm(),
+            Inner::Raw(d) => d.norm(),
+        }
+    }
+
+    /// The descriptor of a window at `(x0, y0)` in `img`.
+    pub fn window_descriptor(&self, img: &GrayImage, x0: usize, y0: usize) -> Vec<f32> {
+        match &self.inner {
+            Inner::Fpga(d) => d.window_descriptor(img, x0, y0),
+            Inner::Traditional(d) => d.window_descriptor(img, x0, y0),
+            Inner::NApprox(d) => d.window_descriptor(img, x0, y0),
+            Inner::Parrot(d) => d.window_descriptor(img, x0, y0),
+            Inner::Raw(d) => d.window_descriptor(img, x0, y0),
+        }
+    }
+
+    /// The descriptor of an exactly window-sized crop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crop` is not 64×128.
+    pub fn crop_descriptor(&self, crop: &GrayImage) -> Vec<f32> {
+        self.window_descriptor(crop, 0, 0)
+    }
+
+    /// The histogram of one padded 10×10 cell patch — the unit the
+    /// per-level cell grid caches.
+    pub fn cell_histogram(&self, patch: &GrayImage) -> Vec<f32> {
+        match &self.inner {
+            Inner::Fpga(d) => d.extractor().cell_histogram(patch),
+            Inner::Traditional(d) => d.extractor().cell_histogram(patch),
+            Inner::NApprox(d) => d.extractor().cell_histogram(patch),
+            Inner::Parrot(d) => d.extractor().cell_histogram(patch),
+            Inner::Raw(d) => d.extractor().cell_histogram(patch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_lengths_match_paper() {
+        assert_eq!(Extractor::fpga().len(), 3780);
+        assert_eq!(Extractor::traditional().len(), 3780);
+        assert_eq!(Extractor::napprox_fp(BlockNorm::L2).len(), 7560);
+        assert_eq!(Extractor::napprox_fp(BlockNorm::None).len(), 2304);
+        assert_eq!(Extractor::napprox_quantized(64, BlockNorm::None).len(), 2304);
+    }
+
+    #[test]
+    fn raw_extractor_is_identity() {
+        let img = GrayImage::from_fn(64, 128, |x, y| ((x + y) % 7) as f32 / 7.0);
+        let e = Extractor::raw();
+        assert_eq!(e.len(), 8192);
+        let d = e.crop_descriptor(&img);
+        // First cell block starts with pixel (0,0).
+        assert_eq!(d[0], img.get(0, 0));
+        assert_eq!(d.len(), 8192);
+    }
+
+    #[test]
+    fn kinds_and_labels() {
+        assert_eq!(Extractor::fpga().kind().label(), "FPGA-HoG");
+        assert_eq!(Extractor::napprox_fp(BlockNorm::L2).kind(), ExtractorKind::NApproxFp);
+    }
+
+    #[test]
+    fn extractors_produce_different_descriptors_same_signal() {
+        let img = GrayImage::from_fn(64, 128, |x, y| {
+            0.5 + 0.3 * ((x as f32 * 0.3).sin() * (y as f32 * 0.2).cos())
+        });
+        let a = Extractor::napprox_fp(BlockNorm::None).crop_descriptor(&img);
+        let b = Extractor::napprox_quantized(64, BlockNorm::None).crop_descriptor(&img);
+        assert_eq!(a.len(), b.len());
+        // Same algorithm, different precision: close but not identical.
+        assert_ne!(a, b);
+        let corr = pcnn_hog::quantize::pearson_correlation(&a, &b).unwrap();
+        assert!(corr > 0.85, "corr {corr}");
+    }
+}

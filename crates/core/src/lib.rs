@@ -1,0 +1,42 @@
+//! Partitioned co-training of feature extraction and classification —
+//! the paper's primary contribution, assembled from the workspace's
+//! substrates.
+//!
+//! The crate provides:
+//!
+//! * [`extractor`] — the five window-level feature extractors under one
+//!   type: FPGA fixed-point HoG, Dalal–Triggs, NApprox (full precision
+//!   and TrueNorth-quantized) and the trained Parrot network;
+//! * [`classifier`] — the two classification back-ends: a linear SVM
+//!   (with hard-negative mining) and an Eedn-constrained network, both
+//!   consuming window descriptors through a shared interface;
+//! * [`pipeline`] — the end-to-end detector: scale pyramid → per-level
+//!   cell grids → window descriptors → scores → NMS → miss-rate/FPPI
+//!   evaluation;
+//! * [`cotrain`] — the three design paradigms as buildable systems:
+//!   partitioned NApprox + classifier, partitioned Parrot + classifier
+//!   (co-trained), and the iso-resource Absorbed monolithic network,
+//!   with collapse detection reproducing §5.1's observation;
+//! * [`resources`] — core-count accounting for every paradigm;
+//! * [`power`] — the §5.2 analytic power/throughput model that
+//!   regenerates Table 2;
+//! * [`report`] — plain-text rendering of curves and tables for the
+//!   bench harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod cotrain;
+pub mod extractor;
+pub mod pipeline;
+pub mod power;
+pub mod report;
+pub mod resources;
+
+pub use classifier::{EednClassifier, EednClassifierConfig, WindowClassifier};
+pub use cotrain::{AbsorbedOutcome, AbsorbedSystem, PartitionedSystem, TrainSetConfig};
+pub use power::{DeploymentPower, FpgaPower, PowerTable, Table2Row};
+pub use resources::ResourceBudget;
+pub use extractor::{Extractor, ExtractorKind};
+pub use pipeline::{Detector, DetectorConfig, TrainedDetector};

@@ -1,0 +1,219 @@
+//! The §5.2 power/throughput model — regenerates Table 2.
+//!
+//! The paper's arithmetic, reproduced exactly:
+//!
+//! * a full-HD frame is scanned at six 1.1×-stepped scales, 57,749 cells
+//!   per frame; at 26 fps the system must process ≈ 1.5 M cells/s;
+//! * a cell module pipelines one result per coding window, so its
+//!   throughput is `1000 / window` cells/s at the 1 kHz tick (64-spike
+//!   NApprox ⇒ 15.6 ≈ "15 cells/sec"; 32-spike Parrot ⇒ 31.25 ≈ "31";
+//!   1-spike ⇒ 1000);
+//! * modules needed = required cells/s ÷ module throughput; cores =
+//!   modules × cores-per-module; power = cores × 16 µW.
+
+use pcnn_truenorth::{PowerModel, CHIP_CORES};
+use pcnn_vision::pyramid::full_hd_total_cells;
+use serde::{Deserialize, Serialize};
+
+/// Frame rate of the paper's full-HD workload.
+pub const FULL_HD_FPS: f64 = 26.0;
+
+/// The FPGA baseline's published power figures (Advani et al. on a
+/// Virtex-7 690T with a CAPI interface, as synthesized by the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaPower {
+    /// HoG accelerator logic in isolation, watts.
+    pub logic_w: f64,
+    /// System level including clocking and CAPI peripherals, watts.
+    pub system_w: f64,
+}
+
+impl Default for FpgaPower {
+    fn default() -> Self {
+        FpgaPower { logic_w: 1.12, system_w: 8.6 }
+    }
+}
+
+/// A neuromorphic feature-extraction deployment to be power-modelled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentPower {
+    /// Approach label ("NApprox HoG", "Parrot HoG"…).
+    pub approach: String,
+    /// Input coding window in ticks (spikes per value).
+    pub window: u32,
+    /// TrueNorth cores per cell module.
+    pub module_cores: usize,
+}
+
+impl DeploymentPower {
+    /// Cells/s one module sustains, pipelined at the 1 kHz tick.
+    pub fn module_throughput(&self) -> f64 {
+        1000.0 / f64::from(self.window)
+    }
+
+    /// Nominal bit resolution of the coding (64-spike = 6-bit…).
+    pub fn resolution_bits(&self) -> u32 {
+        (31 - self.window.leading_zeros()).max(1)
+    }
+
+    /// Evaluates the deployment against a required cell rate.
+    pub fn evaluate(&self, required_cells_per_s: f64, model: &PowerModel) -> Table2Row {
+        let modules = (required_cells_per_s / self.module_throughput()).ceil();
+        let cores = modules as usize * self.module_cores;
+        let estimate = model.static_estimate(cores);
+        Table2Row {
+            approach: self.approach.clone(),
+            signal: format!("{}-spike ({}-bit)", self.window, self.resolution_bits()),
+            modules: modules as usize,
+            cores,
+            chips: estimate.chips,
+            power_w: estimate.watts,
+        }
+    }
+}
+
+/// One row of the reproduced Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Approach label.
+    pub approach: String,
+    /// Signal-resolution description.
+    pub signal: String,
+    /// Cell modules deployed.
+    pub modules: usize,
+    /// Total cores.
+    pub cores: usize,
+    /// Equivalent chips (fractional).
+    pub chips: f64,
+    /// Estimated power in watts.
+    pub power_w: f64,
+}
+
+/// The complete power comparison of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTable {
+    /// The FPGA baseline row (constant published figures).
+    pub fpga: FpgaPower,
+    /// The neuromorphic rows.
+    pub rows: Vec<Table2Row>,
+    /// The workload: required cells per second.
+    pub required_cells_per_s: f64,
+}
+
+impl PowerTable {
+    /// Builds Table 2 for the full-HD @ 26 fps workload with the paper's
+    /// module core counts (NApprox 26, Parrot 8).
+    pub fn paper() -> Self {
+        Self::for_configs(
+            full_hd_cells_per_second(),
+            &[
+                DeploymentPower {
+                    approach: "NApprox HoG".to_owned(),
+                    window: 64,
+                    module_cores: 26,
+                },
+                DeploymentPower { approach: "Parrot HoG".to_owned(), window: 32, module_cores: 8 },
+                DeploymentPower { approach: "Parrot HoG".to_owned(), window: 4, module_cores: 8 },
+                DeploymentPower { approach: "Parrot HoG".to_owned(), window: 1, module_cores: 8 },
+            ],
+        )
+    }
+
+    /// Builds the table for arbitrary deployments.
+    pub fn for_configs(required_cells_per_s: f64, configs: &[DeploymentPower]) -> Self {
+        let model = PowerModel::paper();
+        PowerTable {
+            fpga: FpgaPower::default(),
+            rows: configs.iter().map(|c| c.evaluate(required_cells_per_s, &model)).collect(),
+            required_cells_per_s,
+        }
+    }
+
+    /// The paper's headline: the power ratio between the NApprox row and
+    /// a given Parrot row (6.5× at 32-spike, 208× at 1-spike).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table lacks an NApprox row or the indexed row.
+    pub fn napprox_over(&self, row: usize) -> f64 {
+        let napprox = self
+            .rows
+            .iter()
+            .find(|r| r.approach.contains("NApprox"))
+            .expect("table has an NApprox row");
+        napprox.power_w / self.rows[row].power_w
+    }
+}
+
+/// The full-HD workload's required cell rate (57,749 cells × 26 fps).
+pub fn full_hd_cells_per_second() -> f64 {
+    full_hd_total_cells() as f64 * FULL_HD_FPS
+}
+
+/// Chips needed to host `cores` cores.
+pub fn chips_for(cores: usize) -> usize {
+    cores.div_ceil(CHIP_CORES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_matches_paper() {
+        // 57,749 cells/frame at 26 fps ≈ 1.5 M cells/s.
+        let rate = full_hd_cells_per_second();
+        assert!((rate - 1_501_474.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table2_reproduces_paper_numbers() {
+        let table = PowerTable::paper();
+        let w: Vec<f64> = table.rows.iter().map(|r| r.power_w).collect();
+        // NApprox 64-spike ≈ 40 W.
+        assert!((w[0] - 40.0).abs() < 1.0, "NApprox {} W", w[0]);
+        // Parrot 32-spike ≈ 6.15 W.
+        assert!((w[1] - 6.15).abs() < 0.1, "Parrot-32 {} W", w[1]);
+        // Parrot 4-spike ≈ 768 mW.
+        assert!((w[2] * 1000.0 - 768.0).abs() < 10.0, "Parrot-4 {} W", w[2]);
+        // Parrot 1-spike ≈ 192 mW.
+        assert!((w[3] * 1000.0 - 192.0).abs() < 3.0, "Parrot-1 {} W", w[3]);
+    }
+
+    #[test]
+    fn power_ratios_span_65x_to_208x() {
+        let table = PowerTable::paper();
+        let low = table.napprox_over(1);
+        let high = table.napprox_over(3);
+        assert!((low - 6.5).abs() < 0.2, "32-spike ratio {low}");
+        assert!((high - 208.0).abs() < 6.0, "1-spike ratio {high}");
+    }
+
+    #[test]
+    fn napprox_needs_about_650_chips() {
+        let table = PowerTable::paper();
+        let chips = chips_for(table.rows[0].cores);
+        assert!((580..=660).contains(&chips), "chips {chips}");
+    }
+
+    #[test]
+    fn module_throughputs_match_paper() {
+        let napprox = DeploymentPower {
+            approach: "n".into(),
+            window: 64,
+            module_cores: 26,
+        };
+        assert!((napprox.module_throughput() - 15.6).abs() < 0.1);
+        let parrot = DeploymentPower { approach: "p".into(), window: 32, module_cores: 8 };
+        assert!((parrot.module_throughput() - 31.25).abs() < 0.01);
+        let parrot1 = DeploymentPower { approach: "p".into(), window: 1, module_cores: 8 };
+        assert_eq!(parrot1.module_throughput(), 1000.0);
+    }
+
+    #[test]
+    fn fpga_power_between_parrot32_and_napprox() {
+        let table = PowerTable::paper();
+        assert!(table.fpga.system_w > table.rows[1].power_w);
+        assert!(table.fpga.system_w < table.rows[0].power_w);
+    }
+}

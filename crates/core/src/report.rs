@@ -1,0 +1,115 @@
+//! Plain-text rendering of experiment outputs.
+//!
+//! The bench harness prints the same rows and series the paper reports;
+//! these helpers keep that formatting in one place.
+
+use crate::power::PowerTable;
+use pcnn_vision::DetectionCurve;
+
+/// Renders a miss-rate/FPPI curve as the series of sampled points the
+/// paper's figures plot: miss rate at log-spaced FPPI values.
+pub fn render_curve(label: &str, curve: &DetectionCurve) -> String {
+    let mut out = format!("{label}  (images={}, ground truth={})\n", curve.images, curve.total_ground_truth);
+    out.push_str("  fppi      miss-rate\n");
+    for i in 0..9 {
+        let fppi = 10f64.powf(-2.0 + f64::from(i) * 0.5 / 2.0);
+        out.push_str(&format!("  {fppi:8.4}  {:8.4}\n", curve.miss_rate_at(fppi)));
+    }
+    out.push_str(&format!(
+        "  log-average miss rate: {:.4}\n",
+        curve.log_average_miss_rate()
+    ));
+    out
+}
+
+/// Renders several curves side by side at shared FPPI samples — the
+/// figure-style comparison ("who wins, where").
+pub fn render_curves(curves: &[(&str, &DetectionCurve)]) -> String {
+    let mut out = String::from("  fppi    ");
+    for (label, _) in curves {
+        out.push_str(&format!("{label:>16}"));
+    }
+    out.push('\n');
+    for i in 0..9 {
+        let fppi = 10f64.powf(-2.0 + f64::from(i) * 0.25);
+        out.push_str(&format!("  {fppi:7.4} "));
+        for (_, c) in curves {
+            out.push_str(&format!("{:16.4}", c.miss_rate_at(fppi)));
+        }
+        out.push('\n');
+    }
+    out.push_str("  lamr    ");
+    for (_, c) in curves {
+        out.push_str(&format!("{:16.4}", c.log_average_miss_rate()));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the reproduced Table 2.
+pub fn render_power_table(table: &PowerTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Workload: full-HD @ 26 fps = {:.0} cells/s\n\n",
+        table.required_cells_per_s
+    ));
+    out.push_str(&format!(
+        "{:<22} {:<18} {:>9} {:>10} {:>8} {:>12}\n",
+        "Approach", "Signal resolution", "modules", "cores", "chips", "power"
+    ));
+    out.push_str(&format!(
+        "{:<22} {:<18} {:>9} {:>10} {:>8} {:>9.2} W (logic {:.2} W)\n",
+        "High-precision FPGA", "16-bit", "-", "-", "-", table.fpga.system_w, table.fpga.logic_w,
+    ));
+    for row in &table.rows {
+        let power = if row.power_w < 1.0 {
+            format!("{:.0} mW", row.power_w * 1000.0)
+        } else {
+            format!("{:.2} W", row.power_w)
+        };
+        out.push_str(&format!(
+            "{:<22} {:<18} {:>9} {:>10} {:>8.1} {:>12}\n",
+            row.approach, row.signal, row.modules, row.cores, row.chips, power
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_vision::{BoundingBox, Detection, Evaluator};
+
+    fn curve() -> DetectionCurve {
+        let mut ev = Evaluator::new();
+        let gt = vec![BoundingBox::new(0.0, 0.0, 40.0, 80.0)];
+        ev.add_image(&[Detection { bbox: gt[0], score: 0.9 }], &gt);
+        ev.curve()
+    }
+
+    #[test]
+    fn curve_rendering_contains_lamr() {
+        let c = curve();
+        let s = render_curve("test", &c);
+        assert!(s.contains("log-average miss rate"));
+        assert!(s.contains("test"));
+    }
+
+    #[test]
+    fn multi_curve_alignment() {
+        let c = curve();
+        let s = render_curves(&[("a", &c), ("b", &c)]);
+        assert!(s.lines().count() >= 11);
+        assert!(s.contains("lamr"));
+    }
+
+    #[test]
+    fn power_table_mentions_all_rows() {
+        let t = PowerTable::paper();
+        let s = render_power_table(&t);
+        assert!(s.contains("FPGA"));
+        assert!(s.contains("NApprox"));
+        assert!(s.contains("Parrot"));
+        assert!(s.contains("mW"), "sub-watt rows render in mW:\n{s}");
+    }
+}

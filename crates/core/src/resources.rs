@@ -1,0 +1,69 @@
+//! Core-count accounting — the paper's resource currency.
+//!
+//! §5.1 sizes its systems in TrueNorth cores: the Eedn classifier uses
+//! 2864 cores; the Parrot extractor 8 cores per 8×8 cell (1024 for a
+//! 64×128 window); the combined partitioned system 3888 cores, which is
+//! the budget the Absorbed monolithic network is granted ("iso-resource").
+//! The NApprox extractor module uses 26 cores per cell.
+//!
+//! This module carries both the paper's figures and the counts measured
+//! from this workspace's own implementations, so every experiment can
+//! report the two side by side.
+
+use serde::{Deserialize, Serialize};
+
+/// Cells in a 64×128 detection window (8×16).
+pub const CELLS_PER_WINDOW: usize = 128;
+
+/// A system's core budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Cores per feature-extractor cell module.
+    pub extractor_cores_per_cell: usize,
+    /// Cores of the classifier network.
+    pub classifier_cores: usize,
+}
+
+impl ResourceBudget {
+    /// The paper's Parrot figures: 8 cores per cell, 2864-core classifier.
+    pub fn paper_parrot() -> Self {
+        ResourceBudget { extractor_cores_per_cell: 8, classifier_cores: 2864 }
+    }
+
+    /// The paper's NApprox figures: 26 cores per cell module, the same
+    /// 2864-core classifier.
+    pub fn paper_napprox() -> Self {
+        ResourceBudget { extractor_cores_per_cell: 26, classifier_cores: 2864 }
+    }
+
+    /// Extractor cores for one full window.
+    pub fn extractor_cores_per_window(&self) -> usize {
+        self.extractor_cores_per_cell * CELLS_PER_WINDOW
+    }
+
+    /// The combined (extractor + classifier) budget — what the paper
+    /// grants the Absorbed monolithic network.
+    pub fn combined_cores(&self) -> usize {
+        self.extractor_cores_per_window() + self.classifier_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parrot_budget_is_3888() {
+        // "Combining the two Eedn networks, 3888 cores are used."
+        let b = ResourceBudget::paper_parrot();
+        assert_eq!(b.extractor_cores_per_window(), 1024);
+        assert_eq!(b.combined_cores(), 3888);
+    }
+
+    #[test]
+    fn napprox_uses_more_extractor_cores() {
+        let n = ResourceBudget::paper_napprox();
+        let p = ResourceBudget::paper_parrot();
+        assert!(n.extractor_cores_per_cell > 3 * p.extractor_cores_per_cell);
+    }
+}

@@ -1,0 +1,56 @@
+//! TrueNorth corelets implementing the NApprox HoG feature extractor,
+//! plus the hardware/software validation harness.
+//!
+//! This crate is where the paper's Table 1 mapping becomes *executable
+//! hardware configuration*: the NApprox HoG is compiled into neurosynaptic
+//! cores of the [`pcnn_truenorth`] simulator and produces per-cell
+//! orientation histograms from spike trains.
+//!
+//! # Circuit design ([`napprox`])
+//!
+//! One cell module processes a 10×10 pixel patch whose levels arrive as
+//! `N`-spike rate codes (64-spike = 6-bit in the paper's configuration):
+//!
+//! 1. **Pattern-matching / inner-product stage** — for every cell pixel
+//!    `p` and direction bin `b`, three linear-threshold neurons accumulate
+//!    over the coding window:
+//!    * `n3`: the inner product `IP_b = Ix·cos θ_b + Iy·sin θ_b` (the
+//!      magnitude approximation of Table 1),
+//!    * `n1`: the difference `IP_b − IP_{b−1}`,
+//!    * `n2`: the difference `IP_b − IP_{b+1}`.
+//!
+//!    Negative weights ride on *complement-coded* axons (the West/South
+//!    neighbours arrive as `N − level` spike trains), which frees an
+//!    axon type for the decision kick.
+//! 2. **Comparison stage** — after the coding window a "go" spike adds a
+//!    large constant to every neuron; thresholds are offset so a neuron
+//!    fires exactly when its accumulated test passes. Because the inner
+//!    products trace a (quantized) cosine around the circle, `IP_b`
+//!    beating both neighbours is equivalent to the global argmax of
+//!    Table 1's comparison row.
+//! 3. **Histogram stage** — an AND core (threshold 3) combines the three
+//!    verdicts per `(p, b)`; each vote routes to output pin `b`, so the
+//!    per-bin spike counts *are* the count-voted histogram.
+//!
+//! The module occupies ~30 cores and one decision per `N + 4` ticks —
+//! at the hardware's 1 kHz tick that is ≈15 cells/s at 64-spike coding,
+//! matching the paper's "26 TrueNorth cores … throughput of 15 cells/sec"
+//! within packing slack.
+//!
+//! # Validation ([`validate`])
+//!
+//! [`validate::correlation_study`] reproduces the paper's §3.1 check: the
+//! corelet and the software model ([`pcnn_hog::NApproxHog`]) are run over
+//! randomly generated cell patches at the same quantization width and
+//! their histogram outputs correlated — the paper reports ≥ 99.5 %.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod napprox;
+pub mod validate;
+pub mod window;
+
+pub use napprox::NApproxHogCorelet;
+pub use validate::{correlation_study, CorrelationReport};
+pub use window::NApproxWindowExtractor;

@@ -1,0 +1,342 @@
+//! The NApprox HoG cell module as simulated TrueNorth cores.
+
+use pcnn_hog::cell::{CELL_SIZE, PATCH_SIZE};
+use pcnn_hog::napprox::NApproxHog;
+use pcnn_hog::quantize::Quantization;
+use pcnn_truenorth::{
+    CoreHandle, NeuroCoreBuilder, NeuronConfig, RateCode, ResetMode, SpikeCode, SpikeTarget,
+    System,
+};
+use pcnn_vision::GrayImage;
+
+/// Number of direction bins.
+const BINS: usize = 18;
+/// Linear-threshold neurons per (pixel, bin): prev-diff, next-diff, magnitude.
+const TESTS: usize = 3;
+/// Large decision-kick constant added by the "go" axon.
+const GO_KICK: i32 = 1 << 22;
+/// Cell pixels served by one stage-1 core (54 neurons each → 216 ≤ 256).
+const PIXELS_PER_CORE: usize = 4;
+/// AND neurons per stage-2 core (3 axons each → 255 ≤ 256).
+const ANDS_PER_CORE: usize = 85;
+
+/// Where one patch pixel's spike train must be injected.
+#[derive(Debug, Clone, Copy)]
+struct InjectionPoint {
+    core: CoreHandle,
+    axon: u16,
+    /// `true` when the axon expects the complement train (W/S roles).
+    complement: bool,
+}
+
+/// The NApprox HoG cell module, compiled onto simulator cores.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_corelets::NApproxHogCorelet;
+/// use pcnn_vision::GrayImage;
+///
+/// let mut module = NApproxHogCorelet::new(64);
+/// let patch = GrayImage::from_fn(10, 10, |x, _| x as f32 / 10.0);
+/// let hist = module.extract(&patch);
+/// assert_eq!(hist.len(), 18);
+/// // A pure x-ramp votes all 64 cell pixels into one direction bin.
+/// assert_eq!(hist.iter().sum::<f32>(), 64.0);
+/// ```
+#[derive(Debug)]
+pub struct NApproxHogCorelet {
+    system: System,
+    /// Per patch pixel (row-major 10×10): injection fan-out.
+    inject_map: Vec<Vec<InjectionPoint>>,
+    /// Go axon on every stage-1 core.
+    go_axons: Vec<(CoreHandle, u16)>,
+    window: u32,
+    quant: Quantization,
+    core_count: usize,
+}
+
+impl NApproxHogCorelet {
+    /// Builds the module for `spikes`-spike input coding (the paper uses
+    /// 64 = 6-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes == 0`.
+    pub fn new(spikes: u32) -> Self {
+        assert!(spikes > 0, "spike window must be positive");
+        let model = NApproxHog::quantized(spikes);
+        let q = model.quant.expect("quantized model");
+        let quant = q.input;
+        let table = model.weight_table(q.weight_scale);
+        let window = spikes;
+        // Integer vote threshold — identical formula to the software model.
+        let tau =
+            (model.vote_threshold * quant.levels() as f32 * q.weight_scale as f32).round() as i64;
+
+        // Cell pixels in row-major order; (x, y) are patch coordinates of
+        // the cell interior, 1..=8.
+        let cell_pixels: Vec<(usize, usize)> = (1..=CELL_SIZE)
+            .flat_map(|y| (1..=CELL_SIZE).map(move |x| (x, y)))
+            .collect();
+        let stage1_cores = cell_pixels.len().div_ceil(PIXELS_PER_CORE);
+        let n_votes = cell_pixels.len() * BINS;
+        let and_core_of = |vote: usize| CoreHandle::from_index((stage1_cores + vote / ANDS_PER_CORE) as u32);
+
+        let mut system = System::new();
+        let mut inject_map: Vec<Vec<InjectionPoint>> = vec![Vec::new(); PATCH_SIZE * PATCH_SIZE];
+        let mut go_axons = Vec::new();
+
+        // ---- Stage 1: linear-threshold cores ----
+        for (chunk_idx, chunk) in cell_pixels.chunks(PIXELS_PER_CORE).enumerate() {
+            let core = CoreHandle::from_index(chunk_idx as u32);
+            let mut b = NeuroCoreBuilder::new();
+            // Axon layout: 4 per pixel slot (E, W̄, N, S̄), then the go axon.
+            let go_axon = (4 * chunk.len()) as u16;
+            for slot in 0..chunk.len() {
+                b.set_axon_type(4 * slot, 0); // E  → LUT[0] = cos-term weight
+                b.set_axon_type(4 * slot + 1, 0); // W̄ → same LUT (complement coded)
+                b.set_axon_type(4 * slot + 2, 1); // N  → LUT[1] = sin-term weight
+                b.set_axon_type(4 * slot + 3, 1); // S̄ → same LUT
+            }
+            b.set_axon_type(go_axon as usize, 2);
+
+            for (slot, &(x, y)) in chunk.iter().enumerate() {
+                let pixel_index = chunk_idx * PIXELS_PER_CORE + slot;
+                let neighbours = [
+                    ((x + 1, y), 4 * slot, false),     // E
+                    ((x - 1, y), 4 * slot + 1, true),  // W (complement)
+                    ((x, y - 1), 4 * slot + 2, false), // N
+                    ((x, y + 1), 4 * slot + 3, true),  // S (complement)
+                ];
+                for ((px, py), axon, complement) in neighbours {
+                    inject_map[py * PATCH_SIZE + px].push(InjectionPoint {
+                        core,
+                        axon: axon as u16,
+                        complement,
+                    });
+                }
+                for bin in 0..BINS {
+                    let (c, s) = table[bin];
+                    let (cp, sp) = table[(bin + BINS - 1) % BINS];
+                    let (cn, sn) = table[(bin + 1) % BINS];
+                    // (cos weight, sin weight, extra margin) per test:
+                    //   IP_b − IP_{b−1} ≥ 0,  IP_b − IP_{b+1} > 0,  IP_b > τ.
+                    let tests: [(i32, i32, i64); TESTS] =
+                        [(c - cp, s - sp, 0), (c - cn, s - sn, 1), (c, s, tau + 1)];
+                    for (test, &(wc, ws, margin)) in tests.iter().enumerate() {
+                        let neuron = (slot * BINS + bin) * TESTS + test;
+                        // Complement coding shifts the accumulated sum by
+                        // window·(wc + ws); fold it into the threshold.
+                        let offset = i64::from(window) * i64::from(wc + ws);
+                        let threshold = i64::from(GO_KICK) + margin + offset;
+                        b.set_neuron(
+                            neuron,
+                            NeuronConfig {
+                                weights: [wc, ws, GO_KICK, 0],
+                                leak: 0,
+                                threshold: threshold.clamp(1, i64::from(i32::MAX)) as i32,
+                                floor: i32::MAX,
+                                reset: ResetMode::Zero,
+                                reset_value: 0,
+                                stochastic_mask: 0,
+                            },
+                        );
+                        for a in 0..4usize {
+                            b.connect(4 * slot + a, neuron);
+                        }
+                        b.connect(go_axon as usize, neuron);
+                        let vote = pixel_index * BINS + bin;
+                        let and_axon = ((vote % ANDS_PER_CORE) * TESTS + test) as u16;
+                        b.route_neuron(neuron, SpikeTarget::axon(and_core_of(vote), and_axon));
+                    }
+                }
+            }
+            go_axons.push((core, go_axon));
+            system.add_core(b.build());
+        }
+
+        // ---- Stage 2: AND cores (threshold 3) ----
+        let and_cores = n_votes.div_ceil(ANDS_PER_CORE);
+        let mut and_builders: Vec<NeuroCoreBuilder> =
+            (0..and_cores).map(|_| NeuroCoreBuilder::new()).collect();
+        for vote in 0..n_votes {
+            let ab = &mut and_builders[vote / ANDS_PER_CORE];
+            let and_neuron = vote % ANDS_PER_CORE;
+            let bin = vote % BINS;
+            for test in 0..TESTS {
+                let axon = and_neuron * TESTS + test;
+                ab.set_axon_type(axon, 0);
+                ab.connect(axon, and_neuron);
+            }
+            ab.set_neuron(
+                and_neuron,
+                NeuronConfig {
+                    weights: [1, 0, 0, 0],
+                    leak: 0,
+                    threshold: 3,
+                    floor: 4,
+                    reset: ResetMode::Zero,
+                    reset_value: 0,
+                    stochastic_mask: 0,
+                },
+            );
+            ab.route_neuron(and_neuron, SpikeTarget::output(bin as u32));
+        }
+        for ab in &and_builders {
+            system.add_core(ab.build());
+        }
+        let core_count = system.core_count();
+
+        NApproxHogCorelet {
+            system,
+            inject_map,
+            go_axons,
+            window,
+            quant,
+            core_count,
+        }
+    }
+
+    /// Cores the module occupies.
+    pub fn core_count(&self) -> usize {
+        self.core_count
+    }
+
+    /// The input coding window in ticks.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Ticks needed per cell decision (coding window + pipeline).
+    pub fn ticks_per_cell(&self) -> u32 {
+        self.window + 4
+    }
+
+    /// Cell throughput at the hardware's 1 kHz tick, in cells per second.
+    pub fn cells_per_second(&self) -> f64 {
+        1000.0 / f64::from(self.ticks_per_cell())
+    }
+
+    /// Activity counters accumulated over every extraction so far —
+    /// input to activity-based power estimation.
+    pub fn stats(&self) -> pcnn_truenorth::SystemStats {
+        self.system.stats()
+    }
+
+    /// Runs one 10×10 patch through the module and returns the 18-bin
+    /// count-voted histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch` is not 10×10.
+    pub fn extract(&mut self, patch: &GrayImage) -> Vec<f32> {
+        assert_eq!(
+            (patch.width(), patch.height()),
+            (PATCH_SIZE, PATCH_SIZE),
+            "NApprox corelet takes a 10x10 patch"
+        );
+        self.system.reset_state();
+        let code = RateCode::new(self.window);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        // Pre-quantize patch levels.
+        let values: Vec<f32> = (0..PATCH_SIZE * PATCH_SIZE)
+            .map(|i| {
+                let (x, y) = (i % PATCH_SIZE, i / PATCH_SIZE);
+                self.quant.quantize(patch.get(x, y))
+            })
+            .collect();
+        for t in 0..self.window {
+            for (i, &v) in values.iter().enumerate() {
+                let spike = code.spike_at(v, t, &mut rng);
+                for p in &self.inject_map[i] {
+                    let fire = if p.complement { !spike } else { spike };
+                    if fire {
+                        self.system.inject(p.core, p.axon);
+                    }
+                }
+            }
+            self.system.tick();
+        }
+        // Decision kick: go arrives next tick; stage 1 fires; the AND core
+        // integrates a tick later; outputs appear the same tick.
+        for &(core, axon) in &self.go_axons {
+            self.system.inject(core, axon);
+        }
+        for _ in 0..4 {
+            self.system.tick();
+        }
+        self.system
+            .drain_output_counts(BINS)
+            .into_iter()
+            .map(|c| c as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_hog::cell::CellExtractor;
+
+    #[test]
+    fn core_count_in_expected_range() {
+        let m = NApproxHogCorelet::new(64);
+        // 16 stage-1 cores + 14 AND cores = 30; the paper packs to 26.
+        assert_eq!(m.core_count(), 30);
+    }
+
+    #[test]
+    fn throughput_matches_paper_order() {
+        let m = NApproxHogCorelet::new(64);
+        // Paper: 15 cells/sec at 64-spike coding, 1 ms ticks.
+        let cps = m.cells_per_second();
+        assert!((cps - 15.0).abs() < 1.0, "cells/s = {cps}");
+    }
+
+    #[test]
+    fn ramp_patch_matches_software_model() {
+        let mut m = NApproxHogCorelet::new(64);
+        let sw = NApproxHog::quantized(64);
+        let patch = GrayImage::from_fn(10, 10, |x, _| x as f32 / 10.0);
+        let hw = m.extract(&patch);
+        let sw_hist = sw.cell_histogram(&patch);
+        assert_eq!(hw, sw_hist, "hw {hw:?} vs sw {sw_hist:?}");
+    }
+
+    #[test]
+    fn textured_patches_match_software_model() {
+        let mut m = NApproxHogCorelet::new(64);
+        let sw = NApproxHog::quantized(64);
+        for k in 0..4 {
+            let patch = GrayImage::from_fn(10, 10, |x, y| {
+                0.5 + 0.4 * ((x as f32 * (0.5 + 0.2 * k as f32)).sin() * (y as f32 * 0.8).cos())
+            });
+            let hw = m.extract(&patch);
+            let sw_hist = sw.cell_histogram(&patch);
+            let diff: f32 = hw.iter().zip(&sw_hist).map(|(a, b)| (a - b).abs()).sum();
+            let total: f32 = sw_hist.iter().sum();
+            assert!(
+                diff <= (total * 0.05).max(2.0),
+                "patch {k}: hw {hw:?} vs sw {sw_hist:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_patch_votes_nothing() {
+        let mut m = NApproxHogCorelet::new(64);
+        let hw = m.extract(&GrayImage::from_fn(10, 10, |_, _| 0.5));
+        assert!(hw.iter().all(|&v| v == 0.0), "hist {hw:?}");
+    }
+
+    #[test]
+    fn module_is_reusable() {
+        let mut m = NApproxHogCorelet::new(64);
+        let p1 = GrayImage::from_fn(10, 10, |x, _| x as f32 / 10.0);
+        let a = m.extract(&p1);
+        let _ = m.extract(&GrayImage::from_fn(10, 10, |_, y| y as f32 / 10.0));
+        let b = m.extract(&p1);
+        assert_eq!(a, b, "state must fully reset between patches");
+    }
+}

@@ -1,0 +1,102 @@
+//! A full 64×128 detection window extracted entirely on simulated
+//! hardware.
+//!
+//! A production deployment instantiates one NApprox cell module per cell
+//! stream and runs them in parallel; results are identical if a single
+//! module processes the window's 128 cells sequentially, which is what
+//! this wrapper does — it exists so the whole feature path of Figure 1's
+//! middle row ("NApprox HoG" on neuromorphic hardware) can be exercised
+//! end to end against the software model.
+
+use crate::napprox::NApproxHogCorelet;
+use pcnn_hog::block::{assemble_descriptor, BlockNorm};
+use pcnn_hog::cell::{cell_patch, CELL_SIZE};
+use pcnn_vision::{GrayImage, WINDOW_HEIGHT, WINDOW_WIDTH};
+
+/// Window-level NApprox extraction on the simulator.
+#[derive(Debug)]
+pub struct NApproxWindowExtractor {
+    module: NApproxHogCorelet,
+    norm: BlockNorm,
+}
+
+impl NApproxWindowExtractor {
+    /// A window extractor at `spikes`-spike coding with the given block
+    /// normalization (the neuromorphic pipeline elides normalization,
+    /// i.e. [`BlockNorm::None`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes == 0`.
+    pub fn new(spikes: u32, norm: BlockNorm) -> Self {
+        NApproxWindowExtractor { module: NApproxHogCorelet::new(spikes), norm }
+    }
+
+    /// Cores one *parallel* deployment of this window extractor would
+    /// occupy (one module per cell).
+    pub fn parallel_core_count(&self) -> usize {
+        self.module.core_count() * (WINDOW_WIDTH / CELL_SIZE) * (WINDOW_HEIGHT / CELL_SIZE)
+    }
+
+    /// Simulator ticks consumed per window when cells stream through one
+    /// module sequentially.
+    pub fn ticks_per_window(&self) -> u64 {
+        u64::from(self.module.ticks_per_cell())
+            * ((WINDOW_WIDTH / CELL_SIZE) * (WINDOW_HEIGHT / CELL_SIZE)) as u64
+    }
+
+    /// Extracts the descriptor of the window at `(x0, y0)` in `img`,
+    /// running every cell through the simulated module.
+    pub fn window_descriptor(&mut self, img: &GrayImage, x0: usize, y0: usize) -> Vec<f32> {
+        let cells_x = WINDOW_WIDTH / CELL_SIZE;
+        let cells_y = WINDOW_HEIGHT / CELL_SIZE;
+        let grid: Vec<Vec<Vec<f32>>> = (0..cells_y)
+            .map(|cy| {
+                (0..cells_x)
+                    .map(|cx| {
+                        let patch = cell_patch(img, x0, y0, cx, cy);
+                        self.module.extract(&patch)
+                    })
+                    .collect()
+            })
+            .collect();
+        assemble_descriptor(&grid, self.norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_hog::cell::CellExtractor;
+    use pcnn_hog::napprox::NApproxHog;
+    use pcnn_hog::quantize::pearson_correlation;
+
+    #[test]
+    fn hardware_window_matches_software_model() {
+        let mut hw = NApproxWindowExtractor::new(64, BlockNorm::None);
+        let img = GrayImage::from_fn(64, 128, |x, y| {
+            0.5 + 0.35 * ((x as f32 * 0.31).sin() * (y as f32 * 0.17).cos())
+        });
+        let hw_desc = hw.window_descriptor(&img, 0, 0);
+        // Software model, cell by cell, same decision circuit.
+        let sw = NApproxHog::quantized(64);
+        let mut sw_desc = Vec::new();
+        for cy in 0..16 {
+            for cx in 0..8 {
+                sw_desc.extend(sw.cell_histogram(&cell_patch(&img, 0, 0, cx, cy)));
+            }
+        }
+        assert_eq!(hw_desc.len(), sw_desc.len());
+        let corr = pearson_correlation(&hw_desc, &sw_desc).unwrap();
+        assert!(corr > 0.995, "window-level hw/sw correlation {corr}");
+    }
+
+    #[test]
+    fn resource_accounting() {
+        let hw = NApproxWindowExtractor::new(64, BlockNorm::None);
+        // 128 cells × ~30 cores — the paper's parallel deployment costs
+        // 26 × 128 = 3328 cores for one window.
+        assert_eq!(hw.parallel_core_count(), 128 * 30);
+        assert_eq!(hw.ticks_per_window(), 128 * 68);
+    }
+}

@@ -1,0 +1,202 @@
+//! Activation layers: the spiking threshold, its rate-coded surrogate,
+//! and a plain ReLU baseline.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Eedn's spiking neuron activation: output 1 when the pre-activation is
+/// positive, else 0. "The derivative of this function is approximated for
+/// training" — here with the standard triangle surrogate
+/// `∂y/∂x ≈ max(0, 1 − |x|)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Threshold {
+    #[serde(skip)]
+    cached: Option<Tensor>,
+}
+
+impl Threshold {
+    /// A new threshold activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Threshold {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached = Some(input.clone());
+        }
+        let mut out = input.clone();
+        out.map_in_place(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached.as_ref().expect("backward without training forward");
+        assert_eq!(input.shape(), grad_out.shape(), "grad shape mismatch");
+        let mut grad_in = grad_out.clone();
+        for (g, &x) in grad_in.data_mut().iter_mut().zip(input.data()) {
+            *g *= (1.0 - x.abs()).max(0.0);
+        }
+        grad_in
+    }
+
+    fn step(&mut self, _lr: f32, _momentum: f32) {}
+
+    fn name(&self) -> &str {
+        "threshold"
+    }
+}
+
+/// Hard sigmoid: `clamp(x, 0, 1)`.
+///
+/// Under rate coding this is the *exact expected output rate* of a
+/// TrueNorth integrator neuron (linear reset, threshold folded into the
+/// layer's α scale): the neuron emits `clamp(w·x̄/T, 0, 1)` spikes per
+/// tick in steady state. Networks trained with this activation therefore
+/// deploy onto the simulator with matching semantics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HardSigmoid {
+    #[serde(skip)]
+    cached: Option<Tensor>,
+}
+
+impl HardSigmoid {
+    /// A new hard-sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for HardSigmoid {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached = Some(input.clone());
+        }
+        let mut out = input.clone();
+        out.map_in_place(|v| v.clamp(0.0, 1.0));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached.as_ref().expect("backward without training forward");
+        assert_eq!(input.shape(), grad_out.shape(), "grad shape mismatch");
+        let mut grad_in = grad_out.clone();
+        for (g, &x) in grad_in.data_mut().iter_mut().zip(input.data()) {
+            if !(0.0..=1.0).contains(&x) {
+                // Leaky surrogate: saturated units keep a trickle of
+                // gradient so they can re-enter the active band instead of
+                // dying. Forward semantics (the deployed rate) unchanged.
+                *g *= 0.1;
+            }
+        }
+        grad_in
+    }
+
+    fn step(&mut self, _lr: f32, _momentum: f32) {}
+
+    fn name(&self) -> &str {
+        "hard-sigmoid"
+    }
+}
+
+/// Plain ReLU, for float (non-neuromorphic) baselines.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    cached: Option<Tensor>,
+}
+
+impl Relu {
+    /// A new ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached = Some(input.clone());
+        }
+        let mut out = input.clone();
+        out.map_in_place(|v| v.max(0.0));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached.as_ref().expect("backward without training forward");
+        assert_eq!(input.shape(), grad_out.shape(), "grad shape mismatch");
+        let mut grad_in = grad_out.clone();
+        for (g, &x) in grad_in.data_mut().iter_mut().zip(input.data()) {
+            if x <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        grad_in
+    }
+
+    fn step(&mut self, _lr: f32, _momentum: f32) {}
+
+    fn name(&self) -> &str {
+        "relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(&[1, v.len()], v.to_vec())
+    }
+
+    #[test]
+    fn threshold_is_binary() {
+        let mut a = Threshold::new();
+        let y = a.forward(&t(&[-1.0, 0.0, 0.5, 2.0]), false);
+        assert_eq!(y.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn threshold_surrogate_gradient_window() {
+        let mut a = Threshold::new();
+        a.forward(&t(&[-2.0, -0.5, 0.0, 0.5, 2.0]), true);
+        let g = a.backward(&t(&[1.0; 5]));
+        assert_eq!(g.data(), &[0.0, 0.5, 1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn hard_sigmoid_clamps() {
+        let mut a = HardSigmoid::new();
+        let y = a.forward(&t(&[-0.5, 0.25, 0.75, 1.5]), false);
+        assert_eq!(y.data(), &[0.0, 0.25, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn hard_sigmoid_gradient_attenuates_saturation() {
+        // Leaky surrogate: full gradient in-band, 10% outside.
+        let mut a = HardSigmoid::new();
+        a.forward(&t(&[-0.5, 0.5, 1.5]), true);
+        let g = a.backward(&t(&[1.0, 1.0, 1.0]));
+        assert_eq!(g.data(), &[0.1, 1.0, 0.1]);
+    }
+
+    #[test]
+    fn relu_and_gradient() {
+        let mut a = Relu::new();
+        let y = a.forward(&t(&[-1.0, 2.0]), true);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let g = a.backward(&t(&[5.0, 5.0]));
+        assert_eq!(g.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without training forward")]
+    fn backward_requires_training_forward() {
+        let mut a = Relu::new();
+        a.forward(&t(&[1.0]), false);
+        a.backward(&t(&[1.0]));
+    }
+}

@@ -1,0 +1,177 @@
+//! Labelled datasets and seeded mini-batch iteration.
+
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An in-memory classification dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    xs: Vec<Vec<f32>>,
+    ys: Vec<usize>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Builds from parallel vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or examples are ragged.
+    pub fn from_parts(xs: Vec<Vec<f32>>, ys: Vec<usize>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "example/label count mismatch");
+        if let Some(first) = xs.first() {
+            let d = first.len();
+            assert!(xs.iter().all(|x| x.len() == d), "ragged examples");
+        }
+        Dataset { xs, ys }
+    }
+
+    /// Appends one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionality differs from existing examples.
+    pub fn push(&mut self, x: Vec<f32>, y: usize) {
+        if let Some(first) = self.xs.first() {
+            assert_eq!(x.len(), first.len(), "dimensionality mismatch");
+        }
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Example dimensionality (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.xs.first().map_or(0, |x| x.len())
+    }
+
+    /// All examples as a rank-2 tensor plus labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn as_tensor(&self) -> (Tensor, Vec<usize>) {
+        (Tensor::from_rows(&self.xs), self.ys.clone())
+    }
+
+    /// The examples.
+    pub fn examples(&self) -> &[Vec<f32>] {
+        &self.xs
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.ys
+    }
+
+    /// Iterates seeded, shuffled mini-batches as `(tensor, labels)` pairs.
+    /// The final short batch is included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or the dataset is empty.
+    pub fn batches(&self, batch: usize, seed: u64) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(!self.is_empty(), "no data to batch");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut SmallRng::seed_from_u64(seed));
+        order
+            .chunks(batch)
+            .map(|chunk| {
+                let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| self.xs[i].clone()).collect();
+                let labels: Vec<usize> = chunk.iter().map(|&i| self.ys[i]).collect();
+                (Tensor::from_rows(&rows), labels)
+            })
+            .collect()
+    }
+
+    /// Splits into `(train, holdout)` with `holdout_fraction` of examples
+    /// (deterministically, by seeded shuffle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `(0, 1)`.
+    pub fn split(&self, holdout_fraction: f32, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            holdout_fraction > 0.0 && holdout_fraction < 1.0,
+            "holdout fraction must be in (0, 1)"
+        );
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut SmallRng::seed_from_u64(seed));
+        let n_holdout = ((self.len() as f32) * holdout_fraction).round() as usize;
+        let (hold, train) = order.split_at(n_holdout.min(self.len()));
+        let pick = |idx: &[usize]| {
+            Dataset::from_parts(
+                idx.iter().map(|&i| self.xs[i].clone()).collect(),
+                idx.iter().map(|&i| self.ys[i]).collect(),
+            )
+        };
+        (pick(train), pick(hold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(n: usize) -> Dataset {
+        Dataset::from_parts(
+            (0..n).map(|i| vec![i as f32, -(i as f32)]).collect(),
+            (0..n).map(|i| i % 3).collect(),
+        )
+    }
+
+    #[test]
+    fn batches_cover_all_examples_once() {
+        let d = ds(10);
+        let bs = d.batches(3, 42);
+        assert_eq!(bs.len(), 4); // 3+3+3+1
+        let total: usize = bs.iter().map(|(t, _)| t.shape()[0]).sum();
+        assert_eq!(total, 10);
+        let mut seen: Vec<f32> = bs.iter().flat_map(|(t, _)| t.data().iter().step_by(2).copied()).collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_are_seed_deterministic() {
+        let d = ds(10);
+        let a = d.batches(4, 1);
+        let b = d.batches(4, 1);
+        assert_eq!(a.len(), b.len());
+        for ((ta, la), (tb, lb)) in a.iter().zip(&b) {
+            assert_eq!(ta, tb);
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = ds(20);
+        let (train, hold) = d.split(0.25, 7);
+        assert_eq!(hold.len(), 5);
+        assert_eq!(train.len(), 15);
+        assert_eq!(train.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        Dataset::from_parts(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+}

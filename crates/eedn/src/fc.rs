@@ -1,0 +1,435 @@
+//! Grouped fully-connected layers with optional trinary weights.
+//!
+//! A grouped linear layer splits its inputs and outputs into `groups`
+//! contiguous blocks and connects them block-diagonally, so each output
+//! only sees `in_dim / groups` inputs — the Eedn trick that makes every
+//! block fit a 256×256 crossbar. A per-output scale `α` (folded into the
+//! hardware neuron threshold at deployment) and bias restore dynamic
+//! range lost to the `{-1, 0, 1}` weight constraint:
+//!
+//! ```text
+//! y = α ⊙ (W⟨tri⟩ · x)_groupwise + b
+//! ```
+//!
+//! Gradients reach the shadow weights straight-through (the projection is
+//! treated as identity in the backward pass).
+
+use crate::init::trinary_uniform;
+use crate::optimizer::adam_update;
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use crate::trinary::{clip_shadow, trinarize};
+use serde::{Deserialize, Serialize};
+
+/// A grouped, optionally trinary, fully-connected layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupedLinear {
+    in_dim: usize,
+    out_dim: usize,
+    groups: usize,
+    trinary: bool,
+    /// Shadow weights, `[group][out_local][in_local]` flattened.
+    w: Vec<f32>,
+    alpha: Vec<f32>,
+    bias: Vec<f32>,
+    // Gradient accumulators and Adam moment buffers.
+    gw: Vec<f32>,
+    galpha: Vec<f32>,
+    gbias: Vec<f32>,
+    vw: Vec<f32>,
+    valpha: Vec<f32>,
+    vbias: Vec<f32>,
+    sw: Vec<f32>,
+    salpha: Vec<f32>,
+    sbias: Vec<f32>,
+    steps: u64,
+    // Training caches (not persisted).
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+    #[serde(skip)]
+    cached_pre_scale: Option<Tensor>,
+}
+
+impl GroupedLinear {
+    /// A new layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide both `in_dim` and `out_dim`, or
+    /// any dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, groups: usize, trinary: bool, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0 && groups > 0, "dimensions must be positive");
+        assert_eq!(in_dim % groups, 0, "groups must divide in_dim");
+        assert_eq!(out_dim % groups, 0, "groups must divide out_dim");
+        let in_g = in_dim / groups;
+        let n_w = groups * (out_dim / groups) * in_g;
+        let w = if trinary {
+            trinary_uniform(n_w, seed)
+        } else {
+            crate::init::he_uniform(n_w, in_g, seed)
+        };
+        // Alpha starts at 1/fan_in-ish so trinary sums land in O(1) range.
+        let alpha0 = if trinary { 1.0 / (in_g as f32).sqrt() } else { 1.0 };
+        GroupedLinear {
+            in_dim,
+            out_dim,
+            groups,
+            trinary,
+            w,
+            alpha: vec![alpha0; out_dim],
+            bias: vec![0.0; out_dim],
+            gw: vec![0.0; n_w],
+            galpha: vec![0.0; out_dim],
+            gbias: vec![0.0; out_dim],
+            vw: vec![0.0; n_w],
+            valpha: vec![0.0; out_dim],
+            vbias: vec![0.0; out_dim],
+            sw: vec![0.0; n_w],
+            salpha: vec![0.0; out_dim],
+            sbias: vec![0.0; out_dim],
+            steps: 0,
+            cached_input: None,
+            cached_pre_scale: None,
+        }
+    }
+
+    /// Sets every bias to `value` (builder style). Useful before
+    /// hard-sigmoid activations: a positive initial bias centers the
+    /// pre-activations inside the non-saturated band, where gradients
+    /// flow.
+    pub fn with_bias_init(mut self, value: f32) -> Self {
+        for b in &mut self.bias {
+            *b = value;
+        }
+        self
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Whether weights deploy as trinary.
+    pub fn is_trinary(&self) -> bool {
+        self.trinary
+    }
+
+    /// The deployed weight for `(group, out_local, in_local)` — trinary
+    /// projected when the layer is trinary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn deployed_weight(&self, group: usize, out_local: usize, in_local: usize) -> f32 {
+        let (in_g, out_g) = (self.in_dim / self.groups, self.out_dim / self.groups);
+        assert!(group < self.groups && out_local < out_g && in_local < in_g);
+        let raw = self.w[(group * out_g + out_local) * in_g + in_local];
+        if self.trinary {
+            trinarize(raw)
+        } else {
+            raw
+        }
+    }
+
+    /// The per-output scale vector `α`.
+    pub fn alpha(&self) -> &[f32] {
+        &self.alpha
+    }
+
+    /// The per-output bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    #[inline]
+    fn eff_w(&self, idx: usize) -> f32 {
+        if self.trinary {
+            trinarize(self.w[idx])
+        } else {
+            self.w[idx]
+        }
+    }
+}
+
+impl Layer for GroupedLinear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "GroupedLinear takes (batch, features)");
+        assert_eq!(input.shape()[1], self.in_dim, "input dim mismatch");
+        let batch = input.shape()[0];
+        let (in_g, out_g) = (self.in_dim / self.groups, self.out_dim / self.groups);
+        let mut pre = Tensor::zeros(&[batch, self.out_dim]);
+        for n in 0..batch {
+            let x = input.row(n);
+            for g in 0..self.groups {
+                for ol in 0..out_g {
+                    let o = g * out_g + ol;
+                    let wbase = (g * out_g + ol) * in_g;
+                    let mut acc = 0.0;
+                    for il in 0..in_g {
+                        acc += self.eff_w(wbase + il) * x[g * in_g + il];
+                    }
+                    *pre.at2_mut(n, o) = acc;
+                }
+            }
+        }
+        let mut out = Tensor::zeros(&[batch, self.out_dim]);
+        for n in 0..batch {
+            for o in 0..self.out_dim {
+                *out.at2_mut(n, o) = self.alpha[o] * pre.at2(n, o) + self.bias[o];
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+            self.cached_pre_scale = Some(pre);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward without training forward");
+        let pre = self.cached_pre_scale.as_ref().expect("missing pre-scale cache");
+        let batch = input.shape()[0];
+        assert_eq!(grad_out.shape(), &[batch, self.out_dim], "grad shape mismatch");
+        let (in_g, out_g) = (self.in_dim / self.groups, self.out_dim / self.groups);
+        let mut grad_in = Tensor::zeros(&[batch, self.in_dim]);
+        for n in 0..batch {
+            let x = input.row(n);
+            for g in 0..self.groups {
+                for ol in 0..out_g {
+                    let o = g * out_g + ol;
+                    let dy = grad_out.at2(n, o);
+                    if dy == 0.0 {
+                        continue;
+                    }
+                    self.galpha[o] += dy * pre.at2(n, o);
+                    self.gbias[o] += dy;
+                    let da = dy * self.alpha[o];
+                    let wbase = (g * out_g + ol) * in_g;
+                    for il in 0..in_g {
+                        // Straight-through: shadow gradient ignores the
+                        // trinary projection.
+                        self.gw[wbase + il] += da * x[g * in_g + il];
+                        *grad_in.at2_mut(n, g * in_g + il) += da * self.eff_w(wbase + il);
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn step(&mut self, lr: f32, momentum: f32) {
+        // Adam: `momentum` plays beta1; beta2/eps fixed. Per-parameter
+        // normalization is what lets shadow weights (whose raw gradients
+        // carry an O(alpha) factor), alpha and bias all train at the same
+        // effective rate.
+        self.steps += 1;
+        let t = self.steps;
+        let trinary = self.trinary;
+        adam_update(&mut self.w, &mut self.gw, &mut self.vw, &mut self.sw, lr, momentum, t);
+        if trinary {
+            for w in &mut self.w {
+                *w = clip_shadow(*w);
+            }
+        }
+        adam_update(
+            &mut self.alpha,
+            &mut self.galpha,
+            &mut self.valpha,
+            &mut self.salpha,
+            lr,
+            momentum,
+            t,
+        );
+        adam_update(
+            &mut self.bias,
+            &mut self.gbias,
+            &mut self.vbias,
+            &mut self.sbias,
+            lr,
+            momentum,
+            t,
+        );
+    }
+
+    fn name(&self) -> &str {
+        if self.trinary {
+            "grouped-linear-trinary"
+        } else {
+            "grouped-linear"
+        }
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.w.len() + self.alpha.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(trinary: bool) {
+        // Numeric gradient check on the float path; the trinary path uses
+        // STE so its analytic gradient intentionally differs from the true
+        // (zero a.e.) derivative — check only float here.
+        let mut layer = GroupedLinear::new(4, 2, 1, trinary, 3);
+        let x = Tensor::from_rows(&[vec![0.3, -0.2, 0.5, 0.1]]);
+        let loss = |l: &mut GroupedLinear, x: &Tensor| -> f32 {
+            let y = l.forward(x, false);
+            y.data().iter().map(|v| v * v).sum::<f32>() * 0.5
+        };
+        let y = layer.forward(&x, true);
+        let grad_out = y.clone(); // dL/dy = y for L = 0.5*||y||^2
+        let grad_in = layer.backward(&grad_out);
+
+        // Finite difference on the input.
+        let eps = 1e-3;
+        for j in 0..4 {
+            let mut xp = x.clone();
+            *xp.at2_mut(0, j) += eps;
+            let mut xm = x.clone();
+            *xm.at2_mut(0, j) -= eps;
+            let num = (loss(&mut layer, &xp) - loss(&mut layer, &xm)) / (2.0 * eps);
+            let ana = grad_in.at2(0, j);
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "input grad {j}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_float() {
+        finite_diff_check(false);
+    }
+
+    #[test]
+    fn trinary_forward_uses_projected_weights() {
+        let mut layer = GroupedLinear::new(2, 1, 1, true, 1);
+        // Force known shadows.
+        layer.w = vec![0.9, 0.1]; // deploys as [1, 0]
+        layer.alpha = vec![1.0];
+        layer.bias = vec![0.0];
+        let y = layer.forward(&Tensor::from_rows(&[vec![2.0, 100.0]]), false);
+        assert_eq!(y.at2(0, 0), 2.0, "the 0.1 shadow must deploy as 0");
+        assert_eq!(layer.deployed_weight(0, 0, 0), 1.0);
+        assert_eq!(layer.deployed_weight(0, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn grouping_is_block_diagonal() {
+        let mut layer = GroupedLinear::new(4, 2, 2, false, 5);
+        // Group 0: inputs 0..2 -> output 0; group 1: inputs 2..4 -> output 1.
+        let y_a = layer.forward(&Tensor::from_rows(&[vec![1.0, 1.0, 0.0, 0.0]]), false);
+        let y_b = layer.forward(&Tensor::from_rows(&[vec![1.0, 1.0, 9.0, -9.0]]), false);
+        assert!((y_a.at2(0, 0) - y_b.at2(0, 0)).abs() < 1e-6, "output 0 ignores group 1 inputs");
+        assert_ne!(y_a.at2(0, 1), y_b.at2(0, 1));
+    }
+
+    #[test]
+    fn learns_xor_like_float_task() {
+        // Two-layer float network reduces loss on a linearly separable task
+        // via this layer's gradients alone.
+        let mut l1 = GroupedLinear::new(2, 8, 1, false, 7);
+        let mut l2 = GroupedLinear::new(8, 1, 1, false, 8);
+        let xs = Tensor::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+            vec![0.0, -1.0],
+        ]);
+        let ys = [1.0f32, 1.0, -1.0, -1.0];
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..200 {
+            let h = l1.forward(&xs, true);
+            let mut hr = h.clone();
+            hr.map_in_place(|v| v.max(0.0));
+            let out = l2.forward(&hr, true);
+            let mut grad = Tensor::zeros(&[4, 1]);
+            let mut loss = 0.0;
+            for (n, &target) in ys.iter().enumerate() {
+                let d = out.at2(n, 0) - target;
+                loss += 0.5 * d * d;
+                *grad.at2_mut(n, 0) = d;
+            }
+            let gh = l2.backward(&grad);
+            let mut ghr = gh.clone();
+            for n in 0..4 {
+                for j in 0..8 {
+                    if h.at2(n, j) <= 0.0 {
+                        *ghr.at2_mut(n, j) = 0.0;
+                    }
+                }
+            }
+            l1.backward(&ghr);
+            l1.step(0.05, 0.9);
+            l2.step(0.05, 0.9);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.05,
+            "loss {first_loss:?} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn trinary_layer_trains_on_sign_task() {
+        // Even with trinary weights, alpha/bias plus STE shadows learn to
+        // separate a simple pattern.
+        let mut l = GroupedLinear::new(4, 1, 1, true, 9);
+        let xs = Tensor::from_rows(&[
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+        ]);
+        let ys = [1.0f32, -1.0];
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let out = l.forward(&xs, true);
+            let mut grad = Tensor::zeros(&[2, 1]);
+            let mut loss = 0.0;
+            for (n, &target) in ys.iter().enumerate() {
+                let d = out.at2(n, 0) - target;
+                loss += 0.5 * d * d;
+                *grad.at2_mut(n, 0) = d;
+            }
+            l.backward(&grad);
+            l.step(0.02, 0.9);
+            last = loss;
+        }
+        assert!(last < 0.05, "trinary loss {last}");
+        // Deployed weights are exactly in {-1, 0, 1}.
+        for il in 0..4 {
+            let w = l.deployed_weight(0, 0, il);
+            assert!(w == -1.0 || w == 0.0 || w == 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must divide")]
+    fn bad_grouping_rejected() {
+        GroupedLinear::new(5, 2, 2, false, 0);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut l = GroupedLinear::new(2, 2, 1, false, 11);
+        let x = Tensor::from_rows(&[vec![1.0, 2.0]]);
+        let y = l.forward(&x, true);
+        l.backward(&y);
+        l.step(0.1, 0.0);
+        assert!(l.gw.iter().all(|&g| g == 0.0));
+        assert!(l.gbias.iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! Seeded weight initialization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform He-style initialization: `U(-b, b)` with `b = √(2 / fan_in)`,
+/// clipped to the shadow range so trinary projection starts mixed.
+pub fn he_uniform(n: usize, fan_in: usize, seed: u64) -> Vec<f32> {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (2.0 / fan_in as f32).sqrt().min(1.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(-bound..=bound)).collect()
+}
+
+/// Uniform initialization over `(-b, b)` for shadow weights destined for
+/// trinary projection: a wide spread so a healthy fraction starts outside
+/// the zero band.
+pub fn trinary_uniform(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(-1.0..=1.0f32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trinary::density;
+
+    #[test]
+    fn he_bound_scales_with_fan_in() {
+        let w = he_uniform(1000, 800, 1);
+        let bound = (2.0f32 / 800.0).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= bound + 1e-6));
+        assert!(w.iter().any(|&v| v.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(he_uniform(10, 4, 7), he_uniform(10, 4, 7));
+        assert_ne!(he_uniform(10, 4, 7), he_uniform(10, 4, 8));
+    }
+
+    #[test]
+    fn trinary_init_is_mixed() {
+        let w = trinary_uniform(1000, 2);
+        let d = density(&w);
+        assert!(d > 0.3 && d < 0.7, "initial trinary density {d}");
+    }
+}

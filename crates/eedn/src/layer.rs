@@ -1,0 +1,35 @@
+//! The layer trait all network building blocks implement.
+
+use crate::tensor::Tensor;
+
+/// One differentiable network stage.
+///
+/// Layers own their parameters, cached activations and gradient
+/// accumulators; the training loop drives them with
+/// `forward → backward → step`.
+pub trait Layer {
+    /// Computes the layer output. `train` enables caching needed by
+    /// [`backward`](Layer::backward); inference passes `false`.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_out` (∂loss/∂output), accumulating parameter
+    /// gradients and returning ∂loss/∂input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called without a preceding training-mode
+    /// forward pass.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Applies accumulated gradients with Adam (`momentum` supplies beta1) and clears them.
+    /// Layers without parameters do nothing.
+    fn step(&mut self, lr: f32, momentum: f32);
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Number of trainable parameters.
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}

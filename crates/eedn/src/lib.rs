@@ -1,0 +1,61 @@
+//! Eedn-style constrained network training.
+//!
+//! Eedn ("energy-efficient deep neuromorphic network", Esser et al. 2016)
+//! is the TrueNorth-specific CNN methodology the paper uses for both its
+//! classifiers and the Parrot feature extractor. Its defining constraints,
+//! all honoured here:
+//!
+//! * **Trinary deployment weights** — layers keep high-precision shadow
+//!   weights during training but run with weights projected onto
+//!   `{-1, 0, 1}`; gradients flow to the shadows straight-through
+//!   ([`trinary`]).
+//! * **Spiking neurons** — hardware neurons emit binary events; their
+//!   threshold activation has no usable derivative, so training uses a
+//!   surrogate. Two activations are provided: [`activation::Threshold`]
+//!   (binary with a straight-through triangle surrogate, Eedn's choice)
+//!   and [`activation::HardSigmoid`] (the exact *expected rate* of a
+//!   linear-reset integrator neuron under rate coding, used for networks
+//!   that are subsequently deployed onto the simulator).
+//! * **Crossbar-sized groups** — every layer partitions its filters into
+//!   groups whose fan-in and fan-out fit a 256×256 crossbar (with the
+//!   positive/negative axon-duplication factor), checked and costed by
+//!   [`mapping`].
+//!
+//! The framework itself is a minimal but complete backprop stack: tensors
+//! ([`tensor`]), grouped fully-connected and convolutional layers
+//! ([`fc`], [`conv`]), pooling ([`pool`]), fixed permutations for
+//! inter-group mixing ([`permute`]), losses ([`loss`]), SGD with momentum
+//! (inside each layer's [`layer::Layer::step`]), sequential
+//! composition and training loops ([`network`]), and batched datasets
+//! ([`data`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod conv;
+pub mod data;
+pub mod fc;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod mapping;
+pub mod network;
+pub mod optimizer;
+pub mod permute;
+pub mod pool;
+pub mod replicate;
+pub mod tensor;
+pub mod trinary;
+
+pub use activation::{HardSigmoid, Relu, Threshold};
+pub use conv::Conv2d;
+pub use data::Dataset;
+pub use fc::GroupedLinear;
+pub use layer::Layer;
+pub use loss::{mse_loss, softmax_cross_entropy};
+pub use mapping::{check_crossbar_fit, network_core_count, CoreCost};
+pub use network::Sequential;
+pub use pool::{AvgPool2, MaxPool2};
+pub use replicate::Replicate;
+pub use tensor::Tensor;

@@ -1,0 +1,164 @@
+//! Loss functions with analytic gradients.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy over rank-2 logits.
+///
+/// Returns `(mean loss, ∂loss/∂logits)`.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be (batch, classes)");
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), batch, "label count mismatch");
+    let mut grad = Tensor::zeros(&[batch, classes]);
+    let mut loss = 0.0f32;
+    for (n, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let row = logits.row(n);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        loss -= (exps[label] / z).max(1e-12).ln();
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / z;
+            *grad.at2_mut(n, c) = (p - if c == label { 1.0 } else { 0.0 }) / batch as f32;
+        }
+    }
+    (loss / batch as f32, grad)
+}
+
+/// Mean squared error against rank-2 targets.
+///
+/// Returns `(mean loss, ∂loss/∂pred)`.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let mut grad = pred.clone();
+    let mut loss = 0.0f32;
+    for (g, &t) in grad.data_mut().iter_mut().zip(target.data()) {
+        let d = *g - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Normalized cross-entropy between a predicted non-negative vector and a
+/// target non-negative vector, both renormalized to distributions — the
+/// "distribution of confidence scores matching the HoG histograms"
+/// objective the Parrot training cares about. Returns `(loss, ∂loss/∂pred)`.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch.
+pub fn distribution_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    // Implemented as MSE between L1-normalized rows: simple, smooth, and
+    // exactly what "the distribution matters more than the argmax" needs.
+    assert_eq!(pred.shape(), target.shape(), "distribution shape mismatch");
+    assert_eq!(pred.shape().len(), 2);
+    let (batch, dim) = (pred.shape()[0], pred.shape()[1]);
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut loss = 0.0f32;
+    for n in 0..batch {
+        let ps = pred.row(n);
+        let ts = target.row(n);
+        let psum: f32 = ps.iter().map(|v| v.max(0.0)).sum::<f32>() + 1e-6;
+        let tsum: f32 = ts.iter().map(|v| v.max(0.0)).sum::<f32>() + 1e-6;
+        for d in 0..dim {
+            let pn = ps[d].max(0.0) / psum;
+            let tn = ts[d].max(0.0) / tsum;
+            let diff = pn - tn;
+            loss += diff * diff;
+            // d(pn_d)/d(ps_j) = (delta_dj * psum - ps_d) / psum^2; the
+            // diagonal term dominates — use it (exact enough for SGD and
+            // keeps the loss O(dim) per row).
+            if ps[d] > 0.0 {
+                *grad.at2_mut(n, d) = 2.0 * diff * (psum - ps[d].max(0.0)) / (psum * psum)
+                    / batch as f32;
+            }
+        }
+    }
+    (loss / batch as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_perfect_prediction_low_loss() {
+        let logits = Tensor::from_rows(&[vec![10.0, -10.0], vec![-10.0, 10.0]]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6, "loss {loss}");
+        assert!(grad.data().iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn ce_uniform_logits_log_classes() {
+        let logits = Tensor::from_rows(&[vec![0.0; 4]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_gradient_points_downhill() {
+        let logits = Tensor::from_rows(&[vec![0.5, -0.5, 0.1]]);
+        let (l0, grad) = softmax_cross_entropy(&logits, &[1]);
+        let step = 0.1;
+        let moved = Tensor::from_rows(&[vec![
+            0.5 - step * grad.at2(0, 0),
+            -0.5 - step * grad.at2(0, 1),
+            0.1 - step * grad.at2(0, 2),
+        ]]);
+        let (l1, _) = softmax_cross_entropy(&moved, &[1]);
+        assert!(l1 < l0);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_rows(&[vec![1.0, 2.0]]);
+        let t = Tensor::from_rows(&[vec![0.0, 2.0]]);
+        let (loss, grad) = mse_loss(&p, &t);
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn distribution_loss_zero_for_proportional() {
+        // Scaled versions of the same histogram are the same distribution.
+        let p = Tensor::from_rows(&[vec![2.0, 4.0, 6.0]]);
+        let t = Tensor::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let (loss, _) = distribution_loss(&p, &t);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn distribution_loss_decreases_under_gradient() {
+        let mut p = Tensor::from_rows(&[vec![1.0, 1.0, 1.0]]);
+        let t = Tensor::from_rows(&[vec![3.0, 1.0, 0.5]]);
+        let (mut prev, _) = distribution_loss(&p, &t);
+        for _ in 0..50 {
+            let (l, g) = distribution_loss(&p, &t);
+            for (pv, gv) in p.data_mut().iter_mut().zip(g.data()) {
+                *pv -= 2.0 * gv;
+            }
+            prev = l;
+        }
+        let (fin, _) = distribution_loss(&p, &t);
+        assert!(fin <= prev);
+        assert!(fin < 0.02, "final distribution loss {fin}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_rejected() {
+        softmax_cross_entropy(&Tensor::from_rows(&[vec![0.0, 0.0]]), &[2]);
+    }
+}

@@ -1,0 +1,676 @@
+//! Mapping trained networks onto neurosynaptic cores.
+//!
+//! Three jobs:
+//!
+//! 1. **Fit checking** — verify that a layer's groups respect the
+//!    crossbar: trinary weights need a positive and a negative axon copy
+//!    per input, so a group may use at most 127 inputs (254 axons + 1
+//!    always-on bias axon) and 256 outputs.
+//! 2. **Core accounting** — the paper compares designs by core count
+//!    (2864-core classifier, 8 cores per parrot cell, 3888 combined);
+//!    [`network_core_count`] computes the same metric for our networks.
+//! 3. **Deployment** — [`deploy_mlp`] compiles a trained trinary MLP into
+//!    actual [`System`] cores. Weights `{-1,0,1}` become crossbar
+//!    connections on the ± axon copies, the learned per-output scale `α`
+//!    becomes the neuron threshold `T = round(1/α)`, the bias becomes a
+//!    per-neuron LUT entry on a shared always-spiking bias axon, and
+//!    linear-reset integrator neurons make the output *rate* equal the
+//!    trained hard-sigmoid activation in expectation.
+
+use crate::fc::GroupedLinear;
+use crate::tensor::Tensor;
+use pcnn_truenorth::{
+    NeuroCoreBuilder, NeuronConfig, RateCode, ResetMode, SpikeCode, SpikeTarget, System,
+    TrueNorthError,
+};
+
+/// Maximum inputs per deployed group (254 signed axon pairs + bias axon).
+pub const MAX_GROUP_INPUTS: usize = 127;
+/// Maximum outputs per deployed group (neurons per core).
+pub const MAX_GROUP_OUTPUTS: usize = 256;
+
+/// Core-count summary of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreCost {
+    /// Cores the layer occupies.
+    pub cores: usize,
+    /// Axons in use on each core.
+    pub axons_used: usize,
+    /// Neurons in use on each core.
+    pub neurons_used: usize,
+}
+
+/// Checks that a grouped dense layer fits the crossbar constraints.
+///
+/// # Errors
+///
+/// [`TrueNorthError::CrossbarOverflow`] naming the violated limit.
+pub fn check_crossbar_fit(in_dim: usize, out_dim: usize, groups: usize) -> Result<CoreCost, TrueNorthError> {
+    let in_g = in_dim / groups;
+    let out_g = out_dim / groups;
+    if in_g > MAX_GROUP_INPUTS {
+        return Err(TrueNorthError::CrossbarOverflow {
+            what: format!("group fan-in of {in_dim}/{groups} layer"),
+            required: in_g,
+            limit: MAX_GROUP_INPUTS,
+        });
+    }
+    if out_g > MAX_GROUP_OUTPUTS {
+        return Err(TrueNorthError::CrossbarOverflow {
+            what: format!("group fan-out of {in_dim}/{groups} layer"),
+            required: out_g,
+            limit: MAX_GROUP_OUTPUTS,
+        });
+    }
+    Ok(CoreCost { cores: groups, axons_used: 2 * in_g + 1, neurons_used: out_g })
+}
+
+/// Core count of a convolutional layer mapped topographically: every
+/// output location needs physical neurons, `ceil(out_ch/groups × positions
+/// / 256)` cores per group, with the filter support `2·(in_ch/groups)·k²`
+/// bounded by the axon count.
+///
+/// # Errors
+///
+/// [`TrueNorthError::CrossbarOverflow`] when the filter support exceeds
+/// the crossbar.
+pub fn conv_core_cost(
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    groups: usize,
+    out_h: usize,
+    out_w: usize,
+) -> Result<usize, TrueNorthError> {
+    let icg = in_ch / groups;
+    let ocg = out_ch / groups;
+    let support = 2 * icg * k * k + 1;
+    if support > 256 {
+        return Err(TrueNorthError::CrossbarOverflow {
+            what: format!("conv filter support (in {in_ch}/{groups} groups, k={k})"),
+            required: support,
+            limit: 256,
+        });
+    }
+    let neurons = ocg * out_h * out_w;
+    Ok(groups * neurons.div_ceil(256))
+}
+
+/// Total cores for a stack of dense layer shapes `(in, out, groups)`.
+///
+/// # Errors
+///
+/// Propagates the first fit failure.
+pub fn network_core_count(layers: &[(usize, usize, usize)]) -> Result<usize, TrueNorthError> {
+    let mut total = 0;
+    for &(i, o, g) in layers {
+        total += check_crossbar_fit(i, o, g)?.cores;
+    }
+    Ok(total)
+}
+
+/// One deployable group: the trinary weights, threshold scale and bias of
+/// `out_local` neurons reading `in_local` inputs.
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// First input index (within the layer) of this group.
+    pub in_offset: usize,
+    /// First output index of this group.
+    pub out_offset: usize,
+    /// Trinary weights `[out_local][in_local]`.
+    pub weights: Vec<Vec<f32>>,
+    /// Per-output scale (to become thresholds).
+    pub alpha: Vec<f32>,
+    /// Per-output bias.
+    pub bias: Vec<f32>,
+}
+
+/// One deployable dense layer.
+#[derive(Debug, Clone)]
+pub struct DenseSpec {
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Output dimensionality.
+    pub out_dim: usize,
+    /// The layer's groups.
+    pub groups: Vec<GroupSpec>,
+    /// Permutation applied to this layer's *input* (`input[perm[i]]` feeds
+    /// line `i`); identity when `None`.
+    pub input_perm: Option<Vec<usize>>,
+}
+
+/// Extracts the deployable spec of a trained [`GroupedLinear`].
+///
+/// # Panics
+///
+/// Panics if the layer is not trinary — float layers have no hardware
+/// realization.
+pub fn linear_to_spec(layer: &GroupedLinear) -> DenseSpec {
+    assert!(layer.is_trinary(), "only trinary layers deploy to hardware");
+    let groups = layer.groups();
+    let in_g = layer.in_dim() / groups;
+    let out_g = layer.out_dim() / groups;
+    let mut specs = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let mut weights: Vec<Vec<f32>> = (0..out_g)
+            .map(|ol| (0..in_g).map(|il| layer.deployed_weight(g, ol, il)).collect())
+            .collect();
+        let mut alpha = layer.alpha()[g * out_g..(g + 1) * out_g].to_vec();
+        // A hardware threshold is positive, so a negative trained scale
+        // has no direct realization; fold its sign into the (symmetric)
+        // trinary weight set: alpha·(w·x) = (−alpha)·((−w)·x).
+        for (ol, a) in alpha.iter_mut().enumerate() {
+            if *a < 0.0 {
+                *a = -*a;
+                for w in &mut weights[ol] {
+                    *w = -*w;
+                }
+            }
+        }
+        specs.push(GroupSpec {
+            in_offset: g * in_g,
+            out_offset: g * out_g,
+            weights,
+            alpha,
+            bias: layer.bias()[g * out_g..(g + 1) * out_g].to_vec(),
+        });
+    }
+    DenseSpec {
+        in_dim: layer.in_dim(),
+        out_dim: layer.out_dim(),
+        groups: specs,
+        input_perm: None,
+    }
+}
+
+/// A trinary MLP compiled onto simulator cores.
+#[derive(Debug)]
+pub struct DeployedMlp {
+    system: System,
+    /// `(core handle index, axon pair base)` for each network input line.
+    input_lines: Vec<Vec<(u32, u16)>>,
+    /// Bias axon of every core: (core index, axon).
+    bias_axons: Vec<(u32, u16)>,
+    out_dim: usize,
+    layers: usize,
+}
+
+/// The axon index carrying the always-on bias input.
+const BIAS_AXON: u16 = 255;
+/// Axon type for positive input copies.
+const POS_TYPE: u8 = 0;
+/// Axon type for negative input copies.
+const NEG_TYPE: u8 = 1;
+/// Axon type for the bias axon.
+const BIAS_TYPE: u8 = 2;
+
+impl DeployedMlp {
+    /// Number of cores the deployment occupies.
+    pub fn core_count(&self) -> usize {
+        self.system.core_count()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Activity counters accumulated over every inference so far —
+    /// input to activity-based power estimation.
+    pub fn stats(&self) -> pcnn_truenorth::SystemStats {
+        self.system.stats()
+    }
+
+    /// Runs one input through the deployed network under rate coding.
+    ///
+    /// The input is presented for `window` ticks (plus pipeline warm-up);
+    /// the returned vector is each output's spike count divided by
+    /// `window` — the decoded rate, comparable to the trained network's
+    /// hard-sigmoid activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality or `window == 0`.
+    pub fn infer(&mut self, x: &[f32], window: u32) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_lines.len(), "input dimensionality mismatch");
+        assert!(window > 0, "window must be positive");
+        let code = RateCode::new(window);
+        // Pipeline latency: one tick per layer plus injection latency.
+        let warmup = self.layers as u64 + 1;
+        let total = u64::from(window) + warmup;
+        self.system.reset_state();
+        let start = self.system.now();
+        let mut rng = rand::SeedableRng::seed_from_u64(7);
+        for t in 0..total {
+            // Inputs keep streaming (periodic continuation of the code).
+            for (i, &v) in x.iter().enumerate() {
+                if code.spike_at(v, (t % u64::from(window)) as u32, &mut rng) {
+                    for &(core, axon_base) in &self.input_lines[i] {
+                        let sign_axon = axon_base; // positive copy
+                        self.system
+                            .inject(pcnn_truenorth::CoreHandle::from_index(core), sign_axon);
+                        self.system
+                            .inject(pcnn_truenorth::CoreHandle::from_index(core), sign_axon + 1);
+                    }
+                }
+            }
+            for &(core, axon) in &self.bias_axons {
+                self.system.inject(pcnn_truenorth::CoreHandle::from_index(core), axon);
+            }
+            self.system.tick();
+        }
+        let counts: Vec<u32> = {
+            let mut c = vec![0u32; self.out_dim];
+            for (tick, pin) in self.system.drain_output_spikes() {
+                // Ignore warm-up transients.
+                if tick > start + warmup && (pin as usize) < self.out_dim {
+                    c[pin as usize] += 1;
+                }
+            }
+            c
+        };
+        counts.iter().map(|&c| (c as f32 / window as f32).min(1.0)).collect()
+    }
+}
+
+/// Compiles a stack of trinary dense layers (with hard-sigmoid semantics
+/// between them) into simulator cores.
+///
+/// # Errors
+///
+/// [`TrueNorthError::CrossbarOverflow`] when a group exceeds
+/// [`MAX_GROUP_INPUTS`]/[`MAX_GROUP_OUTPUTS`].
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or adjacent dimensions mismatch.
+pub fn deploy_mlp(specs: &[DenseSpec]) -> Result<DeployedMlp, TrueNorthError> {
+    assert!(!specs.is_empty(), "no layers to deploy");
+    for pair in specs.windows(2) {
+        assert_eq!(pair[0].out_dim, pair[1].in_dim, "layer dimension mismatch");
+    }
+    let mut system = System::new();
+    let mut bias_axons = Vec::new();
+
+    // First pass: create cores layer by layer, remembering (core, axon
+    // base) for every input line of every layer.
+    // layer_inputs[l][i] = list of (core idx, axon base) fed by line i of
+    // layer l's input.
+    let mut layer_inputs: Vec<Vec<Vec<(u32, u16)>>> = Vec::with_capacity(specs.len());
+    // neuron_of[l][o] = (core idx, neuron idx) producing output o of layer l.
+    let mut neuron_of: Vec<Vec<(u32, u16)>> = Vec::with_capacity(specs.len());
+
+    let mut builders: Vec<NeuroCoreBuilder> = Vec::new();
+
+    for (li, spec) in specs.iter().enumerate() {
+        // Interior layers feed another crossbar: every value must reach
+        // both the positive and the negative axon copy downstream, and a
+        // hardware neuron has exactly one route — so interior outputs are
+        // physically *duplicated* (a pos-routed and a neg-routed twin),
+        // halving the per-core output capacity.
+        let interior = li + 1 < specs.len();
+        let out_limit = if interior { MAX_GROUP_OUTPUTS / 2 } else { MAX_GROUP_OUTPUTS };
+        let mut inputs: Vec<Vec<(u32, u16)>> = vec![Vec::new(); spec.in_dim];
+        let mut outputs: Vec<(u32, u16)> = vec![(0, 0); spec.out_dim];
+        for group in &spec.groups {
+            let in_g = group.weights.first().map_or(0, Vec::len);
+            let out_g = group.weights.len();
+            if in_g > MAX_GROUP_INPUTS {
+                return Err(TrueNorthError::CrossbarOverflow {
+                    what: "deployed group fan-in".to_owned(),
+                    required: in_g,
+                    limit: MAX_GROUP_INPUTS,
+                });
+            }
+            if out_g > out_limit {
+                return Err(TrueNorthError::CrossbarOverflow {
+                    what: if interior {
+                        "deployed interior group fan-out (pos/neg twins)".to_owned()
+                    } else {
+                        "deployed group fan-out".to_owned()
+                    },
+                    required: out_g,
+                    limit: out_limit,
+                });
+            }
+            let core_idx = builders.len() as u32;
+            let mut b = NeuroCoreBuilder::new();
+            // Axon types: even = positive copy, odd = negative copy.
+            for il in 0..in_g {
+                b.set_axon_type(2 * il, POS_TYPE);
+                b.set_axon_type(2 * il + 1, NEG_TYPE);
+            }
+            b.set_axon_type(BIAS_AXON as usize, BIAS_TYPE);
+            for (ol, row) in group.weights.iter().enumerate() {
+                let alpha = group.alpha[ol].max(0.0);
+                // Synaptic gain K spreads the threshold so alpha and bias
+                // quantize finely: rate = (K·(w·x) + round(bias·T)) / T
+                // with T = round(K/alpha) realizes hsig(alpha·(w·x)+bias).
+                // K starts at 16 (fine quantization within the 9-bit LUT
+                // range) but shrinks per neuron when a small alpha would
+                // push the bias LUT entry past ±255.
+                let mut gain = 16.0f32;
+                while gain > 1.0 {
+                    let t = if alpha > 1e-6 { (gain / alpha).round() } else { 1e6 };
+                    if (group.bias[ol] * t).abs() <= 255.0 {
+                        break;
+                    }
+                    gain /= 2.0;
+                }
+                let threshold = if alpha > 1e-6 {
+                    (gain / alpha).round().clamp(1.0, 1_000_000.0) as i32
+                } else {
+                    1_000_000
+                };
+                let bias_weight =
+                    (group.bias[ol] * threshold as f32).round().clamp(-255.0, 255.0) as i32;
+                let cfg = NeuronConfig {
+                    weights: [gain as i32, -(gain as i32), bias_weight, 0],
+                    leak: 0,
+                    threshold,
+                    // Saturate one threshold below zero: sustained negative
+                    // drive must not bank unbounded "debt", or the neuron
+                    // would under-fire long after its input turns positive
+                    // (the hard-sigmoid clamps at 0, not below).
+                    floor: threshold,
+                    reset: ResetMode::Linear,
+                    reset_value: 0,
+                    stochastic_mask: 0,
+                };
+                let copies: &[usize] = if interior { &[0, 1] } else { &[0] };
+                for &copy in copies {
+                    let neuron = if interior { 2 * ol + copy } else { ol };
+                    b.set_neuron(neuron, cfg.clone());
+                    if bias_weight != 0 {
+                        b.connect(BIAS_AXON as usize, neuron);
+                    }
+                    for (il, &w) in row.iter().enumerate() {
+                        if w > 0.5 {
+                            b.connect(2 * il, neuron);
+                        } else if w < -0.5 {
+                            b.connect(2 * il + 1, neuron);
+                        }
+                    }
+                }
+                let first = if interior { 2 * ol } else { ol };
+                outputs[group.out_offset + ol] = (core_idx, first as u16);
+            }
+            for il in 0..in_g {
+                let line = match &spec.input_perm {
+                    Some(p) => p[group.in_offset + il],
+                    None => group.in_offset + il,
+                };
+                inputs[line].push((core_idx, (2 * il) as u16));
+            }
+            bias_axons.push((core_idx, BIAS_AXON));
+            builders.push(b);
+        }
+        layer_inputs.push(inputs);
+        neuron_of.push(outputs);
+    }
+
+    // Second pass: wire layer l outputs to layer l+1 inputs. A neuron has
+    // exactly ONE route, so an interior value uses its pos/neg twins: the
+    // first copy feeds the destination's positive axon (weight +1
+    // synapses), the second its negative axon (weight −1 synapses).
+    // Fan-out to several destination cores would need splitter cores;
+    // block-diagonal groups guarantee a single destination.
+    for l in 0..specs.len() {
+        let final_layer = l + 1 == specs.len();
+        for (o, &(core, neuron)) in neuron_of[l].iter().enumerate() {
+            if final_layer {
+                builders[core as usize].route_neuron(neuron as usize, SpikeTarget::output(o as u32));
+                continue;
+            }
+            let dests = &layer_inputs[l + 1][o];
+            assert!(
+                dests.len() <= 1,
+                "output line {o} of layer {l} fans out to {} cores; \
+                 hardware neurons have a single route",
+                dests.len()
+            );
+            let (pos_target, neg_target) = match dests.first() {
+                Some(&(dc, da)) => (
+                    SpikeTarget::Axon {
+                        core: pcnn_truenorth::CoreHandle::from_index(dc),
+                        axon: da,
+                        delay: 1,
+                    },
+                    SpikeTarget::Axon {
+                        core: pcnn_truenorth::CoreHandle::from_index(dc),
+                        axon: da + 1,
+                        delay: 1,
+                    },
+                ),
+                // Dangling outputs (pruned lines) spike into the void.
+                None => (SpikeTarget::output(u32::MAX), SpikeTarget::output(u32::MAX)),
+            };
+            builders[core as usize].route_neuron(neuron as usize, pos_target);
+            builders[core as usize].route_neuron(neuron as usize + 1, neg_target);
+        }
+    }
+
+    for b in &builders {
+        system.add_core(b.build());
+    }
+    Ok(DeployedMlp {
+        system,
+        input_lines: layer_inputs.first().cloned().unwrap_or_default(),
+        bias_axons,
+        out_dim: specs.last().map_or(0, |s| s.out_dim),
+        layers: specs.len(),
+    })
+}
+
+/// Runs the software model of a spec stack (hard-sigmoid between layers,
+/// and at the output) — the reference the deployment is validated against.
+pub fn reference_forward(specs: &[DenseSpec], x: &[f32]) -> Vec<f32> {
+    let mut act = x.to_vec();
+    for spec in specs {
+        let input: Vec<f32> = match &spec.input_perm {
+            Some(p) => (0..spec.in_dim).map(|i| act[p[i]]).collect(),
+            None => act.clone(),
+        };
+        let mut out = vec![0.0f32; spec.out_dim];
+        for group in &spec.groups {
+            for (ol, row) in group.weights.iter().enumerate() {
+                let mut acc = 0.0;
+                for (il, &w) in row.iter().enumerate() {
+                    acc += w * input[group.in_offset + il];
+                }
+                out[group.out_offset + ol] =
+                    (group.alpha[ol] * acc + group.bias[ol]).clamp(0.0, 1.0);
+            }
+        }
+        act = out;
+    }
+    act
+}
+
+/// Validates a deployment against the software reference on a batch of
+/// inputs, returning the mean absolute rate error.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn validate_deployment(
+    specs: &[DenseSpec],
+    deployed: &mut DeployedMlp,
+    inputs: &Tensor,
+    window: u32,
+) -> f32 {
+    assert!(inputs.shape()[0] > 0, "no validation inputs");
+    let batch = inputs.shape()[0];
+    let mut err = 0.0f32;
+    let mut n = 0;
+    for i in 0..batch {
+        let x = inputs.row(i);
+        let hw = deployed.infer(x, window);
+        let sw = reference_forward(specs, x);
+        for (a, b) in hw.iter().zip(&sw) {
+            err += (a - b).abs();
+            n += 1;
+        }
+    }
+    err / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_check_limits() {
+        assert!(check_crossbar_fit(127, 256, 1).is_ok());
+        assert!(matches!(
+            check_crossbar_fit(128, 256, 1),
+            Err(TrueNorthError::CrossbarOverflow { .. })
+        ));
+        assert!(matches!(
+            check_crossbar_fit(64, 512, 1),
+            Err(TrueNorthError::CrossbarOverflow { .. })
+        ));
+        // Grouping fixes both.
+        let cost = check_crossbar_fit(256, 512, 4).unwrap();
+        assert_eq!(cost.cores, 4);
+        assert_eq!(cost.neurons_used, 128);
+    }
+
+    #[test]
+    fn conv_cost_counts_positions() {
+        // 8 output channels over 10x10 positions = 800 neurons -> 4 cores.
+        assert_eq!(conv_core_cost(4, 8, 3, 1, 10, 10).unwrap(), 4);
+        // Too-large support fails.
+        assert!(conv_core_cost(32, 8, 3, 1, 10, 10).is_err());
+    }
+
+    #[test]
+    fn network_count_sums() {
+        let n = network_core_count(&[(100, 256, 1), (256, 256, 4), (252, 18, 2)]).unwrap();
+        assert_eq!(n, 7);
+    }
+
+    fn hand_spec() -> DenseSpec {
+        // 2 inputs -> 2 outputs: y0 = hsig(0.5*(x0 - x1)), y1 = hsig(0.5*x1 + 0.25).
+        DenseSpec {
+            in_dim: 2,
+            out_dim: 2,
+            groups: vec![GroupSpec {
+                in_offset: 0,
+                out_offset: 0,
+                weights: vec![vec![1.0, -1.0], vec![0.0, 1.0]],
+                alpha: vec![0.5, 0.5],
+                bias: vec![0.0, 0.25],
+            }],
+            input_perm: None,
+        }
+    }
+
+    #[test]
+    fn reference_forward_math() {
+        let spec = hand_spec();
+        let y = reference_forward(&[spec], &[1.0, 0.5]);
+        assert!((y[0] - 0.25).abs() < 1e-6);
+        assert!((y[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deployed_single_layer_matches_reference() {
+        let spec = hand_spec();
+        let mut dep = deploy_mlp(std::slice::from_ref(&spec)).unwrap();
+        assert_eq!(dep.core_count(), 1);
+        let y = dep.infer(&[1.0, 0.5], 64);
+        let r = reference_forward(std::slice::from_ref(&spec), &[1.0, 0.5]);
+        for (a, b) in y.iter().zip(&r) {
+            assert!((a - b).abs() < 0.1, "hw {a} vs sw {b}");
+        }
+    }
+
+    #[test]
+    fn deployed_two_layer_matches_reference() {
+        let l1 = DenseSpec {
+            in_dim: 2,
+            out_dim: 4,
+            groups: vec![GroupSpec {
+                in_offset: 0,
+                out_offset: 0,
+                weights: vec![
+                    vec![1.0, 0.0],
+                    vec![0.0, 1.0],
+                    vec![1.0, -1.0],
+                    vec![-1.0, 1.0],
+                ],
+                alpha: vec![0.5; 4],
+                bias: vec![0.0; 4],
+            }],
+            input_perm: None,
+        };
+        let l2 = DenseSpec {
+            in_dim: 4,
+            out_dim: 2,
+            groups: vec![GroupSpec {
+                in_offset: 0,
+                out_offset: 0,
+                weights: vec![vec![1.0, 1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0, 1.0]],
+                alpha: vec![0.5, 1.0],
+                bias: vec![0.1, 0.0],
+            }],
+            input_perm: None,
+        };
+        let specs = vec![l1, l2];
+        let mut dep = deploy_mlp(&specs).unwrap();
+        assert_eq!(dep.core_count(), 2);
+        for x in [[0.8f32, 0.2], [0.1, 0.9], [0.5, 0.5]] {
+            let hw = dep.infer(&x, 64);
+            let sw = reference_forward(&specs, &x);
+            for (a, b) in hw.iter().zip(&sw) {
+                assert!((a - b).abs() < 0.12, "x {x:?}: hw {a} vs sw {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn trained_layer_exports_spec() {
+        let layer = GroupedLinear::new(4, 2, 2, true, 3);
+        let spec = linear_to_spec(&layer);
+        assert_eq!(spec.groups.len(), 2);
+        assert_eq!(spec.groups[1].in_offset, 2);
+        assert_eq!(spec.groups[1].out_offset, 1);
+        for g in &spec.groups {
+            for row in &g.weights {
+                for &w in row {
+                    assert!(w == -1.0 || w == 0.0 || w == 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_group_rejected_at_deploy() {
+        let spec = DenseSpec {
+            in_dim: 200,
+            out_dim: 1,
+            groups: vec![GroupSpec {
+                in_offset: 0,
+                out_offset: 0,
+                weights: vec![vec![1.0; 200]],
+                alpha: vec![1.0],
+                bias: vec![0.0],
+            }],
+            input_perm: None,
+        };
+        assert!(matches!(
+            deploy_mlp(&[spec]),
+            Err(TrueNorthError::CrossbarOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_deployment_reports_small_error() {
+        let spec = hand_spec();
+        let mut dep = deploy_mlp(std::slice::from_ref(&spec)).unwrap();
+        let inputs = Tensor::from_rows(&[vec![0.9, 0.1], vec![0.3, 0.7], vec![0.5, 0.25]]);
+        let err = validate_deployment(std::slice::from_ref(&spec), &mut dep, &inputs, 64);
+        assert!(err < 0.08, "mean abs rate error {err}");
+    }
+}

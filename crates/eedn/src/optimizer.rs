@@ -1,0 +1,85 @@
+//! The Adam update rule shared by all parameterized layers.
+
+/// Exponential decay for the second moment.
+pub const BETA2: f32 = 0.999;
+/// Numerical floor inside the denominator.
+pub const EPS: f32 = 1e-8;
+
+/// One Adam step over a parameter slice.
+///
+/// `grads` are consumed (zeroed); `m`/`v` are the first/second moment
+/// buffers; `beta1` is the caller's momentum knob; `t ≥ 1` drives bias
+/// correction.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `t == 0`.
+pub fn adam_update(
+    params: &mut [f32],
+    grads: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    beta1: f32,
+    t: u64,
+) {
+    assert!(t >= 1, "adam step counter starts at 1");
+    assert!(
+        params.len() == grads.len() && params.len() == m.len() && params.len() == v.len(),
+        "adam buffer length mismatch"
+    );
+    let bc1 = 1.0 - beta1.powi(t.min(1_000_000) as i32);
+    let bc2 = 1.0 - BETA2.powi(t.min(1_000_000) as i32);
+    for i in 0..params.len() {
+        let g = grads[i];
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+        v[i] = BETA2 * v[i] + (1.0 - BETA2) * g * g;
+        let mhat = m[i] / bc1.max(EPS);
+        let vhat = v[i] / bc2.max(EPS);
+        params[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        grads[i] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descends_a_quadratic() {
+        // Minimize (x - 3)^2 from x = 0.
+        let mut x = [0.0f32];
+        let mut m = [0.0];
+        let mut v = [0.0];
+        for t in 1..=500 {
+            let mut g = [2.0 * (x[0] - 3.0)];
+            adam_update(&mut x, &mut g, &mut m, &mut v, 0.05, 0.9, t);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn normalizes_gradient_scale() {
+        // Two coordinates with gradients differing by 1000x move at
+        // comparable speeds — the property plain SGD lacks.
+        let mut x = [0.0f32, 0.0];
+        let mut m = [0.0; 2];
+        let mut v = [0.0; 2];
+        for t in 1..=20 {
+            let mut g = [1000.0 * (x[0] - 1.0), 0.001 * (x[1] - 1.0)];
+            adam_update(&mut x, &mut g, &mut m, &mut v, 0.05, 0.9, t);
+        }
+        assert!((x[0] - x[1]).abs() < 0.1, "x = {x:?}");
+        assert!(x[0] > 0.3);
+    }
+
+    #[test]
+    fn zeroes_gradients() {
+        let mut x = [1.0f32];
+        let mut g = [5.0];
+        let mut m = [0.0];
+        let mut v = [0.0];
+        adam_update(&mut x, &mut g, &mut m, &mut v, 0.01, 0.9, 1);
+        assert_eq!(g[0], 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fixed feature permutation between grouped layers.
+//!
+//! Stacked block-diagonal (grouped) layers never mix information across
+//! groups; a fixed, seeded permutation between them restores mixing while
+//! remaining free on hardware (it is just routing). This is the simulator
+//! analogue of Eedn's inter-layer core wiring.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A fixed permutation of rank-2 features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Permute {
+    perm: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+impl Permute {
+    /// A seeded random permutation of `dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn random(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "permutation over zero features");
+        let mut perm: Vec<usize> = (0..dim).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(seed));
+        Self::from_perm(perm)
+    }
+
+    /// Wraps an explicit permutation (`out[i] = in[perm[i]]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn from_perm(perm: Vec<usize>) -> Self {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut inverse = vec![0; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        Permute { perm, inverse }
+    }
+
+    /// The permutation table.
+    pub fn table(&self) -> &[usize] {
+        &self.perm
+    }
+}
+
+impl Layer for Permute {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Permute takes (batch, features)");
+        assert_eq!(input.shape()[1], self.perm.len(), "dimension mismatch");
+        let batch = input.shape()[0];
+        let mut out = Tensor::zeros(input.shape());
+        for n in 0..batch {
+            for (i, &p) in self.perm.iter().enumerate() {
+                *out.at2_mut(n, i) = input.at2(n, p);
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let batch = grad_out.shape()[0];
+        let mut grad_in = Tensor::zeros(grad_out.shape());
+        for n in 0..batch {
+            for (i, &inv) in self.inverse.iter().enumerate() {
+                *grad_in.at2_mut(n, i) = grad_out.at2(n, inv);
+            }
+        }
+        grad_in
+    }
+
+    fn step(&mut self, _lr: f32, _momentum: f32) {}
+
+    fn name(&self) -> &str {
+        "permute"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_applies_permutation() {
+        let mut p = Permute::from_perm(vec![2, 0, 1]);
+        let x = Tensor::from_rows(&[vec![10.0, 20.0, 30.0]]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[30.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn backward_is_inverse() {
+        let mut p = Permute::random(16, 3);
+        let x = Tensor::from_rows(&[(0..16).map(|i| i as f32).collect()]);
+        let y = p.forward(&x, true);
+        // Gradient of identity loss: backward(forward(x)) must restore order.
+        let g = p.backward(&y);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        assert_eq!(Permute::random(32, 5).table(), Permute::random(32, 5).table());
+        assert_ne!(Permute::random(32, 5).table(), Permute::random(32, 6).table());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invalid_permutation_rejected() {
+        Permute::from_perm(vec![0, 0, 1]);
+    }
+}

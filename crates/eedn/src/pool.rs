@@ -1,0 +1,201 @@
+//! Spatial pooling layers.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// 2×2 max pooling with stride 2.
+///
+/// Max pooling is cheap on TrueNorth — an OR across spikes — which is why
+/// the NApprox pipeline of Figure 1 uses it after the gradient stage.
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2 {
+    /// Cached argmax indices (flat, into the input) per output element.
+    argmax: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2 {
+    /// A new 2×2 max-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "MaxPool2 takes (batch, channels, h, w)");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (ho, wo) = (h / 2, w / 2);
+        assert!(ho > 0 && wo > 0, "input too small to pool");
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        let mut arg = Vec::with_capacity(n * c * ho * wo);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_flat = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let (iy, ix) = (oy * 2 + dy, ox * 2 + dx);
+                                let v = input.at4(ni, ci, iy, ix);
+                                if v > best {
+                                    best = v;
+                                    best_flat = ((ni * c + ci) * h + iy) * w + ix;
+                                }
+                            }
+                        }
+                        *out.at4_mut(ni, ci, oy, ox) = best;
+                        arg.push(best_flat);
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some((arg, input.shape().to_vec()));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (arg, in_shape) = self.argmax.as_ref().expect("backward without training forward");
+        assert_eq!(arg.len(), grad_out.len(), "grad shape mismatch");
+        let mut grad_in = Tensor::zeros(in_shape);
+        for (g, &flat) in grad_out.data().iter().zip(arg) {
+            grad_in.data_mut()[flat] += g;
+        }
+        grad_in
+    }
+
+    fn step(&mut self, _lr: f32, _momentum: f32) {}
+
+    fn name(&self) -> &str {
+        "maxpool2"
+    }
+}
+
+/// 2×2 average pooling with stride 2.
+#[derive(Debug, Clone, Default)]
+pub struct AvgPool2 {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2 {
+    /// A new 2×2 average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for AvgPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "AvgPool2 takes (batch, channels, h, w)");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (ho, wo) = (h / 2, w / 2);
+        assert!(ho > 0 && wo > 0, "input too small to pool");
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                acc += input.at4(ni, ci, oy * 2 + dy, ox * 2 + dx);
+                            }
+                        }
+                        *out.at4_mut(ni, ci, oy, ox) = acc / 4.0;
+                    }
+                }
+            }
+        }
+        if train {
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape = self.in_shape.as_ref().expect("backward without training forward");
+        let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let mut grad_in = Tensor::zeros(in_shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..h / 2 {
+                    for ox in 0..w / 2 {
+                        let g = grad_out.at4(ni, ci, oy, ox) / 4.0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                *grad_in.at4_mut(ni, ci, oy * 2 + dy, ox * 2 + dx) += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn step(&mut self, _lr: f32, _momentum: f32) {}
+
+    fn name(&self) -> &str {
+        "avgpool2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let mut p = MaxPool2::new();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 5.0);
+    }
+
+    #[test]
+    fn max_pool_gradient_routes_to_argmax() {
+        let mut p = MaxPool2::new();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]));
+        assert_eq!(g.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let mut p = AvgPool2::new();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data()[0], 3.0);
+    }
+
+    #[test]
+    fn avg_pool_gradient_spreads() {
+        let mut p = AvgPool2::new();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]);
+        p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![4.0]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn odd_sizes_truncate() {
+        let mut p = MaxPool2::new();
+        let x = Tensor::zeros(&[1, 1, 5, 7]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 3]);
+    }
+}

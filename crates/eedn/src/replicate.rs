@@ -1,0 +1,104 @@
+//! Input replication: tile a feature vector `n` times.
+//!
+//! TrueNorth's host interface (and on-chip splitter corelets) can deliver
+//! one input spike train to many cores at once, so a network's *first*
+//! layer may consist of several crossbars that each see the whole input.
+//! `Replicate` expresses that in the training graph: the input is tiled
+//! `copies` times so a following [`GroupedLinear`](crate::fc::GroupedLinear)
+//! with `groups = copies` gives every group full input visibility while
+//! still mapping one group per core.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Tiles rank-2 features `copies` times along the feature axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Replicate {
+    copies: usize,
+    in_dim: Option<usize>,
+}
+
+impl Replicate {
+    /// A replication layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn new(copies: usize) -> Self {
+        assert!(copies > 0, "need at least one copy");
+        Replicate { copies, in_dim: None }
+    }
+
+    /// Number of copies produced.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+}
+
+impl Layer for Replicate {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Replicate takes (batch, features)");
+        let (batch, d) = (input.shape()[0], input.shape()[1]);
+        self.in_dim = Some(d);
+        let mut out = Tensor::zeros(&[batch, d * self.copies]);
+        for n in 0..batch {
+            for c in 0..self.copies {
+                for j in 0..d {
+                    *out.at2_mut(n, c * d + j) = input.at2(n, j);
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let d = self.in_dim.expect("backward without forward");
+        let batch = grad_out.shape()[0];
+        assert_eq!(grad_out.shape()[1], d * self.copies, "grad shape mismatch");
+        let mut grad_in = Tensor::zeros(&[batch, d]);
+        for n in 0..batch {
+            for c in 0..self.copies {
+                for j in 0..d {
+                    *grad_in.at2_mut(n, j) += grad_out.at2(n, c * d + j);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn step(&mut self, _lr: f32, _momentum: f32) {}
+
+    fn name(&self) -> &str {
+        "replicate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_tiles() {
+        let mut r = Replicate::new(3);
+        let x = Tensor::from_rows(&[vec![1.0, 2.0]]);
+        let y = r.forward(&x, false);
+        assert_eq!(y.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_sums_copies() {
+        let mut r = Replicate::new(2);
+        let x = Tensor::from_rows(&[vec![1.0, 2.0]]);
+        r.forward(&x, true);
+        let g = r.backward(&Tensor::from_rows(&[vec![1.0, 10.0, 100.0, 1000.0]]));
+        assert_eq!(g.data(), &[101.0, 1010.0]);
+    }
+
+    #[test]
+    fn single_copy_is_identity() {
+        let mut r = Replicate::new(1);
+        let x = Tensor::from_rows(&[vec![3.0, 4.0, 5.0]]);
+        assert_eq!(r.forward(&x, false), x);
+    }
+}

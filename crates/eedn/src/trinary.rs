@@ -1,0 +1,89 @@
+//! Trinary weight projection.
+//!
+//! Eedn "maintains a high precision hidden value during training which is
+//! then mapped to one of the trinary weights (−1, 0, 1) during network
+//! operation". The projection is a deterministic round with a dead zone:
+//! shadows in `(-0.5, 0.5)` deploy as 0, otherwise as ±1. Shadows are
+//! clipped to `[-1, 1]` after every update so the projection stays
+//! responsive to gradient pressure in both directions.
+
+/// Shadow-weight clipping bound.
+pub const SHADOW_CLIP: f32 = 1.0;
+/// Dead-zone half-width: shadows below this magnitude deploy as zero.
+pub const ZERO_BAND: f32 = 0.5;
+
+/// Projects one shadow weight onto `{-1, 0, 1}`.
+#[inline]
+pub fn trinarize(shadow: f32) -> f32 {
+    if shadow >= ZERO_BAND {
+        1.0
+    } else if shadow <= -ZERO_BAND {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+/// Clips one shadow weight into `[-SHADOW_CLIP, SHADOW_CLIP]`.
+#[inline]
+pub fn clip_shadow(shadow: f32) -> f32 {
+    shadow.clamp(-SHADOW_CLIP, SHADOW_CLIP)
+}
+
+/// Projects a whole slice, writing the trinary values into `out`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn trinarize_into(shadows: &[f32], out: &mut [f32]) {
+    assert_eq!(shadows.len(), out.len(), "length mismatch");
+    for (o, &s) in out.iter_mut().zip(shadows) {
+        *o = trinarize(s);
+    }
+}
+
+/// Fraction of non-zero deployed weights — the connectivity density a
+/// crossbar would actually program.
+pub fn density(shadows: &[f32]) -> f32 {
+    if shadows.is_empty() {
+        return 0.0;
+    }
+    shadows.iter().filter(|&&s| trinarize(s) != 0.0).count() as f32 / shadows.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_values() {
+        assert_eq!(trinarize(0.9), 1.0);
+        assert_eq!(trinarize(0.5), 1.0);
+        assert_eq!(trinarize(0.49), 0.0);
+        assert_eq!(trinarize(0.0), 0.0);
+        assert_eq!(trinarize(-0.49), 0.0);
+        assert_eq!(trinarize(-0.5), -1.0);
+        assert_eq!(trinarize(-3.0), -1.0);
+    }
+
+    #[test]
+    fn clip_bounds() {
+        assert_eq!(clip_shadow(5.0), 1.0);
+        assert_eq!(clip_shadow(-5.0), -1.0);
+        assert_eq!(clip_shadow(0.3), 0.3);
+    }
+
+    #[test]
+    fn bulk_projection() {
+        let s = [0.7, -0.7, 0.1];
+        let mut out = [0.0; 3];
+        trinarize_into(&s, &mut out);
+        assert_eq!(out, [1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn density_counts_nonzero() {
+        assert_eq!(density(&[0.7, -0.7, 0.1, 0.2]), 0.5);
+        assert_eq!(density(&[]), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the training framework's invariants.
+
+use pcnn_eedn::activation::{HardSigmoid, Threshold};
+use pcnn_eedn::fc::GroupedLinear;
+use pcnn_eedn::layer::Layer;
+use pcnn_eedn::permute::Permute;
+use pcnn_eedn::tensor::Tensor;
+use pcnn_eedn::trinary::{clip_shadow, density, trinarize};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn trinarize_is_in_the_set(w in -5.0f32..5.0) {
+        let t = trinarize(w);
+        prop_assert!(t == -1.0 || t == 0.0 || t == 1.0);
+        // Sign is preserved outside the dead zone.
+        if w.abs() >= 0.5 {
+            prop_assert_eq!(t.signum(), w.signum());
+        }
+    }
+
+    #[test]
+    fn clip_is_idempotent(w in -10.0f32..10.0) {
+        let c = clip_shadow(w);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        prop_assert_eq!(clip_shadow(c), c);
+    }
+
+    #[test]
+    fn density_is_a_fraction(ws in prop::collection::vec(-2.0f32..2.0, 0..100)) {
+        let d = density(&ws);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn threshold_output_is_binary(vals in prop::collection::vec(-3.0f32..3.0, 1..64)) {
+        let n = vals.len();
+        let mut act = Threshold::new();
+        let y = act.forward(&Tensor::from_vec(&[1, n], vals), false);
+        prop_assert!(y.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn hard_sigmoid_output_in_unit_interval(vals in prop::collection::vec(-3.0f32..3.0, 1..64)) {
+        let n = vals.len();
+        let mut act = HardSigmoid::new();
+        let y = act.forward(&Tensor::from_vec(&[1, n], vals), false);
+        prop_assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn permute_backward_inverts_forward(dim in 1usize..64, seed in 0u64..100) {
+        let mut p = Permute::random(dim, seed);
+        let x = Tensor::from_rows(&[(0..dim).map(|i| i as f32).collect()]);
+        let y = p.forward(&x, true);
+        let back = p.backward(&y);
+        prop_assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn tensor_reshape_preserves_data(
+        data in prop::collection::vec(-10.0f32..10.0, 12),
+    ) {
+        let t = Tensor::from_vec(&[3, 4], data.clone());
+        let r = t.clone().reshape(&[2, 6]).reshape(&[12]).reshape(&[3, 4]);
+        prop_assert_eq!(r, t);
+    }
+
+    #[test]
+    fn deployed_weights_always_trinary(seed in 0u64..200) {
+        let layer = GroupedLinear::new(8, 4, 2, true, seed);
+        for g in 0..2 {
+            for o in 0..2 {
+                for i in 0..4 {
+                    let w = layer.deployed_weight(g, o, i);
+                    prop_assert!(w == -1.0 || w == 0.0 || w == 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_layer_is_affine(
+        a in prop::collection::vec(-1.0f32..1.0, 6),
+        b in prop::collection::vec(-1.0f32..1.0, 6),
+    ) {
+        // f(a) + f(b) - f(0) == f(a + b) for the (float) linear layer.
+        let mut layer = GroupedLinear::new(6, 3, 1, false, 7);
+        let f = |l: &mut GroupedLinear, v: &[f32]| -> Vec<f32> {
+            l.forward(&Tensor::from_rows(&[v.to_vec()]), false).data().to_vec()
+        };
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = f(&mut layer, &a);
+        let fb = f(&mut layer, &b);
+        let f0 = f(&mut layer, &[0.0; 6]);
+        let fsum = f(&mut layer, &sum);
+        for i in 0..3 {
+            prop_assert!((fa[i] + fb[i] - f0[i] - fsum[i]).abs() < 1e-4);
+        }
+    }
+}

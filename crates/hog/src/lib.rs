@@ -1,0 +1,47 @@
+//! Histogram-of-Oriented-Gradients feature extraction, in the three
+//! algorithmic flavours the paper compares:
+//!
+//! * [`traditional::TraditionalHog`] — the Dalal–Triggs
+//!   reference: 9 unsigned orientation bins, magnitude-weighted voting
+//!   with bilinear bin interpolation, floating point;
+//! * [`fpga::FpgaHog`] — the FPGA baseline of Advani et al.:
+//!   9 bins, weighted voting in magnitude, 16-bit fixed-point arithmetic
+//!   with hardware-style approximations (no divider, no square root);
+//! * [`napprox::NApproxHog`] — the neuromorphic approximation
+//!   of Table 1: gradient by pattern matching (±(-1 0 1) filters), angle
+//!   by comparison `argmax_θ (Ix·cosθ + Iy·sinθ)`, magnitude as that inner
+//!   product, and an 18-bin 0°–360° histogram **voted in counts**; both a
+//!   full-precision variant (`NApprox(fp)`) and a spike-quantized variant
+//!   matching the TrueNorth implementation.
+//!
+//! All three plug into the same window pipeline through the
+//! [`cell::CellExtractor`] trait: a cell is 8×8 pixels
+//! (computed from a 10×10 padded patch, because the centered derivative
+//! needs a 1-pixel border), a window is 64×128 pixels = 8×16 cells, and
+//! [`descriptor::HogDescriptor`] assembles per-cell histograms into window
+//! descriptors with optional 2×2-cell block contrast normalization
+//! ([`block`]). With 9 bins and L2 block normalization the descriptor is
+//! the classic 7×15×36 = 3780-dimensional vector; with 18 bins it is the
+//! paper's 7×15×18×4 = 7560-dimensional vector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod cell;
+pub mod descriptor;
+pub mod fpga;
+pub mod gradient;
+pub mod napprox;
+pub mod quantize;
+pub mod raw;
+pub mod traditional;
+
+pub use block::BlockNorm;
+pub use cell::{CellExtractor, CELL_SIZE, PATCH_SIZE};
+pub use descriptor::HogDescriptor;
+pub use fpga::FpgaHog;
+pub use napprox::NApproxHog;
+pub use quantize::Quantization;
+pub use raw::RawCells;
+pub use traditional::TraditionalHog;

@@ -1,0 +1,67 @@
+//! Raw-pixel "extractor" — the identity features of the Absorbed
+//! paradigm.
+//!
+//! The monolithic (absorbed) network of §3.3 consumes the window's raw
+//! pixels; no explicit feature semantics are imposed. Expressing that as
+//! a [`CellExtractor`] whose "histogram" is the cell's 64 raw pixel
+//! values lets the Absorbed system reuse the whole detection pipeline:
+//! a window descriptor under [`BlockNorm::None`](crate::BlockNorm::None)
+//! is exactly the window's 8192 pixels, ordered cell-block-major.
+
+use crate::cell::{check_patch, CellExtractor, CELL_SIZE};
+use pcnn_vision::GrayImage;
+use serde::{Deserialize, Serialize};
+
+/// The identity cell extractor: 64 raw pixel values per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RawCells;
+
+impl RawCells {
+    /// A new raw-pixel extractor.
+    pub fn new() -> Self {
+        RawCells
+    }
+}
+
+impl CellExtractor for RawCells {
+    fn bins(&self) -> usize {
+        CELL_SIZE * CELL_SIZE
+    }
+
+    fn cell_histogram(&self, patch: &GrayImage) -> Vec<f32> {
+        check_patch(patch);
+        let mut out = Vec::with_capacity(CELL_SIZE * CELL_SIZE);
+        for y in 1..=CELL_SIZE {
+            for x in 1..=CELL_SIZE {
+                out.push(patch.get(x, y));
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "raw-pixels"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_central_cell_pixels() {
+        let patch = GrayImage::from_fn(10, 10, |x, y| (y * 10 + x) as f32 / 100.0);
+        let h = RawCells::new().cell_histogram(&patch);
+        assert_eq!(h.len(), 64);
+        assert_eq!(h[0], 0.11); // patch (1,1)
+        assert_eq!(h[63], 0.88); // patch (8,8)
+    }
+
+    #[test]
+    fn window_descriptor_is_all_pixels() {
+        use crate::descriptor::HogDescriptor;
+        use crate::BlockNorm;
+        let hog = HogDescriptor::new(RawCells::new(), BlockNorm::None);
+        assert_eq!(hog.len(), 8192);
+    }
+}

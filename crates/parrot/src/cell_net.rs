@@ -1,0 +1,407 @@
+//! The 2-layer Eedn parrot network and its trainer.
+//!
+//! The paper: "We design another 2-layer Eedn classifier for the Parrot
+//! HoG feature extraction, using 8 cores for each cell of 8×8 pixels" and
+//! "the initial layer in the network needed to be provided with all
+//! inputs to the cell, or else it was difficult to train the response to
+//! cell-level, rather than local, gradient features."
+//!
+//! Accordingly [`ParrotNet`] is:
+//!
+//! * layer 1 — a *single-group* trinary dense layer over the whole 10×10
+//!   patch (every hidden unit sees all inputs), hard-sigmoid activation;
+//! * a fixed permutation, then layer 2 — a grouped trinary dense layer
+//!   producing the 18 orientation confidences, hard-sigmoid output (the
+//!   spike rate of each output neuron).
+//!
+//! Every constraint is deployment-faithful: after training,
+//! [`ParrotNet::to_specs`] hands the exact trinary weights, scales and
+//! biases to [`pcnn_eedn::mapping::deploy_mlp`], which compiles them onto
+//! simulated TrueNorth cores.
+
+use crate::traindata::{ParrotSample, TrainDataConfig, TrainDataGenerator};
+use pcnn_eedn::activation::HardSigmoid;
+use pcnn_eedn::fc::GroupedLinear;
+use pcnn_eedn::layer::Layer;
+use pcnn_eedn::loss::mse_loss;
+use pcnn_eedn::mapping::{linear_to_spec, DenseSpec};
+use pcnn_eedn::permute::Permute;
+use pcnn_eedn::replicate::Replicate;
+use pcnn_eedn::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Histogram counts are scaled to `[0, 1]` rates by this factor (64 cell
+/// pixels = the maximum count).
+pub const HISTOGRAM_SCALE: f32 = 64.0;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParrotTrainConfig {
+    /// First-layer core replicas: the 100 input lines fan out to this
+    /// many crossbars, each seeing the whole patch (the paper's multi-core
+    /// parrot cell module).
+    pub replicas: usize,
+    /// Hidden units in total (must divide by `replicas` with ≤ 256 per
+    /// replica, and by `l2_groups`).
+    pub hidden: usize,
+    /// Groups of the output layer (must divide 18 and `hidden`).
+    pub l2_groups: usize,
+    /// Training samples to generate.
+    pub samples: usize,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Seed for data, init and batching.
+    pub seed: u64,
+}
+
+impl Default for ParrotTrainConfig {
+    fn default() -> Self {
+        ParrotTrainConfig {
+            replicas: 4,
+            hidden: 504,
+            l2_groups: 6,
+            samples: 12000,
+            epochs: 50,
+            batch: 32,
+            lr: 0.002,
+            momentum: 0.9,
+            seed: 0xFA220,
+        }
+    }
+}
+
+impl ParrotTrainConfig {
+    /// A reduced configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        ParrotTrainConfig {
+            replicas: 2,
+            hidden: 144,
+            l2_groups: 2,
+            samples: 4000,
+            epochs: 25,
+            ..ParrotTrainConfig::default()
+        }
+    }
+}
+
+/// Training outcome summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParrotTrainReport {
+    /// Mean squared error on the held-out validation split, per output.
+    pub validation_mse: f32,
+    /// Fraction of validation samples whose predicted argmax bin matches
+    /// the label's argmax (only samples with meaningful gradient energy).
+    pub class_accuracy: f32,
+    /// Training samples used.
+    pub samples: usize,
+    /// TrueNorth cores the trained network deploys onto.
+    pub core_count: usize,
+}
+
+/// The trained 2-layer parrot network.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct ParrotNet {
+    replicate: Replicate,
+    l1: GroupedLinear,
+    act1: HardSigmoid,
+    perm: Permute,
+    l2: GroupedLinear,
+    act2: HardSigmoid,
+}
+
+impl std::fmt::Debug for ParrotNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParrotNet")
+            .field("in_dim", &self.l1.in_dim())
+            .field("hidden", &self.l1.out_dim())
+            .field("out_dim", &self.l2.out_dim())
+            .finish()
+    }
+}
+
+impl ParrotNet {
+    fn new(config: &ParrotTrainConfig, in_dim: usize, out_dim: usize) -> Self {
+        assert!(config.replicas > 0, "need at least one replica");
+        assert_eq!(config.hidden % config.replicas, 0, "replicas must divide hidden");
+        assert!(
+            config.hidden / config.replicas <= 128,
+            "each replica's hidden slice must fit one core (interior \
+             values deploy as pos/neg neuron twins, so 128 per core)"
+        );
+        assert_eq!(config.hidden % config.l2_groups, 0, "groups must divide hidden");
+        assert_eq!(out_dim % config.l2_groups, 0, "groups must divide outputs");
+        ParrotNet {
+            replicate: Replicate::new(config.replicas),
+            // Positive bias init keeps the hard-sigmoid units inside their
+            // gradient-carrying band at the start of training.
+            l1: GroupedLinear::new(
+                in_dim * config.replicas,
+                config.hidden,
+                config.replicas,
+                true,
+                config.seed ^ 0xA,
+            )
+            .with_bias_init(0.5),
+            act1: HardSigmoid::new(),
+            perm: Permute::random(config.hidden, config.seed ^ 0xB),
+            l2: GroupedLinear::new(config.hidden, out_dim, config.l2_groups, true, config.seed ^ 0xC)
+                .with_bias_init(0.25),
+            act2: HardSigmoid::new(),
+        }
+    }
+
+    /// Forward pass; output rates in `[0, 1]` per bin.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = self.replicate.forward(x, train);
+        let h = self.l1.forward(&h, train);
+        let h = self.act1.forward(&h, train);
+        let h = self.perm.forward(&h, train);
+        let y = self.l2.forward(&h, train);
+        self.act2.forward(&y, train)
+    }
+
+    fn backward_and_step(&mut self, grad: &Tensor, lr: f32, momentum: f32) {
+        let g = self.act2.backward(grad);
+        let g = self.l2.backward(&g);
+        let g = self.perm.backward(&g);
+        let g = self.act1.backward(&g);
+        let g = self.l1.backward(&g);
+        self.replicate.backward(&g);
+        self.l1.step(lr, momentum);
+        self.l2.step(lr, momentum);
+    }
+
+    /// Predicts the 18 output rates for one flattened 10×10 patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len()` is not the network input size.
+    pub fn predict_cell(&mut self, pixels: &[f32]) -> Vec<f32> {
+        let x = Tensor::from_rows(&[pixels.to_vec()]);
+        let y = self.forward(&x, false);
+        y.row(0).to_vec()
+    }
+
+    /// Input dimensionality (before replication).
+    pub fn in_dim(&self) -> usize {
+        self.l1.in_dim() / self.replicate.copies()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.l2.out_dim()
+    }
+
+    /// Exports the deployment specs (layer 2 carries the permutation as
+    /// its input wiring).
+    pub fn to_specs(&self) -> Vec<DenseSpec> {
+        let mut s1 = linear_to_spec(&self.l1);
+        // Replication is realized by host fan-out: every layer-1 group
+        // reads the same physical input lines, so fold the tiled input
+        // space back onto the real one.
+        let real_in = self.in_dim();
+        s1.in_dim = real_in;
+        for g in &mut s1.groups {
+            g.in_offset %= real_in;
+        }
+        let mut s2 = linear_to_spec(&self.l2);
+        s2.input_perm = Some(self.perm.table().to_vec());
+        vec![s1, s2]
+    }
+
+    /// TrueNorth cores the network deploys onto (one per layer-1 replica
+    /// plus one per layer-2 group).
+    pub fn core_count(&self) -> usize {
+        self.replicate.copies() + self.l2.groups()
+    }
+
+    /// Serializes the trained network to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serializer error (out-of-memory territory;
+    /// the network itself always serializes).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a network from [`to_json`](ParrotNet::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserialization error when the JSON does not describe a
+    /// parrot network.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Trains a parrot network on auto-generated labelled data.
+///
+/// Returns the trained network and a [`ParrotTrainReport`] from a 10 %
+/// held-out validation split.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (see [`ParrotNet`]
+/// constraints) or `samples < 10`.
+pub fn train_parrot(config: ParrotTrainConfig) -> (ParrotNet, ParrotTrainReport) {
+    assert!(config.samples >= 10, "need at least 10 samples");
+    let generator = TrainDataGenerator::new(TrainDataConfig {
+        seed: config.seed,
+        ..TrainDataConfig::default()
+    });
+    let samples = generator.samples(config.samples);
+    let n_val = (samples.len() / 10).max(1);
+    let (val, train) = samples.split_at(n_val);
+
+    let mut net = ParrotNet::new(&config, generator.input_dim(), generator.output_dim());
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xD);
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(config.batch) {
+            let xs: Vec<Vec<f32>> = chunk.iter().map(|&i| train[i].pixels.clone()).collect();
+            let ts: Vec<Vec<f32>> = chunk
+                .iter()
+                .map(|&i| train[i].histogram.iter().map(|&h| h / HISTOGRAM_SCALE).collect())
+                .collect();
+            let x = Tensor::from_rows(&xs);
+            let t = Tensor::from_rows(&ts);
+            let y = net.forward(&x, true);
+            let (_, grad) = mse_loss(&y, &t);
+            net.backward_and_step(&grad, config.lr, config.momentum);
+        }
+    }
+
+    let report = evaluate(&mut net, val, config.samples);
+    (net, report)
+}
+
+fn evaluate(net: &mut ParrotNet, val: &[ParrotSample], samples: usize) -> ParrotTrainReport {
+    let mut mse = 0.0f32;
+    let mut n_mse = 0usize;
+    let mut correct = 0usize;
+    let mut n_cls = 0usize;
+    for s in val {
+        let y = net.predict_cell(&s.pixels);
+        for (p, &h) in y.iter().zip(&s.histogram) {
+            let t = h / HISTOGRAM_SCALE;
+            mse += (p - t) * (p - t);
+            n_mse += 1;
+        }
+        // Class accuracy only means something when the patch has a
+        // dominant orientation.
+        if s.histogram.iter().sum::<f32>() > 8.0 {
+            let pred = y
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            // Adjacent-bin confusion is benign for histogram mimicry.
+            let d = (pred as i32 - s.class as i32).rem_euclid(18);
+            if d.min(18 - d) <= 1 {
+                correct += 1;
+            }
+            n_cls += 1;
+        }
+    }
+    ParrotTrainReport {
+        validation_mse: mse / n_mse.max(1) as f32,
+        class_accuracy: correct as f32 / n_cls.max(1) as f32,
+        samples,
+        core_count: net.core_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_parrot_learns_orientation_structure() {
+        let (mut net, report) = train_parrot(ParrotTrainConfig::tiny());
+        assert!(
+            report.class_accuracy > 0.5,
+            "argmax accuracy {} too low",
+            report.class_accuracy
+        );
+        assert!(report.validation_mse < 0.022, "mse {}", report.validation_mse);
+        // Outputs are rates.
+        let g = TrainDataGenerator::new(TrainDataConfig::default());
+        let y = net.predict_cell(&g.sample(3).pixels);
+        assert_eq!(y.len(), 18);
+        assert!(y.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn specs_are_deployable() {
+        let (net, _) = train_parrot(ParrotTrainConfig {
+            samples: 200,
+            epochs: 1,
+            ..ParrotTrainConfig::tiny()
+        });
+        let specs = net.to_specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].in_dim, 100);
+        assert_eq!(specs[1].out_dim, 18);
+        assert!(specs[1].input_perm.is_some());
+        let deployed = pcnn_eedn::mapping::deploy_mlp(&specs).unwrap();
+        assert_eq!(deployed.core_count(), net.core_count());
+    }
+
+    #[test]
+    fn deployed_parrot_matches_software_rates() {
+        // Train briefly, deploy, compare hardware rates to the software
+        // forward pass — the co-design contract of the whole crate.
+        let (net, _) = train_parrot(ParrotTrainConfig {
+            samples: 400,
+            epochs: 3,
+            ..ParrotTrainConfig::tiny()
+        });
+        let specs = net.to_specs();
+        let mut deployed = pcnn_eedn::mapping::deploy_mlp(&specs).unwrap();
+        let g = TrainDataGenerator::new(TrainDataConfig::default());
+        let mut worst = 0.0f32;
+        for i in 0..3 {
+            let s = g.sample(100 + i);
+            let hw = deployed.infer(&s.pixels, 64);
+            let sw = pcnn_eedn::mapping::reference_forward(&specs, &s.pixels);
+            for (a, b) in hw.iter().zip(&sw) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+        assert!(worst < 0.12, "worst hw/sw rate gap {worst}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let (mut net, _) = train_parrot(ParrotTrainConfig {
+            samples: 200,
+            epochs: 2,
+            ..ParrotTrainConfig::tiny()
+        });
+        let json = net.to_json().unwrap();
+        let mut restored = ParrotNet::from_json(&json).unwrap();
+        let g = TrainDataGenerator::new(TrainDataConfig::default());
+        let x = g.sample(42).pixels;
+        assert_eq!(net.predict_cell(&x), restored.predict_cell(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit one core")]
+    fn oversized_hidden_rejected() {
+        let cfg = ParrotTrainConfig { hidden: 300, samples: 20, epochs: 1, ..ParrotTrainConfig::tiny() };
+        train_parrot(cfg);
+    }
+}

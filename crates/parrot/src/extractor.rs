@@ -1,0 +1,143 @@
+//! The trained parrot as a drop-in cell extractor.
+
+use crate::cell_net::{ParrotNet, HISTOGRAM_SCALE};
+use crate::precision::stochastic_observe;
+use pcnn_hog::cell::{check_patch, CellExtractor};
+use pcnn_vision::GrayImage;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+
+/// Adapts a trained [`ParrotNet`] to the [`CellExtractor`] interface so
+/// the detection pipeline can swap Parrot for NApprox transparently.
+///
+/// Outputs are rescaled from rates back to count units (`rate × 64`) so
+/// downstream consumers see the same dynamic range as the reference HoG.
+///
+/// With [`with_stochastic_input`](ParrotExtractor::with_stochastic_input)
+/// the extractor models §5.2's stochastic coding: every pixel value is
+/// replaced by its observed spike rate over an `n`-spike Bernoulli
+/// window before reaching the network — the knob Figure 6 sweeps.
+#[derive(Debug)]
+pub struct ParrotExtractor {
+    // CellExtractor::cell_histogram takes &self; the network's forward
+    // pass caches internally and needs &mut. Single-threaded interior
+    // mutability keeps the trait object-safe and the pipeline unchanged.
+    net: RefCell<ParrotNet>,
+    stochastic: Option<RefCell<(u32, SmallRng)>>,
+}
+
+impl ParrotExtractor {
+    /// Wraps a trained network with noise-free inputs.
+    pub fn new(net: ParrotNet) -> Self {
+        ParrotExtractor { net: RefCell::new(net), stochastic: None }
+    }
+
+    /// Enables stochastic input coding at `spikes`-spike precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes == 0`.
+    pub fn with_stochastic_input(mut self, spikes: u32, seed: u64) -> Self {
+        assert!(spikes > 0, "stochastic window must be positive");
+        self.stochastic = Some(RefCell::new((spikes, SmallRng::seed_from_u64(seed))));
+        self
+    }
+
+    /// Cores per cell module when deployed.
+    pub fn core_count(&self) -> usize {
+        self.net.borrow().core_count()
+    }
+
+    /// The stochastic input window, if enabled.
+    pub fn stochastic_window(&self) -> Option<u32> {
+        self.stochastic.as_ref().map(|s| s.borrow().0)
+    }
+}
+
+impl CellExtractor for ParrotExtractor {
+    fn bins(&self) -> usize {
+        self.net.borrow_mut().out_dim()
+    }
+
+    fn cell_histogram(&self, patch: &GrayImage) -> Vec<f32> {
+        check_patch(patch);
+        let rates = match &self.stochastic {
+            None => self.net.borrow_mut().predict_cell(patch.pixels()),
+            Some(st) => {
+                let (window, ref mut rng) = *st.borrow_mut();
+                let noisy: Vec<f32> = patch
+                    .pixels()
+                    .iter()
+                    .map(|&v| stochastic_observe(v, window, rng))
+                    .collect();
+                self.net.borrow_mut().predict_cell(&noisy)
+            }
+        };
+        rates.into_iter().map(|r| r * HISTOGRAM_SCALE).collect()
+    }
+
+    fn name(&self) -> &str {
+        "parrot-hog"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell_net::{train_parrot, ParrotTrainConfig};
+    use pcnn_hog::napprox::NApproxHog;
+    use pcnn_hog::quantize::pearson_correlation;
+
+    #[test]
+    fn parrot_extractor_mimics_reference_features() {
+        let (net, _) = train_parrot(ParrotTrainConfig::tiny());
+        let parrot = ParrotExtractor::new(net);
+        let reference = NApproxHog::full_precision();
+        assert_eq!(parrot.bins(), 18);
+
+        // Correlate over oriented patches: the parrot's whole job.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for k in 0..24 {
+            let theta = k as f32 * 0.26;
+            let patch = GrayImage::from_fn(10, 10, |x, y| {
+                (0.5 + 0.05 * (theta.cos() * x as f32 - theta.sin() * y as f32)).clamp(0.0, 1.0)
+            });
+            a.extend(parrot.cell_histogram(&patch));
+            b.extend(reference.cell_histogram(&patch));
+        }
+        let r = pearson_correlation(&a, &b).unwrap();
+        assert!(r > 0.5, "parrot/reference correlation {r}");
+    }
+
+    #[test]
+    fn extractor_is_deterministic() {
+        let (net, _) = train_parrot(ParrotTrainConfig {
+            samples: 100,
+            epochs: 1,
+            ..ParrotTrainConfig::tiny()
+        });
+        let parrot = ParrotExtractor::new(net);
+        let patch = GrayImage::from_fn(10, 10, |x, _| x as f32 / 10.0);
+        assert_eq!(parrot.cell_histogram(&patch), parrot.cell_histogram(&patch));
+    }
+
+    #[test]
+    fn stochastic_input_perturbs_features() {
+        let (net, _) = train_parrot(ParrotTrainConfig {
+            samples: 100,
+            epochs: 1,
+            ..ParrotTrainConfig::tiny()
+        });
+        let parrot = ParrotExtractor::new(net).with_stochastic_input(1, 3);
+        assert_eq!(parrot.stochastic_window(), Some(1));
+        let patch = GrayImage::from_fn(10, 10, |x, y| ((x * y) % 9) as f32 / 9.0);
+        // Different draws on repeated calls: features vary under 1-spike
+        // coding (with overwhelming probability on a textured patch).
+        let a = parrot.cell_histogram(&patch);
+        let b = parrot.cell_histogram(&patch);
+        let c = parrot.cell_histogram(&patch);
+        assert!(a != b || b != c, "1-spike observation should be noisy");
+    }
+}

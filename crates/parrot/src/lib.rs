@@ -1,0 +1,32 @@
+//! Parrot-HoG: trained mimicry of the HoG feature extractor.
+//!
+//! Instead of programming HoG's operations out of neuromorphic intrinsics
+//! (the NApprox path), the Parrot approach *trains* a small Eedn network
+//! to behave like the feature extractor — Esmaeilzadeh et al.'s "parrot
+//! transformation" applied to HoG. Because HoG is a well-defined function
+//! of its input pixels, labelled training data can be generated
+//! automatically ([`traindata`], the paper's Figure 3): random oriented
+//! patterns spanning the 18 orientation classes with varying duty ratios
+//! and offsets, each labelled with its true HoG histogram.
+//!
+//! The per-cell network ([`cell_net`]) is the paper's 2-layer Eedn design:
+//! trinary weights, crossbar-sized groups, and hard-sigmoid (rate)
+//! activations so the trained network deploys exactly onto the simulator
+//! through [`pcnn_eedn::mapping::deploy_mlp`]. The trained extractor
+//! plugs into the detection pipeline as a
+//! [`CellExtractor`](pcnn_hog::cell::CellExtractor) ([`extractor`]), and
+//! [`precision`] sweeps the stochastic input coding from 32-spike down to
+//! 1-spike for the paper's Figure 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell_net;
+pub mod extractor;
+pub mod precision;
+pub mod traindata;
+
+pub use cell_net::{train_parrot, ParrotNet, ParrotTrainConfig, ParrotTrainReport};
+pub use extractor::ParrotExtractor;
+pub use precision::{precision_sweep, PrecisionPoint};
+pub use traindata::{ParrotSample, TrainDataConfig, TrainDataGenerator};

@@ -1,0 +1,144 @@
+//! Input-precision sweep under stochastic spike coding (Figure 6).
+//!
+//! §5.2: "we consider design options for the precision of the input
+//! representation from 32-spikes to 1-spike in stochastic coding
+//! representation." Each pixel's value becomes a Bernoulli spike train of
+//! `W` ticks; the parrot sees the *observed* spike counts, so lower `W`
+//! means noisier, coarser inputs. The sweep measures how feature quality
+//! degrades — the trade-off Figure 6 plots against classifier accuracy
+//! and miss rate.
+
+use crate::cell_net::ParrotNet;
+use crate::traindata::{TrainDataConfig, TrainDataGenerator};
+use pcnn_truenorth::{BernoulliCode, SpikeCode};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One point of the precision sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionPoint {
+    /// Spikes per value (the coding window).
+    pub spikes: u32,
+    /// Argmax-orientation accuracy on the validation set (±1 bin).
+    pub class_accuracy: f32,
+    /// Mean squared error of the output rates vs. noise-free targets.
+    pub mse: f32,
+    /// Cell throughput at 1 kHz ticks assuming pipelined operation
+    /// (one result per coding window).
+    pub cells_per_second: f64,
+}
+
+/// Encodes one value through a `W`-tick Bernoulli observation: the value
+/// the network actually sees is `observed spikes / W`.
+pub fn stochastic_observe(value: f32, window: u32, rng: &mut SmallRng) -> f32 {
+    let code = BernoulliCode::new(window);
+    let count = code.encode(value, rng).iter().filter(|&&s| s).count() as f32;
+    count / window as f32
+}
+
+/// Sweeps input precision for a trained parrot network.
+///
+/// `windows` is the list of spike counts to test (the paper uses 32 down
+/// to 1); `validation_samples` patches are drawn from the standard
+/// generator.
+///
+/// # Panics
+///
+/// Panics if `windows` or the validation set is empty.
+pub fn precision_sweep(
+    net: &mut ParrotNet,
+    windows: &[u32],
+    validation_samples: usize,
+    seed: u64,
+) -> Vec<PrecisionPoint> {
+    assert!(!windows.is_empty(), "no windows to sweep");
+    assert!(validation_samples > 0, "need validation samples");
+    let generator = TrainDataGenerator::new(TrainDataConfig::default());
+    let samples = generator.samples(validation_samples);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    windows
+        .iter()
+        .map(|&w| {
+            let mut correct = 0usize;
+            let mut n_cls = 0usize;
+            let mut mse = 0.0f32;
+            let mut n_mse = 0usize;
+            for s in &samples {
+                let noisy: Vec<f32> = s
+                    .pixels
+                    .iter()
+                    .map(|&v| stochastic_observe(v, w, &mut rng))
+                    .collect();
+                let y = net.predict_cell(&noisy);
+                for (p, &h) in y.iter().zip(&s.histogram) {
+                    let t = h / crate::cell_net::HISTOGRAM_SCALE;
+                    mse += (p - t) * (p - t);
+                    n_mse += 1;
+                }
+                if s.histogram.iter().sum::<f32>() > 8.0 {
+                    let pred = y
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    let d = (pred as i32 - s.class as i32).rem_euclid(18);
+                    if d.min(18 - d) <= 1 {
+                        correct += 1;
+                    }
+                    n_cls += 1;
+                }
+            }
+            PrecisionPoint {
+                spikes: w,
+                class_accuracy: correct as f32 / n_cls.max(1) as f32,
+                mse: mse / n_mse.max(1) as f32,
+                cells_per_second: 1000.0 / f64::from(w),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell_net::{train_parrot, ParrotTrainConfig};
+
+    #[test]
+    fn observation_noise_shrinks_with_window() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let err = |w: u32, rng: &mut SmallRng| -> f32 {
+            (0..200)
+                .map(|i| {
+                    let v = (i as f32 / 200.0) * 0.8 + 0.1;
+                    (stochastic_observe(v, w, rng) - v).abs()
+                })
+                .sum::<f32>()
+                / 200.0
+        };
+        let e32 = err(32, &mut rng);
+        let e1 = err(1, &mut rng);
+        assert!(e32 < e1, "32-spike err {e32} should beat 1-spike {e1}");
+        assert!(e32 < 0.1);
+    }
+
+    #[test]
+    fn sweep_degrades_gracefully() {
+        let (mut net, _) = train_parrot(ParrotTrainConfig::tiny());
+        let points = precision_sweep(&mut net, &[32, 4, 1], 80, 7);
+        assert_eq!(points.len(), 3);
+        // Figure 6's shape: accuracy at 32 spikes beats 1 spike; 1-spike
+        // still clears chance (1/18 with the ±1-bin tolerance ≈ 0.17).
+        assert!(
+            points[0].class_accuracy >= points[2].class_accuracy,
+            "{points:?}"
+        );
+        assert!(points[0].class_accuracy > 0.45, "{points:?}");
+        assert!(points[2].class_accuracy > 0.2, "{points:?}");
+        // Throughput climbs to 1000 cells/s at 1-spike coding (§5.2).
+        assert_eq!(points[2].cells_per_second, 1000.0);
+        assert!((points[0].cells_per_second - 31.25).abs() < 0.1);
+    }
+}

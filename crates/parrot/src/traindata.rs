@@ -1,0 +1,278 @@
+//! Automatic generation of labelled parrot training data (Figure 3).
+//!
+//! HoG is a pure function of the cell's pixels, so labelled data is free:
+//! draw a random patch, run the reference extractor, keep `(patch,
+//! histogram)`. The generator mirrors Figure 3's design choices:
+//!
+//! * patterns span all 18 orientation classes (stripes and ramps whose
+//!   gradients point along each bin center);
+//! * "we generate the training samples with different ratio of 1's and
+//!   0's so that the feature extractor can learn to deal with samples
+//!   with offsets" — stripe duty cycles and luminance offsets vary;
+//! * mixed-content patches (multi-orientation, noise, near-flat) round
+//!   out the distribution so the network learns histograms, not classes.
+
+use pcnn_hog::cell::{CellExtractor, PATCH_SIZE};
+use pcnn_hog::napprox::NApproxHog;
+use pcnn_vision::{GrayImage, SynthConfig, SynthDataset};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// One labelled training sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParrotSample {
+    /// The 10×10 input patch, flattened row-major (100 values in `[0,1]`).
+    pub pixels: Vec<f32>,
+    /// The target histogram (18 bins, counts in `0..=64`).
+    pub histogram: Vec<f32>,
+    /// The dominant orientation class (argmax bin), for accuracy metrics.
+    pub class: usize,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainDataConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Fraction of structured (oriented) samples among the synthetic
+    /// patterns; the rest are mixed noise/flat patches.
+    pub structured_fraction: f32,
+    /// Fraction of samples cut from the synthetic pedestrian dataset's
+    /// training crops instead of generated patterns. Matching the
+    /// deployment input statistics (blurred edges, sensor noise, real
+    /// silhouette fragments) is what lets the mimic hold up inside the
+    /// detection pipeline; labels stay free either way.
+    pub scene_fraction: f32,
+}
+
+impl Default for TrainDataConfig {
+    fn default() -> Self {
+        TrainDataConfig {
+            seed: 0x009a_8807,
+            structured_fraction: 0.8,
+            scene_fraction: 0.4,
+        }
+    }
+}
+
+/// Deterministic labelled-sample generator.
+#[derive(Debug)]
+pub struct TrainDataGenerator {
+    config: TrainDataConfig,
+    reference: NApproxHog,
+    scenes: SynthDataset,
+    /// Lazily rendered crops the scene patches are cut from; rendering a
+    /// 64×128 crop is ~100× the cost of cutting a 10×10 patch, so a pool
+    /// of crops is built once and sampled many times.
+    crop_pool: OnceLock<Vec<GrayImage>>,
+}
+
+impl TrainDataGenerator {
+    /// A generator labelling with the full-precision NApprox reference
+    /// (the function the parrot must mimic).
+    pub fn new(config: TrainDataConfig) -> Self {
+        TrainDataGenerator {
+            config,
+            reference: NApproxHog::full_precision(),
+            scenes: SynthDataset::new(SynthConfig::default()),
+            crop_pool: OnceLock::new(),
+        }
+    }
+
+    /// Input dimensionality of samples (10×10 patch).
+    pub fn input_dim(&self) -> usize {
+        PATCH_SIZE * PATCH_SIZE
+    }
+
+    /// Output dimensionality (18 bins).
+    pub fn output_dim(&self) -> usize {
+        18
+    }
+
+    /// Generates the `index`-th sample.
+    pub fn sample(&self, index: u64) -> ParrotSample {
+        let mut rng = SmallRng::seed_from_u64(
+            self.config.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let draw: f32 = rng.random();
+        let patch = if draw < self.config.scene_fraction {
+            self.scene_patch(&mut rng)
+        } else if draw
+            < self.config.scene_fraction
+                + (1.0 - self.config.scene_fraction) * self.config.structured_fraction
+        {
+            oriented_patch(&mut rng)
+        } else {
+            mixed_patch(&mut rng)
+        };
+        let histogram = self.reference.cell_histogram(&patch);
+        let class = histogram
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        ParrotSample {
+            pixels: patch.pixels().to_vec(),
+            histogram,
+            class,
+        }
+    }
+
+    /// Generates `n` samples.
+    pub fn samples(&self, n: usize) -> Vec<ParrotSample> {
+        (0..n as u64).map(|i| self.sample(i)).collect()
+    }
+
+    /// A 10×10 patch cut from a random position of a random training
+    /// crop (positive or negative) of the synthetic dataset.
+    fn scene_patch(&self, rng: &mut SmallRng) -> GrayImage {
+        let pool = self.crop_pool.get_or_init(|| {
+            let base = (0..128u64)
+                .map(|i| self.scenes.train_positive(i))
+                .chain((0..128u64).map(|i| self.scenes.train_negative(i)));
+            // Include pyramid-scaled versions: the detection pipeline
+            // feeds the extractor cells from 1.1^k-downscaled levels,
+            // whose statistics (smoother edges) the mimic must cover.
+            base.flat_map(|crop| {
+                let scaled = pcnn_vision::pyramid::resize_bilinear(
+                    &crop,
+                    (crop.width() as f32 / 1.1f32.powi(3)) as usize,
+                    (crop.height() as f32 / 1.1f32.powi(3)) as usize,
+                );
+                [crop, scaled]
+            })
+            .collect::<Vec<_>>()
+        });
+        let crop = &pool[rng.random_range(0..pool.len())];
+        let x0 = rng.random_range(0..=(crop.width() - PATCH_SIZE)) as isize;
+        let y0 = rng.random_range(0..=(crop.height() - PATCH_SIZE)) as isize;
+        crop.crop(x0, y0, PATCH_SIZE, PATCH_SIZE)
+    }
+}
+
+/// A patch whose dominant gradient points along a random orientation:
+/// either a smooth ramp or a binary stripe pattern with random duty ratio
+/// and offset (Figure 3's striped samples).
+fn oriented_patch(rng: &mut SmallRng) -> GrayImage {
+    let theta: f32 = rng.random_range(0.0..(2.0 * std::f32::consts::PI));
+    let (c, s) = (theta.cos(), theta.sin());
+    if rng.random_bool(0.5) {
+        // Smooth ramp: gradient angle exactly theta.
+        let amp: f32 = rng.random_range(0.01..0.08);
+        let base: f32 = rng.random_range(0.2..0.8);
+        GrayImage::from_fn(PATCH_SIZE, PATCH_SIZE, move |x, y| {
+            (base + amp * (c * x as f32 - s * y as f32)).clamp(0.0, 1.0)
+        })
+    } else {
+        // Binary stripes perpendicular to theta, with duty ratio and
+        // offset variation.
+        let period: f32 = rng.random_range(3.0..8.0);
+        let duty: f32 = rng.random_range(0.2..0.8);
+        let phase: f32 = rng.random_range(0.0..1.0);
+        let lo: f32 = rng.random_range(0.0..0.3);
+        let hi: f32 = rng.random_range(0.7..1.0);
+        GrayImage::from_fn(PATCH_SIZE, PATCH_SIZE, move |x, y| {
+            let proj = (c * x as f32 - s * y as f32) / period + phase;
+            if proj.rem_euclid(1.0) < duty {
+                hi
+            } else {
+                lo
+            }
+        })
+    }
+}
+
+/// Unstructured content: noise, two superimposed orientations, or a
+/// near-flat patch.
+fn mixed_patch(rng: &mut SmallRng) -> GrayImage {
+    match rng.random_range(0..3) {
+        0 => {
+            let base: f32 = rng.random_range(0.2..0.8);
+            let amp: f32 = rng.random_range(0.0..0.4);
+            let mut vals = Vec::with_capacity(PATCH_SIZE * PATCH_SIZE);
+            for _ in 0..PATCH_SIZE * PATCH_SIZE {
+                vals.push((base + rng.random_range(-amp..=amp)).clamp(0.0, 1.0));
+            }
+            GrayImage::from_vec(PATCH_SIZE, PATCH_SIZE, vals)
+        }
+        1 => {
+            let t1: f32 = rng.random_range(0.0..std::f32::consts::TAU);
+            let t2: f32 = rng.random_range(0.0..std::f32::consts::TAU);
+            let a1: f32 = rng.random_range(0.01..0.05);
+            let a2: f32 = rng.random_range(0.01..0.05);
+            GrayImage::from_fn(PATCH_SIZE, PATCH_SIZE, move |x, y| {
+                let (xf, yf) = (x as f32, y as f32);
+                (0.5 + a1 * (t1.cos() * xf - t1.sin() * yf)
+                    + a2 * (t2.cos() * xf - t2.sin() * yf))
+                    .clamp(0.0, 1.0)
+            })
+        }
+        _ => {
+            let v: f32 = rng.random_range(0.0..1.0);
+            GrayImage::from_fn(PATCH_SIZE, PATCH_SIZE, move |_, _| v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> TrainDataGenerator {
+        TrainDataGenerator::new(TrainDataConfig::default())
+    }
+
+    #[test]
+    fn samples_have_right_shapes() {
+        let s = generator().sample(0);
+        assert_eq!(s.pixels.len(), 100);
+        assert_eq!(s.histogram.len(), 18);
+        assert!(s.class < 18);
+        assert!(s.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generator().sample(5), generator().sample(5));
+        assert_ne!(generator().sample(5), generator().sample(6));
+    }
+
+    #[test]
+    fn labels_are_true_hog_outputs() {
+        let g = generator();
+        let s = g.sample(9);
+        let patch = GrayImage::from_vec(10, 10, s.pixels.clone());
+        assert_eq!(NApproxHog::full_precision().cell_histogram(&patch), s.histogram);
+    }
+
+    #[test]
+    fn orientation_classes_are_covered() {
+        // 400 samples should hit most of the 18 orientation classes.
+        let g = generator();
+        let mut seen = [false; 18];
+        for s in g.samples(400) {
+            if s.histogram.iter().sum::<f32>() > 4.0 {
+                seen[s.class] = true;
+            }
+        }
+        let covered = seen.iter().filter(|&&v| v).count();
+        assert!(covered >= 15, "only {covered} of 18 classes covered");
+    }
+
+    #[test]
+    fn duty_ratios_vary() {
+        // Mean pixel values (the "ratio of 1s and 0s") must span a range.
+        let g = generator();
+        let means: Vec<f32> = g
+            .samples(100)
+            .iter()
+            .map(|s| s.pixels.iter().sum::<f32>() / 100.0)
+            .collect();
+        let min = means.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = means.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.3, "offset range too narrow: {min}..{max}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Binary classification metrics.
+
+use crate::model::LinearSvm;
+use serde::{Deserialize, Serialize};
+
+/// Confusion-matrix summary for a binary classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryMetrics {
+    /// Evaluates a model on a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn evaluate(model: &LinearSvm, xs: &[Vec<f32>], ys: &[bool]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "examples/labels length mismatch");
+        let mut m = BinaryMetrics::default();
+        for (x, &y) in xs.iter().zip(ys) {
+            m.record(model.predict(x), y);
+        }
+        m
+    }
+
+    /// Records one prediction/label pair.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// `tp / (tp + fp)` (0 when no positives were predicted).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// `tp / (tp + fn)` (0 when no positives exist).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// `1 - recall`: the fraction of positives missed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        1.0 - self.recall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let mut m = BinaryMetrics::default();
+        m.record(true, true); // tp
+        m.record(true, true); // tp
+        m.record(true, false); // fp
+        m.record(false, true); // fn
+        m.record(false, false); // tn
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_dont_divide_by_zero() {
+        let m = BinaryMetrics::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_uses_model() {
+        let model = LinearSvm::new(vec![1.0], 0.0);
+        let xs = vec![vec![1.0], vec![-1.0]];
+        let ys = vec![true, false];
+        let m = BinaryMetrics::evaluate(&model, &xs, &ys);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+}

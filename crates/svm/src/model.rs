@@ -1,0 +1,81 @@
+//! The linear SVM model.
+
+use serde::{Deserialize, Serialize};
+
+/// A trained linear SVM: `score(x) = w·x + b`, class = sign(score).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl LinearSvm {
+    /// Builds a model from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn new(weights: Vec<f32>, bias: f32) -> Self {
+        assert!(!weights.is_empty(), "svm weight vector must be non-empty");
+        LinearSvm { weights, bias }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The decision value `w·x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.dim(), "feature dimensionality mismatch");
+        let mut acc = self.bias;
+        for (w, v) in self.weights.iter().zip(x) {
+            acc += w * v;
+        }
+        acc
+    }
+
+    /// Class prediction: `true` for the positive class.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        self.score(x) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_is_affine() {
+        let m = LinearSvm::new(vec![1.0, -2.0], 0.5);
+        assert_eq!(m.score(&[3.0, 1.0]), 1.5);
+        assert!(m.predict(&[3.0, 1.0]));
+        assert!(!m.predict(&[0.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dim_checked() {
+        LinearSvm::new(vec![1.0], 0.0).score(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_rejected() {
+        LinearSvm::new(Vec::new(), 0.0);
+    }
+}

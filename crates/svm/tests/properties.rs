@@ -1,0 +1,74 @@
+//! Property-based tests for the SVM's invariants.
+
+use pcnn_svm::{train, BinaryMetrics, FeatureScaler, LinearSvm, TrainConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn score_is_affine(
+        w in prop::collection::vec(-2.0f32..2.0, 4),
+        bias in -2.0f32..2.0,
+        a in prop::collection::vec(-3.0f32..3.0, 4),
+        b in prop::collection::vec(-3.0f32..3.0, 4),
+    ) {
+        let m = LinearSvm::new(w, bias);
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let lhs = m.score(&sum) + m.score(&[0.0; 4]);
+        let rhs = m.score(&a) + m.score(&b);
+        prop_assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn predict_matches_score_sign(
+        w in prop::collection::vec(-2.0f32..2.0, 3),
+        bias in -2.0f32..2.0,
+        x in prop::collection::vec(-3.0f32..3.0, 3),
+    ) {
+        let m = LinearSvm::new(w, bias);
+        prop_assert_eq!(m.predict(&x), m.score(&x) > 0.0);
+    }
+
+    #[test]
+    fn training_respects_separable_margin(shift in 1.5f32..5.0, n in 10usize..40) {
+        // Two well-separated clusters are always classified perfectly.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let jitter = (i as f32 * 0.618).fract() - 0.5;
+            xs.push(vec![shift + jitter]);
+            ys.push(true);
+            xs.push(vec![-shift + jitter]);
+            ys.push(false);
+        }
+        let m = train(&xs, &ys, TrainConfig::default());
+        let metrics = BinaryMetrics::evaluate(&m, &xs, &ys);
+        prop_assert_eq!(metrics.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn scaler_output_is_zero_mean(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 3), 2..30),
+    ) {
+        let s = FeatureScaler::fit(&rows);
+        let scaled = s.apply_all(&rows);
+        for d in 0..3 {
+            let mean: f32 = scaled.iter().map(|r| r[d]).sum::<f32>() / rows.len() as f32;
+            prop_assert!(mean.abs() < 1e-3, "dim {d} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn metrics_counts_are_consistent(
+        outcomes in prop::collection::vec((any::<bool>(), any::<bool>()), 0..100),
+    ) {
+        let mut m = BinaryMetrics::default();
+        for (p, a) in &outcomes {
+            m.record(*p, *a);
+        }
+        prop_assert_eq!(m.total(), outcomes.len());
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&m.precision()));
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+        prop_assert!((m.recall() + m.miss_rate() - 1.0).abs() < 1e-9 || m.tp + m.fn_ == 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Spike codings: turning real values into spike trains and back.
+//!
+//! The paper's designs move data through the spike fabric in two codings:
+//!
+//! * **Rate code** ([`RateCode`]) — a value `v ∈ [0, 1]` becomes
+//!   `round(v · W)` spikes spread deterministically over a window of `W`
+//!   ticks. A 64-spike window gives 6-bit resolution (NApprox inputs),
+//!   32-spike gives 5-bit (Parrot default), down to the 1-spike code.
+//! * **Bernoulli / stochastic code** ([`BernoulliCode`]) — every tick is a
+//!   spike with probability `v`. This is the "stochastic input signal"
+//!   coding of §5.2: with a 1-tick window the representation is a single
+//!   spike with probability proportional to the value, which is what lets
+//!   a parrot module emit output every clock tick (1000 cells/s).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A scheme for encoding `[0, 1]` values as boolean spike trains.
+pub trait SpikeCode {
+    /// Window length in ticks over which one value is presented.
+    fn window(&self) -> u32;
+
+    /// Whether a spike occurs at `tick ∈ 0..window()` for value `value`.
+    ///
+    /// `rng` supplies randomness for stochastic codes; deterministic codes
+    /// ignore it.
+    fn spike_at(&self, value: f32, tick: u32, rng: &mut SmallRng) -> bool;
+
+    /// Encodes `value` into a full window of spikes.
+    fn encode(&self, value: f32, rng: &mut SmallRng) -> Vec<bool> {
+        (0..self.window()).map(|t| self.spike_at(value, t, rng)).collect()
+    }
+
+    /// Decodes a spike count observed over one window back to a value.
+    fn decode(&self, count: u32) -> f32 {
+        count as f32 / self.window() as f32
+    }
+
+    /// Nominal bits of resolution, matching the paper's figures:
+    /// 64-spike = 6-bit, 32-spike = 5-bit, 4-spike = 2-bit, 1-spike = 1-bit.
+    fn resolution_bits(&self) -> u32 {
+        (31 - self.window().leading_zeros()).max(1)
+    }
+}
+
+/// Deterministic rate code: `round(v·W)` spikes, evenly spaced.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_truenorth::{RateCode, SpikeCode};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let code = RateCode::new(8);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let spikes = code.encode(0.5, &mut rng);
+/// assert_eq!(spikes.iter().filter(|&&s| s).count(), 4);
+/// assert_eq!(code.decode(4), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateCode {
+    window: u32,
+}
+
+impl RateCode {
+    /// A rate code over a window of `window ≥ 1` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: u32) -> Self {
+        assert!(window >= 1, "rate code window must be >= 1");
+        RateCode { window }
+    }
+
+    /// The number of spikes used to encode `value`.
+    pub fn count_for(&self, value: f32) -> u32 {
+        let v = value.clamp(0.0, 1.0);
+        (v * self.window as f32).round() as u32
+    }
+}
+
+impl SpikeCode for RateCode {
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn spike_at(&self, value: f32, tick: u32, _rng: &mut SmallRng) -> bool {
+        // Evenly spread `count` spikes over the window using the classic
+        // Bresenham accumulator: spike when the running error crosses 1.
+        let count = self.count_for(value);
+        if count == 0 {
+            return false;
+        }
+        debug_assert!(tick < self.window);
+        let before = (u64::from(tick) * u64::from(count)) / u64::from(self.window);
+        let after = (u64::from(tick + 1) * u64::from(count)) / u64::from(self.window);
+        after > before
+    }
+}
+
+/// Stochastic Bernoulli code: each tick spikes independently with
+/// probability `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BernoulliCode {
+    window: u32,
+}
+
+impl BernoulliCode {
+    /// A Bernoulli code observed over `window ≥ 1` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: u32) -> Self {
+        assert!(window >= 1, "bernoulli code window must be >= 1");
+        BernoulliCode { window }
+    }
+}
+
+impl SpikeCode for BernoulliCode {
+    fn window(&self) -> u32 {
+        self.window
+    }
+
+    fn spike_at(&self, value: f32, _tick: u32, rng: &mut SmallRng) -> bool {
+        rng.random::<f32>() < value.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn rate_code_exact_counts() {
+        let code = RateCode::new(64);
+        let mut r = rng();
+        for &v in &[0.0f32, 0.25, 0.5, 0.75, 1.0] {
+            let n = code.encode(v, &mut r).iter().filter(|&&s| s).count() as u32;
+            assert_eq!(n, code.count_for(v));
+            assert!((code.decode(n) - v).abs() < 1.0 / 64.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn rate_code_clamps() {
+        let code = RateCode::new(16);
+        assert_eq!(code.count_for(-3.0), 0);
+        assert_eq!(code.count_for(7.0), 16);
+    }
+
+    #[test]
+    fn rate_code_spreads_spikes() {
+        // Half-rate over 8 ticks must alternate rather than bunch.
+        let code = RateCode::new(8);
+        let spikes = code.encode(0.5, &mut rng());
+        let mut max_run = 0;
+        let mut run = 0;
+        for s in spikes {
+            run = if s { run + 1 } else { 0 };
+            max_run = max_run.max(run);
+        }
+        assert_eq!(max_run, 1);
+    }
+
+    #[test]
+    fn one_spike_code_is_binary() {
+        let code = RateCode::new(1);
+        let mut r = rng();
+        assert_eq!(code.encode(0.4, &mut r), vec![false]);
+        assert_eq!(code.encode(0.6, &mut r), vec![true]);
+        assert_eq!(code.resolution_bits(), 1);
+    }
+
+    #[test]
+    fn resolution_bits_match_paper() {
+        // Paper: 64-spike = 6-bit, 32-spike = 5-bit, 4-spike = 2-bit, 1-spike = 1-bit.
+        assert_eq!(RateCode::new(64).resolution_bits(), 6);
+        assert_eq!(RateCode::new(32).resolution_bits(), 5);
+        assert_eq!(RateCode::new(4).resolution_bits(), 2);
+        assert_eq!(RateCode::new(1).resolution_bits(), 1);
+    }
+
+    #[test]
+    fn bernoulli_mean_converges() {
+        let code = BernoulliCode::new(10_000);
+        let mut r = rng();
+        let n = code.encode(0.3, &mut r).iter().filter(|&&s| s).count();
+        let p = n as f64 / 10_000.0;
+        assert!((p - 0.3).abs() < 0.02, "empirical p = {p}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let code = BernoulliCode::new(100);
+        let mut r = rng();
+        assert!(code.encode(0.0, &mut r).iter().all(|&s| !s));
+        assert!(code.encode(1.0, &mut r).iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,321 @@
+//! Corelets: hierarchical composition of cores with named pins.
+//!
+//! The corelet programming paradigm (Amir et al., IJCNN 2013) encapsulates
+//! a network of neurosynaptic cores behind named input and output
+//! connectors, so that larger designs compose smaller ones without knowing
+//! their internal core/axon/neuron assignments. This module provides the
+//! simulator-side equivalent:
+//!
+//! * [`CoreletBuilder`] — allocate cores, declare named pins bound to
+//!   concrete `(core, axon)` inputs or neurons, and wire sub-corelets
+//!   together;
+//! * [`Corelet`] — the built artifact: a set of core handles plus pin
+//!   tables, usable to inject inputs and to locate outputs.
+//!
+//! Output pins are realized by routing the bound neurons to numbered
+//! [`SpikeTarget::Output`] pins on the system, with the pin numbers
+//! allocated contiguously per named pin so that
+//! [`Corelet::output_pin_range`] can decode counts.
+
+use crate::core_impl::NeuroCoreBuilder;
+use crate::error::{Result, TrueNorthError};
+use crate::ids::CoreHandle;
+use crate::system::{SpikeTarget, System};
+use std::collections::BTreeMap;
+
+/// A named bundle of input axons or output neurons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pin {
+    /// The pin's name within its corelet.
+    pub name: String,
+    /// The concrete endpoints, in bundle order.
+    pub endpoints: Vec<(CoreHandle, u16)>,
+}
+
+impl Pin {
+    /// The number of lines in the bundle.
+    pub fn width(&self) -> usize {
+        self.endpoints.len()
+    }
+}
+
+/// A built corelet: cores registered in a [`System`] plus pin metadata.
+#[derive(Debug, Clone)]
+pub struct Corelet {
+    name: String,
+    cores: Vec<CoreHandle>,
+    inputs: BTreeMap<String, Pin>,
+    /// name -> (first system output pin, width)
+    outputs: BTreeMap<String, (u32, usize)>,
+}
+
+impl Corelet {
+    /// The corelet's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Handles of all cores this corelet occupies.
+    pub fn cores(&self) -> &[CoreHandle] {
+        &self.cores
+    }
+
+    /// Number of cores occupied — the resource metric used throughout the
+    /// paper's comparisons.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Looks up an input pin.
+    ///
+    /// # Errors
+    ///
+    /// [`TrueNorthError::UnknownPin`] if no input pin has that name.
+    pub fn input(&self, name: &str) -> Result<&Pin> {
+        self.inputs.get(name).ok_or_else(|| TrueNorthError::UnknownPin {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Injects a spike on element `index` of input pin `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`TrueNorthError::UnknownPin`] / [`TrueNorthError::PinOutOfRange`],
+    /// or injection errors from the system.
+    pub fn inject(&self, system: &mut System, name: &str, index: usize) -> Result<()> {
+        let pin = self.input(name)?;
+        let &(core, axon) = pin.endpoints.get(index).ok_or_else(|| TrueNorthError::PinOutOfRange {
+            name: name.to_owned(),
+            index,
+            width: pin.width(),
+        })?;
+        system.try_inject(core, axon)
+    }
+
+    /// The system output-pin numbers `(first, width)` for output pin `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`TrueNorthError::UnknownPin`] if no output pin has that name.
+    pub fn output_pin_range(&self, name: &str) -> Result<(u32, usize)> {
+        self.outputs.get(name).copied().ok_or_else(|| TrueNorthError::UnknownPin {
+            name: name.to_owned(),
+        })
+    }
+}
+
+/// Incrementally constructs a [`Corelet`] inside a [`System`].
+///
+/// The builder owns pending [`NeuroCoreBuilder`]s so that wiring decisions
+/// (which need destination core handles) can be made before any core is
+/// frozen; cores are registered with the system on
+/// [`build`](CoreletBuilder::build) in allocation order.
+#[derive(Debug)]
+pub struct CoreletBuilder<'s> {
+    system: &'s mut System,
+    name: String,
+    pending: Vec<NeuroCoreBuilder>,
+    /// Handles pre-assigned to pending cores (system cores are appended in
+    /// order, so the handle values are known ahead of registration).
+    handles: Vec<CoreHandle>,
+    inputs: BTreeMap<String, Pin>,
+    outputs: BTreeMap<String, (u32, usize)>,
+    next_output_pin: u32,
+}
+
+impl<'s> CoreletBuilder<'s> {
+    /// Starts building a corelet named `name` in `system`.
+    ///
+    /// `next_output_pin` is taken from the system's current output-pin high
+    /// water mark tracked by the caller; to keep the simulator minimal the
+    /// builder simply starts pins at `first_output_pin`.
+    pub fn new(system: &'s mut System, name: impl Into<String>, first_output_pin: u32) -> Self {
+        CoreletBuilder {
+            system,
+            name: name.into(),
+            pending: Vec::new(),
+            handles: Vec::new(),
+            inputs: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+            next_output_pin: first_output_pin,
+        }
+    }
+
+    /// Allocates a fresh core and returns `(slot, handle)`; `slot` indexes
+    /// [`core_mut`](CoreletBuilder::core_mut), `handle` is the system
+    /// handle it will receive on build.
+    pub fn alloc_core(&mut self) -> (usize, CoreHandle) {
+        let slot = self.pending.len();
+        let handle = CoreHandle::from_index((self.system.core_count() + slot) as u32);
+        self.pending.push(NeuroCoreBuilder::new());
+        self.handles.push(handle);
+        (slot, handle)
+    }
+
+    /// Mutable access to a pending core by slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not returned by
+    /// [`alloc_core`](CoreletBuilder::alloc_core).
+    pub fn core_mut(&mut self, slot: usize) -> &mut NeuroCoreBuilder {
+        &mut self.pending[slot]
+    }
+
+    /// The future system handle of pending core `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn handle(&self, slot: usize) -> CoreHandle {
+        self.handles[slot]
+    }
+
+    /// Declares a named input pin bound to the given `(slot, axon)` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is out of range.
+    pub fn declare_input(&mut self, name: impl Into<String>, lines: &[(usize, u16)]) {
+        let name = name.into();
+        let endpoints = lines.iter().map(|&(slot, axon)| (self.handles[slot], axon)).collect();
+        self.inputs.insert(name.clone(), Pin { name, endpoints });
+    }
+
+    /// Declares a named output pin bound to the given `(slot, neuron)`
+    /// lines; each neuron is routed to a fresh system output pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is out of range or a neuron already has a route.
+    pub fn declare_output(&mut self, name: impl Into<String>, lines: &[(usize, u16)]) {
+        let name = name.into();
+        let first = self.next_output_pin;
+        for (i, &(slot, neuron)) in lines.iter().enumerate() {
+            self.pending[slot]
+                .route_neuron(neuron as usize, SpikeTarget::output(first + i as u32));
+        }
+        self.next_output_pin += lines.len() as u32;
+        self.outputs.insert(name, (first, lines.len()));
+    }
+
+    /// Wires pending-core `src`'s neuron to pending-core `dst`'s axon with
+    /// a 1-tick delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is out of range.
+    pub fn wire(&mut self, src: (usize, u16), dst: (usize, u16)) {
+        let target = SpikeTarget::axon(self.handles[dst.0], dst.1);
+        self.pending[src.0].route_neuron(src.1 as usize, target);
+    }
+
+    /// The first output pin number not yet allocated — pass this to the
+    /// next corelet built on the same system.
+    pub fn next_output_pin(&self) -> u32 {
+        self.next_output_pin
+    }
+
+    /// Registers all pending cores with the system and returns the corelet.
+    pub fn build(self) -> Corelet {
+        let mut cores = Vec::with_capacity(self.pending.len());
+        for (i, b) in self.pending.iter().enumerate() {
+            let h = self.system.add_core(b.build());
+            debug_assert_eq!(h, self.handles[i], "core registration order changed");
+            cores.push(h);
+        }
+        Corelet {
+            name: self.name,
+            cores,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::NeuronConfig;
+
+    /// Builds a 2-core chain corelet: input pin "in" (core 0 axon 0) ->
+    /// relay -> output pin "out".
+    fn chain(system: &mut System) -> Corelet {
+        let mut cb = CoreletBuilder::new(system, "chain", 0);
+        let (a, _) = cb.alloc_core();
+        let (b, _) = cb.alloc_core();
+        for slot in [a, b] {
+            cb.core_mut(slot)
+                .connect(0, 0)
+                .set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+        }
+        cb.wire((a, 0), (b, 0));
+        cb.declare_input("in", &[(a, 0)]);
+        cb.declare_output("out", &[(b, 0)]);
+        cb.build()
+    }
+
+    #[test]
+    fn corelet_relays_spikes() {
+        let mut sys = System::new();
+        let c = chain(&mut sys);
+        assert_eq!(c.core_count(), 2);
+        c.inject(&mut sys, "in", 0).unwrap();
+        sys.run(3);
+        let (first, width) = c.output_pin_range("out").unwrap();
+        assert_eq!((first, width), (0, 1));
+        let counts = sys.drain_output_counts(1);
+        assert_eq!(counts[0], 1);
+    }
+
+    #[test]
+    fn unknown_pin_is_error() {
+        let mut sys = System::new();
+        let c = chain(&mut sys);
+        assert!(matches!(
+            c.inject(&mut sys, "nope", 0),
+            Err(TrueNorthError::UnknownPin { .. })
+        ));
+        assert!(matches!(
+            c.inject(&mut sys, "in", 5),
+            Err(TrueNorthError::PinOutOfRange { .. })
+        ));
+        assert!(c.output_pin_range("nope").is_err());
+    }
+
+    #[test]
+    fn two_corelets_compose_without_pin_collision() {
+        let mut sys = System::new();
+        let c1 = chain(&mut sys);
+        // Second corelet starts its output pins after the first.
+        let mut cb = CoreletBuilder::new(&mut sys, "solo", 1);
+        let (s, _) = cb.alloc_core();
+        cb.core_mut(s)
+            .connect(0, 0)
+            .set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+        cb.declare_input("in", &[(s, 0)]);
+        cb.declare_output("out", &[(s, 0)]);
+        let c2 = cb.build();
+
+        c1.inject(&mut sys, "in", 0).unwrap();
+        c2.inject(&mut sys, "in", 0).unwrap();
+        sys.run(3);
+        let counts = sys.drain_output_counts(2);
+        assert_eq!(counts, vec![1, 1]);
+        assert_eq!(c2.output_pin_range("out").unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn handles_predict_registration_order() {
+        let mut sys = System::new();
+        let _pre = sys.add_core(NeuroCoreBuilder::new().build());
+        let mut cb = CoreletBuilder::new(&mut sys, "c", 0);
+        let (_, h0) = cb.alloc_core();
+        let (_, h1) = cb.alloc_core();
+        assert_eq!(h0.index(), 1);
+        assert_eq!(h1.index(), 2);
+        let c = cb.build();
+        assert_eq!(c.cores()[0].index(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! The 256×256 binary synaptic crossbar and axon-type assignment.
+//!
+//! A crossbar point `(axon i, neuron j)` is a 1-bit connectivity flag; the
+//! effective synaptic weight is `neuron[j].weights[axon_type[i]]`. The
+//! crossbar stores connectivity as 256 rows (one per axon) of four `u64`
+//! bitmask words (256 neuron columns), which makes the per-tick integration
+//! loop a sparse iteration over set bits of the active axons only.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of axons (input lines) in one neurosynaptic core.
+pub const AXONS_PER_CORE: usize = 256;
+/// Number of neurons (output lines) in one neurosynaptic core.
+pub const NEURONS_PER_CORE: usize = 256;
+
+const WORDS_PER_ROW: usize = NEURONS_PER_CORE / 64;
+
+/// Binary connectivity matrix of one core.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossbar {
+    /// `rows[axon][word]` — bit `j % 64` of word `j / 64` is the synapse
+    /// from `axon` to neuron `j`.
+    rows: Vec<[u64; WORDS_PER_ROW]>,
+}
+
+impl Default for Crossbar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crossbar {
+    /// An empty crossbar (no synapses).
+    pub fn new() -> Self {
+        Crossbar {
+            rows: vec![[0; WORDS_PER_ROW]; AXONS_PER_CORE],
+        }
+    }
+
+    /// Sets the synapse from `axon` to `neuron`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axon` or `neuron` is `>= 256`; the builder API in
+    /// [`NeuroCoreBuilder`](crate::NeuroCoreBuilder) validates before
+    /// reaching here.
+    pub fn set(&mut self, axon: usize, neuron: usize, connected: bool) {
+        assert!(axon < AXONS_PER_CORE, "axon {axon} out of range");
+        assert!(neuron < NEURONS_PER_CORE, "neuron {neuron} out of range");
+        let word = neuron / 64;
+        let bit = 1u64 << (neuron % 64);
+        if connected {
+            self.rows[axon][word] |= bit;
+        } else {
+            self.rows[axon][word] &= !bit;
+        }
+    }
+
+    /// Whether the synapse from `axon` to `neuron` is present.
+    pub fn get(&self, axon: usize, neuron: usize) -> bool {
+        assert!(axon < AXONS_PER_CORE && neuron < NEURONS_PER_CORE);
+        self.rows[axon][neuron / 64] & (1u64 << (neuron % 64)) != 0
+    }
+
+    /// Iterates over the neuron indices connected to `axon`.
+    pub fn connected_neurons(&self, axon: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(axon < AXONS_PER_CORE);
+        self.rows[axon]
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &bits)| BitIter { bits, base: w * 64 })
+    }
+
+    /// Number of synapses present on the whole crossbar.
+    pub fn synapse_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|w| w.count_ones() as usize).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of synapses on one axon row.
+    pub fn fan_out(&self, axon: usize) -> usize {
+        assert!(axon < AXONS_PER_CORE);
+        self.rows[axon].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of synapses into one neuron column (its fan-in).
+    pub fn fan_in(&self, neuron: usize) -> usize {
+        assert!(neuron < NEURONS_PER_CORE);
+        let word = neuron / 64;
+        let bit = 1u64 << (neuron % 64);
+        self.rows.iter().filter(|row| row[word] & bit != 0).count()
+    }
+}
+
+struct BitIter {
+    bits: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_crossbar_has_no_synapses() {
+        let xb = Crossbar::new();
+        assert_eq!(xb.synapse_count(), 0);
+        assert!(!xb.get(0, 0));
+        assert_eq!(xb.connected_neurons(0).count(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut xb = Crossbar::new();
+        xb.set(3, 200, true);
+        assert!(xb.get(3, 200));
+        assert!(!xb.get(3, 201));
+        assert!(!xb.get(4, 200));
+        xb.set(3, 200, false);
+        assert!(!xb.get(3, 200));
+    }
+
+    #[test]
+    fn connected_neurons_in_order() {
+        let mut xb = Crossbar::new();
+        for &n in &[5usize, 63, 64, 128, 255] {
+            xb.set(10, n, true);
+        }
+        let got: Vec<usize> = xb.connected_neurons(10).collect();
+        assert_eq!(got, vec![5, 63, 64, 128, 255]);
+    }
+
+    #[test]
+    fn fan_counts() {
+        let mut xb = Crossbar::new();
+        xb.set(0, 7, true);
+        xb.set(1, 7, true);
+        xb.set(1, 8, true);
+        assert_eq!(xb.fan_in(7), 2);
+        assert_eq!(xb.fan_in(8), 1);
+        assert_eq!(xb.fan_out(1), 2);
+        assert_eq!(xb.synapse_count(), 3);
+    }
+
+    #[test]
+    fn full_crossbar() {
+        let mut xb = Crossbar::new();
+        for a in 0..AXONS_PER_CORE {
+            for n in 0..NEURONS_PER_CORE {
+                xb.set(a, n, true);
+            }
+        }
+        assert_eq!(xb.synapse_count(), 256 * 256);
+        assert_eq!(xb.fan_in(0), 256);
+        assert_eq!(xb.fan_out(255), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "axon")]
+    fn set_out_of_range_panics() {
+        Crossbar::new().set(256, 0, true);
+    }
+}

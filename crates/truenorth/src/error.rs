@@ -1,0 +1,123 @@
+//! Error types for the TrueNorth simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TrueNorthError>;
+
+/// Errors raised while configuring or simulating a neurosynaptic system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrueNorthError {
+    /// An axon index was outside `0..256`.
+    AxonOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// A neuron index was outside `0..256`.
+    NeuronOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// An axon type was outside `0..4`.
+    AxonTypeOutOfRange {
+        /// The offending type value.
+        value: u8,
+    },
+    /// A core handle did not belong to the system it was used with.
+    UnknownCore {
+        /// The handle's raw index.
+        index: usize,
+        /// Number of cores actually registered.
+        cores: usize,
+    },
+    /// A spike delay was outside the supported `1..=15` tick range.
+    DelayOutOfRange {
+        /// The offending delay.
+        delay: u32,
+    },
+    /// A corelet pin name was requested that the corelet does not expose.
+    UnknownPin {
+        /// The requested pin name.
+        name: String,
+    },
+    /// A corelet pin was indexed beyond its width.
+    PinOutOfRange {
+        /// The pin name.
+        name: String,
+        /// The requested element.
+        index: usize,
+        /// The pin's width.
+        width: usize,
+    },
+    /// A neuron that already has an output route was routed again.
+    NeuronAlreadyRouted {
+        /// The neuron index within its core.
+        neuron: usize,
+    },
+    /// A network could not be mapped because a layer exceeds crossbar limits.
+    CrossbarOverflow {
+        /// Human-readable description of the violated limit.
+        what: String,
+        /// The required amount.
+        required: usize,
+        /// The hardware limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for TrueNorthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrueNorthError::AxonOutOfRange { index } => {
+                write!(f, "axon index {index} out of range (0..256)")
+            }
+            TrueNorthError::NeuronOutOfRange { index } => {
+                write!(f, "neuron index {index} out of range (0..256)")
+            }
+            TrueNorthError::AxonTypeOutOfRange { value } => {
+                write!(f, "axon type {value} out of range (0..4)")
+            }
+            TrueNorthError::UnknownCore { index, cores } => {
+                write!(f, "core handle {index} unknown to this system ({cores} cores registered)")
+            }
+            TrueNorthError::DelayOutOfRange { delay } => {
+                write!(f, "spike delay {delay} outside supported range 1..=15 ticks")
+            }
+            TrueNorthError::UnknownPin { name } => {
+                write!(f, "corelet has no pin named `{name}`")
+            }
+            TrueNorthError::PinOutOfRange { name, index, width } => {
+                write!(f, "pin `{name}` element {index} out of range (width {width})")
+            }
+            TrueNorthError::NeuronAlreadyRouted { neuron } => {
+                write!(f, "neuron {neuron} already has an output route")
+            }
+            TrueNorthError::CrossbarOverflow { what, required, limit } => {
+                write!(f, "crossbar overflow: {what} requires {required}, limit is {limit}")
+            }
+        }
+    }
+}
+
+impl StdError for TrueNorthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = TrueNorthError::AxonOutOfRange { index: 300 };
+        assert_eq!(e.to_string(), "axon index 300 out of range (0..256)");
+        let e = TrueNorthError::DelayOutOfRange { delay: 99 };
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrueNorthError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Typed identifiers for cores, axons and neurons.
+//!
+//! The simulator addresses hardware resources with small integers; these
+//! newtypes keep the three address spaces (cores, axons-within-a-core,
+//! neurons-within-a-core) statically distinct so that, e.g., an axon index
+//! can never be passed where a neuron index is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a core registered in a [`System`](crate::System).
+///
+/// Handles are dense indices assigned in registration order; they are only
+/// meaningful for the system that issued them.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_truenorth::{NeuroCoreBuilder, System};
+///
+/// let mut sys = System::new();
+/// let a = sys.add_core(NeuroCoreBuilder::new().build());
+/// let b = sys.add_core(NeuroCoreBuilder::new().build());
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(b.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreHandle(pub(crate) u32);
+
+impl CoreHandle {
+    /// Creates a handle from a raw index.
+    ///
+    /// Exposed so that deployment tools (corelet compilers, Eedn mappers)
+    /// can reconstruct handles from serialized placements. The caller is
+    /// responsible for the index being valid for the target system.
+    pub fn from_index(index: u32) -> Self {
+        CoreHandle(index)
+    }
+
+    /// The dense index of this core within its system.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Index of an axon (input line) within a core: `0..256`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AxonIndex(pub u16);
+
+impl AxonIndex {
+    /// The raw index value.
+    pub fn value(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for AxonIndex {
+    fn from(v: u16) -> Self {
+        AxonIndex(v)
+    }
+}
+
+impl fmt::Display for AxonIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "axon{}", self.0)
+    }
+}
+
+/// Index of a neuron (output line) within a core: `0..256`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NeuronIndex(pub u16);
+
+impl NeuronIndex {
+    /// The raw index value.
+    pub fn value(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for NeuronIndex {
+    fn from(v: u16) -> Self {
+        NeuronIndex(v)
+    }
+}
+
+impl fmt::Display for NeuronIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "neuron{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_handle_roundtrip() {
+        let h = CoreHandle::from_index(17);
+        assert_eq!(h.index(), 17);
+        assert_eq!(h.to_string(), "core17");
+    }
+
+    #[test]
+    fn axon_neuron_distinct_types() {
+        // Purely compile-time distinction; check values and Display.
+        let a = AxonIndex(3);
+        let n = NeuronIndex(3);
+        assert_eq!(a.value(), n.value());
+        assert_ne!(a.to_string(), n.to_string());
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CoreHandle::from_index(1) < CoreHandle::from_index(2));
+        assert!(AxonIndex(0) < AxonIndex(255));
+        assert!(NeuronIndex(7) > NeuronIndex(6));
+    }
+}

@@ -1,0 +1,89 @@
+//! Tick-accurate simulator of a TrueNorth-style neurosynaptic system.
+//!
+//! The IBM Neurosynaptic System ("TrueNorth") is a digital, event-driven
+//! spiking neural-network chip. Its architectural abstraction — the one this
+//! crate simulates — is:
+//!
+//! * a **neurosynaptic core** with 256 axons (inputs), 256 neurons
+//!   (outputs) and a 256×256 binary crossbar of synapses ([`NeuroCore`]);
+//! * each axon carries one of four **axon types**; each neuron holds a
+//!   4-entry signed **weight look-up table** indexed by the axon type, so an
+//!   active synapse contributes `lut[type(axon)]` to the neuron's membrane
+//!   potential ([`crossbar`]);
+//! * a digital **leaky integrate-and-fire neuron** with configurable leak,
+//!   threshold, reset mode and an optional stochastic threshold
+//!   ([`neuron`]);
+//! * a two-level **interconnect**: local crossbar connectivity inside a core
+//!   plus a global spike-routing fabric that delivers each neuron's spike to
+//!   exactly one axon of any core after a configurable delay ([`system`]);
+//! * **corelets**, the hierarchical composition abstraction used by the
+//!   TrueNorth programming environment: a corelet encapsulates a set of
+//!   cores and exposes named input/output pins ([`corelet`]);
+//! * value/spike **codings** used to move real-valued data through the spike
+//!   fabric: deterministic rate codes and Bernoulli stochastic codes
+//!   ([`coding`]);
+//! * a **power model** calibrated to the published figures (≈16 µW per
+//!   active core, 66 mW for a 4096-core chip at 0.8 V) ([`power`]).
+//!
+//! The simulator is deterministic: all randomness (stochastic neuron
+//! thresholds, stochastic spike coding) flows from explicitly seeded PRNGs,
+//! so every experiment in the workspace is bit-reproducible.
+//!
+//! # Example
+//!
+//! Build a one-core system whose single neuron fires once two specific axons
+//! have both been active for two ticks:
+//!
+//! ```
+//! use pcnn_truenorth::{NeuroCoreBuilder, NeuronConfig, System, SpikeTarget};
+//!
+//! let mut core = NeuroCoreBuilder::new();
+//! core.set_axon_type(0, 0);
+//! core.set_axon_type(1, 0);
+//! core.connect(0, 0); // axon 0 -> neuron 0
+//! core.connect(1, 0); // axon 1 -> neuron 0
+//! core.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 4));
+//! core.route_neuron(0, SpikeTarget::output(0));
+//!
+//! let mut system = System::new();
+//! let c = system.add_core(core.build());
+//! assert_eq!(c.index(), 0);
+//!
+//! for _ in 0..2 {
+//!     system.inject(c, 0);
+//!     system.inject(c, 1);
+//!     system.tick();
+//! }
+//! // 2 ticks x 2 axons x weight 1 = 4 = threshold -> neuron fired on tick 2.
+//! assert_eq!(system.drain_output_spikes(), vec![(2, 0)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coding;
+pub mod corelet;
+pub mod crossbar;
+pub mod error;
+pub mod ids;
+pub mod model;
+pub mod neuron;
+pub mod placement;
+pub mod power;
+pub mod probe;
+pub mod system;
+
+mod core_impl;
+
+pub use coding::{BernoulliCode, RateCode, SpikeCode};
+pub use core_impl::{NeuroCore, NeuroCoreBuilder};
+pub use corelet::{Corelet, CoreletBuilder, Pin};
+pub use crossbar::{Crossbar, AXONS_PER_CORE, NEURONS_PER_CORE};
+pub use error::{Result, TrueNorthError};
+pub use ids::{AxonIndex, CoreHandle, NeuronIndex};
+pub use model::{SystemModel, MODEL_VERSION};
+pub use neuron::{NeuronConfig, NeuronState, ResetMode};
+pub use placement::{audit_routes, Placement, RoutingAudit};
+pub use probe::{PotentialTrace, SpikeRaster};
+pub use power::{PowerEstimate, PowerModel, CHIP_CORES, CHIP_POWER_MW, CORE_POWER_UW};
+pub use system::{SpikeTarget, System, SystemStats};

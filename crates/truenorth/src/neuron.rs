@@ -1,0 +1,284 @@
+//! Digital leaky integrate-and-fire neuron model.
+//!
+//! TrueNorth neurons (Cassidy et al., IJCNN 2013) are digital LIF neurons
+//! updated once per global tick:
+//!
+//! 1. **Integrate** — for every active synapse, add the neuron's LUT weight
+//!    for the presynaptic axon's type to the membrane potential `V`.
+//! 2. **Leak** — add the signed leak `λ` to `V`.
+//! 3. **Threshold & fire** — if `V ≥ α + η` (with `η` a fresh pseudo-random
+//!    value in `0..=mask` when stochastic threshold mode is enabled, else
+//!    `0`), emit a spike and apply the reset mode. A negative floor `−β`
+//!    saturates the potential from below.
+//!
+//! The model here implements the subset of the hardware neuron actually
+//! exercised by the paper's designs: signed 4-entry weight LUT, signed leak,
+//! positive threshold with optional stochasticity, negative saturation
+//! floor, and the *reset-to-zero* / *linear-subtract* / *no-reset* modes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What happens to the membrane potential when the neuron fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ResetMode {
+    /// `V ← R` (reset value, usually zero). The hardware default.
+    #[default]
+    Zero,
+    /// `V ← V − α` (linear reset): residual charge carries to the next tick,
+    /// which makes a neuron behave as a rate-preserving integrator — the
+    /// mode used by the NApprox accumulation corelets.
+    Linear,
+    /// `V` unchanged by firing (saturating burst mode).
+    None,
+}
+
+/// Static configuration of a single neuron.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuronConfig {
+    /// Signed synaptic weight for each of the four axon types.
+    pub weights: [i32; 4],
+    /// Signed leak added to the potential every tick.
+    pub leak: i32,
+    /// Firing threshold `α` (must be positive for a firing neuron).
+    pub threshold: i32,
+    /// Negative saturation floor: `V` never drops below `-floor`.
+    pub floor: i32,
+    /// Reset behaviour on firing.
+    pub reset: ResetMode,
+    /// Reset value `R` used by [`ResetMode::Zero`].
+    pub reset_value: i32,
+    /// When non-zero, a pseudo-random value in `0..=stochastic_mask` is
+    /// added to the threshold each tick (TrueNorth's stochastic mode).
+    pub stochastic_mask: u32,
+}
+
+impl Default for NeuronConfig {
+    fn default() -> Self {
+        NeuronConfig {
+            weights: [0; 4],
+            leak: 0,
+            threshold: 1,
+            floor: 1 << 20,
+            reset: ResetMode::Zero,
+            reset_value: 0,
+            stochastic_mask: 0,
+        }
+    }
+}
+
+impl NeuronConfig {
+    /// A plain excitatory neuron: the given weight LUT, threshold `alpha`,
+    /// zero leak, reset-to-zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pcnn_truenorth::NeuronConfig;
+    /// let n = NeuronConfig::excitatory(&[2, -1, 0, 0], 8);
+    /// assert_eq!(n.threshold, 8);
+    /// assert_eq!(n.weights[1], -1);
+    /// ```
+    pub fn excitatory(weights: &[i32; 4], alpha: i32) -> Self {
+        NeuronConfig {
+            weights: *weights,
+            threshold: alpha.max(1),
+            ..NeuronConfig::default()
+        }
+    }
+
+    /// An integrator neuron: linear reset so that the firing *rate* encodes
+    /// the accumulated weighted input (used for inner products).
+    pub fn integrator(weights: &[i32; 4], alpha: i32) -> Self {
+        NeuronConfig {
+            weights: *weights,
+            threshold: alpha.max(1),
+            reset: ResetMode::Linear,
+            ..NeuronConfig::default()
+        }
+    }
+
+    /// Adds a signed leak.
+    pub fn with_leak(mut self, leak: i32) -> Self {
+        self.leak = leak;
+        self
+    }
+
+    /// Sets the negative saturation floor.
+    pub fn with_floor(mut self, floor: i32) -> Self {
+        self.floor = floor.max(0);
+        self
+    }
+
+    /// Enables stochastic threshold mode with the given mask.
+    pub fn with_stochastic_mask(mut self, mask: u32) -> Self {
+        self.stochastic_mask = mask;
+        self
+    }
+}
+
+/// Mutable per-neuron runtime state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuronState {
+    /// Current membrane potential.
+    pub potential: i64,
+}
+
+impl NeuronState {
+    /// Applies one tick's leak/threshold/fire step to an already-integrated
+    /// potential. Returns `true` if the neuron fired.
+    ///
+    /// Integration (synaptic input) is performed by the core before calling
+    /// this, because it needs crossbar context.
+    pub fn leak_and_fire(&mut self, cfg: &NeuronConfig, rng: &mut SmallRng) -> bool {
+        self.potential += i64::from(cfg.leak);
+        let eta: i64 = if cfg.stochastic_mask != 0 {
+            i64::from(rng.random_range(0..=cfg.stochastic_mask))
+        } else {
+            0
+        };
+        let fired = self.potential >= i64::from(cfg.threshold) + eta;
+        if fired {
+            match cfg.reset {
+                ResetMode::Zero => self.potential = i64::from(cfg.reset_value),
+                ResetMode::Linear => self.potential -= i64::from(cfg.threshold),
+                ResetMode::None => {}
+            }
+        }
+        if self.potential < -i64::from(cfg.floor) {
+            self.potential = -i64::from(cfg.floor);
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fires_exactly_at_threshold() {
+        let cfg = NeuronConfig::excitatory(&[1, 0, 0, 0], 3);
+        let mut st = NeuronState { potential: 3 };
+        assert!(st.leak_and_fire(&cfg, &mut rng()));
+        assert_eq!(st.potential, 0, "reset-to-zero after firing");
+    }
+
+    #[test]
+    fn below_threshold_holds_charge() {
+        let cfg = NeuronConfig::excitatory(&[1, 0, 0, 0], 5);
+        let mut st = NeuronState { potential: 4 };
+        assert!(!st.leak_and_fire(&cfg, &mut rng()));
+        assert_eq!(st.potential, 4);
+    }
+
+    #[test]
+    fn linear_reset_preserves_residual() {
+        let cfg = NeuronConfig::integrator(&[1, 0, 0, 0], 4);
+        let mut st = NeuronState { potential: 7 };
+        assert!(st.leak_and_fire(&cfg, &mut rng()));
+        assert_eq!(st.potential, 3, "linear reset subtracts threshold");
+    }
+
+    #[test]
+    fn linear_reset_rate_encodes_value() {
+        // Feeding v units of charge over T ticks through an integrator with
+        // threshold a yields floor-ish v/a spikes: rate coding of v/a.
+        let cfg = NeuronConfig::integrator(&[1, 0, 0, 0], 4);
+        let mut st = NeuronState::default();
+        let mut spikes = 0;
+        let mut r = rng();
+        for _ in 0..100 {
+            st.potential += 3; // constant drive of 3/tick
+            if st.leak_and_fire(&cfg, &mut r) {
+                spikes += 1;
+            }
+        }
+        // 300 total charge / threshold 4 = 75 spikes.
+        assert_eq!(spikes, 75);
+    }
+
+    #[test]
+    fn leak_decays_potential() {
+        let cfg = NeuronConfig::excitatory(&[1, 0, 0, 0], 100).with_leak(-2);
+        let mut st = NeuronState { potential: 10 };
+        let mut r = rng();
+        for _ in 0..4 {
+            st.leak_and_fire(&cfg, &mut r);
+        }
+        assert_eq!(st.potential, 2);
+    }
+
+    #[test]
+    fn floor_saturates() {
+        let cfg = NeuronConfig::excitatory(&[1, 0, 0, 0], 100)
+            .with_leak(-50)
+            .with_floor(10);
+        let mut st = NeuronState { potential: 0 };
+        let mut r = rng();
+        for _ in 0..5 {
+            st.leak_and_fire(&cfg, &mut r);
+        }
+        assert_eq!(st.potential, -10);
+    }
+
+    #[test]
+    fn no_reset_mode_keeps_potential() {
+        let cfg = NeuronConfig {
+            threshold: 2,
+            reset: ResetMode::None,
+            ..NeuronConfig::default()
+        };
+        let mut st = NeuronState { potential: 5 };
+        assert!(st.leak_and_fire(&cfg, &mut rng()));
+        assert_eq!(st.potential, 5);
+    }
+
+    #[test]
+    fn stochastic_threshold_fires_probabilistically() {
+        // With potential p and threshold a, P(fire) = P(eta <= p - a) where
+        // eta ~ U{0..=mask}. p=8, a=1, mask=15 -> P = 8/16 = 0.5.
+        let cfg = NeuronConfig {
+            threshold: 1,
+            reset: ResetMode::None,
+            stochastic_mask: 15,
+            ..NeuronConfig::default()
+        };
+        let mut r = rng();
+        let mut fired = 0;
+        for _ in 0..10_000 {
+            let mut st = NeuronState { potential: 8 };
+            if st.leak_and_fire(&cfg, &mut r) {
+                fired += 1;
+            }
+        }
+        let p = fired as f64 / 10_000.0;
+        assert!((p - 0.5).abs() < 0.03, "empirical p = {p}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = NeuronConfig {
+            threshold: 1,
+            stochastic_mask: 255,
+            ..NeuronConfig::default()
+        };
+        let run = || {
+            let mut r = SmallRng::seed_from_u64(7);
+            let mut st = NeuronState { potential: 100 };
+            (0..32)
+                .map(|_| {
+                    st.potential += 100;
+                    st.leak_and_fire(&cfg, &mut r)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

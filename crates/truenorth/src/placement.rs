@@ -1,0 +1,194 @@
+//! Chip placement: mapping logical cores onto physical chips.
+//!
+//! A TrueNorth chip hosts 4096 cores; multi-chip systems route spikes over
+//! a slower, more power-hungry inter-chip interface. Placement therefore
+//! matters: a deployment whose traffic stays on-chip is both faster and
+//! cheaper. This module assigns cores to chips and audits a system's
+//! routing graph against a placement — the tooling a deployment engineer
+//! needs before committing a corelet design to hardware.
+
+use crate::crossbar::NEURONS_PER_CORE;
+use crate::ids::CoreHandle;
+use crate::power::CHIP_CORES;
+use crate::system::{SpikeTarget, System};
+use serde::{Deserialize, Serialize};
+
+/// A core→chip assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// `chip_of[core index]` = chip number.
+    chip_of: Vec<u32>,
+    chips: u32,
+}
+
+impl Placement {
+    /// Sequential placement: cores fill chips in registration order.
+    pub fn sequential(core_count: usize) -> Self {
+        Self::sequential_with_capacity(core_count, CHIP_CORES)
+    }
+
+    /// Sequential placement with an explicit per-chip capacity (useful
+    /// for modelling partially reserved chips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip_capacity == 0`.
+    pub fn sequential_with_capacity(core_count: usize, chip_capacity: usize) -> Self {
+        assert!(chip_capacity > 0, "chip capacity must be positive");
+        let chip_of: Vec<u32> = (0..core_count).map(|i| (i / chip_capacity) as u32).collect();
+        let chips = chip_of.last().map_or(0, |&c| c + 1);
+        Placement { chip_of, chips }
+    }
+
+    /// An explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip_of` is empty.
+    pub fn explicit(chip_of: Vec<u32>) -> Self {
+        assert!(!chip_of.is_empty(), "placement needs at least one core");
+        let chips = chip_of.iter().max().copied().unwrap_or(0) + 1;
+        Placement { chip_of, chips }
+    }
+
+    /// Number of chips used.
+    pub fn chip_count(&self) -> u32 {
+        self.chips
+    }
+
+    /// Number of cores placed.
+    pub fn core_count(&self) -> usize {
+        self.chip_of.len()
+    }
+
+    /// The chip hosting a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is out of range.
+    pub fn chip_of(&self, core: CoreHandle) -> u32 {
+        self.chip_of[core.index()]
+    }
+
+    /// Cores on each chip.
+    pub fn occupancy(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.chips as usize];
+        for &c in &self.chip_of {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// Routing audit of a system under a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoutingAudit {
+    /// Neuron routes staying on the source core's chip.
+    pub intra_chip_routes: usize,
+    /// Neuron routes crossing a chip boundary.
+    pub inter_chip_routes: usize,
+    /// Routes to host output pins.
+    pub output_routes: usize,
+}
+
+impl RoutingAudit {
+    /// Fraction of fabric routes that cross chips (0 when there are no
+    /// fabric routes).
+    pub fn inter_chip_fraction(&self) -> f64 {
+        let fabric = self.intra_chip_routes + self.inter_chip_routes;
+        if fabric == 0 {
+            0.0
+        } else {
+            self.inter_chip_routes as f64 / fabric as f64
+        }
+    }
+}
+
+/// Audits every configured neuron route in `system` against `placement`.
+///
+/// # Panics
+///
+/// Panics if the placement covers fewer cores than the system has.
+pub fn audit_routes(system: &System, placement: &Placement) -> RoutingAudit {
+    assert!(
+        placement.core_count() >= system.core_count(),
+        "placement covers {} cores but the system has {}",
+        placement.core_count(),
+        system.core_count()
+    );
+    let mut audit = RoutingAudit::default();
+    for idx in 0..system.core_count() {
+        let handle = CoreHandle::from_index(idx as u32);
+        let core = system.core(handle).expect("core exists");
+        for n in 0..NEURONS_PER_CORE {
+            match core.route(n) {
+                Some(SpikeTarget::Axon { core: dst, .. }) => {
+                    if placement.chip_of(handle) == placement.chip_of(dst) {
+                        audit.intra_chip_routes += 1;
+                    } else {
+                        audit.inter_chip_routes += 1;
+                    }
+                }
+                Some(SpikeTarget::Output { .. }) => audit.output_routes += 1,
+                None => {}
+            }
+        }
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_impl::NeuroCoreBuilder;
+    use crate::neuron::NeuronConfig;
+
+    #[test]
+    fn sequential_fills_chips_in_order() {
+        let p = Placement::sequential_with_capacity(10, 4);
+        assert_eq!(p.chip_count(), 3);
+        assert_eq!(p.occupancy(), vec![4, 4, 2]);
+        assert_eq!(p.chip_of(CoreHandle::from_index(0)), 0);
+        assert_eq!(p.chip_of(CoreHandle::from_index(9)), 2);
+    }
+
+    #[test]
+    fn full_chip_capacity_is_4096() {
+        let p = Placement::sequential(4096);
+        assert_eq!(p.chip_count(), 1);
+        let p = Placement::sequential(4097);
+        assert_eq!(p.chip_count(), 2);
+    }
+
+    #[test]
+    fn audit_counts_intra_and_inter() {
+        // Three relay cores in a chain, two cores per chip: the first hop
+        // stays on chip 0, the second crosses to chip 1.
+        let mut sys = System::new();
+        let relay = |target| {
+            let mut b = NeuroCoreBuilder::new();
+            b.connect(0, 0);
+            b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+            b.route_neuron(0, target);
+            b.build()
+        };
+        // Build back to front so destination handles are known.
+        let c2 = sys.add_core(relay(SpikeTarget::output(0)));
+        let c1 = sys.add_core(relay(SpikeTarget::axon(c2, 0)));
+        let _c0 = sys.add_core(relay(SpikeTarget::axon(c1, 0)));
+        // Handles: c2=0, c1=1, c0=2. Chips of size 2: {0,1} and {2}.
+        let p = Placement::sequential_with_capacity(3, 2);
+        let audit = audit_routes(&sys, &p);
+        assert_eq!(audit.output_routes, 1);
+        assert_eq!(audit.intra_chip_routes, 1); // c1 (idx 1) -> c2 (idx 0)
+        assert_eq!(audit.inter_chip_routes, 1); // c0 (idx 2) -> c1 (idx 1)
+        assert!((audit.inter_chip_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_placement_roundtrip() {
+        let p = Placement::explicit(vec![2, 0, 1, 2]);
+        assert_eq!(p.chip_count(), 3);
+        assert_eq!(p.occupancy(), vec![1, 1, 2]);
+    }
+}

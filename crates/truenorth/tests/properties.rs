@@ -1,0 +1,88 @@
+//! Property-based tests for the simulator's core invariants.
+
+use pcnn_truenorth::{
+    BernoulliCode, Crossbar, NeuroCoreBuilder, NeuronConfig, RateCode, SpikeCode, SpikeTarget,
+    System,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn rate_code_count_bounded_and_accurate(value in 0.0f32..=1.0, window in 1u32..=256) {
+        let code = RateCode::new(window);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let spikes = code.encode(value, &mut rng);
+        let count = spikes.iter().filter(|&&s| s).count() as u32;
+        prop_assert_eq!(spikes.len(), window as usize);
+        prop_assert!(count <= window);
+        // Decoding is within half a quantization step.
+        prop_assert!((code.decode(count) - value).abs() <= 0.5 / window as f32 + 1e-6);
+    }
+
+    #[test]
+    fn rate_code_is_monotone_in_value(a in 0.0f32..=1.0, b in 0.0f32..=1.0, window in 1u32..=64) {
+        let code = RateCode::new(window);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(code.count_for(lo) <= code.count_for(hi));
+    }
+
+    #[test]
+    fn bernoulli_count_in_range(value in 0.0f32..=1.0, window in 1u32..=128, seed in 0u64..1000) {
+        let code = BernoulliCode::new(window);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let count = code.encode(value, &mut rng).iter().filter(|&&s| s).count() as u32;
+        prop_assert!(count <= window);
+    }
+
+    #[test]
+    fn crossbar_set_get_roundtrip(axon in 0usize..256, neuron in 0usize..256) {
+        let mut xb = Crossbar::new();
+        xb.set(axon, neuron, true);
+        prop_assert!(xb.get(axon, neuron));
+        prop_assert_eq!(xb.synapse_count(), 1);
+        prop_assert_eq!(xb.fan_in(neuron), 1);
+        prop_assert_eq!(xb.fan_out(axon), 1);
+        xb.set(axon, neuron, false);
+        prop_assert_eq!(xb.synapse_count(), 0);
+    }
+
+    #[test]
+    fn relay_conserves_spike_count(n_spikes in 0u32..40, threshold in 1i32..4) {
+        // A neuron with weight `threshold` and threshold `threshold`
+        // (zero reset) relays exactly one spike per input spike.
+        let mut b = NeuroCoreBuilder::new();
+        b.connect(0, 0);
+        b.set_neuron(0, NeuronConfig::excitatory(&[threshold, 0, 0, 0], threshold));
+        b.route_neuron(0, SpikeTarget::output(0));
+        let mut sys = System::new();
+        let c = sys.add_core(b.build());
+        for _ in 0..n_spikes {
+            sys.inject(c, 0);
+            sys.tick();
+        }
+        sys.run(2);
+        let out = sys.drain_output_counts(1)[0];
+        prop_assert_eq!(out, n_spikes);
+    }
+
+    #[test]
+    fn stats_never_decrease(ticks_a in 1u64..50, ticks_b in 1u64..50) {
+        let mut b = NeuroCoreBuilder::new();
+        b.connect(0, 0);
+        b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+        b.route_neuron(0, SpikeTarget::output(0));
+        let mut sys = System::new();
+        let c = sys.add_core(b.build());
+        sys.inject(c, 0);
+        sys.run(ticks_a);
+        let s1 = sys.stats();
+        sys.inject(c, 0);
+        sys.run(ticks_b);
+        let s2 = sys.stats();
+        prop_assert!(s2.ticks >= s1.ticks);
+        prop_assert!(s2.injected_spikes >= s1.injected_spikes);
+        prop_assert!(s2.output_spikes >= s1.output_spikes);
+    }
+}

@@ -1,0 +1,163 @@
+//! Axis-aligned bounding boxes and the overlap criteria used for matching
+//! detections to ground truth.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box in pixel coordinates. `x, y` is the top-left corner;
+/// the box spans `[x, x + width) × [y, y + height)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Left edge.
+    pub x: f32,
+    /// Top edge.
+    pub y: f32,
+    /// Width (non-negative).
+    pub width: f32,
+    /// Height (non-negative).
+    pub height: f32,
+}
+
+impl BoundingBox {
+    /// Builds a box from its corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    pub fn new(x: f32, y: f32, width: f32, height: f32) -> Self {
+        assert!(width >= 0.0 && height >= 0.0, "box size must be non-negative");
+        BoundingBox { x, y, width, height }
+    }
+
+    /// The box area.
+    pub fn area(&self) -> f32 {
+        self.width * self.height
+    }
+
+    /// The intersection area with `other`.
+    pub fn intersection_area(&self, other: &BoundingBox) -> f32 {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = (self.x + self.width).min(other.x + other.width);
+        let y1 = (self.y + self.height).min(other.y + other.height);
+        (x1 - x0).max(0.0) * (y1 - y0).max(0.0)
+    }
+
+    /// Intersection-over-union with `other` (0 when both are empty).
+    pub fn iou(&self, other: &BoundingBox) -> f32 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// The paper's ground-truth matching measure: the ratio of the
+    /// detection's overlapped region to the *ground-truth* box ("the ratio
+    /// of a detection's overlapped region to ground truth images has to be
+    /// larger than or equal to 0.5").
+    pub fn overlap_over(&self, ground_truth: &BoundingBox) -> f32 {
+        let gt_area = ground_truth.area();
+        if gt_area <= 0.0 {
+            0.0
+        } else {
+            self.intersection_area(ground_truth) / gt_area
+        }
+    }
+
+    /// The box scaled by `s` about its own center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative.
+    pub fn scaled_about_center(&self, s: f32) -> BoundingBox {
+        assert!(s >= 0.0, "scale must be non-negative");
+        let cx = self.x + self.width / 2.0;
+        let cy = self.y + self.height / 2.0;
+        let w = self.width * s;
+        let h = self.height * s;
+        BoundingBox::new(cx - w / 2.0, cy - h / 2.0, w, h)
+    }
+
+    /// Maps the box from a scaled image's coordinates back to the original
+    /// image (divide by `scale`, where `scale < 1` means the image was
+    /// shrunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0`.
+    pub fn unscale(&self, scale: f32) -> BoundingBox {
+        assert!(scale > 0.0, "scale must be positive");
+        BoundingBox::new(self.x / scale, self.y / scale, self.width / scale, self.height / scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_intersection() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 5.0, 10.0, 10.0);
+        assert_eq!(a.area(), 100.0);
+        assert_eq!(a.intersection_area(&b), 25.0);
+        assert_eq!(b.intersection_area(&a), 25.0);
+    }
+
+    #[test]
+    fn disjoint_boxes() {
+        let a = BoundingBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BoundingBox::new(5.0, 5.0, 2.0, 2.0);
+        assert_eq!(a.intersection_area(&b), 0.0);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_identity() {
+        let a = BoundingBox::new(3.0, 4.0, 7.0, 9.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_quarter_overlap() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 5.0, 10.0, 10.0);
+        // inter 25, union 175.
+        assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_over_gt_is_asymmetric() {
+        let det = BoundingBox::new(0.0, 0.0, 20.0, 20.0);
+        let gt = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        // Detection fully covers GT: ratio over GT = 1, IoU = 0.25.
+        assert!((det.overlap_over(&gt) - 1.0).abs() < 1e-6);
+        assert!((gt.overlap_over(&det) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_about_center_keeps_center() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 20.0);
+        let s = a.scaled_about_center(0.5);
+        assert!((s.x - 2.5).abs() < 1e-6);
+        assert!((s.y - 5.0).abs() < 1e-6);
+        assert!((s.width - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unscale_maps_back() {
+        let in_scaled = BoundingBox::new(10.0, 20.0, 64.0, 128.0);
+        let orig = in_scaled.unscale(0.5);
+        assert_eq!(orig.x, 20.0);
+        assert_eq!(orig.width, 128.0);
+    }
+
+    #[test]
+    fn empty_gt_overlap_is_zero() {
+        let det = BoundingBox::new(0.0, 0.0, 5.0, 5.0);
+        let gt = BoundingBox::new(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(det.overlap_over(&gt), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Procedural drawing primitives for the synthetic dataset generator.
+//!
+//! All routines draw into a [`GrayImage`] with soft (anti-aliased-ish)
+//! edges where it matters for gradient statistics: HoG responds to edge
+//! orientation, so shapes drawn here must have locally consistent
+//! gradients, not single-pixel staircase noise.
+
+use crate::image::GrayImage;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Fills the whole image with `value`.
+pub fn fill(img: &mut GrayImage, value: f32) {
+    for p in img.pixels_mut() {
+        *p = value;
+    }
+}
+
+/// Fills the image with a linear ramp from `from` (left/top) to `to`
+/// (right/bottom); `vertical` selects the axis.
+pub fn gradient_fill(img: &mut GrayImage, from: f32, to: f32, vertical: bool) {
+    let (w, h) = (img.width(), img.height());
+    for y in 0..h {
+        for x in 0..w {
+            let t = if vertical {
+                y as f32 / (h - 1).max(1) as f32
+            } else {
+                x as f32 / (w - 1).max(1) as f32
+            };
+            img.set(x, y, from + (to - from) * t);
+        }
+    }
+}
+
+/// Draws a filled axis-aligned rectangle, clipped to the image.
+pub fn fill_rect(img: &mut GrayImage, x0: isize, y0: isize, w: usize, h: usize, value: f32) {
+    let (iw, ih) = (img.width() as isize, img.height() as isize);
+    for y in y0.max(0)..(y0 + h as isize).min(ih) {
+        for x in x0.max(0)..(x0 + w as isize).min(iw) {
+            img.set(x as usize, y as usize, value);
+        }
+    }
+}
+
+/// Draws a filled ellipse centered at `(cx, cy)` with radii `(rx, ry)`,
+/// alpha-blending `value` over the background with a soft 1-pixel edge.
+pub fn fill_ellipse(img: &mut GrayImage, cx: f32, cy: f32, rx: f32, ry: f32, value: f32) {
+    if rx <= 0.0 || ry <= 0.0 {
+        return;
+    }
+    let (iw, ih) = (img.width() as isize, img.height() as isize);
+    let x_min = ((cx - rx).floor() as isize - 1).max(0);
+    let x_max = ((cx + rx).ceil() as isize + 1).min(iw - 1);
+    let y_min = ((cy - ry).floor() as isize - 1).max(0);
+    let y_max = ((cy + ry).ceil() as isize + 1).min(ih - 1);
+    for y in y_min..=y_max {
+        for x in x_min..=x_max {
+            let dx = (x as f32 - cx) / rx;
+            let dy = (y as f32 - cy) / ry;
+            let d = (dx * dx + dy * dy).sqrt();
+            // Soft edge over ~1 pixel of normalized distance.
+            let edge = 1.0 / rx.min(ry);
+            let alpha = ((1.0 + edge - d) / edge).clamp(0.0, 1.0);
+            if alpha > 0.0 {
+                let bg = img.get(x as usize, y as usize);
+                img.set(x as usize, y as usize, bg * (1.0 - alpha) + value * alpha);
+            }
+        }
+    }
+}
+
+/// Draws a thick anti-aliased line segment from `(x0, y0)` to `(x1, y1)`.
+pub fn draw_line(
+    img: &mut GrayImage,
+    x0: f32,
+    y0: f32,
+    x1: f32,
+    y1: f32,
+    thickness: f32,
+    value: f32,
+) {
+    let (iw, ih) = (img.width() as isize, img.height() as isize);
+    let len2 = (x1 - x0).powi(2) + (y1 - y0).powi(2);
+    let half = thickness / 2.0;
+    let x_min = ((x0.min(x1) - half).floor() as isize - 1).max(0);
+    let x_max = ((x0.max(x1) + half).ceil() as isize + 1).min(iw - 1);
+    let y_min = ((y0.min(y1) - half).floor() as isize - 1).max(0);
+    let y_max = ((y0.max(y1) + half).ceil() as isize + 1).min(ih - 1);
+    for y in y_min..=y_max {
+        for x in x_min..=x_max {
+            let (px, py) = (x as f32, y as f32);
+            // Distance from pixel to segment.
+            let t = if len2 == 0.0 {
+                0.0
+            } else {
+                (((px - x0) * (x1 - x0) + (py - y0) * (y1 - y0)) / len2).clamp(0.0, 1.0)
+            };
+            let dx = px - (x0 + t * (x1 - x0));
+            let dy = py - (y0 + t * (y1 - y0));
+            let d = (dx * dx + dy * dy).sqrt();
+            let alpha = (half + 0.5 - d).clamp(0.0, 1.0);
+            if alpha > 0.0 {
+                let bg = img.get(x as usize, y as usize);
+                img.set(x as usize, y as usize, bg * (1.0 - alpha) + value * alpha);
+            }
+        }
+    }
+}
+
+/// Adds zero-mean uniform noise of amplitude `amp` and clamps to `[0, 1]`.
+pub fn add_noise(img: &mut GrayImage, amp: f32, rng: &mut SmallRng) {
+    for p in img.pixels_mut() {
+        *p = (*p + rng.random_range(-amp..=amp)).clamp(0.0, 1.0);
+    }
+}
+
+/// Box-blurs the image with a `(2r+1)²` kernel; softens synthetic edges so
+/// their gradient support spans a few pixels, like camera images.
+pub fn box_blur(img: &GrayImage, r: usize) -> GrayImage {
+    if r == 0 {
+        return img.clone();
+    }
+    let (w, h) = (img.width(), img.height());
+    // Separable: horizontal then vertical pass.
+    let mut tmp = GrayImage::new(w, h);
+    let norm = 1.0 / (2 * r + 1) as f32;
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for k in -(r as isize)..=(r as isize) {
+                acc += img.get_clamped(x as isize + k, y as isize);
+            }
+            tmp.set(x, y, acc * norm);
+        }
+    }
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for k in -(r as isize)..=(r as isize) {
+                acc += tmp.get_clamped(x as isize, y as isize + k);
+            }
+            out.set(x, y, acc * norm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fill_sets_everything() {
+        let mut img = GrayImage::new(4, 4);
+        fill(&mut img, 0.5);
+        assert!(img.pixels().iter().all(|&p| p == 0.5));
+    }
+
+    #[test]
+    fn gradient_fill_endpoints() {
+        let mut img = GrayImage::new(10, 2);
+        gradient_fill(&mut img, 0.0, 1.0, false);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(9, 0), 1.0);
+        assert!(img.get(5, 0) > img.get(4, 0));
+    }
+
+    #[test]
+    fn rect_clips_to_image() {
+        let mut img = GrayImage::new(4, 4);
+        fill_rect(&mut img, -2, -2, 4, 4, 1.0);
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(1, 1), 1.0);
+        assert_eq!(img.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn ellipse_center_is_filled_edges_soft() {
+        let mut img = GrayImage::new(21, 21);
+        fill_ellipse(&mut img, 10.0, 10.0, 6.0, 6.0, 1.0);
+        assert_eq!(img.get(10, 10), 1.0);
+        assert_eq!(img.get(0, 0), 0.0);
+        // Some pixel near the rim must be fractional (soft edge).
+        let rim = img.get(16, 10);
+        assert!(rim > 0.0 && rim <= 1.0);
+    }
+
+    #[test]
+    fn line_covers_endpoints() {
+        let mut img = GrayImage::new(20, 20);
+        draw_line(&mut img, 2.0, 2.0, 17.0, 17.0, 2.0, 1.0);
+        assert!(img.get(2, 2) > 0.5);
+        assert!(img.get(17, 17) > 0.5);
+        assert!(img.get(10, 10) > 0.5);
+        assert_eq!(img.get(19, 0), 0.0);
+    }
+
+    #[test]
+    fn noise_stays_in_range_and_is_seeded() {
+        let mut a = GrayImage::new(16, 16);
+        fill(&mut a, 0.5);
+        let mut b = a.clone();
+        add_noise(&mut a, 0.2, &mut SmallRng::seed_from_u64(3));
+        add_noise(&mut b, 0.2, &mut SmallRng::seed_from_u64(3));
+        assert_eq!(a, b, "seeded noise must be reproducible");
+        assert!(a.pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(a.pixels().iter().any(|&p| p != 0.5));
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let mut img = GrayImage::new(8, 8);
+        fill(&mut img, 0.7);
+        let out = box_blur(&img, 2);
+        assert!(out.pixels().iter().all(|&p| (p - 0.7).abs() < 1e-5));
+    }
+
+    #[test]
+    fn blur_softens_step_edge() {
+        let mut img = GrayImage::new(10, 1);
+        for x in 5..10 {
+            img.set(x, 0, 1.0);
+        }
+        let out = box_blur(&img, 1);
+        let v = out.get(5, 0);
+        assert!(v > 0.0 && v < 1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Detection evaluation: miss rate vs. false positives per image.
+//!
+//! Implements the protocol of Dollár et al. ("Pedestrian Detection: An
+//! Evaluation of the State of the Art", TPAMI 2012) as used by the paper:
+//!
+//! * detections are matched greedily, best score first, to the unmatched
+//!   ground-truth box they overlap most, where the overlap measure is the
+//!   paper's "ratio of a detection's overlapped region to ground truth"
+//!   with threshold 0.5;
+//! * sweeping the score threshold yields (FPPI, miss-rate) pairs;
+//! * curves are summarized by the **log-average miss rate**: the mean miss
+//!   rate sampled at nine FPPI points evenly spaced in log space over
+//!   `[10⁻², 10⁰]`.
+
+use crate::bbox::BoundingBox;
+use crate::window::Detection;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth overlap threshold for a true positive.
+pub const OVERLAP_THRESHOLD: f32 = 0.5;
+
+/// A detection labelled true/false positive after ground-truth matching.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledDetection {
+    /// The classifier score.
+    pub score: f32,
+    /// Whether the detection matched a ground-truth box.
+    pub true_positive: bool,
+}
+
+/// A miss-rate / FPPI curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionCurve {
+    /// Curve points as `(fppi, miss_rate)`, in increasing FPPI order.
+    pub points: Vec<(f64, f64)>,
+    /// Total ground-truth boxes across the evaluated set.
+    pub total_ground_truth: usize,
+    /// Number of images evaluated.
+    pub images: usize,
+}
+
+impl DetectionCurve {
+    /// The log-average miss rate over FPPI ∈ [10⁻², 10⁰] (nine samples).
+    ///
+    /// For FPPI values below the curve's smallest achieved FPPI the highest
+    /// miss rate observed is used, matching the reference implementation.
+    pub fn log_average_miss_rate(&self) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..9 {
+            let fppi = 10f64.powf(-2.0 + i as f64 * 0.25);
+            acc += self.miss_rate_at(fppi).ln().max(f64::ln(1e-4));
+        }
+        (acc / 9.0).exp()
+    }
+
+    /// The miss rate achieved at or below a given FPPI (the lowest miss
+    /// rate among points with `fppi ≤ limit`; `1.0` if none qualify).
+    pub fn miss_rate_at(&self, limit: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|(fppi, _)| *fppi <= limit)
+            .map(|&(_, mr)| mr)
+            .fold(1.0f64, f64::min)
+    }
+}
+
+/// Accumulates labelled detections over a test set and produces curves.
+#[derive(Debug, Clone, Default)]
+pub struct Evaluator {
+    labeled: Vec<LabeledDetection>,
+    total_ground_truth: usize,
+    images: usize,
+}
+
+impl Evaluator {
+    /// An empty evaluator.
+    pub fn new() -> Self {
+        Evaluator::default()
+    }
+
+    /// Matches one image's detections against its ground truth and
+    /// accumulates the outcome.
+    ///
+    /// Matching is greedy by descending score: each detection claims the
+    /// unmatched ground-truth box with the largest overlap ratio, provided
+    /// the ratio is at least [`OVERLAP_THRESHOLD`]; otherwise it is a false
+    /// positive. Unmatched ground truth counts as misses via
+    /// `total_ground_truth`.
+    pub fn add_image(&mut self, detections: &[Detection], ground_truth: &[BoundingBox]) {
+        self.images += 1;
+        self.total_ground_truth += ground_truth.len();
+        let mut order: Vec<usize> = (0..detections.len()).collect();
+        order.sort_by(|&a, &b| detections[b].score.total_cmp(&detections[a].score));
+        let mut gt_taken = vec![false; ground_truth.len()];
+        for &di in &order {
+            let d = &detections[di];
+            let mut best: Option<(usize, f32)> = None;
+            for (gi, gt) in ground_truth.iter().enumerate() {
+                if gt_taken[gi] {
+                    continue;
+                }
+                let ov = d.bbox.overlap_over(gt);
+                if ov >= OVERLAP_THRESHOLD && best.is_none_or(|(_, b)| ov > b) {
+                    best = Some((gi, ov));
+                }
+            }
+            match best {
+                Some((gi, _)) => {
+                    gt_taken[gi] = true;
+                    self.labeled.push(LabeledDetection { score: d.score, true_positive: true });
+                }
+                None => {
+                    self.labeled.push(LabeledDetection { score: d.score, true_positive: false });
+                }
+            }
+        }
+    }
+
+    /// Number of images accumulated so far.
+    pub fn images(&self) -> usize {
+        self.images
+    }
+
+    /// Builds the miss-rate / FPPI curve by sweeping the score threshold
+    /// over every distinct detection score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no images were added.
+    pub fn curve(&self) -> DetectionCurve {
+        assert!(self.images > 0, "no images were evaluated");
+        let mut labeled = self.labeled.clone();
+        labeled.sort_by(|a, b| b.score.total_cmp(&a.score));
+        let gt = self.total_ground_truth.max(1) as f64;
+        let imgs = self.images as f64;
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut points = Vec::with_capacity(labeled.len() + 1);
+        // Threshold above all scores: no detections at all.
+        points.push((0.0, 1.0));
+        for l in &labeled {
+            if l.true_positive {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            points.push((fp as f64 / imgs, 1.0 - tp as f64 / gt));
+        }
+        DetectionCurve {
+            points,
+            total_ground_truth: self.total_ground_truth,
+            images: self.images,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x: f32, y: f32, w: f32, h: f32) -> BoundingBox {
+        BoundingBox::new(x, y, w, h)
+    }
+
+    fn det(b: BoundingBox, score: f32) -> Detection {
+        Detection { bbox: b, score }
+    }
+
+    #[test]
+    fn perfect_detector_curve() {
+        let mut ev = Evaluator::new();
+        let gt = vec![bb(10.0, 10.0, 40.0, 80.0)];
+        ev.add_image(&[det(gt[0], 0.9)], &gt);
+        let c = ev.curve();
+        // At threshold below 0.9: FPPI 0, miss rate 0.
+        assert_eq!(c.points.last(), Some(&(0.0, 0.0)));
+        assert!(c.log_average_miss_rate() < 0.01);
+    }
+
+    #[test]
+    fn blind_negative_detector_misses_everything() {
+        let mut ev = Evaluator::new();
+        ev.add_image(&[], &[bb(0.0, 0.0, 10.0, 10.0)]);
+        let c = ev.curve();
+        assert_eq!(c.miss_rate_at(1.0), 1.0);
+        assert!((c.log_average_miss_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positive_counted_per_image() {
+        let mut ev = Evaluator::new();
+        let gt = vec![bb(0.0, 0.0, 40.0, 80.0)];
+        // One TP and one far-away FP.
+        ev.add_image(&[det(gt[0], 0.9), det(bb(200.0, 0.0, 40.0, 80.0), 0.8)], &gt);
+        ev.add_image(&[], &[]);
+        let c = ev.curve();
+        // Full sweep ends at fppi = 1 fp / 2 images = 0.5, miss 0.
+        assert_eq!(c.points.last(), Some(&(0.5, 0.0)));
+    }
+
+    #[test]
+    fn double_detection_of_one_gt_is_fp() {
+        let mut ev = Evaluator::new();
+        let gt = vec![bb(0.0, 0.0, 40.0, 80.0)];
+        ev.add_image(&[det(gt[0], 0.9), det(bb(2.0, 2.0, 40.0, 80.0), 0.8)], &gt);
+        let c = ev.curve();
+        let (fppi, miss) = *c.points.last().unwrap();
+        assert_eq!(fppi, 1.0, "second match of same GT is a false positive");
+        assert_eq!(miss, 0.0);
+    }
+
+    #[test]
+    fn overlap_below_threshold_is_fp() {
+        let mut ev = Evaluator::new();
+        let gt = vec![bb(0.0, 0.0, 40.0, 80.0)];
+        // Shifted so overlap-over-GT < 0.5.
+        ev.add_image(&[det(bb(30.0, 0.0, 40.0, 80.0), 0.9)], &gt);
+        let c = ev.curve();
+        let (fppi, miss) = *c.points.last().unwrap();
+        assert_eq!(fppi, 1.0);
+        assert_eq!(miss, 1.0);
+    }
+
+    #[test]
+    fn greedy_matching_prefers_higher_score() {
+        let mut ev = Evaluator::new();
+        let gt = vec![bb(0.0, 0.0, 40.0, 80.0)];
+        // Lower-scored detection overlaps better, but higher-scored one
+        // also passes the threshold and claims the GT first.
+        ev.add_image(
+            &[
+                det(bb(5.0, 5.0, 40.0, 80.0), 0.9),
+                det(gt[0], 0.5),
+            ],
+            &gt,
+        );
+        let labeled_tp: Vec<bool> = {
+            let c = ev.curve();
+            // First point is the sentinel; walk the increments.
+            c.points.windows(2).map(|w| w[1].1 < w[0].1).collect()
+        };
+        assert_eq!(labeled_tp, vec![true, false]);
+    }
+
+    #[test]
+    fn log_average_between_extremes() {
+        let mut ev = Evaluator::new();
+        // Two GT, one found, plus one FP: lamr strictly between 0 and 1.
+        let gt = vec![bb(0.0, 0.0, 40.0, 80.0), bb(100.0, 0.0, 40.0, 80.0)];
+        ev.add_image(&[det(gt[0], 0.9), det(bb(300.0, 300.0, 40.0, 80.0), 0.7)], &gt);
+        let lamr = ev.curve().log_average_miss_rate();
+        assert!(lamr > 0.2 && lamr < 1.0, "lamr = {lamr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no images")]
+    fn curve_requires_images() {
+        Evaluator::new().curve();
+    }
+}

@@ -1,0 +1,390 @@
+//! Grayscale and RGB images with `f32` pixels in `[0, 1]`.
+
+use serde::{Deserialize, Serialize};
+
+/// A single-channel image; pixel values are `f32` in `[0, 1]` (values
+/// outside the range are tolerated mid-computation and clamped on export).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// A black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        GrayImage {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Builds an image from row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or a dimension is zero.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        assert_eq!(data.len(), width * height, "pixel buffer size mismatch");
+        GrayImage { width, height, data }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// The pixel at `(x, y)`, with coordinates clamped to the image border
+    /// (replicate padding). Accepts signed coordinates.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Raw row-major pixel access.
+    pub fn pixels(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major pixel access.
+    pub fn pixels_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Extracts the `w × h` sub-image whose top-left corner is `(x0, y0)`.
+    /// Regions extending past the border replicate edge pixels.
+    pub fn crop(&self, x0: isize, y0: isize, w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| self.get_clamped(x0 + x as isize, y0 + y as isize))
+    }
+
+    /// Clamps every pixel into `[0, 1]`.
+    pub fn clamp(&mut self) {
+        for p in &mut self.data {
+            *p = p.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Samples the image at a real-valued coordinate with bilinear
+    /// interpolation (border-replicated).
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (xi, yi) = (x0 as isize, y0 as isize);
+        let p00 = self.get_clamped(xi, yi);
+        let p10 = self.get_clamped(xi + 1, yi);
+        let p01 = self.get_clamped(xi, yi + 1);
+        let p11 = self.get_clamped(xi + 1, yi + 1);
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
+    }
+
+    /// Writes the image as a binary PGM (P5) byte stream, clamping pixels
+    /// to `[0, 1]` and quantizing to 8 bits. Useful for eyeballing
+    /// generated scenes.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend(self.data.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8));
+        out
+    }
+
+    /// Parses a binary PGM (P5) byte stream — the inverse of
+    /// [`to_pgm`](GrayImage::to_pgm), so external imagery can enter the
+    /// detection pipeline.
+    ///
+    /// Supports `#` comment lines in the header and 8-bit maxval.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation when the bytes are not a
+    /// well-formed 8-bit P5 file.
+    pub fn from_pgm(bytes: &[u8]) -> Result<GrayImage, String> {
+        // Header tokens: "P5", width, height, maxval — whitespace
+        // separated, with optional #-comments — then a single whitespace
+        // byte, then the raster.
+        let mut pos = 0usize;
+        let mut tokens: Vec<String> = Vec::new();
+        while tokens.len() < 4 {
+            // Skip whitespace and comments.
+            while pos < bytes.len() {
+                match bytes[pos] {
+                    b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+                    b'#' => {
+                        while pos < bytes.len() && bytes[pos] != b'\n' {
+                            pos += 1;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err("truncated PGM header".to_owned());
+            }
+            tokens.push(String::from_utf8_lossy(&bytes[start..pos]).into_owned());
+        }
+        if tokens[0] != "P5" {
+            return Err(format!("not a binary PGM (magic `{}`)", tokens[0]));
+        }
+        let width: usize = tokens[1].parse().map_err(|_| "bad width".to_owned())?;
+        let height: usize = tokens[2].parse().map_err(|_| "bad height".to_owned())?;
+        let maxval: u32 = tokens[3].parse().map_err(|_| "bad maxval".to_owned())?;
+        if width == 0 || height == 0 {
+            return Err("zero image dimension".to_owned());
+        }
+        if !(1..=255).contains(&maxval) {
+            return Err(format!("unsupported maxval {maxval} (8-bit only)"));
+        }
+        // Exactly one whitespace byte separates header and raster.
+        if pos >= bytes.len() || !bytes[pos].is_ascii_whitespace() {
+            return Err("missing raster separator".to_owned());
+        }
+        pos += 1;
+        let need = width * height;
+        let raster = &bytes[pos..];
+        if raster.len() < need {
+            return Err(format!("raster truncated: {} of {need} bytes", raster.len()));
+        }
+        Ok(GrayImage::from_vec(
+            width,
+            height,
+            raster[..need].iter().map(|&b| f32::from(b) / maxval as f32).collect(),
+        ))
+    }
+}
+
+/// A three-channel image; pixel values are `f32` in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    /// Interleaved RGB, row-major.
+    data: Vec<[f32; 3]>,
+}
+
+impl RgbImage {
+    /// A black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        RgbImage {
+            width,
+            height,
+            data: vec![[0.0; 3]; width * height],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> [f32; 3] {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, rgb: [f32; 3]) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = rgb;
+    }
+
+    /// Converts to grayscale with the ITU-R BT.601 luma weights — the
+    /// "color channels are reduced from RGB to grayscale" step the paper
+    /// applies before its TrueNorth HoG variants.
+    pub fn to_gray(&self) -> GrayImage {
+        GrayImage::from_vec(
+            self.width,
+            self.height,
+            self.data
+                .iter()
+                .map(|[r, g, b]| 0.299 * r + 0.587 * g + 0.114 * b)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = GrayImage::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert!(img.pixels().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        GrayImage::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_vec_validates_len() {
+        GrayImage::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = GrayImage::new(8, 8);
+        img.set(3, 5, 0.75);
+        assert_eq!(img.get(3, 5), 0.75);
+    }
+
+    #[test]
+    fn clamped_access_replicates_border() {
+        let img = GrayImage::from_fn(3, 3, |x, y| (x + 3 * y) as f32);
+        assert_eq!(img.get_clamped(-5, -5), 0.0);
+        assert_eq!(img.get_clamped(10, 10), 8.0);
+        assert_eq!(img.get_clamped(-1, 1), 3.0);
+    }
+
+    #[test]
+    fn crop_replicates_outside() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (y * 4 + x) as f32);
+        let c = img.crop(-1, -1, 3, 3);
+        assert_eq!(c.get(0, 0), 0.0); // replicated corner
+        assert_eq!(c.get(1, 1), 0.0); // true (0,0)
+        assert_eq!(c.get(2, 2), 5.0); // true (1,1)
+    }
+
+    #[test]
+    fn bilinear_midpoint() {
+        let img = GrayImage::from_vec(2, 1, vec![0.0, 1.0]);
+        assert!((img.sample_bilinear(0.5, 0.0) - 0.5).abs() < 1e-6);
+        assert!((img.sample_bilinear(0.25, 0.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rgb_to_gray_luma() {
+        let mut img = RgbImage::new(1, 1);
+        img.set(0, 0, [1.0, 1.0, 1.0]);
+        let g = img.to_gray();
+        assert!((g.get(0, 0) - 1.0).abs() < 1e-6);
+        let mut img = RgbImage::new(1, 1);
+        img.set(0, 0, [0.0, 1.0, 0.0]);
+        assert!((img.to_gray().get(0, 0) - 0.587).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let img = GrayImage::new(5, 2);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n5 2\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n5 2\n255\n".len() + 10);
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = GrayImage::from_fn(7, 5, |x, y| ((x * 5 + y * 3) % 11) as f32 / 11.0);
+        let back = GrayImage::from_pgm(&img.to_pgm()).unwrap();
+        assert_eq!(back.width(), 7);
+        assert_eq!(back.height(), 5);
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pgm_parses_comments() {
+        let bytes = b"P5 # a comment\n# another\n2 1 255\n\x00\xff".to_vec();
+        let img = GrayImage::from_pgm(&bytes).unwrap();
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn pgm_rejects_malformed() {
+        assert!(GrayImage::from_pgm(b"P6 1 1 255 x").is_err());
+        assert!(GrayImage::from_pgm(b"P5 2 2 255\n\x00").is_err());
+        assert!(GrayImage::from_pgm(b"P5").is_err());
+        assert!(GrayImage::from_pgm(b"P5 0 1 255\n").is_err());
+    }
+
+    #[test]
+    fn mean_of_gradient() {
+        let img = GrayImage::from_fn(2, 1, |x, _| x as f32);
+        assert!((img.mean() - 0.5).abs() < 1e-6);
+    }
+}

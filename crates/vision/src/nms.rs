@@ -1,0 +1,130 @@
+//! Non-maximum suppression of overlapping detections.
+//!
+//! The paper narrows "tens of thousands of detection windows" per image by
+//! NMS with ε = 0.2: a detection is suppressed when it overlaps a
+//! higher-scoring survivor by more than ε (symmetric min-area overlap, the
+//! criterion of Dalal's original release and of Dollár's toolbox).
+
+use crate::window::Detection;
+
+/// Greedy non-maximum suppression.
+///
+/// Detections are visited in descending score order; each is kept unless
+/// its overlap with an already-kept detection exceeds `epsilon`. Overlap
+/// is `intersection / min(area_a, area_b)`, which suppresses nested boxes
+/// of different scales more aggressively than IoU — the behaviour the
+/// multi-scale pedestrian pipeline wants.
+///
+/// Returns the kept detections in descending score order.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is negative.
+pub fn non_maximum_suppression(mut detections: Vec<Detection>, epsilon: f32) -> Vec<Detection> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    detections.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let mut kept: Vec<Detection> = Vec::new();
+    'outer: for d in detections {
+        for k in &kept {
+            let inter = d.bbox.intersection_area(&k.bbox);
+            let min_area = d.bbox.area().min(k.bbox.area());
+            if min_area > 0.0 && inter / min_area > epsilon {
+                continue 'outer;
+            }
+        }
+        kept.push(d);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BoundingBox;
+
+    fn det(x: f32, y: f32, w: f32, h: f32, score: f32) -> Detection {
+        Detection { bbox: BoundingBox::new(x, y, w, h), score }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(non_maximum_suppression(Vec::new(), 0.2).is_empty());
+    }
+
+    #[test]
+    fn single_detection_kept() {
+        let out = non_maximum_suppression(vec![det(0.0, 0.0, 10.0, 10.0, 1.0)], 0.2);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_lower_score_suppressed() {
+        let out = non_maximum_suppression(
+            vec![
+                det(0.0, 0.0, 10.0, 10.0, 0.5),
+                det(1.0, 1.0, 10.0, 10.0, 0.9),
+            ],
+            0.2,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, 0.9);
+    }
+
+    #[test]
+    fn disjoint_detections_all_kept() {
+        let out = non_maximum_suppression(
+            vec![
+                det(0.0, 0.0, 10.0, 10.0, 0.5),
+                det(100.0, 100.0, 10.0, 10.0, 0.9),
+                det(200.0, 0.0, 10.0, 10.0, 0.1),
+            ],
+            0.2,
+        );
+        assert_eq!(out.len(), 3);
+        // Sorted by descending score.
+        assert!(out[0].score >= out[1].score && out[1].score >= out[2].score);
+    }
+
+    #[test]
+    fn nested_small_box_suppressed_by_min_area_rule() {
+        // Small box entirely inside a big one: IoU is small (0.04) but
+        // min-area overlap is 1.0, so it must be suppressed.
+        let out = non_maximum_suppression(
+            vec![
+                det(0.0, 0.0, 50.0, 50.0, 0.9),
+                det(20.0, 20.0, 10.0, 10.0, 0.8),
+            ],
+            0.2,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_only_nonoverlapping() {
+        let out = non_maximum_suppression(
+            vec![
+                det(0.0, 0.0, 10.0, 10.0, 1.0),
+                det(9.0, 9.0, 10.0, 10.0, 0.9), // tiny corner overlap
+            ],
+            0.0,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn chain_suppression_is_greedy_not_transitive() {
+        // b overlaps a (suppressed); c overlaps b but not a -> c kept.
+        let out = non_maximum_suppression(
+            vec![
+                det(0.0, 0.0, 10.0, 10.0, 1.0),  // a spans x=[0,10)
+                det(6.0, 0.0, 10.0, 10.0, 0.9),  // b spans x=[6,16): 40% overlap with a
+                det(12.0, 0.0, 10.0, 10.0, 0.8), // c spans x=[12,22): overlaps b, not a
+            ],
+            0.2,
+        );
+        // b is suppressed by a; c survives because the kept set is {a}.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].score, 1.0);
+        assert_eq!(out[1].score, 0.8);
+    }
+}

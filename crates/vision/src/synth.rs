@@ -1,0 +1,444 @@
+//! Synthetic pedestrian dataset — the INRIA Person Dataset substitute.
+//!
+//! The INRIA dataset is not redistributable inside this repository, so the
+//! workspace generates a procedural stand-in with the properties the
+//! paper's experiments actually depend on:
+//!
+//! * **positives** contain an upright person-shaped object whose salient
+//!   signal is its *oriented-gradient* structure (vertical torso edges,
+//!   round head, leg "Λ"), exactly the signal HoG was designed to capture;
+//! * **negatives** contain structured clutter (rectangles, ellipses, bars,
+//!   ramps) with rich but non-person gradient statistics — hard enough
+//!   that a classifier must learn shape, not mere edge density;
+//! * **test scenes** are full images with 0–3 pedestrians at varying
+//!   scales and known ground-truth boxes, so miss-rate/FPPI evaluation
+//!   works end to end.
+//!
+//! Everything is seeded: a [`SynthDataset`] with the same config produces
+//! bit-identical images across runs and platforms.
+
+use crate::bbox::BoundingBox;
+use crate::draw;
+use crate::image::GrayImage;
+use crate::window::{WINDOW_HEIGHT, WINDOW_WIDTH};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the synthetic dataset generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Master seed; all scene streams derive from it.
+    pub seed: u64,
+    /// Test-scene width in pixels.
+    pub scene_width: usize,
+    /// Test-scene height in pixels.
+    pub scene_height: usize,
+    /// Maximum pedestrians per positive test scene.
+    pub max_pedestrians: usize,
+    /// Amplitude of per-pixel sensor noise.
+    pub noise: f32,
+    /// Number of clutter objects per scene.
+    pub clutter: usize,
+    /// Edge-softening blur radius.
+    pub blur: usize,
+    /// Pedestrian-shaped distractors per scene (lampposts, bar pairs,
+    /// person-sized blobs) — the hard negatives that keep the task from
+    /// being trivially separable.
+    pub distractors: usize,
+    /// Pedestrian/background contrast range `(min, max)`: the body tone
+    /// differs from the local mean by a delta drawn from this range.
+    pub contrast: (f32, f32),
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 0x9ed7_11aa,
+            scene_width: 320,
+            scene_height: 240,
+            max_pedestrians: 3,
+            noise: 0.03,
+            clutter: 12,
+            blur: 1,
+            distractors: 5,
+            contrast: (0.12, 0.38),
+        }
+    }
+}
+
+/// A generated scene with ground-truth pedestrian boxes.
+#[derive(Debug, Clone)]
+pub struct SynthScene {
+    /// The rendered grayscale image.
+    pub image: GrayImage,
+    /// Ground-truth boxes, one per pedestrian.
+    pub pedestrians: Vec<BoundingBox>,
+}
+
+/// Deterministic generator of train crops and test scenes.
+#[derive(Debug, Clone)]
+pub struct SynthDataset {
+    config: SynthConfig,
+}
+
+impl SynthDataset {
+    /// A dataset with the given configuration.
+    pub fn new(config: SynthConfig) -> Self {
+        SynthDataset { config }
+    }
+
+    /// The dataset's configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Generates the `index`-th positive training crop: a 64×128 window
+    /// with a pedestrian of height ≈ 96 px centered in it (the INRIA crop
+    /// convention).
+    pub fn train_positive(&self, index: u64) -> GrayImage {
+        let mut rng = self.rng_for(0xA0, index);
+        let mut img = GrayImage::new(WINDOW_WIDTH, WINDOW_HEIGHT);
+        paint_background(&mut img, &mut rng, self.config.clutter / 2);
+        if rng.random_bool(0.3) {
+            paint_distractor(&mut img, &mut rng);
+        }
+        // Person height 88..=104 px, centered with small jitter.
+        let h = rng.random_range(88.0..=104.0);
+        let w = h * rng.random_range(0.38..=0.46);
+        let x = (WINDOW_WIDTH as f32 - w) / 2.0 + rng.random_range(-3.0..=3.0);
+        let y = (WINDOW_HEIGHT as f32 - h) / 2.0 + rng.random_range(-3.0..=3.0);
+        paint_pedestrian(&mut img, &BoundingBox::new(x, y, w, h), &mut rng, self.config.contrast);
+        finish(&mut img, &mut rng, self.config);
+        img
+    }
+
+    /// Generates the `index`-th negative training crop: 64×128 of clutter
+    /// guaranteed to contain no pedestrian.
+    pub fn train_negative(&self, index: u64) -> GrayImage {
+        let mut rng = self.rng_for(0xB0, index);
+        let mut img = GrayImage::new(WINDOW_WIDTH, WINDOW_HEIGHT);
+        paint_background(&mut img, &mut rng, self.config.clutter);
+        // Half of the negatives contain a pedestrian-like distractor so
+        // the classifier must learn shape, not mere vertical structure.
+        if rng.random_bool(0.5) {
+            paint_distractor(&mut img, &mut rng);
+        }
+        finish(&mut img, &mut rng, self.config);
+        img
+    }
+
+    /// Generates the `index`-th negative *scene* (full-size, no
+    /// pedestrians) for hard-negative mining.
+    pub fn negative_scene(&self, index: u64) -> SynthScene {
+        let mut rng = self.rng_for(0xC0, index);
+        let mut img = GrayImage::new(self.config.scene_width, self.config.scene_height);
+        paint_background(&mut img, &mut rng, self.config.clutter * 2);
+        for _ in 0..self.config.distractors {
+            paint_distractor(&mut img, &mut rng);
+        }
+        finish(&mut img, &mut rng, self.config);
+        SynthScene { image: img, pedestrians: Vec::new() }
+    }
+
+    /// Generates the `index`-th test scene with 0–`max_pedestrians`
+    /// pedestrians and ground truth.
+    pub fn test_scene(&self, index: u64) -> SynthScene {
+        let mut rng = self.rng_for(0xD0, index);
+        let mut img = GrayImage::new(self.config.scene_width, self.config.scene_height);
+        paint_background(&mut img, &mut rng, self.config.clutter * 2);
+        for _ in 0..self.config.distractors {
+            paint_distractor(&mut img, &mut rng);
+        }
+        let n = rng.random_range(0..=self.config.max_pedestrians);
+        let mut boxes: Vec<BoundingBox> = Vec::new();
+        let mut attempts = 0;
+        while boxes.len() < n && attempts < 50 {
+            attempts += 1;
+            let h = rng.random_range(
+                (self.config.scene_height as f32 * 0.45)..=(self.config.scene_height as f32 * 0.85),
+            );
+            let w = h * rng.random_range(0.38..=0.46);
+            let x = rng.random_range(0.0..=(self.config.scene_width as f32 - w).max(1.0));
+            let y = rng.random_range(0.0..=(self.config.scene_height as f32 - h).max(1.0));
+            let b = BoundingBox::new(x, y, w, h);
+            // Avoid heavy mutual occlusion, which the evaluation protocol
+            // (single-match greedy assignment) does not model.
+            if boxes.iter().all(|o| b.iou(o) < 0.1) {
+                paint_pedestrian(&mut img, &b, &mut rng, self.config.contrast);
+                boxes.push(b);
+            }
+        }
+        finish(&mut img, &mut rng, self.config);
+        SynthScene { image: img, pedestrians: boxes }
+    }
+
+    fn rng_for(&self, stream: u64, index: u64) -> SmallRng {
+        // Independent, reproducible stream per (kind, index).
+        SmallRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(stream << 56)
+                .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+        )
+    }
+}
+
+/// Paints a cluttered background: luminance ramp plus random rectangles,
+/// ellipses and bars with varied contrast.
+fn paint_background(img: &mut GrayImage, rng: &mut SmallRng, clutter: usize) {
+    let base = rng.random_range(0.25..=0.65);
+    let tilt = rng.random_range(-0.2..=0.2);
+    draw::gradient_fill(img, base - tilt, base + tilt, rng.random_bool(0.5));
+    let (w, h) = (img.width() as f32, img.height() as f32);
+    for _ in 0..clutter {
+        let v: f32 = rng.random_range(0.05..=0.95);
+        match rng.random_range(0..3) {
+            0 => {
+                let rw = rng.random_range(0.05..=0.35) * w;
+                let rh = rng.random_range(0.05..=0.35) * h;
+                let x = rng.random_range(-rw..=w);
+                let y = rng.random_range(-rh..=h);
+                draw::fill_rect(img, x as isize, y as isize, rw as usize, rh as usize, v);
+            }
+            1 => {
+                let rx = rng.random_range(0.03..=0.2) * w;
+                let ry = rng.random_range(0.03..=0.2) * h;
+                let cx = rng.random_range(0.0..=w);
+                let cy = rng.random_range(0.0..=h);
+                draw::fill_ellipse(img, cx, cy, rx, ry, v);
+            }
+            _ => {
+                let x0 = rng.random_range(0.0..=w);
+                let y0 = rng.random_range(0.0..=h);
+                let x1 = rng.random_range(0.0..=w);
+                let y1 = rng.random_range(0.0..=h);
+                let t = rng.random_range(1.0..=5.0);
+                draw::draw_line(img, x0, y0, x1, y1, t, v);
+            }
+        }
+    }
+}
+
+/// Paints an upright pedestrian silhouette into `bb`.
+///
+/// The figure is assembled from soft ellipses and thick lines: a round
+/// head, a tapering torso, two legs in a stance "Λ" and two arms. Its
+/// luminance contrasts with the local background so the silhouette's
+/// oriented edges dominate the cell histograms, as real pedestrians do in
+/// HoG space.
+fn paint_pedestrian(
+    img: &mut GrayImage,
+    bb: &BoundingBox,
+    rng: &mut SmallRng,
+    contrast: (f32, f32),
+) {
+    // Body tone: offset from the local mean by a bounded contrast delta,
+    // darker or brighter with equal probability when both fit.
+    let local = sample_region_mean(img, bb);
+    let delta: f32 = rng.random_range(contrast.0..=contrast.1);
+    let body: f32 = if local > 0.5 || (local > 0.25 && rng.random_bool(0.5)) {
+        (local - delta).clamp(0.02, 0.98)
+    } else {
+        (local + delta).clamp(0.02, 0.98)
+    };
+    // Clothing variation: torso and legs can differ in tone.
+    let torso_tone = (body + rng.random_range(-0.06..=0.06)).clamp(0.02, 0.98);
+    let leg_tone = (body + rng.random_range(-0.08..=0.08)).clamp(0.02, 0.98);
+    let (x, y, w, h) = (bb.x, bb.y, bb.width, bb.height);
+    let cx = x + w / 2.0;
+
+    // Head: circle, ~13% of height.
+    let head_r = h * 0.065;
+    let head_cy = y + h * 0.09;
+    draw::fill_ellipse(img, cx, head_cy, head_r, head_r, body);
+
+    // Torso: ellipse from shoulders (~18%) to hips (~52%).
+    let torso_top = y + h * 0.17;
+    let torso_bot = y + h * 0.52;
+    let torso_cy = (torso_top + torso_bot) / 2.0;
+    let torso_ry = (torso_bot - torso_top) / 2.0;
+    let torso_rx = w * rng.random_range(0.30..=0.38);
+    draw::fill_ellipse(img, cx, torso_cy, torso_rx, torso_ry, torso_tone);
+
+    // Legs: two thick lines from hips to feet with stance spread.
+    let hip_y = torso_bot - h * 0.02;
+    let foot_y = y + h * 0.98;
+    let spread = w * rng.random_range(0.10..=0.30);
+    let gait = w * rng.random_range(-0.08..=0.08);
+    let leg_t = w * 0.16;
+    draw::draw_line(img, cx - w * 0.08, hip_y, cx - spread + gait, foot_y, leg_t, leg_tone);
+    draw::draw_line(img, cx + w * 0.08, hip_y, cx + spread + gait, foot_y, leg_t, leg_tone);
+
+    // Arms: thinner lines from shoulders downward with slight swing.
+    let sho_y = torso_top + h * 0.03;
+    let hand_y = y + h * 0.50;
+    let arm_t = w * 0.10;
+    let swing = w * rng.random_range(-0.10..=0.10);
+    draw::draw_line(img, cx - torso_rx * 0.9, sho_y, cx - torso_rx - swing.abs(), hand_y, arm_t, torso_tone);
+    draw::draw_line(img, cx + torso_rx * 0.9, sho_y, cx + torso_rx + swing.abs(), hand_y, arm_t, torso_tone);
+}
+
+/// Paints one pedestrian-like distractor: structures that share salient
+/// sub-features with people (vertical supports, round tops, leg-like bar
+/// pairs, person-aspect blobs) without being people.
+fn paint_distractor(img: &mut GrayImage, rng: &mut SmallRng) {
+    let (w, h) = (img.width() as f32, img.height() as f32);
+    let hh = rng.random_range(0.35..=0.8) * h; // person-scale height
+    let x = rng.random_range(0.0..=w);
+    let y = rng.random_range(0.0..=(h - hh).max(1.0));
+    let local = img.get_clamped(x as isize, (y + hh / 2.0) as isize);
+    let tone: f32 = if local > 0.5 {
+        (local - rng.random_range(0.15..=0.4)).clamp(0.02, 0.98)
+    } else {
+        (local + rng.random_range(0.15..=0.4)).clamp(0.02, 0.98)
+    };
+    match rng.random_range(0..4) {
+        0 => {
+            // Lamppost: vertical bar with a round head.
+            let t = rng.random_range(2.0..=5.0);
+            draw::draw_line(img, x, y + hh * 0.12, x, y + hh, t, tone);
+            let r = rng.random_range(0.04..=0.08) * hh;
+            draw::fill_ellipse(img, x, y + hh * 0.07, r, r, tone);
+        }
+        1 => {
+            // Twin bars: a leg-like pair.
+            let gap = rng.random_range(0.06..=0.16) * hh;
+            let t = rng.random_range(2.5..=6.0);
+            draw::draw_line(img, x - gap / 2.0, y, x - gap / 2.0, y + hh, t, tone);
+            draw::draw_line(img, x + gap / 2.0, y, x + gap / 2.0, y + hh, t, tone);
+        }
+        2 => {
+            // Person-aspect blob: soft upright ellipse.
+            let rx = hh * rng.random_range(0.16..=0.24);
+            draw::fill_ellipse(img, x, y + hh / 2.0, rx, hh / 2.0, tone);
+        }
+        _ => {
+            // Headless mannequin: torso ellipse on twin bars.
+            let rx = hh * 0.16;
+            draw::fill_ellipse(img, x, y + hh * 0.3, rx, hh * 0.22, tone);
+            let t = hh * 0.06;
+            draw::draw_line(img, x - rx * 0.5, y + hh * 0.5, x - rx * 0.9, y + hh, t, tone);
+            draw::draw_line(img, x + rx * 0.5, y + hh * 0.5, x + rx * 0.9, y + hh, t, tone);
+        }
+    }
+}
+
+fn sample_region_mean(img: &GrayImage, bb: &BoundingBox) -> f32 {
+    let mut acc = 0.0;
+    let mut n = 0;
+    let x0 = bb.x.max(0.0) as usize;
+    let y0 = bb.y.max(0.0) as usize;
+    let x1 = ((bb.x + bb.width) as usize).min(img.width());
+    let y1 = ((bb.y + bb.height) as usize).min(img.height());
+    for yy in (y0..y1).step_by(4) {
+        for xx in (x0..x1).step_by(4) {
+            acc += img.get(xx, yy);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.5
+    } else {
+        acc / n as f32
+    }
+}
+
+fn finish(img: &mut GrayImage, rng: &mut SmallRng, cfg: SynthConfig) {
+    if cfg.blur > 0 {
+        *img = draw::box_blur(img, cfg.blur);
+    }
+    if cfg.noise > 0.0 {
+        draw::add_noise(img, cfg.noise, rng);
+    }
+    img.clamp();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> SynthDataset {
+        SynthDataset::new(SynthConfig::default())
+    }
+
+    #[test]
+    fn crops_have_window_size() {
+        let p = ds().train_positive(0);
+        assert_eq!((p.width(), p.height()), (WINDOW_WIDTH, WINDOW_HEIGHT));
+        let n = ds().train_negative(0);
+        assert_eq!((n.width(), n.height()), (WINDOW_WIDTH, WINDOW_HEIGHT));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ds().train_positive(7);
+        let b = ds().train_positive(7);
+        assert_eq!(a, b);
+        let s1 = ds().test_scene(3);
+        let s2 = ds().test_scene(3);
+        assert_eq!(s1.image, s2.image);
+        assert_eq!(s1.pedestrians.len(), s2.pedestrians.len());
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        assert_ne!(ds().train_positive(0), ds().train_positive(1));
+        assert_ne!(ds().train_negative(0), ds().train_negative(1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthDataset::new(SynthConfig { seed: 1, ..SynthConfig::default() });
+        let b = SynthDataset::new(SynthConfig { seed: 2, ..SynthConfig::default() });
+        assert_ne!(a.train_positive(0), b.train_positive(0));
+    }
+
+    #[test]
+    fn test_scene_boxes_inside_image() {
+        let d = ds();
+        for i in 0..20 {
+            let s = d.test_scene(i);
+            for b in &s.pedestrians {
+                assert!(b.x >= 0.0 && b.y >= 0.0);
+                assert!(b.x + b.width <= s.image.width() as f32 + 0.5);
+                assert!(b.y + b.height <= s.image.height() as f32 + 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn scenes_do_sometimes_contain_pedestrians() {
+        let d = ds();
+        let total: usize = (0..20).map(|i| d.test_scene(i).pedestrians.len()).sum();
+        assert!(total > 5, "expected pedestrians across 20 scenes, got {total}");
+    }
+
+    #[test]
+    fn negative_scene_has_no_pedestrians() {
+        assert!(ds().negative_scene(0).pedestrians.is_empty());
+    }
+
+    #[test]
+    fn positive_has_contrast_structure() {
+        // The pedestrian must create real gradient energy in the crop
+        // center compared to a flat background.
+        let p = ds().train_positive(0);
+        let mut energy = 0.0;
+        for y in 20..108 {
+            for x in 12..52 {
+                let gx = p.get(x + 1, y) - p.get(x - 1, y);
+                let gy = p.get(x, y + 1) - p.get(x, y - 1);
+                energy += gx * gx + gy * gy;
+            }
+        }
+        assert!(energy > 1.0, "gradient energy {energy} too small");
+    }
+
+    #[test]
+    fn pixels_in_unit_range() {
+        let p = ds().train_positive(3);
+        assert!(p.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for geometry, NMS and evaluation invariants.
+
+use pcnn_vision::pyramid::resize_bilinear;
+use pcnn_vision::{non_maximum_suppression, BoundingBox, Detection, GrayImage, WindowIter};
+use proptest::prelude::*;
+
+fn arb_box() -> impl Strategy<Value = BoundingBox> {
+    (0.0f32..200.0, 0.0f32..200.0, 0.5f32..100.0, 0.5f32..100.0)
+        .prop_map(|(x, y, w, h)| BoundingBox::new(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_box(), b in arb_box()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+    }
+
+    #[test]
+    fn intersection_bounded_by_each_area(a in arb_box(), b in arb_box()) {
+        let inter = a.intersection_area(&b);
+        prop_assert!(inter >= 0.0);
+        prop_assert!(inter <= a.area() + 1e-3);
+        prop_assert!(inter <= b.area() + 1e-3);
+    }
+
+    #[test]
+    fn self_iou_is_one(a in arb_box()) {
+        // f32 rounding at large coordinates costs a few ulps.
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unscale_roundtrips(a in arb_box(), s in 0.1f32..3.0) {
+        let back = a.unscale(s).scaled_about_center(1.0);
+        let again = BoundingBox::new(back.x * s, back.y * s, back.width * s, back.height * s);
+        prop_assert!((again.x - a.x).abs() < 1e-2);
+        prop_assert!((again.width - a.width).abs() < 1e-2);
+    }
+
+    #[test]
+    fn nms_output_is_subset_and_sorted(
+        boxes in prop::collection::vec((arb_box(), -2.0f32..2.0), 0..40),
+        eps in 0.0f32..0.9,
+    ) {
+        let dets: Vec<Detection> = boxes
+            .iter()
+            .map(|(b, s)| Detection { bbox: *b, score: *s })
+            .collect();
+        let kept = non_maximum_suppression(dets.clone(), eps);
+        prop_assert!(kept.len() <= dets.len());
+        // Sorted by descending score.
+        for pair in kept.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score);
+        }
+        // Every kept detection exists in the input.
+        for k in &kept {
+            prop_assert!(dets.iter().any(|d| d.score == k.score && d.bbox == k.bbox));
+        }
+        // No two kept detections overlap beyond epsilon.
+        for i in 0..kept.len() {
+            for j in i + 1..kept.len() {
+                let inter = kept[i].bbox.intersection_area(&kept[j].bbox);
+                let min_area = kept[i].bbox.area().min(kept[j].bbox.area());
+                prop_assert!(inter / min_area <= eps + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn resize_preserves_range(w in 2usize..40, h in 2usize..40, w2 in 1usize..40, h2 in 1usize..40) {
+        let img = GrayImage::from_fn(w, h, |x, y| ((x * 7 + y * 13) % 10) as f32 / 10.0);
+        let out = resize_bilinear(&img, w2, h2);
+        prop_assert_eq!(out.width(), w2);
+        prop_assert_eq!(out.height(), h2);
+        // Bilinear interpolation cannot exceed the input range.
+        for &p in out.pixels() {
+            prop_assert!((-1e-5..=0.9 + 1e-5).contains(&p));
+        }
+    }
+
+    #[test]
+    fn windows_always_in_bounds(w in 64usize..300, h in 128usize..300, stride in 1usize..32) {
+        let it = WindowIter::new(w, h, stride);
+        let mut count = 0;
+        for (x, y) in it.clone() {
+            prop_assert!(x + 64 <= w && y + 128 <= h);
+            count += 1;
+        }
+        prop_assert_eq!(count, it.count_windows());
+    }
+}

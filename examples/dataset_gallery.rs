@@ -1,0 +1,54 @@
+//! Exports a browsable PGM gallery of the synthetic dataset: positive and
+//! negative training crops plus annotated test scenes, written to
+//! `gallery/`. Any PGM viewer (or `magick display`) opens them.
+//!
+//! ```text
+//! cargo run --release --example dataset_gallery
+//! ```
+
+use pcnn::vision::{GrayImage, SynthConfig, SynthDataset};
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::path::Path::new("gallery");
+    fs::create_dir_all(out)?;
+    let ds = SynthDataset::new(SynthConfig::default());
+
+    for i in 0..8u64 {
+        fs::write(out.join(format!("pos_{i:02}.pgm")), ds.train_positive(i).to_pgm())?;
+        fs::write(out.join(format!("neg_{i:02}.pgm")), ds.train_negative(i).to_pgm())?;
+    }
+    for i in 0..4u64 {
+        let scene = ds.test_scene(i);
+        // Burn the ground-truth boxes into the image as white outlines.
+        let mut img = scene.image.clone();
+        for b in &scene.pedestrians {
+            outline(&mut img, b.x as isize, b.y as isize, b.width as usize, b.height as usize);
+        }
+        fs::write(out.join(format!("scene_{i:02}.pgm")), img.to_pgm())?;
+    }
+
+    // Round-trip sanity: the gallery files load back.
+    let reread = GrayImage::from_pgm(&fs::read(out.join("pos_00.pgm"))?)?;
+    assert_eq!(reread.width(), 64);
+
+    println!("wrote 8 positive crops, 8 negative crops and 4 annotated scenes to gallery/");
+    Ok(())
+}
+
+fn outline(img: &mut GrayImage, x0: isize, y0: isize, w: usize, h: usize) {
+    let (iw, ih) = (img.width() as isize, img.height() as isize);
+    let mut put = |x: isize, y: isize| {
+        if (0..iw).contains(&x) && (0..ih).contains(&y) {
+            img.set(x as usize, y as usize, 1.0);
+        }
+    };
+    for dx in 0..=w as isize {
+        put(x0 + dx, y0);
+        put(x0 + dx, y0 + h as isize);
+    }
+    for dy in 0..=h as isize {
+        put(x0, y0 + dy);
+        put(x0 + w as isize, y0 + dy);
+    }
+}

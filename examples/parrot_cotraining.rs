@@ -1,0 +1,61 @@
+//! The parrot transformation end to end: generate labelled data from the
+//! HoG function itself, train the 2-layer Eedn mimic, verify it tracks
+//! the reference extractor, and deploy it onto the TrueNorth simulator.
+//!
+//! ```text
+//! cargo run --release --example parrot_cotraining
+//! ```
+
+use pcnn::eedn::mapping::{deploy_mlp, reference_forward};
+use pcnn::hog::cell::CellExtractor;
+use pcnn::hog::quantize::pearson_correlation;
+use pcnn::hog::NApproxHog;
+use pcnn::parrot::{train_parrot, ParrotExtractor, ParrotTrainConfig, TrainDataGenerator};
+use pcnn::vision::GrayImage;
+
+fn main() {
+    // 1. Train the parrot on auto-generated (patch, HoG histogram) pairs.
+    println!("training the parrot network (auto-generated labels)…");
+    let config = ParrotTrainConfig {
+        samples: 4000,
+        epochs: 25,
+        ..ParrotTrainConfig::tiny()
+    };
+    let (net, report) = train_parrot(config);
+    println!(
+        "  validation mse {:.4}, orientation accuracy {:.2}, {} cores per cell",
+        report.validation_mse, report.class_accuracy, report.core_count
+    );
+
+    // 2. Compare the parrot with the reference extractor on fresh data.
+    let reference = NApproxHog::full_precision();
+    let parrot = ParrotExtractor::new(net.clone());
+    let generator = TrainDataGenerator::new(Default::default());
+    let mut mimic = Vec::new();
+    let mut truth = Vec::new();
+    for i in 0..40 {
+        let s = generator.sample(10_000 + i);
+        let patch = GrayImage::from_vec(10, 10, s.pixels.clone());
+        mimic.extend(parrot.cell_histogram(&patch));
+        truth.extend(reference.cell_histogram(&patch));
+    }
+    let corr = pearson_correlation(&mimic, &truth).unwrap_or(0.0);
+    println!("  parrot/reference feature correlation on fresh patches: {corr:.3}");
+
+    // 3. Deploy the trained weights onto simulated neurosynaptic cores
+    //    and check the spiking hardware matches the software forward.
+    println!("\ndeploying onto the TrueNorth simulator…");
+    let specs = net.to_specs();
+    let mut deployed = deploy_mlp(&specs).expect("network fits the crossbars");
+    println!("  deployed on {} cores", deployed.core_count());
+    let sample = generator.sample(20_000);
+    let hw = deployed.infer(&sample.pixels, 64);
+    let sw = reference_forward(&specs, &sample.pixels);
+    let worst = hw
+        .iter()
+        .zip(&sw)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("  worst |hardware rate − software rate| over 18 outputs: {worst:.3}");
+    println!("  (rates are spike counts over a 64-tick window / 64)");
+}

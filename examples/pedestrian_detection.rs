@@ -1,0 +1,49 @@
+//! Full pedestrian-detection evaluation: train two feature-extraction
+//! paradigms, evaluate both on the same scenes, and print their
+//! miss-rate/FPPI curves side by side — a miniature of the paper's
+//! Figure 4/5 methodology.
+//!
+//! ```text
+//! cargo run --release --example pedestrian_detection
+//! ```
+
+use pcnn::core::report::render_curves;
+use pcnn::core::{
+    Detector, EednClassifierConfig, Extractor, PartitionedSystem, TrainSetConfig,
+};
+use pcnn::hog::BlockNorm;
+use pcnn::vision::{SynthConfig, SynthDataset};
+
+fn main() {
+    let dataset = SynthDataset::new(SynthConfig::default());
+    let scenes: Vec<_> = (0..10).map(|i| dataset.test_scene(i)).collect();
+    let engine = Detector::default();
+    let train = TrainSetConfig { n_pos: 150, n_neg: 300, mining_scenes: 3, mining_rounds: 1 };
+
+    // Paradigm A: quantized NApprox features + SVM (the Fig. 4 path).
+    println!("training NApprox (64-spike) + SVM…");
+    let mut napprox_svm = PartitionedSystem::train_svm_detector(
+        Extractor::napprox_quantized(64, BlockNorm::L2),
+        &dataset,
+        train,
+    );
+    let curve_svm = engine.evaluate(&mut napprox_svm, &scenes);
+
+    // Paradigm B: the same features into an Eedn classifier, without
+    // block normalization (the Fig. 5 path — normalization is costly on
+    // the neuromorphic platform, so it is elided there).
+    println!("training NApprox (64-spike) + Eedn…");
+    let mut napprox_eedn = PartitionedSystem::train_eedn_detector(
+        Extractor::napprox_quantized(64, BlockNorm::None),
+        &dataset,
+        train,
+        EednClassifierConfig { epochs: 20, ..Default::default() },
+    );
+    let curve_eedn = engine.evaluate(&mut napprox_eedn, &scenes);
+
+    println!("\nmiss rate vs false positives per image ({} scenes):\n", scenes.len());
+    println!(
+        "{}",
+        render_curves(&[("NApprox+SVM", &curve_svm), ("NApprox+Eedn", &curve_eedn)])
+    );
+}

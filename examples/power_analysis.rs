@@ -1,0 +1,50 @@
+//! What-if power analysis: sweep workloads and codings through the
+//! paper's §5.2 model beyond the configurations Table 2 prints.
+//!
+//! ```text
+//! cargo run --release --example power_analysis
+//! ```
+
+use pcnn::core::power::{DeploymentPower, PowerTable};
+use pcnn::core::report::render_power_table;
+
+fn main() {
+    // The paper's workload and the full Table 2.
+    println!("{}", render_power_table(&PowerTable::paper()));
+
+    // What-if: 4K video at 30 fps (4x the pixels of full-HD, ~4x cells).
+    let cells_4k = 4.0 * 57_749.0 * 30.0;
+    let what_if = PowerTable::for_configs(
+        cells_4k,
+        &[
+            DeploymentPower { approach: "NApprox HoG".into(), window: 64, module_cores: 26 },
+            DeploymentPower { approach: "Parrot HoG".into(), window: 8, module_cores: 8 },
+            DeploymentPower { approach: "Parrot HoG".into(), window: 1, module_cores: 8 },
+        ],
+    );
+    println!("--- what-if: 4K @ 30 fps ---\n");
+    println!("{}", render_power_table(&what_if));
+
+    // Sweep the coding window for the parrot at the paper's workload.
+    println!("--- parrot power vs coding window (full-HD @ 26 fps) ---\n");
+    println!("{:>8} {:>8} {:>12} {:>12}", "spikes", "bits", "cells/s/mod", "power");
+    for w in [64u32, 32, 16, 8, 4, 2, 1] {
+        let d = DeploymentPower { approach: "Parrot".into(), window: w, module_cores: 8 };
+        let row = d.evaluate(
+            pcnn::core::power::full_hd_cells_per_second(),
+            &pcnn::truenorth::PowerModel::paper(),
+        );
+        let power = if row.power_w < 1.0 {
+            format!("{:.0} mW", row.power_w * 1000.0)
+        } else {
+            format!("{:.2} W", row.power_w)
+        };
+        println!(
+            "{:>8} {:>8} {:>12.1} {:>12}",
+            w,
+            d.resolution_bits(),
+            d.module_throughput(),
+            power
+        );
+    }
+}

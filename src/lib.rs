@@ -1,0 +1,34 @@
+//! # pcnn — Partitioned Convolutional Neural Networks
+//!
+//! Facade crate for the reproduction of *Co-training of Feature Extraction
+//! and Classification using Partitioned Convolutional Neural Networks*
+//! (Tsai et al., DAC 2017). It re-exports every workspace crate under a
+//! stable module hierarchy so downstream users can depend on one crate:
+//!
+//! * [`truenorth`] — tick-accurate neurosynaptic-system simulator;
+//! * [`vision`] — image substrate, synthetic pedestrian dataset, detection
+//!   evaluation (miss rate vs. false positives per image);
+//! * [`hog`] — HoG feature-extraction variants (Dalal–Triggs, FPGA
+//!   fixed-point, NApprox neuromorphic approximation);
+//! * [`eedn`] — Eedn-style constrained CNN training (trinary weights,
+//!   spiking activations, crossbar-sized groups);
+//! * [`svm`] — linear SVM with hard-negative mining;
+//! * [`corelets`] — the NApprox HoG corelets and Eedn deployment onto the
+//!   simulator;
+//! * [`parrot`] — the Parrot-HoG trained feature extractor;
+//! * [`core`] — the partitioned co-training pipeline, paradigm comparison
+//!   and power/throughput models.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! system inventory and experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use pcnn_core as core;
+pub use pcnn_corelets as corelets;
+pub use pcnn_eedn as eedn;
+pub use pcnn_hog as hog;
+pub use pcnn_parrot as parrot;
+pub use pcnn_svm as svm;
+pub use pcnn_truenorth as truenorth;
+pub use pcnn_vision as vision;

@@ -1,0 +1,52 @@
+//! Integration: everything is seeded — whole experiments reproduce
+//! bit-identically across runs.
+
+use pcnn::core::{Detector, Extractor, PartitionedSystem, TrainSetConfig};
+use pcnn::hog::BlockNorm;
+use pcnn::parrot::{train_parrot, ParrotTrainConfig};
+use pcnn::vision::{SynthConfig, SynthDataset};
+
+#[test]
+fn detection_results_reproduce_exactly() {
+    let run = || {
+        let ds = SynthDataset::new(SynthConfig::default());
+        let mut det = PartitionedSystem::train_svm_detector(
+            Extractor::napprox_fp(BlockNorm::L2),
+            &ds,
+            TrainSetConfig { n_pos: 40, n_neg: 80, mining_scenes: 1, mining_rounds: 1 },
+        );
+        let scene = ds.test_scene(2);
+        Detector::default()
+            .detect(&mut det, &scene.image)
+            .into_iter()
+            .map(|d| (d.score, d.bbox.x, d.bbox.y))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn parrot_training_reproduces_exactly() {
+    let cfg = ParrotTrainConfig { samples: 300, epochs: 2, ..ParrotTrainConfig::tiny() };
+    let (_, a) = train_parrot(cfg);
+    let (_, b) = train_parrot(cfg);
+    assert_eq!(a.validation_mse, b.validation_mse);
+    assert_eq!(a.class_accuracy, b.class_accuracy);
+}
+
+#[test]
+fn corelet_extraction_reproduces_exactly() {
+    use pcnn::corelets::NApproxHogCorelet;
+    use pcnn::vision::GrayImage;
+    let patch = GrayImage::from_fn(10, 10, |x, y| ((3 * x + 5 * y) % 11) as f32 / 11.0);
+    let mut m1 = NApproxHogCorelet::new(64);
+    let mut m2 = NApproxHogCorelet::new(64);
+    assert_eq!(m1.extract(&patch), m2.extract(&patch));
+}
+
+#[test]
+fn different_dataset_seeds_differ() {
+    let a = SynthDataset::new(SynthConfig { seed: 1, ..SynthConfig::default() });
+    let b = SynthDataset::new(SynthConfig { seed: 2, ..SynthConfig::default() });
+    assert_ne!(a.test_scene(0).image, b.test_scene(0).image);
+}

@@ -1,0 +1,58 @@
+//! Integration: the Parrot co-design contract — trained weights deploy
+//! onto simulated neurosynaptic cores with matching behaviour, and the
+//! deployed module's resource/throughput numbers line up with the
+//! power-model assumptions.
+
+use pcnn::eedn::mapping::{deploy_mlp, reference_forward, validate_deployment};
+use pcnn::eedn::Tensor;
+use pcnn::parrot::{train_parrot, ParrotTrainConfig, TrainDataGenerator};
+
+#[test]
+fn trained_parrot_deploys_and_matches_software() {
+    let (net, _) = train_parrot(ParrotTrainConfig {
+        samples: 600,
+        epochs: 5,
+        ..ParrotTrainConfig::tiny()
+    });
+    let specs = net.to_specs();
+    let mut deployed = deploy_mlp(&specs).expect("parrot fits the crossbars");
+    assert_eq!(deployed.core_count(), net.core_count());
+
+    let generator = TrainDataGenerator::new(Default::default());
+    let inputs = Tensor::from_rows(
+        &(0..4).map(|i| generator.sample(5000 + i).pixels).collect::<Vec<_>>(),
+    );
+    let err = validate_deployment(&specs, &mut deployed, &inputs, 64);
+    assert!(err < 0.06, "mean |hw − sw| rate error {err}");
+}
+
+#[test]
+fn deployment_rejects_oversized_layers() {
+    use pcnn::eedn::mapping::{DenseSpec, GroupSpec};
+    // 200 inputs in one group exceeds the ± axon budget.
+    let bad = DenseSpec {
+        in_dim: 200,
+        out_dim: 4,
+        groups: vec![GroupSpec {
+            in_offset: 0,
+            out_offset: 0,
+            weights: vec![vec![1.0; 200]; 4],
+            alpha: vec![0.1; 4],
+            bias: vec![0.0; 4],
+        }],
+        input_perm: None,
+    };
+    assert!(deploy_mlp(&[bad]).is_err());
+}
+
+#[test]
+fn reference_forward_is_pure() {
+    let (net, _) = train_parrot(ParrotTrainConfig {
+        samples: 200,
+        epochs: 1,
+        ..ParrotTrainConfig::tiny()
+    });
+    let specs = net.to_specs();
+    let x = vec![0.4f32; 100];
+    assert_eq!(reference_forward(&specs, &x), reference_forward(&specs, &x));
+}
