@@ -35,7 +35,7 @@ fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("eedn_inference");
     for (label, trinary) in [("float", false), ("trinary", true)] {
         group.bench_function(label, |b| {
-            let mut net = Sequential::new()
+            let net = Sequential::new()
                 .push(GroupedLinear::new(128, 128, 2, trinary, 1))
                 .push(HardSigmoid::new())
                 .push(GroupedLinear::new(128, 2, 1, trinary, 2));

@@ -19,11 +19,11 @@ fn bench_detect(c: &mut Criterion) {
     let ds = SynthDataset::new(SynthConfig::default());
     let scene = ds.test_scene(0);
     let engine = Detector::default();
-    let mut det = trained();
+    let det = trained();
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("detect_320x240_scene", |b| {
-        b.iter(|| black_box(engine.detect(&mut det, black_box(&scene.image))));
+        b.iter(|| black_box(engine.detect(&det, black_box(&scene.image))));
     });
     group.bench_function("cell_grid_320x240", |b| {
         b.iter(|| black_box(Detector::cell_grid(&det.extractor, black_box(&scene.image))));

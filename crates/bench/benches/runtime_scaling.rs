@@ -1,0 +1,50 @@
+//! Criterion bench: serving-runtime scaling across worker counts.
+//!
+//! Measures batched detection over a fixed set of synthetic scenes at
+//! 1/2/4/8 workers, so the scheduler's scaling (and its overhead at
+//! workers=1 versus the serial path) shows up in one table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcnn_core::{Detector, Extractor, PartitionedSystem, TrainSetConfig, TrainedDetector};
+use pcnn_hog::BlockNorm;
+use pcnn_runtime::{DetectionServer, RuntimeConfig};
+use pcnn_vision::{GrayImage, SynthConfig, SynthDataset};
+use std::hint::black_box;
+
+fn trained() -> TrainedDetector {
+    let ds = SynthDataset::new(SynthConfig::default());
+    PartitionedSystem::train_svm_detector(
+        Extractor::napprox_fp(BlockNorm::L2),
+        &ds,
+        TrainSetConfig { n_pos: 60, n_neg: 120, mining_scenes: 1, mining_rounds: 1 },
+    )
+}
+
+fn bench_runtime_scaling(c: &mut Criterion) {
+    let ds = SynthDataset::new(SynthConfig::default());
+    let frames: Vec<GrayImage> = (0..4).map(|i| ds.test_scene(i).image.clone()).collect();
+    let refs: Vec<&GrayImage> = frames.iter().collect();
+    let det = trained();
+    let engine = Detector::default();
+
+    let mut group = c.benchmark_group("runtime_scaling");
+    group.sample_size(10);
+    group.bench_function("serial_4_frames", |b| {
+        b.iter(|| {
+            for frame in &refs {
+                black_box(engine.detect(&det, black_box(frame)));
+            }
+        });
+    });
+    for workers in [1usize, 2, 4, 8] {
+        let server =
+            DetectionServer::new(Detector::default(), &det, RuntimeConfig::with_workers(workers));
+        group.bench_function(BenchmarkId::new("batch_4_frames_workers", workers), |b| {
+            b.iter(|| black_box(server.detect_batch(black_box(&refs))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_scaling);
+criterion_main!(benches);

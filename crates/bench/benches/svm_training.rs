@@ -26,11 +26,7 @@ fn bench_train(c: &mut Criterion) {
         let (xs, ys) = dataset(400, dim);
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
             b.iter(|| {
-                black_box(train(
-                    &xs,
-                    &ys,
-                    TrainConfig { max_epochs: 20, ..TrainConfig::default() },
-                ))
+                black_box(train(&xs, &ys, TrainConfig { max_epochs: 20, ..TrainConfig::default() }))
             });
         });
     }

@@ -18,27 +18,30 @@ fn main() {
     let scenes = test_scenes(scale.test_scenes);
     let engine = Detector::default();
     let eval = |label: &str, extractor: Extractor| {
-        let mut det = PartitionedSystem::train_svm_detector(extractor, &ds, scale.train);
-        let lamr = engine.evaluate(&mut det, &scenes).log_average_miss_rate();
+        let det = PartitionedSystem::train_svm_detector(extractor, &ds, scale.train);
+        let lamr = engine.evaluate(&det, &scenes).log_average_miss_rate();
         println!("{label:<44} lamr = {lamr:.4}");
     };
 
     println!("Ablation: NApprox vote threshold (count voting noise floor)");
     for tau in [0.01f32, 0.02, 0.04, 0.06, 0.08, 0.12] {
         let model = NApproxHog { vote_threshold: tau, ..NApproxHog::full_precision() };
-        eval(&format!("  napprox-fp tau={tau:.2} L2"), Extractor::napprox_custom(model, BlockNorm::L2));
+        eval(
+            &format!("  napprox-fp tau={tau:.2} L2"),
+            Extractor::napprox_custom(model, BlockNorm::L2),
+        );
     }
 
     println!("\nAblation: voting scheme and bin count");
     eval("  traditional 9-bin magnitude-voted L2", Extractor::traditional());
-    eval(
-        "  traditional 18-bin signed magnitude L2",
-        Extractor::traditional_signed_18(),
-    );
+    eval("  traditional 18-bin signed magnitude L2", Extractor::traditional_signed_18());
     eval("  napprox-fp 18-bin count-voted L2", Extractor::napprox_fp(BlockNorm::L2));
 
     println!("\nAblation: block normalization");
     eval("  napprox-fp L2 blocks", Extractor::napprox_fp(BlockNorm::L2));
     eval("  napprox-fp no blocks", Extractor::napprox_fp(BlockNorm::None));
-    eval("  napprox-fp L2-hys blocks", Extractor::napprox_custom(NApproxHog::full_precision(), BlockNorm::L2Hys));
+    eval(
+        "  napprox-fp L2-hys blocks",
+        Extractor::napprox_custom(NApproxHog::full_precision(), BlockNorm::L2Hys),
+    );
 }

@@ -87,10 +87,7 @@ fn main() {
         p_stats.routed_spikes,
         p_est.watts * 1e6
     );
-    println!(
-        "\nactivity-aware power ratio (NApprox / Parrot): {:.1}x",
-        n_est.watts / p_est.watts
-    );
+    println!("\nactivity-aware power ratio (NApprox / Parrot): {:.1}x", n_est.watts / p_est.watts);
     println!(
         "static-model ratio (core counts alone): {:.1}x",
         napprox.core_count() as f64 / parrot.core_count() as f64

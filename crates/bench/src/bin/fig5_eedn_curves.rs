@@ -28,6 +28,10 @@ fn main() {
     println!("  held-out accuracy:      {:.3}", absorbed.validation_accuracy);
     println!(
         "  collapsed to blind decisions: {}",
-        if absorbed.is_blind { "YES (the paper's outcome)" } else { "no (but far weaker than partitioned)" }
+        if absorbed.is_blind {
+            "YES (the paper's outcome)"
+        } else {
+            "no (but far weaker than partitioned)"
+        }
     );
 }

@@ -12,18 +12,12 @@ use pcnn_bench::{fig6_sweep, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_args();
-    let windows: &[u32] = if std::env::args().any(|a| a == "quick") {
-        &[32, 4, 1]
-    } else {
-        &[32, 16, 8, 4, 2, 1]
-    };
+    let windows: &[u32] =
+        if std::env::args().any(|a| a == "quick") { &[32, 4, 1] } else { &[32, 16, 8, 4, 2, 1] };
     println!("Figure 6 reproduction: input precision vs quality");
     println!("==================================================\n");
     let points = fig6_sweep(&scale, windows);
-    println!(
-        "{:>8} {:>10} {:>18} {:>20}",
-        "spikes", "bits", "class accuracy", "log-avg miss rate"
-    );
+    println!("{:>8} {:>10} {:>18} {:>20}", "spikes", "bits", "class accuracy", "log-avg miss rate");
     for p in &points {
         let bits = (31 - p.spikes.leading_zeros()).max(1);
         println!(

@@ -38,7 +38,9 @@ fn main() {
         let (q, m) = (iy.max(0.0), (-iy).max(0.0));
         max_err = max_err.max(((p - n) - ix).abs()).max(((q - m) - iy).abs());
     }
-    println!("gradient vector : pattern matching vs filters      max |error| = {max_err:.2e} (exact)");
+    println!(
+        "gradient vector : pattern matching vs filters      max |error| = {max_err:.2e} (exact)"
+    );
 
     // --- Rows 2-3: angle and magnitude -----------------------------------
     let hog = NApproxHog::full_precision();

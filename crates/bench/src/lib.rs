@@ -20,8 +20,8 @@
 #![warn(missing_docs)]
 
 use pcnn_core::{
-    AbsorbedOutcome, AbsorbedSystem, Detector, EednClassifierConfig, Extractor,
-    PartitionedSystem, TrainSetConfig, TrainedDetector,
+    AbsorbedOutcome, AbsorbedSystem, Detector, EednClassifierConfig, Extractor, PartitionedSystem,
+    TrainSetConfig, TrainedDetector,
 };
 use pcnn_hog::BlockNorm;
 use pcnn_parrot::{train_parrot, ParrotExtractor, ParrotNet, ParrotTrainConfig};
@@ -45,12 +45,7 @@ impl ExperimentScale {
     pub fn full() -> Self {
         ExperimentScale {
             test_scenes: 40,
-            train: TrainSetConfig {
-                n_pos: 300,
-                n_neg: 600,
-                mining_scenes: 6,
-                mining_rounds: 2,
-            },
+            train: TrainSetConfig { n_pos: 300, n_neg: 600, mining_scenes: 6, mining_rounds: 2 },
             parrot: ParrotTrainConfig::default(),
             eedn: EednClassifierConfig::default(),
         }
@@ -60,12 +55,7 @@ impl ExperimentScale {
     pub fn quick() -> Self {
         ExperimentScale {
             test_scenes: 6,
-            train: TrainSetConfig {
-                n_pos: 80,
-                n_neg: 160,
-                mining_scenes: 2,
-                mining_rounds: 1,
-            },
+            train: TrainSetConfig { n_pos: 80, n_neg: 160, mining_scenes: 2, mining_rounds: 1 },
             parrot: ParrotTrainConfig::tiny(),
             eedn: EednClassifierConfig { epochs: 12, ..Default::default() },
         }
@@ -118,8 +108,8 @@ pub fn fig4_curves(scale: &ExperimentScale) -> Vec<(String, DetectionCurve)> {
     .map(|extractor| {
         let label = extractor.kind().label().to_owned();
         eprintln!("[fig4] training SVM detector for {label}…");
-        let mut det = PartitionedSystem::train_svm_detector(extractor, &ds, scale.train);
-        let curve = engine.evaluate(&mut det, &scenes);
+        let det = PartitionedSystem::train_svm_detector(extractor, &ds, scale.train);
+        let curve = engine.evaluate(&det, &scenes);
         (label, curve)
     })
     .collect()
@@ -127,36 +117,34 @@ pub fn fig4_curves(scale: &ExperimentScale) -> Vec<(String, DetectionCurve)> {
 
 /// Figure 5: NApprox and Parrot with Eedn classifiers, plus the Absorbed
 /// monolithic system, on the same scenes.
-pub fn fig5_curves(
-    scale: &ExperimentScale,
-) -> (Vec<(String, DetectionCurve)>, AbsorbedOutcome) {
+pub fn fig5_curves(scale: &ExperimentScale) -> (Vec<(String, DetectionCurve)>, AbsorbedOutcome) {
     let ds = standard_dataset();
     let scenes = test_scenes(scale.test_scenes);
     let engine = Detector::default();
     let mut curves = Vec::new();
 
     eprintln!("[fig5] training NApprox + Eedn…");
-    let mut napprox = PartitionedSystem::train_eedn_detector(
+    let napprox = PartitionedSystem::train_eedn_detector(
         Extractor::napprox_quantized(64, BlockNorm::None),
         &ds,
         scale.train,
         scale.eedn,
     );
-    curves.push(("NApprox".to_owned(), engine.evaluate(&mut napprox, &scenes)));
+    curves.push(("NApprox".to_owned(), engine.evaluate(&napprox, &scenes)));
 
     eprintln!("[fig5] training Parrot + Eedn…");
     let parrot = experiment_parrot(scale.parrot);
-    let mut parrot_det = PartitionedSystem::train_eedn_detector(
+    let parrot_det = PartitionedSystem::train_eedn_detector(
         Extractor::parrot(ParrotExtractor::new(parrot), BlockNorm::None),
         &ds,
         scale.train,
         scale.eedn,
     );
-    curves.push(("Parrot".to_owned(), engine.evaluate(&mut parrot_det, &scenes)));
+    curves.push(("Parrot".to_owned(), engine.evaluate(&parrot_det, &scenes)));
 
     eprintln!("[fig5] training Absorbed monolithic network…");
-    let (mut absorbed, outcome) = AbsorbedSystem::train(&ds, scale.train);
-    curves.push(("Absorbed".to_owned(), engine.evaluate(&mut absorbed, &scenes)));
+    let (absorbed, outcome) = AbsorbedSystem::train(&ds, scale.train);
+    curves.push(("Absorbed".to_owned(), engine.evaluate(&absorbed, &scenes)));
 
     (curves, outcome)
 }
@@ -192,13 +180,9 @@ pub fn fig6_sweep(scale: &ExperimentScale, windows: &[u32]) -> Vec<Fig6Point> {
                 ParrotExtractor::new(net.clone()).with_stochastic_input(w, 0xF6 + u64::from(w)),
                 BlockNorm::None,
             );
-            let mut det = PartitionedSystem::train_eedn_detector(
-                extractor,
-                &ds,
-                scale.train,
-                scale.eedn,
-            );
-            let curve = engine.evaluate(&mut det, &scenes);
+            let det =
+                PartitionedSystem::train_eedn_detector(extractor, &ds, scale.train, scale.eedn);
+            let curve = engine.evaluate(&det, &scenes);
             Fig6Point {
                 spikes: w,
                 class_accuracy: p.class_accuracy,

@@ -45,7 +45,7 @@ impl WindowClassifier {
     ///
     /// Panics if the descriptor dimensionality mismatches the training
     /// dimensionality.
-    pub fn score(&mut self, descriptor: &[f32]) -> f32 {
+    pub fn score(&self, descriptor: &[f32]) -> f32 {
         match self {
             WindowClassifier::Svm { model, scaler } => model.score(&scaler.apply(descriptor)),
             WindowClassifier::Eedn(c) => c.score(descriptor),
@@ -130,11 +130,7 @@ impl EednClassifier {
     /// # Panics
     ///
     /// Panics if the dataset is empty or single-class.
-    pub fn train(
-        descriptors: &[Vec<f32>],
-        labels: &[bool],
-        config: EednClassifierConfig,
-    ) -> Self {
+    pub fn train(descriptors: &[Vec<f32>], labels: &[bool], config: EednClassifierConfig) -> Self {
         assert!(!descriptors.is_empty(), "no training descriptors");
         assert_eq!(descriptors.len(), labels.len(), "descriptor/label mismatch");
         let n_pos = labels.iter().filter(|&&l| l).count();
@@ -153,10 +149,16 @@ impl EednClassifier {
         check_crossbar_fit(in_dim, config.hidden1, g1).expect("layer 1 exceeds crossbar");
 
         let mut net = Sequential::new()
-            .push(GroupedLinear::new(in_dim, config.hidden1, g1, true, config.seed ^ 1).with_bias_init(0.5))
+            .push(
+                GroupedLinear::new(in_dim, config.hidden1, g1, true, config.seed ^ 1)
+                    .with_bias_init(0.5),
+            )
             .push(HardSigmoid::new())
             .push(Permute::random(config.hidden1, config.seed ^ 2))
-            .push(GroupedLinear::new(config.hidden1, config.hidden2, g2, true, config.seed ^ 3).with_bias_init(0.5))
+            .push(
+                GroupedLinear::new(config.hidden1, config.hidden2, g2, true, config.seed ^ 3)
+                    .with_bias_init(0.5),
+            )
             .push(HardSigmoid::new())
             .push(Permute::random(config.hidden2, config.seed ^ 4))
             .push(GroupedLinear::new(config.hidden2, 2, g3, true, config.seed ^ 5));
@@ -187,20 +189,17 @@ impl EednClassifier {
     /// # Panics
     ///
     /// Panics if the descriptor dimensionality is wrong.
-    pub fn score(&mut self, descriptor: &[f32]) -> f32 {
+    pub fn score(&self, descriptor: &[f32]) -> f32 {
         assert_eq!(descriptor.len(), self.in_dim, "descriptor dimensionality mismatch");
         let x = Tensor::from_rows(&[self.scaler.apply(descriptor)]);
-        let y = self.net.predict(&x);
+        let y = self.net.infer(&x);
         y.at2(0, 1) - y.at2(0, 0)
     }
 
     /// Classification accuracy on a labelled set.
-    pub fn accuracy(&mut self, descriptors: &[Vec<f32>], labels: &[bool]) -> f32 {
-        let correct = descriptors
-            .iter()
-            .zip(labels)
-            .filter(|(d, &l)| (self.score(d) > 0.0) == l)
-            .count();
+    pub fn accuracy(&self, descriptors: &[Vec<f32>], labels: &[bool]) -> f32 {
+        let correct =
+            descriptors.iter().zip(labels).filter(|(d, &l)| (self.score(d) > 0.0) == l).count();
         correct as f32 / descriptors.len().max(1) as f32
     }
 }
@@ -227,7 +226,7 @@ mod tests {
     #[test]
     fn eedn_classifier_learns_blobs() {
         let (xs, ys) = blobs(300, 48, 3);
-        let mut c = EednClassifier::train(
+        let c = EednClassifier::train(
             &xs,
             &ys,
             EednClassifierConfig { hidden1: 48, hidden2: 24, epochs: 20, ..Default::default() },
@@ -269,10 +268,12 @@ mod tests {
         ));
         // Both score positives above negatives on average.
         for c in [&mut svm, &mut eedn] {
-            let mean_pos: f32 = xs.iter().zip(&ys).filter(|(_, &y)| y).map(|(x, _)| c.score(x)).sum::<f32>()
-                / ys.iter().filter(|&&y| y).count() as f32;
-            let mean_neg: f32 = xs.iter().zip(&ys).filter(|(_, &y)| !y).map(|(x, _)| c.score(x)).sum::<f32>()
-                / ys.iter().filter(|&&y| !y).count() as f32;
+            let mean_pos: f32 =
+                xs.iter().zip(&ys).filter(|(_, &y)| y).map(|(x, _)| c.score(x)).sum::<f32>()
+                    / ys.iter().filter(|&&y| y).count() as f32;
+            let mean_neg: f32 =
+                xs.iter().zip(&ys).filter(|(_, &y)| !y).map(|(x, _)| c.score(x)).sum::<f32>()
+                    / ys.iter().filter(|&&y| !y).count() as f32;
             assert!(mean_pos > mean_neg, "{}: pos {mean_pos} vs neg {mean_neg}", c.label());
         }
     }

@@ -108,18 +108,10 @@ impl PartitionedSystem {
         let (xs, ys) = Self::collect_descriptors(&extractor, dataset, config.n_pos, config.n_neg);
         let scaler = FeatureScaler::fit(&xs);
         let scaled = scaler.apply_all(&xs);
-        let positives: Vec<Vec<f32>> = scaled
-            .iter()
-            .zip(&ys)
-            .filter(|(_, &y)| y)
-            .map(|(x, _)| x.clone())
-            .collect();
-        let negatives: Vec<Vec<f32>> = scaled
-            .iter()
-            .zip(&ys)
-            .filter(|(_, &y)| !y)
-            .map(|(x, _)| x.clone())
-            .collect();
+        let positives: Vec<Vec<f32>> =
+            scaled.iter().zip(&ys).filter(|(_, &y)| y).map(|(x, _)| x.clone()).collect();
+        let negatives: Vec<Vec<f32>> =
+            scaled.iter().zip(&ys).filter(|(_, &y)| !y).map(|(x, _)| x.clone()).collect();
 
         // Candidate pool for mining: window descriptors from negative
         // scenes (computed once; the mining closure re-scores them).
@@ -212,12 +204,8 @@ impl AbsorbedSystem {
         config: TrainSetConfig,
     ) -> (TrainedDetector, AbsorbedOutcome) {
         let extractor = Extractor::raw();
-        let (mut xs, mut ys) = PartitionedSystem::collect_descriptors(
-            &extractor,
-            dataset,
-            config.n_pos,
-            config.n_neg,
-        );
+        let (mut xs, mut ys) =
+            PartitionedSystem::collect_descriptors(&extractor, dataset, config.n_pos, config.n_neg);
         // The same scene-window negatives the partitioned classifiers see
         // ("the same training set", §3.3).
         for s in 0..config.mining_scenes {
@@ -237,8 +225,7 @@ impl AbsorbedSystem {
         let n_hold = xs.len() / 5;
         let (hold_x, train_x) = xs.split_at(n_hold);
         let (hold_y, train_y) = ys.split_at(n_hold);
-        let mut classifier =
-            EednClassifier::train(train_x, train_y, Self::network_config());
+        let classifier = EednClassifier::train(train_x, train_y, Self::network_config());
 
         let preds: Vec<bool> = hold_x.iter().map(|d| classifier.score(d) > 0.0).collect();
         let positives = preds.iter().filter(|&&p| p).count();
@@ -251,10 +238,7 @@ impl AbsorbedSystem {
             is_blind: majority_fraction >= 0.95,
             cores: classifier.core_count(),
         };
-        (
-            TrainedDetector { extractor, classifier: WindowClassifier::Eedn(classifier) },
-            outcome,
-        )
+        (TrainedDetector { extractor, classifier: WindowClassifier::Eedn(classifier) }, outcome)
     }
 }
 
@@ -271,17 +255,21 @@ mod tests {
     #[test]
     fn svm_partitioned_system_separates_training_data() {
         let ds = SynthDataset::new(SynthConfig::default());
-        let mut det = PartitionedSystem::train_svm_detector(
+        let det = PartitionedSystem::train_svm_detector(
             Extractor::napprox_fp(BlockNorm::L2),
             &ds,
             tiny_set(),
         );
         let mut correct = 0;
         for i in 0..30 {
-            if det.classifier.score(&det.extractor.crop_descriptor(&ds.train_positive(500 + i))) > 0.0 {
+            if det.classifier.score(&det.extractor.crop_descriptor(&ds.train_positive(500 + i)))
+                > 0.0
+            {
                 correct += 1;
             }
-            if det.classifier.score(&det.extractor.crop_descriptor(&ds.train_negative(500 + i))) <= 0.0 {
+            if det.classifier.score(&det.extractor.crop_descriptor(&ds.train_negative(500 + i)))
+                <= 0.0
+            {
                 correct += 1;
             }
         }
@@ -292,7 +280,7 @@ mod tests {
     #[test]
     fn eedn_partitioned_system_learns() {
         let ds = SynthDataset::new(SynthConfig::default());
-        let mut det = PartitionedSystem::train_eedn_detector(
+        let det = PartitionedSystem::train_eedn_detector(
             Extractor::napprox_fp(BlockNorm::None),
             &ds,
             tiny_set(),
@@ -300,10 +288,14 @@ mod tests {
         );
         let mut correct = 0;
         for i in 0..20 {
-            if det.classifier.score(&det.extractor.crop_descriptor(&ds.train_positive(700 + i))) > 0.0 {
+            if det.classifier.score(&det.extractor.crop_descriptor(&ds.train_positive(700 + i)))
+                > 0.0
+            {
                 correct += 1;
             }
-            if det.classifier.score(&det.extractor.crop_descriptor(&ds.train_negative(700 + i))) <= 0.0 {
+            if det.classifier.score(&det.extractor.crop_descriptor(&ds.train_negative(700 + i)))
+                <= 0.0
+            {
                 correct += 1;
             }
         }

@@ -57,10 +57,7 @@ pub struct Extractor {
 
 impl std::fmt::Debug for Extractor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Extractor")
-            .field("kind", &self.kind)
-            .field("len", &self.len())
-            .finish()
+        f.debug_struct("Extractor").field("kind", &self.kind).field("len", &self.len()).finish()
     }
 }
 

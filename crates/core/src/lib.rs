@@ -36,7 +36,7 @@ pub mod resources;
 
 pub use classifier::{EednClassifier, EednClassifierConfig, WindowClassifier};
 pub use cotrain::{AbsorbedOutcome, AbsorbedSystem, PartitionedSystem, TrainSetConfig};
-pub use power::{DeploymentPower, FpgaPower, PowerTable, Table2Row};
-pub use resources::ResourceBudget;
 pub use extractor::{Extractor, ExtractorKind};
 pub use pipeline::{Detector, DetectorConfig, TrainedDetector};
+pub use power::{DeploymentPower, FpgaPower, PowerTable, Table2Row};
+pub use resources::ResourceBudget;

@@ -36,11 +36,7 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig {
-            pyramid: PyramidConfig::default(),
-            nms_epsilon: 0.2,
-            score_floor: -1.0,
-        }
+        DetectorConfig { pyramid: PyramidConfig::default(), nms_epsilon: 0.2, score_floor: -1.0 }
     }
 }
 
@@ -93,44 +89,79 @@ impl Detector {
             .collect()
     }
 
-    /// Runs detection over one image, returning NMS-filtered detections
-    /// in original-image coordinates.
-    pub fn detect(
-        &self,
-        detector: &mut TrainedDetector,
-        img: &GrayImage,
-    ) -> Vec<Detection> {
-        let pyramid = scale_pyramid(img, self.config.pyramid);
-        let mut raw: Vec<Detection> = Vec::new();
+    /// Number of valid window start rows in a level's cell grid (0 when
+    /// the level is too small to hold one window).
+    pub fn window_rows(grid: &[Vec<Vec<f32>>]) -> usize {
         let window_cells_x = WINDOW_WIDTH / CELL_SIZE;
         let window_cells_y = WINDOW_HEIGHT / CELL_SIZE;
+        if grid.len() < window_cells_y || grid[0].len() < window_cells_x {
+            0
+        } else {
+            grid.len() - window_cells_y + 1
+        }
+    }
+
+    /// Scores every window whose top cell row lies in `rows`, against a
+    /// precomputed [`cell_grid`](Detector::cell_grid) of one pyramid
+    /// level at `scale`. Returns raw (pre-NMS) detections above the
+    /// score floor, in original-image coordinates, ordered row-major —
+    /// the exact order the serial scan visits them. This is the work
+    /// unit the serving runtime parallelizes over: concatenating chunk
+    /// results in row order reproduces the serial scan bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` extends past
+    /// [`window_rows`](Detector::window_rows).
+    pub fn score_rows(
+        &self,
+        detector: &TrainedDetector,
+        grid: &[Vec<Vec<f32>>],
+        scale: f32,
+        rows: std::ops::Range<usize>,
+    ) -> Vec<Detection> {
+        assert!(
+            rows.end <= Self::window_rows(grid),
+            "row range {rows:?} exceeds {} valid window rows",
+            Self::window_rows(grid)
+        );
+        let window_cells_x = WINDOW_WIDTH / CELL_SIZE;
+        let window_cells_y = WINDOW_HEIGHT / CELL_SIZE;
+        let norm = detector.extractor.norm();
+        let mut raw = Vec::new();
+        for cy0 in rows {
+            for cx0 in 0..=(grid[0].len() - window_cells_x) {
+                let sub: Vec<Vec<Vec<f32>>> = grid[cy0..cy0 + window_cells_y]
+                    .iter()
+                    .map(|row| row[cx0..cx0 + window_cells_x].to_vec())
+                    .collect();
+                let descriptor = assemble_descriptor(&sub, norm);
+                let score = detector.classifier.score(&descriptor);
+                if score < self.config.score_floor {
+                    continue;
+                }
+                let bbox = BoundingBox::new(
+                    (cx0 * CELL_SIZE) as f32,
+                    (cy0 * CELL_SIZE) as f32,
+                    WINDOW_WIDTH as f32,
+                    WINDOW_HEIGHT as f32,
+                )
+                .unscale(scale);
+                raw.push(Detection { bbox, score });
+            }
+        }
+        raw
+    }
+
+    /// Runs detection over one image, returning NMS-filtered detections
+    /// in original-image coordinates.
+    pub fn detect(&self, detector: &TrainedDetector, img: &GrayImage) -> Vec<Detection> {
+        let pyramid = scale_pyramid(img, self.config.pyramid);
+        let mut raw: Vec<Detection> = Vec::new();
         for level in &pyramid.levels {
             let grid = Self::cell_grid(&detector.extractor, &level.image);
-            if grid.len() < window_cells_y || grid[0].len() < window_cells_x {
-                continue;
-            }
-            let norm = detector.extractor.norm();
-            for cy0 in 0..=(grid.len() - window_cells_y) {
-                for cx0 in 0..=(grid[0].len() - window_cells_x) {
-                    let sub: Vec<Vec<Vec<f32>>> = grid[cy0..cy0 + window_cells_y]
-                        .iter()
-                        .map(|row| row[cx0..cx0 + window_cells_x].to_vec())
-                        .collect();
-                    let descriptor = assemble_descriptor(&sub, norm);
-                    let score = detector.classifier.score(&descriptor);
-                    if score < self.config.score_floor {
-                        continue;
-                    }
-                    let bbox = BoundingBox::new(
-                        (cx0 * CELL_SIZE) as f32,
-                        (cy0 * CELL_SIZE) as f32,
-                        WINDOW_WIDTH as f32,
-                        WINDOW_HEIGHT as f32,
-                    )
-                    .unscale(level.scale);
-                    raw.push(Detection { bbox, score });
-                }
-            }
+            let rows = Self::window_rows(&grid);
+            raw.extend(self.score_rows(detector, &grid, level.scale, 0..rows));
         }
         non_maximum_suppression(raw, self.config.nms_epsilon)
     }
@@ -141,11 +172,7 @@ impl Detector {
     /// # Panics
     ///
     /// Panics if `scenes` is empty.
-    pub fn evaluate(
-        &self,
-        detector: &mut TrainedDetector,
-        scenes: &[SynthScene],
-    ) -> DetectionCurve {
+    pub fn evaluate(&self, detector: &TrainedDetector, scenes: &[SynthScene]) -> DetectionCurve {
         assert!(!scenes.is_empty(), "no scenes to evaluate");
         let mut evaluator = Evaluator::new();
         for scene in scenes {
@@ -177,10 +204,7 @@ mod tests {
         }
         let scaler = FeatureScaler::fit(&xs);
         let model = train(&scaler.apply_all(&xs), &ys, TrainConfig::default());
-        TrainedDetector {
-            extractor,
-            classifier: WindowClassifier::Svm { model, scaler },
-        }
+        TrainedDetector { extractor, classifier: WindowClassifier::Svm { model, scaler } }
     }
 
     #[test]
@@ -212,7 +236,7 @@ mod tests {
 
     #[test]
     fn detector_finds_planted_pedestrian() {
-        let mut det = small_detector();
+        let det = small_detector();
         let engine = Detector::default();
         let ds = SynthDataset::new(SynthConfig::default());
         // Find a scene with at least one pedestrian.
@@ -220,7 +244,7 @@ mod tests {
             .map(|i| ds.test_scene(i))
             .find(|s| !s.pedestrians.is_empty())
             .expect("some scene has a pedestrian");
-        let detections = engine.detect(&mut det, &scene.image);
+        let detections = engine.detect(&det, &scene.image);
         assert!(!detections.is_empty(), "no detections at all");
         // The best-scoring detection overlaps a true pedestrian.
         let best = &detections[0];
@@ -233,11 +257,11 @@ mod tests {
 
     #[test]
     fn evaluation_produces_curve() {
-        let mut det = small_detector();
+        let det = small_detector();
         let engine = Detector::default();
         let ds = SynthDataset::new(SynthConfig::default());
         let scenes: Vec<_> = (0..6).map(|i| ds.test_scene(i)).collect();
-        let curve = engine.evaluate(&mut det, &scenes);
+        let curve = engine.evaluate(&det, &scenes);
         assert_eq!(curve.images, 6);
         let lamr = curve.log_average_miss_rate();
         assert!((0.0..=1.0).contains(&lamr), "lamr {lamr}");

@@ -198,11 +198,7 @@ mod tests {
 
     #[test]
     fn module_throughputs_match_paper() {
-        let napprox = DeploymentPower {
-            approach: "n".into(),
-            window: 64,
-            module_cores: 26,
-        };
+        let napprox = DeploymentPower { approach: "n".into(), window: 64, module_cores: 26 };
         assert!((napprox.module_throughput() - 15.6).abs() < 0.1);
         let parrot = DeploymentPower { approach: "p".into(), window: 32, module_cores: 8 };
         assert!((parrot.module_throughput() - 31.25).abs() < 0.01);

@@ -9,16 +9,14 @@ use pcnn_vision::DetectionCurve;
 /// Renders a miss-rate/FPPI curve as the series of sampled points the
 /// paper's figures plot: miss rate at log-spaced FPPI values.
 pub fn render_curve(label: &str, curve: &DetectionCurve) -> String {
-    let mut out = format!("{label}  (images={}, ground truth={})\n", curve.images, curve.total_ground_truth);
+    let mut out =
+        format!("{label}  (images={}, ground truth={})\n", curve.images, curve.total_ground_truth);
     out.push_str("  fppi      miss-rate\n");
     for i in 0..9 {
         let fppi = 10f64.powf(-2.0 + f64::from(i) * 0.5 / 2.0);
         out.push_str(&format!("  {fppi:8.4}  {:8.4}\n", curve.miss_rate_at(fppi)));
     }
-    out.push_str(&format!(
-        "  log-average miss rate: {:.4}\n",
-        curve.log_average_miss_rate()
-    ));
+    out.push_str(&format!("  log-average miss rate: {:.4}\n", curve.log_average_miss_rate()));
     out
 }
 

@@ -4,8 +4,7 @@ use pcnn_hog::cell::{CELL_SIZE, PATCH_SIZE};
 use pcnn_hog::napprox::NApproxHog;
 use pcnn_hog::quantize::Quantization;
 use pcnn_truenorth::{
-    CoreHandle, NeuroCoreBuilder, NeuronConfig, RateCode, ResetMode, SpikeCode, SpikeTarget,
-    System,
+    CoreHandle, NeuroCoreBuilder, NeuronConfig, RateCode, ResetMode, SpikeCode, SpikeTarget, System,
 };
 use pcnn_vision::GrayImage;
 
@@ -76,12 +75,12 @@ impl NApproxHogCorelet {
 
         // Cell pixels in row-major order; (x, y) are patch coordinates of
         // the cell interior, 1..=8.
-        let cell_pixels: Vec<(usize, usize)> = (1..=CELL_SIZE)
-            .flat_map(|y| (1..=CELL_SIZE).map(move |x| (x, y)))
-            .collect();
+        let cell_pixels: Vec<(usize, usize)> =
+            (1..=CELL_SIZE).flat_map(|y| (1..=CELL_SIZE).map(move |x| (x, y))).collect();
         let stage1_cores = cell_pixels.len().div_ceil(PIXELS_PER_CORE);
         let n_votes = cell_pixels.len() * BINS;
-        let and_core_of = |vote: usize| CoreHandle::from_index((stage1_cores + vote / ANDS_PER_CORE) as u32);
+        let and_core_of =
+            |vote: usize| CoreHandle::from_index((stage1_cores + vote / ANDS_PER_CORE) as u32);
 
         let mut system = System::new();
         let mut inject_map: Vec<Vec<InjectionPoint>> = vec![Vec::new(); PATCH_SIZE * PATCH_SIZE];
@@ -188,14 +187,7 @@ impl NApproxHogCorelet {
         }
         let core_count = system.core_count();
 
-        NApproxHogCorelet {
-            system,
-            inject_map,
-            go_axons,
-            window,
-            quant,
-            core_count,
-        }
+        NApproxHogCorelet { system, inject_map, go_axons, window, quant, core_count }
     }
 
     /// Cores the module occupies.
@@ -266,11 +258,7 @@ impl NApproxHogCorelet {
         for _ in 0..4 {
             self.system.tick();
         }
-        self.system
-            .drain_output_counts(BINS)
-            .into_iter()
-            .map(|c| c as f32)
-            .collect()
+        self.system.drain_output_counts(BINS).into_iter().map(|c| c as f32).collect()
     }
 }
 
@@ -316,10 +304,7 @@ mod tests {
             let sw_hist = sw.cell_histogram(&patch);
             let diff: f32 = hw.iter().zip(&sw_hist).map(|(a, b)| (a - b).abs()).sum();
             let total: f32 = sw_hist.iter().sum();
-            assert!(
-                diff <= (total * 0.05).max(2.0),
-                "patch {k}: hw {hw:?} vs sw {sw_hist:?}"
-            );
+            assert!(diff <= (total * 0.05).max(2.0), "patch {k}: hw {hw:?} vs sw {sw_hist:?}");
         }
     }
 

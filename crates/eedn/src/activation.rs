@@ -27,6 +27,10 @@ impl Layer for Threshold {
         if train {
             self.cached = Some(input.clone());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let mut out = input.clone();
         out.map_in_place(|v| if v > 0.0 { 1.0 } else { 0.0 });
         out
@@ -74,6 +78,10 @@ impl Layer for HardSigmoid {
         if train {
             self.cached = Some(input.clone());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let mut out = input.clone();
         out.map_in_place(|v| v.clamp(0.0, 1.0));
         out
@@ -120,6 +128,10 @@ impl Layer for Relu {
         if train {
             self.cached = Some(input.clone());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let mut out = input.clone();
         out.map_in_place(|v| v.max(0.0));
         out

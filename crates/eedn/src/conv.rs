@@ -8,8 +8,8 @@
 //! [`GroupedLinear`](crate::fc::GroupedLinear).
 
 use crate::init::trinary_uniform;
-use crate::optimizer::adam_update;
 use crate::layer::Layer;
+use crate::optimizer::adam_update;
 use crate::tensor::Tensor;
 use crate::trinary::{clip_shadow, trinarize};
 
@@ -143,17 +143,12 @@ impl Conv2d {
     fn widx(&self, o: usize, ic: usize, ky: usize, kx: usize) -> usize {
         ((o * (self.in_ch / self.groups) + ic) * self.k + ky) * self.k + kx
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    /// The pure forward computation: `(pre-scale, output)`.
+    fn apply(&self, input: &Tensor) -> (Tensor, Tensor) {
         assert_eq!(input.shape().len(), 4, "Conv2d takes (batch, channels, h, w)");
-        let (batch, cin, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (batch, cin, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         assert_eq!(cin, self.in_ch, "input channel mismatch");
         let (ho, wo) = self.out_size(h, w);
         let icg = self.in_ch / self.groups;
@@ -201,6 +196,13 @@ impl Layer for Conv2d {
                 }
             }
         }
+        (pre, out)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (pre, out) = self.apply(input);
         if train {
             self.cached_input = Some(input.clone());
             self.cached_pre = Some(pre);
@@ -208,15 +210,15 @@ impl Layer for Conv2d {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.apply(input).1
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward without training forward");
         let pre = self.cached_pre.as_ref().expect("missing pre cache");
-        let (batch, _, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (batch, _, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (ho, wo) = self.out_size(h, w);
         assert_eq!(grad_out.shape(), &[batch, self.out_ch, ho, wo], "grad shape mismatch");
         let icg = self.in_ch / self.groups;
@@ -368,10 +370,7 @@ mod tests {
     #[test]
     fn gradient_check_float() {
         let mut conv = Conv2d::new(1, 2, 3, 1, 1, 1, false, 5);
-        let x = Tensor::from_vec(
-            &[1, 1, 4, 4],
-            (0..16).map(|i| (i as f32 * 0.13).sin()).collect(),
-        );
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| (i as f32 * 0.13).sin()).collect());
         let y = conv.forward(&x, true);
         let grad_out = y.clone();
         let grad_in = conv.backward(&grad_out);
@@ -417,10 +416,6 @@ mod tests {
         }
         // The {-1,0,1} constraint leaves a representational floor; halving
         // the initial loss shows the optimizer is working.
-        assert!(
-            last < first.unwrap() * 0.6,
-            "trinary conv loss {:?} -> {last}",
-            first
-        );
+        assert!(last < first.unwrap() * 0.6, "trinary conv loss {:?} -> {last}", first);
     }
 }

@@ -143,7 +143,8 @@ mod tests {
         assert_eq!(bs.len(), 4); // 3+3+3+1
         let total: usize = bs.iter().map(|(t, _)| t.shape()[0]).sum();
         assert_eq!(total, 10);
-        let mut seen: Vec<f32> = bs.iter().flat_map(|(t, _)| t.data().iter().step_by(2).copied()).collect();
+        let mut seen: Vec<f32> =
+            bs.iter().flat_map(|(t, _)| t.data().iter().step_by(2).copied()).collect();
         seen.sort_by(f32::total_cmp);
         assert_eq!(seen, (0..10).map(|i| i as f32).collect::<Vec<_>>());
     }

@@ -15,8 +15,8 @@
 //! treated as identity in the backward pass).
 
 use crate::init::trinary_uniform;
-use crate::optimizer::adam_update;
 use crate::layer::Layer;
+use crate::optimizer::adam_update;
 use crate::tensor::Tensor;
 use crate::trinary::{clip_shadow, trinarize};
 use serde::{Deserialize, Serialize};
@@ -159,10 +159,9 @@ impl GroupedLinear {
             self.w[idx]
         }
     }
-}
 
-impl Layer for GroupedLinear {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    /// The pure forward computation: `(pre-scale, output)`.
+    fn apply(&self, input: &Tensor) -> (Tensor, Tensor) {
         assert_eq!(input.shape().len(), 2, "GroupedLinear takes (batch, features)");
         assert_eq!(input.shape()[1], self.in_dim, "input dim mismatch");
         let batch = input.shape()[0];
@@ -188,11 +187,22 @@ impl Layer for GroupedLinear {
                 *out.at2_mut(n, o) = self.alpha[o] * pre.at2(n, o) + self.bias[o];
             }
         }
+        (pre, out)
+    }
+}
+
+impl Layer for GroupedLinear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (pre, out) = self.apply(input);
         if train {
             self.cached_input = Some(input.clone());
             self.cached_pre_scale = Some(pre);
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.apply(input).1
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -301,10 +311,7 @@ mod tests {
             *xm.at2_mut(0, j) -= eps;
             let num = (loss(&mut layer, &xp) - loss(&mut layer, &xm)) / (2.0 * eps);
             let ana = grad_in.at2(0, j);
-            assert!(
-                (num - ana).abs() < 1e-2,
-                "input grad {j}: numeric {num} vs analytic {ana}"
-            );
+            assert!((num - ana).abs() < 1e-2, "input grad {j}: numeric {num} vs analytic {ana}");
         }
     }
 
@@ -342,12 +349,8 @@ mod tests {
         // via this layer's gradients alone.
         let mut l1 = GroupedLinear::new(2, 8, 1, false, 7);
         let mut l2 = GroupedLinear::new(8, 1, 1, false, 8);
-        let xs = Tensor::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![-1.0, 0.0],
-            vec![0.0, -1.0],
-        ]);
+        let xs =
+            Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.0], vec![0.0, -1.0]]);
         let ys = [1.0f32, 1.0, -1.0, -1.0];
         let mut first_loss = None;
         let mut last_loss = 0.0;
@@ -378,10 +381,7 @@ mod tests {
             first_loss.get_or_insert(loss);
             last_loss = loss;
         }
-        assert!(
-            last_loss < first_loss.unwrap() * 0.05,
-            "loss {first_loss:?} -> {last_loss}"
-        );
+        assert!(last_loss < first_loss.unwrap() * 0.05, "loss {first_loss:?} -> {last_loss}");
     }
 
     #[test]
@@ -389,10 +389,7 @@ mod tests {
         // Even with trinary weights, alpha/bias plus STE shadows learn to
         // separate a simple pattern.
         let mut l = GroupedLinear::new(4, 1, 1, true, 9);
-        let xs = Tensor::from_rows(&[
-            vec![1.0, 1.0, 0.0, 0.0],
-            vec![0.0, 0.0, 1.0, 1.0],
-        ]);
+        let xs = Tensor::from_rows(&[vec![1.0, 1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0, 1.0]]);
         let ys = [1.0f32, -1.0];
         let mut last = f32::INFINITY;
         for _ in 0..300 {

@@ -6,11 +6,20 @@ use crate::tensor::Tensor;
 ///
 /// Layers own their parameters, cached activations and gradient
 /// accumulators; the training loop drives them with
-/// `forward → backward → step`.
-pub trait Layer {
+/// `forward → backward → step`. `Send + Sync` is required so trained
+/// networks can be shared across inference worker threads.
+pub trait Layer: Send + Sync {
     /// Computes the layer output. `train` enables caching needed by
     /// [`backward`](Layer::backward); inference passes `false`.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Computes the layer output without touching any internal state.
+    ///
+    /// Equivalent to `forward(input, false)` but takes `&self`, so a
+    /// trained network can serve inference from many threads over one
+    /// shared reference. Implementations must be bit-identical to the
+    /// inference-mode forward pass.
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Backpropagates `grad_out` (∂loss/∂output), accumulating parameter
     /// gradients and returning ∂loss/∂input.

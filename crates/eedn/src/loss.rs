@@ -80,8 +80,8 @@ pub fn distribution_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
             // diagonal term dominates — use it (exact enough for SGD and
             // keeps the loss O(dim) per row).
             if ps[d] > 0.0 {
-                *grad.at2_mut(n, d) = 2.0 * diff * (psum - ps[d].max(0.0)) / (psum * psum)
-                    / batch as f32;
+                *grad.at2_mut(n, d) =
+                    2.0 * diff * (psum - ps[d].max(0.0)) / (psum * psum) / batch as f32;
             }
         }
     }

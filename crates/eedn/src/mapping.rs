@@ -45,7 +45,11 @@ pub struct CoreCost {
 /// # Errors
 ///
 /// [`TrueNorthError::CrossbarOverflow`] naming the violated limit.
-pub fn check_crossbar_fit(in_dim: usize, out_dim: usize, groups: usize) -> Result<CoreCost, TrueNorthError> {
+pub fn check_crossbar_fit(
+    in_dim: usize,
+    out_dim: usize,
+    groups: usize,
+) -> Result<CoreCost, TrueNorthError> {
     let in_g = in_dim / groups;
     let out_g = out_dim / groups;
     if in_g > MAX_GROUP_INPUTS {
@@ -175,12 +179,7 @@ pub fn linear_to_spec(layer: &GroupedLinear) -> DenseSpec {
             bias: layer.bias()[g * out_g..(g + 1) * out_g].to_vec(),
         });
     }
-    DenseSpec {
-        in_dim: layer.in_dim(),
-        out_dim: layer.out_dim(),
-        groups: specs,
-        input_perm: None,
-    }
+    DenseSpec { in_dim: layer.in_dim(), out_dim: layer.out_dim(), groups: specs, input_perm: None }
 }
 
 /// A trinary MLP compiled onto simulator cores.
@@ -247,8 +246,7 @@ impl DeployedMlp {
                 if code.spike_at(v, (t % u64::from(window)) as u32, &mut rng) {
                     for &(core, axon_base) in &self.input_lines[i] {
                         let sign_axon = axon_base; // positive copy
-                        self.system
-                            .inject(pcnn_truenorth::CoreHandle::from_index(core), sign_axon);
+                        self.system.inject(pcnn_truenorth::CoreHandle::from_index(core), sign_axon);
                         self.system
                             .inject(pcnn_truenorth::CoreHandle::from_index(core), sign_axon + 1);
                     }
@@ -419,7 +417,8 @@ pub fn deploy_mlp(specs: &[DenseSpec]) -> Result<DeployedMlp, TrueNorthError> {
         let final_layer = l + 1 == specs.len();
         for (o, &(core, neuron)) in neuron_of[l].iter().enumerate() {
             if final_layer {
-                builders[core as usize].route_neuron(neuron as usize, SpikeTarget::output(o as u32));
+                builders[core as usize]
+                    .route_neuron(neuron as usize, SpikeTarget::output(o as u32));
                 continue;
             }
             let dests = &layer_inputs[l + 1][o];
@@ -594,12 +593,7 @@ mod tests {
             groups: vec![GroupSpec {
                 in_offset: 0,
                 out_offset: 0,
-                weights: vec![
-                    vec![1.0, 0.0],
-                    vec![0.0, 1.0],
-                    vec![1.0, -1.0],
-                    vec![-1.0, 1.0],
-                ],
+                weights: vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, -1.0], vec![-1.0, 1.0]],
                 alpha: vec![0.5; 4],
                 bias: vec![0.0; 4],
             }],
@@ -659,10 +653,7 @@ mod tests {
             }],
             input_perm: None,
         };
-        assert!(matches!(
-            deploy_mlp(&[spec]),
-            Err(TrueNorthError::CrossbarOverflow { .. })
-        ));
+        assert!(matches!(deploy_mlp(&[spec]), Err(TrueNorthError::CrossbarOverflow { .. })));
     }
 
     #[test]

@@ -50,13 +50,20 @@ impl Sequential {
         self.layers.iter().map(|l| l.parameter_count()).sum()
     }
 
-    /// Runs inference.
-    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+    /// Runs inference through shared references only, so a trained
+    /// network can serve many threads at once. Bit-identical to the
+    /// inference-mode forward pass.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
         let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, false);
+        for layer in &self.layers {
+            x = layer.infer(&x);
         }
         x
+    }
+
+    /// Runs inference.
+    pub fn predict(&self, input: &Tensor) -> Tensor {
+        self.infer(input)
     }
 
     /// Forward in training mode (caches enabled).
@@ -104,7 +111,7 @@ impl Sequential {
     }
 
     /// Classification accuracy over a rank-2 batch.
-    pub fn accuracy(&mut self, input: &Tensor, labels: &[usize]) -> f32 {
+    pub fn accuracy(&self, input: &Tensor, labels: &[usize]) -> f32 {
         let logits = self.predict(input);
         let batch = logits.shape()[0];
         let mut correct = 0;
@@ -202,7 +209,7 @@ mod tests {
 
     #[test]
     fn predict_is_stateless_wrt_training() {
-        let mut net = Sequential::new().push(GroupedLinear::new(4, 2, 1, false, 9));
+        let net = Sequential::new().push(GroupedLinear::new(4, 2, 1, false, 9));
         let x = Tensor::from_rows(&[vec![1.0, 0.0, -1.0, 0.5]]);
         let a = net.predict(&x);
         let b = net.predict(&x);

@@ -59,6 +59,10 @@ impl Permute {
 
 impl Layer for Permute {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 2, "Permute takes (batch, features)");
         assert_eq!(input.shape()[1], self.perm.len(), "dimension mismatch");
         let batch = input.shape()[0];

@@ -18,17 +18,11 @@ impl MaxPool2 {
     pub fn new() -> Self {
         Self::default()
     }
-}
 
-impl Layer for MaxPool2 {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    /// The pure pooling computation: `(output, argmax indices)`.
+    fn pool(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
         assert_eq!(input.shape().len(), 4, "MaxPool2 takes (batch, channels, h, w)");
-        let (n, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (ho, wo) = (h / 2, w / 2);
         assert!(ho > 0 && wo > 0, "input too small to pool");
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
@@ -55,10 +49,21 @@ impl Layer for MaxPool2 {
                 }
             }
         }
+        (out, arg)
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (out, arg) = self.pool(input);
         if train {
             self.argmax = Some((arg, input.shape().to_vec()));
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.pool(input).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -93,13 +98,15 @@ impl AvgPool2 {
 
 impl Layer for AvgPool2 {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 4, "AvgPool2 takes (batch, channels, h, w)");
-        let (n, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (ho, wo) = (h / 2, w / 2);
         assert!(ho > 0 && wo > 0, "input too small to pool");
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
@@ -117,9 +124,6 @@ impl Layer for AvgPool2 {
                     }
                 }
             }
-        }
-        if train {
-            self.in_shape = Some(input.shape().to_vec());
         }
         out
     }

@@ -38,9 +38,14 @@ impl Replicate {
 
 impl Layer for Replicate {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = self.infer(input);
+        self.in_dim = Some(input.shape()[1]);
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 2, "Replicate takes (batch, features)");
         let (batch, d) = (input.shape()[0], input.shape()[1]);
-        self.in_dim = Some(d);
         let mut out = Tensor::zeros(&[batch, d * self.copies]);
         for n in 0..batch {
             for c in 0..self.copies {

@@ -23,10 +23,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         assert!(!shape.is_empty(), "tensor needs at least one dimension");
         assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
-        Tensor {
-            shape: shape.to_vec(),
-            data: vec![0.0; shape.iter().product()],
-        }
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
     }
 
     /// Wraps existing data.

@@ -1,4 +1,5 @@
-//! Property-based tests for the training framework's invariants.
+//! Randomized tests for the training framework's invariants, driven by
+//! seeded `rand` sampling over many cases per property.
 
 use pcnn_eedn::activation::{HardSigmoid, Threshold};
 use pcnn_eedn::fc::GroupedLinear;
@@ -6,84 +7,119 @@ use pcnn_eedn::layer::Layer;
 use pcnn_eedn::permute::Permute;
 use pcnn_eedn::tensor::Tensor;
 use pcnn_eedn::trinary::{clip_shadow, density, trinarize};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn trinarize_is_in_the_set(w in -5.0f32..5.0) {
+fn vec_in(rng: &mut SmallRng, lo: f32, hi: f32, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+#[test]
+fn trinarize_is_in_the_set() {
+    let mut rng = SmallRng::seed_from_u64(0xEE_01);
+    for _ in 0..512 {
+        let w = rng.random_range(-5.0..5.0f32);
         let t = trinarize(w);
-        prop_assert!(t == -1.0 || t == 0.0 || t == 1.0);
+        assert!(t == -1.0 || t == 0.0 || t == 1.0);
         // Sign is preserved outside the dead zone.
         if w.abs() >= 0.5 {
-            prop_assert_eq!(t.signum(), w.signum());
+            assert_eq!(t.signum(), w.signum());
         }
     }
+}
 
-    #[test]
-    fn clip_is_idempotent(w in -10.0f32..10.0) {
+#[test]
+fn clip_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0xEE_02);
+    for _ in 0..512 {
+        let w = rng.random_range(-10.0..10.0f32);
         let c = clip_shadow(w);
-        prop_assert!((-1.0..=1.0).contains(&c));
-        prop_assert_eq!(clip_shadow(c), c);
+        assert!((-1.0..=1.0).contains(&c));
+        assert_eq!(clip_shadow(c), c);
     }
+}
 
-    #[test]
-    fn density_is_a_fraction(ws in prop::collection::vec(-2.0f32..2.0, 0..100)) {
+#[test]
+fn density_is_a_fraction() {
+    let mut rng = SmallRng::seed_from_u64(0xEE_03);
+    for _ in 0..64 {
+        let n = rng.random_range(0..100usize);
+        let ws = vec_in(&mut rng, -2.0, 2.0, n);
         let d = density(&ws);
-        prop_assert!((0.0..=1.0).contains(&d));
+        assert!((0.0..=1.0).contains(&d));
     }
+}
 
-    #[test]
-    fn threshold_output_is_binary(vals in prop::collection::vec(-3.0f32..3.0, 1..64)) {
-        let n = vals.len();
+#[test]
+fn threshold_output_is_binary() {
+    let mut rng = SmallRng::seed_from_u64(0xEE_04);
+    for _ in 0..64 {
+        let n = rng.random_range(1..64usize);
+        let vals = vec_in(&mut rng, -3.0, 3.0, n);
         let mut act = Threshold::new();
         let y = act.forward(&Tensor::from_vec(&[1, n], vals), false);
-        prop_assert!(y.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(y.data().iter().all(|&v| v == 0.0 || v == 1.0));
     }
+}
 
-    #[test]
-    fn hard_sigmoid_output_in_unit_interval(vals in prop::collection::vec(-3.0f32..3.0, 1..64)) {
-        let n = vals.len();
+#[test]
+fn hard_sigmoid_output_in_unit_interval() {
+    let mut rng = SmallRng::seed_from_u64(0xEE_05);
+    for _ in 0..64 {
+        let n = rng.random_range(1..64usize);
+        let vals = vec_in(&mut rng, -3.0, 3.0, n);
         let mut act = HardSigmoid::new();
         let y = act.forward(&Tensor::from_vec(&[1, n], vals), false);
-        prop_assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
+}
 
-    #[test]
-    fn permute_backward_inverts_forward(dim in 1usize..64, seed in 0u64..100) {
+#[test]
+fn permute_backward_inverts_forward() {
+    let mut rng = SmallRng::seed_from_u64(0xEE_06);
+    for _ in 0..100 {
+        let dim = rng.random_range(1..64usize);
+        let seed = rng.random_range(0..100u64);
         let mut p = Permute::random(dim, seed);
         let x = Tensor::from_rows(&[(0..dim).map(|i| i as f32).collect()]);
         let y = p.forward(&x, true);
         let back = p.backward(&y);
-        prop_assert_eq!(back.data(), x.data());
+        assert_eq!(back.data(), x.data());
     }
+}
 
-    #[test]
-    fn tensor_reshape_preserves_data(
-        data in prop::collection::vec(-10.0f32..10.0, 12),
-    ) {
+#[test]
+fn tensor_reshape_preserves_data() {
+    let mut rng = SmallRng::seed_from_u64(0xEE_07);
+    for _ in 0..64 {
+        let data = vec_in(&mut rng, -10.0, 10.0, 12);
         let t = Tensor::from_vec(&[3, 4], data.clone());
         let r = t.clone().reshape(&[2, 6]).reshape(&[12]).reshape(&[3, 4]);
-        prop_assert_eq!(r, t);
+        assert_eq!(r, t);
     }
+}
 
-    #[test]
-    fn deployed_weights_always_trinary(seed in 0u64..200) {
+#[test]
+fn deployed_weights_always_trinary() {
+    for seed in 0..200u64 {
         let layer = GroupedLinear::new(8, 4, 2, true, seed);
         for g in 0..2 {
             for o in 0..2 {
                 for i in 0..4 {
                     let w = layer.deployed_weight(g, o, i);
-                    prop_assert!(w == -1.0 || w == 0.0 || w == 1.0);
+                    assert!(w == -1.0 || w == 0.0 || w == 1.0);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn linear_layer_is_affine(
-        a in prop::collection::vec(-1.0f32..1.0, 6),
-        b in prop::collection::vec(-1.0f32..1.0, 6),
-    ) {
+#[test]
+fn linear_layer_is_affine() {
+    let mut rng = SmallRng::seed_from_u64(0xEE_08);
+    for _ in 0..128 {
+        let a = vec_in(&mut rng, -1.0, 1.0, 6);
+        let b = vec_in(&mut rng, -1.0, 1.0, 6);
         // f(a) + f(b) - f(0) == f(a + b) for the (float) linear layer.
         let mut layer = GroupedLinear::new(6, 3, 1, false, 7);
         let f = |l: &mut GroupedLinear, v: &[f32]| -> Vec<f32> {
@@ -95,7 +131,23 @@ proptest! {
         let f0 = f(&mut layer, &[0.0; 6]);
         let fsum = f(&mut layer, &sum);
         for i in 0..3 {
-            prop_assert!((fa[i] + fb[i] - f0[i] - fsum[i]).abs() < 1e-4);
+            assert!((fa[i] + fb[i] - f0[i] - fsum[i]).abs() < 1e-4);
         }
+    }
+}
+
+#[test]
+fn infer_matches_inference_forward() {
+    // The &self inference path must be bit-identical to forward(x, false)
+    // — the contract the parallel serving runtime depends on.
+    let mut rng = SmallRng::seed_from_u64(0xEE_09);
+    for seed in 0..16u64 {
+        let mut linear = GroupedLinear::new(8, 4, 2, seed % 2 == 0, seed);
+        let mut act = HardSigmoid::new();
+        let mut perm = Permute::random(8, seed);
+        let x = Tensor::from_rows(&[vec_in(&mut rng, -2.0, 2.0, 8)]);
+        assert_eq!(linear.infer(&x), linear.forward(&x, false));
+        assert_eq!(act.infer(&x), act.forward(&x, false));
+        assert_eq!(perm.infer(&x), perm.forward(&x, false));
     }
 }

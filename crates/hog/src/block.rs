@@ -100,7 +100,8 @@ pub fn assemble_descriptor(grid: &[Vec<Vec<f32>>], norm: BlockNorm) -> Vec<f32> 
             );
             let blocks_x = cells_x - BLOCK_CELLS + 1;
             let blocks_y = cells_y - BLOCK_CELLS + 1;
-            let mut out = Vec::with_capacity(blocks_x * blocks_y * BLOCK_CELLS * BLOCK_CELLS * bins);
+            let mut out =
+                Vec::with_capacity(blocks_x * blocks_y * BLOCK_CELLS * BLOCK_CELLS * bins);
             for by in 0..blocks_y {
                 for bx in 0..blocks_x {
                     let mut block = Vec::with_capacity(BLOCK_CELLS * BLOCK_CELLS * bins);
@@ -140,9 +141,7 @@ mod tests {
     fn grid(cells_x: usize, cells_y: usize, bins: usize) -> Vec<Vec<Vec<f32>>> {
         (0..cells_y)
             .map(|cy| {
-                (0..cells_x)
-                    .map(|cx| (0..bins).map(|b| (cx + cy + b) as f32).collect())
-                    .collect()
+                (0..cells_x).map(|cx| (0..bins).map(|b| (cx + cy + b) as f32).collect()).collect()
             })
             .collect()
     }
@@ -191,13 +190,7 @@ mod tests {
     #[test]
     fn l2hys_clips_at_02() {
         // One dominant component gets clipped.
-        let g = vec![vec![
-            vec![100.0, 0.0, 0.0],
-            vec![0.0; 3],
-        ], vec![
-            vec![0.0; 3],
-            vec![0.0; 3],
-        ]];
+        let g = vec![vec![vec![100.0, 0.0, 0.0], vec![0.0; 3]], vec![vec![0.0; 3], vec![0.0; 3]]];
         let d = assemble_descriptor(&g, BlockNorm::L2Hys);
         assert!(d.iter().all(|&v| v <= 0.2 / 0.19), "clipped then renormalized: {d:?}");
     }

@@ -59,14 +59,8 @@ impl<E: CellExtractor> HogDescriptor<E> {
     /// `(x0, y0)` in `img`. The window may touch the image border; pixels
     /// sampled outside replicate the edge.
     pub fn window_descriptor(&self, img: &GrayImage, x0: usize, y0: usize) -> Vec<f32> {
-        let grid = window_cell_histograms(
-            &self.extractor,
-            img,
-            x0,
-            y0,
-            WINDOW_CELLS_X,
-            WINDOW_CELLS_Y,
-        );
+        let grid =
+            window_cell_histograms(&self.extractor, img, x0, y0, WINDOW_CELLS_X, WINDOW_CELLS_Y);
         assemble_descriptor(&grid, self.norm)
     }
 

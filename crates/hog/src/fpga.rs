@@ -72,9 +72,8 @@ impl FpgaHog {
         // Count of boundaries strictly below 90 deg (with odd `bins` this
         // is bins/2: for 9 bins, boundaries 20..=80 deg, LUT indices 0..4).
         let below_90 = self.bins / 2;
-        let cmp = |k: usize| {
-            i64::from(gy) * i64::from(TAN_SCALE) <= i64::from(gx) * i64::from(lut[k])
-        };
+        let cmp =
+            |k: usize| i64::from(gy) * i64::from(TAN_SCALE) <= i64::from(gx) * i64::from(lut[k]);
         if gy >= 0 {
             for k in 0..below_90 {
                 if cmp(k) {
@@ -218,7 +217,8 @@ mod tests {
         let mut b = Vec::new();
         for k in 0..16 {
             let img = GrayImage::from_fn(10, 10, |x, y| {
-                0.5 + 0.2 * ((x as f32 * (0.4 + k as f32 * 0.13)).sin() + (y as f32 * 0.6).cos()) / 2.0
+                0.5 + 0.2 * ((x as f32 * (0.4 + k as f32 * 0.13)).sin() + (y as f32 * 0.6).cos())
+                    / 2.0
             });
             a.extend(fpga.cell_histogram(&img));
             b.extend(trad.cell_histogram(&img));

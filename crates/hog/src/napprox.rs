@@ -106,9 +106,7 @@ impl NApproxHog {
 
     /// Bin center angles in radians.
     fn centers(&self) -> Vec<f32> {
-        (0..self.bins)
-            .map(|b| 2.0 * PI * (b as f32 + 0.5) / self.bins as f32)
-            .collect()
+        (0..self.bins).map(|b| 2.0 * PI * (b as f32 + 0.5) / self.bins as f32).collect()
     }
 
     fn histogram_fp(&self, patch: &GrayImage) -> Vec<f32> {
@@ -154,10 +152,8 @@ impl NApproxHog {
             for x in 1..=CELL_SIZE {
                 let ix = lv[y][x + 1] - lv[y][x - 1];
                 let iy = lv[y - 1][x] - lv[y + 1][x];
-                let ips: Vec<i64> = weights
-                    .iter()
-                    .map(|&(c, s)| ix * i64::from(c) + iy * i64::from(s))
-                    .collect();
+                let ips: Vec<i64> =
+                    weights.iter().map(|&(c, s)| ix * i64::from(c) + iy * i64::from(s)).collect();
                 // The hardware comparison circuit (pcnn-corelets): bin b
                 // votes when it weakly beats its previous neighbour,
                 // strictly beats its next neighbour, and clears the
@@ -257,9 +253,7 @@ mod tests {
             let (c, s) = (phi.cos(), phi.sin());
             // Luminance ramp with gradient along phi (image y points down);
             // amplitude chosen so the magnitude clears the vote threshold.
-            let img = GrayImage::from_fn(10, 10, |x, y| {
-                0.5 + 0.05 * (c * x as f32 - s * y as f32)
-            });
+            let img = GrayImage::from_fn(10, 10, |x, y| 0.5 + 0.05 * (c * x as f32 - s * y as f32));
             let h = hog.cell_histogram(&img);
             let peak = h.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
             let center = 2.0 * PI * (peak as f32 + 0.5) / 18.0;
@@ -301,8 +295,8 @@ mod tests {
         let imgs: Vec<GrayImage> = (0..24)
             .map(|k| {
                 GrayImage::from_fn(10, 10, |x, y| {
-                    0.5 + 0.25 * ((x as f32 * (0.3 + k as f32 * 0.11)).sin()
-                        + (y as f32 * 0.5).cos())
+                    0.5 + 0.25
+                        * ((x as f32 * (0.3 + k as f32 * 0.11)).sin() + (y as f32 * 0.5).cos())
                         / 2.0
                 })
             })

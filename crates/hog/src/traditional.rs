@@ -131,12 +131,7 @@ mod tests {
         let h = hog.cell_histogram(&ramp_diag());
         // 45 deg / 20 deg per bin = bin position 2.25 -> bins 1 and 2,
         // mostly bin 2.
-        let max_bin = h
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let max_bin = h.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(max_bin, 2, "hist = {h:?}");
         assert!(h[1] > 0.0, "interpolation spreads to neighbour");
     }
@@ -152,8 +147,7 @@ mod tests {
     fn unsigned_folds_opposite_gradients_together() {
         let hog = TraditionalHog::new();
         let up = hog.cell_histogram(&ramp_x());
-        let down =
-            hog.cell_histogram(&GrayImage::from_fn(10, 10, |x, _| 1.0 - x as f32 / 10.0));
+        let down = hog.cell_histogram(&GrayImage::from_fn(10, 10, |x, _| 1.0 - x as f32 / 10.0));
         for (a, b) in up.iter().zip(&down) {
             assert!((a - b).abs() < 1e-4, "unsigned HoG folds 0 and 180");
         }
@@ -164,9 +158,7 @@ mod tests {
         // Tilt the ramp a few degrees off axis so no vote lands exactly on
         // a bin boundary (ties there are split between two bins).
         let tilted = |sign: f32| {
-            GrayImage::from_fn(10, 10, |x, y| {
-                0.5 + sign * (0.04 * x as f32 + 0.004 * y as f32)
-            })
+            GrayImage::from_fn(10, 10, |x, y| 0.5 + sign * (0.04 * x as f32 + 0.004 * y as f32))
         };
         let hog = TraditionalHog::signed_18();
         let up = hog.cell_histogram(&tilted(1.0));

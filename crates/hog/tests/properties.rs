@@ -1,49 +1,64 @@
-//! Property-based tests for the feature extractors' invariants.
+//! Randomized tests for the feature extractors' invariants, driven by
+//! seeded `rand` sampling over many cases per property.
 
 use pcnn_hog::block::{assemble_descriptor, descriptor_len};
 use pcnn_hog::cell::CellExtractor;
 use pcnn_hog::{BlockNorm, FpgaHog, NApproxHog, Quantization, TraditionalHog};
 use pcnn_vision::GrayImage;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_patch() -> impl Strategy<Value = GrayImage> {
-    prop::collection::vec(0.0f32..=1.0, 100)
-        .prop_map(|data| GrayImage::from_vec(10, 10, data))
+fn random_patch(rng: &mut SmallRng) -> GrayImage {
+    let data: Vec<f32> = (0..100).map(|_| rng.random_range(0.0..=1.0)).collect();
+    GrayImage::from_vec(10, 10, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn histograms_are_nonnegative(patch in arb_patch()) {
+#[test]
+fn histograms_are_nonnegative() {
+    let mut rng = SmallRng::seed_from_u64(0x09_01);
+    for _ in 0..64 {
+        let patch = random_patch(&mut rng);
         for hist in [
             TraditionalHog::new().cell_histogram(&patch),
             FpgaHog::new().cell_histogram(&patch),
             NApproxHog::full_precision().cell_histogram(&patch),
             NApproxHog::quantized(64).cell_histogram(&patch),
         ] {
-            prop_assert!(hist.iter().all(|&v| v >= 0.0 && v.is_finite()));
+            assert!(hist.iter().all(|&v| v >= 0.0 && v.is_finite()));
         }
     }
+}
 
-    #[test]
-    fn napprox_votes_bounded_by_cell_pixels(patch in arb_patch()) {
+#[test]
+fn napprox_votes_bounded_by_cell_pixels() {
+    let mut rng = SmallRng::seed_from_u64(0x09_02);
+    for _ in 0..64 {
+        let patch = random_patch(&mut rng);
         // Count voting: at most 64 pixels can vote; the hardware decision
         // rule votes each pixel into at most two bins in degenerate ties.
         let h = NApproxHog::quantized(64).cell_histogram(&patch);
         let total: f32 = h.iter().sum();
-        prop_assert!(total <= 129.0, "total votes {total}");
-        prop_assert!(h.iter().all(|&v| v <= 64.0));
+        assert!(total <= 129.0, "total votes {total}");
+        assert!(h.iter().all(|&v| v <= 64.0));
     }
+}
 
-    #[test]
-    fn napprox_fp_votes_are_at_most_64(patch in arb_patch()) {
+#[test]
+fn napprox_fp_votes_are_at_most_64() {
+    let mut rng = SmallRng::seed_from_u64(0x09_03);
+    for _ in 0..64 {
+        let patch = random_patch(&mut rng);
         let h = NApproxHog::full_precision().cell_histogram(&patch);
-        prop_assert!(h.iter().sum::<f32>() <= 64.0);
+        assert!(h.iter().sum::<f32>() <= 64.0);
     }
+}
 
-    #[test]
-    fn brightness_offset_invariance_of_napprox(patch in arb_patch(), offset in -0.2f32..0.2) {
+#[test]
+fn brightness_offset_invariance_of_napprox() {
+    let mut rng = SmallRng::seed_from_u64(0x09_04);
+    for _ in 0..64 {
+        let patch = random_patch(&mut rng);
+        let offset = rng.random_range(-0.2..0.2f32);
         // Gradients cancel constant offsets (modulo clamping): shift a
         // mid-range patch and the histogram is unchanged.
         let clipped: Vec<f32> = patch.pixels().iter().map(|&v| 0.3 + 0.4 * v).collect();
@@ -54,39 +69,47 @@ proptest! {
             clipped.iter().map(|&v| v + offset.clamp(-0.25, 0.25)).collect(),
         );
         let hog = NApproxHog::full_precision();
-        prop_assert_eq!(hog.cell_histogram(&base), hog.cell_histogram(&shifted));
+        assert_eq!(hog.cell_histogram(&base), hog.cell_histogram(&shifted));
     }
+}
 
-    #[test]
-    fn quantizer_roundtrip_bounded(v in 0.0f32..=1.0, levels in 1u32..=256) {
+#[test]
+fn quantizer_roundtrip_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x09_05);
+    for _ in 0..256 {
+        let v = rng.random_range(0.0..=1.0f32);
+        let levels = rng.random_range(1..=256u32);
         let q = Quantization::new(levels);
-        prop_assert!((q.quantize(v) - v).abs() <= q.max_error() + 1e-6);
-        prop_assert!(q.level_of(v) <= levels);
+        assert!((q.quantize(v) - v).abs() <= q.max_error() + 1e-6);
+        assert!(q.level_of(v) <= levels);
     }
+}
 
-    #[test]
-    fn descriptor_assembly_length_is_predicted(
-        cells_x in 2usize..10,
-        cells_y in 2usize..10,
-        bins in 1usize..20,
-    ) {
+#[test]
+fn descriptor_assembly_length_is_predicted() {
+    let mut rng = SmallRng::seed_from_u64(0x09_06);
+    for _ in 0..64 {
+        let cells_x = rng.random_range(2..10usize);
+        let cells_y = rng.random_range(2..10usize);
+        let bins = rng.random_range(1..20usize);
         let grid: Vec<Vec<Vec<f32>>> = (0..cells_y)
             .map(|cy| (0..cells_x).map(|cx| vec![(cx + cy) as f32; bins]).collect())
             .collect();
         for norm in [BlockNorm::None, BlockNorm::L2, BlockNorm::L1, BlockNorm::L2Hys] {
             let d = assemble_descriptor(&grid, norm);
-            prop_assert_eq!(d.len(), descriptor_len(cells_x, cells_y, bins, norm));
-            prop_assert!(d.iter().all(|v| v.is_finite()));
+            assert_eq!(d.len(), descriptor_len(cells_x, cells_y, bins, norm));
+            assert!(d.iter().all(|v| v.is_finite()));
         }
     }
+}
 
-    #[test]
-    fn l2_normalized_blocks_bounded_by_one(
-        values in prop::collection::vec(0.0f32..50.0, 36),
-    ) {
-        let mut block = values;
+#[test]
+fn l2_normalized_blocks_bounded_by_one() {
+    let mut rng = SmallRng::seed_from_u64(0x09_07);
+    for _ in 0..128 {
+        let mut block: Vec<f32> = (0..36).map(|_| rng.random_range(0.0..50.0)).collect();
         BlockNorm::L2.apply(&mut block);
         let norm: f32 = block.iter().map(|v| v * v).sum::<f32>().sqrt();
-        prop_assert!(norm <= 1.0 + 1e-4);
+        assert!(norm <= 1.0 + 1e-4);
     }
 }

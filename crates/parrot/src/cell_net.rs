@@ -153,8 +153,14 @@ impl ParrotNet {
             .with_bias_init(0.5),
             act1: HardSigmoid::new(),
             perm: Permute::random(config.hidden, config.seed ^ 0xB),
-            l2: GroupedLinear::new(config.hidden, out_dim, config.l2_groups, true, config.seed ^ 0xC)
-                .with_bias_init(0.25),
+            l2: GroupedLinear::new(
+                config.hidden,
+                out_dim,
+                config.l2_groups,
+                true,
+                config.seed ^ 0xC,
+            )
+            .with_bias_init(0.25),
             act2: HardSigmoid::new(),
         }
     }
@@ -167,6 +173,17 @@ impl ParrotNet {
         let h = self.perm.forward(&h, train);
         let y = self.l2.forward(&h, train);
         self.act2.forward(&y, train)
+    }
+
+    /// Inference through shared references only — bit-identical to
+    /// `forward(x, false)`, usable from many threads at once.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let h = self.replicate.infer(x);
+        let h = self.l1.infer(&h);
+        let h = self.act1.infer(&h);
+        let h = self.perm.infer(&h);
+        let y = self.l2.infer(&h);
+        self.act2.infer(&y)
     }
 
     fn backward_and_step(&mut self, grad: &Tensor, lr: f32, momentum: f32) {
@@ -185,9 +202,9 @@ impl ParrotNet {
     /// # Panics
     ///
     /// Panics if `pixels.len()` is not the network input size.
-    pub fn predict_cell(&mut self, pixels: &[f32]) -> Vec<f32> {
+    pub fn predict_cell(&self, pixels: &[f32]) -> Vec<f32> {
         let x = Tensor::from_rows(&[pixels.to_vec()]);
-        let y = self.forward(&x, false);
+        let y = self.infer(&x);
         y.row(0).to_vec()
     }
 
@@ -283,11 +300,11 @@ pub fn train_parrot(config: ParrotTrainConfig) -> (ParrotNet, ParrotTrainReport)
         }
     }
 
-    let report = evaluate(&mut net, val, config.samples);
+    let report = evaluate(&net, val, config.samples);
     (net, report)
 }
 
-fn evaluate(net: &mut ParrotNet, val: &[ParrotSample], samples: usize) -> ParrotTrainReport {
+fn evaluate(net: &ParrotNet, val: &[ParrotSample], samples: usize) -> ParrotTrainReport {
     let mut mse = 0.0f32;
     let mut n_mse = 0usize;
     let mut correct = 0usize;
@@ -302,12 +319,8 @@ fn evaluate(net: &mut ParrotNet, val: &[ParrotSample], samples: usize) -> Parrot
         // Class accuracy only means something when the patch has a
         // dominant orientation.
         if s.histogram.iter().sum::<f32>() > 8.0 {
-            let pred = y
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
+            let pred =
+                y.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0);
             // Adjacent-bin confusion is benign for histogram mimicry.
             let d = (pred as i32 - s.class as i32).rem_euclid(18);
             if d.min(18 - d) <= 1 {
@@ -330,12 +343,8 @@ mod tests {
 
     #[test]
     fn tiny_parrot_learns_orientation_structure() {
-        let (mut net, report) = train_parrot(ParrotTrainConfig::tiny());
-        assert!(
-            report.class_accuracy > 0.5,
-            "argmax accuracy {} too low",
-            report.class_accuracy
-        );
+        let (net, report) = train_parrot(ParrotTrainConfig::tiny());
+        assert!(report.class_accuracy > 0.5, "argmax accuracy {} too low", report.class_accuracy);
         assert!(report.validation_mse < 0.022, "mse {}", report.validation_mse);
         // Outputs are rates.
         let g = TrainDataGenerator::new(TrainDataConfig::default());
@@ -386,13 +395,13 @@ mod tests {
 
     #[test]
     fn json_roundtrip_preserves_behaviour() {
-        let (mut net, _) = train_parrot(ParrotTrainConfig {
+        let (net, _) = train_parrot(ParrotTrainConfig {
             samples: 200,
             epochs: 2,
             ..ParrotTrainConfig::tiny()
         });
         let json = net.to_json().unwrap();
-        let mut restored = ParrotNet::from_json(&json).unwrap();
+        let restored = ParrotNet::from_json(&json).unwrap();
         let g = TrainDataGenerator::new(TrainDataConfig::default());
         let x = g.sample(42).pixels;
         assert_eq!(net.predict_cell(&x), restored.predict_cell(&x));
@@ -401,7 +410,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "fit one core")]
     fn oversized_hidden_rejected() {
-        let cfg = ParrotTrainConfig { hidden: 300, samples: 20, epochs: 1, ..ParrotTrainConfig::tiny() };
+        let cfg =
+            ParrotTrainConfig { hidden: 300, samples: 20, epochs: 1, ..ParrotTrainConfig::tiny() };
         train_parrot(cfg);
     }
 }

@@ -6,7 +6,7 @@ use pcnn_hog::cell::{check_patch, CellExtractor};
 use pcnn_vision::GrayImage;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Adapts a trained [`ParrotNet`] to the [`CellExtractor`] interface so
 /// the detection pipeline can swap Parrot for NApprox transparently.
@@ -20,17 +20,19 @@ use std::cell::RefCell;
 /// window before reaching the network — the knob Figure 6 sweeps.
 #[derive(Debug)]
 pub struct ParrotExtractor {
-    // CellExtractor::cell_histogram takes &self; the network's forward
-    // pass caches internally and needs &mut. Single-threaded interior
-    // mutability keeps the trait object-safe and the pipeline unchanged.
-    net: RefCell<ParrotNet>,
-    stochastic: Option<RefCell<(u32, SmallRng)>>,
+    net: ParrotNet,
+    // The stochastic RNG is the only mutable state behind the &self
+    // CellExtractor interface; a Mutex keeps the extractor Sync so
+    // detectors can be shared across serving threads. (Noise draws then
+    // depend on cross-thread interleaving — determinism guarantees only
+    // cover the noise-free configuration.)
+    stochastic: Option<Mutex<(u32, SmallRng)>>,
 }
 
 impl ParrotExtractor {
     /// Wraps a trained network with noise-free inputs.
     pub fn new(net: ParrotNet) -> Self {
-        ParrotExtractor { net: RefCell::new(net), stochastic: None }
+        ParrotExtractor { net, stochastic: None }
     }
 
     /// Enables stochastic input coding at `spikes`-spike precision.
@@ -40,38 +42,37 @@ impl ParrotExtractor {
     /// Panics if `spikes == 0`.
     pub fn with_stochastic_input(mut self, spikes: u32, seed: u64) -> Self {
         assert!(spikes > 0, "stochastic window must be positive");
-        self.stochastic = Some(RefCell::new((spikes, SmallRng::seed_from_u64(seed))));
+        self.stochastic = Some(Mutex::new((spikes, SmallRng::seed_from_u64(seed))));
         self
     }
 
     /// Cores per cell module when deployed.
     pub fn core_count(&self) -> usize {
-        self.net.borrow().core_count()
+        self.net.core_count()
     }
 
     /// The stochastic input window, if enabled.
     pub fn stochastic_window(&self) -> Option<u32> {
-        self.stochastic.as_ref().map(|s| s.borrow().0)
+        self.stochastic.as_ref().map(|s| s.lock().expect("stochastic rng poisoned").0)
     }
 }
 
 impl CellExtractor for ParrotExtractor {
     fn bins(&self) -> usize {
-        self.net.borrow_mut().out_dim()
+        self.net.out_dim()
     }
 
     fn cell_histogram(&self, patch: &GrayImage) -> Vec<f32> {
         check_patch(patch);
         let rates = match &self.stochastic {
-            None => self.net.borrow_mut().predict_cell(patch.pixels()),
+            None => self.net.predict_cell(patch.pixels()),
             Some(st) => {
-                let (window, ref mut rng) = *st.borrow_mut();
-                let noisy: Vec<f32> = patch
-                    .pixels()
-                    .iter()
-                    .map(|&v| stochastic_observe(v, window, rng))
-                    .collect();
-                self.net.borrow_mut().predict_cell(&noisy)
+                let mut guard = st.lock().expect("stochastic rng poisoned");
+                let (window, ref mut rng) = *guard;
+                let noisy: Vec<f32> =
+                    patch.pixels().iter().map(|&v| stochastic_observe(v, window, rng)).collect();
+                drop(guard);
+                self.net.predict_cell(&noisy)
             }
         };
         rates.into_iter().map(|r| r * HISTOGRAM_SCALE).collect()

@@ -66,11 +66,8 @@ pub fn precision_sweep(
             let mut mse = 0.0f32;
             let mut n_mse = 0usize;
             for s in &samples {
-                let noisy: Vec<f32> = s
-                    .pixels
-                    .iter()
-                    .map(|&v| stochastic_observe(v, w, &mut rng))
-                    .collect();
+                let noisy: Vec<f32> =
+                    s.pixels.iter().map(|&v| stochastic_observe(v, w, &mut rng)).collect();
                 let y = net.predict_cell(&noisy);
                 for (p, &h) in y.iter().zip(&s.histogram) {
                     let t = h / crate::cell_net::HISTOGRAM_SCALE;
@@ -131,10 +128,7 @@ mod tests {
         assert_eq!(points.len(), 3);
         // Figure 6's shape: accuracy at 32 spikes beats 1 spike; 1-spike
         // still clears chance (1/18 with the ±1-bin tolerance ≈ 0.17).
-        assert!(
-            points[0].class_accuracy >= points[2].class_accuracy,
-            "{points:?}"
-        );
+        assert!(points[0].class_accuracy >= points[2].class_accuracy, "{points:?}");
         assert!(points[0].class_accuracy > 0.45, "{points:?}");
         assert!(points[2].class_accuracy > 0.2, "{points:?}");
         // Throughput climbs to 1000 cells/s at 1-spike coding (§5.2).

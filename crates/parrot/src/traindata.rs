@@ -49,11 +49,7 @@ pub struct TrainDataConfig {
 
 impl Default for TrainDataConfig {
     fn default() -> Self {
-        TrainDataConfig {
-            seed: 0x009a_8807,
-            structured_fraction: 0.8,
-            scene_fraction: 0.4,
-        }
+        TrainDataConfig { seed: 0x009a_8807, structured_fraction: 0.8, scene_fraction: 0.4 }
     }
 }
 
@@ -93,9 +89,8 @@ impl TrainDataGenerator {
 
     /// Generates the `index`-th sample.
     pub fn sample(&self, index: u64) -> ParrotSample {
-        let mut rng = SmallRng::seed_from_u64(
-            self.config.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(self.config.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let draw: f32 = rng.random();
         let patch = if draw < self.config.scene_fraction {
             self.scene_patch(&mut rng)
@@ -114,11 +109,7 @@ impl TrainDataGenerator {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        ParrotSample {
-            pixels: patch.pixels().to_vec(),
-            histogram,
-            class,
-        }
+        ParrotSample { pixels: patch.pixels().to_vec(), histogram, class }
     }
 
     /// Generates `n` samples.
@@ -205,8 +196,7 @@ fn mixed_patch(rng: &mut SmallRng) -> GrayImage {
             let a2: f32 = rng.random_range(0.01..0.05);
             GrayImage::from_fn(PATCH_SIZE, PATCH_SIZE, move |x, y| {
                 let (xf, yf) = (x as f32, y as f32);
-                (0.5 + a1 * (t1.cos() * xf - t1.sin() * yf)
-                    + a2 * (t2.cos() * xf - t2.sin() * yf))
+                (0.5 + a1 * (t1.cos() * xf - t1.sin() * yf) + a2 * (t2.cos() * xf - t2.sin() * yf))
                     .clamp(0.0, 1.0)
             })
         }
@@ -266,11 +256,8 @@ mod tests {
     fn duty_ratios_vary() {
         // Mean pixel values (the "ratio of 1s and 0s") must span a range.
         let g = generator();
-        let means: Vec<f32> = g
-            .samples(100)
-            .iter()
-            .map(|s| s.pixels.iter().sum::<f32>() / 100.0)
-            .collect();
+        let means: Vec<f32> =
+            g.samples(100).iter().map(|s| s.pixels.iter().sum::<f32>() / 100.0).collect();
         let min = means.iter().copied().fold(f32::INFINITY, f32::min);
         let max = means.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         assert!(max - min > 0.3, "offset range too narrow: {min}..{max}");

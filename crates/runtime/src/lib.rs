@@ -1,0 +1,66 @@
+//! # pcnn-runtime — parallel, batched detection serving
+//!
+//! A serving subsystem over the [`pcnn_core`] detection pipeline:
+//!
+//! * [`scheduler`] — deterministic work scheduling: a detection batch
+//!   decomposes into per-frame, per-pyramid-level and per-window-chunk
+//!   items executed on a fixed pool of scoped threads, with results
+//!   merged in scan order so parallel output is **bit-identical** to
+//!   the serial path at any worker count;
+//! * [`queue`] — a bounded request queue/batcher with configurable
+//!   capacity, batch size and backpressure ([`Backpressure::Reject`]
+//!   or [`Backpressure::Block`]);
+//! * [`metrics`] — lock-free serving counters (frames served, windows
+//!   scored, queue depth, per-stage wall time, latency histogram)
+//!   snapshotted into a serializable [`RuntimeReport`], with the
+//!   neurosynaptic simulator's [`SystemStats`](pcnn_truenorth::SystemStats)
+//!   threaded through;
+//! * [`server`] — [`DetectionServer`], the front-end tying the three
+//!   together.
+//!
+//! ## Determinism
+//!
+//! The scheduler never lets thread timing reach the output: work items
+//! are pure functions of their inputs, results are reassembled by item
+//! index, and chunk concatenation follows the serial scan order. The
+//! only caveat is stochastic extractors (Parrot with `StochasticRounds`
+//! noise), whose RNG draws interleave across threads; noise-free
+//! configurations — everything the paper evaluates — are exactly
+//! reproducible.
+//!
+//! ```
+//! use pcnn_runtime::{DetectionServer, RuntimeConfig};
+//! # use pcnn_core::pipeline::{Detector, TrainedDetector};
+//! # use pcnn_core::{Extractor, WindowClassifier};
+//! # use pcnn_hog::BlockNorm;
+//! # use pcnn_svm::{train, FeatureScaler, TrainConfig};
+//! # use pcnn_vision::GrayImage;
+//! # let extractor = Extractor::napprox_fp(BlockNorm::L2);
+//! # let dim = extractor.crop_descriptor(&GrayImage::new(64, 128)).len();
+//! # let xs = vec![vec![0.0; dim], vec![1.0; dim]];
+//! # let scaler = FeatureScaler::fit(&xs);
+//! # let model = train(&scaler.apply_all(&xs), &[true, false], TrainConfig::default());
+//! # let detector = TrainedDetector { extractor, classifier: WindowClassifier::Svm { model, scaler } };
+//! let server = DetectionServer::new(
+//!     Detector::default(),
+//!     &detector,
+//!     RuntimeConfig::with_workers(2),
+//! );
+//! let frame = GrayImage::new(96, 160);
+//! let detections = server.detect_frame(&frame);
+//! let report = server.report(None);
+//! assert_eq!(report.frames_served, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod queue;
+pub mod scheduler;
+pub mod server;
+
+pub use metrics::{Histogram, HistogramReport, Metrics, RuntimeReport, Stage, StageTimes};
+pub use queue::{Backpressure, PushError, QueueConfig, RequestQueue};
+pub use scheduler::{parallel_map, plan_chunks, Chunk};
+pub use server::{DetectionServer, RuntimeConfig};

@@ -1,0 +1,299 @@
+//! Serving metrics: lock-free counters, per-stage wall time and latency
+//! histograms, snapshotted into a serializable [`RuntimeReport`].
+
+use pcnn_truenorth::SystemStats;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (µs, inclusive) of the latency histogram buckets; the
+/// last bucket is open-ended.
+pub const LATENCY_BOUNDS_US: [u64; 8] =
+    [100, 1_000, 5_000, 25_000, 100_000, 500_000, 2_000_000, u64::MAX];
+
+/// A fixed-bucket histogram over `u64` samples, updatable from many
+/// threads without locking.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds. The final
+    /// bound should be `u64::MAX` so every sample lands somewhere.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        Histogram { bounds, counts: bounds.iter().map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len() - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots the histogram.
+    pub fn snapshot(&self) -> HistogramReport {
+        HistogramReport {
+            bounds_us: self.bounds.to_vec(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    /// Inclusive bucket upper bounds in microseconds.
+    pub bounds_us: Vec<u64>,
+    /// Sample count per bucket.
+    pub counts: Vec<u64>,
+}
+
+impl HistogramReport {
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Wall time spent in each pipeline stage, summed over all batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Scale-pyramid construction.
+    pub pyramid_ms: f64,
+    /// Cell-histogram grids.
+    pub cells_ms: f64,
+    /// Window assembly and classification.
+    pub classify_ms: f64,
+    /// Per-frame merge and non-maximum suppression.
+    pub nms_ms: f64,
+}
+
+impl StageTimes {
+    /// Total stage time.
+    pub fn total_ms(&self) -> f64 {
+        self.pyramid_ms + self.cells_ms + self.classify_ms + self.nms_ms
+    }
+}
+
+/// Live counters for one serving runtime. All updates are atomic, so a
+/// shared `&Metrics` can be fed from every worker thread.
+#[derive(Debug)]
+pub struct Metrics {
+    frames_served: AtomicU64,
+    frames_rejected: AtomicU64,
+    windows_scored: AtomicU64,
+    batches: AtomicU64,
+    max_queue_depth: AtomicU64,
+    stage_pyramid_ns: AtomicU64,
+    stage_cells_ns: AtomicU64,
+    stage_classify_ns: AtomicU64,
+    stage_nms_ns: AtomicU64,
+    batch_latency_us: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The four timed pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Scale-pyramid construction.
+    Pyramid,
+    /// Cell-histogram grids.
+    Cells,
+    /// Window assembly and classification.
+    Classify,
+    /// Merge + non-maximum suppression.
+    Nms,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics {
+            frames_served: AtomicU64::new(0),
+            frames_rejected: AtomicU64::new(0),
+            windows_scored: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            stage_pyramid_ns: AtomicU64::new(0),
+            stage_cells_ns: AtomicU64::new(0),
+            stage_classify_ns: AtomicU64::new(0),
+            stage_nms_ns: AtomicU64::new(0),
+            batch_latency_us: Histogram::new(&LATENCY_BOUNDS_US),
+        }
+    }
+
+    /// Counts `n` frames served.
+    pub fn add_frames(&self, n: u64) {
+        self.frames_served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` frames rejected by queue backpressure.
+    pub fn add_rejected(&self, n: u64) {
+        self.frames_rejected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` windows scored.
+    pub fn add_windows(&self, n: u64) {
+        self.windows_scored.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one completed batch and its wall time.
+    pub fn add_batch(&self, latency: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_latency_us.record(latency.as_micros() as u64);
+    }
+
+    /// Records an observed queue depth.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Adds wall time to one pipeline stage.
+    pub fn add_stage(&self, stage: Stage, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as u64;
+        let counter = match stage {
+            Stage::Pyramid => &self.stage_pyramid_ns,
+            Stage::Cells => &self.stage_cells_ns,
+            Stage::Classify => &self.stage_classify_ns,
+            Stage::Nms => &self.stage_nms_ns,
+        };
+        counter.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter into a serializable report. `workers` is
+    /// echoed into the report; `system` carries simulator counters when
+    /// the detector runs on the TrueNorth substrate.
+    pub fn report(&self, workers: usize, system: Option<SystemStats>) -> RuntimeReport {
+        let ms = |ns: &AtomicU64| ns.load(Ordering::Relaxed) as f64 / 1e6;
+        RuntimeReport {
+            workers,
+            frames_served: self.frames_served.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            windows_scored: self.windows_scored.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            stage: StageTimes {
+                pyramid_ms: ms(&self.stage_pyramid_ns),
+                cells_ms: ms(&self.stage_cells_ns),
+                classify_ms: ms(&self.stage_classify_ns),
+                nms_ms: ms(&self.stage_nms_ns),
+            },
+            batch_latency: self.batch_latency_us.snapshot(),
+            system,
+        }
+    }
+}
+
+/// A point-in-time summary of a serving runtime, serializable for
+/// dashboards and experiment logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Worker threads the runtime was configured with.
+    pub workers: usize,
+    /// Frames fully detected (pyramid through NMS).
+    pub frames_served: u64,
+    /// Frames dropped by `Backpressure::Reject`.
+    pub frames_rejected: u64,
+    /// Sliding windows scored across all frames and pyramid levels.
+    pub windows_scored: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Highest queue depth observed at enqueue time.
+    pub max_queue_depth: u64,
+    /// Per-stage wall time, summed over batches.
+    pub stage: StageTimes,
+    /// Batch wall-time histogram.
+    pub batch_latency: HistogramReport,
+    /// Neurosynaptic-simulator counters, when the extractor or
+    /// classifier runs on the simulated TrueNorth substrate.
+    pub system: Option<SystemStats>,
+}
+
+impl std::fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "runtime report ({} workers)", self.workers)?;
+        writeln!(
+            f,
+            "  frames served {:>8}   rejected {:>6}   batches {:>6}",
+            self.frames_served, self.frames_rejected, self.batches
+        )?;
+        writeln!(
+            f,
+            "  windows scored {:>10}   max queue depth {:>4}",
+            self.windows_scored, self.max_queue_depth
+        )?;
+        writeln!(
+            f,
+            "  stage ms: pyramid {:>9.2}  cells {:>9.2}  classify {:>9.2}  nms {:>7.2}",
+            self.stage.pyramid_ms, self.stage.cells_ms, self.stage.classify_ms, self.stage.nms_ms
+        )?;
+        write!(f, "  batch latency:")?;
+        for (bound, count) in self.batch_latency.bounds_us.iter().zip(&self.batch_latency.counts) {
+            if *count == 0 {
+                continue;
+            }
+            if *bound == u64::MAX {
+                write!(f, "  >2s:{count}")?;
+            } else {
+                write!(f, "  <={}ms:{count}", bound / 1000)?;
+            }
+        }
+        if let Some(s) = &self.system {
+            writeln!(f)?;
+            write!(
+                f,
+                "  truenorth: ticks {}  routed {}  synaptic events {}",
+                s.ticks, s.routed_spikes, s.synaptic_events
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_samples() {
+        let h = Histogram::new(&LATENCY_BOUNDS_US);
+        h.record(0);
+        h.record(100);
+        h.record(101);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts[0], 2);
+        assert_eq!(snap.counts[1], 1);
+        assert_eq!(*snap.counts.last().unwrap(), 1);
+        assert_eq!(snap.total(), 4);
+    }
+
+    #[test]
+    fn report_roundtrips_through_serde() {
+        let m = Metrics::new();
+        m.add_frames(3);
+        m.add_windows(1000);
+        m.add_batch(Duration::from_millis(12));
+        m.add_stage(Stage::Classify, Duration::from_millis(9));
+        let report = m.report(4, Some(SystemStats { ticks: 7, ..Default::default() }));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RuntimeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.system.unwrap().ticks, 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Metrics::new();
+        m.add_frames(1);
+        let text = m.report(2, None).to_string();
+        assert!(text.contains("frames served"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Bounded request queue with batching and configurable backpressure.
+//!
+//! Producers [`push`](RequestQueue::push) individual requests; the
+//! serving loop drains them in arrival order with
+//! [`pop_batch`](RequestQueue::pop_batch), up to `batch_size` at a
+//! time. When the queue is at capacity, [`Backpressure::Reject`]
+//! returns an error to the producer immediately while
+//! [`Backpressure::Block`] parks it until space frees up.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What a full queue does to producers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backpressure {
+    /// `push` fails with [`PushError::Full`]; the producer decides
+    /// whether to drop or retry.
+    Reject,
+    /// `push` blocks until a slot frees up (or the queue closes).
+    Block,
+}
+
+/// Queue/batcher parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Maximum queued requests before backpressure engages.
+    pub capacity: usize,
+    /// Maximum requests handed out per [`RequestQueue::pop_batch`].
+    pub batch_size: usize,
+    /// Behavior when the queue is full.
+    pub backpressure: Backpressure,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig { capacity: 64, batch_size: 8, backpressure: Backpressure::Block }
+    }
+}
+
+/// Why a [`RequestQueue::push`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue was at capacity under [`Backpressure::Reject`].
+    Full,
+    /// The queue has been closed; no further requests are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue full"),
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue that hands items out in batches.
+#[derive(Debug)]
+pub struct RequestQueue<T> {
+    config: QueueConfig,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> RequestQueue<T> {
+    /// An empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `batch_size` is zero.
+    pub fn new(config: QueueConfig) -> Self {
+        assert!(config.capacity > 0, "queue capacity must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        RequestQueue {
+            config,
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The queue configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.config
+    }
+
+    /// Enqueues one request, applying the configured backpressure, and
+    /// returns the queue depth right after the insert.
+    pub fn push(&self, item: T) -> Result<usize, PushError> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(PushError::Closed);
+            }
+            if state.items.len() < self.config.capacity {
+                state.items.push_back(item);
+                let depth = state.items.len();
+                self.not_empty.notify_one();
+                return Ok(depth);
+            }
+            match self.config.backpressure {
+                Backpressure::Reject => return Err(PushError::Full),
+                Backpressure::Block => state = self.not_full.wait(state).unwrap(),
+            }
+        }
+    }
+
+    /// Blocks until at least one request is available, then drains up
+    /// to `batch_size` in arrival order. Returns `None` once the queue
+    /// is closed and empty.
+    pub fn pop_batch(&self) -> Option<Vec<T>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if !state.items.is_empty() {
+                let n = state.items.len().min(self.config.batch_size);
+                let batch: Vec<T> = state.items.drain(..n).collect();
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Closes the queue: pending requests still drain, new pushes fail,
+    /// and blocked producers/consumers wake up.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_batching() {
+        let q = RequestQueue::new(QueueConfig {
+            capacity: 10,
+            batch_size: 3,
+            backpressure: Backpressure::Reject,
+        });
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch().unwrap(), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch().unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn reject_mode_errors_on_full() {
+        let q = RequestQueue::new(QueueConfig {
+            capacity: 2,
+            batch_size: 2,
+            backpressure: Backpressure::Reject,
+        });
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full));
+        q.pop_batch().unwrap();
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_rejects_push_and_drains() {
+        let q = RequestQueue::new(QueueConfig::default());
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(PushError::Closed));
+        assert_eq!(q.pop_batch().unwrap(), vec![7]);
+        assert_eq!(q.pop_batch(), None);
+    }
+
+    #[test]
+    fn block_mode_unblocks_when_consumer_drains() {
+        let q = RequestQueue::new(QueueConfig {
+            capacity: 1,
+            batch_size: 1,
+            backpressure: Backpressure::Block,
+        });
+        q.push(0u32).unwrap();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| q.push(1).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.pop_batch().unwrap(), vec![0]);
+            producer.join().unwrap();
+            assert_eq!(q.pop_batch().unwrap(), vec![1]);
+        });
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic work scheduling over a fixed pool of scoped threads.
+//!
+//! A detection batch decomposes into independent work items (frames,
+//! pyramid levels, window-row chunks). [`parallel_map`] executes a pure
+//! function over item indices on `workers` threads and returns results
+//! **in index order**, so callers that concatenate results reproduce the
+//! serial traversal exactly — parallelism never reorders output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every index in `0..n` using `workers` scoped threads
+/// and returns the results in index order.
+///
+/// Work is distributed dynamically: each worker claims the next
+/// unclaimed index from a shared counter, so uneven item costs (small
+/// pyramid levels vs. large ones) still balance. With `workers <= 1`
+/// the map runs inline on the caller's thread; results are identical
+/// either way because ordering is restored by index before returning.
+pub fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let threads = workers.min(n);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            return done;
+                        }
+                        done.push((idx, f(idx)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, value) in handle.join().expect("worker panicked") {
+                slots[idx] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every index computed exactly once")).collect()
+}
+
+/// One classification work item: a contiguous chunk of window rows
+/// within one pyramid level of one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Frame index within the batch.
+    pub frame: usize,
+    /// Flat index of the (frame, level) grid this chunk scans.
+    pub grid: usize,
+    /// Window start rows covered by this chunk.
+    pub rows: std::ops::Range<usize>,
+}
+
+/// Splits `window_rows` of each grid into chunks of at most
+/// `chunk_rows` rows, emitted in (frame, level, row) order so that
+/// concatenating chunk results by chunk index reproduces the serial
+/// scan order.
+///
+/// `grids` gives, for each flat grid index, its owning frame and its
+/// number of valid window rows.
+pub fn plan_chunks(grids: &[(usize, usize)], chunk_rows: usize) -> Vec<Chunk> {
+    assert!(chunk_rows > 0, "chunk_rows must be positive");
+    let mut chunks = Vec::new();
+    for (grid, &(frame, rows)) in grids.iter().enumerate() {
+        let mut start = 0;
+        while start < rows {
+            let end = (start + chunk_rows).min(rows);
+            chunks.push(Chunk { frame, grid, rows: start..end });
+            start = end;
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_matches_serial_for_any_worker_count() {
+        let f = |i: usize| (i * 31 + 7) % 101;
+        let serial: Vec<_> = (0..57).map(f).collect();
+        for workers in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(parallel_map(workers, 57, f), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        assert_eq!(parallel_map::<usize, _>(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn chunks_cover_rows_in_order_without_overlap() {
+        let grids = [(0, 7), (0, 3), (1, 0), (1, 5)];
+        let chunks = plan_chunks(&grids, 3);
+        // Every row of every grid appears exactly once, in order.
+        for (grid, &(frame, rows)) in grids.iter().enumerate() {
+            let covered: Vec<usize> =
+                chunks.iter().filter(|c| c.grid == grid).flat_map(|c| c.rows.clone()).collect();
+            assert_eq!(covered, (0..rows).collect::<Vec<_>>());
+            assert!(chunks.iter().filter(|c| c.grid == grid).all(|c| c.frame == frame));
+        }
+        // Chunk order is (frame, grid, row)-monotone.
+        for pair in chunks.windows(2) {
+            assert!(
+                (pair[0].frame, pair[0].grid, pair[0].rows.start)
+                    < (pair[1].frame, pair[1].grid, pair[1].rows.start)
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_size_bounds_respected() {
+        for chunk_rows in 1..6 {
+            for c in plan_chunks(&[(0, 13)], chunk_rows) {
+                assert!(c.rows.len() <= chunk_rows);
+                assert!(!c.rows.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The detection server: batched, parallel frame serving with metrics.
+//!
+//! [`DetectionServer`] wraps a trained detector and executes the
+//! detection pipeline stage by stage on a fixed worker pool:
+//!
+//! 1. **pyramid** — one work item per frame;
+//! 2. **cells** — one work item per (frame, pyramid level);
+//! 3. **classify** — one work item per window-row chunk;
+//! 4. **nms** — merge chunk results in scan order, then one NMS item
+//!    per frame.
+//!
+//! Chunk results are concatenated in (frame, level, row) order before
+//! NMS, so the parallel output is bit-identical to
+//! [`Detector::detect`]'s serial scan for any worker count.
+
+use crate::metrics::{Metrics, RuntimeReport, Stage};
+use crate::queue::{PushError, QueueConfig, RequestQueue};
+use crate::scheduler::{parallel_map, plan_chunks};
+use pcnn_core::pipeline::{Detector, TrainedDetector};
+use pcnn_hog::cell::CELL_SIZE;
+use pcnn_truenorth::SystemStats;
+use pcnn_vision::pyramid::scale_pyramid;
+use pcnn_vision::{non_maximum_suppression, Detection, GrayImage, WINDOW_WIDTH};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Serving-runtime parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Worker threads in the pool. One means serial execution.
+    pub workers: usize,
+    /// Window start rows per classification work item. Smaller chunks
+    /// balance better across workers; larger chunks amortize dispatch.
+    pub chunk_rows: usize,
+    /// Request queue/batcher parameters.
+    pub queue: QueueConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { workers: 4, chunk_rows: 4, queue: QueueConfig::default() }
+    }
+}
+
+impl RuntimeConfig {
+    /// The default configuration with the given worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig { workers, ..Default::default() }
+    }
+}
+
+/// A batched, parallel serving front-end over a trained detector.
+#[derive(Debug)]
+pub struct DetectionServer<'d> {
+    engine: Detector,
+    detector: &'d TrainedDetector,
+    config: RuntimeConfig,
+    metrics: Metrics,
+}
+
+impl<'d> DetectionServer<'d> {
+    /// A server running `engine` over `detector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `chunk_rows` is zero, or the queue
+    /// configuration is degenerate.
+    pub fn new(engine: Detector, detector: &'d TrainedDetector, config: RuntimeConfig) -> Self {
+        assert!(config.workers > 0, "worker count must be positive");
+        assert!(config.chunk_rows > 0, "chunk_rows must be positive");
+        DetectionServer { engine, detector, config, metrics: Metrics::new() }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The wrapped detection engine.
+    pub fn engine(&self) -> &Detector {
+        &self.engine
+    }
+
+    /// Runs one batch of frames through the staged parallel pipeline,
+    /// returning per-frame NMS-filtered detections in input order.
+    pub fn detect_batch(&self, frames: &[&GrayImage]) -> Vec<Vec<Detection>> {
+        if frames.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.config.workers;
+        let batch_start = Instant::now();
+
+        // Stage 1: scale pyramids, one item per frame.
+        let t = Instant::now();
+        let pyramid_config = self.engine.config().pyramid;
+        let pyramids =
+            parallel_map(workers, frames.len(), |i| scale_pyramid(frames[i], pyramid_config));
+        self.metrics.add_stage(Stage::Pyramid, t.elapsed());
+
+        // Stage 2: cell grids, one item per (frame, level).
+        let t = Instant::now();
+        let level_of: Vec<(usize, usize)> = pyramids
+            .iter()
+            .enumerate()
+            .flat_map(|(f, p)| (0..p.levels.len()).map(move |l| (f, l)))
+            .collect();
+        let grids = parallel_map(workers, level_of.len(), |i| {
+            let (f, l) = level_of[i];
+            let level = &pyramids[f].levels[l];
+            let grid = Detector::cell_grid(&self.detector.extractor, &level.image);
+            (grid, level.scale)
+        });
+        self.metrics.add_stage(Stage::Cells, t.elapsed());
+
+        // Stage 3: classify window-row chunks in (frame, level, row) order.
+        let t = Instant::now();
+        let grid_rows: Vec<(usize, usize)> = level_of
+            .iter()
+            .zip(&grids)
+            .map(|(&(f, _), (grid, _))| (f, Detector::window_rows(grid)))
+            .collect();
+        let chunks = plan_chunks(&grid_rows, self.config.chunk_rows);
+        let raw = parallel_map(workers, chunks.len(), |i| {
+            let chunk = &chunks[i];
+            let (grid, scale) = &grids[chunk.grid];
+            self.engine.score_rows(self.detector, grid, *scale, chunk.rows.clone())
+        });
+        let window_cells_x = WINDOW_WIDTH / CELL_SIZE;
+        let windows: u64 = chunks
+            .iter()
+            .map(|c| {
+                let per_row = grids[c.grid].0[0].len() + 1 - window_cells_x;
+                (c.rows.len() * per_row) as u64
+            })
+            .sum();
+        self.metrics.add_windows(windows);
+        self.metrics.add_stage(Stage::Classify, t.elapsed());
+
+        // Stage 4: merge chunk results in scan order and suppress,
+        // one item per frame. Chunks are already (frame, level, row)
+        // ordered, so in-order concatenation per frame reproduces the
+        // serial raw-detection sequence exactly.
+        let t = Instant::now();
+        let epsilon = self.engine.config().nms_epsilon;
+        let detections = parallel_map(workers, frames.len(), |f| {
+            let merged: Vec<Detection> = chunks
+                .iter()
+                .zip(&raw)
+                .filter(|(c, _)| c.frame == f)
+                .flat_map(|(_, dets)| dets.iter().cloned())
+                .collect();
+            non_maximum_suppression(merged, epsilon)
+        });
+        self.metrics.add_stage(Stage::Nms, t.elapsed());
+
+        self.metrics.add_frames(frames.len() as u64);
+        self.metrics.add_batch(batch_start.elapsed());
+        detections
+    }
+
+    /// Detects over a single frame on the worker pool. Output is
+    /// bit-identical to [`Detector::detect`].
+    pub fn detect_frame(&self, img: &GrayImage) -> Vec<Detection> {
+        self.detect_batch(&[img]).pop().expect("one frame in, one result out")
+    }
+
+    /// Serves a stream of frames through the request queue: a feeder
+    /// thread enqueues every frame (index-tagged) while this thread
+    /// drains batches and runs them on the worker pool.
+    ///
+    /// Returns per-frame detections in input order; `None` marks frames
+    /// dropped by [`Backpressure::Reject`]. With
+    /// [`Backpressure::Block`] every slot is `Some`.
+    pub fn serve(&self, frames: &[GrayImage]) -> Vec<Option<Vec<Detection>>> {
+        let queue: RequestQueue<usize> = RequestQueue::new(self.config.queue);
+        let mut results: Vec<Option<Vec<Detection>>> = (0..frames.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let feeder = scope.spawn(|| {
+                let mut rejected = 0u64;
+                for index in 0..frames.len() {
+                    match queue.push(index) {
+                        Ok(depth) => self.metrics.observe_queue_depth(depth as u64),
+                        Err(PushError::Full) => rejected += 1,
+                        Err(PushError::Closed) => break,
+                    }
+                }
+                queue.close();
+                self.metrics.add_rejected(rejected);
+            });
+            while let Some(batch) = queue.pop_batch() {
+                let imgs: Vec<&GrayImage> = batch.iter().map(|&i| &frames[i]).collect();
+                let dets = self.detect_batch(&imgs);
+                for (&i, d) in batch.iter().zip(dets) {
+                    results[i] = Some(d);
+                }
+            }
+            feeder.join().expect("feeder thread panicked");
+        });
+        results
+    }
+
+    /// Snapshots the serving metrics. Pass the simulator counters when
+    /// the detector runs on the TrueNorth substrate (e.g. from
+    /// `NApproxHogCorelet::stats`) to thread them into the report.
+    pub fn report(&self, system: Option<SystemStats>) -> RuntimeReport {
+        self.metrics.report(self.config.workers, system)
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests for the serving runtime: parallel output must be
+//! bit-identical to the serial detection path, and queue backpressure
+//! must reject cleanly without deadlocking.
+
+use pcnn_core::pipeline::{Detector, TrainedDetector};
+use pcnn_core::{Extractor, WindowClassifier};
+use pcnn_hog::BlockNorm;
+use pcnn_runtime::{
+    Backpressure, DetectionServer, PushError, QueueConfig, RequestQueue, RuntimeConfig,
+};
+use pcnn_svm::{train, FeatureScaler, TrainConfig};
+use pcnn_vision::{SynthConfig, SynthDataset};
+
+/// Trains a small SVM detector on NApprox full-precision features.
+fn small_detector() -> TrainedDetector {
+    let ds = SynthDataset::new(SynthConfig::default());
+    let extractor = Extractor::napprox_fp(BlockNorm::L2);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..40 {
+        xs.push(extractor.crop_descriptor(&ds.train_positive(i)));
+        ys.push(true);
+        xs.push(extractor.crop_descriptor(&ds.train_negative(i)));
+        ys.push(false);
+    }
+    let scaler = FeatureScaler::fit(&xs);
+    let model = train(&scaler.apply_all(&xs), &ys, TrainConfig::default());
+    TrainedDetector { extractor, classifier: WindowClassifier::Svm { model, scaler } }
+}
+
+#[test]
+fn parallel_detection_is_bit_identical_to_serial() {
+    let detector = small_detector();
+    let engine = Detector::default();
+    let serial_server =
+        DetectionServer::new(Detector::default(), &detector, RuntimeConfig::with_workers(1));
+    let parallel_server =
+        DetectionServer::new(Detector::default(), &detector, RuntimeConfig::with_workers(4));
+    // Three differently-seeded scenes; each must produce the same
+    // detections — same order, scores bit-equal — under the serial
+    // engine, a one-worker pool and a four-worker pool.
+    for seed in [11u64, 42, 1234] {
+        let scene = SynthDataset::new(SynthConfig { seed, ..SynthConfig::default() }).test_scene(0);
+        let serial = engine.detect(&detector, &scene.image);
+        let one = serial_server.detect_frame(&scene.image);
+        let four = parallel_server.detect_frame(&scene.image);
+        assert_eq!(serial, one, "seed {seed}: workers=1 diverges from serial detect");
+        assert_eq!(serial, four, "seed {seed}: workers=4 diverges from serial detect");
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "seed {seed}: score bits differ");
+        }
+    }
+}
+
+#[test]
+fn batch_and_serve_match_per_frame_results() {
+    let detector = small_detector();
+    let server = DetectionServer::new(
+        Detector::default(),
+        &detector,
+        RuntimeConfig {
+            workers: 3,
+            chunk_rows: 2,
+            queue: QueueConfig { capacity: 4, batch_size: 2, backpressure: Backpressure::Block },
+        },
+    );
+    let ds = SynthDataset::new(SynthConfig::default());
+    let frames: Vec<_> = (0..4).map(|i| ds.test_scene(i).image.clone()).collect();
+    let refs: Vec<_> = frames.iter().collect();
+    let batched = server.detect_batch(&refs);
+    let served = server.serve(&frames);
+    assert_eq!(served.len(), frames.len());
+    for (frame, (batch, serve)) in batched.iter().zip(&served).enumerate() {
+        let serve = serve.as_ref().expect("Block backpressure never drops frames");
+        assert_eq!(batch, serve, "frame {frame} differs between detect_batch and serve");
+    }
+    let report = server.report(None);
+    assert_eq!(report.frames_served, 8, "4 batched + 4 served");
+    assert!(report.windows_scored > 0);
+    assert!(report.stage.classify_ms > 0.0);
+}
+
+#[test]
+fn reject_backpressure_errors_without_deadlock() {
+    let queue: RequestQueue<u32> = RequestQueue::new(QueueConfig {
+        capacity: 2,
+        batch_size: 2,
+        backpressure: Backpressure::Reject,
+    });
+    queue.push(0).unwrap();
+    queue.push(1).unwrap();
+    // A full queue under Reject fails immediately — the producer is
+    // never parked, so no consumer is needed to make progress.
+    assert_eq!(queue.push(2), Err(PushError::Full));
+    assert_eq!(queue.pop_batch().unwrap(), vec![0, 1]);
+    queue.push(3).unwrap();
+    queue.close();
+    assert_eq!(queue.push(4), Err(PushError::Closed));
+    assert_eq!(queue.pop_batch().unwrap(), vec![3]);
+    assert_eq!(queue.pop_batch(), None);
+}
+
+#[test]
+fn serve_under_reject_drops_overflow_but_completes() {
+    let detector = small_detector();
+    let server = DetectionServer::new(
+        Detector::default(),
+        &detector,
+        RuntimeConfig {
+            workers: 2,
+            chunk_rows: 4,
+            queue: QueueConfig { capacity: 1, batch_size: 1, backpressure: Backpressure::Reject },
+        },
+    );
+    let ds = SynthDataset::new(SynthConfig::default());
+    let frames: Vec<_> = (0..6).map(|i| ds.test_scene(i).image.clone()).collect();
+    // With a one-slot queue and a fast feeder, some frames may be
+    // rejected — but serve() must terminate and account for every
+    // frame either way.
+    let results = server.serve(&frames);
+    assert_eq!(results.len(), frames.len());
+    let report = server.report(None);
+    let served = results.iter().filter(|r| r.is_some()).count() as u64;
+    assert_eq!(report.frames_served, served);
+    assert_eq!(report.frames_rejected, frames.len() as u64 - served);
+    assert!(served >= 1, "at least the first frame is always served");
+}

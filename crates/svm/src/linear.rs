@@ -36,13 +36,7 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig {
-            c: 1.0,
-            max_epochs: 200,
-            tolerance: 1e-3,
-            seed: 0x5711,
-            positive_weight: 1.0,
-        }
+        TrainConfig { c: 1.0, max_epochs: 200, tolerance: 1e-3, seed: 0x5711, positive_weight: 1.0 }
     }
 }
 
@@ -73,10 +67,8 @@ pub fn train(examples: &[Vec<f32>], labels: &[bool], config: TrainConfig) -> Lin
 
     let n = examples.len();
     // Augmented squared norms (+1 for the bias feature).
-    let qdiag: Vec<f32> = examples
-        .iter()
-        .map(|x| x.iter().map(|v| v * v).sum::<f32>() + 1.0)
-        .collect();
+    let qdiag: Vec<f32> =
+        examples.iter().map(|x| x.iter().map(|v| v * v).sum::<f32>() + 1.0).collect();
     let cost: Vec<f32> = labels
         .iter()
         .map(|&l| if l { config.c * config.positive_weight } else { config.c })
@@ -141,10 +133,7 @@ mod tests {
         for _ in 0..n {
             let label: bool = rng.random_bool(0.5);
             let cx = if label { 2.0 } else { -2.0 };
-            xs.push(vec![
-                cx + rng.random_range(-0.8..0.8),
-                rng.random_range(-1.0..1.0f32),
-            ]);
+            xs.push(vec![cx + rng.random_range(-0.8..0.8), rng.random_range(-1.0..1.0f32)]);
             ys.push(label);
         }
         (xs, ys)
@@ -154,11 +143,7 @@ mod tests {
     fn separates_linearly_separable_data() {
         let (xs, ys) = separable(200, 1);
         let m = train(&xs, &ys, TrainConfig::default());
-        let correct = xs
-            .iter()
-            .zip(&ys)
-            .filter(|(x, &y)| m.predict(x) == y)
-            .count();
+        let correct = xs.iter().zip(&ys).filter(|(x, &y)| m.predict(x) == y).count();
         assert_eq!(correct, xs.len(), "separable data must be fit perfectly");
     }
 
@@ -167,10 +152,12 @@ mod tests {
         let (xs, ys) = separable(400, 2);
         let m = train(&xs, &ys, TrainConfig { c: 10.0, ..TrainConfig::default() });
         // Positive-class scores exceed negatives by a healthy margin.
-        let mean_pos: f32 = xs.iter().zip(&ys).filter(|(_, &y)| y).map(|(x, _)| m.score(x)).sum::<f32>()
-            / ys.iter().filter(|&&y| y).count() as f32;
-        let mean_neg: f32 = xs.iter().zip(&ys).filter(|(_, &y)| !y).map(|(x, _)| m.score(x)).sum::<f32>()
-            / ys.iter().filter(|&&y| !y).count() as f32;
+        let mean_pos: f32 =
+            xs.iter().zip(&ys).filter(|(_, &y)| y).map(|(x, _)| m.score(x)).sum::<f32>()
+                / ys.iter().filter(|&&y| y).count() as f32;
+        let mean_neg: f32 =
+            xs.iter().zip(&ys).filter(|(_, &y)| !y).map(|(x, _)| m.score(x)).sum::<f32>()
+                / ys.iter().filter(|&&y| !y).count() as f32;
         assert!(mean_pos > 0.9 && mean_neg < -0.9, "pos {mean_pos} neg {mean_neg}");
     }
 
@@ -197,8 +184,8 @@ mod tests {
         }
         let m = train(&xs, &ys, TrainConfig::default());
         assert!(m.weights().iter().all(|w| w.is_finite()));
-        let acc = xs.iter().zip(&ys).filter(|(x, &y)| m.predict(x) == y).count() as f32
-            / xs.len() as f32;
+        let acc =
+            xs.iter().zip(&ys).filter(|(x, &y)| m.predict(x) == y).count() as f32 / xs.len() as f32;
         assert!(acc > 0.6, "accuracy {acc}");
     }
 
@@ -231,10 +218,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_rejected() {
-        train(
-            &[vec![1.0], vec![2.0, 3.0]],
-            &[true, false],
-            TrainConfig::default(),
-        );
+        train(&[vec![1.0], vec![2.0, 3.0]], &[true, false], TrainConfig::default());
     }
 }

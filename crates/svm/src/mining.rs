@@ -70,7 +70,8 @@ pub fn mine_hard_negatives<F>(
 where
     F: FnMut(&LinearSvm) -> Vec<Vec<f32>>,
 {
-    let mut xs: Vec<Vec<f32>> = positives.iter().cloned().chain(seed_negatives.iter().cloned()).collect();
+    let mut xs: Vec<Vec<f32>> =
+        positives.iter().cloned().chain(seed_negatives.iter().cloned()).collect();
     let mut ys: Vec<bool> = std::iter::repeat_n(true, positives.len())
         .chain(std::iter::repeat_n(false, seed_negatives.len()))
         .collect();
@@ -133,10 +134,8 @@ mod tests {
         // misclassified.
         let base = {
             let xs: Vec<Vec<f32>> = pos.iter().chain(&easy).cloned().collect();
-            let ys: Vec<bool> = vec![true; pos.len()]
-                .into_iter()
-                .chain(vec![false; easy.len()])
-                .collect();
+            let ys: Vec<bool> =
+                vec![true; pos.len()].into_iter().chain(vec![false; easy.len()]).collect();
             train(&xs, &ys, TrainConfig::default())
         };
         let base_fp = hard.iter().filter(|x| base.predict(x)).count();
@@ -177,7 +176,12 @@ mod tests {
             &pos,
             &easy,
             move |_| hard.clone(),
-            MiningConfig { rounds: 1, max_new_per_round: 5, margin: -10.0, ..MiningConfig::default() },
+            MiningConfig {
+                rounds: 1,
+                max_new_per_round: 5,
+                margin: -10.0,
+                ..MiningConfig::default()
+            },
         );
         assert_eq!(report.added_per_round, vec![5]);
     }

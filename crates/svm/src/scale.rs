@@ -56,10 +56,7 @@ impl FeatureScaler {
                 }
             })
             .collect();
-        FeatureScaler {
-            mean: mean.into_iter().map(|m| m as f32).collect(),
-            inv_std,
-        }
+        FeatureScaler { mean: mean.into_iter().map(|m| m as f32).collect(), inv_std }
     }
 
     /// Input dimensionality.

@@ -1,36 +1,49 @@
-//! Property-based tests for the SVM's invariants.
+//! Randomized tests for the SVM's invariants, driven by seeded `rand`
+//! sampling over many cases per property.
 
 use pcnn_svm::{train, BinaryMetrics, FeatureScaler, LinearSvm, TrainConfig};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn score_is_affine(
-        w in prop::collection::vec(-2.0f32..2.0, 4),
-        bias in -2.0f32..2.0,
-        a in prop::collection::vec(-3.0f32..3.0, 4),
-        b in prop::collection::vec(-3.0f32..3.0, 4),
-    ) {
+fn vec_in(rng: &mut SmallRng, lo: f32, hi: f32, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+#[test]
+fn score_is_affine() {
+    let mut rng = SmallRng::seed_from_u64(0x5A_01);
+    for _ in 0..256 {
+        let w = vec_in(&mut rng, -2.0, 2.0, 4);
+        let bias = rng.random_range(-2.0..2.0);
+        let a = vec_in(&mut rng, -3.0, 3.0, 4);
+        let b = vec_in(&mut rng, -3.0, 3.0, 4);
         let m = LinearSvm::new(w, bias);
         let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         let lhs = m.score(&sum) + m.score(&[0.0; 4]);
         let rhs = m.score(&a) + m.score(&b);
-        prop_assert!((lhs - rhs).abs() < 1e-3);
+        assert!((lhs - rhs).abs() < 1e-3, "affinity violated: {lhs} vs {rhs}");
     }
+}
 
-    #[test]
-    fn predict_matches_score_sign(
-        w in prop::collection::vec(-2.0f32..2.0, 3),
-        bias in -2.0f32..2.0,
-        x in prop::collection::vec(-3.0f32..3.0, 3),
-    ) {
+#[test]
+fn predict_matches_score_sign() {
+    let mut rng = SmallRng::seed_from_u64(0x5A_02);
+    for _ in 0..256 {
+        let w = vec_in(&mut rng, -2.0, 2.0, 3);
+        let bias = rng.random_range(-2.0..2.0);
+        let x = vec_in(&mut rng, -3.0, 3.0, 3);
         let m = LinearSvm::new(w, bias);
-        prop_assert_eq!(m.predict(&x), m.score(&x) > 0.0);
+        assert_eq!(m.predict(&x), m.score(&x) > 0.0);
     }
+}
 
-    #[test]
-    fn training_respects_separable_margin(shift in 1.5f32..5.0, n in 10usize..40) {
-        // Two well-separated clusters are always classified perfectly.
+#[test]
+fn training_respects_separable_margin() {
+    // Two well-separated clusters are always classified perfectly.
+    let mut rng = SmallRng::seed_from_u64(0x5A_03);
+    for _ in 0..16 {
+        let shift = rng.random_range(1.5..5.0f32);
+        let n = rng.random_range(10..40usize);
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for i in 0..n {
@@ -42,33 +55,39 @@ proptest! {
         }
         let m = train(&xs, &ys, TrainConfig::default());
         let metrics = BinaryMetrics::evaluate(&m, &xs, &ys);
-        prop_assert_eq!(metrics.accuracy(), 1.0);
+        assert_eq!(metrics.accuracy(), 1.0, "shift {shift}, n {n}");
     }
+}
 
-    #[test]
-    fn scaler_output_is_zero_mean(
-        rows in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 3), 2..30),
-    ) {
+#[test]
+fn scaler_output_is_zero_mean() {
+    let mut rng = SmallRng::seed_from_u64(0x5A_04);
+    for _ in 0..64 {
+        let n = rng.random_range(2..30usize);
+        let rows: Vec<Vec<f32>> = (0..n).map(|_| vec_in(&mut rng, -5.0, 5.0, 3)).collect();
         let s = FeatureScaler::fit(&rows);
         let scaled = s.apply_all(&rows);
         for d in 0..3 {
             let mean: f32 = scaled.iter().map(|r| r[d]).sum::<f32>() / rows.len() as f32;
-            prop_assert!(mean.abs() < 1e-3, "dim {d} mean {mean}");
+            assert!(mean.abs() < 1e-3, "dim {d} mean {mean}");
         }
     }
+}
 
-    #[test]
-    fn metrics_counts_are_consistent(
-        outcomes in prop::collection::vec((any::<bool>(), any::<bool>()), 0..100),
-    ) {
+#[test]
+fn metrics_counts_are_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0x5A_05);
+    for _ in 0..64 {
+        let len = rng.random_range(0..100usize);
+        let outcomes: Vec<(bool, bool)> = (0..len).map(|_| (rng.random(), rng.random())).collect();
         let mut m = BinaryMetrics::default();
         for (p, a) in &outcomes {
             m.record(*p, *a);
         }
-        prop_assert_eq!(m.total(), outcomes.len());
-        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
-        prop_assert!((0.0..=1.0).contains(&m.precision()));
-        prop_assert!((0.0..=1.0).contains(&m.recall()));
-        prop_assert!((m.recall() + m.miss_rate() - 1.0).abs() < 1e-9 || m.tp + m.fn_ == 0);
+        assert_eq!(m.total(), outcomes.len());
+        assert!((0.0..=1.0).contains(&m.accuracy()));
+        assert!((0.0..=1.0).contains(&m.precision()));
+        assert!((0.0..=1.0).contains(&m.recall()));
+        assert!((m.recall() + m.miss_rate() - 1.0).abs() < 1e-9 || m.tp + m.fn_ == 0);
     }
 }

@@ -72,9 +72,7 @@ impl Corelet {
     ///
     /// [`TrueNorthError::UnknownPin`] if no input pin has that name.
     pub fn input(&self, name: &str) -> Result<&Pin> {
-        self.inputs.get(name).ok_or_else(|| TrueNorthError::UnknownPin {
-            name: name.to_owned(),
-        })
+        self.inputs.get(name).ok_or_else(|| TrueNorthError::UnknownPin { name: name.to_owned() })
     }
 
     /// Injects a spike on element `index` of input pin `name`.
@@ -85,10 +83,8 @@ impl Corelet {
     /// or injection errors from the system.
     pub fn inject(&self, system: &mut System, name: &str, index: usize) -> Result<()> {
         let pin = self.input(name)?;
-        let &(core, axon) = pin.endpoints.get(index).ok_or_else(|| TrueNorthError::PinOutOfRange {
-            name: name.to_owned(),
-            index,
-            width: pin.width(),
+        let &(core, axon) = pin.endpoints.get(index).ok_or_else(|| {
+            TrueNorthError::PinOutOfRange { name: name.to_owned(), index, width: pin.width() }
         })?;
         system.try_inject(core, axon)
     }
@@ -99,9 +95,10 @@ impl Corelet {
     ///
     /// [`TrueNorthError::UnknownPin`] if no output pin has that name.
     pub fn output_pin_range(&self, name: &str) -> Result<(u32, usize)> {
-        self.outputs.get(name).copied().ok_or_else(|| TrueNorthError::UnknownPin {
-            name: name.to_owned(),
-        })
+        self.outputs
+            .get(name)
+            .copied()
+            .ok_or_else(|| TrueNorthError::UnknownPin { name: name.to_owned() })
     }
 }
 
@@ -193,8 +190,7 @@ impl<'s> CoreletBuilder<'s> {
         let name = name.into();
         let first = self.next_output_pin;
         for (i, &(slot, neuron)) in lines.iter().enumerate() {
-            self.pending[slot]
-                .route_neuron(neuron as usize, SpikeTarget::output(first + i as u32));
+            self.pending[slot].route_neuron(neuron as usize, SpikeTarget::output(first + i as u32));
         }
         self.next_output_pin += lines.len() as u32;
         self.outputs.insert(name, (first, lines.len()));
@@ -225,12 +221,7 @@ impl<'s> CoreletBuilder<'s> {
             debug_assert_eq!(h, self.handles[i], "core registration order changed");
             cores.push(h);
         }
-        Corelet {
-            name: self.name,
-            cores,
-            inputs: self.inputs,
-            outputs: self.outputs,
-        }
+        Corelet { name: self.name, cores, inputs: self.inputs, outputs: self.outputs }
     }
 }
 
@@ -273,14 +264,8 @@ mod tests {
     fn unknown_pin_is_error() {
         let mut sys = System::new();
         let c = chain(&mut sys);
-        assert!(matches!(
-            c.inject(&mut sys, "nope", 0),
-            Err(TrueNorthError::UnknownPin { .. })
-        ));
-        assert!(matches!(
-            c.inject(&mut sys, "in", 5),
-            Err(TrueNorthError::PinOutOfRange { .. })
-        ));
+        assert!(matches!(c.inject(&mut sys, "nope", 0), Err(TrueNorthError::UnknownPin { .. })));
+        assert!(matches!(c.inject(&mut sys, "in", 5), Err(TrueNorthError::PinOutOfRange { .. })));
         assert!(c.output_pin_range("nope").is_err());
     }
 
@@ -291,9 +276,7 @@ mod tests {
         // Second corelet starts its output pins after the first.
         let mut cb = CoreletBuilder::new(&mut sys, "solo", 1);
         let (s, _) = cb.alloc_core();
-        cb.core_mut(s)
-            .connect(0, 0)
-            .set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+        cb.core_mut(s).connect(0, 0).set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
         cb.declare_input("in", &[(s, 0)]);
         cb.declare_output("out", &[(s, 0)]);
         let c2 = cb.build();

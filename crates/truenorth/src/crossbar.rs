@@ -32,9 +32,7 @@ impl Default for Crossbar {
 impl Crossbar {
     /// An empty crossbar (no synapses).
     pub fn new() -> Self {
-        Crossbar {
-            rows: vec![[0; WORDS_PER_ROW]; AXONS_PER_CORE],
-        }
+        Crossbar { rows: vec![[0; WORDS_PER_ROW]; AXONS_PER_CORE] }
     }
 
     /// Sets the synapse from `axon` to `neuron`.
@@ -65,18 +63,12 @@ impl Crossbar {
     /// Iterates over the neuron indices connected to `axon`.
     pub fn connected_neurons(&self, axon: usize) -> impl Iterator<Item = usize> + '_ {
         assert!(axon < AXONS_PER_CORE);
-        self.rows[axon]
-            .iter()
-            .enumerate()
-            .flat_map(|(w, &bits)| BitIter { bits, base: w * 64 })
+        self.rows[axon].iter().enumerate().flat_map(|(w, &bits)| BitIter { bits, base: w * 64 })
     }
 
     /// Number of synapses present on the whole crossbar.
     pub fn synapse_count(&self) -> usize {
-        self.rows
-            .iter()
-            .map(|row| row.iter().map(|w| w.count_ones() as usize).sum::<usize>())
-            .sum()
+        self.rows.iter().map(|row| row.iter().map(|w| w.count_ones() as usize).sum::<usize>()).sum()
     }
 
     /// Number of synapses on one axon row.

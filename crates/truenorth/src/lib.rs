@@ -84,6 +84,6 @@ pub use ids::{AxonIndex, CoreHandle, NeuronIndex};
 pub use model::{SystemModel, MODEL_VERSION};
 pub use neuron::{NeuronConfig, NeuronState, ResetMode};
 pub use placement::{audit_routes, Placement, RoutingAudit};
-pub use probe::{PotentialTrace, SpikeRaster};
 pub use power::{PowerEstimate, PowerModel, CHIP_CORES, CHIP_POWER_MW, CORE_POWER_UW};
+pub use probe::{PotentialTrace, SpikeRaster};
 pub use system::{SpikeTarget, System, SystemStats};

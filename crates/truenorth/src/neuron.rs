@@ -81,11 +81,7 @@ impl NeuronConfig {
     /// assert_eq!(n.weights[1], -1);
     /// ```
     pub fn excitatory(weights: &[i32; 4], alpha: i32) -> Self {
-        NeuronConfig {
-            weights: *weights,
-            threshold: alpha.max(1),
-            ..NeuronConfig::default()
-        }
+        NeuronConfig { weights: *weights, threshold: alpha.max(1), ..NeuronConfig::default() }
     }
 
     /// An integrator neuron: linear reset so that the firing *rate* encodes
@@ -217,9 +213,7 @@ mod tests {
 
     #[test]
     fn floor_saturates() {
-        let cfg = NeuronConfig::excitatory(&[1, 0, 0, 0], 100)
-            .with_leak(-50)
-            .with_floor(10);
+        let cfg = NeuronConfig::excitatory(&[1, 0, 0, 0], 100).with_leak(-50).with_floor(10);
         let mut st = NeuronState { potential: 0 };
         let mut r = rng();
         for _ in 0..5 {
@@ -230,11 +224,7 @@ mod tests {
 
     #[test]
     fn no_reset_mode_keeps_potential() {
-        let cfg = NeuronConfig {
-            threshold: 2,
-            reset: ResetMode::None,
-            ..NeuronConfig::default()
-        };
+        let cfg = NeuronConfig { threshold: 2, reset: ResetMode::None, ..NeuronConfig::default() };
         let mut st = NeuronState { potential: 5 };
         assert!(st.leak_and_fire(&cfg, &mut rng()));
         assert_eq!(st.potential, 5);
@@ -264,11 +254,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = NeuronConfig {
-            threshold: 1,
-            stochastic_mask: 255,
-            ..NeuronConfig::default()
-        };
+        let cfg = NeuronConfig { threshold: 1, stochastic_mask: 255, ..NeuronConfig::default() };
         let run = || {
             let mut r = SmallRng::seed_from_u64(7);
             let mut st = NeuronState { potential: 100 };

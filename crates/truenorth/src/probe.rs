@@ -100,10 +100,8 @@ impl PotentialTrace {
     ///
     /// Panics if the core handle is invalid for the system.
     pub fn sample(&mut self, system: &System) {
-        let potential = system
-            .core(self.core)
-            .expect("probed core exists")
-            .potential(self.neuron.value());
+        let potential =
+            system.core(self.core).expect("probed core exists").potential(self.neuron.value());
         self.samples.push((system.now(), potential));
     }
 

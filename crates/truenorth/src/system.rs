@@ -140,10 +140,9 @@ impl System {
     ///
     /// [`TrueNorthError::UnknownCore`] if the handle is not from this system.
     pub fn core(&self, handle: CoreHandle) -> Result<&NeuroCore> {
-        self.cores.get(handle.index()).ok_or(TrueNorthError::UnknownCore {
-            index: handle.index(),
-            cores: self.cores.len(),
-        })
+        self.cores
+            .get(handle.index())
+            .ok_or(TrueNorthError::UnknownCore { index: handle.index(), cores: self.cores.len() })
     }
 
     /// The current tick count.
@@ -347,10 +346,7 @@ mod tests {
         let mut sys = System::new();
         let c = sys.add_core(relay_core(SpikeTarget::output(0)));
         assert!(sys.try_inject(c, 255).is_ok());
-        assert!(matches!(
-            sys.try_inject(c, 256),
-            Err(TrueNorthError::AxonOutOfRange { .. })
-        ));
+        assert!(matches!(sys.try_inject(c, 256), Err(TrueNorthError::AxonOutOfRange { .. })));
         assert!(matches!(
             sys.try_inject(CoreHandle::from_index(7), 0),
             Err(TrueNorthError::UnknownCore { .. })

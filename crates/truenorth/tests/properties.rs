@@ -1,55 +1,80 @@
-//! Property-based tests for the simulator's core invariants.
+//! Randomized tests for the simulator's core invariants, driven by
+//! seeded `rand` sampling over many cases per property.
 
 use pcnn_truenorth::{
     BernoulliCode, Crossbar, NeuroCoreBuilder, NeuronConfig, RateCode, SpikeCode, SpikeTarget,
     System,
 };
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn rate_code_count_bounded_and_accurate(value in 0.0f32..=1.0, window in 1u32..=256) {
+#[test]
+fn rate_code_count_bounded_and_accurate() {
+    let mut rng = SmallRng::seed_from_u64(0x74_01);
+    for _ in 0..128 {
+        let value = rng.random_range(0.0..=1.0f32);
+        let window = rng.random_range(1..=256u32);
         let code = RateCode::new(window);
-        let mut rng = SmallRng::seed_from_u64(0);
-        let spikes = code.encode(value, &mut rng);
+        let mut enc_rng = SmallRng::seed_from_u64(0);
+        let spikes = code.encode(value, &mut enc_rng);
         let count = spikes.iter().filter(|&&s| s).count() as u32;
-        prop_assert_eq!(spikes.len(), window as usize);
-        prop_assert!(count <= window);
+        assert_eq!(spikes.len(), window as usize);
+        assert!(count <= window);
         // Decoding is within half a quantization step.
-        prop_assert!((code.decode(count) - value).abs() <= 0.5 / window as f32 + 1e-6);
+        assert!((code.decode(count) - value).abs() <= 0.5 / window as f32 + 1e-6);
     }
+}
 
-    #[test]
-    fn rate_code_is_monotone_in_value(a in 0.0f32..=1.0, b in 0.0f32..=1.0, window in 1u32..=64) {
+#[test]
+fn rate_code_is_monotone_in_value() {
+    let mut rng = SmallRng::seed_from_u64(0x74_02);
+    for _ in 0..256 {
+        let a = rng.random_range(0.0..=1.0f32);
+        let b = rng.random_range(0.0..=1.0f32);
+        let window = rng.random_range(1..=64u32);
         let code = RateCode::new(window);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(code.count_for(lo) <= code.count_for(hi));
+        assert!(code.count_for(lo) <= code.count_for(hi));
     }
+}
 
-    #[test]
-    fn bernoulli_count_in_range(value in 0.0f32..=1.0, window in 1u32..=128, seed in 0u64..1000) {
+#[test]
+fn bernoulli_count_in_range() {
+    let mut rng = SmallRng::seed_from_u64(0x74_03);
+    for _ in 0..256 {
+        let value = rng.random_range(0.0..=1.0f32);
+        let window = rng.random_range(1..=128u32);
+        let seed = rng.random_range(0..1000u64);
         let code = BernoulliCode::new(window);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let count = code.encode(value, &mut rng).iter().filter(|&&s| s).count() as u32;
-        prop_assert!(count <= window);
+        let mut enc_rng = SmallRng::seed_from_u64(seed);
+        let count = code.encode(value, &mut enc_rng).iter().filter(|&&s| s).count() as u32;
+        assert!(count <= window);
     }
+}
 
-    #[test]
-    fn crossbar_set_get_roundtrip(axon in 0usize..256, neuron in 0usize..256) {
+#[test]
+fn crossbar_set_get_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x74_04);
+    for _ in 0..256 {
+        let axon = rng.random_range(0..256usize);
+        let neuron = rng.random_range(0..256usize);
         let mut xb = Crossbar::new();
         xb.set(axon, neuron, true);
-        prop_assert!(xb.get(axon, neuron));
-        prop_assert_eq!(xb.synapse_count(), 1);
-        prop_assert_eq!(xb.fan_in(neuron), 1);
-        prop_assert_eq!(xb.fan_out(axon), 1);
+        assert!(xb.get(axon, neuron));
+        assert_eq!(xb.synapse_count(), 1);
+        assert_eq!(xb.fan_in(neuron), 1);
+        assert_eq!(xb.fan_out(axon), 1);
         xb.set(axon, neuron, false);
-        prop_assert_eq!(xb.synapse_count(), 0);
+        assert_eq!(xb.synapse_count(), 0);
     }
+}
 
-    #[test]
-    fn relay_conserves_spike_count(n_spikes in 0u32..40, threshold in 1i32..4) {
+#[test]
+fn relay_conserves_spike_count() {
+    let mut rng = SmallRng::seed_from_u64(0x74_05);
+    for _ in 0..32 {
+        let n_spikes = rng.random_range(0..40u32);
+        let threshold = rng.random_range(1..4i32);
         // A neuron with weight `threshold` and threshold `threshold`
         // (zero reset) relays exactly one spike per input spike.
         let mut b = NeuroCoreBuilder::new();
@@ -64,11 +89,16 @@ proptest! {
         }
         sys.run(2);
         let out = sys.drain_output_counts(1)[0];
-        prop_assert_eq!(out, n_spikes);
+        assert_eq!(out, n_spikes);
     }
+}
 
-    #[test]
-    fn stats_never_decrease(ticks_a in 1u64..50, ticks_b in 1u64..50) {
+#[test]
+fn stats_never_decrease() {
+    let mut rng = SmallRng::seed_from_u64(0x74_06);
+    for _ in 0..32 {
+        let ticks_a = rng.random_range(1..50u64);
+        let ticks_b = rng.random_range(1..50u64);
         let mut b = NeuroCoreBuilder::new();
         b.connect(0, 0);
         b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
@@ -81,8 +111,8 @@ proptest! {
         sys.inject(c, 0);
         sys.run(ticks_b);
         let s2 = sys.stats();
-        prop_assert!(s2.ticks >= s1.ticks);
-        prop_assert!(s2.injected_spikes >= s1.injected_spikes);
-        prop_assert!(s2.output_spikes >= s1.output_spikes);
+        assert!(s2.ticks >= s1.ticks);
+        assert!(s2.injected_spikes >= s1.injected_spikes);
+        assert!(s2.output_spikes >= s1.output_spikes);
     }
 }

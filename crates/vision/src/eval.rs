@@ -149,11 +149,7 @@ impl Evaluator {
             }
             points.push((fp as f64 / imgs, 1.0 - tp as f64 / gt));
         }
-        DetectionCurve {
-            points,
-            total_ground_truth: self.total_ground_truth,
-            images: self.images,
-        }
+        DetectionCurve { points, total_ground_truth: self.total_ground_truth, images: self.images }
     }
 }
 
@@ -230,13 +226,7 @@ mod tests {
         let gt = vec![bb(0.0, 0.0, 40.0, 80.0)];
         // Lower-scored detection overlaps better, but higher-scored one
         // also passes the threshold and claims the GT first.
-        ev.add_image(
-            &[
-                det(bb(5.0, 5.0, 40.0, 80.0), 0.9),
-                det(gt[0], 0.5),
-            ],
-            &gt,
-        );
+        ev.add_image(&[det(bb(5.0, 5.0, 40.0, 80.0), 0.9), det(gt[0], 0.5)], &gt);
         let labeled_tp: Vec<bool> = {
             let c = ev.curve();
             // First point is the sentinel; walk the increments.

@@ -19,11 +19,7 @@ impl GrayImage {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        GrayImage {
-            width,
-            height,
-            data: vec![0.0; width * height],
-        }
+        GrayImage { width, height, data: vec![0.0; width * height] }
     }
 
     /// Builds an image from row-major pixel data.
@@ -229,11 +225,7 @@ impl RgbImage {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        RgbImage {
-            width,
-            height,
-            data: vec![[0.0; 3]; width * height],
-        }
+        RgbImage { width, height, data: vec![[0.0; 3]; width * height] }
     }
 
     /// Image width in pixels.
@@ -273,10 +265,7 @@ impl RgbImage {
         GrayImage::from_vec(
             self.width,
             self.height,
-            self.data
-                .iter()
-                .map(|[r, g, b]| 0.299 * r + 0.587 * g + 0.114 * b)
-                .collect(),
+            self.data.iter().map(|[r, g, b]| 0.299 * r + 0.587 * g + 0.114 * b).collect(),
         )
     }
 }

@@ -60,10 +60,7 @@ mod tests {
     #[test]
     fn overlapping_lower_score_suppressed() {
         let out = non_maximum_suppression(
-            vec![
-                det(0.0, 0.0, 10.0, 10.0, 0.5),
-                det(1.0, 1.0, 10.0, 10.0, 0.9),
-            ],
+            vec![det(0.0, 0.0, 10.0, 10.0, 0.5), det(1.0, 1.0, 10.0, 10.0, 0.9)],
             0.2,
         );
         assert_eq!(out.len(), 1);
@@ -90,10 +87,7 @@ mod tests {
         // Small box entirely inside a big one: IoU is small (0.04) but
         // min-area overlap is 1.0, so it must be suppressed.
         let out = non_maximum_suppression(
-            vec![
-                det(0.0, 0.0, 50.0, 50.0, 0.9),
-                det(20.0, 20.0, 10.0, 10.0, 0.8),
-            ],
+            vec![det(0.0, 0.0, 50.0, 50.0, 0.9), det(20.0, 20.0, 10.0, 10.0, 0.8)],
             0.2,
         );
         assert_eq!(out.len(), 1);

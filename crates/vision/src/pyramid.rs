@@ -85,11 +85,8 @@ pub fn scale_pyramid(img: &GrayImage, config: PyramidConfig) -> Pyramid {
         if w < config.min_width || h < config.min_height {
             break;
         }
-        let image = if (scale - 1.0).abs() < 1e-6 {
-            img.clone()
-        } else {
-            resize_bilinear(img, w, h)
-        };
+        let image =
+            if (scale - 1.0).abs() < 1e-6 { img.clone() } else { resize_bilinear(img, w, h) };
         levels.push(PyramidLevel { image, scale });
         scale /= config.step;
     }
@@ -164,10 +161,7 @@ mod tests {
     #[test]
     fn max_levels_respected() {
         let img = GrayImage::new(4000, 4000);
-        let p = scale_pyramid(
-            &img,
-            PyramidConfig { max_levels: 4, ..PyramidConfig::default() },
-        );
+        let p = scale_pyramid(&img, PyramidConfig { max_levels: 4, ..PyramidConfig::default() });
         assert_eq!(p.levels.len(), 4);
     }
 

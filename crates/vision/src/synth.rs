@@ -276,8 +276,24 @@ fn paint_pedestrian(
     let hand_y = y + h * 0.50;
     let arm_t = w * 0.10;
     let swing = w * rng.random_range(-0.10..=0.10);
-    draw::draw_line(img, cx - torso_rx * 0.9, sho_y, cx - torso_rx - swing.abs(), hand_y, arm_t, torso_tone);
-    draw::draw_line(img, cx + torso_rx * 0.9, sho_y, cx + torso_rx + swing.abs(), hand_y, arm_t, torso_tone);
+    draw::draw_line(
+        img,
+        cx - torso_rx * 0.9,
+        sho_y,
+        cx - torso_rx - swing.abs(),
+        hand_y,
+        arm_t,
+        torso_tone,
+    );
+    draw::draw_line(
+        img,
+        cx + torso_rx * 0.9,
+        sho_y,
+        cx + torso_rx + swing.abs(),
+        hand_y,
+        arm_t,
+        torso_tone,
+    );
 }
 
 /// Paints one pedestrian-like distractor: structures that share salient

@@ -1,94 +1,131 @@
-//! Property-based tests for geometry, NMS and evaluation invariants.
+//! Randomized tests for geometry, NMS and evaluation invariants, driven
+//! by seeded `rand` sampling over many cases per property.
 
 use pcnn_vision::pyramid::resize_bilinear;
 use pcnn_vision::{non_maximum_suppression, BoundingBox, Detection, GrayImage, WindowIter};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_box() -> impl Strategy<Value = BoundingBox> {
-    (0.0f32..200.0, 0.0f32..200.0, 0.5f32..100.0, 0.5f32..100.0)
-        .prop_map(|(x, y, w, h)| BoundingBox::new(x, y, w, h))
+fn random_box(rng: &mut SmallRng) -> BoundingBox {
+    BoundingBox::new(
+        rng.random_range(0.0..200.0),
+        rng.random_range(0.0..200.0),
+        rng.random_range(0.5..100.0),
+        rng.random_range(0.5..100.0),
+    )
 }
 
-proptest! {
-    #[test]
-    fn iou_is_symmetric_and_bounded(a in arb_box(), b in arb_box()) {
+#[test]
+fn iou_is_symmetric_and_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x71_01);
+    for _ in 0..256 {
+        let a = random_box(&mut rng);
+        let b = random_box(&mut rng);
         let ab = a.iou(&b);
         let ba = b.iou(&a);
-        prop_assert!((ab - ba).abs() < 1e-5);
-        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        assert!((ab - ba).abs() < 1e-5);
+        assert!((0.0..=1.0 + 1e-6).contains(&ab));
     }
+}
 
-    #[test]
-    fn intersection_bounded_by_each_area(a in arb_box(), b in arb_box()) {
+#[test]
+fn intersection_bounded_by_each_area() {
+    let mut rng = SmallRng::seed_from_u64(0x71_02);
+    for _ in 0..256 {
+        let a = random_box(&mut rng);
+        let b = random_box(&mut rng);
         let inter = a.intersection_area(&b);
-        prop_assert!(inter >= 0.0);
-        prop_assert!(inter <= a.area() + 1e-3);
-        prop_assert!(inter <= b.area() + 1e-3);
+        assert!(inter >= 0.0);
+        assert!(inter <= a.area() + 1e-3);
+        assert!(inter <= b.area() + 1e-3);
     }
+}
 
-    #[test]
-    fn self_iou_is_one(a in arb_box()) {
+#[test]
+fn self_iou_is_one() {
+    let mut rng = SmallRng::seed_from_u64(0x71_03);
+    for _ in 0..256 {
+        let a = random_box(&mut rng);
         // f32 rounding at large coordinates costs a few ulps.
-        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-3);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-3);
     }
+}
 
-    #[test]
-    fn unscale_roundtrips(a in arb_box(), s in 0.1f32..3.0) {
+#[test]
+fn unscale_roundtrips() {
+    let mut rng = SmallRng::seed_from_u64(0x71_04);
+    for _ in 0..256 {
+        let a = random_box(&mut rng);
+        let s = rng.random_range(0.1..3.0f32);
         let back = a.unscale(s).scaled_about_center(1.0);
         let again = BoundingBox::new(back.x * s, back.y * s, back.width * s, back.height * s);
-        prop_assert!((again.x - a.x).abs() < 1e-2);
-        prop_assert!((again.width - a.width).abs() < 1e-2);
+        assert!((again.x - a.x).abs() < 1e-2);
+        assert!((again.width - a.width).abs() < 1e-2);
     }
+}
 
-    #[test]
-    fn nms_output_is_subset_and_sorted(
-        boxes in prop::collection::vec((arb_box(), -2.0f32..2.0), 0..40),
-        eps in 0.0f32..0.9,
-    ) {
-        let dets: Vec<Detection> = boxes
-            .iter()
-            .map(|(b, s)| Detection { bbox: *b, score: *s })
+#[test]
+fn nms_output_is_subset_and_sorted() {
+    let mut rng = SmallRng::seed_from_u64(0x71_05);
+    for _ in 0..64 {
+        let n = rng.random_range(0..40usize);
+        let dets: Vec<Detection> = (0..n)
+            .map(|_| Detection { bbox: random_box(&mut rng), score: rng.random_range(-2.0..2.0) })
             .collect();
+        let eps = rng.random_range(0.0..0.9f32);
         let kept = non_maximum_suppression(dets.clone(), eps);
-        prop_assert!(kept.len() <= dets.len());
+        assert!(kept.len() <= dets.len());
         // Sorted by descending score.
         for pair in kept.windows(2) {
-            prop_assert!(pair[0].score >= pair[1].score);
+            assert!(pair[0].score >= pair[1].score);
         }
         // Every kept detection exists in the input.
         for k in &kept {
-            prop_assert!(dets.iter().any(|d| d.score == k.score && d.bbox == k.bbox));
+            assert!(dets.iter().any(|d| d.score == k.score && d.bbox == k.bbox));
         }
         // No two kept detections overlap beyond epsilon.
         for i in 0..kept.len() {
             for j in i + 1..kept.len() {
                 let inter = kept[i].bbox.intersection_area(&kept[j].bbox);
                 let min_area = kept[i].bbox.area().min(kept[j].bbox.area());
-                prop_assert!(inter / min_area <= eps + 1e-4);
+                assert!(inter / min_area <= eps + 1e-4);
             }
         }
     }
+}
 
-    #[test]
-    fn resize_preserves_range(w in 2usize..40, h in 2usize..40, w2 in 1usize..40, h2 in 1usize..40) {
+#[test]
+fn resize_preserves_range() {
+    let mut rng = SmallRng::seed_from_u64(0x71_06);
+    for _ in 0..64 {
+        let w = rng.random_range(2..40usize);
+        let h = rng.random_range(2..40usize);
+        let w2 = rng.random_range(1..40usize);
+        let h2 = rng.random_range(1..40usize);
         let img = GrayImage::from_fn(w, h, |x, y| ((x * 7 + y * 13) % 10) as f32 / 10.0);
         let out = resize_bilinear(&img, w2, h2);
-        prop_assert_eq!(out.width(), w2);
-        prop_assert_eq!(out.height(), h2);
+        assert_eq!(out.width(), w2);
+        assert_eq!(out.height(), h2);
         // Bilinear interpolation cannot exceed the input range.
         for &p in out.pixels() {
-            prop_assert!((-1e-5..=0.9 + 1e-5).contains(&p));
+            assert!((-1e-5..=0.9 + 1e-5).contains(&p));
         }
     }
+}
 
-    #[test]
-    fn windows_always_in_bounds(w in 64usize..300, h in 128usize..300, stride in 1usize..32) {
+#[test]
+fn windows_always_in_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0x71_07);
+    for _ in 0..64 {
+        let w = rng.random_range(64..300usize);
+        let h = rng.random_range(128..300usize);
+        let stride = rng.random_range(1..32usize);
         let it = WindowIter::new(w, h, stride);
         let mut count = 0;
         for (x, y) in it.clone() {
-            prop_assert!(x + 64 <= w && y + 128 <= h);
+            assert!(x + 64 <= w && y + 128 <= h);
             count += 1;
         }
-        prop_assert_eq!(count, it.count_windows());
+        assert_eq!(count, it.count_windows());
     }
 }

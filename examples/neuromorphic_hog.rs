@@ -27,10 +27,7 @@ fn main() {
         module.cells_per_second()
     );
     let power = PowerModel::paper().static_estimate(module.core_count());
-    println!(
-        "  module power at {CORE_POWER_UW} µW/core: {:.2} mW",
-        power.milliwatts()
-    );
+    println!("  module power at {CORE_POWER_UW} µW/core: {:.2} mW", power.milliwatts());
 
     let hw = module.extract(&patch);
     let sw = NApproxHog::quantized(64).cell_histogram(&patch);

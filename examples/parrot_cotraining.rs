@@ -16,11 +16,7 @@ use pcnn::vision::GrayImage;
 fn main() {
     // 1. Train the parrot on auto-generated (patch, HoG histogram) pairs.
     println!("training the parrot network (auto-generated labels)…");
-    let config = ParrotTrainConfig {
-        samples: 4000,
-        epochs: 25,
-        ..ParrotTrainConfig::tiny()
-    };
+    let config = ParrotTrainConfig { samples: 4000, epochs: 25, ..ParrotTrainConfig::tiny() };
     let (net, report) = train_parrot(config);
     println!(
         "  validation mse {:.4}, orientation accuracy {:.2}, {} cores per cell",
@@ -51,11 +47,7 @@ fn main() {
     let sample = generator.sample(20_000);
     let hw = deployed.infer(&sample.pixels, 64);
     let sw = reference_forward(&specs, &sample.pixels);
-    let worst = hw
-        .iter()
-        .zip(&sw)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let worst = hw.iter().zip(&sw).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     println!("  worst |hardware rate − software rate| over 18 outputs: {worst:.3}");
     println!("  (rates are spike counts over a 64-tick window / 64)");
 }

@@ -8,9 +8,7 @@
 //! ```
 
 use pcnn::core::report::render_curves;
-use pcnn::core::{
-    Detector, EednClassifierConfig, Extractor, PartitionedSystem, TrainSetConfig,
-};
+use pcnn::core::{Detector, EednClassifierConfig, Extractor, PartitionedSystem, TrainSetConfig};
 use pcnn::hog::BlockNorm;
 use pcnn::vision::{SynthConfig, SynthDataset};
 
@@ -22,28 +20,25 @@ fn main() {
 
     // Paradigm A: quantized NApprox features + SVM (the Fig. 4 path).
     println!("training NApprox (64-spike) + SVM…");
-    let mut napprox_svm = PartitionedSystem::train_svm_detector(
+    let napprox_svm = PartitionedSystem::train_svm_detector(
         Extractor::napprox_quantized(64, BlockNorm::L2),
         &dataset,
         train,
     );
-    let curve_svm = engine.evaluate(&mut napprox_svm, &scenes);
+    let curve_svm = engine.evaluate(&napprox_svm, &scenes);
 
     // Paradigm B: the same features into an Eedn classifier, without
     // block normalization (the Fig. 5 path — normalization is costly on
     // the neuromorphic platform, so it is elided there).
     println!("training NApprox (64-spike) + Eedn…");
-    let mut napprox_eedn = PartitionedSystem::train_eedn_detector(
+    let napprox_eedn = PartitionedSystem::train_eedn_detector(
         Extractor::napprox_quantized(64, BlockNorm::None),
         &dataset,
         train,
         EednClassifierConfig { epochs: 20, ..Default::default() },
     );
-    let curve_eedn = engine.evaluate(&mut napprox_eedn, &scenes);
+    let curve_eedn = engine.evaluate(&napprox_eedn, &scenes);
 
     println!("\nmiss rate vs false positives per image ({} scenes):\n", scenes.len());
-    println!(
-        "{}",
-        render_curves(&[("NApprox+SVM", &curve_svm), ("NApprox+Eedn", &curve_eedn)])
-    );
+    println!("{}", render_curves(&[("NApprox+SVM", &curve_svm), ("NApprox+Eedn", &curve_eedn)]));
 }

@@ -16,7 +16,7 @@ fn main() {
     // 2. Train a partitioned detector: NApprox(fp) features + linear SVM
     //    with one round of hard-negative mining.
     println!("training NApprox(fp) + SVM detector…");
-    let mut detector = PartitionedSystem::train_svm_detector(
+    let detector = PartitionedSystem::train_svm_detector(
         Extractor::napprox_fp(BlockNorm::L2),
         &dataset,
         TrainSetConfig { n_pos: 120, n_neg: 240, mining_scenes: 3, mining_rounds: 1 },
@@ -25,7 +25,7 @@ fn main() {
     // 3. Detect pedestrians in a test scene.
     let scene = dataset.test_scene(1);
     let engine = Detector::default();
-    let detections = engine.detect(&mut detector, &scene.image);
+    let detections = engine.detect(&detector, &scene.image);
 
     println!(
         "scene has {} pedestrian(s); detector returned {} detection(s) after NMS",

@@ -1,0 +1,66 @@
+//! Serving-throughput demo: push a stream of synthetic scenes through
+//! the batched detection runtime at several worker counts and print
+//! each run's `RuntimeReport`.
+//!
+//! ```text
+//! cargo run --release --example serve_throughput
+//! ```
+
+use pcnn::core::{Detector, Extractor, PartitionedSystem, TrainSetConfig};
+use pcnn::hog::BlockNorm;
+use pcnn::runtime::{Backpressure, DetectionServer, QueueConfig, RuntimeConfig};
+use pcnn::vision::{SynthConfig, SynthDataset};
+use std::time::Instant;
+
+const FRAMES: usize = 12;
+
+fn main() {
+    let dataset = SynthDataset::new(SynthConfig::default());
+
+    println!("training NApprox(fp) + SVM detector…");
+    let detector = PartitionedSystem::train_svm_detector(
+        Extractor::napprox_fp(BlockNorm::L2),
+        &dataset,
+        TrainSetConfig { n_pos: 80, n_neg: 160, mining_scenes: 2, mining_rounds: 1 },
+    );
+
+    let frames: Vec<_> = (0..FRAMES as u64).map(|i| dataset.test_scene(i).image.clone()).collect();
+    println!(
+        "serving {FRAMES} synthetic scenes ({}x{} px)\n",
+        frames[0].width(),
+        frames[0].height()
+    );
+
+    let mut baseline_fps = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let server = DetectionServer::new(
+            Detector::default(),
+            &detector,
+            RuntimeConfig {
+                workers,
+                chunk_rows: 4,
+                queue: QueueConfig {
+                    capacity: 16,
+                    batch_size: 4,
+                    backpressure: Backpressure::Block,
+                },
+            },
+        );
+        let start = Instant::now();
+        let results = server.serve(&frames);
+        let elapsed = start.elapsed();
+
+        let detections: usize = results.iter().flatten().map(Vec::len).sum();
+        let fps = FRAMES as f64 / elapsed.as_secs_f64();
+        if workers == 1 {
+            baseline_fps = fps;
+        }
+        println!(
+            "workers={workers}: {:.2}s  {:.2} frames/s  (speedup {:.2}x)  {detections} detections",
+            elapsed.as_secs_f64(),
+            fps,
+            fps / baseline_fps
+        );
+        println!("{}\n", server.report(None));
+    }
+}

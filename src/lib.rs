@@ -17,7 +17,10 @@
 //!   simulator;
 //! * [`parrot`] — the Parrot-HoG trained feature extractor;
 //! * [`core`] — the partitioned co-training pipeline, paradigm comparison
-//!   and power/throughput models.
+//!   and power/throughput models;
+//! * [`runtime`] — the parallel, batched detection-serving subsystem
+//!   (deterministic work scheduling, request batching with backpressure,
+//!   serving metrics).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory and experiment index.
@@ -29,6 +32,7 @@ pub use pcnn_corelets as corelets;
 pub use pcnn_eedn as eedn;
 pub use pcnn_hog as hog;
 pub use pcnn_parrot as parrot;
+pub use pcnn_runtime as runtime;
 pub use pcnn_svm as svm;
 pub use pcnn_truenorth as truenorth;
 pub use pcnn_vision as vision;

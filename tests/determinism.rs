@@ -10,14 +10,14 @@ use pcnn::vision::{SynthConfig, SynthDataset};
 fn detection_results_reproduce_exactly() {
     let run = || {
         let ds = SynthDataset::new(SynthConfig::default());
-        let mut det = PartitionedSystem::train_svm_detector(
+        let det = PartitionedSystem::train_svm_detector(
             Extractor::napprox_fp(BlockNorm::L2),
             &ds,
             TrainSetConfig { n_pos: 40, n_neg: 80, mining_scenes: 1, mining_rounds: 1 },
         );
         let scene = ds.test_scene(2);
         Detector::default()
-            .detect(&mut det, &scene.image)
+            .detect(&det, &scene.image)
             .into_iter()
             .map(|d| (d.score, d.bbox.x, d.bbox.y))
             .collect::<Vec<_>>()

@@ -1,9 +1,7 @@
 //! Integration: the full pipeline from synthetic scenes through feature
 //! extraction and classification to miss-rate curves, across crates.
 
-use pcnn::core::{
-    Detector, EednClassifierConfig, Extractor, PartitionedSystem, TrainSetConfig,
-};
+use pcnn::core::{Detector, EednClassifierConfig, Extractor, PartitionedSystem, TrainSetConfig};
 use pcnn::hog::BlockNorm;
 use pcnn::vision::{SynthConfig, SynthDataset};
 
@@ -18,12 +16,12 @@ fn svm_detector_beats_blind_baseline() {
     let total_gt: usize = scenes.iter().map(|s| s.pedestrians.len()).sum();
     assert!(total_gt > 0, "evaluation set must contain pedestrians");
 
-    let mut det = PartitionedSystem::train_svm_detector(
+    let det = PartitionedSystem::train_svm_detector(
         Extractor::napprox_fp(BlockNorm::L2),
         &ds,
         small_train(),
     );
-    let curve = Detector::default().evaluate(&mut det, &scenes);
+    let curve = Detector::default().evaluate(&det, &scenes);
     let lamr = curve.log_average_miss_rate();
     // A blind detector has lamr 1.0; the trained one must do much better.
     assert!(lamr < 0.8, "log-average miss rate {lamr}");
@@ -41,7 +39,7 @@ fn quantized_napprox_close_to_full_precision_detection() {
     let _ = engine; // crop-level comparison needs no scanning
 
     let crop_accuracy = |extractor: Extractor| -> f32 {
-        let mut det = PartitionedSystem::train_svm_detector(extractor, &ds, small_train());
+        let det = PartitionedSystem::train_svm_detector(extractor, &ds, small_train());
         let mut correct = 0;
         for i in 0..40 {
             let d = det.extractor.crop_descriptor(&ds.train_positive(900 + i));
@@ -57,10 +55,7 @@ fn quantized_napprox_close_to_full_precision_detection() {
     };
     let acc_fp = crop_accuracy(Extractor::napprox_fp(BlockNorm::L2));
     let acc_qz = crop_accuracy(Extractor::napprox_quantized(64, BlockNorm::L2));
-    assert!(
-        (acc_fp - acc_qz).abs() < 0.1,
-        "fp crop accuracy {acc_fp} vs quantized {acc_qz}"
-    );
+    assert!((acc_fp - acc_qz).abs() < 0.1, "fp crop accuracy {acc_fp} vs quantized {acc_qz}");
     assert!(acc_qz > 0.75, "quantized crop accuracy {acc_qz}");
 }
 
@@ -70,12 +65,12 @@ fn eedn_classified_detector_works_without_block_norm() {
     // classifier, no contrast normalization.
     let ds = SynthDataset::new(SynthConfig::default());
     let scenes: Vec<_> = (0..6).map(|i| ds.test_scene(i)).collect();
-    let mut det = PartitionedSystem::train_eedn_detector(
+    let det = PartitionedSystem::train_eedn_detector(
         Extractor::napprox_quantized(64, BlockNorm::None),
         &ds,
         small_train(),
         EednClassifierConfig { epochs: 15, ..Default::default() },
     );
-    let curve = Detector::default().evaluate(&mut det, &scenes);
+    let curve = Detector::default().evaluate(&det, &scenes);
     assert!(curve.log_average_miss_rate() < 0.9);
 }

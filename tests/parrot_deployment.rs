@@ -9,19 +9,15 @@ use pcnn::parrot::{train_parrot, ParrotTrainConfig, TrainDataGenerator};
 
 #[test]
 fn trained_parrot_deploys_and_matches_software() {
-    let (net, _) = train_parrot(ParrotTrainConfig {
-        samples: 600,
-        epochs: 5,
-        ..ParrotTrainConfig::tiny()
-    });
+    let (net, _) =
+        train_parrot(ParrotTrainConfig { samples: 600, epochs: 5, ..ParrotTrainConfig::tiny() });
     let specs = net.to_specs();
     let mut deployed = deploy_mlp(&specs).expect("parrot fits the crossbars");
     assert_eq!(deployed.core_count(), net.core_count());
 
     let generator = TrainDataGenerator::new(Default::default());
-    let inputs = Tensor::from_rows(
-        &(0..4).map(|i| generator.sample(5000 + i).pixels).collect::<Vec<_>>(),
-    );
+    let inputs =
+        Tensor::from_rows(&(0..4).map(|i| generator.sample(5000 + i).pixels).collect::<Vec<_>>());
     let err = validate_deployment(&specs, &mut deployed, &inputs, 64);
     assert!(err < 0.06, "mean |hw − sw| rate error {err}");
 }
@@ -47,11 +43,8 @@ fn deployment_rejects_oversized_layers() {
 
 #[test]
 fn reference_forward_is_pure() {
-    let (net, _) = train_parrot(ParrotTrainConfig {
-        samples: 200,
-        epochs: 1,
-        ..ParrotTrainConfig::tiny()
-    });
+    let (net, _) =
+        train_parrot(ParrotTrainConfig { samples: 200, epochs: 1, ..ParrotTrainConfig::tiny() });
     let specs = net.to_specs();
     let x = vec![0.4f32; 100];
     assert_eq!(reference_forward(&specs, &x), reference_forward(&specs, &x));

@@ -12,14 +12,14 @@ fn parrot_detector_detects_in_scenes() {
     let (net, report) = train_parrot(ParrotTrainConfig::tiny());
     assert!(report.class_accuracy > 0.4, "parrot too weak: {report:?}");
 
-    let mut det = PartitionedSystem::train_eedn_detector(
+    let det = PartitionedSystem::train_eedn_detector(
         Extractor::parrot(ParrotExtractor::new(net), BlockNorm::None),
         &ds,
         TrainSetConfig { n_pos: 60, n_neg: 120, mining_scenes: 2, mining_rounds: 1 },
         EednClassifierConfig { epochs: 12, ..Default::default() },
     );
     let scenes: Vec<_> = (0..4).map(|i| ds.test_scene(i)).collect();
-    let curve = Detector::default().evaluate(&mut det, &scenes);
+    let curve = Detector::default().evaluate(&det, &scenes);
     // A weak parrot + small classifier still must beat the blind baseline.
     let lamr = curve.log_average_miss_rate();
     assert!(lamr < 0.95, "parrot pipeline lamr {lamr}");
@@ -29,15 +29,10 @@ fn parrot_detector_detects_in_scenes() {
 fn stochastic_parrot_extractor_runs_in_pipeline() {
     // The Fig. 6 configuration: 4-spike stochastic input coding.
     let ds = SynthDataset::new(SynthConfig::default());
-    let (net, _) = train_parrot(ParrotTrainConfig {
-        samples: 400,
-        epochs: 2,
-        ..ParrotTrainConfig::tiny()
-    });
-    let extractor = Extractor::parrot(
-        ParrotExtractor::new(net).with_stochastic_input(4, 99),
-        BlockNorm::None,
-    );
+    let (net, _) =
+        train_parrot(ParrotTrainConfig { samples: 400, epochs: 2, ..ParrotTrainConfig::tiny() });
+    let extractor =
+        Extractor::parrot(ParrotExtractor::new(net).with_stochastic_input(4, 99), BlockNorm::None);
     // Descriptor extraction under observation noise stays well-formed.
     let d1 = extractor.crop_descriptor(&ds.train_positive(0));
     assert_eq!(d1.len(), 2304);

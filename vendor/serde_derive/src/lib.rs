@@ -1,0 +1,447 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the simplified [`serde::Value`] data model of the vendored `serde`
+//! crate, by walking the raw token stream (no `syn`/`quote` — the build
+//! environment has no registry access). Supported shapes are exactly
+//! what this workspace derives: non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, and struct variants), plus the
+//! `#[serde(skip)]` field attribute (skipped on serialize, filled from
+//! `Default` on deserialize). Anything else panics at compile time with
+//! a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<NamedField>),
+    Tuple(usize),
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading attributes; returns whether any was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            if attr_is_serde_skip(g.stream()) {
+                                skip = true;
+                            }
+                        }
+                        other => panic!("expected [...] after # in attribute, found {other:?}"),
+                    }
+                }
+                _ => return skip,
+            }
+        }
+    }
+
+    /// Consumes `pub` / `pub(...)` if present.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes tokens until a top-level comma (angle-bracket aware) or
+    /// the end of the stream; the comma itself is consumed.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(opt)] if opt.to_string() == "skip" => true,
+                _ => panic!(
+                    "vendored serde_derive only supports #[serde(skip)], found #[serde({})]",
+                    args.stream()
+                ),
+            }
+        }
+        _ => false, // a non-serde attribute (doc comment, allow, ...)
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    let data = match keyword.as_str() {
+        "struct" => Data::Struct(parse_struct_body(&mut c, &name)),
+        "enum" => Data::Enum(parse_enum_body(&mut c, &name)),
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    };
+    Item { name, data }
+}
+
+fn parse_struct_body(c: &mut Cursor, name: &str) -> Fields {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("unsupported struct body for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(NamedField { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    let mut pending = false; // tokens since the last comma
+    for t in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    if !saw_tokens {
+        panic!("empty tuple structs are not supported");
+    }
+    count
+}
+
+fn parse_enum_body(c: &mut Cursor, name: &str) -> Vec<(String, Fields)> {
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected enum body for `{name}`, found {other:?}"),
+    };
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let vname = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Discriminant (`= expr`) and/or trailing comma.
+        c.skip_until_comma();
+        variants.push((vname, fields));
+    }
+    variants
+}
+
+fn named_ser_body(fields: &[NamedField], access: &dyn Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "{ let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "m.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&{a})));",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    out.push_str("::serde::Value::Map(m) }");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Fields::Named(fields)) => named_ser_body(fields, &|f| format!("self.{f}")),
+        Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(","))
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    Fields::Named(fs) => {
+                        let bind: Vec<String> =
+                            fs.iter().filter(|f| !f.skip).map(|f| f.name.clone()).collect();
+                        let dots = if fs.iter().any(|f| f.skip) { ", .." } else { "" };
+                        let inner = named_ser_body(fs, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds}{dots} }} => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), {inner})]),",
+                            binds = bind.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(v0) => ::serde::Value::Map(vec![(\"{vname}\"\
+                         .to_string(), ::serde::Serialize::to_value(v0))]),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(v{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({b}) => ::serde::Value::Map(vec![(\"{vname}\"\
+                             .to_string(), ::serde::Value::Array(vec![{i}]))]),",
+                            b = binds.join(","),
+                            i = items.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn named_de_fields(type_label: &str, fields: &[NamedField], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value({source}.get(\"{n}\").ok_or_else(|| \
+                 ::serde::Error::msg(\"missing field `{n}` in {type_label}\"))?)?,",
+                n = f.name
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Struct(Fields::Named(fields)) => {
+            let inits = named_de_fields(name, fields, "value");
+            format!(
+                "if value.as_map().is_none() {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected map for {name}\")); }} \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::Error::msg(\
+                 \"expected array for {name}\"))?; \
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected {n} elements for {name}\")); }} \
+                 ::std::result::Result::Ok({name}({gets}))",
+                gets = gets.join(",")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                        // Accept the map form too, for symmetry with writers
+                        // that always externally tag.
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inits = named_de_fields(&format!("{name}::{vname}"), fs, "inner");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ if inner.as_map().is_none() {{ return \
+                             ::std::result::Result::Err(::serde::Error::msg(\"expected map for \
+                             {name}::{vname}\")); }} ::std::result::Result::Ok({name}::{vname} \
+                             {{ {inits} }}) }},"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let items = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected array for {name}::{vname}\"))?; \
+                             if items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(\"expected {n} elements for {name}::{vname}\"\
+                             )); }} ::std::result::Result::Ok({name}::{vname}({gets})) }},",
+                            gets = gets.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => \
+                 ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))) }}, \
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                 let (tag, inner) = &entries[0]; let _ = inner; match tag.as_str() {{ \
+                 {tagged_arms} other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))) }} }}, \
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected string or single-entry map for enum {name}\")) }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }} }}"
+    )
+}
