@@ -1,0 +1,229 @@
+//! Kernel-vs-naive timing for the `pcnn-kernels` compute path.
+//!
+//! Times the blocked GEMM and the im2col+GEMM `Conv2d` forward against
+//! the golden naive loops in `pcnn_eedn::reference` at Fig. 5
+//! representative shapes, verifies the outputs still agree bit-for-bit,
+//! and writes `results/BENCH_kernels.json` with the measured speedups.
+//!
+//! The vendored criterion stand-in has no CLI parsing, so this bench
+//! carries its own `main`: pass `--test` (as CI does) for a one-rep
+//! smoke run that checks correctness and skips the JSON write.
+
+use pcnn_eedn::reference::{conv2d_forward, ConvSpec};
+use pcnn_eedn::{Conv2d, Layer, Scratch, Tensor};
+use pcnn_kernels::{gemm, GemmScratch};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed comparison, as recorded in `results/BENCH_kernels.json`.
+#[derive(Serialize)]
+struct BenchResult {
+    name: String,
+    dims: Vec<usize>,
+    naive_ms: f64,
+    kernel_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchDoc {
+    bench: String,
+    results: Vec<BenchResult>,
+}
+
+/// Mean seconds per call over `reps` timed runs (after one warmup).
+fn time_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn pseudo(data: &mut [f32], seed: u64) {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    for v in data.iter_mut() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v = (s % 2000) as f32 / 1000.0 - 1.0;
+    }
+}
+
+struct ConvCase {
+    name: &'static str,
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    h: usize,
+    w: usize,
+    batch: usize,
+}
+
+fn bench_conv(case: &ConvCase, reps: usize, smoke: bool) -> BenchResult {
+    let layer =
+        Conv2d::new(case.in_ch, case.out_ch, case.k, case.stride, case.pad, case.groups, false, 42);
+    let spec = ConvSpec {
+        in_ch: case.in_ch,
+        out_ch: case.out_ch,
+        k: case.k,
+        stride: case.stride,
+        pad: case.pad,
+        groups: case.groups,
+    };
+    let mut data = vec![0.0f32; case.batch * case.in_ch * case.h * case.w];
+    pseudo(&mut data, 7);
+    let input = Tensor::from_vec(&[case.batch, case.in_ch, case.h, case.w], data);
+    let w_eff = layer.effective_weights();
+    let (alpha, bias) = (layer.alpha().to_vec(), layer.bias().to_vec());
+
+    // Correctness gate before timing: kernel output must stay bitwise
+    // equal to the naive oracle at the benchmarked shape.
+    let mut scratch = Scratch::default();
+    let kernel_out = layer.infer_with(&input, &mut scratch);
+    let (_, naive_out) = conv2d_forward(&spec, &w_eff, &alpha, &bias, &input);
+    assert_eq!(kernel_out.data().len(), naive_out.data().len(), "{}: shape drift", case.name);
+    for (i, (a, b)) in kernel_out.data().iter().zip(naive_out.data()).enumerate() {
+        assert!(a.to_bits() == b.to_bits(), "{} elem {i}: kernel {a} != naive {b}", case.name);
+    }
+
+    let naive_reps = if smoke { 1 } else { reps.div_ceil(4).max(2) };
+    let naive_s = time_secs(naive_reps, || {
+        black_box(conv2d_forward(&spec, black_box(&w_eff), &alpha, &bias, black_box(&input)));
+    });
+    let kernel_s = time_secs(if smoke { 1 } else { reps }, || {
+        black_box(layer.infer_with(black_box(&input), &mut scratch));
+    });
+    let speedup = naive_s / kernel_s;
+    println!(
+        "bench: conv/{:<28} naive {:>9.3}ms  kernel {:>9.3}ms  speedup {speedup:>6.2}x",
+        case.name,
+        naive_s * 1e3,
+        kernel_s * 1e3,
+    );
+    BenchResult {
+        name: case.name.to_string(),
+        // batch, in_ch, out_ch, h, w, k, stride, pad, groups
+        dims: vec![
+            case.batch,
+            case.in_ch,
+            case.out_ch,
+            case.h,
+            case.w,
+            case.k,
+            case.stride,
+            case.pad,
+            case.groups,
+        ],
+        naive_ms: naive_s * 1e3,
+        kernel_ms: kernel_s * 1e3,
+        speedup,
+    }
+}
+
+fn bench_raw_gemm(m: usize, k: usize, n: usize, reps: usize, smoke: bool) -> BenchResult {
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    pseudo(&mut a, 1);
+    pseudo(&mut b, 2);
+    let mut c = vec![0.0f32; m * n];
+    let mut s = GemmScratch::default();
+
+    let naive_s = time_secs(if smoke { 1 } else { reps.div_ceil(4).max(2) }, || {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                for j in 0..n {
+                    c[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        black_box(&mut c);
+    });
+    let kernel_s = time_secs(if smoke { 1 } else { reps }, || {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        gemm(&mut s, m, k, n, black_box(&a), k, black_box(&b), n, &mut c, n);
+        black_box(&mut c);
+    });
+    let speedup = naive_s / kernel_s;
+    println!(
+        "bench: gemm/{m}x{k}x{n:<18} naive {:>9.3}ms  kernel {:>9.3}ms  speedup {speedup:>6.2}x",
+        naive_s * 1e3,
+        kernel_s * 1e3,
+    );
+    BenchResult {
+        name: format!("gemm_{m}x{k}x{n}"),
+        dims: vec![m, k, n],
+        naive_ms: naive_s * 1e3,
+        kernel_ms: kernel_s * 1e3,
+        speedup,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = if smoke { 1 } else { 20 };
+
+    let cases = [
+        // Fig. 5 front: 32 -> 64 channels over a 30x30 map, 3x3 taps.
+        ConvCase {
+            name: "fig5_32to64_30x30_k3",
+            in_ch: 32,
+            out_ch: 64,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+            h: 30,
+            w: 30,
+            batch: 4,
+        },
+        // Same shape with crossbar-style channel groups.
+        ConvCase {
+            name: "fig5_grouped_g4",
+            in_ch: 32,
+            out_ch: 64,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            groups: 4,
+            h: 30,
+            w: 30,
+            batch: 4,
+        },
+        // 1x1 mixing layer on a pooled map.
+        ConvCase {
+            name: "mix_64to64_15x15_k1",
+            in_ch: 64,
+            out_ch: 64,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            groups: 1,
+            h: 15,
+            w: 15,
+            batch: 4,
+        },
+    ];
+
+    let mut results: Vec<BenchResult> =
+        cases.iter().map(|case| bench_conv(case, reps, smoke)).collect();
+    // The raw GEMM behind the fig5 conv: (out_ch) x (in_ch*k*k) x (ho*wo).
+    results.push(bench_raw_gemm(64, 288, 900, reps, smoke));
+
+    if smoke {
+        println!("kernel_gemm: smoke mode (--test), skipping JSON write");
+        return;
+    }
+    let doc = BenchDoc { bench: "kernel_gemm".to_string(), results };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_kernels.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

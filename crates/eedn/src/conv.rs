@@ -6,12 +6,22 @@
 //! implemented using the 256×256 TrueNorth core crossbars". A per-channel
 //! scale `α` and bias follow the convolution, exactly as in
 //! [`GroupedLinear`](crate::fc::GroupedLinear).
+//!
+//! The compute path is `im2col` + blocked GEMM from `pcnn-kernels`. Per
+//! the determinism contract (see [`crate::reference`]): forward outputs
+//! and the `gw`/`galpha`/`gbias` gradients are bit-identical to the
+//! naive loops; only `grad_in` is tolerance-bound, because `col2im`
+//! reassociates its scatter sums.
 
 use crate::init::trinary_uniform;
 use crate::layer::Layer;
 use crate::optimizer::adam_update;
+use crate::reference::ConvSpec;
 use crate::tensor::Tensor;
-use crate::trinary::{clip_shadow, trinarize};
+use crate::trinary::{clip_shadow, trinarize_into};
+use pcnn_kernels::{
+    col2im, gemm_abt, gemm_atb, gemm_prepacked, im2col, take_zeroed, ConvGeom, Scratch,
+};
 
 /// A grouped 2-D convolution layer over `(batch, channels, h, w)` tensors.
 #[derive(Debug, Clone)]
@@ -99,10 +109,7 @@ impl Conv2d {
 
     /// Output spatial size for an input of `(h, w)`.
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        (
-            (h + 2 * self.pad - self.k) / self.stride + 1,
-            (w + 2 * self.pad - self.k) / self.stride + 1,
-        )
+        self.spec().out_size(h, w)
     }
 
     /// Number of groups.
@@ -113,6 +120,16 @@ impl Conv2d {
     /// Kernel size.
     pub fn kernel(&self) -> usize {
         self.k
+    }
+
+    /// Stride in both dimensions.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding in both dimensions.
+    pub fn padding(&self) -> usize {
+        self.pad
     }
 
     /// Input channels.
@@ -130,22 +147,66 @@ impl Conv2d {
         self.trinary
     }
 
-    #[inline]
-    fn eff_w(&self, idx: usize) -> f32 {
-        if self.trinary {
-            trinarize(self.w[idx])
-        } else {
-            self.w[idx]
+    /// The per-channel scale vector `α`.
+    pub fn alpha(&self) -> &[f32] {
+        &self.alpha
+    }
+
+    /// The per-channel bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// This layer's hyperparameters as a [`ConvSpec`] for the reference
+    /// oracle.
+    pub fn spec(&self) -> ConvSpec {
+        ConvSpec {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            k: self.k,
+            stride: self.stride,
+            pad: self.pad,
+            groups: self.groups,
         }
     }
 
-    #[inline]
-    fn widx(&self, o: usize, ic: usize, ky: usize, kx: usize) -> usize {
-        ((o * (self.in_ch / self.groups) + ic) * self.k + ky) * self.k + kx
+    /// The weights the layer actually computes with — trinary-projected
+    /// when the layer is trinary, the raw shadows otherwise.
+    pub fn effective_weights(&self) -> Vec<f32> {
+        if self.trinary {
+            let mut out = vec![0.0f32; self.w.len()];
+            trinarize_into(&self.w, &mut out);
+            out
+        } else {
+            self.w.clone()
+        }
+    }
+
+    /// Accumulated `(gw, galpha, gbias)` gradients, exposed for the
+    /// kernel-equivalence tests.
+    #[doc(hidden)]
+    pub fn debug_grads(&self) -> (&[f32], &[f32], &[f32]) {
+        (&self.gw, &self.galpha, &self.gbias)
+    }
+
+    /// Packing geometry for one group over an `(h, w)` input.
+    fn geom(&self, h: usize, w: usize) -> ConvGeom {
+        ConvGeom {
+            channels: self.in_ch / self.groups,
+            h,
+            w,
+            k: self.k,
+            stride: self.stride,
+            pad: self.pad,
+        }
     }
 
     /// The pure forward computation: `(pre-scale, output)`.
-    fn apply(&self, input: &Tensor) -> (Tensor, Tensor) {
+    ///
+    /// Per (group, sample): pack the group's weight matrix once, im2col
+    /// the sample's group channels, then one GEMM
+    /// `pre_g = W_g [ocg × icg·k²] · col [icg·k² × ho·wo]`.
+    fn apply_with(&self, input: &Tensor, s: &mut Scratch) -> (Tensor, Tensor) {
         assert_eq!(input.shape().len(), 4, "Conv2d takes (batch, channels, h, w)");
         let (batch, cin, h, w) =
             (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
@@ -153,46 +214,36 @@ impl Conv2d {
         let (ho, wo) = self.out_size(h, w);
         let icg = self.in_ch / self.groups;
         let ocg = self.out_ch / self.groups;
+        let geom = self.geom(h, w);
+        let krows = icg * self.k * self.k;
+        let cols = ho * wo;
         let mut pre = Tensor::zeros(&[batch, self.out_ch, ho, wo]);
-        for n in 0..batch {
-            for g in 0..self.groups {
-                for ol in 0..ocg {
-                    let o = g * ocg + ol;
-                    for oy in 0..ho {
-                        for ox in 0..wo {
-                            let mut acc = 0.0;
-                            for ic in 0..icg {
-                                let c = g * icg + ic;
-                                for ky in 0..self.k {
-                                    let iy = (oy * self.stride + ky) as isize - self.pad as isize;
-                                    if iy < 0 || iy >= h as isize {
-                                        continue;
-                                    }
-                                    for kx in 0..self.k {
-                                        let ix =
-                                            (ox * self.stride + kx) as isize - self.pad as isize;
-                                        if ix < 0 || ix >= w as isize {
-                                            continue;
-                                        }
-                                        acc += self.eff_w(self.widx(o, ic, ky, kx))
-                                            * input.at4(n, c, iy as usize, ix as usize);
-                                    }
-                                }
-                            }
-                            *pre.at4_mut(n, o, oy, ox) = acc;
-                        }
-                    }
-                }
+        let Scratch { gemm, col, wbuf, wpack, .. } = s;
+        let w_eff: &[f32] = if self.trinary {
+            let wb = take_zeroed(wbuf, self.w.len());
+            trinarize_into(&self.w, wb);
+            wb
+        } else {
+            &self.w
+        };
+        for g in 0..self.groups {
+            wpack.pack(&w_eff[g * ocg * krows..], krows, ocg, krows);
+            for n in 0..batch {
+                im2col(&geom, input.channels(n, g * icg, icg), take_zeroed(col, krows * cols));
+                let cslice =
+                    &mut pre.data_mut()[(n * self.out_ch + g * ocg) * cols..][..ocg * cols];
+                gemm_prepacked(gemm, wpack, cols, col, cols, cslice, cols);
             }
         }
-        let mut out = pre.clone();
+        let mut out = Tensor::zeros(&[batch, self.out_ch, ho, wo]);
         for n in 0..batch {
             for o in 0..self.out_ch {
-                for oy in 0..ho {
-                    for ox in 0..wo {
-                        *out.at4_mut(n, o, oy, ox) =
-                            self.alpha[o] * pre.at4(n, o, oy, ox) + self.bias[o];
-                    }
+                let base = (n * self.out_ch + o) * cols;
+                let (a, b) = (self.alpha[o], self.bias[o]);
+                let prow = &pre.data()[base..base + cols];
+                let orow = &mut out.data_mut()[base..base + cols];
+                for (ov, pv) in orow.iter_mut().zip(prow) {
+                    *ov = a * pv + b;
                 }
             }
         }
@@ -202,7 +253,22 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let (pre, out) = self.apply(input);
+        let mut s = Scratch::default();
+        self.forward_with(input, train, &mut s)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut s = Scratch::default();
+        self.infer_with(input, &mut s)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut s = Scratch::default();
+        self.backward_with(grad_out, &mut s)
+    }
+
+    fn forward_with(&mut self, input: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let (pre, out) = self.apply_with(input, scratch);
         if train {
             self.cached_input = Some(input.clone());
             self.cached_pre = Some(pre);
@@ -210,57 +276,69 @@ impl Layer for Conv2d {
         out
     }
 
-    fn infer(&self, input: &Tensor) -> Tensor {
-        self.apply(input).1
+    fn infer_with(&self, input: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.apply_with(input, scratch).1
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward without training forward");
         let pre = self.cached_pre.as_ref().expect("missing pre cache");
         let (batch, _, h, w) =
             (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-        let (ho, wo) = self.out_size(h, w);
+        let (ho, wo) = (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        );
         assert_eq!(grad_out.shape(), &[batch, self.out_ch, ho, wo], "grad shape mismatch");
         let icg = self.in_ch / self.groups;
         let ocg = self.out_ch / self.groups;
+        let geom = ConvGeom { channels: icg, h, w, k: self.k, stride: self.stride, pad: self.pad };
+        let krows = icg * self.k * self.k;
+        let cols = ho * wo;
         let mut grad_in = Tensor::zeros(input.shape());
-        for n in 0..batch {
-            for g in 0..self.groups {
+        let Scratch { gemm, col, dcol, wbuf, dbuf, wpack: _ } = scratch;
+        let w_eff: &[f32] = if self.trinary {
+            let wb = take_zeroed(wbuf, self.w.len());
+            trinarize_into(&self.w, wb);
+            wb
+        } else {
+            &self.w
+        };
+        for g in 0..self.groups {
+            let wg = &w_eff[g * ocg * krows..][..ocg * krows];
+            for n in 0..batch {
+                // dα/db accumulate element-by-element in the naive
+                // (oy, ox) order — running sums stay bit-identical —
+                // while dbuf collects dy·α for the GEMMs below.
+                let db = take_zeroed(dbuf, ocg * cols);
                 for ol in 0..ocg {
                     let o = g * ocg + ol;
-                    for oy in 0..ho {
-                        for ox in 0..wo {
-                            let dy = grad_out.at4(n, o, oy, ox);
-                            if dy == 0.0 {
-                                continue;
-                            }
-                            self.galpha[o] += dy * pre.at4(n, o, oy, ox);
-                            self.gbias[o] += dy;
-                            let da = dy * self.alpha[o];
-                            for ic in 0..icg {
-                                let c = g * icg + ic;
-                                for ky in 0..self.k {
-                                    let iy = (oy * self.stride + ky) as isize - self.pad as isize;
-                                    if iy < 0 || iy >= h as isize {
-                                        continue;
-                                    }
-                                    for kx in 0..self.k {
-                                        let ix =
-                                            (ox * self.stride + kx) as isize - self.pad as isize;
-                                        if ix < 0 || ix >= w as isize {
-                                            continue;
-                                        }
-                                        let wi = self.widx(o, ic, ky, kx);
-                                        self.gw[wi] +=
-                                            da * input.at4(n, c, iy as usize, ix as usize);
-                                        *grad_in.at4_mut(n, c, iy as usize, ix as usize) +=
-                                            da * self.eff_w(wi);
-                                    }
-                                }
-                            }
-                        }
+                    let base = (n * self.out_ch + o) * cols;
+                    let grow = &grad_out.data()[base..base + cols];
+                    let prow = &pre.data()[base..base + cols];
+                    let a = self.alpha[o];
+                    let mut ga = self.galpha[o];
+                    let mut gb = self.gbias[o];
+                    let drow = &mut db[ol * cols..][..cols];
+                    for c in 0..cols {
+                        let dy = grow[c];
+                        ga += dy * prow[c];
+                        gb += dy;
+                        drow[c] = dy * a;
                     }
+                    self.galpha[o] = ga;
+                    self.gbias[o] = gb;
                 }
+                im2col(&geom, input.channels(n, g * icg, icg), take_zeroed(col, krows * cols));
+                // gw_g += dbuf · colᵀ, running sums extended across the
+                // batch in sample order (bit-identical to naive).
+                let gwg = &mut self.gw[g * ocg * krows..][..ocg * krows];
+                gemm_abt(gemm, ocg, cols, krows, db, cols, col, cols, gwg, krows);
+                // dcol = W_gᵀ · dbuf, scattered back by col2im. This is
+                // the one reassociated sum — grad_in is tolerance-bound.
+                let dc = take_zeroed(dcol, krows * cols);
+                gemm_atb(gemm, krows, ocg, cols, wg, krows, db, cols, dc, cols);
+                col2im(&geom, dc, grad_in.channels_mut(n, g * icg, icg));
             }
         }
         grad_in
@@ -417,5 +495,20 @@ mod tests {
         // The {-1,0,1} constraint leaves a representational floor; halving
         // the initial loss shows the optimizer is working.
         assert!(last < first.unwrap() * 0.6, "trinary conv loss {:?} -> {last}", first);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // The same layer driven through one reused Scratch and through
+        // fresh ones must produce identical bits.
+        let conv = Conv2d::new(4, 4, 3, 1, 1, 2, true, 7);
+        let x =
+            Tensor::from_vec(&[2, 4, 5, 5], (0..200).map(|i| ((i as f32) * 0.17).sin()).collect());
+        let mut s = Scratch::default();
+        for _ in 0..3 {
+            let with = conv.infer_with(&x, &mut s);
+            let plain = conv.infer(&x);
+            assert_eq!(with, plain);
+        }
     }
 }

@@ -13,12 +13,19 @@
 //!
 //! Gradients reach the shadow weights straight-through (the projection is
 //! treated as identity in the backward pass).
+//!
+//! Forward, backward and every gradient run as blocked GEMM calls from
+//! `pcnn-kernels`; all of them are bit-identical to the naive loops kept
+//! in [`crate::reference`] (each output element stays one sequential
+//! dot product — nothing reassociates).
 
 use crate::init::trinary_uniform;
 use crate::layer::Layer;
 use crate::optimizer::adam_update;
+use crate::reference::LinearSpec;
 use crate::tensor::Tensor;
-use crate::trinary::{clip_shadow, trinarize};
+use crate::trinary::{clip_shadow, trinarize, trinarize_into};
+use pcnn_kernels::{gemm, gemm_abt, gemm_atb, take_zeroed, Scratch};
 use serde::{Deserialize, Serialize};
 
 /// A grouped, optionally trinary, fully-connected layer.
@@ -151,35 +158,54 @@ impl GroupedLinear {
         &self.bias
     }
 
-    #[inline]
-    fn eff_w(&self, idx: usize) -> f32 {
+    /// This layer's hyperparameters as a [`LinearSpec`] for the
+    /// reference oracle.
+    pub fn spec(&self) -> LinearSpec {
+        LinearSpec { in_dim: self.in_dim, out_dim: self.out_dim, groups: self.groups }
+    }
+
+    /// The weights the layer actually computes with — trinary-projected
+    /// when the layer is trinary, the raw shadows otherwise.
+    pub fn effective_weights(&self) -> Vec<f32> {
         if self.trinary {
-            trinarize(self.w[idx])
+            let mut out = vec![0.0f32; self.w.len()];
+            trinarize_into(&self.w, &mut out);
+            out
         } else {
-            self.w[idx]
+            self.w.clone()
         }
     }
 
+    /// Accumulated `(gw, galpha, gbias)` gradients, exposed for the
+    /// kernel-equivalence tests.
+    #[doc(hidden)]
+    pub fn debug_grads(&self) -> (&[f32], &[f32], &[f32]) {
+        (&self.gw, &self.galpha, &self.gbias)
+    }
+
     /// The pure forward computation: `(pre-scale, output)`.
-    fn apply(&self, input: &Tensor) -> (Tensor, Tensor) {
+    ///
+    /// Per group: `pre_g [batch × out_g] = X_g [batch × in_g] · W_gᵀ`,
+    /// one strided GEMM straight into the `pre` tensor.
+    fn apply_with(&self, input: &Tensor, s: &mut Scratch) -> (Tensor, Tensor) {
         assert_eq!(input.shape().len(), 2, "GroupedLinear takes (batch, features)");
         assert_eq!(input.shape()[1], self.in_dim, "input dim mismatch");
         let batch = input.shape()[0];
         let (in_g, out_g) = (self.in_dim / self.groups, self.out_dim / self.groups);
         let mut pre = Tensor::zeros(&[batch, self.out_dim]);
-        for n in 0..batch {
-            let x = input.row(n);
-            for g in 0..self.groups {
-                for ol in 0..out_g {
-                    let o = g * out_g + ol;
-                    let wbase = (g * out_g + ol) * in_g;
-                    let mut acc = 0.0;
-                    for il in 0..in_g {
-                        acc += self.eff_w(wbase + il) * x[g * in_g + il];
-                    }
-                    *pre.at2_mut(n, o) = acc;
-                }
-            }
+        let Scratch { gemm: gs, wbuf, .. } = s;
+        let w_eff: &[f32] = if self.trinary {
+            let wb = take_zeroed(wbuf, self.w.len());
+            trinarize_into(&self.w, wb);
+            wb
+        } else {
+            &self.w
+        };
+        for g in 0..self.groups {
+            let xg = &input.data()[g * in_g..];
+            let wg = &w_eff[g * out_g * in_g..][..out_g * in_g];
+            let cg = &mut pre.data_mut()[g * out_g..];
+            gemm_abt(gs, batch, in_g, out_g, xg, self.in_dim, wg, in_g, cg, self.out_dim);
         }
         let mut out = Tensor::zeros(&[batch, self.out_dim]);
         for n in 0..batch {
@@ -193,7 +219,22 @@ impl GroupedLinear {
 
 impl Layer for GroupedLinear {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let (pre, out) = self.apply(input);
+        let mut s = Scratch::default();
+        self.forward_with(input, train, &mut s)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut s = Scratch::default();
+        self.infer_with(input, &mut s)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut s = Scratch::default();
+        self.backward_with(grad_out, &mut s)
+    }
+
+    fn forward_with(&mut self, input: &Tensor, train: bool, scratch: &mut Scratch) -> Tensor {
+        let (pre, out) = self.apply_with(input, scratch);
         if train {
             self.cached_input = Some(input.clone());
             self.cached_pre_scale = Some(pre);
@@ -201,38 +242,51 @@ impl Layer for GroupedLinear {
         out
     }
 
-    fn infer(&self, input: &Tensor) -> Tensor {
-        self.apply(input).1
+    fn infer_with(&self, input: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.apply_with(input, scratch).1
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward without training forward");
         let pre = self.cached_pre_scale.as_ref().expect("missing pre-scale cache");
         let batch = input.shape()[0];
         assert_eq!(grad_out.shape(), &[batch, self.out_dim], "grad shape mismatch");
         let (in_g, out_g) = (self.in_dim / self.groups, self.out_dim / self.groups);
         let mut grad_in = Tensor::zeros(&[batch, self.in_dim]);
-        for n in 0..batch {
-            let x = input.row(n);
-            for g in 0..self.groups {
+        let Scratch { gemm: gs, wbuf, dbuf, .. } = scratch;
+        let w_eff: &[f32] = if self.trinary {
+            let wb = take_zeroed(wbuf, self.w.len());
+            trinarize_into(&self.w, wb);
+            wb
+        } else {
+            &self.w
+        };
+        for g in 0..self.groups {
+            // dα/db accumulate element-by-element in the naive
+            // (sample, output) order; dbuf collects dy·α for the GEMMs.
+            let db = take_zeroed(dbuf, batch * out_g);
+            for n in 0..batch {
+                let grow = &grad_out.data()[n * self.out_dim + g * out_g..][..out_g];
+                let prow = &pre.data()[n * self.out_dim + g * out_g..][..out_g];
+                let drow = &mut db[n * out_g..][..out_g];
                 for ol in 0..out_g {
                     let o = g * out_g + ol;
-                    let dy = grad_out.at2(n, o);
-                    if dy == 0.0 {
-                        continue;
-                    }
-                    self.galpha[o] += dy * pre.at2(n, o);
+                    let dy = grow[ol];
+                    self.galpha[o] += dy * prow[ol];
                     self.gbias[o] += dy;
-                    let da = dy * self.alpha[o];
-                    let wbase = (g * out_g + ol) * in_g;
-                    for il in 0..in_g {
-                        // Straight-through: shadow gradient ignores the
-                        // trinary projection.
-                        self.gw[wbase + il] += da * x[g * in_g + il];
-                        *grad_in.at2_mut(n, g * in_g + il) += da * self.eff_w(wbase + il);
-                    }
+                    drow[ol] = dy * self.alpha[o];
                 }
             }
+            let wg = &w_eff[g * out_g * in_g..][..out_g * in_g];
+            let xg = &input.data()[g * in_g..];
+            // gw_g [out_g × in_g] += dbufᵀ · X_g — per weight this is the
+            // same sequential sum over samples the naive loops produce.
+            let gwg = &mut self.gw[g * out_g * in_g..][..out_g * in_g];
+            gemm_atb(gs, out_g, batch, in_g, db, out_g, xg, self.in_dim, gwg, in_g);
+            // grad_in_g [batch × in_g] = dbuf · W_g — sequential over
+            // outputs, so this too is bit-identical.
+            let gig = &mut grad_in.data_mut()[g * in_g..];
+            gemm(gs, batch, out_g, in_g, db, out_g, wg, in_g, gig, self.in_dim);
         }
         grad_in
     }
@@ -428,5 +482,18 @@ mod tests {
         l.step(0.1, 0.0);
         assert!(l.gw.iter().all(|&g| g == 0.0));
         assert!(l.gbias.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let l = GroupedLinear::new(8, 6, 2, true, 13);
+        let x = Tensor::from_rows(&[
+            (0..8).map(|i| (i as f32 * 0.3).sin()).collect(),
+            (0..8).map(|i| (i as f32 * 0.7).cos()).collect(),
+        ]);
+        let mut s = Scratch::default();
+        for _ in 0..3 {
+            assert_eq!(l.infer_with(&x, &mut s), l.infer(&x));
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! The layer trait all network building blocks implement.
 
 use crate::tensor::Tensor;
+use pcnn_kernels::Scratch;
 
 /// One differentiable network stage.
 ///
@@ -8,6 +9,12 @@ use crate::tensor::Tensor;
 /// accumulators; the training loop drives them with
 /// `forward → backward → step`. `Send + Sync` is required so trained
 /// networks can be shared across inference worker threads.
+///
+/// The `_with` variants thread a caller-owned [`Scratch`] through the
+/// compute-heavy layers so steady-state training and serving allocate
+/// nothing per call; the plain methods remain the canonical semantics
+/// and the default `_with` implementations simply forward to them.
+/// Either entry point produces bit-identical outputs.
 pub trait Layer: Send + Sync {
     /// Computes the layer output. `train` enables caching needed by
     /// [`backward`](Layer::backward); inference passes `false`.
@@ -29,6 +36,21 @@ pub trait Layer: Send + Sync {
     /// Implementations panic if called without a preceding training-mode
     /// forward pass.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// [`forward`](Layer::forward) reusing the caller's scratch buffers.
+    fn forward_with(&mut self, input: &Tensor, train: bool, _scratch: &mut Scratch) -> Tensor {
+        self.forward(input, train)
+    }
+
+    /// [`infer`](Layer::infer) reusing the caller's scratch buffers.
+    fn infer_with(&self, input: &Tensor, _scratch: &mut Scratch) -> Tensor {
+        self.infer(input)
+    }
+
+    /// [`backward`](Layer::backward) reusing the caller's scratch buffers.
+    fn backward_with(&mut self, grad_out: &Tensor, _scratch: &mut Scratch) -> Tensor {
+        self.backward(grad_out)
+    }
 
     /// Applies accumulated gradients with Adam (`momentum` supplies beta1) and clears them.
     /// Layers without parameters do nothing.

@@ -44,6 +44,7 @@ pub mod network;
 pub mod optimizer;
 pub mod permute;
 pub mod pool;
+pub mod reference;
 pub mod replicate;
 pub mod tensor;
 pub mod trinary;
@@ -56,6 +57,7 @@ pub use layer::Layer;
 pub use loss::{mse_loss, softmax_cross_entropy};
 pub use mapping::{check_crossbar_fit, network_core_count, CoreCost};
 pub use network::Sequential;
+pub use pcnn_kernels::Scratch;
 pub use pool::{AvgPool2, MaxPool2};
 pub use replicate::Replicate;
 pub use tensor::Tensor;

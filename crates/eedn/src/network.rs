@@ -3,10 +3,16 @@
 use crate::layer::Layer;
 use crate::loss::softmax_cross_entropy;
 use crate::tensor::Tensor;
+use pcnn_kernels::Scratch;
 
 /// A stack of layers trained end to end.
+///
+/// The network owns one [`Scratch`] that every training-mode pass
+/// threads through its layers, so steady-state training reuses packing
+/// and column buffers instead of allocating per call.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    scratch: Scratch,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -26,7 +32,7 @@ impl Default for Sequential {
 impl Sequential {
     /// An empty network.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential { layers: Vec::new(), scratch: Scratch::default() }
     }
 
     /// Appends a layer (builder style).
@@ -54,9 +60,18 @@ impl Sequential {
     /// network can serve many threads at once. Bit-identical to the
     /// inference-mode forward pass.
     pub fn infer(&self, input: &Tensor) -> Tensor {
+        let mut scratch = Scratch::default();
+        self.infer_with(input, &mut scratch)
+    }
+
+    /// [`infer`](Sequential::infer) reusing caller-owned scratch buffers
+    /// — the entry point for serving loops that process many inputs
+    /// (each worker thread keeps its own `Scratch`). Bit-identical to
+    /// [`infer`](Sequential::infer).
+    pub fn infer_with(&self, input: &Tensor, scratch: &mut Scratch) -> Tensor {
         let mut x = input.clone();
         for layer in &self.layers {
-            x = layer.infer(&x);
+            x = layer.infer_with(&x, scratch);
         }
         x
     }
@@ -70,7 +85,7 @@ impl Sequential {
     pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
-            x = layer.forward(&x, true);
+            x = layer.forward_with(&x, true, &mut self.scratch);
         }
         x
     }
@@ -79,7 +94,7 @@ impl Sequential {
     pub fn backward(&mut self, grad: &Tensor) {
         let mut g = grad.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            g = layer.backward_with(&g, &mut self.scratch);
         }
     }
 

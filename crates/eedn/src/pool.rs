@@ -27,25 +27,29 @@ impl MaxPool2 {
         assert!(ho > 0 && wo > 0, "input too small to pool");
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
         let mut arg = Vec::with_capacity(n * c * ho * wo);
-        for ni in 0..n {
-            for ci in 0..c {
-                for oy in 0..ho {
-                    for ox in 0..wo {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_flat = 0;
-                        for dy in 0..2 {
-                            for dx in 0..2 {
-                                let (iy, ix) = (oy * 2 + dy, ox * 2 + dx);
-                                let v = input.at4(ni, ci, iy, ix);
-                                if v > best {
-                                    best = v;
-                                    best_flat = ((ni * c + ci) * h + iy) * w + ix;
-                                }
-                            }
+        // Slice-based sweep: two input rows per output row, candidates
+        // visited in the same (dy, dx) order (strict `>`) as the scalar
+        // loops this replaced, so argmax ties break identically.
+        let idata = input.data();
+        let odata = out.data_mut();
+        for plane in 0..n * c {
+            let pbase = plane * h * w;
+            for oy in 0..ho {
+                let r0 = pbase + (oy * 2) * w;
+                let r1 = r0 + w;
+                let orow = &mut odata[(plane * ho + oy) * wo..][..wo];
+                for (ox, ov) in orow.iter_mut().enumerate() {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_flat = 0;
+                    for flat in [r0 + 2 * ox, r0 + 2 * ox + 1, r1 + 2 * ox, r1 + 2 * ox + 1] {
+                        let v = idata[flat];
+                        if v > best {
+                            best = v;
+                            best_flat = flat;
                         }
-                        *out.at4_mut(ni, ci, oy, ox) = best;
-                        arg.push(best_flat);
                     }
+                    *ov = best;
+                    arg.push(best_flat);
                 }
             }
         }
@@ -110,18 +114,19 @@ impl Layer for AvgPool2 {
         let (ho, wo) = (h / 2, w / 2);
         assert!(ho > 0 && wo > 0, "input too small to pool");
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
-        for ni in 0..n {
-            for ci in 0..c {
-                for oy in 0..ho {
-                    for ox in 0..wo {
-                        let mut acc = 0.0;
-                        for dy in 0..2 {
-                            for dx in 0..2 {
-                                acc += input.at4(ni, ci, oy * 2 + dy, ox * 2 + dx);
-                            }
-                        }
-                        *out.at4_mut(ni, ci, oy, ox) = acc / 4.0;
-                    }
+        // Slice-based sweep; summation order matches the scalar loops
+        // this replaced ((dy, dx) row-major), so results are identical.
+        let idata = input.data();
+        let odata = out.data_mut();
+        for plane in 0..n * c {
+            let pbase = plane * h * w;
+            for oy in 0..ho {
+                let r0 = &idata[pbase + (oy * 2) * w..][..w];
+                let r1 = &idata[pbase + (oy * 2 + 1) * w..][..w];
+                let orow = &mut odata[(plane * ho + oy) * wo..][..wo];
+                for (ox, ov) in orow.iter_mut().enumerate() {
+                    let acc = r0[2 * ox] + r0[2 * ox + 1] + r1[2 * ox] + r1[2 * ox + 1];
+                    *ov = acc / 4.0;
                 }
             }
         }

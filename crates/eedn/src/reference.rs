@@ -1,0 +1,298 @@
+//! Golden-oracle reference implementations of the compute layer.
+//!
+//! These are the original naive loops that `Conv2d` and `GroupedLinear`
+//! ran before the GEMM rewire, kept verbatim (bounds-checked taps,
+//! `dy == 0` skip, identical accumulation order) as the semantic
+//! contract the `pcnn-kernels` path is tested against:
+//!
+//! * forward outputs, `gw`, `galpha` and `gbias` must match the kernel
+//!   path **bit for bit** (the GEMM preserves per-element sequential
+//!   accumulation order, and padding/skip differences only contribute
+//!   exact `±0.0` terms for finite inputs);
+//! * only the convolution's `grad_in` is tolerance-bound
+//!   (`|d| ≤ 1e-5 + 1e-5·|ref|`), because `col2im` reassociates the
+//!   scatter over output channels and positions.
+//!
+//! All functions take *effective* (already trinary-projected, when
+//! applicable) weights, so the oracle is independent of the shadow
+//! weight mechanics. The `kernel_gemm` bench also times these loops to
+//! measure the speedup.
+
+use crate::tensor::Tensor;
+
+/// The hyperparameters of one grouped convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Square kernel side.
+    pub k: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub pad: usize,
+    /// Channel groups (block-diagonal connectivity).
+    pub groups: usize,
+}
+
+impl ConvSpec {
+    /// Output spatial size for an `(h, w)` input.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        ((o * (self.in_ch / self.groups) + ic) * self.k + ky) * self.k + kx
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// ∂loss/∂input.
+    pub grad_in: Tensor,
+    /// Weight gradient, same layout as the weight vector.
+    pub gw: Vec<f32>,
+    /// Per-channel scale gradient.
+    pub galpha: Vec<f32>,
+    /// Per-channel bias gradient.
+    pub gbias: Vec<f32>,
+}
+
+/// Naive grouped convolution forward: `(pre-scale, output)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_forward(
+    spec: &ConvSpec,
+    w_eff: &[f32],
+    alpha: &[f32],
+    bias: &[f32],
+    input: &Tensor,
+) -> (Tensor, Tensor) {
+    assert_eq!(input.shape().len(), 4, "conv takes (batch, channels, h, w)");
+    let (batch, cin, h, w) =
+        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    assert_eq!(cin, spec.in_ch, "input channel mismatch");
+    let (ho, wo) = spec.out_size(h, w);
+    let icg = spec.in_ch / spec.groups;
+    let ocg = spec.out_ch / spec.groups;
+    let mut pre = Tensor::zeros(&[batch, spec.out_ch, ho, wo]);
+    for n in 0..batch {
+        for g in 0..spec.groups {
+            for ol in 0..ocg {
+                let o = g * ocg + ol;
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0;
+                        for ic in 0..icg {
+                            let c = g * icg + ic;
+                            for ky in 0..spec.k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..spec.k {
+                                    let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += w_eff[spec.widx(o, ic, ky, kx)]
+                                        * input.at4(n, c, iy as usize, ix as usize);
+                                }
+                            }
+                        }
+                        *pre.at4_mut(n, o, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = pre.clone();
+    for n in 0..batch {
+        for o in 0..spec.out_ch {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    *out.at4_mut(n, o, oy, ox) = alpha[o] * pre.at4(n, o, oy, ox) + bias[o];
+                }
+            }
+        }
+    }
+    (pre, out)
+}
+
+/// Naive grouped convolution backward.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_backward(
+    spec: &ConvSpec,
+    w_eff: &[f32],
+    alpha: &[f32],
+    input: &Tensor,
+    pre: &Tensor,
+    grad_out: &Tensor,
+) -> ConvGrads {
+    let (batch, _, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (ho, wo) = spec.out_size(h, w);
+    assert_eq!(grad_out.shape(), &[batch, spec.out_ch, ho, wo], "grad shape mismatch");
+    let icg = spec.in_ch / spec.groups;
+    let ocg = spec.out_ch / spec.groups;
+    let mut gw = vec![0.0f32; w_eff.len()];
+    let mut galpha = vec![0.0f32; spec.out_ch];
+    let mut gbias = vec![0.0f32; spec.out_ch];
+    let mut grad_in = Tensor::zeros(input.shape());
+    for n in 0..batch {
+        for g in 0..spec.groups {
+            for ol in 0..ocg {
+                let o = g * ocg + ol;
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let dy = grad_out.at4(n, o, oy, ox);
+                        if dy == 0.0 {
+                            continue;
+                        }
+                        galpha[o] += dy * pre.at4(n, o, oy, ox);
+                        gbias[o] += dy;
+                        let da = dy * alpha[o];
+                        for ic in 0..icg {
+                            let c = g * icg + ic;
+                            for ky in 0..spec.k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..spec.k {
+                                    let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let wi = spec.widx(o, ic, ky, kx);
+                                    gw[wi] += da * input.at4(n, c, iy as usize, ix as usize);
+                                    *grad_in.at4_mut(n, c, iy as usize, ix as usize) +=
+                                        da * w_eff[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ConvGrads { grad_in, gw, galpha, gbias }
+}
+
+/// The hyperparameters of one grouped linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearSpec {
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Output dimensionality.
+    pub out_dim: usize,
+    /// Block-diagonal groups.
+    pub groups: usize,
+}
+
+/// Gradients produced by [`grouped_linear_backward`].
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// ∂loss/∂input.
+    pub grad_in: Tensor,
+    /// Weight gradient, same layout as the weight vector.
+    pub gw: Vec<f32>,
+    /// Per-output scale gradient.
+    pub galpha: Vec<f32>,
+    /// Per-output bias gradient.
+    pub gbias: Vec<f32>,
+}
+
+/// Naive grouped linear forward: `(pre-scale, output)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn grouped_linear_forward(
+    spec: &LinearSpec,
+    w_eff: &[f32],
+    alpha: &[f32],
+    bias: &[f32],
+    input: &Tensor,
+) -> (Tensor, Tensor) {
+    assert_eq!(input.shape().len(), 2, "linear takes (batch, features)");
+    assert_eq!(input.shape()[1], spec.in_dim, "input dim mismatch");
+    let batch = input.shape()[0];
+    let (in_g, out_g) = (spec.in_dim / spec.groups, spec.out_dim / spec.groups);
+    let mut pre = Tensor::zeros(&[batch, spec.out_dim]);
+    for n in 0..batch {
+        let x = input.row(n);
+        for g in 0..spec.groups {
+            for ol in 0..out_g {
+                let o = g * out_g + ol;
+                let wbase = (g * out_g + ol) * in_g;
+                let mut acc = 0.0;
+                for il in 0..in_g {
+                    acc += w_eff[wbase + il] * x[g * in_g + il];
+                }
+                *pre.at2_mut(n, o) = acc;
+            }
+        }
+    }
+    let mut out = Tensor::zeros(&[batch, spec.out_dim]);
+    for n in 0..batch {
+        for o in 0..spec.out_dim {
+            *out.at2_mut(n, o) = alpha[o] * pre.at2(n, o) + bias[o];
+        }
+    }
+    (pre, out)
+}
+
+/// Naive grouped linear backward.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn grouped_linear_backward(
+    spec: &LinearSpec,
+    w_eff: &[f32],
+    alpha: &[f32],
+    input: &Tensor,
+    pre: &Tensor,
+    grad_out: &Tensor,
+) -> LinearGrads {
+    let batch = input.shape()[0];
+    assert_eq!(grad_out.shape(), &[batch, spec.out_dim], "grad shape mismatch");
+    let (in_g, out_g) = (spec.in_dim / spec.groups, spec.out_dim / spec.groups);
+    let mut gw = vec![0.0f32; w_eff.len()];
+    let mut galpha = vec![0.0f32; spec.out_dim];
+    let mut gbias = vec![0.0f32; spec.out_dim];
+    let mut grad_in = Tensor::zeros(&[batch, spec.in_dim]);
+    for n in 0..batch {
+        let x = input.row(n);
+        for g in 0..spec.groups {
+            for ol in 0..out_g {
+                let o = g * out_g + ol;
+                let dy = grad_out.at2(n, o);
+                if dy == 0.0 {
+                    continue;
+                }
+                galpha[o] += dy * pre.at2(n, o);
+                gbias[o] += dy;
+                let da = dy * alpha[o];
+                let wbase = (g * out_g + ol) * in_g;
+                for il in 0..in_g {
+                    gw[wbase + il] += da * x[g * in_g + il];
+                    *grad_in.at2_mut(n, g * in_g + il) += da * w_eff[wbase + il];
+                }
+            }
+        }
+    }
+    LinearGrads { grad_in, gw, galpha, gbias }
+}

@@ -149,6 +149,42 @@ impl Tensor {
         &self.data[i * d..(i + 1) * d]
     }
 
+    /// Mutable row of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `i` is out of range.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert_eq!(self.shape.len(), 2, "row_mut() needs a rank-2 tensor");
+        let d = self.shape[1];
+        &mut self.data[i * d..(i + 1) * d]
+    }
+
+    /// Contiguous channel planes `c0 .. c0 + count` of sample `n` in a
+    /// rank-4 tensor — the view `im2col` packs from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or the range is out of bounds.
+    pub fn channels(&self, n: usize, c0: usize, count: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 4, "channels() needs a rank-4 tensor");
+        let (cs, plane) = (self.shape[1], self.shape[2] * self.shape[3]);
+        assert!(c0 + count <= cs, "channel range out of bounds");
+        &self.data[(n * cs + c0) * plane..][..count * plane]
+    }
+
+    /// Mutable contiguous channel planes of sample `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or the range is out of bounds.
+    pub fn channels_mut(&mut self, n: usize, c0: usize, count: usize) -> &mut [f32] {
+        assert_eq!(self.shape.len(), 4, "channels_mut() needs a rank-4 tensor");
+        let (cs, plane) = (self.shape[1], self.shape[2] * self.shape[3]);
+        assert!(c0 + count <= cs, "channel range out of bounds");
+        &mut self.data[(n * cs + c0) * plane..][..count * plane]
+    }
+
     /// Applies `f` to every element, in place.
     pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
         for v in &mut self.data {

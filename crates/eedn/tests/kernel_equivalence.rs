@@ -1,0 +1,168 @@
+//! Seeded property sweep: the GEMM-backed compute path vs the naive
+//! reference oracle in [`pcnn_eedn::reference`].
+//!
+//! The determinism contract (see DESIGN.md "Compute kernels"):
+//!
+//! * forward outputs and the conv `gw`/`galpha`/`gbias` gradients are
+//!   **bit-identical** to the naive loops;
+//! * `GroupedLinear` is bit-identical throughout, including `grad_in`;
+//! * only the conv `grad_in` is tolerance-bound
+//!   (`|d| <= 1e-5 + 1e-5·|ref|`), because `col2im` reassociates the
+//!   scatter over output channels and kernel taps.
+
+use pcnn_eedn::reference::{
+    conv2d_backward, conv2d_forward, grouped_linear_backward, grouped_linear_forward,
+};
+use pcnn_eedn::{Conv2d, GroupedLinear, Layer, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_tensor(rng: &mut SmallRng, shape: &[usize]) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// A gradient tensor with ~30% exact zeros, exercising the reference
+/// oracle's `dy == 0` skip path against the kernel path (which never
+/// skips — the contract relies on `±0.0` terms being exact no-ops).
+fn rand_grad(rng: &mut SmallRng, shape: &[usize]) -> Tensor {
+    let mut g = rand_tensor(rng, shape);
+    for v in g.data_mut() {
+        if rng.random_range(0.0..1.0f32) < 0.3 {
+            *v = 0.0;
+        }
+    }
+    g
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        assert!(x.to_bits() == y.to_bits(), "{what}[{i}]: kernel {x} != reference {y}");
+    }
+}
+
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-5 + 1e-5 * y.abs();
+        assert!((x - y).abs() <= tol, "{what}[{i}]: kernel {x} vs reference {y} (tol {tol})");
+    }
+}
+
+#[test]
+fn conv2d_matches_reference_across_shape_sweep() {
+    let mut rng = SmallRng::seed_from_u64(0xc0ff_ee00);
+    // Non-square input; 8 in/out channels so groups can be 1, 4 or
+    // out_ch (depthwise-style icg = ocg = 1).
+    let (cin, cout, h, w) = (8usize, 8usize, 9usize, 7usize);
+    let mut case = 0u64;
+    for k in [1usize, 3, 5] {
+        for stride in [1usize, 2] {
+            for pad in [0usize, 1] {
+                for groups in [1usize, 4, 8] {
+                    for trinary in [false, true] {
+                        case += 1;
+                        let batch = 1 + (case as usize % 3);
+                        let tag = format!(
+                            "conv k={k} s={stride} p={pad} g={groups} tri={trinary} b={batch}"
+                        );
+                        let mut layer =
+                            Conv2d::new(cin, cout, k, stride, pad, groups, trinary, 1000 + case);
+                        let input = rand_tensor(&mut rng, &[batch, cin, h, w]);
+                        let w_eff = layer.effective_weights();
+                        let spec = layer.spec();
+                        let (pre_ref, out_ref) =
+                            conv2d_forward(&spec, &w_eff, layer.alpha(), layer.bias(), &input);
+
+                        let out = layer.forward(&input, true);
+                        assert_bits_eq(out.data(), out_ref.data(), &format!("{tag}: forward"));
+                        let inf = layer.infer(&input);
+                        assert_bits_eq(inf.data(), out_ref.data(), &format!("{tag}: infer"));
+
+                        let (ho, wo) = spec.out_size(h, w);
+                        let go = rand_grad(&mut rng, &[batch, cout, ho, wo]);
+                        let gref =
+                            conv2d_backward(&spec, &w_eff, layer.alpha(), &input, &pre_ref, &go);
+                        let grad_in = layer.backward(&go);
+                        let (gw, ga, gb) = layer.debug_grads();
+                        assert_bits_eq(gw, &gref.gw, &format!("{tag}: gw"));
+                        assert_bits_eq(ga, &gref.galpha, &format!("{tag}: galpha"));
+                        assert_bits_eq(gb, &gref.gbias, &format!("{tag}: gbias"));
+                        assert_close(
+                            grad_in.data(),
+                            gref.grad_in.data(),
+                            &format!("{tag}: grad_in"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grouped_linear_matches_reference_bitwise() {
+    let mut rng = SmallRng::seed_from_u64(0xfee1_dead);
+    // (in_dim, out_dim, groups): groups 1, interior, out_dim (out_g = 1).
+    let cases = [(6usize, 4usize, 2usize), (8, 8, 8), (5, 7, 1), (12, 9, 3), (16, 8, 4), (4, 4, 1)];
+    for (case, &(in_dim, out_dim, groups)) in cases.iter().enumerate() {
+        for trinary in [false, true] {
+            let batch = 1 + case % 3;
+            let tag = format!("linear in={in_dim} out={out_dim} g={groups} tri={trinary}");
+            let mut layer =
+                GroupedLinear::new(in_dim, out_dim, groups, trinary, 2000 + case as u64);
+            let input = rand_tensor(&mut rng, &[batch, in_dim]);
+            let w_eff = layer.effective_weights();
+            let spec = layer.spec();
+            let (pre_ref, out_ref) =
+                grouped_linear_forward(&spec, &w_eff, layer.alpha(), layer.bias(), &input);
+
+            let out = layer.forward(&input, true);
+            assert_bits_eq(out.data(), out_ref.data(), &format!("{tag}: forward"));
+
+            let go = rand_grad(&mut rng, &[batch, out_dim]);
+            let gref = grouped_linear_backward(&spec, &w_eff, layer.alpha(), &input, &pre_ref, &go);
+            let grad_in = layer.backward(&go);
+            let (gw, ga, gb) = layer.debug_grads();
+            assert_bits_eq(gw, &gref.gw, &format!("{tag}: gw"));
+            assert_bits_eq(ga, &gref.galpha, &format!("{tag}: galpha"));
+            assert_bits_eq(gb, &gref.gbias, &format!("{tag}: gbias"));
+            // The FC GEMMs keep per-element sequential-k accumulation, so
+            // even grad_in is bit-identical here.
+            assert_bits_eq(grad_in.data(), gref.grad_in.data(), &format!("{tag}: grad_in"));
+        }
+    }
+}
+
+#[test]
+fn repeated_backward_accumulates_like_reference() {
+    // Gradients accumulate across minibatches until `step`; the kernel
+    // path must extend the running sums exactly like the naive loops.
+    // Three backward calls on batch-2 inputs add terms in the same order
+    // as one naive pass over the concatenated batch-6 input, so the
+    // comparison is still bitwise.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut layer = Conv2d::new(4, 6, 3, 1, 1, 2, true, 99);
+    let w_eff = layer.effective_weights();
+    let spec = layer.spec();
+    let mut all_inputs = Vec::new();
+    let mut all_grads = Vec::new();
+    for _ in 0..3 {
+        let input = rand_tensor(&mut rng, &[2, 4, 6, 5]);
+        let go = rand_grad(&mut rng, &[2, 6, 6, 5]);
+        layer.forward(&input, true);
+        layer.backward(&go);
+        all_inputs.extend_from_slice(input.data());
+        all_grads.extend_from_slice(go.data());
+    }
+    let big_in = Tensor::from_vec(&[6, 4, 6, 5], all_inputs);
+    let big_go = Tensor::from_vec(&[6, 6, 6, 5], all_grads);
+    let (big_pre, _) = conv2d_forward(&spec, &w_eff, layer.alpha(), layer.bias(), &big_in);
+    let gref = conv2d_backward(&spec, &w_eff, layer.alpha(), &big_in, &big_pre, &big_go);
+    let (gw, ga, gb) = layer.debug_grads();
+    assert_bits_eq(gw, &gref.gw, "accumulated gw");
+    assert_bits_eq(ga, &gref.galpha, "accumulated galpha");
+    assert_bits_eq(gb, &gref.gbias, "accumulated gbias");
+}

@@ -1,0 +1,526 @@
+//! Cache-blocked, register-tiled `f32` matrix multiplication.
+//!
+//! All entry points compute `C += op(A) · op(B)` over row-major matrices
+//! with explicit row strides, so callers can hand in sub-matrices (a
+//! group's weight block, one sample's column matrix) without copying.
+//!
+//! # Determinism contract
+//!
+//! Every variant accumulates each output element as one left-to-right
+//! sum over the shared dimension:
+//! `c[i][j] = ((c[i][j] + a[i][0]*b[0][j]) + a[i][1]*b[1][j]) + …`.
+//! Cache blocking over `k` resumes the same
+//! running sum (the micro-kernel loads the current `C` tile, extends it
+//! sequentially, and stores it back), and the register tile parallelises
+//! only *across* output elements, never within one. The result is
+//! bit-identical to the textbook three-loop product for all finite
+//! inputs — the property the `pcnn-eedn` reference-equivalence tests pin
+//! down.
+
+/// Rows per register tile (micro-kernel height).
+pub const MR: usize = 4;
+/// Columns per register tile (micro-kernel width).
+pub const NR: usize = 8;
+
+/// Rows of `A` per cache block.
+const MC: usize = 64;
+/// Shared-dimension depth per cache block.
+const KC: usize = 256;
+/// Columns of `B` per cache block.
+const NC: usize = 512;
+
+/// Reusable packing buffers for the blocked GEMM.
+///
+/// Keeping one of these alive across calls (see
+/// [`Scratch`](crate::Scratch)) removes all per-call allocations once
+/// the buffers have grown to the working-set size.
+#[derive(Debug, Default, Clone)]
+pub struct GemmScratch {
+    apack: Vec<f32>,
+    bpack: Vec<f32>,
+}
+
+/// A matrix packed once into micro-kernel panel layout, for operands
+/// that are reused across many GEMM calls (convolution weights are
+/// multiplied against every sample of a batch).
+#[derive(Debug, Default, Clone)]
+pub struct PackedA {
+    data: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+impl PackedA {
+    /// Packs row-major `a` (`m × k`, row stride `lda`) into panel
+    /// layout, reusing this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is too short for the described matrix.
+    pub fn pack(&mut self, a: &[f32], lda: usize, m: usize, k: usize) {
+        assert!(m > 0 && k > 0, "empty matrix");
+        assert!((m - 1) * lda + k <= a.len(), "matrix exceeds slice");
+        let panels = m.div_ceil(MR);
+        self.data.clear();
+        self.data.resize(panels * k * MR, 0.0);
+        self.m = m;
+        self.k = k;
+        for ip in 0..panels {
+            let ir = ip * MR;
+            let mh = MR.min(m - ir);
+            for p in 0..k {
+                let dst = &mut self.data[(ip * k + p) * MR..][..MR];
+                for (i, d) in dst.iter_mut().enumerate().take(mh) {
+                    *d = a[(ir + i) * lda + p];
+                }
+            }
+        }
+    }
+
+    /// Packed row count.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Packed depth (shared dimension).
+    pub fn depth(&self) -> usize {
+        self.k
+    }
+}
+
+/// How a GEMM operand is stored relative to its logical orientation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Stored as the logical matrix.
+    Plain,
+    /// Stored transposed: logical `(r, c)` lives at storage `(c, r)`.
+    Trans,
+}
+
+/// `C += A · B`: `a` is `m × k` (stride `lda`), `b` is `k × n` (stride
+/// `ldb`), `c` is `m × n` (stride `ldc`), all row-major.
+///
+/// # Panics
+///
+/// Panics if a slice is too short for its described matrix.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm parameter list
+pub fn gemm(
+    s: &mut GemmScratch,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    driver(s, m, k, n, a, lda, Op::Plain, None, b, ldb, Op::Plain, c, ldc);
+}
+
+/// `C += Aᵀ · B`: `a` is stored `k × m` (stride `lda`).
+///
+/// # Panics
+///
+/// Panics if a slice is too short for its described matrix.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm parameter list
+pub fn gemm_atb(
+    s: &mut GemmScratch,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    driver(s, m, k, n, a, lda, Op::Trans, None, b, ldb, Op::Plain, c, ldc);
+}
+
+/// `C += A · Bᵀ`: `b` is stored `n × k` (stride `ldb`).
+///
+/// # Panics
+///
+/// Panics if a slice is too short for its described matrix.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm parameter list
+pub fn gemm_abt(
+    s: &mut GemmScratch,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    driver(s, m, k, n, a, lda, Op::Plain, None, b, ldb, Op::Trans, c, ldc);
+}
+
+/// `C += A · B` with `A` packed once via [`PackedA::pack`].
+///
+/// Identical results to [`gemm`] on the same operands, but skips the
+/// per-call packing of `A` — the win when one weight matrix multiplies
+/// every sample of a batch.
+///
+/// # Panics
+///
+/// Panics if a slice is too short for its described matrix.
+pub fn gemm_prepacked(
+    s: &mut GemmScratch,
+    pa: &PackedA,
+    n: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    driver(s, pa.m, pa.k, n, &[], 0, Op::Plain, Some(&pa.data), b, ldb, Op::Plain, c, ldc);
+}
+
+/// The shared blocked driver. `prepacked` supplies `A` in full-depth
+/// panel layout; otherwise `a`/`lda`/`ta` describe it and blocks are
+/// packed into scratch on the fly.
+#[allow(clippy::too_many_arguments)]
+fn driver(
+    s: &mut GemmScratch,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    ta: Op,
+    prepacked: Option<&[f32]>,
+    b: &[f32],
+    ldb: usize,
+    tb: Op,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(m > 0 && k > 0 && n > 0, "empty gemm");
+    assert!((m - 1) * ldc + n <= c.len(), "C exceeds slice");
+    match tb {
+        Op::Plain => assert!((k - 1) * ldb + n <= b.len(), "B exceeds slice"),
+        Op::Trans => assert!((n - 1) * ldb + k <= b.len(), "Bᵀ exceeds slice"),
+    }
+    if prepacked.is_none() {
+        match ta {
+            Op::Plain => assert!((m - 1) * lda + k <= a.len(), "A exceeds slice"),
+            Op::Trans => assert!((k - 1) * lda + m <= a.len(), "Aᵀ exceeds slice"),
+        }
+    }
+
+    for n0 in (0..n).step_by(NC) {
+        let nb = NC.min(n - n0);
+        for k0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - k0);
+            pack_b_block(&mut s.bpack, b, ldb, tb, k0, kc, n0, nb);
+            for m0 in (0..m).step_by(MC) {
+                let mb = MC.min(m - m0);
+                // Panel run for this (m0, k0) block: either a view into
+                // the full-depth prepacked layout or a freshly packed
+                // scratch block.
+                let (apanels, astride, akoff) = match prepacked {
+                    Some(pk) => (&pk[(m0 / MR) * k * MR..], k * MR, k0 * MR),
+                    None => {
+                        pack_a_block(&mut s.apack, a, lda, ta, m0, mb, k0, kc);
+                        (&s.apack[..], kc * MR, 0)
+                    }
+                };
+                block_kernel(c, ldc, m0, n0, apanels, astride, akoff, &s.bpack, mb, nb, kc);
+            }
+        }
+    }
+}
+
+/// Packs an `mb × kc` block of `A` into MR-row panels (zero-padded to
+/// full panels) at `(m0, k0)`.
+#[allow(clippy::too_many_arguments)] // block coordinates, not config
+fn pack_a_block(
+    buf: &mut Vec<f32>,
+    a: &[f32],
+    lda: usize,
+    ta: Op,
+    m0: usize,
+    mb: usize,
+    k0: usize,
+    kc: usize,
+) {
+    let panels = mb.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kc * MR, 0.0);
+    for ip in 0..panels {
+        let ir = ip * MR;
+        let mh = MR.min(mb - ir);
+        for p in 0..kc {
+            let dst = &mut buf[(ip * kc + p) * MR..][..MR];
+            match ta {
+                Op::Plain => {
+                    for (i, d) in dst.iter_mut().enumerate().take(mh) {
+                        *d = a[(m0 + ir + i) * lda + k0 + p];
+                    }
+                }
+                Op::Trans => {
+                    let src = &a[(k0 + p) * lda + m0 + ir..][..mh];
+                    dst[..mh].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Packs a `kc × nb` block of `B` into NR-column panels (zero-padded)
+/// at `(k0, n0)`.
+#[allow(clippy::too_many_arguments)] // block coordinates, not config
+fn pack_b_block(
+    buf: &mut Vec<f32>,
+    b: &[f32],
+    ldb: usize,
+    tb: Op,
+    k0: usize,
+    kc: usize,
+    n0: usize,
+    nb: usize,
+) {
+    let panels = nb.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * kc * NR, 0.0);
+    for jp in 0..panels {
+        let jr = jp * NR;
+        let nw = NR.min(nb - jr);
+        for p in 0..kc {
+            let dst = &mut buf[(jp * kc + p) * NR..][..NR];
+            match tb {
+                Op::Plain => {
+                    let src = &b[(k0 + p) * ldb + n0 + jr..][..nw];
+                    dst[..nw].copy_from_slice(src);
+                }
+                Op::Trans => {
+                    for (j, d) in dst.iter_mut().enumerate().take(nw) {
+                        *d = b[(n0 + jr + j) * ldb + k0 + p];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Multiplies one packed `mb × kc` A-block against one packed `kc × nb`
+/// B-block, extending the running sums held in `C`.
+#[allow(clippy::too_many_arguments)]
+fn block_kernel(
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    apanels: &[f32],
+    astride: usize,
+    akoff: usize,
+    bpack: &[f32],
+    mb: usize,
+    nb: usize,
+    kc: usize,
+) {
+    for ip in 0..mb.div_ceil(MR) {
+        let ir = ip * MR;
+        let mh = MR.min(mb - ir);
+        let ap = &apanels[ip * astride + akoff..][..kc * MR];
+        for jp in 0..nb.div_ceil(NR) {
+            let jr = jp * NR;
+            let nw = NR.min(nb - jr);
+            let bp = &bpack[jp * kc * NR..][..kc * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            for (i, acc_row) in acc.iter_mut().enumerate().take(mh) {
+                let crow = &c[(row0 + ir + i) * ldc + col0 + jr..][..nw];
+                acc_row[..nw].copy_from_slice(crow);
+            }
+            micro_kernel(&mut acc, ap, bp);
+            for (i, acc_row) in acc.iter().enumerate().take(mh) {
+                let crow = &mut c[(row0 + ir + i) * ldc + col0 + jr..][..nw];
+                crow.copy_from_slice(&acc_row[..nw]);
+            }
+        }
+    }
+}
+
+/// The register tile: MR×NR running sums, each extended sequentially
+/// over the packed depth.
+#[inline]
+fn micro_kernel(acc: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let ai = av[i];
+            for (j, cell) in acc_row.iter_mut().enumerate() {
+                *cell += ai * bv[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The textbook product every variant must match bit-for-bit.
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn rand_vec(rng: &mut SmallRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.random_range(-1.0..1.0f32)).collect()
+    }
+
+    fn assert_bits_eq(got: &[f32], want: &[f32]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "element {i}: {g} vs {w}");
+        }
+    }
+
+    /// Shape sweep crossing every panel/block edge case: singleton dims,
+    /// exact multiples of MR/NR, off-by-one around them, and sizes that
+    /// force multiple KC/NC blocks.
+    fn shape_sweep() -> Vec<(usize, usize, usize)> {
+        vec![
+            (1, 1, 1),
+            (1, 7, 1),
+            (MR, KC, NR),
+            (MR - 1, 3, NR - 1),
+            (MR + 1, 5, NR + 1),
+            (2 * MR, KC + 3, 3 * NR),
+            (17, 31, 23),
+            (MC + 5, KC + 7, 19),
+            (6, 11, NC + 9),
+        ]
+    }
+
+    #[test]
+    fn gemm_matches_naive_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(0x6E_01);
+        let mut s = GemmScratch::default();
+        for (m, k, n) in shape_sweep() {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let mut c = vec![0.0f32; m * n];
+            gemm(&mut s, m, k, n, &a, k, &b, n, &mut c, n);
+            assert_bits_eq(&c, &naive(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    fn gemm_atb_matches_naive_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(0x6E_02);
+        let mut s = GemmScratch::default();
+        for (m, k, n) in shape_sweep() {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            // Store A transposed (k × m) and ask for Aᵀ·B.
+            let mut at = vec![0.0f32; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    at[p * m + i] = a[i * k + p];
+                }
+            }
+            let mut c = vec![0.0f32; m * n];
+            gemm_atb(&mut s, m, k, n, &at, m, &b, n, &mut c, n);
+            assert_bits_eq(&c, &naive(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    fn gemm_abt_matches_naive_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(0x6E_03);
+        let mut s = GemmScratch::default();
+        for (m, k, n) in shape_sweep() {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let mut bt = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            let mut c = vec![0.0f32; m * n];
+            gemm_abt(&mut s, m, k, n, &a, k, &bt, k, &mut c, n);
+            assert_bits_eq(&c, &naive(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_plain_gemm() {
+        let mut rng = SmallRng::seed_from_u64(0x6E_04);
+        let mut s = GemmScratch::default();
+        let mut pa = PackedA::default();
+        for (m, k, n) in shape_sweep() {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let mut c = vec![0.0f32; m * n];
+            pa.pack(&a, k, m, k);
+            assert_eq!((pa.rows(), pa.depth()), (m, k));
+            gemm_prepacked(&mut s, &pa, n, &b, n, &mut c, n);
+            assert_bits_eq(&c, &naive(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    fn strided_submatrices_multiply_correctly() {
+        // Multiply the interior of larger matrices via row strides.
+        let mut rng = SmallRng::seed_from_u64(0x6E_05);
+        let mut s = GemmScratch::default();
+        let (m, k, n) = (5, 9, 7);
+        let (lda, ldb, ldc) = (k + 4, n + 3, n + 6);
+        let abig = rand_vec(&mut rng, m * lda);
+        let bbig = rand_vec(&mut rng, k * ldb);
+        let mut cbig = vec![0.0f32; m * ldc];
+        gemm(&mut s, m, k, n, &abig, lda, &bbig, ldb, &mut cbig, ldc);
+        let a: Vec<f32> = (0..m).flat_map(|i| abig[i * lda..i * lda + k].to_vec()).collect();
+        let b: Vec<f32> = (0..k).flat_map(|p| bbig[p * ldb..p * ldb + n].to_vec()).collect();
+        let want = naive(m, k, n, &a, &b);
+        for i in 0..m {
+            assert_bits_eq(&cbig[i * ldc..i * ldc + n], &want[i * n..(i + 1) * n]);
+        }
+        // Columns beyond n are untouched.
+        for i in 0..m {
+            for j in n..ldc {
+                assert_eq!(cbig[i * ldc + j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let mut s = GemmScratch::default();
+        let a = vec![1.0f32, 2.0];
+        let b = vec![10.0f32, 100.0];
+        let mut c = vec![5.0f32];
+        // 1×2 · 2×1: 1*10 + 2*100 = 210, plus the existing 5.
+        gemm(&mut s, 1, 2, 1, &a, 2, &b, 1, &mut c, 1);
+        assert_eq!(c[0], 215.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "C exceeds slice")]
+    fn short_c_rejected() {
+        let mut s = GemmScratch::default();
+        let a = vec![0.0f32; 4];
+        let b = vec![0.0f32; 4];
+        let mut c = vec![0.0f32; 3];
+        gemm(&mut s, 2, 2, 2, &a, 2, &b, 2, &mut c, 2);
+    }
+}

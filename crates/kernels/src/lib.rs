@@ -1,0 +1,20 @@
+//! Compute kernels for the PCNN reproduction: a cache-blocked,
+//! register-tiled `f32` GEMM with a bit-exact determinism contract,
+//! `im2col`/`col2im` packing for GEMM-backed convolution, and the
+//! reusable [`Scratch`] buffers the eedn layers thread through their
+//! hot paths.
+//!
+//! See `DESIGN.md` ("Compute kernels") for the blocking scheme and the
+//! determinism argument; `crates/eedn/src/reference.rs` keeps the naive
+//! loops as the golden oracle these kernels are tested against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gemm;
+pub mod pack;
+pub mod scratch;
+
+pub use gemm::{gemm, gemm_abt, gemm_atb, gemm_prepacked, GemmScratch, PackedA, MR, NR};
+pub use pack::{col2im, im2col, ConvGeom};
+pub use scratch::{take_zeroed, Scratch};

@@ -1,0 +1,201 @@
+//! `im2col`/`col2im` packing between NCHW image tensors and the column
+//! matrices consumed by the GEMM-backed convolution path.
+//!
+//! Row layout of the column matrix: one row per kernel slot
+//! `kk = (ic, ky, kx)` with `ic` major (matching the weight layout
+//! `[out][icg][ky][kx]`), one column per output position `(oy, ox)`
+//! row-major. Out-of-bounds taps (padding) pack as `0.0`, which under
+//! round-to-nearest contributes exactly `±0.0` to the running sums and
+//! leaves the GEMM result bit-identical to the bounds-checked naive
+//! loops for finite inputs.
+
+/// Geometry of one convolution, shared by packing and the eedn layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels covered by this packing (channels per group).
+    pub channels: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Square kernel side.
+    pub k: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height for this geometry.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output width for this geometry.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Rows of the column matrix: `channels * k * k`.
+    pub fn col_rows(&self) -> usize {
+        self.channels * self.k * self.k
+    }
+
+    /// Columns of the column matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Packs one image (`channels × h × w`, row-major planes) into the
+/// column matrix `col` (`col_rows() × col_cols()`, row-major).
+///
+/// # Panics
+///
+/// Panics if `img` or `col` do not match the geometry.
+pub fn im2col(g: &ConvGeom, img: &[f32], col: &mut [f32]) {
+    assert_eq!(img.len(), g.channels * g.h * g.w, "image size mismatch");
+    assert_eq!(col.len(), g.col_rows() * g.col_cols(), "col size mismatch");
+    let (ho, wo) = (g.out_h(), g.out_w());
+    let mut row = col.chunks_exact_mut(ho * wo);
+    for ic in 0..g.channels {
+        let plane = &img[ic * g.h * g.w..][..g.h * g.w];
+        for ky in 0..g.k {
+            for kx in 0..g.k {
+                let dst = row.next().expect("row count");
+                let mut idx = 0;
+                for oy in 0..ho {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.h as isize {
+                        dst[idx..idx + wo].fill(0.0);
+                        idx += wo;
+                        continue;
+                    }
+                    let src = &plane[iy as usize * g.w..][..g.w];
+                    for ox in 0..wo {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        dst[idx] =
+                            if ix < 0 || ix >= g.w as isize { 0.0 } else { src[ix as usize] };
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds a column matrix back into an image: the adjoint of
+/// [`im2col`]. `img` is accumulated into, not overwritten; callers
+/// zero it first when computing a fresh gradient.
+///
+/// # Panics
+///
+/// Panics if `img` or `col` do not match the geometry.
+pub fn col2im(g: &ConvGeom, col: &[f32], img: &mut [f32]) {
+    assert_eq!(img.len(), g.channels * g.h * g.w, "image size mismatch");
+    assert_eq!(col.len(), g.col_rows() * g.col_cols(), "col size mismatch");
+    let (ho, wo) = (g.out_h(), g.out_w());
+    let mut row = col.chunks_exact(ho * wo);
+    for ic in 0..g.channels {
+        let plane = &mut img[ic * g.h * g.w..][..g.h * g.w];
+        for ky in 0..g.k {
+            for kx in 0..g.k {
+                let src = row.next().expect("row count");
+                let mut idx = 0;
+                for oy in 0..ho {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.h as isize {
+                        idx += wo;
+                        continue;
+                    }
+                    let drow = &mut plane[iy as usize * g.w..][..g.w];
+                    for ox in 0..wo {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix >= 0 && ix < g.w as isize {
+                            drow[ix as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn geoms() -> Vec<ConvGeom> {
+        let mut gs = Vec::new();
+        for &(h, w) in &[(5usize, 5usize), (6, 4), (3, 7)] {
+            for &k in &[1usize, 3] {
+                for &stride in &[1usize, 2] {
+                    for &pad in &[0usize, 1] {
+                        if h + 2 * pad < k || w + 2 * pad < k {
+                            continue;
+                        }
+                        gs.push(ConvGeom { channels: 2, h, w, k, stride, pad });
+                    }
+                }
+            }
+        }
+        gs
+    }
+
+    #[test]
+    fn im2col_matches_direct_gather() {
+        let mut rng = SmallRng::seed_from_u64(0xC0_11);
+        for g in geoms() {
+            let img: Vec<f32> =
+                (0..g.channels * g.h * g.w).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+            let mut col = vec![f32::NAN; g.col_rows() * g.col_cols()];
+            im2col(&g, &img, &mut col);
+            let (ho, wo) = (g.out_h(), g.out_w());
+            for ic in 0..g.channels {
+                for ky in 0..g.k {
+                    for kx in 0..g.k {
+                        let kk = (ic * g.k + ky) * g.k + kx;
+                        for oy in 0..ho {
+                            for ox in 0..wo {
+                                let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                let want =
+                                    if iy < 0 || ix < 0 || iy >= g.h as isize || ix >= g.w as isize
+                                    {
+                                        0.0
+                                    } else {
+                                        img[(ic * g.h + iy as usize) * g.w + ix as usize]
+                                    };
+                                let got = col[kk * ho * wo + oy * wo + ox];
+                                assert_eq!(got.to_bits(), want.to_bits(), "{g:?} kk={kk}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> characterises the adjoint.
+        let mut rng = SmallRng::seed_from_u64(0xC0_12);
+        for g in geoms() {
+            let x: Vec<f32> =
+                (0..g.channels * g.h * g.w).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+            let y: Vec<f32> =
+                (0..g.col_rows() * g.col_cols()).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+            let mut cx = vec![0.0f32; y.len()];
+            im2col(&g, &x, &mut cx);
+            let mut ay = vec![0.0f32; x.len()];
+            col2im(&g, &y, &mut ay);
+            let lhs: f64 = cx.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+            let rhs: f64 = x.iter().zip(&ay).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+            assert!((lhs - rhs).abs() <= 1e-6 * lhs.abs().max(1.0), "{g:?}: {lhs} vs {rhs}");
+        }
+    }
+}

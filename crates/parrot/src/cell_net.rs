@@ -28,6 +28,7 @@ use pcnn_eedn::mapping::{linear_to_spec, DenseSpec};
 use pcnn_eedn::permute::Permute;
 use pcnn_eedn::replicate::Replicate;
 use pcnn_eedn::tensor::Tensor;
+use pcnn_eedn::Scratch;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -116,6 +117,10 @@ pub struct ParrotNet {
     perm: Permute,
     l2: GroupedLinear,
     act2: HardSigmoid,
+    /// GEMM scratch reused across training steps (not persisted; shared
+    /// inference via [`infer`](ParrotNet::infer) uses its own).
+    #[serde(skip)]
+    scratch: Scratch,
 }
 
 impl std::fmt::Debug for ParrotNet {
@@ -162,37 +167,41 @@ impl ParrotNet {
             )
             .with_bias_init(0.25),
             act2: HardSigmoid::new(),
+            scratch: Scratch::default(),
         }
     }
 
     /// Forward pass; output rates in `[0, 1]` per bin.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let h = self.replicate.forward(x, train);
-        let h = self.l1.forward(&h, train);
-        let h = self.act1.forward(&h, train);
-        let h = self.perm.forward(&h, train);
-        let y = self.l2.forward(&h, train);
-        self.act2.forward(&y, train)
+        let s = &mut self.scratch;
+        let h = self.replicate.forward_with(x, train, s);
+        let h = self.l1.forward_with(&h, train, s);
+        let h = self.act1.forward_with(&h, train, s);
+        let h = self.perm.forward_with(&h, train, s);
+        let y = self.l2.forward_with(&h, train, s);
+        self.act2.forward_with(&y, train, s)
     }
 
     /// Inference through shared references only — bit-identical to
     /// `forward(x, false)`, usable from many threads at once.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        let h = self.replicate.infer(x);
-        let h = self.l1.infer(&h);
-        let h = self.act1.infer(&h);
-        let h = self.perm.infer(&h);
-        let y = self.l2.infer(&h);
-        self.act2.infer(&y)
+        let mut s = Scratch::default();
+        let h = self.replicate.infer_with(x, &mut s);
+        let h = self.l1.infer_with(&h, &mut s);
+        let h = self.act1.infer_with(&h, &mut s);
+        let h = self.perm.infer_with(&h, &mut s);
+        let y = self.l2.infer_with(&h, &mut s);
+        self.act2.infer_with(&y, &mut s)
     }
 
     fn backward_and_step(&mut self, grad: &Tensor, lr: f32, momentum: f32) {
-        let g = self.act2.backward(grad);
-        let g = self.l2.backward(&g);
-        let g = self.perm.backward(&g);
-        let g = self.act1.backward(&g);
-        let g = self.l1.backward(&g);
-        self.replicate.backward(&g);
+        let s = &mut self.scratch;
+        let g = self.act2.backward_with(grad, s);
+        let g = self.l2.backward_with(&g, s);
+        let g = self.perm.backward_with(&g, s);
+        let g = self.act1.backward_with(&g, s);
+        let g = self.l1.backward_with(&g, s);
+        self.replicate.backward_with(&g, s);
         self.l1.step(lr, momentum);
         self.l2.step(lr, momentum);
     }

@@ -1,0 +1,49 @@
+//! Serving threads each carry their own reusable [`Scratch`]; inference
+//! through the scratch-buffer path must stay bit-identical to the plain
+//! path no matter which thread runs it or how often the buffers are
+//! reused. This is the eedn-side contract the parallel detection server
+//! relies on (see `serving.rs` for the end-to-end detector check).
+
+use pcnn_eedn::{AvgPool2, Conv2d, HardSigmoid, Scratch, Sequential, Tensor};
+use std::thread;
+
+fn fixture() -> (Sequential, Tensor) {
+    let net = Sequential::new()
+        .push(Conv2d::new(4, 8, 3, 1, 1, 2, true, 5))
+        .push(HardSigmoid::new())
+        .push(AvgPool2::new())
+        .push(Conv2d::new(8, 8, 3, 1, 0, 4, true, 6))
+        .push(HardSigmoid::new());
+    let n = 2 * 4 * 12 * 12;
+    let data: Vec<f32> =
+        (0..n).map(|i: u64| ((i * 2_654_435_761) % 1000) as f32 / 500.0 - 1.0).collect();
+    (net, Tensor::from_vec(&[2, 4, 12, 12], data))
+}
+
+#[test]
+fn per_thread_scratch_inference_is_bit_identical() {
+    let (net, input) = fixture();
+    let serial = net.infer(&input);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (net, input, serial) = (&net, &input, &serial);
+                scope.spawn(move || {
+                    let mut scratch = Scratch::default();
+                    // Repeated reuse: stale buffer contents must not leak
+                    // into later runs.
+                    for run in 0..3 {
+                        let out = net.infer_with(input, &mut scratch);
+                        assert_eq!(out.shape(), serial.shape());
+                        for (i, (a, b)) in out.data().iter().zip(serial.data()).enumerate() {
+                            assert!(a.to_bits() == b.to_bits(), "run {run} elem {i}: {a} != {b}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+}

@@ -213,26 +213,40 @@ impl NeuroCore {
         self.pending_axons.push(axon);
     }
 
-    /// Whether the core has any queued input for the current tick.
+    /// Whether the core has any queued input for the current tick. The
+    /// system tracks delivery via its worklist, so this is test-only.
+    #[cfg(test)]
     pub(crate) fn has_pending(&self) -> bool {
         !self.pending_axons.is_empty()
     }
 
     /// Runs one tick: integrate pending axon events, leak, threshold, fire.
     ///
-    /// Fired neuron indices are appended to `fired`. Returns the number of
-    /// synaptic events processed (for activity-based power accounting).
-    pub(crate) fn tick(&mut self, rng: &mut SmallRng, fired: &mut Vec<u16>) -> u64 {
+    /// Fired neuron indices are appended to `fired`. Returns `(events,
+    /// live)`: the number of synaptic events processed (for activity-based
+    /// power accounting) and whether the core still holds live state — some
+    /// neuron with non-zero potential, leak or stochastic behaviour — and
+    /// therefore must be stepped again next tick even without new input.
+    pub(crate) fn tick(&mut self, rng: &mut SmallRng, fired: &mut Vec<u16>) -> (u64, bool) {
         let mut synaptic_events = 0u64;
         for &axon in &self.pending_axons {
             let ty = self.axon_types[axon as usize] as usize;
-            for neuron in self.crossbar.connected_neurons(axon as usize) {
-                self.accum[neuron] += i64::from(self.configs[neuron].weights[ty]);
-                synaptic_events += 1;
+            // Walk the raw crossbar row words; the bit loop visits neurons
+            // in ascending index order, exactly like `connected_neurons`.
+            for (word, &row) in self.crossbar.row_words(axon as usize).iter().enumerate() {
+                let base = word * 64;
+                let mut bits = row;
+                while bits != 0 {
+                    let neuron = base + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.accum[neuron] += i64::from(self.configs[neuron].weights[ty]);
+                    synaptic_events += 1;
+                }
             }
         }
         self.pending_axons.clear();
 
+        let mut live = false;
         for (j, state) in self.states.iter_mut().enumerate() {
             state.potential += self.accum[j];
             self.accum[j] = 0;
@@ -246,8 +260,17 @@ impl NeuroCore {
             if state.leak_and_fire(cfg, rng) {
                 fired.push(j as u16);
             }
+            live = live || cfg.leak != 0 || cfg.stochastic_mask != 0 || state.potential != 0;
         }
-        synaptic_events
+        (synaptic_events, live)
+    }
+
+    /// Whether the core evolves without input: any neuron configured with a
+    /// leak or a stochastic threshold must be stepped every tick. Used by
+    /// [`System`](crate::System) to reseed its active-core worklist after a
+    /// state reset.
+    pub(crate) fn autonomously_active(&self) -> bool {
+        self.configs.iter().any(|c| c.leak != 0 || c.stochastic_mask != 0)
     }
 }
 
@@ -282,8 +305,9 @@ mod tests {
         core.deliver(0);
         core.deliver(1);
         let mut fired = Vec::new();
-        let events = core.tick(&mut SmallRng::seed_from_u64(0), &mut fired);
+        let (events, live) = core.tick(&mut SmallRng::seed_from_u64(0), &mut fired);
         assert_eq!(events, 2);
+        assert!(live, "non-zero potential keeps the core live");
         assert!(fired.is_empty());
         assert_eq!(core.potential(5), 7, "10 (type0) + -3 (type2)");
     }

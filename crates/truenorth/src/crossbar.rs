@@ -66,6 +66,15 @@ impl Crossbar {
         self.rows[axon].iter().enumerate().flat_map(|(w, &bits)| BitIter { bits, base: w * 64 })
     }
 
+    /// The raw bitmask words of one axon row — bit `j % 64` of word
+    /// `j / 64` is the synapse to neuron `j`. The integration hot loop
+    /// scans these directly instead of going through an iterator.
+    #[inline]
+    pub fn row_words(&self, axon: usize) -> &[u64; WORDS_PER_ROW] {
+        assert!(axon < AXONS_PER_CORE);
+        &self.rows[axon]
+    }
+
     /// Number of synapses present on the whole crossbar.
     pub fn synapse_count(&self) -> usize {
         self.rows.iter().map(|row| row.iter().map(|w| w.count_ones() as usize).sum::<usize>()).sum()

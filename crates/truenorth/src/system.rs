@@ -94,6 +94,21 @@ pub struct System {
     rng: SmallRng,
     stats: SystemStats,
     fired_scratch: Vec<u16>,
+    /// Worklist of cores that must be stepped on the next tick, deduplicated
+    /// by `in_ready`. A core is on the list iff a spike was delivered to it
+    /// or its last step reported live state; idle cores cost nothing.
+    ready: Vec<u32>,
+    in_ready: Vec<bool>,
+    /// Worklist being built for the tick after next (cores whose step
+    /// reported live state). Swapped with `ready` at the end of each tick.
+    ready_next: Vec<u32>,
+    in_ready_next: Vec<bool>,
+    /// Per-core flag: configured with leak or stochastic neurons, so it must
+    /// be rescheduled after [`reset_state`](System::reset_state) even though
+    /// its potentials were cleared.
+    auto_active: Vec<bool>,
+    /// Reusable buffer for spikes routed during a tick.
+    route_scratch: Vec<SpikeTarget>,
 }
 
 impl Default for System {
@@ -119,13 +134,25 @@ impl System {
             rng: SmallRng::seed_from_u64(seed),
             stats: SystemStats::default(),
             fired_scratch: Vec::new(),
+            ready: Vec::new(),
+            in_ready: Vec::new(),
+            ready_next: Vec::new(),
+            in_ready_next: Vec::new(),
+            auto_active: Vec::new(),
+            route_scratch: Vec::new(),
         }
     }
 
     /// Registers a core and returns its handle.
     pub fn add_core(&mut self, core: NeuroCore) -> CoreHandle {
         let h = CoreHandle(self.cores.len() as u32);
+        self.auto_active.push(core.autonomously_active());
         self.cores.push(core);
+        // Schedule the new core once so its initial state is observed; a
+        // quiescent step is free and drops it from the worklist again.
+        self.in_ready.push(true);
+        self.ready.push(h.0);
+        self.in_ready_next.push(false);
         h
     }
 
@@ -188,32 +215,54 @@ impl System {
 
     /// Advances the system by one tick: deliver due spikes, step every
     /// active core, route resulting spikes.
+    ///
+    /// Only cores on the active worklist are touched: a core is stepped iff
+    /// a spike was delivered to it this tick or its previous step left live
+    /// state (non-zero potential, leak, or stochastic neurons). Large idle
+    /// regions of the fabric therefore cost nothing per tick.
     pub fn tick(&mut self) {
         self.now += 1;
         self.stats.ticks += 1;
         let slot = (self.now % self.wheel.len() as u64) as usize;
-        let due = std::mem::take(&mut self.wheel[slot]);
-        for (core, axon) in due {
+        let mut due = std::mem::take(&mut self.wheel[slot]);
+        for &(core, axon) in &due {
             self.cores[core as usize].deliver(axon);
-        }
-
-        // Step cores; collect routed spikes then enqueue them, so that all
-        // cores observe a consistent tick boundary.
-        let mut to_route: Vec<(SpikeTarget, ())> = Vec::new();
-        for core in &mut self.cores {
-            // Skip fully quiescent cores quickly.
-            if !core.has_pending() && !core_has_live_state(core) {
-                continue;
+            if !self.in_ready[core as usize] {
+                self.in_ready[core as usize] = true;
+                self.ready.push(core);
             }
+        }
+        due.clear();
+        self.wheel[slot] = due; // keep the slot's capacity
+
+        // Step scheduled cores in core-index order — matching the full scan
+        // this worklist replaced, so the shared RNG stream and the output
+        // ordering are identical. Routed spikes are collected and enqueued
+        // after the loop so all cores observe a consistent tick boundary.
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.sort_unstable();
+        for &ci in &ready {
+            self.in_ready[ci as usize] = false;
+            let core = &mut self.cores[ci as usize];
             self.fired_scratch.clear();
-            self.stats.synaptic_events += core.tick(&mut self.rng, &mut self.fired_scratch);
+            let (events, live) = core.tick(&mut self.rng, &mut self.fired_scratch);
+            self.stats.synaptic_events += events;
             for &n in &self.fired_scratch {
                 if let Some(target) = core.route(n as usize) {
-                    to_route.push((target, ()));
+                    self.route_scratch.push(target);
                 }
             }
+            if live && !self.in_ready_next[ci as usize] {
+                self.in_ready_next[ci as usize] = true;
+                self.ready_next.push(ci);
+            }
         }
-        for (target, ()) in to_route {
+        ready.clear();
+        self.ready = std::mem::replace(&mut self.ready_next, ready);
+        std::mem::swap(&mut self.in_ready, &mut self.in_ready_next);
+
+        let mut to_route = std::mem::take(&mut self.route_scratch);
+        for &target in &to_route {
             match target {
                 SpikeTarget::Axon { core, axon, delay } => {
                     let slot = ((self.now + u64::from(delay)) % self.wheel.len() as u64) as usize;
@@ -226,6 +275,8 @@ impl System {
                 }
             }
         }
+        to_route.clear();
+        self.route_scratch = to_route;
     }
 
     /// Runs `n` ticks.
@@ -266,20 +317,23 @@ impl System {
             slot.clear();
         }
         self.outputs.clear();
+        self.ready.clear();
+        self.ready_next.clear();
+        for f in &mut self.in_ready {
+            *f = false;
+        }
+        for f in &mut self.in_ready_next {
+            *f = false;
+        }
+        // Leak/stochastic cores evolve without input, so they go straight
+        // back on the worklist; everything else re-activates on delivery.
+        for (i, &auto) in self.auto_active.iter().enumerate() {
+            if auto {
+                self.in_ready[i] = true;
+                self.ready.push(i as u32);
+            }
+        }
     }
-}
-
-/// Whether any neuron on the core holds non-zero potential (so leak or
-/// stochastic neurons must still be stepped).
-fn core_has_live_state(core: &NeuroCore) -> bool {
-    // Conservative: cores with any configured leak/stochastic neuron are
-    // always live; otherwise live iff some potential is non-zero. The
-    // common case for our feature-extraction corelets is bursty input, so
-    // this scan pays for itself by letting idle cores skip whole ticks.
-    (0..crate::crossbar::NEURONS_PER_CORE).any(|j| {
-        let cfg = core.neuron_config(j);
-        cfg.leak != 0 || cfg.stochastic_mask != 0 || core.potential(j) != 0
-    })
 }
 
 #[cfg(test)]
@@ -376,6 +430,56 @@ mod tests {
         sys.reset_state();
         sys.run(4);
         assert!(sys.drain_output_spikes().is_empty());
+    }
+
+    #[test]
+    fn leak_core_fires_autonomously_and_survives_reset() {
+        // Positive leak charges the neuron by 1/tick; threshold 3 ->
+        // a spike every 3rd tick with no input at all. The worklist must
+        // keep such cores scheduled, including after reset_state.
+        let mut sys = System::new();
+        let mut b = NeuroCoreBuilder::new();
+        b.set_neuron(0, NeuronConfig::excitatory(&[0, 0, 0, 0], 3).with_leak(1));
+        b.route_neuron(0, SpikeTarget::output(0));
+        sys.add_core(b.build());
+        sys.run(9);
+        assert_eq!(sys.drain_output_spikes(), vec![(3, 0), (6, 0), (9, 0)]);
+        sys.reset_state();
+        sys.run(3);
+        assert_eq!(sys.drain_output_spikes(), vec![(12, 0)]);
+    }
+
+    #[test]
+    fn idle_system_reactivates_on_injection() {
+        // After the worklist drains, a long-idle system must still wake up
+        // when the host injects again.
+        let mut sys = System::new();
+        let c = sys.add_core(relay_core(SpikeTarget::output(2)));
+        sys.inject(c, 0);
+        sys.run(100);
+        assert_eq!(sys.drain_output_spikes(), vec![(1, 2)]);
+        sys.inject(c, 0);
+        sys.run(2);
+        assert_eq!(sys.drain_output_spikes(), vec![(101, 2)]);
+    }
+
+    #[test]
+    fn residual_potential_keeps_core_scheduled() {
+        // Threshold 2, single +1 synaptic event: the neuron holds potential
+        // 1 with no leak, so the core stays live; a second injection many
+        // ticks later must still push it over threshold.
+        let mut sys = System::new();
+        let mut b = NeuroCoreBuilder::new();
+        b.connect(0, 0);
+        b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 2));
+        b.route_neuron(0, SpikeTarget::output(5));
+        let c = sys.add_core(b.build());
+        sys.inject(c, 0);
+        sys.run(10);
+        assert!(sys.drain_output_spikes().is_empty());
+        sys.inject(c, 0);
+        sys.run(2);
+        assert_eq!(sys.drain_output_spikes(), vec![(11, 5)]);
     }
 
     #[test]
