@@ -37,8 +37,9 @@ fn bench_runtime_scaling(c: &mut Criterion) {
         });
     });
     for workers in [1usize, 2, 4, 8] {
+        let config = RuntimeConfig::builder().workers(workers).build().expect("valid config");
         let server =
-            DetectionServer::new(Detector::default(), &det, RuntimeConfig::with_workers(workers));
+            DetectionServer::new(Detector::default(), &det, config).expect("valid server config");
         group.bench_function(BenchmarkId::new("batch_4_frames_workers", workers), |b| {
             b.iter(|| black_box(server.detect_batch(black_box(&refs))));
         });

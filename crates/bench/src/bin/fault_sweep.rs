@@ -1,0 +1,52 @@
+//! Accuracy-under-fault sweep: classification error versus injected
+//! fault rate for the hardware NApprox module, with the software
+//! paradigms as flat reference lines.
+//!
+//! Writes `results/fault_sweep.json` and prints the table. Run with
+//! `cargo run --release -p pcnn-bench --bin fault_sweep` (append
+//! `--smoke` for the CI-sized two-rate configuration).
+
+use pcnn_core::faultsweep::{run_fault_sweep, FaultSweepConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke { FaultSweepConfig::smoke() } else { FaultSweepConfig::default() };
+
+    println!("accuracy under injected hardware faults");
+    println!("=======================================\n");
+    println!(
+        "{} rates, {} train / {} eval crops per class, {}-spike coding{}\n",
+        config.rates.len(),
+        config.train_per_class,
+        config.eval_per_class,
+        config.spikes,
+        if smoke { "  (smoke)" } else { "" }
+    );
+
+    let report = run_fault_sweep(&config);
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>8} {:>12}",
+        "paradigm", "fault rate", "miss rate", "fp rate", "dead", "fault events"
+    );
+    for p in &report.points {
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>8} {:>12}",
+            p.paradigm,
+            p.fault_rate,
+            p.miss_rate,
+            p.false_positive_rate,
+            p.dead_cores,
+            p.fault_events
+        );
+    }
+
+    if smoke {
+        println!("\nsmoke run: skipping the results/ write");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/fault_sweep.json");
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(path, json).expect("write results/fault_sweep.json");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,5 +1,6 @@
 //! Window classifiers: linear SVM and the Eedn-constrained network.
 
+use crate::error::{Error, Result};
 use pcnn_eedn::activation::HardSigmoid;
 use pcnn_eedn::fc::GroupedLinear;
 use pcnn_eedn::mapping::check_crossbar_fit;
@@ -127,14 +128,48 @@ fn pick_groups(in_dim: usize, out_dim: usize) -> usize {
 impl EednClassifier {
     /// Trains the classifier on labelled descriptors.
     ///
+    /// Thin panicking wrapper over
+    /// [`try_train`](EednClassifier::try_train), kept for tests and
+    /// scripts where aborting is acceptable.
+    ///
     /// # Panics
     ///
-    /// Panics if the dataset is empty or single-class.
+    /// Panics if the dataset is empty or single-class, or if a layer
+    /// cannot be mapped onto TrueNorth crossbars.
     pub fn train(descriptors: &[Vec<f32>], labels: &[bool], config: EednClassifierConfig) -> Self {
-        assert!(!descriptors.is_empty(), "no training descriptors");
-        assert_eq!(descriptors.len(), labels.len(), "descriptor/label mismatch");
+        Self::try_train(descriptors, labels, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Trains the classifier on labelled descriptors, reporting dataset
+    /// and mapping problems as [`Error`] instead of panicking — the entry
+    /// point for servers that must degrade rather than abort.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidTrainingSet`] if the dataset is empty, mismatched
+    /// or single-class; [`Error::TrueNorth`] if any layer exceeds the
+    /// crossbar limits.
+    pub fn try_train(
+        descriptors: &[Vec<f32>],
+        labels: &[bool],
+        config: EednClassifierConfig,
+    ) -> Result<Self> {
+        if descriptors.is_empty() {
+            return Err(Error::InvalidTrainingSet { reason: "no training descriptors".into() });
+        }
+        if descriptors.len() != labels.len() {
+            return Err(Error::InvalidTrainingSet {
+                reason: format!(
+                    "descriptor/label mismatch: {} descriptors, {} labels",
+                    descriptors.len(),
+                    labels.len()
+                ),
+            });
+        }
         let n_pos = labels.iter().filter(|&&l| l).count();
-        assert!(n_pos > 0 && n_pos < labels.len(), "training needs both classes");
+        if n_pos == 0 || n_pos == labels.len() {
+            return Err(Error::InvalidTrainingSet { reason: "training needs both classes".into() });
+        }
         let in_dim = descriptors[0].len();
 
         let scaler = FeatureScaler::fit(descriptors);
@@ -144,9 +179,12 @@ impl EednClassifier {
         let g2 = pick_groups(config.hidden1, config.hidden2);
         let g3 = pick_groups(config.hidden2, 2).min(2);
         let core_count = g1 + g2 + g3;
-        // Every layer must really fit (an unsatisfiable shape panics in
-        // GroupedLinear::new; the explicit check gives a better message).
-        check_crossbar_fit(in_dim, config.hidden1, g1).expect("layer 1 exceeds crossbar");
+        // The first layer must really fit (an unsatisfiable shape panics
+        // in GroupedLinear::new; checking here turns it into a
+        // recoverable error before any training time is spent). Later
+        // layers keep the historical software-side leniency: their
+        // mapping is only enforced when the net is placed on hardware.
+        check_crossbar_fit(in_dim, config.hidden1, g1)?;
 
         let mut net = Sequential::new()
             .push(
@@ -170,7 +208,7 @@ impl EednClassifier {
             }
         }
 
-        EednClassifier { net, scaler, in_dim, core_count }
+        Ok(EednClassifier { net, scaler, in_dim, core_count })
     }
 
     /// Input dimensionality.
@@ -282,5 +320,32 @@ mod tests {
     #[should_panic(expected = "both classes")]
     fn single_class_rejected() {
         EednClassifier::train(&[vec![0.0; 4]], &[true], Default::default());
+    }
+
+    #[test]
+    fn try_train_reports_errors_instead_of_panicking() {
+        let err = EednClassifier::try_train(&[], &[], Default::default()).unwrap_err();
+        assert!(matches!(err, Error::InvalidTrainingSet { .. }), "{err}");
+        let err =
+            EednClassifier::try_train(&[vec![0.0; 4]], &[true], Default::default()).unwrap_err();
+        assert!(err.to_string().contains("both classes"));
+        let two = vec![vec![0.0; 4], vec![1.0; 4]];
+        let err = EednClassifier::try_train(&two, &[true], Default::default()).unwrap_err();
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn try_train_rejects_unmappable_layers() {
+        // A tiny input with a huge hidden layer maps to a single group
+        // whose fan-out exceeds the 256 neurons of one crossbar.
+        let (xs, ys) = blobs(40, 4, 6);
+        let err = EednClassifier::try_train(
+            &xs,
+            &ys,
+            EednClassifierConfig { hidden1: 2048, hidden2: 2, epochs: 1, ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::TrueNorth(_)), "{err}");
+        assert!(err.to_string().contains("crossbar"), "{err}");
     }
 }

@@ -1,0 +1,108 @@
+//! The workspace-level error type for detector construction and serving.
+//!
+//! Historically the construction paths panicked (`expect` on crossbar
+//! fits, asserts on dataset shape), which meant an unsatisfiable
+//! configuration aborted a whole serving process. Fallible `try_*`
+//! variants return this [`Error`] instead so callers — notably the
+//! `pcnn-runtime` fallback chain — can degrade gracefully; the original
+//! panicking entry points remain as thin wrappers for tests and quick
+//! scripts.
+
+use pcnn_truenorth::TrueNorthError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenient result alias for fallible pipeline construction.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building or operating the detection pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A failure in the TrueNorth substrate (crossbar overflow, invalid
+    /// fault plan, bad routing…).
+    TrueNorth(TrueNorthError),
+    /// A training set violated the classifier's preconditions.
+    InvalidTrainingSet {
+        /// What the dataset lacked.
+        reason: String,
+    },
+    /// A table or report lookup referenced an entry that does not exist.
+    MissingEntry {
+        /// What was looked up, human-readable.
+        what: String,
+    },
+    /// A configuration value failed validation.
+    InvalidConfig {
+        /// The offending field or object.
+        what: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An extractor-paradigm name did not parse.
+    UnknownExtractor {
+        /// The unrecognised name.
+        name: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TrueNorth(e) => write!(f, "truenorth: {e}"),
+            Error::InvalidTrainingSet { reason } => {
+                write!(f, "invalid training set: {reason}")
+            }
+            Error::MissingEntry { what } => write!(f, "missing entry: {what}"),
+            Error::InvalidConfig { what, reason } => {
+                write!(f, "invalid configuration: {what}: {reason}")
+            }
+            Error::UnknownExtractor { name } => {
+                write!(
+                    f,
+                    "unknown extractor `{name}` (expected one of: \
+                     fpga, traditional, napprox-fp, napprox, napprox-hw, parrot, raw)"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::TrueNorth(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrueNorthError> for Error {
+    fn from(e: TrueNorthError) -> Self {
+        Error::TrueNorth(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_truenorth_errors_with_source() {
+        let e: Error = TrueNorthError::AxonOutOfRange { index: 300 }.into();
+        assert!(e.to_string().starts_with("truenorth:"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn unknown_extractor_lists_alternatives() {
+        let e = Error::UnknownExtractor { name: "hogg".into() };
+        assert!(e.to_string().contains("napprox-hw"));
+    }
+}

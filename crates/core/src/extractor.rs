@@ -1,9 +1,14 @@
 //! The feature-extraction paradigms behind one type.
 
+use crate::error::Error;
+use pcnn_corelets::NApproxHogCorelet;
 use pcnn_hog::cell::CellExtractor;
 use pcnn_hog::{BlockNorm, FpgaHog, HogDescriptor, NApproxHog, RawCells, TraditionalHog};
 use pcnn_parrot::ParrotExtractor;
+use pcnn_truenorth::{FaultPlan, FaultStats, SystemStats};
 use pcnn_vision::GrayImage;
+use std::str::FromStr;
+use std::sync::Mutex;
 
 /// Which extraction paradigm an [`Extractor`] embodies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,6 +21,8 @@ pub enum ExtractorKind {
     NApproxFp,
     /// NApprox quantized to the TrueNorth spike width.
     NApproxQuantized,
+    /// NApprox running on simulated TrueNorth cores (fault-injectable).
+    NApproxHardware,
     /// The trained Parrot network.
     Parrot,
     /// Raw window pixels — the identity features of the Absorbed
@@ -24,6 +31,17 @@ pub enum ExtractorKind {
 }
 
 impl ExtractorKind {
+    /// Every paradigm, in report order — for CLI help and sweeps.
+    pub const ALL: [ExtractorKind; 7] = [
+        ExtractorKind::Fpga,
+        ExtractorKind::Traditional,
+        ExtractorKind::NApproxFp,
+        ExtractorKind::NApproxQuantized,
+        ExtractorKind::NApproxHardware,
+        ExtractorKind::Parrot,
+        ExtractorKind::Raw,
+    ];
+
     /// A short label for reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -31,9 +49,61 @@ impl ExtractorKind {
             ExtractorKind::Traditional => "Traditional-HoG",
             ExtractorKind::NApproxFp => "NApprox(fp)",
             ExtractorKind::NApproxQuantized => "NApprox",
+            ExtractorKind::NApproxHardware => "NApprox-HW",
             ExtractorKind::Parrot => "Parrot",
             ExtractorKind::Raw => "Raw-pixels",
         }
+    }
+}
+
+impl std::fmt::Display for ExtractorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ExtractorKind {
+    type Err = Error;
+
+    /// Parses a paradigm name, case-insensitively. Accepts every
+    /// [`label`](ExtractorKind::label) (so `Display` round-trips) plus
+    /// the short CLI aliases `fpga`, `traditional`, `napprox-fp`,
+    /// `napprox`, `napprox-hw`, `parrot` and `raw`.
+    fn from_str(s: &str) -> Result<Self, Error> {
+        match s.to_ascii_lowercase().as_str() {
+            "fpga" | "fpga-hog" => Ok(ExtractorKind::Fpga),
+            "traditional" | "trad" | "traditional-hog" => Ok(ExtractorKind::Traditional),
+            "napprox-fp" | "napprox_fp" | "napprox(fp)" => Ok(ExtractorKind::NApproxFp),
+            "napprox" | "napprox-quantized" => Ok(ExtractorKind::NApproxQuantized),
+            "napprox-hw" | "napprox_hw" | "hw" | "hardware" => Ok(ExtractorKind::NApproxHardware),
+            "parrot" => Ok(ExtractorKind::Parrot),
+            "raw" | "raw-pixels" => Ok(ExtractorKind::Raw),
+            _ => Err(Error::UnknownExtractor { name: s.to_owned() }),
+        }
+    }
+}
+
+/// The NApprox cell module running on actual simulated TrueNorth cores,
+/// behind the [`CellExtractor`] interface — the extractor to use when
+/// hardware effects (activity-based power, injected faults) must show up
+/// in detection results. A `Mutex` keeps it `Sync` for the parallel
+/// serving runtime; extractions serialize on the one simulated module,
+/// exactly like a single physical chip would.
+struct HardwareNApprox {
+    module: Mutex<NApproxHogCorelet>,
+}
+
+impl CellExtractor for HardwareNApprox {
+    fn bins(&self) -> usize {
+        18
+    }
+
+    fn cell_histogram(&self, patch: &GrayImage) -> Vec<f32> {
+        self.module.lock().expect("hardware module lock poisoned").extract(patch)
+    }
+
+    fn name(&self) -> &str {
+        "napprox-hw"
     }
 }
 
@@ -45,6 +115,7 @@ enum Inner {
     Fpga(HogDescriptor<FpgaHog>),
     Traditional(HogDescriptor<TraditionalHog>),
     NApprox(HogDescriptor<NApproxHog>),
+    Hardware(HogDescriptor<HardwareNApprox>),
     Parrot(HogDescriptor<ParrotExtractor>),
     Raw(HogDescriptor<RawCells>),
 }
@@ -123,6 +194,22 @@ impl Extractor {
         }
     }
 
+    /// NApprox running on the simulated TrueNorth substrate: every cell
+    /// histogram is rate-coded, spiked through the 30-core module, and
+    /// counted back out. Far slower than [`napprox_quantized`]
+    /// (which computes the same arithmetic directly) but the only
+    /// paradigm whose results respond to an attached
+    /// [`FaultPlan`] — use it for yield-loss and degradation studies.
+    ///
+    /// [`napprox_quantized`]: Extractor::napprox_quantized
+    pub fn napprox_hardware(spikes: u32, norm: BlockNorm) -> Self {
+        let hw = HardwareNApprox { module: Mutex::new(NApproxHogCorelet::new(spikes)) };
+        Extractor {
+            kind: ExtractorKind::NApproxHardware,
+            inner: Inner::Hardware(HogDescriptor::new(hw, norm)),
+        }
+    }
+
     /// A trained Parrot extractor (Fig. 5 configuration: no block
     /// normalization, matching the TrueNorth classifier path).
     pub fn parrot(parrot: ParrotExtractor, norm: BlockNorm) -> Self {
@@ -152,6 +239,7 @@ impl Extractor {
             Inner::Fpga(d) => d.len(),
             Inner::Traditional(d) => d.len(),
             Inner::NApprox(d) => d.len(),
+            Inner::Hardware(d) => d.len(),
             Inner::Parrot(d) => d.len(),
             Inner::Raw(d) => d.len(),
         }
@@ -168,6 +256,7 @@ impl Extractor {
             Inner::Fpga(d) => d.extractor().bins(),
             Inner::Traditional(d) => d.extractor().bins(),
             Inner::NApprox(d) => d.extractor().bins(),
+            Inner::Hardware(d) => d.extractor().bins(),
             Inner::Parrot(d) => d.extractor().bins(),
             Inner::Raw(d) => d.extractor().bins(),
         }
@@ -179,6 +268,7 @@ impl Extractor {
             Inner::Fpga(d) => d.norm(),
             Inner::Traditional(d) => d.norm(),
             Inner::NApprox(d) => d.norm(),
+            Inner::Hardware(d) => d.norm(),
             Inner::Parrot(d) => d.norm(),
             Inner::Raw(d) => d.norm(),
         }
@@ -190,6 +280,7 @@ impl Extractor {
             Inner::Fpga(d) => d.window_descriptor(img, x0, y0),
             Inner::Traditional(d) => d.window_descriptor(img, x0, y0),
             Inner::NApprox(d) => d.window_descriptor(img, x0, y0),
+            Inner::Hardware(d) => d.window_descriptor(img, x0, y0),
             Inner::Parrot(d) => d.window_descriptor(img, x0, y0),
             Inner::Raw(d) => d.window_descriptor(img, x0, y0),
         }
@@ -211,8 +302,68 @@ impl Extractor {
             Inner::Fpga(d) => d.extractor().cell_histogram(patch),
             Inner::Traditional(d) => d.extractor().cell_histogram(patch),
             Inner::NApprox(d) => d.extractor().cell_histogram(patch),
+            Inner::Hardware(d) => d.extractor().cell_histogram(patch),
             Inner::Parrot(d) => d.extractor().cell_histogram(patch),
             Inner::Raw(d) => d.extractor().cell_histogram(patch),
+        }
+    }
+
+    /// Attaches a fault-injection plan to the simulated hardware behind
+    /// this extractor. Only the [`NApproxHardware`] paradigm carries
+    /// simulated cores; every other kind rejects the plan.
+    ///
+    /// [`NApproxHardware`]: ExtractorKind::NApproxHardware
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if this extractor has no simulated
+    /// hardware; [`Error::TrueNorth`] if the plan does not fit the
+    /// module's fabric.
+    pub fn set_fault_plan(&self, plan: &FaultPlan) -> crate::error::Result<()> {
+        match &self.inner {
+            Inner::Hardware(d) => {
+                let mut module =
+                    d.extractor().module.lock().expect("hardware module lock poisoned");
+                module.set_fault_plan(plan).map_err(Error::from)
+            }
+            _ => Err(Error::InvalidConfig {
+                what: "fault plan".to_owned(),
+                reason: format!(
+                    "the {} paradigm has no simulated hardware to inject into \
+                     (use Extractor::napprox_hardware)",
+                    self.kind.label()
+                ),
+            }),
+        }
+    }
+
+    /// Detaches any fault plan from the simulated hardware. A no-op for
+    /// paradigms without simulated cores.
+    pub fn clear_fault_plan(&self) {
+        if let Inner::Hardware(d) = &self.inner {
+            d.extractor().module.lock().expect("hardware module lock poisoned").clear_fault_plan();
+        }
+    }
+
+    /// Fault-activity counters from the simulated hardware — `None`
+    /// unless this is the hardware paradigm with a plan attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match &self.inner {
+            Inner::Hardware(d) => {
+                d.extractor().module.lock().expect("hardware module lock poisoned").fault_stats()
+            }
+            _ => None,
+        }
+    }
+
+    /// Activity counters from the simulated hardware — `None` for
+    /// paradigms without simulated cores.
+    pub fn hardware_stats(&self) -> Option<SystemStats> {
+        match &self.inner {
+            Inner::Hardware(d) => {
+                Some(d.extractor().module.lock().expect("hardware module lock poisoned").stats())
+            }
+            _ => None,
         }
     }
 }
@@ -245,6 +396,62 @@ mod tests {
     fn kinds_and_labels() {
         assert_eq!(Extractor::fpga().kind().label(), "FPGA-HoG");
         assert_eq!(Extractor::napprox_fp(BlockNorm::L2).kind(), ExtractorKind::NApproxFp);
+    }
+
+    #[test]
+    fn kind_display_round_trips_through_from_str() {
+        for kind in ExtractorKind::ALL {
+            let parsed: ExtractorKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind, "label {:?}", kind.label());
+        }
+    }
+
+    #[test]
+    fn kind_parses_cli_aliases() {
+        assert_eq!("fpga".parse::<ExtractorKind>().unwrap(), ExtractorKind::Fpga);
+        assert_eq!("TRAD".parse::<ExtractorKind>().unwrap(), ExtractorKind::Traditional);
+        assert_eq!("napprox-fp".parse::<ExtractorKind>().unwrap(), ExtractorKind::NApproxFp);
+        assert_eq!("napprox".parse::<ExtractorKind>().unwrap(), ExtractorKind::NApproxQuantized);
+        assert_eq!("napprox-hw".parse::<ExtractorKind>().unwrap(), ExtractorKind::NApproxHardware);
+        assert_eq!("Parrot".parse::<ExtractorKind>().unwrap(), ExtractorKind::Parrot);
+        assert_eq!("raw".parse::<ExtractorKind>().unwrap(), ExtractorKind::Raw);
+        let err = "hogg".parse::<ExtractorKind>().unwrap_err();
+        assert!(matches!(err, Error::UnknownExtractor { .. }), "{err}");
+    }
+
+    #[test]
+    fn hardware_extractor_matches_quantized_arithmetic() {
+        let patch = GrayImage::from_fn(10, 10, |x, y| ((x * 13 + y * 7) % 11) as f32 / 11.0);
+        let hw = Extractor::napprox_hardware(64, BlockNorm::None);
+        assert_eq!(hw.kind(), ExtractorKind::NApproxHardware);
+        assert_eq!(hw.bins(), 18);
+        let sw = Extractor::napprox_quantized(64, BlockNorm::None);
+        // The simulated cores compute the same quantized histogram shape;
+        // both vote the same dominant bins.
+        let h = hw.cell_histogram(&patch);
+        let s = sw.cell_histogram(&patch);
+        assert_eq!(h.len(), s.len());
+        let corr = pcnn_hog::quantize::pearson_correlation(&h, &s).unwrap();
+        assert!(corr > 0.8, "corr {corr}");
+    }
+
+    #[test]
+    fn fault_plan_only_attaches_to_hardware() {
+        let plan = pcnn_truenorth::FaultPlan::seeded(3).with_dead_core(0);
+        let sw = Extractor::napprox_quantized(64, BlockNorm::None);
+        let err = sw.set_fault_plan(&plan).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");
+        assert!(sw.fault_stats().is_none());
+        assert!(sw.hardware_stats().is_none());
+
+        let hw = Extractor::napprox_hardware(64, BlockNorm::None);
+        hw.set_fault_plan(&plan).unwrap();
+        let patch = GrayImage::from_fn(10, 10, |x, y| ((x + y) % 5) as f32 / 5.0);
+        let _ = hw.cell_histogram(&patch);
+        assert!(hw.fault_stats().is_some());
+        assert!(hw.hardware_stats().is_some());
+        hw.clear_fault_plan();
+        assert!(hw.fault_stats().is_none());
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Accuracy under injected hardware faults: miss rate versus fault rate
+//! per extraction paradigm.
+//!
+//! The sweep trains one SVM on software NApprox features, then
+//! classifies held-out synthetic crops through three paradigms at each
+//! fault rate:
+//!
+//! * **NApprox-HW** — the corelet on the simulated TrueNorth fabric
+//!   with a [`FaultPlan`] attached: `rate` of fabric spikes dropped and
+//!   `round(rate × module cores)` cores dead, spread across the module;
+//! * **NApprox** — the same arithmetic in software, immune to fabric
+//!   faults (the fallback chain's first rung);
+//! * **Traditional-HoG** — the float reference, the chain's floor.
+//!
+//! The software rows are flat by construction; the hardware row shows
+//! how much accuracy a faulted module actually loses, which is what the
+//! serving runtime's degradation policy trades against.
+
+use crate::classifier::WindowClassifier;
+use crate::extractor::Extractor;
+use pcnn_hog::BlockNorm;
+use pcnn_svm::{train, FeatureScaler, TrainConfig};
+use pcnn_truenorth::FaultPlan;
+use pcnn_vision::{GrayImage, SynthConfig, SynthDataset};
+use serde::{Deserialize, Serialize};
+
+/// The NApprox module's core count on this workspace's simulator.
+const MODULE_CORES: u32 = 30;
+
+/// Sweep parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepConfig {
+    /// Fault rates to sweep (0 = healthy fabric).
+    pub rates: Vec<f32>,
+    /// Training crops per class for the shared SVM.
+    pub train_per_class: usize,
+    /// Held-out evaluation crops per class, per rate.
+    pub eval_per_class: usize,
+    /// Input coding window for the NApprox paradigms.
+    pub spikes: u32,
+    /// Seed for the fault plans (and the synthetic dataset).
+    pub seed: u64,
+}
+
+impl Default for FaultSweepConfig {
+    fn default() -> Self {
+        FaultSweepConfig {
+            rates: vec![0.0, 0.05, 0.1, 0.2, 0.4],
+            train_per_class: 12,
+            eval_per_class: 12,
+            spikes: 64,
+            seed: 0xFA17,
+        }
+    }
+}
+
+impl FaultSweepConfig {
+    /// A CI-sized configuration: two rates, a handful of crops.
+    pub fn smoke() -> Self {
+        FaultSweepConfig {
+            rates: vec![0.0, 0.3],
+            train_per_class: 6,
+            eval_per_class: 4,
+            ..Default::default()
+        }
+    }
+}
+
+/// One (paradigm, fault rate) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepPoint {
+    /// Paradigm label ([`ExtractorKind::label`](crate::ExtractorKind::label)).
+    pub paradigm: String,
+    /// The swept fault rate.
+    pub fault_rate: f32,
+    /// Cores killed in the hardware module at this rate (0 for software
+    /// paradigms).
+    pub dead_cores: u32,
+    /// Fraction of positive crops misclassified.
+    pub miss_rate: f64,
+    /// Fraction of negative crops misclassified.
+    pub false_positive_rate: f64,
+    /// Fault events the simulator recorded while evaluating (0 for
+    /// software paradigms and the healthy fabric).
+    pub fault_events: u64,
+}
+
+/// The complete sweep, serializable to `results/fault_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepReport {
+    /// The configuration that produced the sweep.
+    pub config: FaultSweepConfig,
+    /// One point per (paradigm, rate).
+    pub points: Vec<FaultSweepPoint>,
+}
+
+impl FaultSweepReport {
+    /// The points of one paradigm, in rate order.
+    pub fn paradigm(&self, label: &str) -> Vec<&FaultSweepPoint> {
+        self.points.iter().filter(|p| p.paradigm == label).collect()
+    }
+}
+
+/// The fault plan the sweep attaches at `rate`: that fraction of fabric
+/// spikes dropped, plus `round(rate × MODULE_CORES)` dead cores spread
+/// evenly across the module.
+pub fn plan_for_rate(rate: f32, seed: u64) -> FaultPlan {
+    let k = (rate * MODULE_CORES as f32).round() as u32;
+    let dead = (0..k).map(|i| i * MODULE_CORES / k.max(1));
+    FaultPlan::seeded(seed).with_drop_rate(rate).with_dead_cores(dead)
+}
+
+/// Classifies `crops` and returns the fraction scored on the wrong side
+/// of zero (`expect_positive` selects which side is wrong).
+fn error_rate(
+    extractor: &Extractor,
+    classifier: &WindowClassifier,
+    crops: &[GrayImage],
+    expect_positive: bool,
+) -> f64 {
+    let wrong = crops
+        .iter()
+        .filter(|crop| {
+            (classifier.score(&extractor.crop_descriptor(crop)) > 0.0) != expect_positive
+        })
+        .count();
+    wrong as f64 / crops.len().max(1) as f64
+}
+
+/// Runs the sweep. Training happens once on software features; each
+/// hardware point gets a fresh module with the rate's plan attached.
+pub fn run_fault_sweep(config: &FaultSweepConfig) -> FaultSweepReport {
+    let ds = SynthDataset::new(SynthConfig { seed: config.seed, ..SynthConfig::default() });
+    let sw = Extractor::napprox_quantized(config.spikes, BlockNorm::None);
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..config.train_per_class as u64 {
+        xs.push(sw.crop_descriptor(&ds.train_positive(i)));
+        ys.push(true);
+        xs.push(sw.crop_descriptor(&ds.train_negative(i)));
+        ys.push(false);
+    }
+    let scaler = FeatureScaler::fit(&xs);
+    let model = train(&scaler.apply_all(&xs), &ys, TrainConfig::default());
+    let classifier = WindowClassifier::Svm { model, scaler };
+
+    // Traditional HoG lives in a different feature space (3780-d versus
+    // NApprox's 2304-d), so its floor gets its own SVM.
+    let traditional = Extractor::traditional();
+    let mut txs = Vec::new();
+    for i in 0..config.train_per_class as u64 {
+        txs.push(traditional.crop_descriptor(&ds.train_positive(i)));
+        txs.push(traditional.crop_descriptor(&ds.train_negative(i)));
+    }
+    let tscaler = FeatureScaler::fit(&txs);
+    let tys: Vec<bool> = (0..config.train_per_class).flat_map(|_| [true, false]).collect();
+    let tmodel = train(&tscaler.apply_all(&txs), &tys, TrainConfig::default());
+    let tclassifier = WindowClassifier::Svm { model: tmodel, scaler: tscaler };
+
+    // Held-out crops, disjoint from the training indices.
+    let offset = config.train_per_class as u64 + 1000;
+    let pos: Vec<GrayImage> =
+        (0..config.eval_per_class as u64).map(|i| ds.train_positive(offset + i)).collect();
+    let neg: Vec<GrayImage> =
+        (0..config.eval_per_class as u64).map(|i| ds.train_negative(offset + i)).collect();
+
+    // Software paradigms are immune to fabric faults: measure once,
+    // replicate across the rate axis so every paradigm plots over the
+    // same grid.
+    let flat = [
+        (&sw, error_rate(&sw, &classifier, &pos, true), error_rate(&sw, &classifier, &neg, false)),
+        (
+            &traditional,
+            error_rate(&traditional, &tclassifier, &pos, true),
+            error_rate(&traditional, &tclassifier, &neg, false),
+        ),
+    ];
+
+    let mut points = Vec::new();
+    for &rate in &config.rates {
+        let hw = Extractor::napprox_hardware(config.spikes, BlockNorm::None);
+        let mut dead_cores = 0;
+        if rate > 0.0 {
+            let plan = plan_for_rate(rate, config.seed);
+            dead_cores = plan.dead_cores.len() as u32;
+            hw.set_fault_plan(&plan).expect("sweep plan fits the module");
+        }
+        points.push(FaultSweepPoint {
+            paradigm: hw.kind().label().to_owned(),
+            fault_rate: rate,
+            dead_cores,
+            miss_rate: error_rate(&hw, &classifier, &pos, true),
+            false_positive_rate: error_rate(&hw, &classifier, &neg, false),
+            fault_events: hw.fault_stats().map_or(0, |s| s.total_events()),
+        });
+        for (extractor, miss, fp) in &flat {
+            points.push(FaultSweepPoint {
+                paradigm: extractor.kind().label().to_owned(),
+                fault_rate: rate,
+                dead_cores: 0,
+                miss_rate: *miss,
+                false_positive_rate: *fp,
+                fault_events: 0,
+            });
+        }
+    }
+    FaultSweepReport { config: config.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_scales_dead_cores_with_rate() {
+        assert!(plan_for_rate(0.0, 1).dead_cores.is_empty());
+        let half = plan_for_rate(0.5, 1);
+        assert_eq!(half.dead_cores.len(), 15);
+        assert_eq!(half.drop_rate, 0.5);
+        // Spread across the module, not clustered at the front.
+        assert!(half.dead_cores.iter().any(|&c| c >= MODULE_CORES / 2));
+        let full = plan_for_rate(1.0, 1);
+        assert_eq!(full.dead_cores.len(), MODULE_CORES as usize);
+    }
+
+    #[test]
+    fn smoke_sweep_produces_a_point_per_paradigm_and_rate() {
+        let config = FaultSweepConfig {
+            rates: vec![0.0, 1.0],
+            train_per_class: 4,
+            eval_per_class: 2,
+            ..FaultSweepConfig::smoke()
+        };
+        let report = run_fault_sweep(&config);
+        assert_eq!(report.points.len(), 2 * 3, "3 paradigms x 2 rates");
+        let hw = report.paradigm("NApprox-HW");
+        assert_eq!(hw.len(), 2);
+        // Healthy fabric records no fault events; the fully-dead module
+        // must record suppressions and lose accuracy relative to itself.
+        assert_eq!(hw[0].fault_events, 0);
+        assert!(hw[1].fault_events > 0, "dead module records fault activity");
+        assert_eq!(hw[1].dead_cores, MODULE_CORES);
+        // Software rows are flat across rates.
+        let sw = report.paradigm("NApprox");
+        assert_eq!(sw[0].miss_rate, sw[1].miss_rate);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FaultSweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

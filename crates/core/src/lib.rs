@@ -4,9 +4,13 @@
 //!
 //! The crate provides:
 //!
-//! * [`extractor`] — the five window-level feature extractors under one
-//!   type: FPGA fixed-point HoG, Dalal–Triggs, NApprox (full precision
-//!   and TrueNorth-quantized) and the trained Parrot network;
+//! * [`extractor`] — the window-level feature extractors under one
+//!   type: FPGA fixed-point HoG, Dalal–Triggs, NApprox (full precision,
+//!   TrueNorth-quantized, and running on simulated fault-injectable
+//!   cores) and the trained Parrot network;
+//! * [`error`] — the workspace-level [`Error`] returned by the fallible
+//!   `try_*` construction paths, so serving processes can degrade
+//!   instead of panicking;
 //! * [`classifier`] — the two classification back-ends: a linear SVM
 //!   (with hard-negative mining) and an Eedn-constrained network, both
 //!   consuming window descriptors through a shared interface;
@@ -17,6 +21,9 @@
 //!   partitioned NApprox + classifier, partitioned Parrot + classifier
 //!   (co-trained), and the iso-resource Absorbed monolithic network,
 //!   with collapse detection reproducing §5.1's observation;
+//! * [`faultsweep`] — accuracy under injected hardware faults: miss
+//!   rate versus fault rate per paradigm, feeding the serving runtime's
+//!   degradation policy;
 //! * [`resources`] — core-count accounting for every paradigm;
 //! * [`power`] — the §5.2 analytic power/throughput model that
 //!   regenerates Table 2;
@@ -28,7 +35,9 @@
 
 pub mod classifier;
 pub mod cotrain;
+pub mod error;
 pub mod extractor;
+pub mod faultsweep;
 pub mod pipeline;
 pub mod power;
 pub mod report;
@@ -36,7 +45,9 @@ pub mod resources;
 
 pub use classifier::{EednClassifier, EednClassifierConfig, WindowClassifier};
 pub use cotrain::{AbsorbedOutcome, AbsorbedSystem, PartitionedSystem, TrainSetConfig};
+pub use error::{Error, Result};
 pub use extractor::{Extractor, ExtractorKind};
+pub use faultsweep::{run_fault_sweep, FaultSweepConfig, FaultSweepPoint, FaultSweepReport};
 pub use pipeline::{Detector, DetectorConfig, TrainedDetector};
 pub use power::{DeploymentPower, FpgaPower, PowerTable, Table2Row};
 pub use resources::ResourceBudget;

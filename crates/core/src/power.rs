@@ -11,6 +11,7 @@
 //! * modules needed = required cells/s ÷ module throughput; cores =
 //!   modules × cores-per-module; power = cores × 16 µW.
 
+use crate::error::{Error, Result};
 use pcnn_truenorth::{PowerModel, CHIP_CORES};
 use pcnn_vision::pyramid::full_hd_total_cells;
 use serde::{Deserialize, Serialize};
@@ -132,16 +133,32 @@ impl PowerTable {
     /// The paper's headline: the power ratio between the NApprox row and
     /// a given Parrot row (6.5× at 32-spike, 208× at 1-spike).
     ///
+    /// Thin panicking wrapper over
+    /// [`try_napprox_over`](PowerTable::try_napprox_over).
+    ///
     /// # Panics
     ///
     /// Panics if the table lacks an NApprox row or the indexed row.
     pub fn napprox_over(&self, row: usize) -> f64 {
+        self.try_napprox_over(row).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible power-ratio lookup: reports a missing NApprox row or an
+    /// out-of-range row index as [`Error`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MissingEntry`] naming the absent row.
+    pub fn try_napprox_over(&self, row: usize) -> Result<f64> {
         let napprox = self
             .rows
             .iter()
             .find(|r| r.approach.contains("NApprox"))
-            .expect("table has an NApprox row");
-        napprox.power_w / self.rows[row].power_w
+            .ok_or_else(|| Error::MissingEntry { what: "table has no NApprox row".into() })?;
+        let denom = self.rows.get(row).ok_or_else(|| Error::MissingEntry {
+            what: format!("power-table row {row} (table has {} rows)", self.rows.len()),
+        })?;
+        Ok(napprox.power_w / denom.power_w)
     }
 }
 
@@ -204,6 +221,17 @@ mod tests {
         assert!((parrot.module_throughput() - 31.25).abs() < 0.01);
         let parrot1 = DeploymentPower { approach: "p".into(), window: 1, module_cores: 8 };
         assert_eq!(parrot1.module_throughput(), 1000.0);
+    }
+
+    #[test]
+    fn try_napprox_over_reports_missing_rows() {
+        let table = PowerTable::paper();
+        assert!(table.try_napprox_over(1).is_ok());
+        let err = table.try_napprox_over(99).unwrap_err();
+        assert!(matches!(err, Error::MissingEntry { .. }), "{err}");
+        let empty = PowerTable::for_configs(1.0, &[]);
+        let err = empty.try_napprox_over(0).unwrap_err();
+        assert!(err.to_string().contains("NApprox"));
     }
 
     #[test]

@@ -216,6 +216,31 @@ impl NApproxHogCorelet {
         self.system.stats()
     }
 
+    /// Attaches a fault-injection plan to the module's simulated fabric
+    /// (yield-loss and degradation experiments). The plan persists across
+    /// [`extract`](NApproxHogCorelet::extract) calls.
+    ///
+    /// # Errors
+    ///
+    /// [`pcnn_truenorth::TrueNorthError::InvalidFaultPlan`] if the plan
+    /// does not fit the module's core count.
+    pub fn set_fault_plan(
+        &mut self,
+        plan: &pcnn_truenorth::FaultPlan,
+    ) -> pcnn_truenorth::Result<()> {
+        self.system.set_fault_plan(plan)
+    }
+
+    /// Detaches any fault plan, restoring the healthy fabric.
+    pub fn clear_fault_plan(&mut self) {
+        self.system.clear_fault_plan();
+    }
+
+    /// Fault-activity counters, when a plan is attached.
+    pub fn fault_stats(&self) -> Option<pcnn_truenorth::FaultStats> {
+        self.system.fault_stats()
+    }
+
     /// Runs one 10×10 patch through the module and returns the 18-bin
     /// count-voted histogram.
     ///

@@ -1,0 +1,453 @@
+//! The compiled, runtime form of a [`FaultPlan`].
+//!
+//! A simulator attaches an [`ActiveFaults`] (built once per plan with
+//! [`ActiveFaults::compile`]) and consults it from its tick loop: per-core
+//! lookup tables answer the stuck-at and dead-core questions in O(log n),
+//! and a dedicated PRNG — seeded from the plan, independent of the
+//! system's own generator — decides the stochastic fates (drop,
+//! duplication, jitter) in a fixed draw order so every `(seed, plan)`
+//! pair replays bit for bit.
+
+use crate::plan::{FaultError, FaultPlan, StuckAt};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Salt folded into the plan seed for the drift-assignment PRNG so drift
+/// draws never overlap the routing-fate stream.
+const DRIFT_SALT: u64 = 0xD21F_7A11;
+
+/// Cumulative counters of injected fault activity, for reports and
+/// degraded-mode telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Spike deliveries discarded at a dead core or stuck-silent axon.
+    pub deliveries_suppressed: u64,
+    /// Routed spikes lost in the fabric.
+    pub spikes_dropped: u64,
+    /// Routed spikes delivered twice.
+    pub spikes_duplicated: u64,
+    /// Routed spikes that picked up extra delay.
+    pub spikes_jittered: u64,
+    /// Neuron firings swallowed by stuck-silent neurons.
+    pub firings_suppressed: u64,
+    /// Spikes emitted by stuck-active neurons beyond their natural
+    /// firings.
+    pub firings_forced: u64,
+    /// Neurons whose threshold the plan drifted (static, set at compile).
+    pub drifted_neurons: u64,
+}
+
+impl FaultStats {
+    /// Total anomalous events (excluding the static drift count).
+    pub fn total_events(&self) -> u64 {
+        self.deliveries_suppressed
+            + self.spikes_dropped
+            + self.spikes_duplicated
+            + self.spikes_jittered
+            + self.firings_suppressed
+            + self.firings_forced
+    }
+}
+
+/// One neuron's compiled threshold drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftEntry {
+    /// Core index.
+    pub core: u32,
+    /// Neuron index within the core.
+    pub neuron: u16,
+    /// Signed threshold shift.
+    pub delta: i32,
+}
+
+/// Per-core stuck-at tables (only allocated for faulted cores).
+#[derive(Debug, Clone, Default)]
+struct CoreFaults {
+    dead: bool,
+    /// Sorted axon indices whose deliveries are discarded.
+    silent_axons: Vec<u16>,
+    /// Sorted neuron indices whose firings never leave the core.
+    silent_neurons: Vec<u16>,
+    /// Sorted neuron indices that fire on every tick.
+    active_neurons: Vec<u16>,
+}
+
+/// What the fabric does with one routed spike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteFate {
+    /// Deliveries to make: 0 (dropped), 1 (normal) or 2 (duplicated).
+    pub copies: u8,
+    /// Extra delay ticks per copy.
+    pub extra: [u8; 2],
+}
+
+impl RouteFate {
+    /// The healthy fate: one on-time delivery.
+    pub const HEALTHY: RouteFate = RouteFate { copies: 1, extra: [0, 0] };
+}
+
+/// A [`FaultPlan`] compiled against a concrete system shape, holding the
+/// fault PRNG and activity counters.
+#[derive(Debug, Clone)]
+pub struct ActiveFaults {
+    plan: FaultPlan,
+    per_core: Vec<Option<Box<CoreFaults>>>,
+    /// `(core, axon)` pairs that spike every tick.
+    active_axons: Vec<(u32, u16)>,
+    /// Cores that must be stepped every tick (stuck-active elements),
+    /// sorted and deduplicated.
+    always_live: Vec<u32>,
+    drift: Vec<DriftEntry>,
+    rng: SmallRng,
+    stats: FaultStats,
+}
+
+impl ActiveFaults {
+    /// Compiles `plan` for a system of `core_count` cores with
+    /// `axons_per_core` axons and `neurons_per_core` neurons each.
+    ///
+    /// Compilation is deterministic: the drift assignment is a pure
+    /// function of the plan and the system shape.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError`] if the plan fails [`FaultPlan::validate`].
+    pub fn compile(
+        plan: &FaultPlan,
+        core_count: usize,
+        axons_per_core: usize,
+        neurons_per_core: usize,
+    ) -> Result<Self, FaultError> {
+        plan.validate(core_count, axons_per_core, neurons_per_core)?;
+
+        let mut per_core: Vec<Option<Box<CoreFaults>>> = vec![None; core_count];
+        fn entry(per_core: &mut [Option<Box<CoreFaults>>], core: u32) -> &mut CoreFaults {
+            per_core[core as usize].get_or_insert_with(Box::default)
+        }
+        for &core in &plan.dead_cores {
+            entry(&mut per_core, core).dead = true;
+        }
+        let mut active_axons = Vec::new();
+        let mut always_live = Vec::new();
+        for a in &plan.stuck_axons {
+            match a.stuck {
+                StuckAt::Silent => entry(&mut per_core, a.core).silent_axons.push(a.axon),
+                StuckAt::Active => {
+                    active_axons.push((a.core, a.axon));
+                    always_live.push(a.core);
+                }
+            }
+        }
+        for n in &plan.stuck_neurons {
+            match n.stuck {
+                StuckAt::Silent => entry(&mut per_core, n.core).silent_neurons.push(n.neuron),
+                StuckAt::Active => {
+                    entry(&mut per_core, n.core).active_neurons.push(n.neuron);
+                    always_live.push(n.core);
+                }
+            }
+        }
+        for cf in per_core.iter_mut().flatten() {
+            cf.silent_axons.sort_unstable();
+            cf.silent_axons.dedup();
+            cf.silent_neurons.sort_unstable();
+            cf.silent_neurons.dedup();
+            cf.active_neurons.sort_unstable();
+            cf.active_neurons.dedup();
+        }
+        // Dead cores never step, so they need no per-tick wake-ups.
+        always_live.sort_unstable();
+        always_live.dedup();
+        always_live.retain(|&c| !per_core[c as usize].as_ref().is_some_and(|cf| cf.dead));
+        active_axons.sort_unstable();
+        active_axons.dedup();
+
+        let mut drift = Vec::new();
+        if plan.drift_rate > 0.0 && plan.drift_magnitude > 0 {
+            let mut rng = SmallRng::seed_from_u64(plan.seed ^ DRIFT_SALT);
+            for core in 0..core_count as u32 {
+                for neuron in 0..neurons_per_core as u16 {
+                    if rng.random::<f32>() < plan.drift_rate {
+                        let magnitude = rng.random_range(1..=plan.drift_magnitude);
+                        let delta = if rng.random_bool(0.5) { magnitude } else { -magnitude };
+                        drift.push(DriftEntry { core, neuron, delta });
+                    }
+                }
+            }
+        }
+
+        let stats = FaultStats { drifted_neurons: drift.len() as u64, ..FaultStats::default() };
+        Ok(ActiveFaults {
+            rng: SmallRng::seed_from_u64(plan.seed),
+            plan: plan.clone(),
+            per_core,
+            active_axons,
+            always_live,
+            drift,
+            stats,
+        })
+    }
+
+    /// The source plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters accumulated since compile.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Whether `core` is dead (never stepped, deliveries discarded).
+    pub fn is_dead(&self, core: u32) -> bool {
+        self.per_core.get(core as usize).is_some_and(|c| c.as_ref().is_some_and(|cf| cf.dead))
+    }
+
+    /// Consulted for every spike delivery: `true` if the delivery must be
+    /// discarded (dead core or stuck-silent axon). Counts suppressions.
+    pub fn suppresses_delivery(&mut self, core: u32, axon: u16) -> bool {
+        let Some(cf) = self.per_core.get(core as usize).and_then(|c| c.as_deref()) else {
+            return false;
+        };
+        if cf.dead || cf.silent_axons.binary_search(&axon).is_ok() {
+            self.stats.deliveries_suppressed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `(core, axon)` pairs that receive one spike every tick.
+    pub fn stuck_active_axons(&self) -> &[(u32, u16)] {
+        &self.active_axons
+    }
+
+    /// Calls `deliver` once per stuck-active axon that is actually
+    /// reachable this tick — pairs on dead cores or stuck-silent axons
+    /// are counted as suppressed instead, exactly as
+    /// [`suppresses_delivery`](ActiveFaults::suppresses_delivery) would.
+    pub fn for_each_stuck_active_delivery(&mut self, mut deliver: impl FnMut(u32, u16)) {
+        let per_core = &self.per_core;
+        let stats = &mut self.stats;
+        for &(core, axon) in &self.active_axons {
+            if let Some(cf) = per_core.get(core as usize).and_then(|c| c.as_deref()) {
+                if cf.dead || cf.silent_axons.binary_search(&axon).is_ok() {
+                    stats.deliveries_suppressed += 1;
+                    continue;
+                }
+            }
+            deliver(core, axon);
+        }
+    }
+
+    /// Cores that must stay on the simulator's per-tick worklist because
+    /// a stuck-active element keeps them busy.
+    pub fn always_live_cores(&self) -> &[u32] {
+        &self.always_live
+    }
+
+    /// Rewrites a core's fired-neuron list in place: stuck-silent firings
+    /// are removed, stuck-active neurons are inserted (once per tick).
+    /// `fired` must be in ascending neuron order, as the core produces
+    /// it; the order is preserved.
+    pub fn filter_fired(&mut self, core: u32, fired: &mut Vec<u16>) {
+        let Some(cf) = self.per_core.get(core as usize).and_then(|c| c.as_deref()) else {
+            return;
+        };
+        if !cf.silent_neurons.is_empty() {
+            let before = fired.len();
+            fired.retain(|n| cf.silent_neurons.binary_search(n).is_err());
+            self.stats.firings_suppressed += (before - fired.len()) as u64;
+        }
+        for &n in &cf.active_neurons {
+            if let Err(pos) = fired.binary_search(&n) {
+                fired.insert(pos, n);
+                self.stats.firings_forced += 1;
+            }
+        }
+    }
+
+    /// Decides the fate of one fabric-routed spike. Draws from the fault
+    /// PRNG in a fixed order (drop, duplicate, then per-copy jitter) so
+    /// the decision stream is reproducible.
+    pub fn fabric_route_fate(&mut self) -> RouteFate {
+        let mut fate = RouteFate::HEALTHY;
+        if self.plan.drop_rate > 0.0 && self.rng.random::<f32>() < self.plan.drop_rate {
+            self.stats.spikes_dropped += 1;
+            fate.copies = 0;
+            return fate;
+        }
+        if self.plan.duplicate_rate > 0.0 && self.rng.random::<f32>() < self.plan.duplicate_rate {
+            self.stats.spikes_duplicated += 1;
+            fate.copies = 2;
+        }
+        if self.plan.jitter_rate > 0.0 && self.plan.delay_jitter > 0 {
+            for copy in 0..fate.copies as usize {
+                if self.rng.random::<f32>() < self.plan.jitter_rate {
+                    self.stats.spikes_jittered += 1;
+                    fate.extra[copy] = self.rng.random_range(1..=self.plan.delay_jitter);
+                }
+            }
+        }
+        fate
+    }
+
+    /// Decides the fate of one host-output spike: 0, 1 or 2 copies.
+    /// Output events carry no routing delay, so jitter does not apply.
+    pub fn output_route_fate(&mut self) -> u8 {
+        if self.plan.drop_rate > 0.0 && self.rng.random::<f32>() < self.plan.drop_rate {
+            self.stats.spikes_dropped += 1;
+            return 0;
+        }
+        if self.plan.duplicate_rate > 0.0 && self.rng.random::<f32>() < self.plan.duplicate_rate {
+            self.stats.spikes_duplicated += 1;
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Whether any stochastic fabric fault is configured — lets the
+    /// simulator skip the per-spike fate call entirely on plans that only
+    /// contain structural faults.
+    pub fn has_stochastic_routing(&self) -> bool {
+        self.plan.drop_rate > 0.0
+            || self.plan.duplicate_rate > 0.0
+            || (self.plan.jitter_rate > 0.0 && self.plan.delay_jitter > 0)
+    }
+
+    /// The compiled threshold-drift assignment, sorted by (core, neuron).
+    pub fn drift_entries(&self) -> &[DriftEntry] {
+        &self.drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(plan: &FaultPlan) -> ActiveFaults {
+        ActiveFaults::compile(plan, 8, 256, 256).unwrap()
+    }
+
+    #[test]
+    fn trivial_plan_compiles_to_no_ops() {
+        let mut f = compile(&FaultPlan::default());
+        assert!(!f.is_dead(0));
+        assert!(!f.suppresses_delivery(0, 0));
+        assert!(f.stuck_active_axons().is_empty());
+        assert!(f.always_live_cores().is_empty());
+        assert!(f.drift_entries().is_empty());
+        assert_eq!(f.fabric_route_fate(), RouteFate::HEALTHY);
+        assert_eq!(f.output_route_fate(), 1);
+        assert!(!f.has_stochastic_routing());
+        assert_eq!(f.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn dead_core_suppresses_and_reports() {
+        let mut f = compile(&FaultPlan::seeded(1).with_dead_core(3));
+        assert!(f.is_dead(3));
+        assert!(!f.is_dead(2));
+        assert!(f.suppresses_delivery(3, 17));
+        assert!(!f.suppresses_delivery(2, 17));
+        assert_eq!(f.stats().deliveries_suppressed, 1);
+    }
+
+    #[test]
+    fn stuck_tables_sorted_and_consulted() {
+        let mut f = compile(
+            &FaultPlan::seeded(2)
+                .with_stuck_axon(1, 9, StuckAt::Silent)
+                .with_stuck_axon(1, 4, StuckAt::Silent)
+                .with_stuck_axon(2, 7, StuckAt::Active)
+                .with_stuck_neuron(1, 30, StuckAt::Silent)
+                .with_stuck_neuron(1, 10, StuckAt::Active),
+        );
+        assert!(f.suppresses_delivery(1, 4));
+        assert!(f.suppresses_delivery(1, 9));
+        assert!(!f.suppresses_delivery(1, 5));
+        assert_eq!(f.stuck_active_axons(), &[(2, 7)]);
+        assert_eq!(f.always_live_cores(), &[1, 2]);
+
+        let mut fired = vec![5, 30, 200];
+        f.filter_fired(1, &mut fired);
+        assert_eq!(fired, vec![5, 10, 200], "30 suppressed, 10 forced, order kept");
+        let s = f.stats();
+        assert_eq!(s.firings_suppressed, 1);
+        assert_eq!(s.firings_forced, 1);
+
+        // A second tick where the stuck-active neuron fired naturally:
+        // no forced event is added on top.
+        let mut fired = vec![10];
+        f.filter_fired(1, &mut fired);
+        assert_eq!(fired, vec![10]);
+        assert_eq!(f.stats().firings_forced, 1);
+    }
+
+    #[test]
+    fn dead_core_needs_no_wakeups() {
+        let f = compile(&FaultPlan::seeded(3).with_dead_core(2).with_stuck_neuron(
+            2,
+            0,
+            StuckAt::Active,
+        ));
+        assert!(f.always_live_cores().is_empty(), "dead cores are never stepped");
+    }
+
+    #[test]
+    fn route_fates_replay_exactly() {
+        let plan = FaultPlan::seeded(42)
+            .with_drop_rate(0.3)
+            .with_duplicate_rate(0.2)
+            .with_delay_jitter(0.5, 6);
+        let mut a = compile(&plan);
+        let mut b = compile(&plan);
+        let fates_a: Vec<RouteFate> = (0..500).map(|_| a.fabric_route_fate()).collect();
+        let fates_b: Vec<RouteFate> = (0..500).map(|_| b.fabric_route_fate()).collect();
+        assert_eq!(fates_a, fates_b);
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().spikes_dropped > 0);
+        assert!(a.stats().spikes_duplicated > 0);
+        assert!(a.stats().spikes_jittered > 0);
+        // Jitter never exceeds the configured bound.
+        assert!(fates_a.iter().all(|f| f.extra[0] <= 6 && f.extra[1] <= 6));
+        // A different seed produces a different stream.
+        let mut c = compile(&FaultPlan { seed: 43, ..plan });
+        let fates_c: Vec<RouteFate> = (0..500).map(|_| c.fabric_route_fate()).collect();
+        assert_ne!(fates_a, fates_c);
+    }
+
+    #[test]
+    fn drift_assignment_is_deterministic_and_bounded() {
+        let plan = FaultPlan::seeded(7).with_threshold_drift(0.25, 5);
+        let a = compile(&plan);
+        let b = compile(&plan);
+        assert_eq!(a.drift_entries(), b.drift_entries());
+        assert!(!a.drift_entries().is_empty());
+        assert_eq!(a.stats().drifted_neurons, a.drift_entries().len() as u64);
+        for d in a.drift_entries() {
+            assert!(d.delta != 0 && d.delta.abs() <= 5, "delta {}", d.delta);
+        }
+        // Roughly the configured fraction of 8*256 neurons drifts.
+        let frac = a.drift_entries().len() as f64 / (8.0 * 256.0);
+        assert!((frac - 0.25).abs() < 0.08, "drift fraction {frac}");
+    }
+
+    #[test]
+    fn compile_rejects_out_of_shape_plans() {
+        let plan = FaultPlan::seeded(0).with_dead_core(8);
+        assert!(ActiveFaults::compile(&plan, 8, 256, 256).is_err());
+    }
+
+    #[test]
+    fn full_drop_loses_everything() {
+        let mut f = compile(&FaultPlan::seeded(9).with_drop_rate(1.0));
+        for _ in 0..50 {
+            assert_eq!(f.fabric_route_fate().copies, 0);
+            assert_eq!(f.output_route_fate(), 0);
+        }
+        assert_eq!(f.stats().spikes_dropped, 100);
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic fault injection for the TrueNorth simulator.
+//!
+//! Real neurosynaptic chips ship with yield loss: dead cores, stuck-at
+//! axons and neurons, marginal routing that drops, duplicates or delays
+//! spikes, and analog threshold drift. This crate describes such defects
+//! as a declarative, serde-able [`FaultPlan`] and compiles them into an
+//! [`ActiveFaults`] table the simulator consults from its tick loop.
+//!
+//! Two contracts make the layer usable for experiments:
+//!
+//! 1. **Zero-fault transparency** — a plan with no faults (see
+//!    [`FaultPlan::is_trivial`]) injects nothing and draws nothing, so a
+//!    simulator running under it is bit-identical to one with no plan
+//!    attached.
+//! 2. **Exact replay** — all stochastic decisions come from a dedicated
+//!    PRNG seeded by [`FaultPlan::seed`], never from the simulator's own
+//!    generator, so any `(system seed, plan)` pair reproduces the same
+//!    spike trains run after run.
+//!
+//! ```
+//! use pcnn_faults::{ActiveFaults, FaultPlan, StuckAt};
+//!
+//! let plan = FaultPlan::seeded(7)
+//!     .with_dead_core(2)
+//!     .with_stuck_axon(0, 14, StuckAt::Silent)
+//!     .with_drop_rate(0.01)
+//!     .with_delay_jitter(0.05, 3);
+//! let mut faults = ActiveFaults::compile(&plan, 4, 256, 256).unwrap();
+//! assert!(faults.is_dead(2));
+//! assert!(faults.suppresses_delivery(0, 14));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod active;
+mod plan;
+
+pub use active::{ActiveFaults, DriftEntry, FaultStats, RouteFate};
+pub use plan::{FaultError, FaultPlan, StuckAt, StuckAxon, StuckNeuron, MAX_JITTER};

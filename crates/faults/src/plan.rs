@@ -1,0 +1,373 @@
+//! The declarative fault model: what is broken, and how.
+//!
+//! A [`FaultPlan`] is a serializable description of every defect injected
+//! into a simulated neurosynaptic system. Plans are *seeded*: together
+//! with the system's own PRNG seed, a plan pins down the faulted
+//! simulation bit for bit, so any observed failure replays exactly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum extra routing delay a jittered spike may pick up; keeps the
+/// total delay within the fabric's 15-tick wheel.
+pub const MAX_JITTER: u8 = 14;
+
+/// The two stuck-at polarities of a defective axon or neuron.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StuckAt {
+    /// The element never carries a spike: deliveries to a stuck-silent
+    /// axon are discarded; firings of a stuck-silent neuron never leave
+    /// the core.
+    Silent,
+    /// The element spikes every tick: a stuck-active axon injects one
+    /// event per tick; a stuck-active neuron emits a spike on every tick
+    /// regardless of its membrane potential.
+    Active,
+}
+
+/// A defective axon on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StuckAxon {
+    /// Core index within the system.
+    pub core: u32,
+    /// Axon index within the core.
+    pub axon: u16,
+    /// Stuck polarity.
+    pub stuck: StuckAt,
+}
+
+/// A defective neuron on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StuckNeuron {
+    /// Core index within the system.
+    pub core: u32,
+    /// Neuron index within the core.
+    pub neuron: u16,
+    /// Stuck polarity.
+    pub stuck: StuckAt,
+}
+
+/// A seeded, serializable description of injected hardware faults.
+///
+/// The default plan is fault-free; a system running under it is
+/// **bit-identical** to one with no plan attached at all (pinned by
+/// tests in `pcnn-truenorth`). All stochastic faults (spike drop,
+/// duplication, delay jitter, threshold-drift assignment) draw from a
+/// dedicated PRNG seeded with [`seed`](FaultPlan::seed), never from the
+/// system's own PRNG, so attaching a plan does not perturb healthy
+/// stochastic neurons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FaultPlan {
+    /// Seed of the fault PRNG (drop/duplication/jitter decisions and
+    /// drift assignment).
+    pub seed: u64,
+    /// Cores lost to yield: never stepped, all deliveries to them
+    /// discarded.
+    pub dead_cores: Vec<u32>,
+    /// Stuck-at axons.
+    pub stuck_axons: Vec<StuckAxon>,
+    /// Stuck-at neurons.
+    pub stuck_neurons: Vec<StuckNeuron>,
+    /// Probability that a routed fabric spike is silently lost.
+    pub drop_rate: f32,
+    /// Probability that a routed fabric spike is delivered twice.
+    pub duplicate_rate: f32,
+    /// Probability that a routed spike picks up extra delay.
+    pub jitter_rate: f32,
+    /// Maximum extra ticks a jittered spike is late by (`1..=delay_jitter`,
+    /// capped at [`MAX_JITTER`]).
+    pub delay_jitter: u8,
+    /// Probability that any given neuron's firing threshold drifts.
+    pub drift_rate: f32,
+    /// Maximum absolute threshold drift, in potential units.
+    pub drift_magnitude: i32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            dead_cores: Vec::new(),
+            stuck_axons: Vec::new(),
+            stuck_neurons: Vec::new(),
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            jitter_rate: 0.0,
+            delay_jitter: 0,
+            drift_rate: 0.0,
+            drift_magnitude: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given fault-PRNG seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Marks `core` dead.
+    pub fn with_dead_core(mut self, core: u32) -> Self {
+        self.dead_cores.push(core);
+        self
+    }
+
+    /// Marks the given cores dead.
+    pub fn with_dead_cores(mut self, cores: impl IntoIterator<Item = u32>) -> Self {
+        self.dead_cores.extend(cores);
+        self
+    }
+
+    /// Adds a stuck-at axon.
+    pub fn with_stuck_axon(mut self, core: u32, axon: u16, stuck: StuckAt) -> Self {
+        self.stuck_axons.push(StuckAxon { core, axon, stuck });
+        self
+    }
+
+    /// Adds a stuck-at neuron.
+    pub fn with_stuck_neuron(mut self, core: u32, neuron: u16, stuck: StuckAt) -> Self {
+        self.stuck_neurons.push(StuckNeuron { core, neuron, stuck });
+        self
+    }
+
+    /// Sets the fabric spike-loss probability.
+    pub fn with_drop_rate(mut self, rate: f32) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the fabric spike-duplication probability.
+    pub fn with_duplicate_rate(mut self, rate: f32) -> Self {
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Sets delay jitter: each routed spike is late by `1..=max_extra`
+    /// extra ticks with probability `rate`.
+    pub fn with_delay_jitter(mut self, rate: f32, max_extra: u8) -> Self {
+        self.jitter_rate = rate;
+        self.delay_jitter = max_extra;
+        self
+    }
+
+    /// Sets threshold drift: each neuron's threshold shifts by a value in
+    /// `-magnitude..=magnitude` with probability `rate` (assignment drawn
+    /// deterministically from the plan seed).
+    pub fn with_threshold_drift(mut self, rate: f32, magnitude: i32) -> Self {
+        self.drift_rate = rate;
+        self.drift_magnitude = magnitude;
+        self
+    }
+
+    /// Whether the plan injects no faults at all. A trivial plan leaves
+    /// the simulator bit-identical to an unfaulted run.
+    pub fn is_trivial(&self) -> bool {
+        self.dead_cores.is_empty()
+            && self.stuck_axons.is_empty()
+            && self.stuck_neurons.is_empty()
+            && self.drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && (self.jitter_rate == 0.0 || self.delay_jitter == 0)
+            && (self.drift_rate == 0.0 || self.drift_magnitude == 0)
+    }
+
+    /// Validates rates, jitter bounds and element indices against a
+    /// system of `core_count` cores with `axons_per_core` axons and
+    /// `neurons_per_core` neurons per core.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError`] naming the first violated constraint.
+    pub fn validate(
+        &self,
+        core_count: usize,
+        axons_per_core: usize,
+        neurons_per_core: usize,
+    ) -> Result<(), FaultError> {
+        for (name, rate) in [
+            ("drop_rate", self.drop_rate),
+            ("duplicate_rate", self.duplicate_rate),
+            ("jitter_rate", self.jitter_rate),
+            ("drift_rate", self.drift_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(FaultError::RateOutOfRange { name, rate });
+            }
+        }
+        if self.delay_jitter > MAX_JITTER {
+            return Err(FaultError::JitterTooLarge { jitter: self.delay_jitter });
+        }
+        if self.drift_magnitude < 0 {
+            return Err(FaultError::NegativeDriftMagnitude { magnitude: self.drift_magnitude });
+        }
+        for &core in &self.dead_cores {
+            if core as usize >= core_count {
+                return Err(FaultError::CoreOutOfRange { core, cores: core_count });
+            }
+        }
+        for a in &self.stuck_axons {
+            if a.core as usize >= core_count {
+                return Err(FaultError::CoreOutOfRange { core: a.core, cores: core_count });
+            }
+            if a.axon as usize >= axons_per_core {
+                return Err(FaultError::AxonOutOfRange { axon: a.axon, axons: axons_per_core });
+            }
+        }
+        for n in &self.stuck_neurons {
+            if n.core as usize >= core_count {
+                return Err(FaultError::CoreOutOfRange { core: n.core, cores: core_count });
+            }
+            if n.neuron as usize >= neurons_per_core {
+                return Err(FaultError::NeuronOutOfRange {
+                    neuron: n.neuron,
+                    neurons: neurons_per_core,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FaultPlan`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A probability was outside `[0, 1]`.
+    RateOutOfRange {
+        /// Which rate field.
+        name: &'static str,
+        /// The offending value.
+        rate: f32,
+    },
+    /// The jitter bound exceeded [`MAX_JITTER`].
+    JitterTooLarge {
+        /// The offending bound.
+        jitter: u8,
+    },
+    /// A negative drift magnitude.
+    NegativeDriftMagnitude {
+        /// The offending magnitude.
+        magnitude: i32,
+    },
+    /// A fault referenced a core the system does not have.
+    CoreOutOfRange {
+        /// The offending core index.
+        core: u32,
+        /// Cores actually present.
+        cores: usize,
+    },
+    /// A stuck axon index exceeded the per-core axon count.
+    AxonOutOfRange {
+        /// The offending axon index.
+        axon: u16,
+        /// Axons per core.
+        axons: usize,
+    },
+    /// A stuck neuron index exceeded the per-core neuron count.
+    NeuronOutOfRange {
+        /// The offending neuron index.
+        neuron: u16,
+        /// Neurons per core.
+        neurons: usize,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::RateOutOfRange { name, rate } => {
+                write!(f, "fault plan {name} {rate} outside [0, 1]")
+            }
+            FaultError::JitterTooLarge { jitter } => {
+                write!(f, "delay jitter {jitter} exceeds the {MAX_JITTER}-tick maximum")
+            }
+            FaultError::NegativeDriftMagnitude { magnitude } => {
+                write!(f, "drift magnitude {magnitude} is negative")
+            }
+            FaultError::CoreOutOfRange { core, cores } => {
+                write!(f, "fault targets core {core} but the system has {cores} cores")
+            }
+            FaultError::AxonOutOfRange { axon, axons } => {
+                write!(f, "stuck axon {axon} out of range (0..{axons})")
+            }
+            FaultError::NeuronOutOfRange { neuron, neurons } => {
+                write!(f, "stuck neuron {neuron} out of range (0..{neurons})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_trivial() {
+        assert!(FaultPlan::default().is_trivial());
+        assert!(FaultPlan::seeded(99).is_trivial());
+        // A jitter bound with zero rate (and vice versa) is still trivial.
+        assert!(FaultPlan::seeded(1).with_delay_jitter(0.0, 5).is_trivial());
+        assert!(FaultPlan::seeded(1).with_delay_jitter(0.5, 0).is_trivial());
+        assert!(FaultPlan::seeded(1).with_threshold_drift(0.5, 0).is_trivial());
+        assert!(!FaultPlan::seeded(1).with_dead_core(0).is_trivial());
+        assert!(!FaultPlan::seeded(1).with_drop_rate(0.1).is_trivial());
+    }
+
+    #[test]
+    fn plan_roundtrips_through_serde() {
+        let plan = FaultPlan::seeded(7)
+            .with_dead_core(3)
+            .with_stuck_axon(1, 200, StuckAt::Silent)
+            .with_stuck_neuron(2, 17, StuckAt::Active)
+            .with_drop_rate(0.05)
+            .with_duplicate_rate(0.01)
+            .with_delay_jitter(0.2, 3)
+            .with_threshold_drift(0.1, 4);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn missing_fields_deserialize_to_defaults() {
+        let plan: FaultPlan = serde_json::from_str(r#"{"seed": 5, "drop_rate": 0.25}"#).unwrap();
+        assert_eq!(plan.seed, 5);
+        assert_eq!(plan.drop_rate, 0.25);
+        assert!(plan.dead_cores.is_empty());
+        assert_eq!(plan.delay_jitter, 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let cores = 4;
+        let ok = |p: &FaultPlan| p.validate(cores, 256, 256);
+        assert!(ok(&FaultPlan::default()).is_ok());
+        assert!(matches!(
+            ok(&FaultPlan::seeded(0).with_drop_rate(1.5)),
+            Err(FaultError::RateOutOfRange { name: "drop_rate", .. })
+        ));
+        assert!(matches!(
+            ok(&FaultPlan::seeded(0).with_delay_jitter(0.1, 15)),
+            Err(FaultError::JitterTooLarge { jitter: 15 })
+        ));
+        assert!(matches!(
+            ok(&FaultPlan::seeded(0).with_dead_core(4)),
+            Err(FaultError::CoreOutOfRange { core: 4, cores: 4 })
+        ));
+        assert!(matches!(
+            ok(&FaultPlan::seeded(0).with_stuck_axon(0, 300, StuckAt::Silent)),
+            Err(FaultError::AxonOutOfRange { axon: 300, .. })
+        ));
+        assert!(matches!(
+            ok(&FaultPlan::seeded(0).with_stuck_neuron(0, 256, StuckAt::Active)),
+            Err(FaultError::NeuronOutOfRange { neuron: 256, .. })
+        ));
+        let mut drifty = FaultPlan::seeded(0);
+        drifty.drift_magnitude = -3;
+        drifty.drift_rate = 0.5;
+        assert!(matches!(ok(&drifty), Err(FaultError::NegativeDriftMagnitude { magnitude: -3 })));
+    }
+}

@@ -6,7 +6,7 @@ use crate::gemm::{GemmScratch, PackedA};
 /// network can allocate once and reuse across every layer and step.
 ///
 /// The buffers grow monotonically to the largest working set seen;
-/// [`take_zeroed`](Scratch::take_zeroed) hands out zeroed views without
+/// [`take_zeroed`] hands out zeroed views without
 /// reallocating on the steady-state path.
 #[derive(Debug, Default, Clone)]
 pub struct Scratch {

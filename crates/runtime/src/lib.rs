@@ -16,7 +16,13 @@
 //!   neurosynaptic simulator's [`SystemStats`](pcnn_truenorth::SystemStats)
 //!   threaded through;
 //! * [`server`] — [`DetectionServer`], the front-end tying the three
-//!   together.
+//!   together;
+//! * [`degrade`] — graceful degradation: a [`FallbackChain`] of
+//!   service levels with per-batch canary health probes, so a detector
+//!   whose simulated hardware carries an injected
+//!   [`FaultPlan`](pcnn_truenorth::FaultPlan) falls back to a software
+//!   paradigm instead of serving garbage (or panicking), with
+//!   degradation counted in the [`RuntimeReport`].
 //!
 //! ## Determinism
 //!
@@ -41,11 +47,8 @@
 //! # let scaler = FeatureScaler::fit(&xs);
 //! # let model = train(&scaler.apply_all(&xs), &[true, false], TrainConfig::default());
 //! # let detector = TrainedDetector { extractor, classifier: WindowClassifier::Svm { model, scaler } };
-//! let server = DetectionServer::new(
-//!     Detector::default(),
-//!     &detector,
-//!     RuntimeConfig::with_workers(2),
-//! );
+//! let config = RuntimeConfig::builder().workers(2).build().unwrap();
+//! let server = DetectionServer::new(Detector::default(), &detector, config).unwrap();
 //! let frame = GrayImage::new(96, 160);
 //! let detections = server.detect_frame(&frame);
 //! let report = server.report(None);
@@ -55,12 +58,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degrade;
 pub mod metrics;
 pub mod queue;
 pub mod scheduler;
 pub mod server;
 
-pub use metrics::{Histogram, HistogramReport, Metrics, RuntimeReport, Stage, StageTimes};
+pub use degrade::{FallbackChain, ServiceLevel, DEFAULT_PROBE_TOLERANCE};
+pub use metrics::{
+    Histogram, HistogramReport, LevelReport, Metrics, RuntimeReport, Stage, StageTimes,
+};
 pub use queue::{Backpressure, PushError, QueueConfig, RequestQueue};
 pub use scheduler::{parallel_map, plan_chunks, Chunk};
-pub use server::{DetectionServer, RuntimeConfig};
+pub use server::{DetectionServer, RuntimeConfig, RuntimeConfigBuilder};

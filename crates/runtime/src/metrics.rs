@@ -91,6 +91,10 @@ pub struct Metrics {
     stage_classify_ns: AtomicU64,
     stage_nms_ns: AtomicU64,
     batch_latency_us: Histogram,
+    degraded_batches: AtomicU64,
+    degraded_frames: AtomicU64,
+    health_failures: AtomicU64,
+    level_batches: Vec<AtomicU64>,
 }
 
 impl Default for Metrics {
@@ -113,8 +117,13 @@ pub enum Stage {
 }
 
 impl Metrics {
-    /// Fresh, all-zero metrics.
+    /// Fresh, all-zero metrics with no service-level counters.
     pub fn new() -> Self {
+        Self::with_levels(0)
+    }
+
+    /// Fresh metrics tracking `levels` fallback-chain service levels.
+    pub fn with_levels(levels: usize) -> Self {
         Metrics {
             frames_served: AtomicU64::new(0),
             frames_rejected: AtomicU64::new(0),
@@ -126,6 +135,10 @@ impl Metrics {
             stage_classify_ns: AtomicU64::new(0),
             stage_nms_ns: AtomicU64::new(0),
             batch_latency_us: Histogram::new(&LATENCY_BOUNDS_US),
+            degraded_batches: AtomicU64::new(0),
+            degraded_frames: AtomicU64::new(0),
+            health_failures: AtomicU64::new(0),
+            level_batches: (0..levels).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -153,6 +166,31 @@ impl Metrics {
     /// Records an observed queue depth.
     pub fn observe_queue_depth(&self, depth: u64) {
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Counts one batch served below the primary service level, covering
+    /// `frames` frames.
+    pub fn add_degraded_batch(&self, frames: u64) {
+        self.degraded_batches.fetch_add(1, Ordering::Relaxed);
+        self.degraded_frames.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Counts `n` failed health probes.
+    pub fn add_health_failures(&self, n: u64) {
+        self.health_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one batch served at fallback-chain level `index`. Ignored
+    /// when the metrics were not sized for that level.
+    pub fn add_level_batch(&self, index: usize) {
+        if let Some(c) = self.level_batches.get(index) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Batches served per fallback-chain level.
+    pub fn level_counts(&self) -> Vec<u64> {
+        self.level_batches.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 
     /// Adds wall time to one pipeline stage.
@@ -186,9 +224,22 @@ impl Metrics {
                 nms_ms: ms(&self.stage_nms_ns),
             },
             batch_latency: self.batch_latency_us.snapshot(),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            degraded_frames: self.degraded_frames.load(Ordering::Relaxed),
+            health_failures: self.health_failures.load(Ordering::Relaxed),
+            levels: Vec::new(),
             system,
         }
     }
+}
+
+/// Per-service-level serving counters in a [`RuntimeReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelReport {
+    /// The level's label, e.g. `"NApprox-HW"`.
+    pub label: String,
+    /// Batches served at this level.
+    pub batches: u64,
 }
 
 /// A point-in-time summary of a serving runtime, serializable for
@@ -211,6 +262,19 @@ pub struct RuntimeReport {
     pub stage: StageTimes,
     /// Batch wall-time histogram.
     pub batch_latency: HistogramReport,
+    /// Batches served below the primary fallback-chain level.
+    #[serde(default)]
+    pub degraded_batches: u64,
+    /// Frames served below the primary fallback-chain level.
+    #[serde(default)]
+    pub degraded_frames: u64,
+    /// Health probes that failed (one per skipped level per batch).
+    #[serde(default)]
+    pub health_failures: u64,
+    /// Per-level batch counts, in fallback-chain preference order.
+    /// Empty when the server has no fallback chain.
+    #[serde(default)]
+    pub levels: Vec<LevelReport>,
     /// Neurosynaptic-simulator counters, when the extractor or
     /// classifier runs on the simulated TrueNorth substrate.
     pub system: Option<SystemStats>,
@@ -243,6 +307,18 @@ impl std::fmt::Display for RuntimeReport {
                 write!(f, "  >2s:{count}")?;
             } else {
                 write!(f, "  <={}ms:{count}", bound / 1000)?;
+            }
+        }
+        if !self.levels.is_empty() {
+            writeln!(f)?;
+            write!(
+                f,
+                "  degradation: {} batches / {} frames below primary, {} probe failures",
+                self.degraded_batches, self.degraded_frames, self.health_failures
+            )?;
+            for level in &self.levels {
+                writeln!(f)?;
+                write!(f, "    {:<20} {:>6} batches", level.label, level.batches)?;
             }
         }
         if let Some(s) = &self.system {
@@ -295,5 +371,28 @@ mod tests {
         m.add_frames(1);
         let text = m.report(2, None).to_string();
         assert!(text.contains("frames served"));
+    }
+
+    #[test]
+    fn degradation_counters_reach_the_report() {
+        let m = Metrics::with_levels(3);
+        m.add_level_batch(0);
+        m.add_level_batch(2);
+        m.add_level_batch(9); // out of range: ignored, not a panic
+        m.add_degraded_batch(4);
+        m.add_health_failures(2);
+        let mut report = m.report(1, None);
+        assert_eq!(m.level_counts(), vec![1, 0, 1]);
+        assert_eq!(report.degraded_batches, 1);
+        assert_eq!(report.degraded_frames, 4);
+        assert_eq!(report.health_failures, 2);
+        report.levels = vec![
+            LevelReport { label: "NApprox-HW".into(), batches: 1 },
+            LevelReport { label: "Traditional-HoG".into(), batches: 1 },
+        ];
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RuntimeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(report.to_string().contains("below primary"));
     }
 }

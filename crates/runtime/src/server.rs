@@ -13,10 +13,12 @@
 //! NMS, so the parallel output is bit-identical to
 //! [`Detector::detect`]'s serial scan for any worker count.
 
-use crate::metrics::{Metrics, RuntimeReport, Stage};
-use crate::queue::{PushError, QueueConfig, RequestQueue};
+use crate::degrade::FallbackChain;
+use crate::metrics::{LevelReport, Metrics, RuntimeReport, Stage};
+use crate::queue::{Backpressure, PushError, QueueConfig, RequestQueue};
 use crate::scheduler::{parallel_map, plan_chunks};
 use pcnn_core::pipeline::{Detector, TrainedDetector};
+use pcnn_core::Error;
 use pcnn_hog::cell::CELL_SIZE;
 use pcnn_truenorth::SystemStats;
 use pcnn_vision::pyramid::scale_pyramid;
@@ -43,32 +45,147 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
+    /// A validating builder:
+    /// `RuntimeConfig::builder().workers(8).queue_capacity(64).build()?`.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder::default()
+    }
+
     /// The default configuration with the given worker count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RuntimeConfig::builder().workers(n).build(), which validates"
+    )]
     pub fn with_workers(workers: usize) -> Self {
         RuntimeConfig { workers, ..Default::default() }
     }
+
+    /// Validates every field, mirroring what [`DetectionServer::new`]
+    /// enforces.
+    pub(crate) fn validate(&self) -> Result<(), Error> {
+        let bad = |what: &str, reason: &str| {
+            Err(Error::InvalidConfig { what: what.to_owned(), reason: reason.to_owned() })
+        };
+        if self.workers == 0 {
+            return bad("workers", "worker count must be positive");
+        }
+        if self.chunk_rows == 0 {
+            return bad("chunk_rows", "chunk_rows must be positive");
+        }
+        if self.queue.capacity == 0 {
+            return bad("queue.capacity", "queue capacity must be positive");
+        }
+        if self.queue.batch_size == 0 {
+            return bad("queue.batch_size", "batch size must be positive");
+        }
+        if self.queue.batch_size > self.queue.capacity {
+            return bad("queue.batch_size", "batch size cannot exceed queue capacity");
+        }
+        Ok(())
+    }
 }
 
-/// A batched, parallel serving front-end over a trained detector.
+/// Step-by-step construction of a [`RuntimeConfig`], validated at
+/// [`build`](RuntimeConfigBuilder::build) time so an impossible
+/// configuration is an [`Error`], not a panic deep in the server.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeConfigBuilder {
+    config: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Sets the worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the window rows per classification work item.
+    pub fn chunk_rows(mut self, chunk_rows: usize) -> Self {
+        self.config.chunk_rows = chunk_rows;
+        self
+    }
+
+    /// Sets the request-queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue.capacity = capacity;
+        self
+    }
+
+    /// Sets the maximum requests per drained batch.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.queue.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the full-queue behavior.
+    pub fn backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.config.queue.backpressure = backpressure;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the first offending field.
+    pub fn build(self) -> Result<RuntimeConfig, Error> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// A batched, parallel serving front-end over a trained detector —
+/// or over a [`FallbackChain`] of them, degrading per batch when the
+/// preferred level fails its health probe.
 #[derive(Debug)]
 pub struct DetectionServer<'d> {
     engine: Detector,
-    detector: &'d TrainedDetector,
+    chain: FallbackChain<'d>,
     config: RuntimeConfig,
     metrics: Metrics,
 }
 
 impl<'d> DetectionServer<'d> {
-    /// A server running `engine` over `detector`.
+    /// A server running `engine` over a single `detector` (no fallback).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `workers` or `chunk_rows` is zero, or the queue
+    /// [`Error::InvalidConfig`] if `workers`, `chunk_rows` or the queue
     /// configuration is degenerate.
-    pub fn new(engine: Detector, detector: &'d TrainedDetector, config: RuntimeConfig) -> Self {
-        assert!(config.workers > 0, "worker count must be positive");
-        assert!(config.chunk_rows > 0, "chunk_rows must be positive");
-        DetectionServer { engine, detector, config, metrics: Metrics::new() }
+    pub fn new(
+        engine: Detector,
+        detector: &'d TrainedDetector,
+        config: RuntimeConfig,
+    ) -> Result<Self, Error> {
+        let label = detector.extractor.kind().label();
+        Self::with_chain(engine, FallbackChain::new().push(label, detector), config)
+    }
+
+    /// A server degrading along `chain`: each batch is served by the
+    /// first level that passes its canary health probe, with everything
+    /// below the primary counted as degraded in the report. The last
+    /// level serves unconditionally, so the server never refuses a
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if the chain is empty or the runtime
+    /// configuration is degenerate.
+    pub fn with_chain(
+        engine: Detector,
+        chain: FallbackChain<'d>,
+        config: RuntimeConfig,
+    ) -> Result<Self, Error> {
+        config.validate()?;
+        if chain.is_empty() {
+            return Err(Error::InvalidConfig {
+                what: "fallback chain".to_owned(),
+                reason: "needs at least one service level".to_owned(),
+            });
+        }
+        let metrics = Metrics::with_levels(chain.len());
+        Ok(DetectionServer { engine, chain, config, metrics })
     }
 
     /// The runtime configuration.
@@ -81,12 +198,43 @@ impl<'d> DetectionServer<'d> {
         &self.engine
     }
 
+    /// The fallback chain (a single level for
+    /// [`new`](DetectionServer::new)-built servers).
+    pub fn chain(&self) -> &FallbackChain<'d> {
+        &self.chain
+    }
+
+    /// Probes the chain and returns the level that would serve the next
+    /// batch, recording any probe failures.
+    fn select_level(&self, frames: u64) -> &'d TrainedDetector {
+        let levels = self.chain.levels();
+        if levels.len() == 1 {
+            self.metrics.add_level_batch(0);
+            return levels[0].detector();
+        }
+        let (index, failures) = self.chain.select();
+        self.metrics.add_health_failures(failures);
+        self.metrics.add_level_batch(index);
+        if index > 0 {
+            self.metrics.add_degraded_batch(frames);
+        }
+        levels[index].detector()
+    }
+
     /// Runs one batch of frames through the staged parallel pipeline,
-    /// returning per-frame NMS-filtered detections in input order.
+    /// returning per-frame NMS-filtered detections in input order. With
+    /// a fallback chain the serving level is chosen per batch by health
+    /// probe.
     pub fn detect_batch(&self, frames: &[&GrayImage]) -> Vec<Vec<Detection>> {
         if frames.is_empty() {
             return Vec::new();
         }
+        let detector = self.select_level(frames.len() as u64);
+        self.run_batch(detector, frames)
+    }
+
+    /// The staged parallel pipeline over one fixed detector.
+    fn run_batch(&self, detector: &TrainedDetector, frames: &[&GrayImage]) -> Vec<Vec<Detection>> {
         let workers = self.config.workers;
         let batch_start = Instant::now();
 
@@ -107,7 +255,7 @@ impl<'d> DetectionServer<'d> {
         let grids = parallel_map(workers, level_of.len(), |i| {
             let (f, l) = level_of[i];
             let level = &pyramids[f].levels[l];
-            let grid = Detector::cell_grid(&self.detector.extractor, &level.image);
+            let grid = Detector::cell_grid(&detector.extractor, &level.image);
             (grid, level.scale)
         });
         self.metrics.add_stage(Stage::Cells, t.elapsed());
@@ -123,7 +271,7 @@ impl<'d> DetectionServer<'d> {
         let raw = parallel_map(workers, chunks.len(), |i| {
             let chunk = &chunks[i];
             let (grid, scale) = &grids[chunk.grid];
-            self.engine.score_rows(self.detector, grid, *scale, chunk.rows.clone())
+            self.engine.score_rows(detector, grid, *scale, chunk.rows.clone())
         });
         let window_cells_x = WINDOW_WIDTH / CELL_SIZE;
         let windows: u64 = chunks
@@ -201,8 +349,18 @@ impl<'d> DetectionServer<'d> {
 
     /// Snapshots the serving metrics. Pass the simulator counters when
     /// the detector runs on the TrueNorth substrate (e.g. from
-    /// `NApproxHogCorelet::stats`) to thread them into the report.
+    /// `NApproxHogCorelet::stats`) to thread them into the report. The
+    /// report carries per-level batch counts and degradation totals when
+    /// the server has a fallback chain.
     pub fn report(&self, system: Option<SystemStats>) -> RuntimeReport {
-        self.metrics.report(self.config.workers, system)
+        let mut report = self.metrics.report(self.config.workers, system);
+        report.levels = self
+            .chain
+            .labels()
+            .into_iter()
+            .zip(self.metrics.level_counts())
+            .map(|(label, batches)| LevelReport { label, batches })
+            .collect();
+        report
     }
 }

@@ -28,14 +28,19 @@ fn small_detector() -> TrainedDetector {
     TrainedDetector { extractor, classifier: WindowClassifier::Svm { model, scaler } }
 }
 
+/// A runtime configuration via the validating builder.
+fn config_with_workers(workers: usize) -> RuntimeConfig {
+    RuntimeConfig::builder().workers(workers).build().expect("valid config")
+}
+
 #[test]
 fn parallel_detection_is_bit_identical_to_serial() {
     let detector = small_detector();
     let engine = Detector::default();
     let serial_server =
-        DetectionServer::new(Detector::default(), &detector, RuntimeConfig::with_workers(1));
+        DetectionServer::new(Detector::default(), &detector, config_with_workers(1)).unwrap();
     let parallel_server =
-        DetectionServer::new(Detector::default(), &detector, RuntimeConfig::with_workers(4));
+        DetectionServer::new(Detector::default(), &detector, config_with_workers(4)).unwrap();
     // Three differently-seeded scenes; each must produce the same
     // detections — same order, scores bit-equal — under the serial
     // engine, a one-worker pool and a four-worker pool.
@@ -55,15 +60,15 @@ fn parallel_detection_is_bit_identical_to_serial() {
 #[test]
 fn batch_and_serve_match_per_frame_results() {
     let detector = small_detector();
-    let server = DetectionServer::new(
-        Detector::default(),
-        &detector,
-        RuntimeConfig {
-            workers: 3,
-            chunk_rows: 2,
-            queue: QueueConfig { capacity: 4, batch_size: 2, backpressure: Backpressure::Block },
-        },
-    );
+    let config = RuntimeConfig::builder()
+        .workers(3)
+        .chunk_rows(2)
+        .queue_capacity(4)
+        .batch_size(2)
+        .backpressure(Backpressure::Block)
+        .build()
+        .unwrap();
+    let server = DetectionServer::new(Detector::default(), &detector, config).unwrap();
     let ds = SynthDataset::new(SynthConfig::default());
     let frames: Vec<_> = (0..4).map(|i| ds.test_scene(i).image.clone()).collect();
     let refs: Vec<_> = frames.iter().collect();
@@ -103,15 +108,15 @@ fn reject_backpressure_errors_without_deadlock() {
 #[test]
 fn serve_under_reject_drops_overflow_but_completes() {
     let detector = small_detector();
-    let server = DetectionServer::new(
-        Detector::default(),
-        &detector,
-        RuntimeConfig {
-            workers: 2,
-            chunk_rows: 4,
-            queue: QueueConfig { capacity: 1, batch_size: 1, backpressure: Backpressure::Reject },
-        },
-    );
+    let config = RuntimeConfig::builder()
+        .workers(2)
+        .chunk_rows(4)
+        .queue_capacity(1)
+        .batch_size(1)
+        .backpressure(Backpressure::Reject)
+        .build()
+        .unwrap();
+    let server = DetectionServer::new(Detector::default(), &detector, config).unwrap();
     let ds = SynthDataset::new(SynthConfig::default());
     let frames: Vec<_> = (0..6).map(|i| ds.test_scene(i).image.clone()).collect();
     // With a one-slot queue and a fast feeder, some frames may be

@@ -272,6 +272,17 @@ impl NeuroCore {
     pub(crate) fn autonomously_active(&self) -> bool {
         self.configs.iter().any(|c| c.leak != 0 || c.stochastic_mask != 0)
     }
+
+    /// Shifts `neuron`'s firing threshold by `delta` (clamped so the
+    /// threshold stays positive) and returns the shift actually applied,
+    /// so the fault layer can revert the drift exactly when a plan is
+    /// detached.
+    pub(crate) fn apply_threshold_drift(&mut self, neuron: u16, delta: i32) -> i32 {
+        let cfg = &mut self.configs[neuron as usize];
+        let old = cfg.threshold;
+        cfg.threshold = old.saturating_add(delta).max(1);
+        cfg.threshold - old
+    }
 }
 
 #[cfg(test)]

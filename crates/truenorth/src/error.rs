@@ -65,6 +65,11 @@ pub enum TrueNorthError {
         /// The hardware limit.
         limit: usize,
     },
+    /// A fault plan did not validate against this system's shape.
+    InvalidFaultPlan {
+        /// The validation failure, as reported by `pcnn-faults`.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrueNorthError {
@@ -96,6 +101,9 @@ impl fmt::Display for TrueNorthError {
             }
             TrueNorthError::CrossbarOverflow { what, required, limit } => {
                 write!(f, "crossbar overflow: {what} requires {required}, limit is {limit}")
+            }
+            TrueNorthError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
         }
     }

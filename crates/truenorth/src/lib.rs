@@ -23,7 +23,13 @@
 //!   fabric: deterministic rate codes and Bernoulli stochastic codes
 //!   ([`coding`]);
 //! * a **power model** calibrated to the published figures (≈16 µW per
-//!   active core, 66 mW for a 4096-core chip at 0.8 V) ([`power`]).
+//!   active core, 66 mW for a 4096-core chip at 0.8 V) ([`power`]);
+//! * a **fault-injection layer**: a seeded, declarative [`FaultPlan`]
+//!   (dead cores, stuck-at axons/neurons, spike drop/duplication, delay
+//!   jitter, threshold drift) attached with
+//!   [`System::set_fault_plan`](system::System::set_fault_plan) — a
+//!   trivial plan is bit-identical to an unfaulted run, and any
+//!   `(seed, plan)` pair replays exactly.
 //!
 //! The simulator is deterministic: all randomness (stochastic neuron
 //! thresholds, stochastic spike coding) flows from explicitly seeded PRNGs,
@@ -87,3 +93,7 @@ pub use placement::{audit_routes, Placement, RoutingAudit};
 pub use power::{PowerEstimate, PowerModel, CHIP_CORES, CHIP_POWER_MW, CORE_POWER_UW};
 pub use probe::{PotentialTrace, SpikeRaster};
 pub use system::{SpikeTarget, System, SystemStats};
+
+// Fault-injection vocabulary, re-exported so simulator users can build
+// plans without depending on `pcnn-faults` directly.
+pub use pcnn_faults::{FaultPlan, FaultStats, StuckAt, StuckAxon, StuckNeuron};

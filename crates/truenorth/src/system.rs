@@ -8,9 +8,10 @@
 //! tick boundary (delay 1), matching the hardware's one-tick input latency.
 
 use crate::core_impl::NeuroCore;
-use crate::crossbar::AXONS_PER_CORE;
+use crate::crossbar::{AXONS_PER_CORE, NEURONS_PER_CORE};
 use crate::error::{Result, TrueNorthError};
 use crate::ids::CoreHandle;
+use pcnn_faults::{ActiveFaults, FaultPlan, FaultStats};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -109,6 +110,21 @@ pub struct System {
     auto_active: Vec<bool>,
     /// Reusable buffer for spikes routed during a tick.
     route_scratch: Vec<SpikeTarget>,
+    /// Attached fault-injection layer, if any. Boxed so the fault-free
+    /// fast path only pays for a null check; taken out of `self` for the
+    /// duration of a tick to keep the borrow checker out of the hot loop.
+    faults: Option<Box<FaultLayer>>,
+}
+
+/// An [`ActiveFaults`] table plus the bookkeeping needed to detach it
+/// again (threshold drift is applied destructively to neuron configs and
+/// must be reverted exactly).
+#[derive(Debug, Clone)]
+struct FaultLayer {
+    active: ActiveFaults,
+    /// `(core, neuron, applied_delta)` — deltas as actually applied after
+    /// clamping, in application order.
+    applied_drift: Vec<(u32, u16, i32)>,
 }
 
 impl Default for System {
@@ -140,7 +156,63 @@ impl System {
             in_ready_next: Vec::new(),
             auto_active: Vec::new(),
             route_scratch: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan, replacing any previous one.
+    ///
+    /// The plan is validated against this system's shape, compiled, and
+    /// consulted from [`tick`](System::tick) onwards: dead cores stop
+    /// being stepped, stuck-at elements are forced, and the fabric
+    /// drops/duplicates/delays spikes per the plan's rates. Threshold
+    /// drift is applied to the affected neuron configs immediately (and
+    /// reverted exactly on [`clear_fault_plan`](System::clear_fault_plan)
+    /// or replacement).
+    ///
+    /// Two determinism contracts hold (pinned by this crate's tests): a
+    /// trivial plan leaves the simulation bit-identical to an unfaulted
+    /// run, and re-running the same `(system seed, plan)` pair reproduces
+    /// identical spike trains — all stochastic fault decisions draw from
+    /// the plan's own PRNG, never from the system's.
+    ///
+    /// # Errors
+    ///
+    /// [`TrueNorthError::InvalidFaultPlan`] if the plan references cores,
+    /// axons or neurons outside this system, or has out-of-range rates.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<()> {
+        let active =
+            ActiveFaults::compile(plan, self.cores.len(), AXONS_PER_CORE, NEURONS_PER_CORE)
+                .map_err(|e| TrueNorthError::InvalidFaultPlan { reason: e.to_string() })?;
+        self.clear_fault_plan();
+        let mut applied_drift = Vec::with_capacity(active.drift_entries().len());
+        for d in active.drift_entries() {
+            let applied = self.cores[d.core as usize].apply_threshold_drift(d.neuron, d.delta);
+            applied_drift.push((d.core, d.neuron, applied));
+        }
+        self.faults = Some(Box::new(FaultLayer { active, applied_drift }));
+        Ok(())
+    }
+
+    /// Detaches the fault plan, reverting any applied threshold drift.
+    /// No-op if no plan is attached.
+    pub fn clear_fault_plan(&mut self) {
+        if let Some(layer) = self.faults.take() {
+            for &(core, neuron, applied) in layer.applied_drift.iter().rev() {
+                self.cores[core as usize].apply_threshold_drift(neuron, -applied);
+            }
+        }
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|l| l.active.plan())
+    }
+
+    /// Fault-activity counters accumulated since the plan was attached,
+    /// or `None` when no plan is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|l| l.active.stats())
     }
 
     /// Registers a core and returns its handle.
@@ -223,9 +295,36 @@ impl System {
     pub fn tick(&mut self) {
         self.now += 1;
         self.stats.ticks += 1;
+        // The fault layer (if any) is moved out for the duration of the
+        // tick so its &mut hooks can interleave with field borrows.
+        let mut faults = self.faults.take();
+        if let Some(layer) = faults.as_mut() {
+            // Stuck-active axons see a spike on every tick, and cores with
+            // stuck-active elements must be stepped even when otherwise
+            // idle so their forced firings are observed.
+            let (cores, in_ready, ready) = (&mut self.cores, &mut self.in_ready, &mut self.ready);
+            layer.active.for_each_stuck_active_delivery(|core, axon| {
+                cores[core as usize].deliver(axon);
+                if !in_ready[core as usize] {
+                    in_ready[core as usize] = true;
+                    ready.push(core);
+                }
+            });
+            for &core in layer.active.always_live_cores() {
+                if !self.in_ready[core as usize] {
+                    self.in_ready[core as usize] = true;
+                    self.ready.push(core);
+                }
+            }
+        }
         let slot = (self.now % self.wheel.len() as u64) as usize;
         let mut due = std::mem::take(&mut self.wheel[slot]);
         for &(core, axon) in &due {
+            if let Some(layer) = faults.as_mut() {
+                if layer.active.suppresses_delivery(core, axon) {
+                    continue;
+                }
+            }
             self.cores[core as usize].deliver(axon);
             if !self.in_ready[core as usize] {
                 self.in_ready[core as usize] = true;
@@ -243,10 +342,17 @@ impl System {
         ready.sort_unstable();
         for &ci in &ready {
             self.in_ready[ci as usize] = false;
+            if faults.as_ref().is_some_and(|l| l.active.is_dead(ci)) {
+                continue;
+            }
             let core = &mut self.cores[ci as usize];
             self.fired_scratch.clear();
             let (events, live) = core.tick(&mut self.rng, &mut self.fired_scratch);
             self.stats.synaptic_events += events;
+            if let Some(layer) = faults.as_mut() {
+                layer.active.filter_fired(ci, &mut self.fired_scratch);
+            }
+            let core = &self.cores[ci as usize];
             for &n in &self.fired_scratch {
                 if let Some(target) = core.route(n as usize) {
                     self.route_scratch.push(target);
@@ -261,22 +367,45 @@ impl System {
         self.ready = std::mem::replace(&mut self.ready_next, ready);
         std::mem::swap(&mut self.in_ready, &mut self.in_ready_next);
 
+        let stochastic_fabric = faults.as_ref().is_some_and(|l| l.active.has_stochastic_routing());
         let mut to_route = std::mem::take(&mut self.route_scratch);
         for &target in &to_route {
             match target {
                 SpikeTarget::Axon { core, axon, delay } => {
-                    let slot = ((self.now + u64::from(delay)) % self.wheel.len() as u64) as usize;
-                    self.wheel[slot].push((core.0, axon));
-                    self.stats.routed_spikes += 1;
+                    if stochastic_fabric {
+                        let layer = faults.as_mut().expect("stochastic_fabric implies a layer");
+                        let fate = layer.active.fabric_route_fate();
+                        for copy in 0..fate.copies as usize {
+                            let d = (u32::from(delay) + u32::from(fate.extra[copy])).min(MAX_DELAY);
+                            let slot =
+                                ((self.now + u64::from(d)) % self.wheel.len() as u64) as usize;
+                            self.wheel[slot].push((core.0, axon));
+                            self.stats.routed_spikes += 1;
+                        }
+                    } else {
+                        let slot =
+                            ((self.now + u64::from(delay)) % self.wheel.len() as u64) as usize;
+                        self.wheel[slot].push((core.0, axon));
+                        self.stats.routed_spikes += 1;
+                    }
                 }
                 SpikeTarget::Output { pin } => {
-                    self.outputs.push((self.now, pin));
-                    self.stats.output_spikes += 1;
+                    let copies = if stochastic_fabric {
+                        let layer = faults.as_mut().expect("stochastic_fabric implies a layer");
+                        layer.active.output_route_fate()
+                    } else {
+                        1
+                    };
+                    for _ in 0..copies {
+                        self.outputs.push((self.now, pin));
+                        self.stats.output_spikes += 1;
+                    }
                 }
             }
         }
         to_route.clear();
         self.route_scratch = to_route;
+        self.faults = faults;
     }
 
     /// Runs `n` ticks.

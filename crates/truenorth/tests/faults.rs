@@ -1,0 +1,182 @@
+//! Fault-injection determinism contracts.
+//!
+//! Pins the two guarantees the fault layer is built around:
+//!
+//! 1. a trivial (zero-fault) plan is **bit-identical** to an unfaulted
+//!    run — attaching it perturbs neither spike trains nor stats;
+//! 2. any `(system seed, plan)` pair **replays exactly** — the fault
+//!    PRNG is independent of the system PRNG.
+
+use pcnn_truenorth::{
+    FaultPlan, NeuroCoreBuilder, NeuronConfig, SpikeTarget, StuckAt, System, SystemStats,
+    TrueNorthError,
+};
+
+/// A 3-core chain with stochastic neurons, delayed routes and fan-out,
+/// driven by a fixed injection schedule — busy enough that any stray
+/// RNG draw or delivery reordering shows up in the output spike train.
+fn build_system(seed: u64) -> System {
+    let mut sys = System::with_seed(seed);
+    // Core 2: output stage, two neurons onto distinct pins.
+    let mut b = NeuroCoreBuilder::new();
+    b.connect(0, 0).connect(1, 1).connect(0, 1);
+    b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 2));
+    b.set_neuron(1, NeuronConfig::excitatory(&[1, 0, 0, 0], 1).with_stochastic_mask(3));
+    b.route_neuron(0, SpikeTarget::output(0));
+    b.route_neuron(1, SpikeTarget::output(1));
+    let out = sys.add_core(b.build());
+    // Core 1: stochastic relay with a delayed route.
+    let mut b = NeuroCoreBuilder::new();
+    b.connect(0, 0).connect(0, 1);
+    b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1).with_stochastic_mask(1));
+    b.set_neuron(1, NeuronConfig::excitatory(&[2, 0, 0, 0], 3));
+    b.route_neuron(0, SpikeTarget::axon(out, 0));
+    b.route_neuron(1, SpikeTarget::axon_delayed(out, 1, 4).unwrap());
+    let mid = sys.add_core(b.build());
+    // Core 0: leaky front end (autonomously active).
+    let mut b = NeuroCoreBuilder::new();
+    b.connect(3, 0);
+    b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 3).with_leak(1));
+    b.route_neuron(0, SpikeTarget::axon(mid, 0));
+    sys.add_core(b.build());
+    sys
+}
+
+/// Drives the fixed schedule and returns the complete observable trace.
+fn run(sys: &mut System, ticks: u64) -> (Vec<(u64, u32)>, SystemStats) {
+    let front = pcnn_truenorth::CoreHandle::from_index(2);
+    for t in 0..ticks {
+        if t % 3 == 0 {
+            sys.inject(front, 3);
+        }
+        sys.tick();
+    }
+    (sys.drain_output_spikes(), sys.stats())
+}
+
+#[test]
+fn trivial_plan_is_bit_identical_to_unfaulted_run() {
+    let mut clean = build_system(99);
+    let mut faulted = build_system(99);
+    faulted.set_fault_plan(&FaultPlan::seeded(12345)).unwrap();
+    assert!(faulted.fault_plan().unwrap().is_trivial());
+    let (clean_spikes, clean_stats) = run(&mut clean, 200);
+    let (faulted_spikes, faulted_stats) = run(&mut faulted, 200);
+    assert_eq!(clean_spikes, faulted_spikes);
+    assert_eq!(clean_stats, faulted_stats);
+    assert_eq!(faulted.fault_stats().unwrap().total_events(), 0);
+}
+
+#[test]
+fn seed_plan_pair_replays_bit_identically() {
+    let plan = FaultPlan::seeded(7)
+        .with_dead_core(0)
+        .with_stuck_axon(1, 0, StuckAt::Silent)
+        .with_stuck_neuron(1, 1, StuckAt::Active)
+        .with_drop_rate(0.1)
+        .with_duplicate_rate(0.1)
+        .with_delay_jitter(0.2, 5)
+        .with_threshold_drift(0.3, 2);
+    let mut a = build_system(4242);
+    let mut b = build_system(4242);
+    a.set_fault_plan(&plan).unwrap();
+    b.set_fault_plan(&plan).unwrap();
+    let (spikes_a, stats_a) = run(&mut a, 300);
+    let (spikes_b, stats_b) = run(&mut b, 300);
+    assert_eq!(spikes_a, spikes_b);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(a.fault_stats(), b.fault_stats());
+    assert!(a.fault_stats().unwrap().total_events() > 0, "faults actually fired");
+}
+
+#[test]
+fn different_fault_seeds_diverge() {
+    let plan = FaultPlan::seeded(1).with_drop_rate(0.3);
+    let mut a = build_system(4242);
+    let mut b = build_system(4242);
+    a.set_fault_plan(&plan).unwrap();
+    b.set_fault_plan(&FaultPlan { seed: 2, ..plan }).unwrap();
+    let (spikes_a, _) = run(&mut a, 300);
+    let (spikes_b, _) = run(&mut b, 300);
+    assert_ne!(spikes_a, spikes_b);
+}
+
+#[test]
+fn dead_core_silences_its_outputs() {
+    // Core 2 (the leaky front end) drives the whole chain; killing the
+    // middle relay must silence every output while leaving the system
+    // running (no panic, stats still advance).
+    let mut sys = build_system(5);
+    sys.set_fault_plan(&FaultPlan::seeded(0).with_dead_core(1)).unwrap();
+    let (spikes, stats) = run(&mut sys, 100);
+    assert!(spikes.is_empty(), "all outputs flow through the dead relay");
+    assert_eq!(stats.ticks, 100);
+    assert!(sys.fault_stats().unwrap().deliveries_suppressed > 0);
+}
+
+#[test]
+fn full_drop_rate_silences_fabric_but_not_injections() {
+    let mut sys = build_system(5);
+    sys.set_fault_plan(&FaultPlan::seeded(0).with_drop_rate(1.0)).unwrap();
+    let (spikes, _) = run(&mut sys, 100);
+    assert!(spikes.is_empty(), "every routed spike is lost");
+    let fs = sys.fault_stats().unwrap();
+    assert!(fs.spikes_dropped > 0);
+}
+
+#[test]
+fn stuck_active_neuron_fires_every_tick() {
+    // Fresh system: one core, neuron 0 routed to pin 0, no connectivity
+    // at all. A stuck-active plan must produce one output per tick.
+    let mut sys = System::new();
+    let mut b = NeuroCoreBuilder::new();
+    b.route_neuron(0, SpikeTarget::output(0));
+    sys.add_core(b.build());
+    sys.set_fault_plan(&FaultPlan::seeded(0).with_stuck_neuron(0, 0, StuckAt::Active)).unwrap();
+    sys.run(10);
+    let counts = sys.drain_output_counts(1);
+    assert_eq!(counts[0], 10);
+    assert_eq!(sys.fault_stats().unwrap().firings_forced, 10);
+}
+
+#[test]
+fn clearing_plan_restores_clean_behaviour() {
+    let plan = FaultPlan::seeded(3).with_threshold_drift(0.5, 4).with_dead_core(0);
+    let mut sys = build_system(11);
+    sys.set_fault_plan(&plan).unwrap();
+    assert!(sys.fault_stats().unwrap().drifted_neurons > 0);
+    sys.clear_fault_plan();
+    assert!(sys.fault_stats().is_none());
+    // After clearing (drift reverted), a fresh run matches a system that
+    // never saw the plan. Reset state so both start cold; the system RNG
+    // has not advanced differently because fault PRNGs are independent.
+    sys.reset_state();
+    let mut clean = build_system(11);
+    clean.reset_state();
+    let (a, _) = run(&mut sys, 150);
+    let (b, _) = run(&mut clean, 150);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn invalid_plans_are_rejected_not_panicked() {
+    let mut sys = build_system(0);
+    let err = sys.set_fault_plan(&FaultPlan::seeded(0).with_dead_core(99)).unwrap_err();
+    assert!(matches!(err, TrueNorthError::InvalidFaultPlan { .. }));
+    assert!(err.to_string().contains("core"));
+    // The rejected plan must not be attached.
+    assert!(sys.fault_plan().is_none());
+    let err = sys.set_fault_plan(&FaultPlan::seeded(0).with_drop_rate(1.5)).unwrap_err();
+    assert!(matches!(err, TrueNorthError::InvalidFaultPlan { .. }));
+}
+
+#[test]
+fn plan_survives_reset_state() {
+    let mut sys = build_system(8);
+    sys.set_fault_plan(&FaultPlan::seeded(0).with_dead_core(1)).unwrap();
+    let (first, _) = run(&mut sys, 80);
+    assert!(first.is_empty());
+    sys.reset_state();
+    let (second, _) = run(&mut sys, 80);
+    assert!(second.is_empty(), "plan still suppresses after reset_state");
+}

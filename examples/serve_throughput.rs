@@ -8,7 +8,7 @@
 
 use pcnn::core::{Detector, Extractor, PartitionedSystem, TrainSetConfig};
 use pcnn::hog::BlockNorm;
-use pcnn::runtime::{Backpressure, DetectionServer, QueueConfig, RuntimeConfig};
+use pcnn::runtime::{Backpressure, DetectionServer, RuntimeConfig};
 use pcnn::vision::{SynthConfig, SynthDataset};
 use std::time::Instant;
 
@@ -33,19 +33,16 @@ fn main() {
 
     let mut baseline_fps = 0.0;
     for workers in [1usize, 2, 4, 8] {
-        let server = DetectionServer::new(
-            Detector::default(),
-            &detector,
-            RuntimeConfig {
-                workers,
-                chunk_rows: 4,
-                queue: QueueConfig {
-                    capacity: 16,
-                    batch_size: 4,
-                    backpressure: Backpressure::Block,
-                },
-            },
-        );
+        let config = RuntimeConfig::builder()
+            .workers(workers)
+            .chunk_rows(4)
+            .queue_capacity(16)
+            .batch_size(4)
+            .backpressure(Backpressure::Block)
+            .build()
+            .expect("valid runtime config");
+        let server = DetectionServer::new(Detector::default(), &detector, config)
+            .expect("valid server config");
         let start = Instant::now();
         let results = server.serve(&frames);
         let elapsed = start.elapsed();

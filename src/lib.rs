@@ -6,6 +6,9 @@
 //! stable module hierarchy so downstream users can depend on one crate:
 //!
 //! * [`truenorth`] — tick-accurate neurosynaptic-system simulator;
+//! * [`faults`] — seeded, replayable fault plans (dead cores, stuck
+//!   axons/neurons, spike loss, delay jitter, threshold drift) injected
+//!   into the simulator;
 //! * [`vision`] — image substrate, synthetic pedestrian dataset, detection
 //!   evaluation (miss rate vs. false positives per image);
 //! * [`hog`] — HoG feature-extraction variants (Dalal–Triggs, FPGA
@@ -30,6 +33,7 @@
 pub use pcnn_core as core;
 pub use pcnn_corelets as corelets;
 pub use pcnn_eedn as eedn;
+pub use pcnn_faults as faults;
 pub use pcnn_hog as hog;
 pub use pcnn_parrot as parrot;
 pub use pcnn_runtime as runtime;

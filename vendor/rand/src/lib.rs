@@ -1,7 +1,7 @@
 //! Workspace-local stand-in for the `rand` crate.
 //!
 //! The build environment has no access to a crates.io registry, so the
-//! workspace vendors the exact API surface it consumes: [`SmallRng`]
+//! workspace vendors the exact API surface it consumes: [`rngs::SmallRng`]
 //! (xoshiro256++, the same generator family `rand` 0.9 uses on 64-bit
 //! targets, seeded through SplitMix64 like upstream `seed_from_u64`),
 //! the [`Rng`]/[`SeedableRng`] methods the code calls, and

@@ -1,14 +1,16 @@
 //! Workspace-local stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
-//! the simplified [`serde::Value`] data model of the vendored `serde`
+//! the simplified `serde::Value` data model of the vendored `serde`
 //! crate, by walking the raw token stream (no `syn`/`quote` — the build
 //! environment has no registry access). Supported shapes are exactly
 //! what this workspace derives: non-generic structs (named, tuple,
 //! unit) and enums (unit, tuple, and struct variants), plus the
 //! `#[serde(skip)]` field attribute (skipped on serialize, filled from
-//! `Default` on deserialize). Anything else panics at compile time with
-//! a clear message rather than miscompiling.
+//! `Default` on deserialize) and `#[serde(default)]` (serialized
+//! normally, filled from `Default` when the field is absent on
+//! deserialize). Anything else panics at compile time with a clear
+//! message rather than miscompiling.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -29,6 +31,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct NamedField {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 enum Fields {
@@ -73,23 +76,24 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Consumes leading attributes; returns whether any was `#[serde(skip)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut skip = false;
+    /// Consumes leading attributes; returns the accumulated
+    /// `#[serde(...)]` field flags.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         loop {
             match self.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     self.next();
                     match self.next() {
                         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                            if attr_is_serde_skip(g.stream()) {
-                                skip = true;
-                            }
+                            let parsed = parse_serde_attr(g.stream());
+                            attrs.skip |= parsed.skip;
+                            attrs.default |= parsed.default;
                         }
                         other => panic!("expected [...] after # in attribute, found {other:?}"),
                     }
                 }
-                _ => return skip,
+                _ => return attrs,
             }
         }
     }
@@ -132,7 +136,14 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+/// Flags gathered from a field's `#[serde(...)]` attributes.
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+fn parse_serde_attr(stream: TokenStream) -> FieldAttrs {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     match tokens.as_slice() {
         [TokenTree::Ident(name), TokenTree::Group(args)]
@@ -140,20 +151,28 @@ fn attr_is_serde_skip(stream: TokenStream) -> bool {
         {
             let inner: Vec<TokenTree> = args.stream().into_iter().collect();
             match inner.as_slice() {
-                [TokenTree::Ident(opt)] if opt.to_string() == "skip" => true,
+                [TokenTree::Ident(opt)] if opt.to_string() == "skip" => {
+                    FieldAttrs { skip: true, default: false }
+                }
+                [TokenTree::Ident(opt)] if opt.to_string() == "default" => {
+                    FieldAttrs { skip: false, default: true }
+                }
                 _ => panic!(
-                    "vendored serde_derive only supports #[serde(skip)], found #[serde({})]",
+                    "vendored serde_derive only supports #[serde(skip)] and #[serde(default)], \
+                     found #[serde({})]",
                     args.stream()
                 ),
             }
         }
-        _ => false, // a non-serde attribute (doc comment, allow, ...)
+        _ => FieldAttrs::default(), // a non-serde attribute (doc comment, allow, ...)
     }
 }
 
 fn parse_item(input: TokenStream) -> Item {
     let mut c = Cursor::new(input);
-    c.skip_attrs();
+    // A container-level #[serde(default)] marks every named field
+    // optional on deserialize, as in real serde.
+    let container = c.skip_attrs();
     c.skip_vis();
     let keyword = c.expect_ident("`struct` or `enum`");
     let name = c.expect_ident("type name");
@@ -163,7 +182,17 @@ fn parse_item(input: TokenStream) -> Item {
         }
     }
     let data = match keyword.as_str() {
-        "struct" => Data::Struct(parse_struct_body(&mut c, &name)),
+        "struct" => {
+            let mut fields = parse_struct_body(&mut c, &name);
+            if container.default {
+                if let Fields::Named(named) = &mut fields {
+                    for f in named {
+                        f.default = true;
+                    }
+                }
+            }
+            Data::Struct(fields)
+        }
         "enum" => Data::Enum(parse_enum_body(&mut c, &name)),
         other => panic!("cannot derive serde traits for `{other} {name}`"),
     };
@@ -187,7 +216,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let skip = c.skip_attrs();
+        let attrs = c.skip_attrs();
         if c.at_end() {
             break;
         }
@@ -198,7 +227,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
             other => panic!("expected `:` after field `{name}`, found {other:?}"),
         }
         c.skip_until_comma();
-        fields.push(NamedField { name, skip });
+        fields.push(NamedField { name, skip: attrs.skip, default: attrs.default });
     }
     fields
 }
@@ -343,6 +372,13 @@ fn named_de_fields(type_label: &str, fields: &[NamedField], source: &str) -> Str
     for f in fields {
         if f.skip {
             out.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+        } else if f.default {
+            out.push_str(&format!(
+                "{n}: match {source}.get(\"{n}\") {{ \
+                 ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+                 ::std::option::Option::None => ::std::default::Default::default(), }},",
+                n = f.name
+            ));
         } else {
             out.push_str(&format!(
                 "{n}: ::serde::Deserialize::from_value({source}.get(\"{n}\").ok_or_else(|| \
