@@ -9,6 +9,7 @@ use pcnn_eedn::tensor::Tensor;
 use pcnn_eedn::{Dataset, Sequential};
 use pcnn_svm::{FeatureScaler, LinearSvm};
 use serde::{Deserialize, Serialize};
+use std::ops::ControlFlow;
 
 /// A trained classifier scoring window descriptors (higher = more
 /// person-like).
@@ -114,6 +115,86 @@ impl std::fmt::Debug for EednClassifier {
     }
 }
 
+/// A serializable snapshot of an [`EednClassifier`]'s learned state.
+///
+/// The classifier's topology is fixed (three grouped trinary layers with
+/// hard-sigmoid activations and two inter-layer permutations), so the
+/// state is exactly the three [`GroupedLinear`] layers — including their
+/// Adam moment estimates, so a restored network continues optimizing
+/// bit-identically — plus the two permutation tables and the fitted
+/// feature scaler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EednClassifierState {
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// TrueNorth cores the classifier occupies.
+    pub core_count: usize,
+    /// The fitted feature standardizer.
+    pub scaler: FeatureScaler,
+    /// First grouped layer, with optimizer state.
+    pub l1: GroupedLinear,
+    /// Permutation table between layers 1 and 2.
+    pub perm1: Vec<usize>,
+    /// Second grouped layer, with optimizer state.
+    pub l2: GroupedLinear,
+    /// Permutation table between layers 2 and 3.
+    pub perm2: Vec<usize>,
+    /// Output layer, with optimizer state.
+    pub l3: GroupedLinear,
+}
+
+/// One per-epoch training checkpoint emitted by
+/// [`EednClassifier::try_train_with`].
+///
+/// `epoch` counts *completed* epochs; resuming from this checkpoint
+/// continues with epoch index `epoch`. Because the training loop derives
+/// each epoch's batch order from `config.seed ^ (0x100 + epoch)`, no
+/// mid-stream RNG state needs to be carried: `rng_state` records the
+/// seed the per-epoch orders derive from, and a resumed run replays the
+/// exact batch sequence an uninterrupted run would have seen.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EednCheckpoint {
+    /// Number of completed epochs.
+    pub epoch: usize,
+    /// The configuration of the interrupted run (resume validates it).
+    pub config: EednClassifierConfig,
+    /// Base seed that per-epoch batch orders derive from.
+    pub rng_state: u64,
+    /// Mean batch loss over the epoch just completed.
+    pub epoch_loss: f32,
+    /// The full learned state (weights + Adam moments + scaler).
+    pub state: EednClassifierState,
+}
+
+/// Extracts the serializable state from a live network.
+///
+/// The topology is fixed by construction (layers 0/3/6 are the grouped
+/// linears, 2/5 the permutations), so the downcasts cannot fail on a
+/// classifier this module built.
+fn state_of(
+    net: &Sequential,
+    scaler: &FeatureScaler,
+    in_dim: usize,
+    core_count: usize,
+) -> EednClassifierState {
+    let linear = |i: usize| -> GroupedLinear {
+        net.layer_as::<GroupedLinear>(i).expect("eedn classifier has a fixed topology").clone()
+    };
+    let perm = |i: usize| -> Vec<usize> {
+        net.layer_as::<Permute>(i).expect("eedn classifier has a fixed topology").table().to_vec()
+    };
+    EednClassifierState {
+        in_dim,
+        core_count,
+        scaler: scaler.clone(),
+        l1: linear(0),
+        perm1: perm(2),
+        l2: linear(3),
+        perm2: perm(5),
+        l3: linear(6),
+    }
+}
+
 /// Picks the smallest group count that divides both dims and keeps the
 /// per-group fan-in within the crossbar (127 with the ± convention).
 fn pick_groups(in_dim: usize, out_dim: usize) -> usize {
@@ -154,6 +235,33 @@ impl EednClassifier {
         labels: &[bool],
         config: EednClassifierConfig,
     ) -> Result<Self> {
+        Self::try_train_with(descriptors, labels, config, None, |_| ControlFlow::Continue(()))
+    }
+
+    /// [`try_train`](EednClassifier::try_train) with per-epoch checkpoint
+    /// emission and resumption.
+    ///
+    /// After every completed epoch, `on_checkpoint` receives an
+    /// [`EednCheckpoint`] capturing the full learned state; returning
+    /// [`ControlFlow::Break`] stops training early (the chaos tests use
+    /// this to simulate a process kill) and yields the partially trained
+    /// classifier. Passing a checkpoint as `resume_from` continues from
+    /// its epoch; because each epoch's batch order is derived from
+    /// `config.seed` and the epoch index alone, a resumed run is
+    /// **bit-identical** to an uninterrupted run with the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`try_train`](EednClassifier::try_train) reports, plus
+    /// [`Error::InvalidConfig`] if `resume_from` disagrees with `config`
+    /// or the training data, or if its state fails validation.
+    pub fn try_train_with(
+        descriptors: &[Vec<f32>],
+        labels: &[bool],
+        config: EednClassifierConfig,
+        resume_from: Option<&EednCheckpoint>,
+        mut on_checkpoint: impl FnMut(&EednCheckpoint) -> ControlFlow<()>,
+    ) -> Result<Self> {
         if descriptors.is_empty() {
             return Err(Error::InvalidTrainingSet { reason: "no training descriptors".into() });
         }
@@ -172,43 +280,156 @@ impl EednClassifier {
         }
         let in_dim = descriptors[0].len();
 
-        let scaler = FeatureScaler::fit(descriptors);
+        let (mut net, scaler, core_count, start_epoch) = match resume_from {
+            Some(ckpt) => {
+                if ckpt.config != config {
+                    return Err(Error::InvalidConfig {
+                        what: "resume_from".into(),
+                        reason: "checkpoint was written by a different training \
+                                 configuration"
+                            .into(),
+                    });
+                }
+                if ckpt.state.in_dim != in_dim {
+                    return Err(Error::InvalidConfig {
+                        what: "resume_from".into(),
+                        reason: format!(
+                            "checkpoint expects {}-dimensional descriptors, got {in_dim}",
+                            ckpt.state.in_dim
+                        ),
+                    });
+                }
+                let restored = Self::from_state(&ckpt.state)?;
+                (restored.net, restored.scaler, restored.core_count, ckpt.epoch)
+            }
+            None => {
+                let scaler = FeatureScaler::fit(descriptors);
+
+                let g1 = pick_groups(in_dim, config.hidden1);
+                let g2 = pick_groups(config.hidden1, config.hidden2);
+                let g3 = pick_groups(config.hidden2, 2).min(2);
+                let core_count = g1 + g2 + g3;
+                // The first layer must really fit (an unsatisfiable shape panics
+                // in GroupedLinear::new; checking here turns it into a
+                // recoverable error before any training time is spent). Later
+                // layers keep the historical software-side leniency: their
+                // mapping is only enforced when the net is placed on hardware.
+                check_crossbar_fit(in_dim, config.hidden1, g1)?;
+
+                let net = Sequential::new()
+                    .push(
+                        GroupedLinear::new(in_dim, config.hidden1, g1, true, config.seed ^ 1)
+                            .with_bias_init(0.5),
+                    )
+                    .push(HardSigmoid::new())
+                    .push(Permute::random(config.hidden1, config.seed ^ 2))
+                    .push(
+                        GroupedLinear::new(
+                            config.hidden1,
+                            config.hidden2,
+                            g2,
+                            true,
+                            config.seed ^ 3,
+                        )
+                        .with_bias_init(0.5),
+                    )
+                    .push(HardSigmoid::new())
+                    .push(Permute::random(config.hidden2, config.seed ^ 4))
+                    .push(GroupedLinear::new(config.hidden2, 2, g3, true, config.seed ^ 5));
+                (net, scaler, core_count, 0)
+            }
+        };
+
         let scaled = scaler.apply_all(descriptors);
-
-        let g1 = pick_groups(in_dim, config.hidden1);
-        let g2 = pick_groups(config.hidden1, config.hidden2);
-        let g3 = pick_groups(config.hidden2, 2).min(2);
-        let core_count = g1 + g2 + g3;
-        // The first layer must really fit (an unsatisfiable shape panics
-        // in GroupedLinear::new; checking here turns it into a
-        // recoverable error before any training time is spent). Later
-        // layers keep the historical software-side leniency: their
-        // mapping is only enforced when the net is placed on hardware.
-        check_crossbar_fit(in_dim, config.hidden1, g1)?;
-
-        let mut net = Sequential::new()
-            .push(
-                GroupedLinear::new(in_dim, config.hidden1, g1, true, config.seed ^ 1)
-                    .with_bias_init(0.5),
-            )
-            .push(HardSigmoid::new())
-            .push(Permute::random(config.hidden1, config.seed ^ 2))
-            .push(
-                GroupedLinear::new(config.hidden1, config.hidden2, g2, true, config.seed ^ 3)
-                    .with_bias_init(0.5),
-            )
-            .push(HardSigmoid::new())
-            .push(Permute::random(config.hidden2, config.seed ^ 4))
-            .push(GroupedLinear::new(config.hidden2, 2, g3, true, config.seed ^ 5));
-
         let ds = Dataset::from_parts(scaled, labels.iter().map(|&l| l as usize).collect());
-        for epoch in 0..config.epochs {
+        for epoch in start_epoch..config.epochs {
+            let mut loss_sum = 0.0f32;
+            let mut batches = 0usize;
             for (x, y) in ds.batches(config.batch, config.seed ^ (0x100 + epoch as u64)) {
-                net.train_step_classify(&x, &y, config.lr, 0.9);
+                loss_sum += net.train_step_classify(&x, &y, config.lr, 0.9);
+                batches += 1;
+            }
+            let checkpoint = EednCheckpoint {
+                epoch: epoch + 1,
+                config,
+                rng_state: config.seed,
+                epoch_loss: loss_sum / batches.max(1) as f32,
+                state: state_of(&net, &scaler, in_dim, core_count),
+            };
+            if on_checkpoint(&checkpoint) == ControlFlow::Break(()) {
+                return Ok(EednClassifier { net, scaler, in_dim, core_count });
             }
         }
 
         Ok(EednClassifier { net, scaler, in_dim, core_count })
+    }
+
+    /// Snapshots the full learned state for persistence.
+    pub fn to_state(&self) -> EednClassifierState {
+        state_of(&self.net, &self.scaler, self.in_dim, self.core_count)
+    }
+
+    /// Rebuilds a classifier from a persisted state.
+    ///
+    /// The restored classifier scores bit-identically to the one the
+    /// state was captured from, and (because the Adam moments travel
+    /// with each layer) continues training bit-identically too.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if the state's layer shapes are
+    /// mutually inconsistent or a permutation table is malformed —
+    /// the shapes a decoded-but-tampered checkpoint would present.
+    pub fn from_state(state: &EednClassifierState) -> Result<Self> {
+        let shape_err =
+            |reason: String| Error::InvalidConfig { what: "EednClassifierState".into(), reason };
+        if state.l1.in_dim() != state.in_dim {
+            return Err(shape_err(format!(
+                "layer 1 expects {} inputs but in_dim is {}",
+                state.l1.in_dim(),
+                state.in_dim
+            )));
+        }
+        for (name, got, want) in [
+            ("perm1", state.perm1.len(), state.l1.out_dim()),
+            ("perm2", state.perm2.len(), state.l2.out_dim()),
+        ] {
+            if got != want {
+                return Err(shape_err(format!("{name} has {got} entries, expected {want}")));
+            }
+        }
+        if state.l2.in_dim() != state.l1.out_dim() || state.l3.in_dim() != state.l2.out_dim() {
+            return Err(shape_err("layer widths do not chain".into()));
+        }
+        if state.l3.out_dim() != 2 {
+            return Err(shape_err(format!(
+                "output layer has {} logits, expected 2",
+                state.l3.out_dim()
+            )));
+        }
+        for (name, perm) in [("perm1", &state.perm1), ("perm2", &state.perm2)] {
+            let mut seen = vec![false; perm.len()];
+            for &p in perm {
+                if p >= perm.len() || seen[p] {
+                    return Err(shape_err(format!("{name} is not a permutation")));
+                }
+                seen[p] = true;
+            }
+        }
+        let net = Sequential::new()
+            .push(state.l1.clone())
+            .push(HardSigmoid::new())
+            .push(Permute::from_perm(state.perm1.clone()))
+            .push(state.l2.clone())
+            .push(HardSigmoid::new())
+            .push(Permute::from_perm(state.perm2.clone()))
+            .push(state.l3.clone());
+        Ok(EednClassifier {
+            net,
+            scaler: state.scaler.clone(),
+            in_dim: state.in_dim,
+            core_count: state.core_count,
+        })
     }
 
     /// Input dimensionality.
@@ -314,6 +535,97 @@ mod tests {
                     / ys.iter().filter(|&&y| !y).count() as f32;
             assert!(mean_pos > mean_neg, "{}: pos {mean_pos} vs neg {mean_neg}", c.label());
         }
+    }
+
+    #[test]
+    fn state_roundtrip_scores_bit_identically() {
+        let (xs, ys) = blobs(120, 24, 7);
+        let c = EednClassifier::train(
+            &xs,
+            &ys,
+            EednClassifierConfig { hidden1: 24, hidden2: 12, epochs: 5, ..Default::default() },
+        );
+        let restored = EednClassifier::from_state(&c.to_state()).unwrap();
+        for x in &xs {
+            assert_eq!(c.score(x).to_bits(), restored.score(x).to_bits());
+        }
+        assert_eq!(restored.core_count(), c.core_count());
+    }
+
+    #[test]
+    fn from_state_rejects_tampered_shapes() {
+        let (xs, ys) = blobs(60, 16, 8);
+        let c = EednClassifier::train(
+            &xs,
+            &ys,
+            EednClassifierConfig { hidden1: 16, hidden2: 8, epochs: 1, ..Default::default() },
+        );
+        let mut bad = c.to_state();
+        bad.perm1[0] = bad.perm1[1]; // duplicate entry: not a permutation
+        assert!(matches!(
+            EednClassifier::from_state(&bad).unwrap_err(),
+            Error::InvalidConfig { .. }
+        ));
+        let mut short = c.to_state();
+        short.perm2.pop();
+        assert!(EednClassifier::from_state(&short).is_err());
+    }
+
+    #[test]
+    fn interrupted_then_resumed_training_is_bit_identical() {
+        use std::ops::ControlFlow;
+        let (xs, ys) = blobs(150, 24, 9);
+        let config =
+            EednClassifierConfig { hidden1: 24, hidden2: 12, epochs: 6, ..Default::default() };
+
+        let full = EednClassifier::try_train(&xs, &ys, config).unwrap();
+
+        // "Crash" after epoch 3, keeping only the emitted checkpoint.
+        let mut saved = None;
+        let _partial = EednClassifier::try_train_with(&xs, &ys, config, None, |ckpt| {
+            if ckpt.epoch == 3 {
+                saved = Some(ckpt.clone());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+        let ckpt = saved.expect("checkpoint at epoch 3");
+
+        let resumed = EednClassifier::try_train_with(&xs, &ys, config, Some(&ckpt), |_| {
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+
+        for x in &xs {
+            assert_eq!(full.score(x).to_bits(), resumed.score(x).to_bits());
+        }
+        // Stronger: the serialized states agree exactly (weights + Adam moments).
+        let a = serde_json::to_string(&full.to_state()).unwrap();
+        let b = serde_json::to_string(&resumed.to_state()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        use std::ops::ControlFlow;
+        let (xs, ys) = blobs(80, 16, 10);
+        let config =
+            EednClassifierConfig { hidden1: 16, hidden2: 8, epochs: 3, ..Default::default() };
+        let mut saved = None;
+        EednClassifier::try_train_with(&xs, &ys, config, None, |ckpt| {
+            saved = Some(ckpt.clone());
+            ControlFlow::Break(())
+        })
+        .unwrap();
+        let ckpt = saved.unwrap();
+        let other = EednClassifierConfig { seed: config.seed + 1, ..config };
+        let err = EednClassifier::try_train_with(&xs, &ys, other, Some(&ckpt), |_| {
+            ControlFlow::Continue(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");
     }
 
     #[test]

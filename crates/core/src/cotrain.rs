@@ -143,6 +143,36 @@ impl PartitionedSystem {
         config: TrainSetConfig,
         eedn: EednClassifierConfig,
     ) -> TrainedDetector {
+        Self::train_eedn_detector_with(extractor, dataset, config, eedn, None, |_| {
+            std::ops::ControlFlow::Continue(())
+        })
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`train_eedn_detector`](PartitionedSystem::train_eedn_detector)
+    /// with per-epoch checkpoint emission and resumption — the co-training
+    /// entry point for long runs that must survive a process kill.
+    ///
+    /// The descriptor collection is deterministic in `(extractor,
+    /// dataset, config)`, so a resumed run rebuilds the identical
+    /// training set and continues from `resume_from` **bit-identically**
+    /// to an uninterrupted run (see
+    /// [`EednClassifier::try_train_with`]). `on_checkpoint` runs after
+    /// every completed epoch; returning
+    /// [`ControlFlow::Break`](std::ops::ControlFlow::Break) stops early
+    /// with the partially trained detector.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`EednClassifier::try_train_with`] reports.
+    pub fn train_eedn_detector_with(
+        extractor: Extractor,
+        dataset: &SynthDataset,
+        config: TrainSetConfig,
+        eedn: EednClassifierConfig,
+        resume_from: Option<&crate::classifier::EednCheckpoint>,
+        on_checkpoint: impl FnMut(&crate::classifier::EednCheckpoint) -> std::ops::ControlFlow<()>,
+    ) -> crate::error::Result<TrainedDetector> {
         let (mut xs, mut ys) =
             Self::collect_descriptors(&extractor, dataset, config.n_pos, config.n_neg);
         // Augment with scene windows as extra negatives (a simple
@@ -154,8 +184,9 @@ impl PartitionedSystem {
                 ys.push(false);
             }
         }
-        let classifier = EednClassifier::train(&xs, &ys, eedn);
-        TrainedDetector { extractor, classifier: WindowClassifier::Eedn(classifier) }
+        let classifier =
+            EednClassifier::try_train_with(&xs, &ys, eedn, resume_from, on_checkpoint)?;
+        Ok(TrainedDetector { extractor, classifier: WindowClassifier::Eedn(classifier) })
     }
 }
 

@@ -44,6 +44,48 @@ pub enum Error {
         /// The unrecognised name.
         name: String,
     },
+    /// A filesystem operation on a checkpoint or snapshot failed.
+    ///
+    /// The underlying `std::io::Error` is flattened to its display string
+    /// so the error stays `Clone + Eq`.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The I/O failure, human-readable.
+        reason: String,
+    },
+    /// A checkpoint file failed structural validation (bad magic, short
+    /// header, checksum mismatch, undecodable payload).
+    CorruptCheckpoint {
+        /// The offending file.
+        path: String,
+        /// Which validation step rejected it.
+        reason: String,
+    },
+    /// A checkpoint was written by a newer format revision than this
+    /// build understands.
+    UnsupportedVersion {
+        /// The offending file.
+        path: String,
+        /// The format version recorded in the file.
+        found: u16,
+        /// The newest version this build can read.
+        supported: u16,
+    },
+    /// A supervised worker panicked while processing one work item.
+    WorkerPanic {
+        /// The pipeline stage the panic escaped from.
+        stage: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A request exceeded its deadline before an attempt could succeed.
+    DeadlineExceeded {
+        /// How long the request had been in flight, in milliseconds.
+        waited_ms: u64,
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -62,6 +104,27 @@ impl fmt::Display for Error {
                     f,
                     "unknown extractor `{name}` (expected one of: \
                      fpga, traditional, napprox-fp, napprox, napprox-hw, parrot, raw)"
+                )
+            }
+            Error::Io { path, reason } => write!(f, "io error on {path}: {reason}"),
+            Error::CorruptCheckpoint { path, reason } => {
+                write!(f, "corrupt checkpoint {path}: {reason}")
+            }
+            Error::UnsupportedVersion { path, found, supported } => {
+                write!(
+                    f,
+                    "checkpoint {path} has format version {found}, \
+                     newest supported is {supported}"
+                )
+            }
+            Error::WorkerPanic { stage, message } => {
+                write!(f, "worker panicked in {stage} stage: {message}")
+            }
+            Error::DeadlineExceeded { waited_ms, deadline_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded: {waited_ms} ms in flight against a \
+                     {deadline_ms} ms deadline"
                 )
             }
         }
@@ -104,5 +167,16 @@ mod tests {
     fn unknown_extractor_lists_alternatives() {
         let e = Error::UnknownExtractor { name: "hogg".into() };
         assert!(e.to_string().contains("napprox-hw"));
+    }
+
+    #[test]
+    fn checkpoint_errors_render_paths_and_versions() {
+        let e = Error::CorruptCheckpoint { path: "m.ckpt".into(), reason: "crc mismatch".into() };
+        assert!(e.to_string().contains("m.ckpt"));
+        assert!(e.to_string().contains("crc mismatch"));
+        let v = Error::UnsupportedVersion { path: "m.ckpt".into(), found: 9, supported: 1 };
+        assert!(v.to_string().contains("version 9"));
+        let d = Error::DeadlineExceeded { waited_ms: 120, deadline_ms: 100 };
+        assert!(d.to_string().contains("120 ms"));
     }
 }

@@ -4,9 +4,10 @@ use crate::error::Error;
 use pcnn_corelets::NApproxHogCorelet;
 use pcnn_hog::cell::CellExtractor;
 use pcnn_hog::{BlockNorm, FpgaHog, HogDescriptor, NApproxHog, RawCells, TraditionalHog};
-use pcnn_parrot::ParrotExtractor;
+use pcnn_parrot::{ParrotExtractor, ParrotNet};
 use pcnn_truenorth::{FaultPlan, FaultStats, SystemStats};
 use pcnn_vision::GrayImage;
+use serde::{Deserialize, Serialize};
 use std::str::FromStr;
 use std::sync::Mutex;
 
@@ -81,6 +82,56 @@ impl FromStr for ExtractorKind {
             _ => Err(Error::UnknownExtractor { name: s.to_owned() }),
         }
     }
+}
+
+/// A serializable description of an [`Extractor`] configuration: the
+/// constructor arguments, not the runtime object. [`Extractor::spec`]
+/// captures one; [`Extractor::from_spec`] rebuilds an equivalent
+/// extractor, so trained detectors can persist across processes.
+// Variant sizes differ (the parrot spec carries a trained network);
+// specs exist transiently during save/load, so boxing would only add
+// indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ExtractorSpec {
+    /// The FPGA baseline ([`Extractor::fpga`]).
+    Fpga,
+    /// The Dalal–Triggs reference ([`Extractor::traditional`] /
+    /// [`Extractor::traditional_signed_18`]).
+    Traditional {
+        /// Whether the 18-bin signed magnitude-voted variant was used.
+        signed_18: bool,
+    },
+    /// NApprox computed in software ([`Extractor::napprox_custom`]);
+    /// covers both the full-precision and quantized paradigms.
+    NApprox {
+        /// The complete model configuration, including quantization.
+        model: NApproxHog,
+        /// Block-normalization policy.
+        norm: BlockNorm,
+    },
+    /// NApprox on simulated TrueNorth cores
+    /// ([`Extractor::napprox_hardware`]). Only the configuration is
+    /// persisted — the module is rebuilt deterministically, without any
+    /// attached fault plan.
+    NApproxHardware {
+        /// Input coding window in spikes.
+        spikes: u32,
+        /// Block-normalization policy.
+        norm: BlockNorm,
+    },
+    /// A trained Parrot network ([`Extractor::parrot`]).
+    Parrot {
+        /// The trained network weights.
+        net: ParrotNet,
+        /// Block-normalization policy.
+        norm: BlockNorm,
+        /// Stochastic input coding: `(window, rng_state)` captured at
+        /// snapshot time, if enabled.
+        stochastic: Option<(u32, [u64; 4])>,
+    },
+    /// Raw window pixels ([`Extractor::raw`]).
+    Raw,
 }
 
 /// The NApprox cell module running on actual simulated TrueNorth cores,
@@ -231,6 +282,88 @@ impl Extractor {
     /// The paradigm.
     pub fn kind(&self) -> ExtractorKind {
         self.kind
+    }
+
+    /// Captures the constructor arguments of this extractor as a
+    /// serializable [`ExtractorSpec`]. Transient runtime state (an
+    /// attached fault plan, accumulated hardware activity counters) is
+    /// deliberately excluded; the Parrot stochastic RNG position *is*
+    /// captured so a restored extractor resumes the noise stream.
+    pub fn spec(&self) -> ExtractorSpec {
+        match &self.inner {
+            Inner::Fpga(_) => ExtractorSpec::Fpga,
+            Inner::Traditional(d) => {
+                ExtractorSpec::Traditional { signed_18: d.extractor().bins() == 18 }
+            }
+            Inner::NApprox(d) => ExtractorSpec::NApprox { model: *d.extractor(), norm: d.norm() },
+            Inner::Hardware(d) => ExtractorSpec::NApproxHardware {
+                spikes: d
+                    .extractor()
+                    .module
+                    .lock()
+                    .expect("hardware module lock poisoned")
+                    .window(),
+                norm: d.norm(),
+            },
+            Inner::Parrot(d) => ExtractorSpec::Parrot {
+                net: d.extractor().net().clone(),
+                norm: d.norm(),
+                stochastic: d.extractor().stochastic_state(),
+            },
+            Inner::Raw(_) => ExtractorSpec::Raw,
+        }
+    }
+
+    /// Rebuilds an extractor from a persisted [`ExtractorSpec`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the spec carries values no
+    /// constructor would accept (a zero spike window, a Parrot network
+    /// with no outputs) — the decode-but-invalid shapes a corrupted or
+    /// hand-edited snapshot can produce.
+    pub fn from_spec(spec: ExtractorSpec) -> crate::error::Result<Self> {
+        let invalid =
+            |reason: String| Error::InvalidConfig { what: "extractor spec".to_owned(), reason };
+        match spec {
+            ExtractorSpec::Fpga => Ok(Extractor::fpga()),
+            ExtractorSpec::Traditional { signed_18: false } => Ok(Extractor::traditional()),
+            ExtractorSpec::Traditional { signed_18: true } => {
+                Ok(Extractor::traditional_signed_18())
+            }
+            ExtractorSpec::NApprox { model, norm } => {
+                if let Some(q) = model.quant {
+                    if q.input.levels() == 0 {
+                        return Err(invalid("quantized model has zero input levels".to_owned()));
+                    }
+                }
+                Ok(Extractor::napprox_custom(model, norm))
+            }
+            ExtractorSpec::NApproxHardware { spikes, norm } => {
+                if spikes == 0 {
+                    return Err(invalid("hardware spike window must be positive".to_owned()));
+                }
+                Ok(Extractor::napprox_hardware(spikes, norm))
+            }
+            ExtractorSpec::Parrot { net, norm, stochastic } => {
+                if net.out_dim() == 0 || net.in_dim() == 0 {
+                    return Err(invalid("parrot network has empty dimensions".to_owned()));
+                }
+                let parrot = match stochastic {
+                    None => ParrotExtractor::new(net),
+                    Some((0, _)) => {
+                        return Err(invalid(
+                            "parrot stochastic window must be positive".to_owned(),
+                        ));
+                    }
+                    Some((spikes, state)) => {
+                        ParrotExtractor::new(net).with_stochastic_rng_state(spikes, state)
+                    }
+                };
+                Ok(Extractor::parrot(parrot, norm))
+            }
+            ExtractorSpec::Raw => Ok(Extractor::raw()),
+        }
     }
 
     /// Descriptor dimensionality.

@@ -28,7 +28,10 @@
 //! * [`power`] — the §5.2 analytic power/throughput model that
 //!   regenerates Table 2;
 //! * [`report`] — plain-text rendering of curves and tables for the
-//!   bench harness.
+//!   bench harness;
+//! * [`snapshot`] — serializable [`DetectorSnapshot`]s that rebuild
+//!   behaviorally identical detectors across processes (persisted by
+//!   the `pcnn-store` crate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,12 +45,16 @@ pub mod pipeline;
 pub mod power;
 pub mod report;
 pub mod resources;
+pub mod snapshot;
 
-pub use classifier::{EednClassifier, EednClassifierConfig, WindowClassifier};
+pub use classifier::{
+    EednCheckpoint, EednClassifier, EednClassifierConfig, EednClassifierState, WindowClassifier,
+};
 pub use cotrain::{AbsorbedOutcome, AbsorbedSystem, PartitionedSystem, TrainSetConfig};
 pub use error::{Error, Result};
-pub use extractor::{Extractor, ExtractorKind};
+pub use extractor::{Extractor, ExtractorKind, ExtractorSpec};
 pub use faultsweep::{run_fault_sweep, FaultSweepConfig, FaultSweepPoint, FaultSweepReport};
 pub use pipeline::{Detector, DetectorConfig, TrainedDetector};
 pub use power::{DeploymentPower, FpgaPower, PowerTable, Table2Row};
 pub use resources::ResourceBudget;
+pub use snapshot::{ClassifierSnapshot, DetectorSnapshot};

@@ -51,6 +51,10 @@ impl Layer for Threshold {
     fn name(&self) -> &str {
         "threshold"
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// Hard sigmoid: `clamp(x, 0, 1)`.
@@ -107,6 +111,10 @@ impl Layer for HardSigmoid {
     fn name(&self) -> &str {
         "hard-sigmoid"
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// Plain ReLU, for float (non-neuromorphic) baselines.
@@ -153,6 +161,10 @@ impl Layer for Relu {
 
     fn name(&self) -> &str {
         "relu"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -385,6 +385,10 @@ impl Layer for Conv2d {
     fn parameter_count(&self) -> usize {
         self.w.len() + self.alpha.len() + self.bias.len()
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

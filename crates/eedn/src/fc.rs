@@ -336,6 +336,10 @@ impl Layer for GroupedLinear {
     fn parameter_count(&self) -> usize {
         self.w.len() + self.alpha.len() + self.bias.len()
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

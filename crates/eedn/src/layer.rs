@@ -59,6 +59,11 @@ pub trait Layer: Send + Sync {
     /// A short name for diagnostics.
     fn name(&self) -> &str;
 
+    /// Type-erasure escape hatch: the layer as [`std::any::Any`], so
+    /// checkpointing code can downcast a boxed layer back to its
+    /// concrete type. Implementations return `self`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// Number of trainable parameters.
     fn parameter_count(&self) -> usize {
         0

@@ -56,6 +56,18 @@ impl Sequential {
         self.layers.iter().map(|l| l.parameter_count()).sum()
     }
 
+    /// Shared access to the layer at `index`, for diagnostics and
+    /// checkpointing (downcast via [`Layer::as_any`]).
+    pub fn layer(&self, index: usize) -> Option<&dyn Layer> {
+        self.layers.get(index).map(|l| l.as_ref())
+    }
+
+    /// The layer at `index` downcast to its concrete type, or `None` if
+    /// the index is out of range or the layer is a different type.
+    pub fn layer_as<T: 'static>(&self, index: usize) -> Option<&T> {
+        self.layers.get(index).and_then(|l| l.as_any().downcast_ref::<T>())
+    }
+
     /// Runs inference through shared references only, so a trained
     /// network can serve many threads at once. Bit-identical to the
     /// inference-mode forward pass.

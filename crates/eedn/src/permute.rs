@@ -91,6 +91,10 @@ impl Layer for Permute {
     fn name(&self) -> &str {
         "permute"
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

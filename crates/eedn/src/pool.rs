@@ -85,6 +85,10 @@ impl Layer for MaxPool2 {
     fn name(&self) -> &str {
         "maxpool2"
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// 2×2 average pooling with stride 2.
@@ -158,6 +162,10 @@ impl Layer for AvgPool2 {
 
     fn name(&self) -> &str {
         "avgpool2"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

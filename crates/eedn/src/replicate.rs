@@ -77,6 +77,10 @@ impl Layer for Replicate {
     fn name(&self) -> &str {
         "replicate"
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

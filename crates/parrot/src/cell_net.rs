@@ -271,6 +271,26 @@ impl ParrotNet {
     }
 }
 
+/// One per-epoch checkpoint emitted by [`train_parrot_with`].
+///
+/// Unlike the Eedn classifier trainer, the parrot loop carries one
+/// shuffle RNG across *all* epochs, so `rng_state` captures the raw
+/// xoshiro256++ words at the epoch boundary; restoring it replays the
+/// exact batch orders the uninterrupted run would have drawn.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParrotCheckpoint {
+    /// Number of completed epochs.
+    pub epoch: usize,
+    /// The configuration of the interrupted run (resume validates it).
+    pub config: ParrotTrainConfig,
+    /// Shuffle-RNG state at the end of the epoch.
+    pub rng_state: [u64; 4],
+    /// Mean batch MSE over the epoch just completed.
+    pub epoch_mse: f32,
+    /// The network, with optimizer state in its layers.
+    pub net: ParrotNet,
+}
+
 /// Trains a parrot network on auto-generated labelled data.
 ///
 /// Returns the trained network and a [`ParrotTrainReport`] from a 10 %
@@ -281,6 +301,29 @@ impl ParrotNet {
 /// Panics if the configuration is inconsistent (see [`ParrotNet`]
 /// constraints) or `samples < 10`.
 pub fn train_parrot(config: ParrotTrainConfig) -> (ParrotNet, ParrotTrainReport) {
+    train_parrot_with(config, None, |_| std::ops::ControlFlow::Continue(()))
+}
+
+/// [`train_parrot`] with per-epoch checkpoint emission and resumption.
+///
+/// `on_checkpoint` runs after every completed epoch; returning
+/// [`ControlFlow::Break`](std::ops::ControlFlow::Break) stops training
+/// early and evaluates the partially trained network. Resuming from a
+/// checkpoint continues bit-identically to an uninterrupted run with the
+/// same configuration: the training data is regenerated from the seed
+/// and the shuffle RNG is restored from `rng_state`.
+///
+/// # Panics
+///
+/// Everything [`train_parrot`] panics on, plus a `resume_from`
+/// checkpoint whose configuration differs from `config`.
+pub fn train_parrot_with(
+    config: ParrotTrainConfig,
+    resume_from: Option<&ParrotCheckpoint>,
+    mut on_checkpoint: impl FnMut(&ParrotCheckpoint) -> std::ops::ControlFlow<()>,
+) -> (ParrotNet, ParrotTrainReport) {
+    use std::ops::ControlFlow;
+
     assert!(config.samples >= 10, "need at least 10 samples");
     let generator = TrainDataGenerator::new(TrainDataConfig {
         seed: config.seed,
@@ -290,11 +333,31 @@ pub fn train_parrot(config: ParrotTrainConfig) -> (ParrotNet, ParrotTrainReport)
     let n_val = (samples.len() / 10).max(1);
     let (val, train) = samples.split_at(n_val);
 
-    let mut net = ParrotNet::new(&config, generator.input_dim(), generator.output_dim());
     let mut order: Vec<usize> = (0..train.len()).collect();
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xD);
-    for _epoch in 0..config.epochs {
+    let (mut net, mut rng, start_epoch) = match resume_from {
+        Some(ckpt) => {
+            assert_eq!(ckpt.config, config, "resume_from checkpoint configuration mismatch");
+            // The shuffle permutes the *evolving* order vector, so the
+            // epoch-k order depends on every shuffle before it. Replay
+            // the completed epochs' shuffles (the draw count per shuffle
+            // is fixed by `order.len()`), then continue from the
+            // checkpointed RNG state for the remaining epochs.
+            let mut replay = SmallRng::seed_from_u64(config.seed ^ 0xD);
+            for _ in 0..ckpt.epoch {
+                order.shuffle(&mut replay);
+            }
+            (ckpt.net.clone(), SmallRng::from_state(ckpt.rng_state), ckpt.epoch)
+        }
+        None => (
+            ParrotNet::new(&config, generator.input_dim(), generator.output_dim()),
+            SmallRng::seed_from_u64(config.seed ^ 0xD),
+            0,
+        ),
+    };
+    for epoch in start_epoch..config.epochs {
         order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f32;
+        let mut batches = 0usize;
         for chunk in order.chunks(config.batch) {
             let xs: Vec<Vec<f32>> = chunk.iter().map(|&i| train[i].pixels.clone()).collect();
             let ts: Vec<Vec<f32>> = chunk
@@ -304,8 +367,21 @@ pub fn train_parrot(config: ParrotTrainConfig) -> (ParrotNet, ParrotTrainReport)
             let x = Tensor::from_rows(&xs);
             let t = Tensor::from_rows(&ts);
             let y = net.forward(&x, true);
-            let (_, grad) = mse_loss(&y, &t);
+            let (loss, grad) = mse_loss(&y, &t);
+            loss_sum += loss;
+            batches += 1;
             net.backward_and_step(&grad, config.lr, config.momentum);
+        }
+        let checkpoint = ParrotCheckpoint {
+            epoch: epoch + 1,
+            config,
+            rng_state: rng.state(),
+            epoch_mse: loss_sum / batches.max(1) as f32,
+            net: net.clone(),
+        };
+        if on_checkpoint(&checkpoint) == ControlFlow::Break(()) {
+            let report = evaluate(&net, val, config.samples);
+            return (net, report);
         }
     }
 
@@ -414,6 +490,35 @@ mod tests {
         let g = TrainDataGenerator::new(TrainDataConfig::default());
         let x = g.sample(42).pixels;
         assert_eq!(net.predict_cell(&x), restored.predict_cell(&x));
+    }
+
+    #[test]
+    fn interrupted_then_resumed_training_is_bit_identical() {
+        use std::ops::ControlFlow;
+        let config = ParrotTrainConfig { samples: 300, epochs: 6, ..ParrotTrainConfig::tiny() };
+
+        let (full, full_report) = train_parrot(config);
+
+        // "Crash" after epoch 2, keeping only the emitted checkpoint.
+        let mut saved = None;
+        train_parrot_with(config, None, |ckpt| {
+            if ckpt.epoch == 2 {
+                saved = Some(ckpt.clone());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        let ckpt = saved.expect("checkpoint at epoch 2");
+        // The checkpoint survives a JSON round trip without losing bits.
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let ckpt: ParrotCheckpoint = serde_json::from_str(&json).unwrap();
+
+        let (resumed, resumed_report) =
+            train_parrot_with(config, Some(&ckpt), |_| ControlFlow::Continue(()));
+
+        assert_eq!(full.to_json().unwrap(), resumed.to_json().unwrap());
+        assert_eq!(full_report, resumed_report);
     }
 
     #[test]

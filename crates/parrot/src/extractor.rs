@@ -55,6 +55,33 @@ impl ParrotExtractor {
     pub fn stochastic_window(&self) -> Option<u32> {
         self.stochastic.as_ref().map(|s| s.lock().expect("stochastic rng poisoned").0)
     }
+
+    /// The wrapped network, for snapshotting.
+    pub fn net(&self) -> &ParrotNet {
+        &self.net
+    }
+
+    /// The stochastic coding window and the current RNG state, if
+    /// stochastic input is enabled. Restoring via
+    /// [`with_stochastic_rng_state`](ParrotExtractor::with_stochastic_rng_state)
+    /// resumes the noise stream exactly where it left off.
+    pub fn stochastic_state(&self) -> Option<(u32, [u64; 4])> {
+        self.stochastic.as_ref().map(|s| {
+            let guard = s.lock().expect("stochastic rng poisoned");
+            (guard.0, guard.1.state())
+        })
+    }
+
+    /// Enables stochastic input coding resuming from a captured RNG state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes == 0`.
+    pub fn with_stochastic_rng_state(mut self, spikes: u32, state: [u64; 4]) -> Self {
+        assert!(spikes > 0, "stochastic window must be positive");
+        self.stochastic = Some(Mutex::new((spikes, SmallRng::from_state(state))));
+        self
+    }
 }
 
 impl CellExtractor for ParrotExtractor {

@@ -22,7 +22,25 @@
 //!   whose simulated hardware carries an injected
 //!   [`FaultPlan`](pcnn_truenorth::FaultPlan) falls back to a software
 //!   paradigm instead of serving garbage (or panicking), with
-//!   degradation counted in the [`RuntimeReport`].
+//!   degradation counted in the [`RuntimeReport`];
+//! * [`supervise`] — request supervision: [`RetryPolicy`] deadlines
+//!   with bounded exponential-backoff retry for
+//!   [`DetectionServer::submit`], and a [`Watchdog`] that flags stalled
+//!   batches off the metrics heartbeat;
+//! * [`chaos`] — fault injection ([`PanicInjector`]) for pinning the
+//!   supervision contract: a panicking classify chunk fails only its
+//!   own frame's request, is counted as `panics_caught`, and leaves no
+//!   lock poisoned.
+//!
+//! ## Supervision
+//!
+//! Worker panics are caught per work item
+//! ([`scheduler::try_parallel_map`]): a poisoned input fails only the
+//! frames it belongs to via
+//! [`DetectionServer::try_detect_batch`], while
+//! [`DetectionServer::submit`] layers deadlines and bounded retry on
+//! top. Queue locks recover from poisoning, so one crashed worker never
+//! wedges producers or consumers.
 //!
 //! ## Determinism
 //!
@@ -58,16 +76,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod degrade;
 pub mod metrics;
 pub mod queue;
 pub mod scheduler;
 pub mod server;
+pub mod supervise;
 
+pub use chaos::PanicInjector;
 pub use degrade::{FallbackChain, ServiceLevel, DEFAULT_PROBE_TOLERANCE};
 pub use metrics::{
     Histogram, HistogramReport, LevelReport, Metrics, RuntimeReport, Stage, StageTimes,
 };
 pub use queue::{Backpressure, PushError, QueueConfig, RequestQueue};
-pub use scheduler::{parallel_map, plan_chunks, Chunk};
+pub use scheduler::{parallel_map, plan_chunks, try_parallel_map, Chunk, WorkerPanic};
 pub use server::{DetectionServer, RuntimeConfig, RuntimeConfigBuilder};
+pub use supervise::{RetryPolicy, Watchdog, WatchdogStatus};

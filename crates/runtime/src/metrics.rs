@@ -4,32 +4,41 @@
 use pcnn_truenorth::SystemStats;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Upper bounds (µs, inclusive) of the latency histogram buckets; the
-/// last bucket is open-ended.
-pub const LATENCY_BOUNDS_US: [u64; 8] =
-    [100, 1_000, 5_000, 25_000, 100_000, 500_000, 2_000_000, u64::MAX];
+/// Upper bounds (µs, inclusive) of the latency histogram buckets. All
+/// bounds are finite; samples above the last bound land in the
+/// histogram's explicit overflow bucket.
+pub const LATENCY_BOUNDS_US: [u64; 7] = [100, 1_000, 5_000, 25_000, 100_000, 500_000, 2_000_000];
 
 /// A fixed-bucket histogram over `u64` samples, updatable from many
 /// threads without locking.
 #[derive(Debug)]
 pub struct Histogram {
     bounds: &'static [u64],
+    /// One count per bound plus a trailing overflow bucket, so samples
+    /// above every bound are counted distinctly instead of being
+    /// clamped into the last bounded bucket.
     counts: Vec<AtomicU64>,
 }
 
 impl Histogram {
-    /// A histogram with the given inclusive upper bounds. The final
-    /// bound should be `u64::MAX` so every sample lands somewhere.
+    /// A histogram with the given finite inclusive upper bounds; an
+    /// overflow bucket is added automatically for samples above the
+    /// last bound.
     pub fn new(bounds: &'static [u64]) -> Self {
-        Histogram { bounds, counts: bounds.iter().map(|_| AtomicU64::new(0)).collect() }
+        Histogram { bounds, counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect() }
     }
 
     /// Records one sample.
     pub fn record(&self, value: u64) {
-        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len() - 1);
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded above the last bound.
+    pub fn overflow(&self) -> u64 {
+        self.counts[self.bounds.len()].load(Ordering::Relaxed)
     }
 
     /// Snapshots the histogram.
@@ -41,12 +50,14 @@ impl Histogram {
     }
 }
 
-/// A point-in-time copy of a [`Histogram`].
+/// A point-in-time copy of a [`Histogram`]. `counts` has one entry per
+/// bound plus a trailing overflow bucket.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramReport {
     /// Inclusive bucket upper bounds in microseconds.
     pub bounds_us: Vec<u64>,
-    /// Sample count per bucket.
+    /// Sample count per bucket; the final entry counts samples above
+    /// every bound.
     pub counts: Vec<u64>,
 }
 
@@ -54,6 +65,15 @@ impl HistogramReport {
     /// Total number of recorded samples.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Samples recorded above the last bound.
+    pub fn overflow(&self) -> u64 {
+        if self.counts.len() > self.bounds_us.len() {
+            self.counts[self.bounds_us.len()..].iter().sum()
+        } else {
+            0
+        }
     }
 }
 
@@ -95,6 +115,17 @@ pub struct Metrics {
     degraded_frames: AtomicU64,
     health_failures: AtomicU64,
     level_batches: Vec<AtomicU64>,
+    panics_caught: AtomicU64,
+    retries: AtomicU64,
+    deadline_misses: AtomicU64,
+    stalls_detected: AtomicU64,
+    checkpoints_written: AtomicU64,
+    checkpoints_restored: AtomicU64,
+    // Watchdog heartbeat: work in flight plus the last time any stage
+    // completed, as milliseconds since these metrics were created.
+    in_flight: AtomicU64,
+    last_beat_ms: AtomicU64,
+    created: Instant,
 }
 
 impl Default for Metrics {
@@ -139,6 +170,15 @@ impl Metrics {
             degraded_frames: AtomicU64::new(0),
             health_failures: AtomicU64::new(0),
             level_batches: (0..levels).map(|_| AtomicU64::new(0)).collect(),
+            panics_caught: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            stalls_detected: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            checkpoints_restored: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            last_beat_ms: AtomicU64::new(0),
+            created: Instant::now(),
         }
     }
 
@@ -193,6 +233,69 @@ impl Metrics {
         self.level_batches.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 
+    /// Counts `n` worker panics caught and isolated.
+    pub fn add_panics(&self, n: u64) {
+        self.panics_caught.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one retried request attempt.
+    pub fn add_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request abandoned at its deadline.
+    pub fn add_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one watchdog stall detection.
+    pub fn add_stall(&self) {
+        self.stalls_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one checkpoint written to disk.
+    pub fn add_checkpoint_written(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one checkpoint restored from disk.
+    pub fn add_checkpoint_restored(&self) {
+        self.checkpoints_restored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the start of one unit of supervised work (a batch).
+    pub fn begin_work(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.beat();
+    }
+
+    /// Marks the end of one unit of supervised work.
+    pub fn end_work(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.beat();
+    }
+
+    /// Records a sign of life: a stage or batch completed. The watchdog
+    /// compares this heartbeat against wall time to detect stalls.
+    pub fn beat(&self) {
+        let now = self.created.elapsed().as_millis() as u64;
+        self.last_beat_ms.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Units of supervised work currently executing.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since the last heartbeat (`None` before any beat).
+    pub fn silent_ms(&self) -> Option<u64> {
+        let last = self.last_beat_ms.load(Ordering::Relaxed);
+        if last == 0 && self.in_flight() == 0 {
+            return None;
+        }
+        Some((self.created.elapsed().as_millis() as u64).saturating_sub(last))
+    }
+
     /// Adds wall time to one pipeline stage.
     pub fn add_stage(&self, stage: Stage, elapsed: Duration) {
         let ns = elapsed.as_nanos() as u64;
@@ -203,6 +306,7 @@ impl Metrics {
             Stage::Nms => &self.stage_nms_ns,
         };
         counter.fetch_add(ns, Ordering::Relaxed);
+        self.beat();
     }
 
     /// Snapshots every counter into a serializable report. `workers` is
@@ -228,6 +332,12 @@ impl Metrics {
             degraded_frames: self.degraded_frames.load(Ordering::Relaxed),
             health_failures: self.health_failures.load(Ordering::Relaxed),
             levels: Vec::new(),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            stalls_detected: self.stalls_detected.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_restored: self.checkpoints_restored.load(Ordering::Relaxed),
             system,
         }
     }
@@ -275,6 +385,24 @@ pub struct RuntimeReport {
     /// Empty when the server has no fallback chain.
     #[serde(default)]
     pub levels: Vec<LevelReport>,
+    /// Worker panics caught and isolated to their request.
+    #[serde(default)]
+    pub panics_caught: u64,
+    /// Request attempts retried under a [`RetryPolicy`](crate::RetryPolicy).
+    #[serde(default)]
+    pub retries: u64,
+    /// Requests abandoned because their deadline passed.
+    #[serde(default)]
+    pub deadline_misses: u64,
+    /// Stalls flagged by the watchdog.
+    #[serde(default)]
+    pub stalls_detected: u64,
+    /// Checkpoints written to disk by supervised training/serving.
+    #[serde(default)]
+    pub checkpoints_written: u64,
+    /// Checkpoints restored from disk.
+    #[serde(default)]
+    pub checkpoints_restored: u64,
     /// Neurosynaptic-simulator counters, when the extractor or
     /// classifier runs on the simulated TrueNorth substrate.
     pub system: Option<SystemStats>,
@@ -303,11 +431,28 @@ impl std::fmt::Display for RuntimeReport {
             if *count == 0 {
                 continue;
             }
-            if *bound == u64::MAX {
-                write!(f, "  >2s:{count}")?;
-            } else {
-                write!(f, "  <={}ms:{count}", bound / 1000)?;
-            }
+            write!(f, "  <={}ms:{count}", bound / 1000)?;
+        }
+        let overflow = self.batch_latency.overflow();
+        if overflow > 0 {
+            let last = self.batch_latency.bounds_us.last().copied().unwrap_or(0);
+            write!(f, "  >{}ms:{overflow}", last / 1000)?;
+        }
+        if self.panics_caught + self.retries + self.deadline_misses + self.stalls_detected > 0 {
+            writeln!(f)?;
+            write!(
+                f,
+                "  supervision: {} panics caught, {} retries, {} deadline misses, {} stalls",
+                self.panics_caught, self.retries, self.deadline_misses, self.stalls_detected
+            )?;
+        }
+        if self.checkpoints_written + self.checkpoints_restored > 0 {
+            writeln!(f)?;
+            write!(
+                f,
+                "  checkpoints: {} written, {} restored",
+                self.checkpoints_written, self.checkpoints_restored
+            )?;
         }
         if !self.levels.is_empty() {
             writeln!(f)?;
@@ -394,5 +539,86 @@ mod tests {
         let back: RuntimeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(report.to_string().contains("below primary"));
+    }
+
+    #[test]
+    fn overflow_bucket_is_explicit_not_clamped() {
+        let h = Histogram::new(&LATENCY_BOUNDS_US);
+        let last = *LATENCY_BOUNDS_US.last().unwrap();
+        h.record(last); // at the bound: last bounded bucket
+        h.record(last + 1); // beyond every bound: overflow
+        h.record(u64::MAX);
+        assert_eq!(h.overflow(), 2);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts.len(), LATENCY_BOUNDS_US.len() + 1);
+        assert_eq!(snap.counts[LATENCY_BOUNDS_US.len() - 1], 1);
+        assert_eq!(snap.overflow(), 2);
+        assert_eq!(snap.total(), 3);
+    }
+
+    #[test]
+    fn supervision_counters_reach_the_report() {
+        let m = Metrics::new();
+        m.add_panics(2);
+        m.add_retry();
+        m.add_deadline_miss();
+        m.add_stall();
+        m.add_checkpoint_written();
+        m.add_checkpoint_written();
+        m.add_checkpoint_restored();
+        let report = m.report(1, None);
+        assert_eq!(report.panics_caught, 2);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.deadline_misses, 1);
+        assert_eq!(report.stalls_detected, 1);
+        assert_eq!(report.checkpoints_written, 2);
+        assert_eq!(report.checkpoints_restored, 1);
+        let text = report.to_string();
+        assert!(text.contains("supervision"), "{text}");
+        assert!(text.contains("checkpoints: 2 written, 1 restored"), "{text}");
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RuntimeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_supervision_fields_still_decode() {
+        // A report serialized before the supervision counters existed
+        // must still deserialize (the new fields default to zero).
+        let m = Metrics::new();
+        m.add_frames(1);
+        let report = m.report(1, None);
+        let json = serde_json::to_string(&report).unwrap();
+        let stripped: String = [
+            "panics_caught",
+            "retries",
+            "deadline_misses",
+            "stalls_detected",
+            "checkpoints_written",
+            "checkpoints_restored",
+        ]
+        .iter()
+        .fold(json, |j, field| j.replace(&format!("\"{field}\":0,"), ""));
+        assert!(!stripped.contains("panics_caught"));
+        let back: RuntimeReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn heartbeat_tracks_in_flight_work() {
+        let m = Metrics::new();
+        assert_eq!(m.silent_ms(), None);
+        assert_eq!(m.in_flight(), 0);
+        // Let wall time advance so the first beat records a nonzero
+        // timestamp (a zero beat with nothing in flight reads as
+        // "never beaten").
+        std::thread::sleep(Duration::from_millis(5));
+        m.begin_work();
+        assert_eq!(m.in_flight(), 1);
+        assert!(m.silent_ms().is_some());
+        m.end_work();
+        assert_eq!(m.in_flight(), 0);
+        // Once work has happened the heartbeat history persists.
+        assert!(m.silent_ms().is_some());
     }
 }

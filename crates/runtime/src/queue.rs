@@ -9,7 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// What a full queue does to producers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +46,9 @@ pub enum PushError {
     Full,
     /// The queue has been closed; no further requests are accepted.
     Closed,
+    /// The queue stayed full past the deadline passed to
+    /// [`RequestQueue::push_timeout`].
+    Timeout,
 }
 
 impl std::fmt::Display for PushError {
@@ -52,6 +56,7 @@ impl std::fmt::Display for PushError {
         match self {
             PushError::Full => write!(f, "queue full"),
             PushError::Closed => write!(f, "queue closed"),
+            PushError::Timeout => write!(f, "queue stayed full past the push deadline"),
         }
     }
 }
@@ -95,10 +100,18 @@ impl<T> RequestQueue<T> {
         &self.config
     }
 
+    /// Locks the state, recovering from lock poisoning. The queue's
+    /// invariants are a `VecDeque` plus a flag — both valid after any
+    /// panic mid-critical-section — so a panicking worker elsewhere in
+    /// the process must not wedge every producer and consumer forever.
+    fn lock_state(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Enqueues one request, applying the configured backpressure, and
     /// returns the queue depth right after the insert.
     pub fn push(&self, item: T) -> Result<usize, PushError> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.lock_state();
         loop {
             if state.closed {
                 return Err(PushError::Closed);
@@ -111,7 +124,47 @@ impl<T> RequestQueue<T> {
             }
             match self.config.backpressure {
                 Backpressure::Reject => return Err(PushError::Full),
-                Backpressure::Block => state = self.not_full.wait(state).unwrap(),
+                Backpressure::Block => {
+                    state =
+                        self.not_full.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Enqueues one request, blocking at most `timeout` for space even
+    /// under [`Backpressure::Block`] — the deadline-respecting push for
+    /// supervised producers that must not park indefinitely behind a
+    /// stalled consumer. Under [`Backpressure::Reject`] this behaves
+    /// exactly like [`push`](RequestQueue::push).
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<usize, PushError> {
+        let start = Instant::now();
+        let mut state = self.lock_state();
+        loop {
+            if state.closed {
+                return Err(PushError::Closed);
+            }
+            if state.items.len() < self.config.capacity {
+                state.items.push_back(item);
+                let depth = state.items.len();
+                self.not_empty.notify_one();
+                return Ok(depth);
+            }
+            match self.config.backpressure {
+                Backpressure::Reject => return Err(PushError::Full),
+                Backpressure::Block => {
+                    let Some(remaining) = timeout.checked_sub(start.elapsed()) else {
+                        return Err(PushError::Timeout);
+                    };
+                    let (guard, result) = self
+                        .not_full
+                        .wait_timeout(state, remaining)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    state = guard;
+                    if result.timed_out() && state.items.len() >= self.config.capacity {
+                        return Err(PushError::Timeout);
+                    }
+                }
             }
         }
     }
@@ -120,7 +173,7 @@ impl<T> RequestQueue<T> {
     /// to `batch_size` in arrival order. Returns `None` once the queue
     /// is closed and empty.
     pub fn pop_batch(&self) -> Option<Vec<T>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.lock_state();
         loop {
             if !state.items.is_empty() {
                 let n = state.items.len().min(self.config.batch_size);
@@ -131,19 +184,19 @@ impl<T> RequestQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).unwrap();
+            state = self.not_empty.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     /// Current queue depth.
     pub fn depth(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        self.lock_state().items.len()
     }
 
     /// Closes the queue: pending requests still drain, new pushes fail,
     /// and blocked producers/consumers wake up.
     pub fn close(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.lock_state();
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -191,6 +244,64 @@ mod tests {
         assert_eq!(q.push(8), Err(PushError::Closed));
         assert_eq!(q.pop_batch().unwrap(), vec![7]);
         assert_eq!(q.pop_batch(), None);
+    }
+
+    #[test]
+    fn push_timeout_gives_up_on_a_full_blocking_queue() {
+        let q = RequestQueue::new(QueueConfig {
+            capacity: 1,
+            batch_size: 1,
+            backpressure: Backpressure::Block,
+        });
+        q.push(0u32).unwrap();
+        let start = std::time::Instant::now();
+        let err = q.push_timeout(1, Duration::from_millis(30)).unwrap_err();
+        assert_eq!(err, PushError::Timeout);
+        assert!(start.elapsed() >= Duration::from_millis(25), "returned too early");
+        // The queue still works afterwards.
+        assert_eq!(q.pop_batch().unwrap(), vec![0]);
+        q.push_timeout(2, Duration::from_millis(30)).unwrap();
+        assert_eq!(q.pop_batch().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn push_timeout_succeeds_when_space_frees_in_time() {
+        let q = RequestQueue::new(QueueConfig {
+            capacity: 1,
+            batch_size: 1,
+            backpressure: Backpressure::Block,
+        });
+        q.push(0u32).unwrap();
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| q.push_timeout(1, Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.pop_batch().unwrap(), vec![0]);
+            producer.join().unwrap().unwrap();
+        });
+        assert_eq!(q.pop_batch().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn queue_survives_a_panicking_lock_holder() {
+        let q = std::sync::Arc::new(RequestQueue::new(QueueConfig {
+            capacity: 4,
+            batch_size: 4,
+            backpressure: Backpressure::Reject,
+        }));
+        q.push(1u32).unwrap();
+        // Poison the mutex: panic while holding it on another thread.
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || {
+            let _guard = q2.state.lock().unwrap();
+            panic!("poison the queue lock");
+        });
+        assert!(handle.join().is_err());
+        // Every operation recovers instead of propagating the poison.
+        q.push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop_batch().unwrap(), vec![1, 2]);
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed));
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! NMS, so the parallel output is bit-identical to
 //! [`Detector::detect`]'s serial scan for any worker count.
 
+use crate::chaos::PanicInjector;
 use crate::degrade::FallbackChain;
 use crate::metrics::{LevelReport, Metrics, RuntimeReport, Stage};
 use crate::queue::{Backpressure, PushError, QueueConfig, RequestQueue};
-use crate::scheduler::{parallel_map, plan_chunks};
+use crate::scheduler::{plan_chunks, try_parallel_map, WorkerPanic};
+use crate::supervise::RetryPolicy;
 use pcnn_core::pipeline::{Detector, TrainedDetector};
 use pcnn_core::Error;
 use pcnn_hog::cell::CELL_SIZE;
@@ -144,6 +146,7 @@ pub struct DetectionServer<'d> {
     chain: FallbackChain<'d>,
     config: RuntimeConfig,
     metrics: Metrics,
+    injector: Option<PanicInjector>,
 }
 
 impl<'d> DetectionServer<'d> {
@@ -185,12 +188,28 @@ impl<'d> DetectionServer<'d> {
             });
         }
         let metrics = Metrics::with_levels(chain.len());
-        Ok(DetectionServer { engine, chain, config, metrics })
+        Ok(DetectionServer { engine, chain, config, metrics, injector: None })
+    }
+
+    /// Arms chaos injection: classify chunks of the injector's target
+    /// frame panic until its charges run out. Test-harness plumbing for
+    /// the supervision contract — panics are caught per chunk, so only
+    /// the poisoned frame's request fails.
+    pub fn with_panic_injection(mut self, injector: PanicInjector) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// The runtime configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
+    }
+
+    /// The live serving metrics — feed them to a
+    /// [`Watchdog`](crate::Watchdog) for stall detection, or count
+    /// checkpoint writes/restores against the same report.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The wrapped detection engine.
@@ -225,91 +244,233 @@ impl<'d> DetectionServer<'d> {
     /// returning per-frame NMS-filtered detections in input order. With
     /// a fallback chain the serving level is chosen per batch by health
     /// probe.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first per-frame failure from
+    /// [`try_detect_batch`](DetectionServer::try_detect_batch) — use
+    /// that method when a panicking frame must not take the caller
+    /// down.
     pub fn detect_batch(&self, frames: &[&GrayImage]) -> Vec<Vec<Detection>> {
+        self.try_detect_batch(frames)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// Like [`detect_batch`](DetectionServer::detect_batch), but
+    /// supervised: a worker panic inside any stage fails **only the
+    /// frames it belongs to** — every other frame in the batch still
+    /// returns its detections, the caught panic is counted in the
+    /// report, and no lock is left poisoned.
+    pub fn try_detect_batch(&self, frames: &[&GrayImage]) -> Vec<Result<Vec<Detection>, Error>> {
         if frames.is_empty() {
             return Vec::new();
         }
         let detector = self.select_level(frames.len() as u64);
-        self.run_batch(detector, frames)
+        self.try_run_batch(detector, frames)
     }
 
-    /// The staged parallel pipeline over one fixed detector.
-    fn run_batch(&self, detector: &TrainedDetector, frames: &[&GrayImage]) -> Vec<Vec<Detection>> {
+    /// The staged parallel pipeline over one fixed detector, with
+    /// per-frame failure isolation.
+    fn try_run_batch(
+        &self,
+        detector: &TrainedDetector,
+        frames: &[&GrayImage],
+    ) -> Vec<Result<Vec<Detection>, Error>> {
         let workers = self.config.workers;
         let batch_start = Instant::now();
+        self.metrics.begin_work();
+
+        // The first failure per frame; a failed frame is excluded from
+        // every subsequent stage.
+        let mut failed: Vec<Option<Error>> = (0..frames.len()).map(|_| None).collect();
+        let record_failure =
+            |failed: &mut Vec<Option<Error>>, frame: usize, stage: &str, p: WorkerPanic| {
+                self.metrics.add_panics(1);
+                if failed[frame].is_none() {
+                    failed[frame] =
+                        Some(Error::WorkerPanic { stage: stage.to_owned(), message: p.message });
+                }
+            };
 
         // Stage 1: scale pyramids, one item per frame.
         let t = Instant::now();
         let pyramid_config = self.engine.config().pyramid;
-        let pyramids =
-            parallel_map(workers, frames.len(), |i| scale_pyramid(frames[i], pyramid_config));
+        let mut pyramids = Vec::with_capacity(frames.len());
+        for (f, r) in
+            try_parallel_map(workers, frames.len(), |i| scale_pyramid(frames[i], pyramid_config))
+                .into_iter()
+                .enumerate()
+        {
+            match r {
+                Ok(p) => pyramids.push(Some(p)),
+                Err(p) => {
+                    record_failure(&mut failed, f, "pyramid", p);
+                    pyramids.push(None);
+                }
+            }
+        }
         self.metrics.add_stage(Stage::Pyramid, t.elapsed());
 
-        // Stage 2: cell grids, one item per (frame, level).
+        // Stage 2: cell grids, one item per (frame, level) of the
+        // still-alive frames.
         let t = Instant::now();
         let level_of: Vec<(usize, usize)> = pyramids
             .iter()
             .enumerate()
-            .flat_map(|(f, p)| (0..p.levels.len()).map(move |l| (f, l)))
+            .filter_map(|(f, p)| p.as_ref().map(|p| (f, p.levels.len())))
+            .flat_map(|(f, n)| (0..n).map(move |l| (f, l)))
             .collect();
-        let grids = parallel_map(workers, level_of.len(), |i| {
+        let mut grids = Vec::with_capacity(level_of.len());
+        for (i, r) in try_parallel_map(workers, level_of.len(), |i| {
             let (f, l) = level_of[i];
-            let level = &pyramids[f].levels[l];
+            let level = &pyramids[f].as_ref().expect("alive frame has a pyramid").levels[l];
             let grid = Detector::cell_grid(&detector.extractor, &level.image);
             (grid, level.scale)
-        });
+        })
+        .into_iter()
+        .enumerate()
+        {
+            match r {
+                Ok(g) => grids.push(Some(g)),
+                Err(p) => {
+                    record_failure(&mut failed, level_of[i].0, "cells", p);
+                    grids.push(None);
+                }
+            }
+        }
         self.metrics.add_stage(Stage::Cells, t.elapsed());
 
-        // Stage 3: classify window-row chunks in (frame, level, row) order.
+        // Stage 3: classify window-row chunks in (frame, level, row)
+        // order, over grids whose frame survived stage 2 in full.
         let t = Instant::now();
-        let grid_rows: Vec<(usize, usize)> = level_of
+        let ok_grids: Vec<_> = level_of
             .iter()
             .zip(&grids)
-            .map(|(&(f, _), (grid, _))| (f, Detector::window_rows(grid)))
+            .filter(|(&(f, _), _)| failed[f].is_none())
+            .filter_map(|(&(f, _), g)| g.as_ref().map(|g| (f, g)))
             .collect();
+        let grid_rows: Vec<(usize, usize)> =
+            ok_grids.iter().map(|&(f, (grid, _))| (f, Detector::window_rows(grid))).collect();
         let chunks = plan_chunks(&grid_rows, self.config.chunk_rows);
-        let raw = parallel_map(workers, chunks.len(), |i| {
+        let raw = try_parallel_map(workers, chunks.len(), |i| {
             let chunk = &chunks[i];
-            let (grid, scale) = &grids[chunk.grid];
+            if let Some(injector) = &self.injector {
+                injector.maybe_panic(chunk.frame);
+            }
+            let (grid, scale) = ok_grids[chunk.grid].1;
             self.engine.score_rows(detector, grid, *scale, chunk.rows.clone())
         });
         let window_cells_x = WINDOW_WIDTH / CELL_SIZE;
-        let windows: u64 = chunks
-            .iter()
-            .map(|c| {
-                let per_row = grids[c.grid].0[0].len() + 1 - window_cells_x;
-                (c.rows.len() * per_row) as u64
-            })
-            .sum();
+        let mut windows = 0u64;
+        for (chunk, r) in chunks.iter().zip(raw.iter()) {
+            match r {
+                Ok(_) => {
+                    let per_row = ok_grids[chunk.grid].1 .0[0].len() + 1 - window_cells_x;
+                    windows += (chunk.rows.len() * per_row) as u64;
+                }
+                Err(p) => record_failure(&mut failed, chunk.frame, "classify", p.clone()),
+            }
+        }
         self.metrics.add_windows(windows);
         self.metrics.add_stage(Stage::Classify, t.elapsed());
 
-        // Stage 4: merge chunk results in scan order and suppress,
-        // one item per frame. Chunks are already (frame, level, row)
+        // Stage 4: merge chunk results in scan order and suppress, one
+        // item per still-alive frame. Chunks are (frame, level, row)
         // ordered, so in-order concatenation per frame reproduces the
         // serial raw-detection sequence exactly.
         let t = Instant::now();
         let epsilon = self.engine.config().nms_epsilon;
-        let detections = parallel_map(workers, frames.len(), |f| {
+        let alive: Vec<usize> = (0..frames.len()).filter(|&f| failed[f].is_none()).collect();
+        let suppressed = try_parallel_map(workers, alive.len(), |a| {
+            let f = alive[a];
             let merged: Vec<Detection> = chunks
                 .iter()
                 .zip(&raw)
                 .filter(|(c, _)| c.frame == f)
-                .flat_map(|(_, dets)| dets.iter().cloned())
+                .flat_map(|(_, dets)| {
+                    dets.as_ref().expect("alive frame has no failed chunks").iter().cloned()
+                })
                 .collect();
             non_maximum_suppression(merged, epsilon)
         });
+        let mut detections: Vec<Option<Vec<Detection>>> = (0..frames.len()).map(|_| None).collect();
+        for (&f, r) in alive.iter().zip(suppressed) {
+            match r {
+                Ok(dets) => detections[f] = Some(dets),
+                Err(p) => record_failure(&mut failed, f, "nms", p),
+            }
+        }
         self.metrics.add_stage(Stage::Nms, t.elapsed());
 
-        self.metrics.add_frames(frames.len() as u64);
+        let results: Vec<Result<Vec<Detection>, Error>> = failed
+            .into_iter()
+            .zip(detections)
+            .map(|(err, dets)| match err {
+                Some(e) => Err(e),
+                None => Ok(dets.expect("alive frame produced detections")),
+            })
+            .collect();
+        self.metrics.add_frames(results.iter().filter(|r| r.is_ok()).count() as u64);
         self.metrics.add_batch(batch_start.elapsed());
-        detections
+        self.metrics.end_work();
+        results
     }
 
     /// Detects over a single frame on the worker pool. Output is
     /// bit-identical to [`Detector::detect`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises worker panics, like
+    /// [`detect_batch`](DetectionServer::detect_batch).
     pub fn detect_frame(&self, img: &GrayImage) -> Vec<Detection> {
         self.detect_batch(&[img]).pop().expect("one frame in, one result out")
+    }
+
+    /// Submits one frame under a [`RetryPolicy`]: failed attempts are
+    /// retried with exponential backoff until the attempt budget or the
+    /// deadline runs out. Retries and deadline misses are counted in
+    /// the report.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's [`Error::WorkerPanic`] once attempts are
+    /// exhausted, or [`Error::DeadlineExceeded`] when the in-flight
+    /// budget ran out first.
+    pub fn submit(&self, frame: &GrayImage, policy: &RetryPolicy) -> Result<Vec<Detection>, Error> {
+        let start = Instant::now();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 1..=max_attempts {
+            if let Some(deadline) = policy.deadline {
+                if start.elapsed() >= deadline {
+                    self.metrics.add_deadline_miss();
+                    return Err(Error::DeadlineExceeded {
+                        waited_ms: start.elapsed().as_millis() as u64,
+                        deadline_ms: deadline.as_millis() as u64,
+                    });
+                }
+            }
+            match self.try_detect_batch(&[frame]).pop().expect("one frame in, one result out") {
+                Ok(detections) => return Ok(detections),
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt < max_attempts {
+                        self.metrics.add_retry();
+                        let mut backoff = policy.backoff_after(attempt);
+                        if let Some(deadline) = policy.deadline {
+                            backoff = backoff.min(deadline.saturating_sub(start.elapsed()));
+                        }
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
     }
 
     /// Serves a stream of frames through the request queue: a feeder
@@ -328,7 +489,7 @@ impl<'d> DetectionServer<'d> {
                 for index in 0..frames.len() {
                     match queue.push(index) {
                         Ok(depth) => self.metrics.observe_queue_depth(depth as u64),
-                        Err(PushError::Full) => rejected += 1,
+                        Err(PushError::Full | PushError::Timeout) => rejected += 1,
                         Err(PushError::Closed) => break,
                     }
                 }

@@ -1,0 +1,151 @@
+//! Request supervision: deadlines, bounded retry and stall detection.
+
+use crate::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How a supervised request ([`DetectionServer::submit`]) responds to
+/// failure: how many attempts to make, how long to back off between
+/// them, and how long the request may stay in flight overall.
+///
+/// [`DetectionServer::submit`]: crate::DetectionServer::submit
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Overall in-flight budget. `None` means attempts alone bound the
+    /// request.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no backoff, no deadline — the "fail fast"
+    /// policy, equivalent to an unsupervised call.
+    pub fn no_retry() -> Self {
+        RetryPolicy { max_attempts: 1, base_backoff: Duration::ZERO, deadline: None }
+    }
+
+    /// The backoff to sleep after failed attempt number `attempt`
+    /// (1-based): `base_backoff << (attempt - 1)`, saturating.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        self.base_backoff
+            .saturating_mul(1_u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+    }
+}
+
+/// What the watchdog concluded about a runtime's liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogStatus {
+    /// No work in flight and nothing overdue.
+    Idle,
+    /// Work in flight and the heartbeat is fresh.
+    Healthy,
+    /// Work has been in flight with no heartbeat for longer than the
+    /// configured threshold — a wedged worker, an extractor stuck in
+    /// the simulator, or a deadlocked stage.
+    Stalled {
+        /// Milliseconds since the last sign of life.
+        silent_ms: u64,
+    },
+}
+
+/// A stall detector over a runtime's [`Metrics`] heartbeat. Every
+/// pipeline stage beats the heartbeat as it completes; the watchdog
+/// flags the runtime as stalled when work is in flight but the
+/// heartbeat has been silent past the threshold.
+///
+/// The watchdog takes no threads of its own — call
+/// [`check`](Watchdog::check) from wherever supervision lives (a
+/// monitoring loop, a liveness probe handler).
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    stall_after: Duration,
+}
+
+impl Watchdog {
+    /// A watchdog that flags a stall after `stall_after` of silence
+    /// with work in flight.
+    pub fn new(stall_after: Duration) -> Self {
+        Watchdog { stall_after }
+    }
+
+    /// The configured silence threshold.
+    pub fn stall_after(&self) -> Duration {
+        self.stall_after
+    }
+
+    /// Classifies the runtime's current liveness. A `Stalled` verdict
+    /// is counted in the metrics (and thus surfaces as
+    /// `stalls_detected` in the report).
+    pub fn check(&self, metrics: &Metrics) -> WatchdogStatus {
+        let in_flight = metrics.in_flight();
+        let Some(silent_ms) = metrics.silent_ms() else {
+            return WatchdogStatus::Idle;
+        };
+        if in_flight == 0 {
+            return WatchdogStatus::Idle;
+        }
+        if u128::from(silent_ms) > self.stall_after.as_millis() {
+            metrics.add_stall();
+            WatchdogStatus::Stalled { silent_ms }
+        } else {
+            WatchdogStatus::Healthy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            deadline: None,
+        };
+        assert_eq!(p.backoff_after(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn policy_roundtrips_through_serde() {
+        let p = RetryPolicy::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn watchdog_is_idle_then_healthy_then_stalled() {
+        let metrics = Metrics::new();
+        let dog = Watchdog::new(Duration::from_millis(30));
+        assert_eq!(dog.check(&metrics), WatchdogStatus::Idle);
+
+        metrics.begin_work();
+        assert_eq!(dog.check(&metrics), WatchdogStatus::Healthy);
+
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            matches!(dog.check(&metrics), WatchdogStatus::Stalled { silent_ms } if silent_ms >= 30)
+        );
+        assert_eq!(metrics.report(1, None).stalls_detected, 1);
+
+        metrics.end_work();
+        assert_eq!(dog.check(&metrics), WatchdogStatus::Idle);
+    }
+}

@@ -1,0 +1,42 @@
+//! CRC-32 (IEEE 802.3) checksums.
+
+/// Computes the CRC-32 (IEEE polynomial, reflected) of `data` — the
+/// same checksum zlib, PNG and Ethernet use, so envelopes can be
+/// verified with standard external tooling.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            // Branch-free reflected update: subtract 1-bit masks.
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"partitioned convolutional neural networks".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}.{bit} undetected");
+            }
+        }
+    }
+}

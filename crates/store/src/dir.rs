@@ -1,0 +1,103 @@
+//! Epoch-numbered checkpoint directories for resumable training.
+
+use crate::envelope;
+use pcnn_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A directory of per-epoch checkpoints named `epoch-NNNNN.ckpt`.
+///
+/// Training loops save one checkpoint per completed epoch; after a
+/// crash, [`load_latest`](CheckpointDir::load_latest) finds the newest
+/// *valid* file to resume from — a checkpoint that fails its envelope
+/// checks (the one being written when the process died, say) is
+/// skipped in favor of the next-newest rather than aborting the
+/// resume.
+#[derive(Debug, Clone)]
+pub struct CheckpointDir {
+    dir: PathBuf,
+}
+
+impl CheckpointDir {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the directory cannot be created.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::Io { path: dir.display().to_string(), reason: e.to_string() })?;
+        Ok(CheckpointDir { dir })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path used for epoch `epoch`.
+    pub fn path_for(&self, epoch: usize) -> PathBuf {
+        self.dir.join(format!("epoch-{epoch:05}.ckpt"))
+    }
+
+    /// Saves `value` as the checkpoint for `epoch` (crash-safely, via
+    /// [`envelope::save`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`envelope::save`] failures.
+    pub fn save<T: Serialize>(&self, epoch: usize, value: &T) -> Result<PathBuf> {
+        let path = self.path_for(epoch);
+        envelope::save(&path, value)?;
+        Ok(path)
+    }
+
+    /// Epochs with a checkpoint file present, ascending. Files that do
+    /// not match the `epoch-NNNNN.ckpt` pattern are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the directory cannot be listed.
+    pub fn epochs(&self) -> Result<Vec<usize>> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| Error::Io {
+            path: self.dir.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        let mut epochs = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::Io {
+                path: self.dir.display().to_string(),
+                reason: e.to_string(),
+            })?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(digits) = name.strip_prefix("epoch-").and_then(|n| n.strip_suffix(".ckpt"))
+            {
+                if let Ok(epoch) = digits.parse::<usize>() {
+                    epochs.push(epoch);
+                }
+            }
+        }
+        epochs.sort_unstable();
+        Ok(epochs)
+    }
+
+    /// Loads the newest checkpoint that passes envelope verification,
+    /// returning its epoch — or `None` when the directory holds no
+    /// usable checkpoint at all. Corrupt files (a half-written
+    /// temporary survivor, a bit-flipped payload) are skipped; an
+    /// unreadable directory is still an error.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the directory cannot be listed.
+    pub fn load_latest<T: Deserialize>(&self) -> Result<Option<(usize, T)>> {
+        for &epoch in self.epochs()?.iter().rev() {
+            if let Ok(value) = envelope::load::<T>(self.path_for(epoch)) {
+                return Ok(Some((epoch, value)));
+            }
+        }
+        Ok(None)
+    }
+}

@@ -1,0 +1,118 @@
+//! The versioned, checksummed on-disk envelope.
+
+use crate::crc::crc32;
+use pcnn_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// The four magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 4] = *b"PCNN";
+
+/// The newest envelope format version this build reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Envelope header size: magic + version + reserved + length + CRC.
+const HEADER_LEN: usize = 4 + 2 + 2 + 8 + 4;
+
+fn io_error(path: &Path, err: &std::io::Error) -> Error {
+    Error::Io { path: path.display().to_string(), reason: err.to_string() }
+}
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> Error {
+    Error::CorruptCheckpoint { path: path.display().to_string(), reason: reason.into() }
+}
+
+/// Serializes `value` and writes it to `path` crash-safely: the
+/// envelope is assembled in memory, written to a `.tmp` sibling,
+/// flushed to disk, and atomically renamed over `path`. A crash at any
+/// point leaves either the old file or the new one — never a mixture.
+///
+/// # Errors
+///
+/// [`Error::Io`] when the filesystem rejects any step;
+/// [`Error::InvalidConfig`] when `value` cannot be serialized (a
+/// non-finite float in a field the format requires, for example —
+/// not reachable for the workspace's snapshot types).
+pub fn save<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<()> {
+    let path = path.as_ref();
+    let payload = serde_json::to_string(value)
+        .map_err(|e| Error::InvalidConfig {
+            what: "checkpoint payload".to_owned(),
+            reason: e.to_string(),
+        })?
+        .into_bytes();
+
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&0_u16.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp).map_err(|e| io_error(&tmp, &e))?;
+    file.write_all(&bytes).map_err(|e| io_error(&tmp, &e))?;
+    file.sync_all().map_err(|e| io_error(&tmp, &e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_error(path, &e))?;
+    Ok(())
+}
+
+/// Reads and verifies an envelope written by [`save`], then decodes the
+/// payload as a `T`.
+///
+/// # Errors
+///
+/// * [`Error::Io`] when the file cannot be read;
+/// * [`Error::CorruptCheckpoint`] when the file is truncated, does not
+///   open with the `PCNN` magic, declares a payload length other than
+///   what is present, fails the CRC-32 check, or decodes to something
+///   that is not a `T`;
+/// * [`Error::UnsupportedVersion`] when the envelope was written by a
+///   newer format than this build understands.
+pub fn load<T: Deserialize>(path: impl AsRef<Path>) -> Result<T> {
+    let path = path.as_ref();
+    let bytes = fs::read(path).map_err(|e| io_error(path, &e))?;
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(
+            path,
+            format!("truncated header: {} bytes, need {HEADER_LEN}", bytes.len()),
+        ));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(corrupt(path, "bad magic (not a PCNN checkpoint)"));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version > FORMAT_VERSION {
+        return Err(Error::UnsupportedVersion {
+            path: path.display().to_string(),
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    if version == 0 {
+        return Err(corrupt(path, "format version 0 was never written"));
+    }
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let payload = &bytes[HEADER_LEN..];
+    if declared != payload.len() as u64 {
+        return Err(corrupt(
+            path,
+            format!("payload length mismatch: header says {declared}, found {}", payload.len()),
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice"));
+    let actual_crc = crc32(payload);
+    if stored_crc != actual_crc {
+        return Err(corrupt(
+            path,
+            format!("crc mismatch: header says {stored_crc:#010x}, payload is {actual_crc:#010x}"),
+        ));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| corrupt(path, format!("payload is not utf-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| corrupt(path, format!("payload does not decode: {e}")))
+}

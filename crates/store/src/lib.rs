@@ -1,0 +1,40 @@
+//! Crash-safe persistence for the PCNN workspace.
+//!
+//! Everything the workspace needs to survive a process death — trained
+//! detectors ([`pcnn_core::DetectorSnapshot`]), per-epoch training
+//! checkpoints ([`pcnn_core::EednCheckpoint`]), TrueNorth simulator
+//! state (`pcnn_truenorth::SystemSnapshot`) — is written through one
+//! [`envelope`] format:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"PCNN"
+//! 4       2     format version (little-endian; currently 1)
+//! 6       2     reserved (zero)
+//! 8       8     payload length in bytes (little-endian)
+//! 16      4     CRC-32 (IEEE) of the payload (little-endian)
+//! 20      n     payload: the value as JSON
+//! ```
+//!
+//! Writes go to a temporary sibling file, are flushed with
+//! `sync_all`, and are moved into place with an atomic rename — a
+//! reader never observes a half-written checkpoint, and a crash
+//! mid-write leaves the previous checkpoint intact. Reads verify the
+//! magic, version, length and checksum before any decoding happens, so
+//! truncation and bit rot surface as typed
+//! [`Error::CorruptCheckpoint`](pcnn_core::Error::CorruptCheckpoint)
+//! values rather than garbage state or panics.
+//!
+//! [`CheckpointDir`] layers an epoch-numbered naming convention on top,
+//! giving training loops a resume-from-latest primitive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod dir;
+pub mod envelope;
+
+pub use crc::crc32;
+pub use dir::CheckpointDir;
+pub use envelope::{load, save, FORMAT_VERSION, MAGIC};

@@ -1,0 +1,245 @@
+//! The corruption contract: every way a checkpoint file can be damaged
+//! is rejected with the right typed [`Error`] — never a panic, never
+//! silently-wrong state — and an intact detector round-trips through
+//! disk bit-identically.
+
+use pcnn_core::{Detector, Error, Extractor, TrainedDetector, WindowClassifier};
+use pcnn_hog::BlockNorm;
+use pcnn_store::{envelope, CheckpointDir, FORMAT_VERSION, MAGIC};
+use pcnn_svm::{train, FeatureScaler, TrainConfig};
+use pcnn_vision::GrayImage;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory per test, under the OS temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("pcnn-store-test-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_detector() -> TrainedDetector {
+    let extractor = Extractor::napprox_quantized(64, BlockNorm::None);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..30 {
+        let crop = GrayImage::from_fn(64, 128, |x, y| {
+            if i % 2 == 0 {
+                // A vertical bright bar: the "pedestrian" class.
+                if (24..40).contains(&x) {
+                    0.9
+                } else {
+                    0.1
+                }
+            } else {
+                ((x * 7 + y * 3 + i) % 13) as f32 / 13.0
+            }
+        });
+        xs.push(extractor.crop_descriptor(&crop));
+        ys.push(i % 2 == 0);
+    }
+    let scaler = FeatureScaler::fit(&xs);
+    let model = train(&scaler.apply_all(&xs), &ys, TrainConfig::default());
+    TrainedDetector { extractor, classifier: WindowClassifier::Svm { model, scaler } }
+}
+
+#[test]
+fn detector_roundtrips_through_disk_bit_identically() {
+    let dir = scratch("roundtrip");
+    let path = dir.join("detector.ckpt");
+    let det = small_detector();
+
+    envelope::save(&path, &det.to_snapshot()).unwrap();
+    let restored = TrainedDetector::from_snapshot(&envelope::load(&path).unwrap()).unwrap();
+
+    let scene = GrayImage::from_fn(160, 200, |x, y| {
+        if (60..76).contains(&x) && (30..158).contains(&y) {
+            0.9
+        } else {
+            ((x + y) % 11) as f32 / 22.0
+        }
+    });
+    let engine = Detector::default();
+    let a = engine.detect(&det, &scene);
+    let b = engine.detect(&restored, &scene);
+    assert_eq!(a.len(), b.len());
+    for (da, db) in a.iter().zip(&b) {
+        assert_eq!(da.score.to_bits(), db.score.to_bits(), "scores diverge");
+        assert_eq!(da.bbox.x.to_bits(), db.bbox.x.to_bits());
+        assert_eq!(da.bbox.y.to_bits(), db.bbox.y.to_bits());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let dir = scratch("missing");
+    let err = envelope::load::<pcnn_core::DetectorSnapshot>(dir.join("nope.ckpt")).unwrap_err();
+    assert!(matches!(err, Error::Io { .. }), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_files_are_rejected() {
+    let dir = scratch("trunc");
+    let path = dir.join("value.ckpt");
+    envelope::save(&path, &vec![1.5_f32, -2.25, 3.0]).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Every possible truncation point, including mid-header.
+    for keep in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let err = envelope::load::<Vec<f32>>(&path).unwrap_err();
+        assert!(
+            matches!(err, Error::CorruptCheckpoint { .. }),
+            "truncation to {keep} bytes gave {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_payload_bit_flip_is_rejected() {
+    let dir = scratch("bitflip");
+    let path = dir.join("value.ckpt");
+    envelope::save(&path, &vec![10_u64, 20, 30]).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    for byte in 20..bytes.len() {
+        let mut damaged = bytes.clone();
+        damaged[byte] ^= 0x10;
+        std::fs::write(&path, &damaged).unwrap();
+        let err = envelope::load::<Vec<u64>>(&path).unwrap_err();
+        assert!(
+            matches!(err, Error::CorruptCheckpoint { .. }),
+            "payload flip at byte {byte} gave {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crc_and_length_tampering_are_rejected() {
+    let dir = scratch("crc");
+    let path = dir.join("value.ckpt");
+    envelope::save(&path, &"hello".to_owned()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Flip a stored-CRC bit.
+    let mut bad_crc = bytes.clone();
+    bad_crc[16] ^= 1;
+    std::fs::write(&path, &bad_crc).unwrap();
+    let err = envelope::load::<String>(&path).unwrap_err();
+    assert!(matches!(err, Error::CorruptCheckpoint { .. }), "{err}");
+    assert!(err.to_string().contains("crc"), "{err}");
+
+    // Understate the payload length.
+    let mut bad_len = bytes.clone();
+    bad_len[8] ^= 1;
+    std::fs::write(&path, &bad_len).unwrap();
+    let err = envelope::load::<String>(&path).unwrap_err();
+    assert!(matches!(err, Error::CorruptCheckpoint { .. }), "{err}");
+    assert!(err.to_string().contains("length"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let dir = scratch("magic");
+    let path = dir.join("value.ckpt");
+    envelope::save(&path, &7_u32).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[0..4], &MAGIC);
+    bytes[0..4].copy_from_slice(b"NNCP");
+    std::fs::write(&path, &bytes).unwrap();
+    let err = envelope::load::<u32>(&path).unwrap_err();
+    assert!(matches!(err, Error::CorruptCheckpoint { .. }), "{err}");
+    assert!(err.to_string().contains("magic"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn future_format_versions_are_rejected_with_the_version_error() {
+    let dir = scratch("version");
+    let path = dir.join("value.ckpt");
+    envelope::save(&path, &7_u32).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4..6].copy_from_slice(&9_u16.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let err = envelope::load::<u32>(&path).unwrap_err();
+    match err {
+        Error::UnsupportedVersion { found, supported, .. } => {
+            assert_eq!(found, 9);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn payload_type_mismatch_is_a_corrupt_checkpoint() {
+    let dir = scratch("type");
+    let path = dir.join("value.ckpt");
+    envelope::save(&path, &vec![1_u32, 2, 3]).unwrap();
+    // Valid envelope, wrong type: decoding must fail cleanly.
+    let err = envelope::load::<pcnn_core::DetectorSnapshot>(&path).unwrap_err();
+    assert!(matches!(err, Error::CorruptCheckpoint { .. }), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_dir_resumes_from_newest_valid_epoch() {
+    let dir = scratch("dir");
+    let ckpts = CheckpointDir::create(&dir).unwrap();
+    for epoch in 1..=3 {
+        ckpts.save(epoch, &format!("state-{epoch}")).unwrap();
+    }
+    assert_eq!(ckpts.epochs().unwrap(), vec![1, 2, 3]);
+    assert_eq!(ckpts.load_latest::<String>().unwrap(), Some((3, "state-3".to_owned())));
+
+    // Corrupt the newest checkpoint (the crash-mid-write scenario):
+    // resume falls back to epoch 2 instead of failing.
+    let newest = ckpts.path_for(3);
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let cut = bytes.len() - 4;
+    bytes.truncate(cut);
+    std::fs::write(&newest, &bytes).unwrap();
+    assert_eq!(ckpts.load_latest::<String>().unwrap(), Some((2, "state-2".to_owned())));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truenorth_snapshot_roundtrips_through_the_envelope() {
+    use pcnn_truenorth::{NeuroCoreBuilder, NeuronConfig, SpikeTarget, System, SystemSnapshot};
+
+    let dir = scratch("tn");
+    let path = dir.join("system.ckpt");
+
+    let mut sys = System::with_seed(0x5EED);
+    let mut core = NeuroCoreBuilder::new();
+    core.connect(0, 0);
+    core.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 2).with_leak(1));
+    core.route_neuron(0, SpikeTarget::output(0));
+    let c = sys.add_core(core.build());
+    for _ in 0..9 {
+        sys.inject(c, 0);
+        sys.tick();
+    }
+
+    envelope::save(&path, &sys.snapshot()).unwrap();
+    let snap: SystemSnapshot = envelope::load(&path).unwrap();
+    let mut restored = System::from_snapshot(snap).unwrap();
+
+    for _ in 0..9 {
+        sys.inject(c, 0);
+        restored.inject(c, 0);
+        sys.tick();
+        restored.tick();
+    }
+    assert_eq!(sys.drain_output_spikes(), restored.drain_output_spikes());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,148 @@
+//! The kill-resume chaos harness: co-training is interrupted at a
+//! pseudo-random epoch (simulating a process kill), resumed from the
+//! newest on-disk checkpoint, and must land on **bit-identical** final
+//! weights and detections — even when the newest checkpoint file was
+//! corrupted and resume has to fall back to the one before it.
+
+use pcnn_core::cotrain::{PartitionedSystem, TrainSetConfig};
+use pcnn_core::pipeline::{Detector, TrainedDetector};
+use pcnn_core::{EednCheckpoint, EednClassifierConfig, Extractor};
+use pcnn_hog::BlockNorm;
+use pcnn_store::CheckpointDir;
+use pcnn_vision::{SynthConfig, SynthDataset};
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pcnn-resume-{}-{tag}-{n}", std::process::id()))
+}
+
+fn train_config() -> TrainSetConfig {
+    TrainSetConfig { n_pos: 30, n_neg: 60, mining_scenes: 1, mining_rounds: 0 }
+}
+
+fn eedn_config() -> EednClassifierConfig {
+    EednClassifierConfig { hidden1: 24, hidden2: 12, epochs: 5, ..Default::default() }
+}
+
+fn extractor() -> Extractor {
+    Extractor::napprox_fp(BlockNorm::None)
+}
+
+/// One uninterrupted training run — the reference the resumed runs must
+/// reproduce exactly.
+fn uninterrupted(ds: &SynthDataset) -> TrainedDetector {
+    PartitionedSystem::train_eedn_detector_with(
+        extractor(),
+        ds,
+        train_config(),
+        eedn_config(),
+        None,
+        |_| ControlFlow::Continue(()),
+    )
+    .expect("training succeeds")
+}
+
+/// Trains while persisting every epoch to `dir`, "crashing" (breaking
+/// out) once `kill_after` epochs have completed.
+fn train_until_killed(ds: &SynthDataset, dir: &CheckpointDir, kill_after: usize) {
+    let _ = PartitionedSystem::train_eedn_detector_with(
+        extractor(),
+        ds,
+        train_config(),
+        eedn_config(),
+        None,
+        |ckpt| {
+            dir.save(ckpt.epoch, ckpt).expect("checkpoint write succeeds");
+            if ckpt.epoch >= kill_after {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    )
+    .expect("interrupted training still returns cleanly");
+}
+
+/// Resumes from the newest valid checkpoint in `dir` and trains to
+/// completion.
+fn resume(ds: &SynthDataset, dir: &CheckpointDir) -> (usize, TrainedDetector) {
+    let (epoch, ckpt): (usize, EednCheckpoint) =
+        dir.load_latest().expect("checkpoint dir readable").expect("at least one checkpoint");
+    let det = PartitionedSystem::train_eedn_detector_with(
+        extractor(),
+        ds,
+        train_config(),
+        eedn_config(),
+        Some(&ckpt),
+        |_| ControlFlow::Continue(()),
+    )
+    .expect("resumed training succeeds");
+    (epoch, det)
+}
+
+/// Bit-exact equality via the canonical snapshot serialization: every
+/// weight, Adam moment and scaler constant must match.
+fn assert_bit_identical(a: &TrainedDetector, b: &TrainedDetector, what: &str) {
+    let ja = serde_json::to_string(&a.to_snapshot()).unwrap();
+    let jb = serde_json::to_string(&b.to_snapshot()).unwrap();
+    assert_eq!(ja, jb, "{what}: snapshots differ");
+}
+
+#[test]
+fn killed_and_resumed_training_is_bit_identical_to_uninterrupted() {
+    let ds = SynthDataset::new(SynthConfig::default());
+    let reference = uninterrupted(&ds);
+
+    // "Random" kill epoch: varies across processes, deterministic
+    // within one run, always mid-training (epochs run 1..=5).
+    let kill_after = 1 + (std::process::id() as usize % 3);
+    let dir = CheckpointDir::create(scratch("kill")).unwrap();
+    train_until_killed(&ds, &dir, kill_after);
+    assert_eq!(
+        dir.epochs().unwrap(),
+        (1..=kill_after).collect::<Vec<_>>(),
+        "one checkpoint per completed epoch"
+    );
+
+    let (resumed_from, resumed) = resume(&ds, &dir);
+    assert_eq!(resumed_from, kill_after, "resume picks the newest checkpoint");
+    assert_bit_identical(&reference, &resumed, &format!("kill at epoch {kill_after}"));
+
+    // Detections agree bit-for-bit too.
+    let engine = Detector::default();
+    let scene = ds.test_scene(0);
+    let a = engine.detect(&reference, &scene.image);
+    let b = engine.detect(&resumed, &scene.image);
+    assert_eq!(a, b);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "detection scores must be bit-equal");
+    }
+    std::fs::remove_dir_all(dir.path()).ok();
+}
+
+#[test]
+fn resume_falls_back_past_a_corrupted_checkpoint_and_still_matches() {
+    let ds = SynthDataset::new(SynthConfig::default());
+    let reference = uninterrupted(&ds);
+
+    let kill_after = 3;
+    let dir = CheckpointDir::create(scratch("corrupt")).unwrap();
+    train_until_killed(&ds, &dir, kill_after);
+
+    // The crash also mangled the newest checkpoint (torn write on a
+    // filesystem without atomic rename, say): truncate it mid-payload.
+    let newest = dir.path_for(kill_after);
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    // Resume rejects the damaged file, falls back to epoch 2, and the
+    // per-epoch seed derivation still reproduces the reference exactly.
+    let (resumed_from, resumed) = resume(&ds, &dir);
+    assert_eq!(resumed_from, kill_after - 1, "corrupt newest checkpoint is skipped");
+    assert_bit_identical(&reference, &resumed, "resume after corruption");
+    std::fs::remove_dir_all(dir.path()).ok();
+}

@@ -70,6 +70,12 @@ pub enum TrueNorthError {
         /// The validation failure, as reported by `pcnn-faults`.
         reason: String,
     },
+    /// A system snapshot was internally inconsistent and cannot be
+    /// restored.
+    InvalidSnapshot {
+        /// Which consistency check failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrueNorthError {
@@ -104,6 +110,9 @@ impl fmt::Display for TrueNorthError {
             }
             TrueNorthError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            TrueNorthError::InvalidSnapshot { reason } => {
+                write!(f, "invalid system snapshot: {reason}")
             }
         }
     }

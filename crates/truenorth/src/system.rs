@@ -116,6 +116,44 @@ pub struct System {
     faults: Option<Box<FaultLayer>>,
 }
 
+/// A serializable image of a [`System`]'s complete simulation state —
+/// network configuration, neuron potentials, in-flight spikes on the
+/// delay wheel, undrained outputs, tick count, PRNG position, activity
+/// stats and the active-core worklists.
+///
+/// Produced by [`System::snapshot`] and consumed by
+/// [`System::from_snapshot`]; the restored system replays **bit-identically**
+/// from the capture point. Fault plans are *not* part of a snapshot:
+/// [`System::snapshot`] captures the fault-free configuration (reverting
+/// any applied threshold drift in the copy it serializes), and the
+/// caller re-attaches a plan after restore if desired.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    cores: Vec<NeuroCore>,
+    wheel: Vec<Vec<(u32, u16)>>,
+    outputs: Vec<(u64, u32)>,
+    now: u64,
+    rng_state: [u64; 4],
+    stats: SystemStats,
+    ready: Vec<u32>,
+    in_ready: Vec<bool>,
+    ready_next: Vec<u32>,
+    in_ready_next: Vec<bool>,
+    auto_active: Vec<bool>,
+}
+
+impl SystemSnapshot {
+    /// Number of cores in the snapshotted system.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The tick count at capture time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
 /// An [`ActiveFaults`] table plus the bookkeeping needed to detach it
 /// again (threshold drift is applied destructively to neuron configs and
 /// must be reverted exactly).
@@ -433,6 +471,94 @@ impl System {
             }
         }
         counts
+    }
+
+    /// Captures the complete simulation state for persistence.
+    ///
+    /// If a fault plan is attached it is detached *in the captured copy*
+    /// (reverting its threshold drift exactly), so the snapshot always
+    /// describes the fault-free system; re-attach a plan after
+    /// [`from_snapshot`](System::from_snapshot) to continue a faulted
+    /// experiment.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        let mut clean = self.clone();
+        clean.clear_fault_plan();
+        SystemSnapshot {
+            cores: clean.cores,
+            wheel: clean.wheel,
+            outputs: clean.outputs,
+            now: clean.now,
+            rng_state: clean.rng.state(),
+            stats: clean.stats,
+            ready: clean.ready,
+            in_ready: clean.in_ready,
+            ready_next: clean.ready_next,
+            in_ready_next: clean.in_ready_next,
+            auto_active: clean.auto_active,
+        }
+    }
+
+    /// Rebuilds a system from a [`SystemSnapshot`].
+    ///
+    /// The result ticks bit-identically to the system the snapshot was
+    /// captured from (no fault plan attached; see
+    /// [`snapshot`](System::snapshot)).
+    ///
+    /// # Errors
+    ///
+    /// [`TrueNorthError::InvalidSnapshot`] if the snapshot's internal
+    /// shapes are inconsistent — the kind of damage a decoded-but-tampered
+    /// checkpoint would present.
+    pub fn from_snapshot(s: SystemSnapshot) -> Result<Self> {
+        let n = s.cores.len();
+        let invalid = |reason: String| TrueNorthError::InvalidSnapshot { reason };
+        if s.wheel.len() != MAX_DELAY as usize + 1 {
+            return Err(invalid(format!(
+                "delay wheel has {} slots, expected {}",
+                s.wheel.len(),
+                MAX_DELAY + 1
+            )));
+        }
+        for (name, len) in [
+            ("in_ready", s.in_ready.len()),
+            ("in_ready_next", s.in_ready_next.len()),
+            ("auto_active", s.auto_active.len()),
+        ] {
+            if len != n {
+                return Err(invalid(format!("{name} covers {len} cores, system has {n}")));
+            }
+        }
+        for (name, list) in [("ready", &s.ready), ("ready_next", &s.ready_next)] {
+            if list.iter().any(|&c| c as usize >= n) {
+                return Err(invalid(format!("{name} worklist references a core beyond {n}")));
+            }
+        }
+        for slot in &s.wheel {
+            for &(core, axon) in slot {
+                if core as usize >= n || axon as usize >= AXONS_PER_CORE {
+                    return Err(invalid(format!(
+                        "in-flight spike targets (core {core}, axon {axon}) \
+                         outside the system"
+                    )));
+                }
+            }
+        }
+        Ok(System {
+            cores: s.cores,
+            wheel: s.wheel,
+            outputs: s.outputs,
+            now: s.now,
+            rng: SmallRng::from_state(s.rng_state),
+            stats: s.stats,
+            fired_scratch: Vec::new(),
+            ready: s.ready,
+            in_ready: s.in_ready,
+            ready_next: s.ready_next,
+            in_ready_next: s.in_ready_next,
+            auto_active: s.auto_active,
+            route_scratch: Vec::new(),
+            faults: None,
+        })
     }
 
     /// Clears all neuron state, queued spikes and outputs (but keeps the

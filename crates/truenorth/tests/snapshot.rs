@@ -1,0 +1,124 @@
+//! Snapshot/restore contract: a system restored from a mid-run
+//! [`SystemSnapshot`] replays bit-identically to the original, including
+//! in-flight delayed spikes, residual potentials, the shared stochastic
+//! PRNG stream, and the active-core worklists.
+
+use pcnn_truenorth::system::SpikeTarget;
+use pcnn_truenorth::{NeuroCoreBuilder, NeuronConfig, System, SystemSnapshot};
+
+/// A small system with interesting dynamics: a stochastic-threshold leak
+/// core driving a delayed relay into an output pin.
+fn busy_system(seed: u64) -> System {
+    let mut sys = System::with_seed(seed);
+
+    let mut relay = NeuroCoreBuilder::new();
+    relay.connect(0, 0);
+    relay.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+    relay.route_neuron(0, SpikeTarget::output(0));
+    let sink = sys.add_core(relay.build());
+
+    let mut src = NeuroCoreBuilder::new();
+    src.set_neuron(
+        0,
+        NeuronConfig::excitatory(&[0, 0, 0, 0], 3).with_leak(1).with_stochastic_mask(1),
+    );
+    src.route_neuron(0, SpikeTarget::axon_delayed(sink, 0, 7).unwrap());
+    sys.add_core(src.build());
+    sys
+}
+
+fn run_outputs(sys: &mut System, ticks: u64) -> Vec<(u64, u32)> {
+    sys.run(ticks);
+    sys.drain_output_spikes()
+}
+
+#[test]
+fn restored_system_replays_bit_identically() {
+    let mut original = busy_system(0xB5);
+    original.run(23); // leaves potentials, wheel spikes and RNG mid-stream
+
+    let snap = original.snapshot();
+    let mut restored = System::from_snapshot(snap).unwrap();
+
+    for round in 0..5 {
+        let a = run_outputs(&mut original, 17);
+        let b = run_outputs(&mut restored, 17);
+        assert_eq!(a, b, "divergence in round {round}");
+    }
+    assert_eq!(original.stats(), restored.stats());
+    assert_eq!(original.now(), restored.now());
+}
+
+#[test]
+fn snapshot_survives_json_roundtrip() {
+    let mut original = busy_system(0x77);
+    original.run(11);
+
+    let json = serde_json::to_string(&original.snapshot()).unwrap();
+    let decoded: SystemSnapshot = serde_json::from_str(&json).unwrap();
+    let mut restored = System::from_snapshot(decoded).unwrap();
+
+    let a = run_outputs(&mut original, 40);
+    let b = run_outputs(&mut restored, 40);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn snapshot_excludes_fault_plan_and_reverts_drift() {
+    use pcnn_truenorth::FaultPlan;
+
+    let mut faulted = busy_system(0x91);
+    let plan = FaultPlan::seeded(1).with_threshold_drift(1.0, 2);
+    faulted.set_fault_plan(&plan).unwrap();
+    faulted.run(9);
+
+    // The snapshot must describe the fault-free configuration: restoring
+    // it and running must match a *clean* copy of the same system, not
+    // the faulted one.
+    let mut restored = System::from_snapshot(faulted.snapshot()).unwrap();
+    assert!(restored.fault_plan().is_none());
+
+    faulted.clear_fault_plan();
+    let a = run_outputs(&mut faulted, 30);
+    let b = run_outputs(&mut restored, 30);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tampered_snapshots_are_rejected() {
+    use serde::{Deserialize, Serialize, Value};
+
+    let mut sys = busy_system(0x13);
+    sys.run(5);
+    let good = sys.snapshot();
+
+    let tamper = |f: &dyn Fn(&mut Vec<(String, Value)>)| -> SystemSnapshot {
+        let mut v = good.to_value();
+        if let Value::Map(m) = &mut v {
+            f(m);
+        }
+        SystemSnapshot::from_value(&v).expect("tampered snapshot still decodes")
+    };
+
+    // Drop a core: every per-core vector now disagrees.
+    let truncated = tamper(&|m| {
+        for (k, v) in m.iter_mut() {
+            if k == "cores" {
+                if let Value::Array(cores) = v {
+                    cores.pop();
+                }
+            }
+        }
+    });
+    assert!(System::from_snapshot(truncated).is_err());
+
+    // Point a worklist entry at a nonexistent core.
+    let bad_ready = tamper(&|m| {
+        for (k, v) in m.iter_mut() {
+            if k == "ready" {
+                *v = Value::Array(vec![Value::UInt(99)]);
+            }
+        }
+    });
+    assert!(System::from_snapshot(bad_ready).is_err());
+}

@@ -1,0 +1,94 @@
+//! Crash-safe co-training: train for a few epochs, "crash", resume from
+//! the newest on-disk checkpoint, and verify the final weights are
+//! bit-identical to an uninterrupted run.
+//!
+//! ```text
+//! cargo run --release --example resume_training
+//! ```
+
+use pcnn::core::cotrain::{PartitionedSystem, TrainSetConfig};
+use pcnn::core::pipeline::TrainedDetector;
+use pcnn::core::{EednCheckpoint, EednClassifierConfig, Extractor};
+use pcnn::hog::BlockNorm;
+use pcnn::store::CheckpointDir;
+use pcnn::vision::{SynthConfig, SynthDataset};
+use std::ops::ControlFlow;
+
+const KILL_AFTER: usize = 3;
+
+fn train_config() -> TrainSetConfig {
+    TrainSetConfig { n_pos: 60, n_neg: 120, mining_scenes: 2, mining_rounds: 0 }
+}
+
+fn eedn_config() -> EednClassifierConfig {
+    EednClassifierConfig { hidden1: 24, hidden2: 12, epochs: 6, ..Default::default() }
+}
+
+fn snapshot_json(det: &TrainedDetector) -> String {
+    serde_json::to_string(&det.to_snapshot()).expect("detector snapshots serialize")
+}
+
+fn main() {
+    let dataset = SynthDataset::new(SynthConfig::default());
+    let dir = CheckpointDir::create(
+        std::env::temp_dir().join(format!("pcnn-resume-example-{}", std::process::id())),
+    )
+    .expect("checkpoint directory");
+
+    // Reference: one uninterrupted run.
+    println!("reference run: {} epochs straight through…", eedn_config().epochs);
+    let reference = PartitionedSystem::train_eedn_detector_with(
+        Extractor::napprox_fp(BlockNorm::None),
+        &dataset,
+        train_config(),
+        eedn_config(),
+        None,
+        |_| ControlFlow::Continue(()),
+    )
+    .expect("training succeeds");
+
+    // Interrupted run: persist every epoch, then "crash" after three.
+    println!("interrupted run: checkpointing each epoch, killing after {KILL_AFTER}…");
+    let _ = PartitionedSystem::train_eedn_detector_with(
+        Extractor::napprox_fp(BlockNorm::None),
+        &dataset,
+        train_config(),
+        eedn_config(),
+        None,
+        |ckpt| {
+            let path = dir.save(ckpt.epoch, ckpt).expect("checkpoint write");
+            println!("  epoch {}: loss {:.4} -> {}", ckpt.epoch, ckpt.epoch_loss, path.display());
+            if ckpt.epoch >= KILL_AFTER {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    )
+    .expect("interrupted training returns cleanly");
+
+    // Resume from the newest checkpoint on disk.
+    let (epoch, ckpt): (usize, EednCheckpoint) =
+        dir.load_latest().expect("dir readable").expect("a checkpoint was written");
+    println!("resuming from epoch {epoch}…");
+    let resumed = PartitionedSystem::train_eedn_detector_with(
+        Extractor::napprox_fp(BlockNorm::None),
+        &dataset,
+        train_config(),
+        eedn_config(),
+        Some(&ckpt),
+        |ckpt| {
+            println!("  epoch {}: loss {:.4}", ckpt.epoch, ckpt.epoch_loss);
+            ControlFlow::Continue(())
+        },
+    )
+    .expect("resumed training succeeds");
+
+    let identical = snapshot_json(&reference) == snapshot_json(&resumed);
+    println!(
+        "final weights {} the uninterrupted run",
+        if identical { "are BIT-IDENTICAL to" } else { "DIVERGED from" }
+    );
+    std::fs::remove_dir_all(dir.path()).ok();
+    assert!(identical, "resume must reproduce the uninterrupted run exactly");
+}

@@ -23,7 +23,10 @@
 //!   and power/throughput models;
 //! * [`runtime`] — the parallel, batched detection-serving subsystem
 //!   (deterministic work scheduling, request batching with backpressure,
-//!   serving metrics).
+//!   serving metrics, panic isolation, deadlines and retry);
+//! * [`store`] — crash-safe persistence: a versioned, checksummed
+//!   envelope format with atomic-rename writes for trained detectors,
+//!   training checkpoints and simulator snapshots.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory and experiment index.
@@ -37,6 +40,7 @@ pub use pcnn_faults as faults;
 pub use pcnn_hog as hog;
 pub use pcnn_parrot as parrot;
 pub use pcnn_runtime as runtime;
+pub use pcnn_store as store;
 pub use pcnn_svm as svm;
 pub use pcnn_truenorth as truenorth;
 pub use pcnn_vision as vision;

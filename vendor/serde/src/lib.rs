@@ -259,6 +259,33 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_owned(), Value::UInt(self.as_secs())),
+            ("nanos".to_owned(), Value::UInt(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let map = match value {
+            Value::Map(entries) => entries,
+            other => return type_err("duration map", other),
+        };
+        let field = |name: &str| {
+            map.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| u64::from_value(v))
+                .unwrap_or_else(|| Err(Error::msg(format!("duration missing field `{name}`"))))
+        };
+        let nanos = u32::try_from(field("nanos")?)
+            .map_err(|_| Error::msg("duration nanos out of range"))?;
+        Ok(std::time::Duration::new(field("secs")?, nanos))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
