@@ -343,12 +343,22 @@ impl EednClassifier {
         let scaled = scaler.apply_all(descriptors);
         let ds = Dataset::from_parts(scaled, labels.iter().map(|&l| l as usize).collect());
         for epoch in start_epoch..config.epochs {
+            let epoch_span = pcnn_trace::span(pcnn_trace::stages::COTRAIN_EPOCH);
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
+            let mut samples = 0usize;
             for (x, y) in ds.batches(config.batch, config.seed ^ (0x100 + epoch as u64)) {
+                samples += y.len();
                 loss_sum += net.train_step_classify(&x, &y, config.lr, 0.9);
                 batches += 1;
             }
+            if epoch_span.is_recording() {
+                use pcnn_trace::Counter;
+                epoch_span.add(Counter::Epochs, 1);
+                epoch_span.add(Counter::Batches, batches as u64);
+                epoch_span.add(Counter::Samples, samples as u64);
+            }
+            drop(epoch_span);
             let checkpoint = EednCheckpoint {
                 epoch: epoch + 1,
                 config,

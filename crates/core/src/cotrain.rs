@@ -173,6 +173,8 @@ impl PartitionedSystem {
         resume_from: Option<&crate::classifier::EednCheckpoint>,
         on_checkpoint: impl FnMut(&crate::classifier::EednCheckpoint) -> std::ops::ControlFlow<()>,
     ) -> crate::error::Result<TrainedDetector> {
+        let train_span = pcnn_trace::span(pcnn_trace::stages::COTRAIN_TRAIN);
+        let collect_span = pcnn_trace::span(pcnn_trace::stages::COTRAIN_COLLECT);
         let (mut xs, mut ys) =
             Self::collect_descriptors(&extractor, dataset, config.n_pos, config.n_neg);
         // Augment with scene windows as extra negatives (a simple
@@ -183,6 +185,13 @@ impl PartitionedSystem {
                 xs.push(d);
                 ys.push(false);
             }
+        }
+        if collect_span.is_recording() {
+            collect_span.add(pcnn_trace::Counter::Samples, xs.len() as u64);
+        }
+        drop(collect_span);
+        if train_span.is_recording() {
+            train_span.add(pcnn_trace::Counter::Samples, xs.len() as u64);
         }
         let classifier =
             EednClassifier::try_train_with(&xs, &ys, eedn, resume_from, on_checkpoint)?;

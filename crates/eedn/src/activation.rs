@@ -52,6 +52,10 @@ impl Layer for Threshold {
         "threshold"
     }
 
+    fn span_label(&self) -> &'static str {
+        "eedn.activation"
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -112,6 +116,10 @@ impl Layer for HardSigmoid {
         "hard-sigmoid"
     }
 
+    fn span_label(&self) -> &'static str {
+        "eedn.activation"
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -161,6 +169,10 @@ impl Layer for Relu {
 
     fn name(&self) -> &str {
         "relu"
+    }
+
+    fn span_label(&self) -> &'static str {
+        "eedn.activation"
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

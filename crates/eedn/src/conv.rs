@@ -382,6 +382,10 @@ impl Layer for Conv2d {
         }
     }
 
+    fn span_label(&self) -> &'static str {
+        "eedn.conv"
+    }
+
     fn parameter_count(&self) -> usize {
         self.w.len() + self.alpha.len() + self.bias.len()
     }

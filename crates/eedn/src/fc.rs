@@ -333,6 +333,10 @@ impl Layer for GroupedLinear {
         }
     }
 
+    fn span_label(&self) -> &'static str {
+        "eedn.linear"
+    }
+
     fn parameter_count(&self) -> usize {
         self.w.len() + self.alpha.len() + self.bias.len()
     }

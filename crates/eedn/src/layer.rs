@@ -59,6 +59,16 @@ pub trait Layer: Send + Sync {
     /// A short name for diagnostics.
     fn name(&self) -> &str;
 
+    /// The static span name this layer's passes record under (trace
+    /// spans require `&'static str`, which rules out [`name`]).
+    /// Layer families override this (`"eedn.linear"`, `"eedn.conv"`,
+    /// …); the default covers ad-hoc layers in tests.
+    ///
+    /// [`name`]: Layer::name
+    fn span_label(&self) -> &'static str {
+        "eedn.layer"
+    }
+
     /// Type-erasure escape hatch: the layer as [`std::any::Any`], so
     /// checkpointing code can downcast a boxed layer back to its
     /// concrete type. Implementations return `self`.

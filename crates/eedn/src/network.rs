@@ -81,8 +81,10 @@ impl Sequential {
     /// (each worker thread keeps its own `Scratch`). Bit-identical to
     /// [`infer`](Sequential::infer).
     pub fn infer_with(&self, input: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let pass = pcnn_trace::span(pcnn_trace::stages::EEDN_INFER);
         let mut x = input.clone();
         for layer in &self.layers {
+            let _layer_span = pass.is_recording().then(|| pcnn_trace::span(layer.span_label()));
             x = layer.infer_with(&x, scratch);
         }
         x
@@ -95,8 +97,10 @@ impl Sequential {
 
     /// Forward in training mode (caches enabled).
     pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        let pass = pcnn_trace::span(pcnn_trace::stages::EEDN_FORWARD);
         let mut x = input.clone();
         for layer in &mut self.layers {
+            let _layer_span = pass.is_recording().then(|| pcnn_trace::span(layer.span_label()));
             x = layer.forward_with(&x, true, &mut self.scratch);
         }
         x
@@ -104,8 +108,10 @@ impl Sequential {
 
     /// Backpropagates a loss gradient through the whole stack.
     pub fn backward(&mut self, grad: &Tensor) {
+        let pass = pcnn_trace::span(pcnn_trace::stages::EEDN_BACKWARD);
         let mut g = grad.clone();
         for layer in self.layers.iter_mut().rev() {
+            let _layer_span = pass.is_recording().then(|| pcnn_trace::span(layer.span_label()));
             g = layer.backward_with(&g, &mut self.scratch);
         }
     }

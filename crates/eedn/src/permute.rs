@@ -92,6 +92,10 @@ impl Layer for Permute {
         "permute"
     }
 
+    fn span_label(&self) -> &'static str {
+        "eedn.permute"
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -86,6 +86,10 @@ impl Layer for MaxPool2 {
         "maxpool2"
     }
 
+    fn span_label(&self) -> &'static str {
+        "eedn.pool"
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -162,6 +166,10 @@ impl Layer for AvgPool2 {
 
     fn name(&self) -> &str {
         "avgpool2"
+    }
+
+    fn span_label(&self) -> &'static str {
+        "eedn.pool"
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

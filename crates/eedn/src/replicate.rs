@@ -78,6 +78,10 @@ impl Layer for Replicate {
         "replicate"
     }
 
+    fn span_label(&self) -> &'static str {
+        "eedn.replicate"
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

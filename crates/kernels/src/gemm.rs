@@ -201,6 +201,11 @@ fn driver(
     c: &mut [f32],
     ldc: usize,
 ) {
+    let span = pcnn_trace::span(pcnn_trace::stages::KERNELS_GEMM);
+    if span.is_recording() {
+        // A multiply-add per (m, k, n) cell counts as 2 flops.
+        span.add(pcnn_trace::Counter::Flops, 2 * (m as u64) * (k as u64) * (n as u64));
+    }
     assert!(m > 0 && k > 0 && n > 0, "empty gemm");
     assert!((m - 1) * ldc + n <= c.len(), "C exceeds slice");
     match tb {

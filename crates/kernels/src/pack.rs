@@ -55,6 +55,10 @@ impl ConvGeom {
 ///
 /// Panics if `img` or `col` do not match the geometry.
 pub fn im2col(g: &ConvGeom, img: &[f32], col: &mut [f32]) {
+    let span = pcnn_trace::span(pcnn_trace::stages::KERNELS_IM2COL);
+    if span.is_recording() {
+        span.add(pcnn_trace::Counter::Elements, col.len() as u64);
+    }
     assert_eq!(img.len(), g.channels * g.h * g.w, "image size mismatch");
     assert_eq!(col.len(), g.col_rows() * g.col_cols(), "col size mismatch");
     let (ho, wo) = (g.out_h(), g.out_w());
@@ -93,6 +97,10 @@ pub fn im2col(g: &ConvGeom, img: &[f32], col: &mut [f32]) {
 ///
 /// Panics if `img` or `col` do not match the geometry.
 pub fn col2im(g: &ConvGeom, col: &[f32], img: &mut [f32]) {
+    let span = pcnn_trace::span(pcnn_trace::stages::KERNELS_COL2IM);
+    if span.is_recording() {
+        span.add(pcnn_trace::Counter::Elements, col.len() as u64);
+    }
     assert_eq!(img.len(), g.channels * g.h * g.w, "image size mismatch");
     assert_eq!(col.len(), g.col_rows() * g.col_cols(), "col size mismatch");
     let (ho, wo) = (g.out_h(), g.out_w());

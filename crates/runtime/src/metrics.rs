@@ -75,6 +75,28 @@ impl HistogramReport {
             0
         }
     }
+
+    /// Estimates the `q`-quantile in microseconds by interpolating
+    /// within the bucket containing the target rank (each sample is
+    /// treated as sitting at the centre of its slot, which removes the
+    /// low bias of snapping to a bucket edge). Returns `None` for an
+    /// empty histogram; overflow-bucket ranks saturate at the last
+    /// bound. Delegates to [`pcnn_trace::quantile_from_buckets`], so
+    /// the runtime and the tracer report identical estimates for
+    /// identical buckets.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        pcnn_trace::quantile_from_buckets(&self.bounds_us, &self.counts, q)
+    }
+
+    /// Median latency estimate in microseconds.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency estimate in microseconds.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
 }
 
 /// Wall time spent in each pipeline stage, summed over all batches.
@@ -339,6 +361,63 @@ impl Metrics {
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             checkpoints_restored: self.checkpoints_restored.load(Ordering::Relaxed),
             system,
+            trace: None,
+        }
+    }
+}
+
+/// Per-stage tracing statistics surfaced in a [`RuntimeReport`] when a
+/// `pcnn_trace` tracer is installed. A serializable mirror of
+/// [`pcnn_trace::ProfileReport`] (the trace crate itself stays
+/// dependency-free, so the serde derives live here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// One entry per traced stage, sorted by descending total duration.
+    pub stages: Vec<StageSummary>,
+}
+
+/// One traced stage's aggregate timings in a [`TraceSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// The stage's span name, e.g. `"runtime.batch"`.
+    pub name: String,
+    /// Spans recorded.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest span in nanoseconds.
+    pub min_ns: u64,
+    /// Longest span in nanoseconds.
+    pub max_ns: u64,
+    /// Exact median duration in nanoseconds.
+    pub p50_ns: u64,
+    /// Exact 99th-percentile duration in nanoseconds.
+    pub p99_ns: u64,
+    /// Counter totals as `(snake_case name, value)` pairs.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl From<pcnn_trace::ProfileReport> for TraceSummary {
+    fn from(report: pcnn_trace::ProfileReport) -> Self {
+        TraceSummary {
+            stages: report
+                .stages
+                .into_iter()
+                .map(|s| StageSummary {
+                    name: s.name.to_owned(),
+                    count: s.count,
+                    total_ns: s.total_ns,
+                    min_ns: s.min_ns,
+                    max_ns: s.max_ns,
+                    p50_ns: s.p50_ns,
+                    p99_ns: s.p99_ns,
+                    counters: s
+                        .counters
+                        .into_iter()
+                        .map(|(c, v)| (c.name().to_owned(), v))
+                        .collect(),
+                })
+                .collect(),
         }
     }
 }
@@ -406,6 +485,10 @@ pub struct RuntimeReport {
     /// Neurosynaptic-simulator counters, when the extractor or
     /// classifier runs on the simulated TrueNorth substrate.
     pub system: Option<SystemStats>,
+    /// Per-stage tracing statistics, when a `pcnn_trace` tracer was
+    /// installed while the server ran.
+    #[serde(default)]
+    pub trace: Option<TraceSummary>,
 }
 
 impl std::fmt::Display for RuntimeReport {
@@ -474,6 +557,22 @@ impl std::fmt::Display for RuntimeReport {
                 s.ticks, s.routed_spikes, s.synaptic_events
             )?;
         }
+        if let Some(trace) = &self.trace {
+            writeln!(f)?;
+            write!(f, "  trace: {} stages", trace.stages.len())?;
+            for stage in &trace.stages {
+                writeln!(f)?;
+                write!(
+                    f,
+                    "    {:<20} {:>8} spans  total {:>10.3}ms  p50 {:>8.3}ms  p99 {:>8.3}ms",
+                    stage.name,
+                    stage.count,
+                    stage.total_ns as f64 / 1e6,
+                    stage.p50_ns as f64 / 1e6,
+                    stage.p99_ns as f64 / 1e6,
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -494,6 +593,60 @@ mod tests {
         assert_eq!(snap.counts[1], 1);
         assert_eq!(*snap.counts.last().unwrap(), 1);
         assert_eq!(snap.total(), 4);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let snap = Histogram::new(&LATENCY_BOUNDS_US).snapshot();
+        assert_eq!(snap.p50(), None);
+        assert_eq!(snap.p99(), None);
+        assert_eq!(snap.quantile(0.0), None);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_lands_in_its_bucket() {
+        let h = Histogram::new(&LATENCY_BOUNDS_US);
+        h.record(400); // bucket (100, 1000]
+        let snap = h.snapshot();
+        // One sample: every quantile is the same centred estimate.
+        let p50 = snap.p50().unwrap();
+        assert_eq!(p50, snap.p99().unwrap());
+        assert!(p50 > 100 && p50 <= 1_000, "estimate {p50} inside the sample's bucket");
+    }
+
+    #[test]
+    fn quantile_all_overflow_saturates_at_last_bound() {
+        let h = Histogram::new(&LATENCY_BOUNDS_US);
+        for _ in 0..5 {
+            h.record(u64::MAX);
+        }
+        let snap = h.snapshot();
+        let last = *LATENCY_BOUNDS_US.last().unwrap();
+        assert_eq!(snap.p50(), Some(last));
+        assert_eq!(snap.p99(), Some(last));
+    }
+
+    #[test]
+    fn quantile_interpolates_across_buckets() {
+        let h = Histogram::new(&LATENCY_BOUNDS_US);
+        // 6 samples in bucket (0,100], 4 in (100,1000]: the p50 rank
+        // (4.5 of ranks 0..=9) lies in the first bucket, the p99 rank
+        // (8.91) in the second, and both interpolate to interior values.
+        for _ in 0..6 {
+            h.record(50);
+        }
+        for _ in 0..4 {
+            h.record(500);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.p50().unwrap();
+        assert!(p50 > 0 && p50 < 100, "median interior to the first bucket, got {p50}");
+        let p99 = snap.p99().unwrap();
+        assert!(p99 > 100 && p99 < 1_000, "p99 interior to the second bucket, got {p99}");
+        // Exact values under the midpoint-rank convention:
+        // p50 = 100·(4.5+0.5)/6 ≈ 83, p99 = 100 + 900·(8.91−6+0.5)/4 ≈ 867.
+        assert_eq!(p50, 83);
+        assert_eq!(p99, 867);
     }
 
     #[test]

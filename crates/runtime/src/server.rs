@@ -187,6 +187,9 @@ impl<'d> DetectionServer<'d> {
                 reason: "needs at least one service level".to_owned(),
             });
         }
+        // Opt-in observability: PCNN_TRACE=1 turns on wall-clock span
+        // tracing for the whole process (surfaced via RuntimeReport).
+        pcnn_trace::init_from_env();
         let metrics = Metrics::with_levels(chain.len());
         Ok(DetectionServer { engine, chain, config, metrics, injector: None })
     }
@@ -279,6 +282,10 @@ impl<'d> DetectionServer<'d> {
         frames: &[&GrayImage],
     ) -> Vec<Result<Vec<Detection>, Error>> {
         let workers = self.config.workers;
+        let batch_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_BATCH);
+        if batch_span.is_recording() {
+            batch_span.add(pcnn_trace::Counter::Frames, frames.len() as u64);
+        }
         let batch_start = Instant::now();
         self.metrics.begin_work();
 
@@ -295,6 +302,7 @@ impl<'d> DetectionServer<'d> {
             };
 
         // Stage 1: scale pyramids, one item per frame.
+        let stage_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_PYRAMID);
         let t = Instant::now();
         let pyramid_config = self.engine.config().pyramid;
         let mut pyramids = Vec::with_capacity(frames.len());
@@ -312,9 +320,11 @@ impl<'d> DetectionServer<'d> {
             }
         }
         self.metrics.add_stage(Stage::Pyramid, t.elapsed());
+        drop(stage_span);
 
         // Stage 2: cell grids, one item per (frame, level) of the
         // still-alive frames.
+        let stage_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_CELLS);
         let t = Instant::now();
         let level_of: Vec<(usize, usize)> = pyramids
             .iter()
@@ -341,9 +351,11 @@ impl<'d> DetectionServer<'d> {
             }
         }
         self.metrics.add_stage(Stage::Cells, t.elapsed());
+        drop(stage_span);
 
         // Stage 3: classify window-row chunks in (frame, level, row)
         // order, over grids whose frame survived stage 2 in full.
+        let stage_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_CLASSIFY);
         let t = Instant::now();
         let ok_grids: Vec<_> = level_of
             .iter()
@@ -375,11 +387,16 @@ impl<'d> DetectionServer<'d> {
         }
         self.metrics.add_windows(windows);
         self.metrics.add_stage(Stage::Classify, t.elapsed());
+        if stage_span.is_recording() {
+            stage_span.add(pcnn_trace::Counter::Windows, windows);
+        }
+        drop(stage_span);
 
         // Stage 4: merge chunk results in scan order and suppress, one
         // item per still-alive frame. Chunks are (frame, level, row)
         // ordered, so in-order concatenation per frame reproduces the
         // serial raw-detection sequence exactly.
+        let stage_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_NMS);
         let t = Instant::now();
         let epsilon = self.engine.config().nms_epsilon;
         let alive: Vec<usize> = (0..frames.len()).filter(|&f| failed[f].is_none()).collect();
@@ -403,6 +420,7 @@ impl<'d> DetectionServer<'d> {
             }
         }
         self.metrics.add_stage(Stage::Nms, t.elapsed());
+        drop(stage_span);
 
         let results: Vec<Result<Vec<Detection>, Error>> = failed
             .into_iter()
@@ -497,7 +515,12 @@ impl<'d> DetectionServer<'d> {
                 self.metrics.add_rejected(rejected);
             });
             while let Some(batch) = queue.pop_batch() {
+                let assemble_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_ASSEMBLE);
                 let imgs: Vec<&GrayImage> = batch.iter().map(|&i| &frames[i]).collect();
+                if assemble_span.is_recording() {
+                    assemble_span.add(pcnn_trace::Counter::Frames, imgs.len() as u64);
+                }
+                drop(assemble_span);
                 let dets = self.detect_batch(&imgs);
                 for (&i, d) in batch.iter().zip(dets) {
                     results[i] = Some(d);
@@ -522,6 +545,7 @@ impl<'d> DetectionServer<'d> {
             .zip(self.metrics.level_counts())
             .map(|(label, batches)| LevelReport { label, batches })
             .collect();
+        report.trace = pcnn_trace::profile_snapshot().map(crate::metrics::TraceSummary::from);
         report
     }
 }

@@ -1,0 +1,64 @@
+//! Tracing under the parallel pipeline: per-stage *counter totals* must
+//! not depend on the worker count. Span timings and lane layout differ
+//! between serial and parallel runs, but the work they attribute —
+//! frames, windows, GEMM flops — is the same work, so the totals must
+//! match exactly across 1, 2 and 4 workers and against the serial run.
+
+use pcnn_core::cotrain::{PartitionedSystem, TrainSetConfig};
+use pcnn_core::pipeline::{Detector, TrainedDetector};
+use pcnn_core::{EednClassifierConfig, Extractor};
+use pcnn_hog::BlockNorm;
+use pcnn_runtime::{DetectionServer, RuntimeConfig};
+use pcnn_trace::{stages, Clock, Counter, Tracer};
+use pcnn_vision::{SynthConfig, SynthDataset};
+
+/// A tiny Eedn-classified detector, so the classify stage routes
+/// through `eedn.infer` and the GEMM flop counters are non-trivial.
+fn small_detector(ds: &SynthDataset) -> TrainedDetector {
+    PartitionedSystem::train_eedn_detector(
+        Extractor::napprox_fp(BlockNorm::None),
+        ds,
+        TrainSetConfig { n_pos: 8, n_neg: 8, mining_scenes: 0, mining_rounds: 0 },
+        EednClassifierConfig { hidden1: 24, hidden2: 12, epochs: 2, ..Default::default() },
+    )
+}
+
+/// Runs one traced two-frame batch at the given worker count and
+/// returns the per-stage counter totals of interest.
+fn traced_totals(detector: &TrainedDetector, ds: &SynthDataset, workers: usize) -> Vec<u64> {
+    let config = RuntimeConfig::builder().workers(workers).chunk_rows(2).build().unwrap();
+    let server = DetectionServer::new(Detector::default(), detector, config).unwrap();
+    let frames = [ds.test_scene(0).image.clone(), ds.test_scene(1).image.clone()];
+    let refs: Vec<_> = frames.iter().collect();
+
+    let tracer = Tracer::install(Clock::mock());
+    let _ = server.detect_batch(&refs);
+    let trace = tracer.drain();
+    Tracer::uninstall();
+
+    assert!(trace.dropped == 0, "no spans may be dropped");
+    vec![
+        trace.counter_total(stages::RUNTIME_BATCH, Counter::Frames),
+        trace.counter_total(stages::RUNTIME_CLASSIFY, Counter::Windows),
+        trace.counter_total(stages::KERNELS_GEMM, Counter::Flops),
+        trace.spans().filter(|s| s.name == stages::RUNTIME_BATCH).count() as u64,
+    ]
+}
+
+#[test]
+fn parallel_counter_totals_match_serial() {
+    for seed in [11u64, 42, 1234] {
+        let ds = SynthDataset::new(SynthConfig { seed, ..SynthConfig::default() });
+        let detector = small_detector(&ds);
+        let serial = traced_totals(&detector, &ds, 1);
+        assert!(serial[0] == 2, "seed {seed}: batch saw both frames");
+        assert!(serial[1] > 0, "seed {seed}: classify scored windows");
+        for workers in [2usize, 4] {
+            let parallel = traced_totals(&detector, &ds, workers);
+            assert_eq!(
+                serial, parallel,
+                "seed {seed}: counter totals diverge between 1 and {workers} workers"
+            );
+        }
+    }
+}

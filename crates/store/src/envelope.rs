@@ -36,6 +36,7 @@ fn corrupt(path: &Path, reason: impl Into<String>) -> Error {
 /// non-finite float in a field the format requires, for example —
 /// not reachable for the workspace's snapshot types).
 pub fn save<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<()> {
+    let span = pcnn_trace::span(pcnn_trace::stages::STORE_SAVE);
     let path = path.as_ref();
     let payload = serde_json::to_string(value)
         .map_err(|e| Error::InvalidConfig {
@@ -51,6 +52,9 @@ pub fn save<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<()> {
     bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
     bytes.extend_from_slice(&payload);
+    if span.is_recording() {
+        span.add(pcnn_trace::Counter::Bytes, bytes.len() as u64);
+    }
 
     let tmp = path.with_extension("tmp");
     let mut file = File::create(&tmp).map_err(|e| io_error(&tmp, &e))?;
@@ -74,8 +78,12 @@ pub fn save<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<()> {
 /// * [`Error::UnsupportedVersion`] when the envelope was written by a
 ///   newer format than this build understands.
 pub fn load<T: Deserialize>(path: impl AsRef<Path>) -> Result<T> {
+    let span = pcnn_trace::span(pcnn_trace::stages::STORE_LOAD);
     let path = path.as_ref();
     let bytes = fs::read(path).map_err(|e| io_error(path, &e))?;
+    if span.is_recording() {
+        span.add(pcnn_trace::Counter::Bytes, bytes.len() as u64);
+    }
     if bytes.len() < HEADER_LEN {
         return Err(corrupt(
             path,

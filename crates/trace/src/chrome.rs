@@ -1,0 +1,153 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the [trace event format] consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): one `"X"` (complete) event per
+//! span with microsecond timestamps, the lane index as `tid`, and the
+//! span's counters under `args`. Written by hand so the trace crate
+//! stays dependency-free; a conformance test parses the output with
+//! `serde_json` to pin validity.
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::SpanRecord;
+use crate::trace::Trace;
+
+/// Serializes `trace` as a Chrome `trace_event` JSON document.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.span_count() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for lane in &trace.lanes {
+        for span in &lane.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_event(&mut out, lane.lane, span);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"");
+    if trace.dropped > 0 {
+        out.push_str(&format!(",\"pcnnDroppedSpans\":{}", trace.dropped));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn push_event(out: &mut String, lane: u32, span: &SpanRecord) {
+    out.push_str("{\"name\":\"");
+    push_escaped(out, span.name);
+    // Timestamps and durations are microseconds (floating) in this
+    // format; spans record nanoseconds.
+    out.push_str(&format!(
+        "\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
+        lane,
+        format_us(span.start_ns),
+        format_us(span.duration_ns()),
+    ));
+    if span.n_counters > 0 {
+        out.push_str(",\"args\":{");
+        for (i, &(counter, value)) in span.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{counter}\":{value}"));
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Formats nanoseconds as decimal microseconds without float rounding:
+/// `1_234_567 ns` → `"1234.567"`, `2_000 ns` → `"2"`.
+fn format_us(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let mut s = format!("{whole}.{frac:03}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        s
+    }
+}
+
+/// Escapes a span name for embedding in a JSON string. Stage names are
+/// static identifiers like `"truenorth.tick"`, so this is normally a
+/// straight copy, but correctness should not depend on that.
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Counter, MAX_COUNTERS};
+    use crate::trace::LaneTrace;
+
+    #[test]
+    fn format_us_is_exact() {
+        assert_eq!(format_us(0), "0");
+        assert_eq!(format_us(2_000), "2");
+        assert_eq!(format_us(1_234_567), "1234.567");
+        assert_eq!(format_us(1_500), "1.5");
+        assert_eq!(format_us(999), "0.999");
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        let mut s = String::new();
+        push_escaped(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn output_parses_as_json() {
+        let mut counters = [(Counter::Ticks, 0); MAX_COUNTERS];
+        counters[0] = (Counter::Flops, 1_000);
+        let trace = Trace {
+            lanes: vec![LaneTrace {
+                lane: 2,
+                spans: vec![SpanRecord {
+                    name: "kernels.gemm",
+                    id: 1,
+                    parent: 0,
+                    start_ns: 1_000,
+                    end_ns: 4_500,
+                    counters,
+                    n_counters: 1,
+                }],
+            }],
+            dropped: 0,
+        };
+        let json = to_chrome_json(&trace);
+        let doc: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.get("name"), Some(&serde::Value::Str("kernels.gemm".into())));
+        assert_eq!(ev.get("ph"), Some(&serde::Value::Str("X".into())));
+        assert_eq!(ev.get("tid"), Some(&serde::Value::UInt(2)));
+        assert_eq!(ev.get("ts"), Some(&serde::Value::UInt(1)));
+        assert_eq!(ev.get("dur"), Some(&serde::Value::Float(3.5)));
+        let flops = ev.get("args").and_then(|a| a.get("flops"));
+        assert_eq!(flops, Some(&serde::Value::UInt(1_000)));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let trace = Trace { lanes: Vec::new(), dropped: 0 };
+        let doc: serde::Value = serde_json::from_str(&to_chrome_json(&trace)).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array());
+        assert_eq!(events.map(<[serde::Value]>::len), Some(0));
+    }
+}

@@ -1,0 +1,286 @@
+//! Aggregate profiling: per-stage duration statistics and the shared
+//! bucket-quantile estimator.
+
+use crate::span::Counter;
+use crate::trace::Trace;
+
+/// Duration statistics for one stage (all spans sharing a name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageProfile {
+    /// The stage's static span name.
+    pub name: &'static str,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest span in nanoseconds.
+    pub min_ns: u64,
+    /// Longest span in nanoseconds.
+    pub max_ns: u64,
+    /// Median duration in nanoseconds (exact, from sorted samples).
+    pub p50_ns: u64,
+    /// 99th-percentile duration in nanoseconds (exact).
+    pub p99_ns: u64,
+    /// Counter totals over the stage's spans, sorted by counter.
+    pub counters: Vec<(Counter, u64)>,
+}
+
+/// Per-stage aggregate of a [`Trace`]: one [`StageProfile`] per
+/// distinct span name, sorted by descending total duration.
+///
+/// Quantiles here are *exact* — computed from the sorted span
+/// durations, not a histogram sketch. The serving runtime's streaming
+/// histograms estimate quantiles instead via
+/// [`quantile_from_buckets`], sharing the interpolation rule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileReport {
+    /// One entry per stage, sorted by descending `total_ns` (ties by
+    /// name, so mock-clock reports are deterministic).
+    pub stages: Vec<StageProfile>,
+}
+
+impl ProfileReport {
+    /// Builds the report by aggregating `trace` per span name.
+    pub fn from_trace(trace: &Trace) -> ProfileReport {
+        // One bucket per stage name: durations (sorted later) + counter totals.
+        type Group = (&'static str, Vec<u64>, Vec<(Counter, u64)>);
+        let mut groups: Vec<Group> = Vec::new();
+        for span in trace.spans() {
+            let group = match groups.iter_mut().find(|(n, _, _)| *n == span.name) {
+                Some(g) => g,
+                None => {
+                    groups.push((span.name, Vec::new(), Vec::new()));
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            group.1.push(span.duration_ns());
+            for &(counter, value) in span.counters() {
+                match group.2.iter_mut().find(|(c, _)| *c == counter) {
+                    Some(t) => t.1 = t.1.saturating_add(value),
+                    None => group.2.push((counter, value)),
+                }
+            }
+        }
+        let mut stages: Vec<StageProfile> = groups
+            .into_iter()
+            .map(|(name, mut durations, mut counters)| {
+                durations.sort_unstable();
+                counters.sort_by_key(|&(c, _)| c);
+                let count = durations.len() as u64;
+                StageProfile {
+                    name,
+                    count,
+                    total_ns: durations.iter().fold(0u64, |a, &d| a.saturating_add(d)),
+                    min_ns: *durations.first().expect("group is non-empty"),
+                    max_ns: *durations.last().expect("group is non-empty"),
+                    p50_ns: exact_quantile(&durations, 0.50),
+                    p99_ns: exact_quantile(&durations, 0.99),
+                    counters,
+                }
+            })
+            .collect();
+        stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+        ProfileReport { stages }
+    }
+
+    /// The profile for one stage, if any span carried that name.
+    pub fn stage(&self, name: &str) -> Option<&StageProfile> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Renders a fixed-width table, one stage per line. Durations are
+    /// printed in microseconds with 3 decimals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "count", "total_us", "min_us", "max_us", "p50_us", "p99_us"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>12.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                s.name,
+                s.count,
+                s.total_ns as f64 / 1_000.0,
+                s.min_ns as f64 / 1_000.0,
+                s.max_ns as f64 / 1_000.0,
+                s.p50_ns as f64 / 1_000.0,
+                s.p99_ns as f64 / 1_000.0,
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Exact quantile of an already-sorted sample set, by linear
+/// interpolation between the two nearest order statistics (the "R-7"
+/// rule spreadsheets use). `sorted` must be non-empty and ascending;
+/// `q` is clamped to `[0, 1]`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let q = q.clamp(0.0, 1.0);
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = q * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    let a = sorted[lo] as f64;
+    let b = sorted[hi] as f64;
+    (a + (b - a) * frac).round() as u64
+}
+
+/// Estimates a quantile from histogram buckets by interpolating within
+/// the bucket that contains the target rank.
+///
+/// `bounds` are the ascending upper edges of the first
+/// `bounds.len()` buckets; `counts` has one extra trailing slot for
+/// samples above the last bound. Bucket `i` spans
+/// `(bounds[i-1], bounds[i]]` (the first starts at 0). The estimator:
+///
+/// * returns `None` for an empty histogram;
+/// * finds the bucket holding rank `q * (total - 1)`;
+/// * places the estimate a fraction `(rank - preceding + 0.5) / count`
+///   of the way through that bucket, treating samples as spread evenly
+///   across it (the `+0.5` centres each sample in its slot, which
+///   removes the low bias a floor-to-bucket-edge rule has);
+/// * saturates overflow-bucket ranks at the last bound, the only
+///   honest answer for samples with no upper edge.
+///
+/// Shared between [`ProfileReport`]'s histogram consumers and the
+/// serving runtime's latency `HistogramReport`, so both report the
+/// same estimate for the same buckets.
+pub fn quantile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (total - 1) as f64;
+    let mut preceding = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        // Rank falls in this bucket when it is below the cumulative
+        // count (ranks are 0-based: bucket holds ranks
+        // [preceding, preceding + c)).
+        if rank < (preceding + c) as f64 {
+            if i >= bounds.len() {
+                // Overflow bucket: unbounded above, saturate.
+                return Some(bounds.last().copied().unwrap_or(u64::MAX));
+            }
+            let lo = if i == 0 { 0 } else { bounds[i - 1] };
+            let hi = bounds[i];
+            let frac = ((rank - preceding as f64 + 0.5) / c as f64).clamp(0.0, 1.0);
+            return Some(lo + ((hi - lo) as f64 * frac).round() as u64);
+        }
+        preceding += c;
+    }
+    // All counts consumed without covering rank: only reachable through
+    // float edge cases at q = 1; saturate like the overflow case.
+    Some(bounds.last().copied().unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanRecord, MAX_COUNTERS};
+    use crate::trace::LaneTrace;
+
+    fn span_with_duration(name: &'static str, id: u32, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            id,
+            parent: 0,
+            start_ns: 0,
+            end_ns: dur_ns,
+            counters: [(Counter::Ticks, 0); MAX_COUNTERS],
+            n_counters: 0,
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_interpolate() {
+        assert_eq!(exact_quantile(&[10], 0.5), 10);
+        assert_eq!(exact_quantile(&[10, 20], 0.5), 15);
+        assert_eq!(exact_quantile(&[10, 20, 30], 0.5), 20);
+        assert_eq!(exact_quantile(&[0, 100], 0.99), 99);
+        assert_eq!(exact_quantile(&[1, 2, 3, 4], 0.0), 1);
+        assert_eq!(exact_quantile(&[1, 2, 3, 4], 1.0), 4);
+    }
+
+    #[test]
+    fn report_aggregates_and_sorts_by_total() {
+        let trace = Trace {
+            lanes: vec![LaneTrace {
+                lane: 0,
+                spans: vec![
+                    span_with_duration("small", 1, 10),
+                    span_with_duration("big", 2, 1_000),
+                    span_with_duration("small", 3, 30),
+                ],
+            }],
+            dropped: 0,
+        };
+        let report = trace.profile();
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].name, "big");
+        let small = report.stage("small").expect("stage present");
+        assert_eq!(small.count, 2);
+        assert_eq!(small.total_ns, 40);
+        assert_eq!(small.min_ns, 10);
+        assert_eq!(small.max_ns, 30);
+        assert_eq!(small.p50_ns, 20);
+        assert!(report.render().contains("big"));
+    }
+
+    #[test]
+    fn bucket_quantile_empty_is_none() {
+        assert_eq!(quantile_from_buckets(&[10, 20], &[0, 0, 0], 0.5), None);
+    }
+
+    #[test]
+    fn bucket_quantile_single_sample_centres_in_bucket() {
+        // One sample in (10, 20]: rank 0, frac (0 - 0 + 0.5)/1 = 0.5.
+        assert_eq!(quantile_from_buckets(&[10, 20], &[0, 1, 0], 0.5), Some(15));
+        // Same sample at every quantile — a single observation gives a
+        // single estimate.
+        assert_eq!(quantile_from_buckets(&[10, 20], &[0, 1, 0], 0.0), Some(15));
+        assert_eq!(quantile_from_buckets(&[10, 20], &[0, 1, 0], 0.99), Some(15));
+    }
+
+    #[test]
+    fn bucket_quantile_all_overflow_saturates() {
+        assert_eq!(quantile_from_buckets(&[10, 20], &[0, 0, 5], 0.5), Some(20));
+        assert_eq!(quantile_from_buckets(&[10, 20], &[0, 0, 5], 0.99), Some(20));
+    }
+
+    #[test]
+    fn bucket_quantile_is_unbiased_for_uniform_fill() {
+        // 10 samples spread evenly through (0, 100]: the median should
+        // land mid-range, not at a bucket floor.
+        let bounds = [100];
+        let counts = [10, 0];
+        let p50 = quantile_from_buckets(&bounds, &counts, 0.5).unwrap();
+        assert_eq!(p50, 50, "centred estimator: rank 4.5 of 10 → 50");
+    }
+
+    #[test]
+    fn bucket_quantile_walks_to_the_right_bucket() {
+        // Buckets (0,10], (10,20], (20,30]: 2 + 5 + 3 samples.
+        let bounds = [10, 20, 30];
+        let counts = [2, 5, 3, 0];
+        // rank(0.5) = 4.5 → second bucket, frac (4.5-2+0.5)/5 = 0.6.
+        assert_eq!(quantile_from_buckets(&bounds, &counts, 0.5), Some(16));
+        // rank(1.0) = 9 → third bucket, frac (9-7+0.5)/3 = 0.833…
+        assert_eq!(quantile_from_buckets(&bounds, &counts, 1.0), Some(28));
+    }
+}

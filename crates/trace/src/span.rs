@@ -1,0 +1,140 @@
+//! Span records and the typed counter taxonomy.
+
+/// Maximum distinct counters one span can carry. Fixed so a
+/// [`SpanRecord`] is `Copy` and recording never allocates; additions
+/// beyond the cap are silently dropped (no instrumented stage comes
+/// close).
+pub const MAX_COUNTERS: usize = 6;
+
+/// The typed counters spans attribute work to.
+///
+/// One shared taxonomy keeps exporters and conformance fixtures stable:
+/// a stage never invents an ad-hoc counter name, it picks from this
+/// list. Values are totals over the span (not rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Simulator ticks executed.
+    Ticks,
+    /// Cores stepped this tick (the active-core worklist length).
+    ActiveCores,
+    /// Spikes delivered to core axons.
+    SpikesDelivered,
+    /// Spikes routed through the fabric.
+    SpikesRouted,
+    /// Synaptic integration events.
+    SynapticEvents,
+    /// Floating-point multiply-adds, counted as 2 flops each.
+    Flops,
+    /// Elements moved by a packing kernel (im2col/col2im).
+    Elements,
+    /// Video frames processed.
+    Frames,
+    /// Sliding windows scored.
+    Windows,
+    /// Bytes read from or written to disk.
+    Bytes,
+    /// Training epochs completed.
+    Epochs,
+    /// Mini-batches processed.
+    Batches,
+    /// Training samples seen.
+    Samples,
+}
+
+impl Counter {
+    /// The counter's stable snake_case name, used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Ticks => "ticks",
+            Counter::ActiveCores => "active_cores",
+            Counter::SpikesDelivered => "spikes_delivered",
+            Counter::SpikesRouted => "spikes_routed",
+            Counter::SynapticEvents => "synaptic_events",
+            Counter::Flops => "flops",
+            Counter::Elements => "elements",
+            Counter::Frames => "frames",
+            Counter::Windows => "windows",
+            Counter::Bytes => "bytes",
+            Counter::Epochs => "epochs",
+            Counter::Batches => "batches",
+            Counter::Samples => "samples",
+        }
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One completed span, as recorded in a [`Trace`](crate::Trace).
+///
+/// `id` numbers spans per lane in *open* order (1-based); `parent` is
+/// the id of the enclosing span on the same lane, or 0 for a root.
+/// Spans never span threads: a span opened on one thread closes on the
+/// same thread, and cross-thread work shows up as root spans on the
+/// worker's lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static stage name, e.g. `"truenorth.tick"`.
+    pub name: &'static str,
+    /// Per-lane span id in open order (1-based).
+    pub id: u32,
+    /// Id of the enclosing span on the same lane; 0 for roots.
+    pub parent: u32,
+    /// Start timestamp in clock nanoseconds.
+    pub start_ns: u64,
+    /// End timestamp in clock nanoseconds.
+    pub end_ns: u64,
+    /// Counter slots; only the first `n_counters` are meaningful.
+    pub counters: [(Counter, u64); MAX_COUNTERS],
+    /// Number of populated counter slots.
+    pub n_counters: u8,
+}
+
+impl SpanRecord {
+    /// The populated counter slots, in the order they were first added.
+    pub fn counters(&self) -> &[(Counter, u64)] {
+        &self.counters[..self.n_counters as usize]
+    }
+
+    /// The value of one counter, if the span carries it.
+    pub fn counter(&self, which: Counter) -> Option<u64> {
+        self.counters().iter().find(|(c, _)| *c == which).map(|&(_, v)| v)
+    }
+
+    /// Span duration in clock nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique() {
+        let all = [
+            Counter::Ticks,
+            Counter::ActiveCores,
+            Counter::SpikesDelivered,
+            Counter::SpikesRouted,
+            Counter::SynapticEvents,
+            Counter::Flops,
+            Counter::Elements,
+            Counter::Frames,
+            Counter::Windows,
+            Counter::Bytes,
+            Counter::Epochs,
+            Counter::Batches,
+            Counter::Samples,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+}

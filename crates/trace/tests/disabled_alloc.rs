@@ -1,0 +1,65 @@
+//! Pins the overhead contract: with no tracer installed, opening and
+//! dropping spans and adding counters allocates **nothing** — the whole
+//! path is one relaxed atomic load and a branch.
+//!
+//! The proof uses a counting global allocator, so this file holds
+//! exactly one test (the count is process-global; a second test would
+//! race it).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator {
+    allocations: AtomicU64,
+}
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATIONS: CountingAllocator = CountingAllocator { allocations: AtomicU64::new(0) };
+
+#[test]
+fn disabled_spans_allocate_nothing() {
+    assert!(!pcnn_trace::is_enabled(), "no tracer is installed in this process");
+
+    // Warm up once so lazy runtime setup (if any) happens outside the
+    // measured window.
+    {
+        let g = pcnn_trace::span("warmup");
+        g.add(pcnn_trace::Counter::Frames, 1);
+    }
+
+    let before = ALLOCATIONS.allocations.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let guard = pcnn_trace::span("disabled.hot");
+        assert!(!guard.is_recording());
+        guard.add(pcnn_trace::Counter::Flops, 123);
+        let inner = pcnn_trace::span("disabled.nested");
+        inner.add(pcnn_trace::Counter::Ticks, 1);
+        drop(inner);
+        drop(guard);
+    }
+    let after = ALLOCATIONS.allocations.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled span path must not allocate");
+
+    // The disabled handle is equally inert.
+    let tracer = pcnn_trace::Tracer::disabled();
+    let before = ALLOCATIONS.allocations.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let guard = tracer.span("disabled.handle");
+        guard.add(pcnn_trace::Counter::Bytes, 9);
+    }
+    let after = ALLOCATIONS.allocations.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled handle span path must not allocate");
+}

@@ -1,0 +1,200 @@
+//! Golden-trace conformance: a tiny fixed-seed co-train + detect run
+//! under the mock clock must reproduce the checked-in span summary —
+//! stage names, nesting and counter values, exactly — and two
+//! consecutive runs must serialize to bit-identical Chrome JSON.
+//!
+//! The fixture (`tests/fixtures/golden_summary.txt`) aggregates spans
+//! by path (ancestor names joined with `/`), so it pins the span tree
+//! without embedding clock values. Any intentional change to the
+//! instrumentation — a renamed stage, new nesting, different counter
+//! attribution — shows up as a fixture diff. To accept a new baseline,
+//! re-run with the update env var and commit the rewritten file:
+//!
+//! ```text
+//! PCNN_UPDATE_GOLDEN=1 cargo test -p pcnn-trace --test golden
+//! ```
+
+use pcnn_core::cotrain::{PartitionedSystem, TrainSetConfig};
+use pcnn_core::pipeline::{Detector, TrainedDetector};
+use pcnn_core::{EednClassifierConfig, Extractor};
+use pcnn_hog::BlockNorm;
+use pcnn_runtime::{DetectionServer, RuntimeConfig};
+use pcnn_trace::{Clock, Trace, Tracer};
+use pcnn_truenorth::{NeuroCore, NeuroCoreBuilder, NeuronConfig, SpikeTarget, System};
+use pcnn_vision::{SynthConfig, SynthDataset};
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+
+const FIXTURE: &str = "tests/fixtures/golden_summary.txt";
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+/// Neuron 0 fires whenever axon 0 spikes; output goes to `out`.
+fn relay_core(out: SpikeTarget) -> NeuroCore {
+    let mut b = NeuroCoreBuilder::new();
+    b.connect(0, 0);
+    b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+    b.route_neuron(0, out);
+    b.build()
+}
+
+/// The fixed-seed workload: a short simulator run, a tiny co-train, a
+/// checkpoint round-trip and a two-frame serial detection batch. Every
+/// instrumented subsystem contributes spans; everything is
+/// deterministic at these seeds.
+fn run_workload() {
+    // TrueNorth: a two-core relay ticked 8 times — cheap, and the
+    // tick/delivery/routing counters are exactly predictable.
+    let mut sys = System::new();
+    let sink = sys.add_core(relay_core(SpikeTarget::output(3)));
+    let src = sys.add_core(relay_core(SpikeTarget::axon(sink, 0)));
+    sys.inject(src, 0);
+    sys.run(8);
+
+    // Co-train: descriptor collection plus two epochs over a small
+    // training set (full-precision extractor keeps it fast).
+    let ds = SynthDataset::new(SynthConfig::default());
+    let detector = PartitionedSystem::train_eedn_detector_with(
+        Extractor::napprox_fp(BlockNorm::None),
+        &ds,
+        TrainSetConfig { n_pos: 8, n_neg: 8, mining_scenes: 0, mining_rounds: 0 },
+        EednClassifierConfig { hidden1: 24, hidden2: 12, epochs: 2, ..Default::default() },
+        None,
+        |_| ControlFlow::Continue(()),
+    )
+    .expect("training succeeds");
+
+    // Store: snapshot round-trip through the envelope format.
+    let dir = std::env::temp_dir().join(format!(
+        "pcnn-trace-golden-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("detector.ckpt");
+    pcnn_store::save(&path, &detector.to_snapshot()).expect("snapshot saves");
+    let snap: pcnn_core::DetectorSnapshot = pcnn_store::load(&path).expect("snapshot loads");
+    let restored = TrainedDetector::from_snapshot(&snap).expect("snapshot restores");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Serve: two window-sized frames through a serial (single-lane)
+    // batch — the Eedn classifier routes inference through eedn.infer.
+    let config = RuntimeConfig::builder().workers(1).build().expect("valid config");
+    let server = DetectionServer::new(Detector::default(), &restored, config).expect("server");
+    let frames = [ds.train_positive(100), ds.train_negative(100)];
+    let refs: Vec<_> = frames.iter().collect();
+    let _ = server.detect_batch(&refs);
+}
+
+/// Serializes the two tests: the tracer is process-global state.
+static TRACER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Installs a fresh mock-clock tracer, runs the workload, drains.
+/// Callers must hold [`TRACER_LOCK`].
+fn traced_run() -> Trace {
+    let tracer = Tracer::install(Clock::mock());
+    run_workload();
+    let trace = tracer.drain();
+    Tracer::uninstall();
+    trace
+}
+
+#[test]
+fn golden_trace_matches_fixture_and_is_bit_identical() {
+    let _lock = TRACER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let trace = traced_run();
+    let summary = trace.render_summary();
+
+    // 1. Sanity: all six instrumented layers contributed spans.
+    for stage in [
+        pcnn_trace::stages::TRUENORTH_TICK,
+        pcnn_trace::stages::KERNELS_GEMM,
+        pcnn_trace::stages::EEDN_FORWARD,
+        pcnn_trace::stages::EEDN_BACKWARD,
+        pcnn_trace::stages::EEDN_INFER,
+        pcnn_trace::stages::COTRAIN_TRAIN,
+        pcnn_trace::stages::COTRAIN_COLLECT,
+        pcnn_trace::stages::COTRAIN_EPOCH,
+        pcnn_trace::stages::RUNTIME_BATCH,
+        pcnn_trace::stages::RUNTIME_CLASSIFY,
+        pcnn_trace::stages::STORE_SAVE,
+        pcnn_trace::stages::STORE_LOAD,
+    ] {
+        assert!(
+            trace.spans().any(|s| s.name == stage),
+            "workload produced no '{stage}' span:\n{summary}"
+        );
+    }
+
+    // 2. The serial workload records on exactly one lane, so the span
+    // tree (and the fixture) is a single deterministic sequence.
+    assert_eq!(trace.lanes.len(), 1, "serial workload must be single-lane");
+    assert_eq!(trace.dropped, 0);
+
+    // 3. Exact conformance against the checked-in fixture.
+    let path = fixture_path();
+    if std::env::var_os("PCNN_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture has a parent")).expect("fixture dir");
+        std::fs::write(&path, &summary).expect("fixture writes");
+        eprintln!("golden fixture rewritten: {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             PCNN_UPDATE_GOLDEN=1 cargo test -p pcnn-trace --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        summary, expected,
+        "span summary diverged from the golden fixture; if the change is \
+         intentional, regenerate with PCNN_UPDATE_GOLDEN=1 and commit"
+    );
+
+    // 4. Determinism modulo wall-clock: a second run of the same
+    // workload under a fresh mock clock serializes to bit-identical
+    // Chrome JSON — names, nesting, ordering, counters AND timestamps.
+    let again = traced_run();
+    assert_eq!(
+        trace.to_chrome_json(),
+        again.to_chrome_json(),
+        "two mock-clock runs must be bit-identical"
+    );
+    assert_eq!(trace, again, "drained traces must compare equal record-for-record");
+}
+
+#[test]
+fn golden_counters_are_exact() {
+    let _lock = TRACER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    use pcnn_trace::Counter;
+    let trace = traced_run();
+
+    // The relay: 1 injected spike, 8 ticks. The source fires on tick 1
+    // and relays to the sink, which fires and emits one output spike.
+    assert_eq!(trace.counter_total(pcnn_trace::stages::TRUENORTH_TICK, Counter::Ticks), 8);
+    assert_eq!(
+        trace.counter_total(pcnn_trace::stages::TRUENORTH_TICK, Counter::SpikesDelivered),
+        2,
+        "host injection + relayed spike"
+    );
+    assert_eq!(trace.counter_total(pcnn_trace::stages::TRUENORTH_TICK, Counter::SpikesRouted), 1);
+
+    // Two epochs, 16 samples per epoch; collection saw all 16 samples.
+    assert_eq!(trace.counter_total(pcnn_trace::stages::COTRAIN_EPOCH, Counter::Epochs), 2);
+    assert_eq!(trace.counter_total(pcnn_trace::stages::COTRAIN_EPOCH, Counter::Samples), 32);
+    assert_eq!(trace.counter_total(pcnn_trace::stages::COTRAIN_COLLECT, Counter::Samples), 16);
+
+    // One two-frame batch; save/load moved the same checkpoint bytes.
+    assert_eq!(trace.counter_total(pcnn_trace::stages::RUNTIME_BATCH, Counter::Frames), 2);
+    let saved = trace.counter_total(pcnn_trace::stages::STORE_SAVE, Counter::Bytes);
+    let loaded = trace.counter_total(pcnn_trace::stages::STORE_LOAD, Counter::Bytes);
+    assert!(saved > 0, "save recorded no bytes");
+    assert_eq!(saved, loaded, "load must read exactly what save wrote");
+
+    // GEMM flop counts are structural: derived from layer shapes, so
+    // any nonzero total is already pinned exactly by the fixture.
+    assert!(trace.counter_total(pcnn_trace::stages::KERNELS_GEMM, Counter::Flops) > 0);
+}

@@ -1,0 +1,93 @@
+//! Tracing must be purely observational: enabling it may not perturb a
+//! single bit of any instrumented computation. These tests run the two
+//! hottest instrumented paths — `System::tick` and the GEMM driver —
+//! with and without a tracer installed and compare outputs exactly.
+
+use pcnn_kernels::{gemm, GemmScratch};
+use pcnn_trace::{Clock, Counter, Tracer};
+use pcnn_truenorth::{NeuroCore, NeuroCoreBuilder, NeuronConfig, SpikeTarget, System, SystemStats};
+
+/// Serializes the tests: the tracer is process-global state.
+static TRACER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Deterministic pseudo-random matrix fill (splitmix-style) so both
+/// runs see identical inputs without depending on a RNG crate.
+fn fill(buf: &mut [f32], mut state: u64) {
+    for v in buf.iter_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32 / (1 << 24) as f32) - 0.5;
+    }
+}
+
+fn run_gemm() -> Vec<u32> {
+    let (m, k, n) = (23, 17, 31);
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    let mut c = vec![0.0f32; m * n];
+    fill(&mut a, 0x9e3779b97f4a7c15);
+    fill(&mut b, 0x2545f4914f6cdd1d);
+    let mut s = GemmScratch::default();
+    gemm(&mut s, m, k, n, &a, k, &b, n, &mut c, n);
+    // Compare bit patterns, not floats: identity must be exact.
+    c.iter().map(|v| v.to_bits()).collect()
+}
+
+/// A 3-core ring with mixed weights so membrane dynamics are
+/// non-trivial; returns drained output spikes plus final stats.
+fn run_ticks() -> (Vec<(u64, u32)>, SystemStats) {
+    fn core(fanout: SpikeTarget, weights: &[i32; 4], threshold: i32) -> NeuroCore {
+        let mut b = NeuroCoreBuilder::new();
+        b.connect(0, 0);
+        b.connect(1, 0);
+        b.set_neuron(0, NeuronConfig::excitatory(weights, threshold));
+        b.route_neuron(0, fanout);
+        b.build()
+    }
+    let mut sys = System::with_seed(7);
+    let c0 = sys.add_core(core(SpikeTarget::output(0), &[2, 1, 0, 0], 2));
+    let c1 = sys.add_core(core(SpikeTarget::axon(c0, 1), &[1, -1, 0, 0], 1));
+    let c2 = sys.add_core(core(SpikeTarget::axon(c1, 0), &[1, 0, 0, 0], 1));
+    for t in 0..6 {
+        if t % 2 == 0 {
+            sys.inject(c2, 0);
+        }
+        sys.inject(c0, 0);
+        sys.run(2);
+    }
+    (sys.drain_output_spikes(), sys.stats())
+}
+
+#[test]
+fn gemm_output_identical_with_tracing_on_and_off() {
+    let _lock = TRACER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(!pcnn_trace::is_enabled());
+    let off = run_gemm();
+
+    let tracer = Tracer::install(Clock::mock());
+    let on = run_gemm();
+    let trace = tracer.drain();
+    Tracer::uninstall();
+
+    assert_eq!(off, on, "GEMM output must be bit-identical with tracing enabled");
+    // The traced run really did record the kernel.
+    assert!(trace.counter_total(pcnn_trace::stages::KERNELS_GEMM, Counter::Flops) > 0);
+
+    let off_again = run_gemm();
+    assert_eq!(off, off_again, "GEMM output must be bit-identical after uninstall");
+}
+
+#[test]
+fn system_tick_identical_with_tracing_on_and_off() {
+    let _lock = TRACER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(!pcnn_trace::is_enabled());
+    let (spikes_off, stats_off) = run_ticks();
+
+    let tracer = Tracer::install(Clock::mock());
+    let (spikes_on, stats_on) = run_ticks();
+    let trace = tracer.drain();
+    Tracer::uninstall();
+
+    assert_eq!(spikes_off, spikes_on, "output spikes must match with tracing enabled");
+    assert_eq!(stats_off, stats_on, "simulator stats must match with tracing enabled");
+    assert_eq!(trace.counter_total(pcnn_trace::stages::TRUENORTH_TICK, Counter::Ticks), 12);
+}

@@ -331,6 +331,9 @@ impl System {
     /// state (non-zero potential, leak, or stochastic neurons). Large idle
     /// regions of the fabric therefore cost nothing per tick.
     pub fn tick(&mut self) {
+        let span = pcnn_trace::span(pcnn_trace::stages::TRUENORTH_TICK);
+        let stats_before = if span.is_recording() { Some(self.stats) } else { None };
+        let mut delivered: u64 = 0;
         self.now += 1;
         self.stats.ticks += 1;
         // The fault layer (if any) is moved out for the duration of the
@@ -364,6 +367,7 @@ impl System {
                 }
             }
             self.cores[core as usize].deliver(axon);
+            delivered += 1;
             if !self.in_ready[core as usize] {
                 self.in_ready[core as usize] = true;
                 self.ready.push(core);
@@ -378,6 +382,7 @@ impl System {
         // after the loop so all cores observe a consistent tick boundary.
         let mut ready = std::mem::take(&mut self.ready);
         ready.sort_unstable();
+        let active_cores = ready.len() as u64;
         for &ci in &ready {
             self.in_ready[ci as usize] = false;
             if faults.as_ref().is_some_and(|l| l.active.is_dead(ci)) {
@@ -444,6 +449,14 @@ impl System {
         to_route.clear();
         self.route_scratch = to_route;
         self.faults = faults;
+        if let Some(before) = stats_before {
+            use pcnn_trace::Counter;
+            span.add(Counter::Ticks, 1);
+            span.add(Counter::ActiveCores, active_cores);
+            span.add(Counter::SpikesDelivered, delivered);
+            span.add(Counter::SpikesRouted, self.stats.routed_spikes - before.routed_spikes);
+            span.add(Counter::SynapticEvents, self.stats.synaptic_events - before.synaptic_events);
+        }
     }
 
     /// Runs `n` ticks.

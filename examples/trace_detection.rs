@@ -1,0 +1,86 @@
+//! End-to-end tracing demo: runs every instrumented subsystem — the
+//! TrueNorth simulator (via the hardware NApprox extractor), the GEMM
+//! kernels, Eedn training and inference, the co-training driver, the
+//! serving runtime and the checkpoint store — under one wall-clock
+//! tracer, then writes the combined span tree as Chrome `trace_event`
+//! JSON and prints the aggregate profile.
+//!
+//! ```text
+//! cargo run --release --example trace_detection
+//! ```
+//!
+//! Open the emitted `results/trace_detection.json` in `chrome://tracing`
+//! or <https://ui.perfetto.dev> to inspect the span timeline.
+
+use pcnn::core::cotrain::{PartitionedSystem, TrainSetConfig};
+use pcnn::core::pipeline::{Detector, TrainedDetector};
+use pcnn::core::{DetectorSnapshot, EednClassifierConfig, Extractor};
+use pcnn::hog::BlockNorm;
+use pcnn::runtime::{DetectionServer, RuntimeConfig};
+use pcnn::trace::{Clock, Tracer};
+use pcnn::vision::{SynthConfig, SynthDataset};
+
+fn main() {
+    let tracer = Tracer::install(Clock::wall());
+    let dataset = SynthDataset::new(SynthConfig::default());
+
+    // TrueNorth: rate-code one pedestrian window through the simulated
+    // 30-core NApprox module — every simulator tick carries a span.
+    println!("spiking one window through the simulated NApprox module…");
+    let hw = Extractor::napprox_hardware(16, BlockNorm::None);
+    let descriptor = hw.crop_descriptor(&dataset.train_positive(0));
+    println!("  {}-dim descriptor from the spiking substrate", descriptor.len());
+
+    // Co-train: a small Eedn classifier — collection, epochs, forward
+    // and backward passes, and the GEMM kernels under them.
+    println!("co-training a small Eedn detector…");
+    let detector = PartitionedSystem::train_eedn_detector(
+        Extractor::napprox_fp(BlockNorm::None),
+        &dataset,
+        TrainSetConfig { n_pos: 16, n_neg: 16, mining_scenes: 0, mining_rounds: 0 },
+        EednClassifierConfig { hidden1: 32, hidden2: 16, epochs: 3, ..Default::default() },
+    );
+
+    // Store: checkpoint round-trip through the checksummed envelope.
+    let path = std::env::temp_dir().join(format!("pcnn-trace-demo-{}.ckpt", std::process::id()));
+    pcnn::store::save(&path, &detector.to_snapshot()).expect("save succeeds");
+    let snapshot: DetectorSnapshot = pcnn::store::load(&path).expect("load succeeds");
+    let restored = TrainedDetector::from_snapshot(&snapshot).expect("snapshot rebuilds");
+    std::fs::remove_file(&path).ok();
+
+    // Serve: a two-scene batch through the parallel runtime.
+    println!("serving a two-scene detection batch…");
+    let config = RuntimeConfig::builder().workers(2).build().expect("valid config");
+    let server = DetectionServer::new(Detector::default(), &restored, config).expect("server");
+    let scenes = [dataset.test_scene(0).image.clone(), dataset.test_scene(1).image.clone()];
+    let refs: Vec<_> = scenes.iter().collect();
+    let detections = server.detect_batch(&refs);
+    println!("  {} detection(s) across the batch", detections.iter().map(Vec::len).sum::<usize>());
+
+    let trace = tracer.drain();
+    Tracer::uninstall();
+    assert_eq!(trace.dropped, 0, "no spans may be dropped");
+
+    // Every instrumented layer must appear in the trace.
+    for stage in [
+        pcnn::trace::stages::TRUENORTH_TICK,
+        pcnn::trace::stages::KERNELS_GEMM,
+        pcnn::trace::stages::EEDN_FORWARD,
+        pcnn::trace::stages::COTRAIN_EPOCH,
+        pcnn::trace::stages::RUNTIME_BATCH,
+        pcnn::trace::stages::STORE_SAVE,
+    ] {
+        assert!(trace.spans().any(|s| s.name == stage), "missing '{stage}' spans");
+    }
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let out = "results/trace_detection.json";
+    std::fs::write(out, trace.to_chrome_json()).expect("trace writes");
+    println!(
+        "\nwrote {} span(s) across {} lane(s) to {out}",
+        trace.span_count(),
+        trace.lanes.len()
+    );
+
+    println!("\n{}", trace.profile());
+}

@@ -26,7 +26,10 @@
 //!   serving metrics, panic isolation, deadlines and retry);
 //! * [`store`] — crash-safe persistence: a versioned, checksummed
 //!   envelope format with atomic-rename writes for trained detectors,
-//!   training checkpoints and simulator snapshots.
+//!   training checkpoints and simulator snapshots;
+//! * [`trace`] — zero-dependency span tracing and profiling across the
+//!   simulator, kernels, training and serving layers, with Chrome
+//!   `trace_event` export and aggregate profile reports.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory and experiment index.
@@ -42,5 +45,6 @@ pub use pcnn_parrot as parrot;
 pub use pcnn_runtime as runtime;
 pub use pcnn_store as store;
 pub use pcnn_svm as svm;
+pub use pcnn_trace as trace;
 pub use pcnn_truenorth as truenorth;
 pub use pcnn_vision as vision;
