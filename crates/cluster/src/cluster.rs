@@ -1,0 +1,415 @@
+//! The cluster front-end: a router over N shards, a feeder/drainer
+//! serve loop with load shedding, and the rolling blue/green swap.
+
+use crate::report::{ClusterReport, ShardReport};
+use crate::router::ShardRouter;
+use crate::shard::{Shard, ShardModel};
+use pcnn_core::pipeline::{DetectorConfig, TrainedDetector};
+use pcnn_core::{DetectorSnapshot, Error, Result};
+use pcnn_runtime::{Metrics, PushError, RequestQueue, RuntimeConfig};
+use pcnn_store::CheckpointDir;
+use pcnn_vision::{Detection, GrayImage};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cluster-tier parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Detector shards (replicas). Streams are spread across them by
+    /// rendezvous hash on the stream id.
+    pub shards: u32,
+    /// Salt for the stream router. Same seed + same shard count ⇒ the
+    /// same stream-to-shard assignment in every process.
+    pub router_seed: u64,
+    /// Per-shard serving-runtime parameters (worker pool, chunking,
+    /// request queue). Every shard gets its own queue and pool.
+    pub runtime: RuntimeConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { shards: 4, router_seed: 0, runtime: RuntimeConfig::default() }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates the shard count and the per-shard runtime parameters
+    /// (through the same builder validation a single server uses).
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(Error::InvalidConfig {
+                what: "cluster.shards".to_owned(),
+                reason: "shard count must be positive".to_owned(),
+            });
+        }
+        RuntimeConfig::builder()
+            .workers(self.runtime.workers)
+            .chunk_rows(self.runtime.chunk_rows)
+            .queue_capacity(self.runtime.queue.capacity)
+            .batch_size(self.runtime.queue.batch_size)
+            .backpressure(self.runtime.queue.backpressure)
+            .build()?;
+        Ok(())
+    }
+}
+
+/// One frame of one stream, as submitted to the cluster.
+#[derive(Debug, Clone)]
+pub struct StreamFrame {
+    /// The stream (camera, client connection) the frame belongs to.
+    /// All frames of a stream are served by the same shard.
+    pub stream: u64,
+    /// The frame itself.
+    pub image: GrayImage,
+}
+
+/// A sharded, replicated serving tier over the detection runtime.
+///
+/// Frames are routed by stream id to one of `shards` replicas, each an
+/// owned swappable model with its own worker pool, request queue and
+/// (optional) fallback floor. Determinism contract: with a fixed router
+/// seed and shard count, per-stream results are bit-identical to a
+/// single [`DetectionServer`](pcnn_runtime::DetectionServer) run on the
+/// same frames, regardless of per-shard worker counts.
+#[derive(Debug)]
+pub struct Cluster {
+    router: Mutex<ShardRouter>,
+    shards: Vec<Shard>,
+    config: ClusterConfig,
+    frames_routed: AtomicU64,
+    frames_shed: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl Cluster {
+    /// A cluster of `config.shards` replicas, each warm-started from
+    /// `snapshot` (generation 0).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for a degenerate configuration, or any
+    /// snapshot-rebuild failure from
+    /// [`TrainedDetector::from_snapshot`].
+    pub fn new(snapshot: &DetectorSnapshot, config: ClusterConfig) -> Result<Self> {
+        Self::with_engine(snapshot, config, DetectorConfig::default())
+    }
+
+    /// Like [`new`](Cluster::new) with an explicit detection-engine
+    /// configuration (pyramid, NMS) shared by every shard.
+    pub fn with_engine(
+        snapshot: &DetectorSnapshot,
+        config: ClusterConfig,
+        engine: DetectorConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let router = ShardRouter::new(config.shards, config.router_seed)?;
+        let shards = (0..config.shards)
+            .map(|id| {
+                let detector = TrainedDetector::from_snapshot(snapshot)?;
+                Ok(Shard::new(id, detector, config.runtime, engine))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Cluster {
+            router: Mutex::new(router),
+            shards,
+            config,
+            frames_routed: AtomicU64::new(0),
+            frames_shed: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+        })
+    }
+
+    /// Warm-starts a cluster from the newest valid snapshot in a
+    /// [`CheckpointDir`] — the serving-side counterpart of
+    /// resume-from-checkpoint training.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MissingEntry`] when the directory holds no usable
+    /// snapshot, plus everything [`new`](Cluster::new) can raise.
+    pub fn warm_start(dir: &CheckpointDir, config: ClusterConfig) -> Result<Self> {
+        let Some((_, snapshot)) = dir.load_latest::<DetectorSnapshot>()? else {
+            return Err(Error::MissingEntry {
+                what: format!("detector snapshot in {}", dir.path().display()),
+            });
+        };
+        Self::new(&snapshot, config)
+    }
+
+    /// Registers a fallback floor rebuilt from `snapshot` and shared by
+    /// every shard: a batch whose live model fails its canary probe is
+    /// served by the floor instead (counted as degraded in the shard
+    /// report), so shard faults cost accuracy, never availability.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot-rebuild failures from
+    /// [`TrainedDetector::from_snapshot`].
+    pub fn set_fallback(&mut self, snapshot: &DetectorSnapshot) -> Result<()> {
+        let floor = Arc::new(ShardModel::new(TrainedDetector::from_snapshot(snapshot)?, 0));
+        for shard in &mut self.shards {
+            shard.set_fallback(Arc::clone(&floor));
+        }
+        Ok(())
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The shards, by index.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// A cheap, copyable control-plane handle for swaps, drains and
+    /// reports from another thread while `serve` runs.
+    pub fn handle(&self) -> ClusterHandle<'_> {
+        ClusterHandle { cluster: self }
+    }
+
+    /// The shard currently serving `stream`.
+    pub fn route(&self, stream: u64) -> u32 {
+        self.router.lock().expect("router lock").route(stream)
+    }
+
+    /// Blue/green swap, rolling shard by shard: each shard publishes
+    /// the model rebuilt from `snapshot`, then drains its in-flight
+    /// batches before the next shard swaps. Queued frames are untouched
+    /// throughout — every submitted frame is served exactly once, by
+    /// exactly one model generation. Returns the last shard's new
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot-rebuild failures; shards already swapped keep the new
+    /// model (the roll stops, it does not revert).
+    pub fn swap_model(&self, snapshot: &DetectorSnapshot) -> Result<u64> {
+        let mut generation = 0;
+        for shard in &self.shards {
+            let detector = TrainedDetector::from_snapshot(snapshot)?;
+            generation = shard.install(detector);
+        }
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(generation)
+    }
+
+    /// Takes a shard out of the routing rotation; its streams re-route
+    /// to the surviving shards (which keep their own streams — see
+    /// [`ShardRouter`]). Frames already queued for the shard still
+    /// drain through it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for an out-of-range shard or when this
+    /// would leave no shard in rotation.
+    pub fn drain_shard(&self, shard: u32) -> Result<()> {
+        self.router.lock().expect("router lock").drain(shard)
+    }
+
+    /// Returns a drained shard to the rotation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for an out-of-range shard.
+    pub fn restore_shard(&self, shard: u32) -> Result<()> {
+        self.router.lock().expect("router lock").restore(shard)
+    }
+
+    /// Detects over a single routed frame on the caller's thread (the
+    /// one-shot path; streams of frames belong in [`serve`](Cluster::serve)).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WorkerPanic`] when a pipeline stage panicked for this
+    /// frame.
+    pub fn detect(&self, stream: u64, frame: &GrayImage) -> Result<Vec<Detection>> {
+        let shard = self.route(stream);
+        self.frames_routed.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard as usize].run_batch(&[frame]).pop().expect("one frame in, one result out")
+    }
+
+    /// Serves a stream of frames through the sharded tier: a feeder
+    /// thread routes every frame to its shard's queue in input order
+    /// while one drainer per shard executes batches on that shard's
+    /// worker pool.
+    ///
+    /// Returns per-frame detections in input order; `None` marks frames
+    /// shed by a full shard queue under
+    /// [`Backpressure::Reject`](pcnn_runtime::Backpressure::Reject).
+    /// With [`Backpressure::Block`](pcnn_runtime::Backpressure::Block)
+    /// every slot is `Some`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises per-frame worker panics, like
+    /// [`DetectionServer::detect_batch`](pcnn_runtime::DetectionServer::detect_batch).
+    pub fn serve(&self, frames: &[StreamFrame]) -> Vec<Option<Vec<Detection>>> {
+        self.serve_paced(frames, None, None)
+    }
+
+    /// [`serve`](Cluster::serve) with optional open-loop pacing and
+    /// per-frame latency accounting, shared with the load harness.
+    ///
+    /// `at_us[i]` (when given) is frame `i`'s scheduled submission time
+    /// relative to the serve start; the feeder sleeps until then and
+    /// submits regardless of downstream progress (open loop).
+    /// `latency` (when given) records each served frame's
+    /// schedule-to-completion time in microseconds, so queueing delay —
+    /// including delay the feeder never observes — lands in the
+    /// histogram.
+    pub(crate) fn serve_paced(
+        &self,
+        frames: &[StreamFrame],
+        at_us: Option<&[u64]>,
+        latency: Option<&pcnn_runtime::Histogram>,
+    ) -> Vec<Option<Vec<Detection>>> {
+        let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_SERVE);
+        if span.is_recording() {
+            span.add(pcnn_trace::Counter::Frames, frames.len() as u64);
+        }
+        let queues: Vec<RequestQueue<usize>> =
+            self.shards.iter().map(|_| RequestQueue::new(self.config.runtime.queue)).collect();
+        let start = Instant::now();
+        let mut results: Vec<Option<Vec<Detection>>> = (0..frames.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let drainers: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&queues)
+                .map(|(shard, queue)| {
+                    scope.spawn(move || {
+                        let mut served: Vec<(usize, Vec<Detection>)> = Vec::new();
+                        while let Some(batch) = queue.pop_batch() {
+                            let imgs: Vec<&GrayImage> =
+                                batch.iter().map(|&i| &frames[i].image).collect();
+                            let dets = shard.run_batch(&imgs);
+                            let done_us = start.elapsed().as_micros() as u64;
+                            for (&i, det) in batch.iter().zip(dets) {
+                                let det = det.unwrap_or_else(|e| panic!("{e}"));
+                                if let (Some(at), Some(hist)) = (at_us, latency) {
+                                    hist.record(done_us.saturating_sub(at[i]));
+                                }
+                                served.push((i, det));
+                            }
+                        }
+                        served
+                    })
+                })
+                .collect();
+            // The feeder runs on the calling thread: route each frame in
+            // input order, pacing against the schedule when one is given.
+            let mut shed = 0u64;
+            for (i, frame) in frames.iter().enumerate() {
+                if let Some(at) = at_us {
+                    let due = Duration::from_micros(at[i]);
+                    let now = start.elapsed();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                let shard = self.route(frame.stream);
+                self.frames_routed.fetch_add(1, Ordering::Relaxed);
+                match queues[shard as usize].push(i) {
+                    Ok(_) => {}
+                    Err(PushError::Full | PushError::Timeout) => shed += 1,
+                    Err(PushError::Closed) => unreachable!("cluster closes queues after feeding"),
+                }
+            }
+            for queue in &queues {
+                queue.close();
+            }
+            self.frames_shed.fetch_add(shed, Ordering::Relaxed);
+            for drainer in drainers {
+                match drainer.join() {
+                    Ok(served) => {
+                        for (i, det) in served {
+                            results[i] = Some(det);
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        drop(span);
+        results
+    }
+
+    /// Snapshots the whole tier: every shard's accumulated
+    /// [`RuntimeReport`](pcnn_runtime::RuntimeReport), their merged
+    /// aggregate, routing/shedding/swap counters and the live trace
+    /// summary when a tracer is installed.
+    pub fn report(&self) -> ClusterReport {
+        let router = self.router.lock().expect("router lock");
+        let shards: Vec<ShardReport> = self
+            .shards
+            .iter()
+            .map(|s| ShardReport {
+                shard: s.id(),
+                generation: s.generation(),
+                swaps: s.swaps(),
+                drained: router.is_drained(s.id()),
+                report: s.report(),
+            })
+            .collect();
+        drop(router);
+        let zero = Metrics::new().report(0, None);
+        let mut aggregate = shards.iter().fold(zero, |acc, s| acc.merge(&s.report));
+        // Per-shard trace summaries all snapshot the same process-global
+        // tracer; surface one fresh snapshot at the top level instead.
+        aggregate.trace = None;
+        ClusterReport {
+            shards,
+            aggregate,
+            frames_routed: self.frames_routed.load(Ordering::Relaxed),
+            frames_shed: self.frames_shed.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            trace: pcnn_trace::profile_snapshot().map(pcnn_runtime::TraceSummary::from),
+        }
+    }
+}
+
+/// A copyable control-plane view of a [`Cluster`]: swap models, drain
+/// and restore shards, and snapshot reports — typically from a
+/// supervisor thread while the data plane serves.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterHandle<'c> {
+    cluster: &'c Cluster,
+}
+
+impl ClusterHandle<'_> {
+    /// See [`Cluster::swap_model`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::swap_model`].
+    pub fn swap_model(&self, snapshot: &DetectorSnapshot) -> Result<u64> {
+        self.cluster.swap_model(snapshot)
+    }
+
+    /// See [`Cluster::drain_shard`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::drain_shard`].
+    pub fn drain_shard(&self, shard: u32) -> Result<()> {
+        self.cluster.drain_shard(shard)
+    }
+
+    /// See [`Cluster::restore_shard`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::restore_shard`].
+    pub fn restore_shard(&self, shard: u32) -> Result<()> {
+        self.cluster.restore_shard(shard)
+    }
+
+    /// See [`Cluster::report`].
+    pub fn report(&self) -> ClusterReport {
+        self.cluster.report()
+    }
+}

@@ -1,0 +1,57 @@
+//! # pcnn-cluster — sharded, replicated detection serving
+//!
+//! The multi-replica tier over [`pcnn_runtime`]'s single
+//! [`DetectionServer`](pcnn_runtime::DetectionServer): N detector
+//! shards behind a deterministic stream router, built for rolling model
+//! upgrades under sustained load.
+//!
+//! * [`router`] — [`ShardRouter`]: rendezvous (highest-random-weight)
+//!   hashing on stream id, deterministic across processes and releases,
+//!   serde-able, with drain/restore moving only the drained shard's
+//!   streams;
+//! * [`shard`] — [`Shard`]: one replica owning a swappable
+//!   [`TrainedDetector`](pcnn_core::pipeline::TrainedDetector) (warm
+//!   started from a [`pcnn_store`] snapshot), serving batches on its
+//!   own worker pool with install-time canary health probes feeding a
+//!   per-shard fallback floor;
+//! * [`cluster`] — [`Cluster`] / [`ClusterHandle`]: the data plane
+//!   (feeder + per-shard queues and drainers, load shedding at the
+//!   edge) and the control plane (blue/green [`swap_model`]
+//!   drains each shard in turn with zero dropped frames);
+//! * [`report`] — [`ClusterReport`]: every shard's
+//!   [`RuntimeReport`](pcnn_runtime::RuntimeReport) plus their merge;
+//! * [`loadgen`] — seeded open-loop Poisson load and the SLO harness
+//!   judging p50/p99 schedule-to-completion latency against budgets.
+//!
+//! ## Determinism
+//!
+//! Routing is a pure function of `(seed, stream id, shard count)`, and
+//! each shard's parallel pipeline is bit-identical to the serial path,
+//! so a fixed-seed cluster produces bit-identical per-stream results to
+//! a single server run on the same frames — regardless of per-shard
+//! worker counts. Pinned by `tests/cluster_serving.rs`.
+//!
+//! ## Swap protocol
+//!
+//! [`swap_model`] rebuilds the detector from a snapshot per shard, then
+//! rolls: publish to shard 0, drain its in-flight batches, move on.
+//! Queued frames flow throughout; every submitted frame is served
+//! exactly once, by exactly one model generation
+//! (`tests/swap.rs`).
+//!
+//! [`swap_model`]: Cluster::swap_model
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod loadgen;
+pub mod report;
+pub mod router;
+pub mod shard;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterHandle, StreamFrame};
+pub use loadgen::{arrivals, run_slo, Arrival, LoadProfile, SloBudget, SloReport};
+pub use report::{ClusterReport, ShardReport};
+pub use router::ShardRouter;
+pub use shard::{Shard, ShardModel};

@@ -1,0 +1,101 @@
+//! Cluster-level observability: per-shard reports plus their merged
+//! aggregate, serializable for dashboards and the SLO harness.
+
+use pcnn_runtime::{RuntimeReport, TraceSummary};
+use serde::{Deserialize, Serialize};
+
+/// One shard's slice of a [`ClusterReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// The shard's index in the cluster.
+    pub shard: u32,
+    /// The generation of the model currently installed.
+    pub generation: u64,
+    /// Completed blue/green installs on this shard.
+    pub swaps: u64,
+    /// Whether the shard is currently out of the routing rotation.
+    pub drained: bool,
+    /// The shard's accumulated serving report.
+    pub report: RuntimeReport,
+}
+
+/// A point-in-time summary of the whole serving tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Per-shard reports, by shard index.
+    pub shards: Vec<ShardReport>,
+    /// Every shard report merged through
+    /// [`RuntimeReport::merge`]: counters summed, latency histograms
+    /// combined bucket-wise, `workers` totalling the threads serving
+    /// across the tier.
+    pub aggregate: RuntimeReport,
+    /// Frames accepted and routed to a shard queue.
+    pub frames_routed: u64,
+    /// Frames shed at the cluster edge by a full shard queue.
+    pub frames_shed: u64,
+    /// Completed cluster-wide blue/green swaps.
+    pub swaps: u64,
+    /// Live per-stage tracing statistics, when a `pcnn_trace` tracer is
+    /// installed (spans from every shard land in the same process-global
+    /// tracer, so this is the tier-wide view).
+    #[serde(default)]
+    pub trace: Option<TraceSummary>,
+}
+
+impl ClusterReport {
+    /// Frames served across every shard.
+    pub fn frames_served(&self) -> u64 {
+        self.aggregate.frames_served
+    }
+
+    /// Batches served below their shard's primary level (the live model
+    /// failed its canary probe and the fallback floor served).
+    pub fn degraded_batches(&self) -> u64 {
+        self.aggregate.degraded_batches
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cluster report ({} shards, {} workers total)",
+            self.shards.len(),
+            self.aggregate.workers
+        )?;
+        writeln!(
+            f,
+            "  frames routed {:>8}   shed {:>6}   served {:>8}   swaps {:>3}",
+            self.frames_routed, self.frames_shed, self.aggregate.frames_served, self.swaps
+        )?;
+        for shard in &self.shards {
+            writeln!(
+                f,
+                "  shard {:>2}: gen {:>3}  swaps {:>3}  {:>8} frames  {:>6} batches{}",
+                shard.shard,
+                shard.generation,
+                shard.swaps,
+                shard.report.frames_served,
+                shard.report.batches,
+                if shard.drained { "  [drained]" } else { "" }
+            )?;
+        }
+        let latency = &self.aggregate.batch_latency;
+        if let (Some(p50), Some(p99)) = (latency.p50(), latency.p99()) {
+            writeln!(
+                f,
+                "  batch latency: p50 {:.2}ms  p99 {:.2}ms",
+                p50 as f64 / 1e3,
+                p99 as f64 / 1e3
+            )?;
+        }
+        if self.aggregate.degraded_batches > 0 {
+            writeln!(
+                f,
+                "  degradation: {} batches / {} frames on the fallback floor",
+                self.aggregate.degraded_batches, self.aggregate.degraded_frames
+            )?;
+        }
+        Ok(())
+    }
+}

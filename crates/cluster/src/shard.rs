@@ -1,0 +1,219 @@
+//! One replica of the serving tier: an owned, swappable model behind a
+//! drain-aware install protocol.
+//!
+//! A [`Shard`] owns its [`TrainedDetector`] (rebuilt from a
+//! [`DetectorSnapshot`](pcnn_core::DetectorSnapshot) at warm start) and
+//! serves batches through a per-batch [`DetectionServer`] so the model
+//! reference never outlives the batch. The blue/green swap protocol:
+//!
+//! 1. every batch registers itself against the model *generation* it
+//!    serves with before touching a frame;
+//! 2. [`install`](Shard::install) publishes the new model first, then
+//!    blocks until every batch registered under an **older** generation
+//!    has finished — batches that start after publication use the new
+//!    model immediately and never delay the drain;
+//! 3. queued frames are untouched throughout, so a swap drops nothing:
+//!    each frame is served by exactly one model generation.
+//!
+//! Health probing survives the swap because the canary reference is
+//! captured once at install time ([`canary_reference`]) and carried on
+//! the model, not re-baselined per batch — a fault that develops after
+//! install still trips the probe and degrades the shard to its
+//! fallback floor.
+
+use pcnn_core::pipeline::{Detector, DetectorConfig, TrainedDetector};
+use pcnn_core::Error;
+use pcnn_runtime::{
+    canary_reference, DetectionServer, FallbackChain, Metrics, RuntimeConfig, RuntimeReport,
+    ServiceLevel,
+};
+use pcnn_vision::{Detection, GrayImage};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An installed model: the detector plus the healthy canary histograms
+/// captured at install time and the generation that installed it.
+#[derive(Debug)]
+pub struct ShardModel {
+    detector: TrainedDetector,
+    canaries: Vec<Vec<f32>>,
+    generation: u64,
+}
+
+impl ShardModel {
+    /// Wraps `detector` as generation `generation`, capturing its
+    /// healthy canary reference now.
+    pub fn new(detector: TrainedDetector, generation: u64) -> Self {
+        let canaries = canary_reference(&detector);
+        ShardModel { detector, canaries, generation }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &TrainedDetector {
+        &self.detector
+    }
+
+    /// The install generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The service level this model serves as, probing against the
+    /// install-time canary reference.
+    fn level(&self) -> ServiceLevel<'_> {
+        let label = self.detector.extractor.kind().label();
+        ServiceLevel::with_reference(label, &self.detector, self.canaries.clone())
+    }
+}
+
+/// Mutable shard state: the live model and, per model generation, how
+/// many batches are currently in flight under it.
+#[derive(Debug)]
+struct ShardState {
+    model: Arc<ShardModel>,
+    in_flight: BTreeMap<u64, usize>,
+}
+
+/// One serving replica: an owned model, a worker pool configuration and
+/// accumulated metrics.
+#[derive(Debug)]
+pub struct Shard {
+    id: u32,
+    state: Mutex<ShardState>,
+    batch_done: Condvar,
+    /// A shared always-works floor, probed after the live model.
+    fallback: Option<Arc<ShardModel>>,
+    config: RuntimeConfig,
+    engine: DetectorConfig,
+    report: Mutex<RuntimeReport>,
+    swaps: AtomicU64,
+}
+
+impl Shard {
+    /// A shard serving `detector` (as generation 0) under the given
+    /// runtime and engine configuration.
+    pub fn new(
+        id: u32,
+        detector: TrainedDetector,
+        config: RuntimeConfig,
+        engine: DetectorConfig,
+    ) -> Self {
+        Shard {
+            id,
+            state: Mutex::new(ShardState {
+                model: Arc::new(ShardModel::new(detector, 0)),
+                in_flight: BTreeMap::new(),
+            }),
+            batch_done: Condvar::new(),
+            fallback: None,
+            config,
+            engine,
+            report: Mutex::new(Metrics::new().report(config.workers, None)),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a shared fallback floor, probed when the live model
+    /// fails its canary check. Serving-tier construction only — the
+    /// floor is fixed for the shard's lifetime.
+    pub(crate) fn set_fallback(&mut self, fallback: Arc<ShardModel>) {
+        self.fallback = Some(fallback);
+    }
+
+    /// The shard's index in the cluster.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The generation of the currently installed model.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().expect("shard state lock").model.generation
+    }
+
+    /// Completed model swaps.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the shard's accumulated serving report.
+    pub fn report(&self) -> RuntimeReport {
+        self.report.lock().expect("shard report lock").clone()
+    }
+
+    /// Installs `detector` as the next model generation and drains the
+    /// previous one: publishes the new model immediately (so queued
+    /// frames keep flowing), then blocks until every batch that started
+    /// under an older generation has completed. Returns the new
+    /// generation.
+    ///
+    /// Batches that begin *after* publication serve with the new model
+    /// and never delay the drain, so install latency is bounded by the
+    /// in-flight batches at the moment of publication — not by offered
+    /// load.
+    pub fn install(&self, detector: TrainedDetector) -> u64 {
+        let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_SWAP);
+        let model = ShardModel::new(detector, 0);
+        let mut state = self.state.lock().expect("shard state lock");
+        let generation = state.model.generation + 1;
+        state.model = Arc::new(ShardModel { generation, ..model });
+        while state.in_flight.range(..generation).next().is_some() {
+            state = self.batch_done.wait(state).expect("shard state lock");
+        }
+        drop(state);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        drop(span);
+        generation
+    }
+
+    /// Serves one batch with the currently installed model, returning
+    /// per-frame results in input order (worker panics isolated per
+    /// frame, as in [`DetectionServer::try_detect_batch`]).
+    pub fn run_batch(&self, frames: &[&GrayImage]) -> Vec<Result<Vec<Detection>, Error>> {
+        if frames.is_empty() {
+            return Vec::new();
+        }
+        let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_SHARD_BATCH);
+        if span.is_recording() {
+            span.add(pcnn_trace::Counter::Frames, frames.len() as u64);
+        }
+        let model = {
+            let mut state = self.state.lock().expect("shard state lock");
+            let generation = state.model.generation;
+            *state.in_flight.entry(generation).or_insert(0) += 1;
+            Arc::clone(&state.model)
+        };
+        let results = self.serve_with(&model, frames);
+        let mut state = self.state.lock().expect("shard state lock");
+        let count = state.in_flight.get_mut(&model.generation).expect("registered generation");
+        *count -= 1;
+        if *count == 0 {
+            state.in_flight.remove(&model.generation);
+            self.batch_done.notify_all();
+        }
+        results
+    }
+
+    /// One batch through a transient [`DetectionServer`] built around
+    /// `model` (and the fallback floor, when configured), with the
+    /// batch's report merged into the shard accumulator.
+    fn serve_with(
+        &self,
+        model: &ShardModel,
+        frames: &[&GrayImage],
+    ) -> Vec<Result<Vec<Detection>, Error>> {
+        let mut chain = FallbackChain::new().push_level(model.level());
+        if let Some(fallback) = &self.fallback {
+            chain = chain.push_level(fallback.level());
+        }
+        let server = DetectionServer::with_chain(Detector::new(self.engine), chain, self.config)
+            .expect("shard config validated at cluster build");
+        let results = server.try_detect_batch(frames);
+        let batch_report = server.report(None);
+        let mut report = self.report.lock().expect("shard report lock");
+        // merge() sums `workers` (an aggregate over shards reports total
+        // threads); within one shard the pool size is constant.
+        *report = RuntimeReport { workers: self.config.workers, ..report.merge(&batch_report) };
+        results
+    }
+}

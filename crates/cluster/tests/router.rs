@@ -1,0 +1,88 @@
+//! Router contracts: the degenerate single-shard cluster, minimal
+//! disruption under drain/restore, serde round-tripping and — most
+//! importantly — a golden hash-stability table. The rendezvous mixer is
+//! a wire-format-grade constant: if these assignments ever change, a
+//! release would silently re-route every live stream.
+
+use pcnn_cluster::ShardRouter;
+use std::collections::BTreeMap;
+
+#[test]
+fn single_shard_cluster_routes_everything_to_it() {
+    let router = ShardRouter::new(1, 0xfeed).unwrap();
+    for stream in 0..512u64 {
+        assert_eq!(router.route(stream), 0);
+    }
+    assert_eq!(router.active(), vec![0]);
+    // The only shard can never leave the rotation.
+    let mut router = router;
+    assert!(router.drain(0).is_err());
+    assert_eq!(router.route(7), 0);
+}
+
+#[test]
+fn drain_moves_only_the_drained_shards_streams() {
+    let mut router = ShardRouter::new(4, 99).unwrap();
+    let before: BTreeMap<u64, u32> = (0..600u64).map(|s| (s, router.route(s))).collect();
+    router.drain(2).unwrap();
+    let mut moved = 0usize;
+    for (&stream, &shard) in &before {
+        let now = router.route(stream);
+        if shard == 2 {
+            // Displaced streams must land on a surviving shard.
+            assert_ne!(now, 2, "stream {stream} still routes to the drained shard");
+            moved += 1;
+        } else {
+            // Minimal disruption: every other stream keeps its shard.
+            assert_eq!(now, shard, "stream {stream} moved although its shard never drained");
+        }
+    }
+    assert!(moved > 0, "a quarter of 600 streams should have lived on shard 2");
+    // Restore is a true inverse: weights never changed, so the original
+    // streams come home and nothing else moves.
+    router.restore(2).unwrap();
+    for (&stream, &shard) in &before {
+        assert_eq!(router.route(stream), shard, "stream {stream} not restored");
+    }
+}
+
+/// The golden hash-stability table. These assignments are a contract:
+/// they pin the splitmix64-based rendezvous mixer so a refactor cannot
+/// silently re-shuffle stream placement across a release boundary. If
+/// this test fails, the router's hash changed — that is a breaking
+/// change to every deployed cluster, not a test to update casually.
+#[test]
+fn golden_hash_stability() {
+    let router = ShardRouter::new(4, 0xDAC17).unwrap();
+    let expected: [u32; 16] = [3, 3, 1, 1, 2, 0, 0, 2, 2, 1, 0, 0, 3, 2, 1, 1];
+    for (stream, &shard) in expected.iter().enumerate() {
+        assert_eq!(
+            router.route(stream as u64),
+            shard,
+            "stream {stream}: rendezvous mixer output changed"
+        );
+    }
+    let wide = ShardRouter::new(8, 0).unwrap();
+    let expected_wide: [u32; 12] = [0, 5, 0, 4, 1, 0, 4, 3, 5, 0, 6, 7];
+    for (stream, &shard) in expected_wide.iter().enumerate() {
+        assert_eq!(
+            wide.route(stream as u64),
+            shard,
+            "stream {stream} (8-shard): rendezvous mixer output changed"
+        );
+    }
+}
+
+#[test]
+fn router_round_trips_through_serde_with_drain_state() {
+    let mut router = ShardRouter::new(6, 0xabc).unwrap();
+    router.drain(4).unwrap();
+    router.drain(1).unwrap();
+    let json = serde_json::to_string(&router).unwrap();
+    let back: ShardRouter = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, router);
+    assert_eq!(back.active(), vec![0, 2, 3, 5]);
+    for stream in 0..200u64 {
+        assert_eq!(back.route(stream), router.route(stream));
+    }
+}

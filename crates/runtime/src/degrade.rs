@@ -36,6 +36,18 @@ fn canary_patches() -> [GrayImage; 2] {
     ]
 }
 
+/// Captures `detector`'s canary histograms now, for a level registered
+/// later through [`ServiceLevel::with_reference`].
+///
+/// The split exists for serving tiers that rebuild their probe chain
+/// per batch around a swappable model (the cluster shards): the healthy
+/// baseline must be captured once at model-install time — capturing it
+/// at chain-build time would re-baseline on possibly-faulted output and
+/// blind the probe.
+pub fn canary_reference(detector: &TrainedDetector) -> Vec<Vec<f32>> {
+    canary_patches().iter().map(|p| detector.extractor.cell_histogram(p)).collect()
+}
+
 /// Relative L1 distance between a probe histogram and its healthy
 /// reference; `1.0` if the probe produced any non-finite value.
 fn drift(probe: &[f32], reference: &[f32]) -> f32 {
@@ -64,9 +76,18 @@ impl std::fmt::Debug for ServiceLevel<'_> {
 impl<'d> ServiceLevel<'d> {
     /// Registers a level, capturing its healthy canary histograms.
     pub fn new(label: impl Into<String>, detector: &'d TrainedDetector) -> Self {
-        let canaries =
-            canary_patches().iter().map(|p| detector.extractor.cell_histogram(p)).collect();
-        ServiceLevel { label: label.into(), detector, canaries }
+        Self::with_reference(label, detector, canary_reference(detector))
+    }
+
+    /// Registers a level against a previously captured healthy
+    /// `reference` (from [`canary_reference`]) instead of baselining on
+    /// the detector's current output.
+    pub fn with_reference(
+        label: impl Into<String>,
+        detector: &'d TrainedDetector,
+        reference: Vec<Vec<f32>>,
+    ) -> Self {
+        ServiceLevel { label: label.into(), detector, canaries: reference }
     }
 
     /// The level's display label.
@@ -104,8 +125,15 @@ impl<'d> FallbackChain<'d> {
 
     /// Appends a level (lower position = higher preference), capturing
     /// its healthy canaries now.
-    pub fn push(mut self, label: impl Into<String>, detector: &'d TrainedDetector) -> Self {
-        self.levels.push(ServiceLevel::new(label, detector));
+    pub fn push(self, label: impl Into<String>, detector: &'d TrainedDetector) -> Self {
+        self.push_level(ServiceLevel::new(label, detector))
+    }
+
+    /// Appends an already-built level, e.g. one carrying an
+    /// install-time canary reference from
+    /// [`ServiceLevel::with_reference`].
+    pub fn push_level(mut self, level: ServiceLevel<'d>) -> Self {
+        self.levels.push(level);
         self
     }
 

@@ -85,9 +85,10 @@ pub mod server;
 pub mod supervise;
 
 pub use chaos::PanicInjector;
-pub use degrade::{FallbackChain, ServiceLevel, DEFAULT_PROBE_TOLERANCE};
+pub use degrade::{canary_reference, FallbackChain, ServiceLevel, DEFAULT_PROBE_TOLERANCE};
 pub use metrics::{
-    Histogram, HistogramReport, LevelReport, Metrics, RuntimeReport, Stage, StageTimes,
+    Histogram, HistogramReport, LevelReport, Metrics, RuntimeReport, Stage, StageSummary,
+    StageTimes, TraceSummary, LATENCY_BOUNDS_US,
 };
 pub use queue::{Backpressure, PushError, QueueConfig, RequestQueue};
 pub use scheduler::{parallel_map, plan_chunks, try_parallel_map, Chunk, WorkerPanic};

@@ -97,6 +97,33 @@ impl HistogramReport {
     pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
     }
+
+    /// Combines two histograms bucket-wise, overflow included.
+    ///
+    /// Histograms sharing bucket bounds (every histogram this runtime
+    /// produces uses [`LATENCY_BOUNDS_US`]) merge exactly: each bucket
+    /// count — and the trailing overflow bucket — is the sum of the two
+    /// inputs. An empty histogram is the identity. When the bound
+    /// vectors differ, `other`'s buckets are folded in positionally and
+    /// any counts beyond this histogram's buckets land in the overflow
+    /// bucket, so no sample is ever lost in a merge.
+    pub fn merge(&self, other: &HistogramReport) -> HistogramReport {
+        if self.counts.iter().all(|&c| c == 0) && self.bounds_us.is_empty() {
+            return other.clone();
+        }
+        let bounds_us = self.bounds_us.clone();
+        let slots = bounds_us.len() + 1;
+        let mut counts = vec![0u64; slots];
+        for (i, &c) in self.counts.iter().enumerate() {
+            counts[i.min(slots - 1)] += c;
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            // Positional merge: matching bounds line up exactly, and a
+            // longer input folds its tail into the overflow bucket.
+            counts[i.min(slots - 1)] += c;
+        }
+        HistogramReport { bounds_us, counts }
+    }
 }
 
 /// Wall time spent in each pipeline stage, summed over all batches.
@@ -491,6 +518,69 @@ pub struct RuntimeReport {
     pub trace: Option<TraceSummary>,
 }
 
+impl RuntimeReport {
+    /// Combines two reports into one, the primitive a cluster-level
+    /// aggregate is built from: counters sum, per-stage wall times sum,
+    /// latency histograms merge bucket-wise (overflow included, via
+    /// [`HistogramReport::merge`]), `max_queue_depth` takes the maximum,
+    /// per-level batch counts merge by label, and simulator counters sum
+    /// field-wise when both sides carry them. `workers` sums, so an
+    /// aggregate over shards reports the total worker threads serving.
+    ///
+    /// Trace summaries hold non-mergeable quantiles, so the merged
+    /// report keeps `self`'s summary when present and falls back to
+    /// `other`'s (both snapshot the same process-global tracer anyway).
+    ///
+    /// A fresh all-zero report is the identity: `zero.merge(&r)` equals
+    /// `r` in every counter.
+    pub fn merge(&self, other: &RuntimeReport) -> RuntimeReport {
+        let mut levels = self.levels.clone();
+        for level in &other.levels {
+            match levels.iter_mut().find(|l| l.label == level.label) {
+                Some(l) => l.batches += level.batches,
+                None => levels.push(level.clone()),
+            }
+        }
+        let system = match (&self.system, &other.system) {
+            (Some(a), Some(b)) => Some(SystemStats {
+                ticks: a.ticks + b.ticks,
+                routed_spikes: a.routed_spikes + b.routed_spikes,
+                output_spikes: a.output_spikes + b.output_spikes,
+                injected_spikes: a.injected_spikes + b.injected_spikes,
+                synaptic_events: a.synaptic_events + b.synaptic_events,
+            }),
+            (a, b) => (*a).or(*b),
+        };
+        RuntimeReport {
+            workers: self.workers + other.workers,
+            frames_served: self.frames_served + other.frames_served,
+            frames_rejected: self.frames_rejected + other.frames_rejected,
+            windows_scored: self.windows_scored + other.windows_scored,
+            batches: self.batches + other.batches,
+            max_queue_depth: self.max_queue_depth.max(other.max_queue_depth),
+            stage: StageTimes {
+                pyramid_ms: self.stage.pyramid_ms + other.stage.pyramid_ms,
+                cells_ms: self.stage.cells_ms + other.stage.cells_ms,
+                classify_ms: self.stage.classify_ms + other.stage.classify_ms,
+                nms_ms: self.stage.nms_ms + other.stage.nms_ms,
+            },
+            batch_latency: self.batch_latency.merge(&other.batch_latency),
+            degraded_batches: self.degraded_batches + other.degraded_batches,
+            degraded_frames: self.degraded_frames + other.degraded_frames,
+            health_failures: self.health_failures + other.health_failures,
+            levels,
+            panics_caught: self.panics_caught + other.panics_caught,
+            retries: self.retries + other.retries,
+            deadline_misses: self.deadline_misses + other.deadline_misses,
+            stalls_detected: self.stalls_detected + other.stalls_detected,
+            checkpoints_written: self.checkpoints_written + other.checkpoints_written,
+            checkpoints_restored: self.checkpoints_restored + other.checkpoints_restored,
+            system,
+            trace: self.trace.clone().or_else(|| other.trace.clone()),
+        }
+    }
+}
+
 impl std::fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "runtime report ({} workers)", self.workers)?;
@@ -755,6 +845,93 @@ mod tests {
         assert!(!stripped.contains("panics_caught"));
         let back: RuntimeReport = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn merge_with_empty_report_is_identity() {
+        let m = Metrics::with_levels(2);
+        m.add_frames(5);
+        m.add_windows(700);
+        m.add_batch(Duration::from_micros(450));
+        m.add_batch(Duration::from_millis(30));
+        m.add_stage(Stage::Pyramid, Duration::from_millis(2));
+        m.add_level_batch(0);
+        m.add_degraded_batch(3);
+        let mut report = m.report(4, Some(SystemStats { ticks: 9, ..Default::default() }));
+        report.levels = vec![LevelReport { label: "primary".into(), batches: 1 }];
+        let zero = Metrics::new().report(0, None);
+        let merged = zero.merge(&report);
+        assert_eq!(merged, report, "zero.merge(r) must equal r");
+        let merged = report.merge(&zero);
+        assert_eq!(merged, report, "r.merge(zero) must equal r");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms_including_overflow() {
+        let a = Metrics::new();
+        a.add_frames(2);
+        a.add_windows(10);
+        a.add_batch(Duration::from_micros(50)); // first bucket
+        a.add_batch(Duration::from_secs(10)); // overflow
+        a.observe_queue_depth(3);
+        let b = Metrics::new();
+        b.add_frames(4);
+        b.add_rejected(1);
+        b.add_batch(Duration::from_micros(60)); // first bucket
+        b.add_batch(Duration::from_secs(20)); // overflow
+        b.observe_queue_depth(7);
+        let merged = a.report(2, None).merge(&b.report(3, None));
+        assert_eq!(merged.workers, 5);
+        assert_eq!(merged.frames_served, 6);
+        assert_eq!(merged.frames_rejected, 1);
+        assert_eq!(merged.windows_scored, 10);
+        assert_eq!(merged.batches, 4);
+        assert_eq!(merged.max_queue_depth, 7);
+        assert_eq!(merged.batch_latency.counts[0], 2);
+        assert_eq!(merged.batch_latency.overflow(), 2, "overflow buckets merge too");
+        assert_eq!(merged.batch_latency.total(), 4);
+    }
+
+    #[test]
+    fn merge_combines_levels_by_label_and_sums_system_stats() {
+        let mut a = Metrics::with_levels(2)
+            .report(1, Some(SystemStats { ticks: 5, routed_spikes: 7, ..Default::default() }));
+        a.levels = vec![
+            LevelReport { label: "hw".into(), batches: 3 },
+            LevelReport { label: "sw".into(), batches: 1 },
+        ];
+        let mut b = Metrics::with_levels(2)
+            .report(1, Some(SystemStats { ticks: 2, synaptic_events: 11, ..Default::default() }));
+        b.levels = vec![
+            LevelReport { label: "sw".into(), batches: 4 },
+            LevelReport { label: "floor".into(), batches: 2 },
+        ];
+        let merged = a.merge(&b);
+        assert_eq!(
+            merged.levels,
+            vec![
+                LevelReport { label: "hw".into(), batches: 3 },
+                LevelReport { label: "sw".into(), batches: 5 },
+                LevelReport { label: "floor".into(), batches: 2 },
+            ]
+        );
+        let system = merged.system.unwrap();
+        assert_eq!(system.ticks, 7);
+        assert_eq!(system.routed_spikes, 7);
+        assert_eq!(system.synaptic_events, 11);
+    }
+
+    #[test]
+    fn histogram_merge_folds_mismatched_tail_into_overflow() {
+        let bounded = Histogram::new(&LATENCY_BOUNDS_US).snapshot();
+        let longer = HistogramReport {
+            bounds_us: (1..=LATENCY_BOUNDS_US.len() as u64 + 3).collect(),
+            counts: vec![1; LATENCY_BOUNDS_US.len() + 4],
+        };
+        let merged = bounded.merge(&longer);
+        assert_eq!(merged.bounds_us, LATENCY_BOUNDS_US.to_vec());
+        assert_eq!(merged.total(), longer.total(), "no sample is lost in a merge");
+        assert_eq!(merged.overflow(), 4, "tail buckets fold into overflow");
     }
 
     #[test]

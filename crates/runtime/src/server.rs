@@ -53,13 +53,16 @@ impl RuntimeConfig {
         RuntimeConfigBuilder::default()
     }
 
-    /// The default configuration with the given worker count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use RuntimeConfig::builder().workers(n).build(), which validates"
-    )]
-    pub fn with_workers(workers: usize) -> Self {
-        RuntimeConfig { workers, ..Default::default() }
+    /// The default configuration with the given worker count, validated
+    /// exactly like the builder path: `with_workers(0)` returns the same
+    /// [`Error::InvalidConfig`] as `builder().workers(0).build()`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when `workers` is zero.
+    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().workers(n).build()")]
+    pub fn with_workers(workers: usize) -> Result<Self, Error> {
+        RuntimeConfig::builder().workers(workers).build()
     }
 
     /// Validates every field, mirroring what [`DetectionServer::new`]

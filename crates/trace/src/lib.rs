@@ -106,6 +106,12 @@ pub mod stages {
     pub const STORE_SAVE: &str = "store.save";
     /// One checkpoint load.
     pub const STORE_LOAD: &str = "store.load";
+    /// One routed serve pass through the cluster tier.
+    pub const CLUSTER_SERVE: &str = "cluster.serve";
+    /// One batch executed by a cluster shard.
+    pub const CLUSTER_SHARD_BATCH: &str = "cluster.shard_batch";
+    /// One blue/green model install draining a cluster shard.
+    pub const CLUSTER_SWAP: &str = "cluster.swap";
 }
 
 /// Installs a wall-clock tracer when the `PCNN_TRACE` environment

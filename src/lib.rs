@@ -24,6 +24,10 @@
 //! * [`runtime`] — the parallel, batched detection-serving subsystem
 //!   (deterministic work scheduling, request batching with backpressure,
 //!   serving metrics, panic isolation, deadlines and retry);
+//! * [`cluster`] — the sharded, replicated serving tier over the
+//!   runtime: rendezvous stream routing, per-shard warm start from
+//!   checkpoints, blue/green model swap with drain, cluster-level load
+//!   shedding and a seeded open-loop SLO load harness;
 //! * [`store`] — crash-safe persistence: a versioned, checksummed
 //!   envelope format with atomic-rename writes for trained detectors,
 //!   training checkpoints and simulator snapshots;
@@ -36,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use pcnn_cluster as cluster;
 pub use pcnn_core as core;
 pub use pcnn_corelets as corelets;
 pub use pcnn_eedn as eedn;
