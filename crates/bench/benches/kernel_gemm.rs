@@ -1,45 +1,74 @@
 //! Kernel-vs-naive timing for the `pcnn-kernels` compute path.
 //!
-//! Times the blocked GEMM and the im2col+GEMM `Conv2d` forward against
-//! the golden naive loops in `pcnn_eedn::reference` at Fig. 5
-//! representative shapes, verifies the outputs still agree bit-for-bit,
-//! and writes `results/BENCH_kernels.json` with the measured speedups.
+//! Times the blocked GEMM, the im2col+GEMM `Conv2d` forward (f32 and
+//! the multiply-free trinary inference path), and the SIMD-vs-scalar
+//! micro-kernel spread against the golden naive loops in
+//! `pcnn_eedn::reference` at Fig. 5 representative shapes, verifies the
+//! outputs still agree bit-for-bit, and writes
+//! `results/BENCH_kernels.json` with the measured speedups — each entry
+//! tagged with the kernel `backend` it ran on.
 //!
 //! The vendored criterion stand-in has no CLI parsing, so this bench
-//! carries its own `main`: pass `--test` (as CI does) for a one-rep
-//! smoke run that checks correctness and skips the JSON write.
+//! carries its own `main`:
+//!
+//! * `--test` (as CI's smoke step passes) — one-rep correctness run,
+//!   no JSON write;
+//! * `--check [path]` — re-measure and fail if any speedup drops below
+//!   80% of the committed `BENCH_kernels.json` value (CI's
+//!   bench-regression guard);
+//! * no flags — full run, rewrites `results/BENCH_kernels.json`.
 
 use pcnn_eedn::reference::{conv2d_forward, ConvSpec};
 use pcnn_eedn::{Conv2d, Layer, Scratch, Tensor};
-use pcnn_kernels::{gemm, GemmScratch};
-use serde::Serialize;
+use pcnn_kernels::{gemm, gemm_with_backend, GemmScratch, SimdBackend};
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
 
 /// One timed comparison, as recorded in `results/BENCH_kernels.json`.
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct BenchResult {
     name: String,
     dims: Vec<usize>,
+    /// Kernel path and SIMD tier the `kernel_ms` column ran on, e.g.
+    /// `"trinary+avx2"`; the baseline column is named in `baseline`.
+    #[serde(default)]
+    backend: String,
+    /// What `naive_ms` timed: the reference loops (`"naive"`) or a
+    /// slower kernel backend (`"f32+scalar"`).
+    #[serde(default)]
+    baseline: String,
     naive_ms: f64,
     kernel_ms: f64,
     speedup: f64,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct BenchDoc {
     bench: String,
     results: Vec<BenchResult>,
 }
 
-/// Mean seconds per call over `reps` timed runs (after one warmup).
-fn time_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    f();
-    let start = Instant::now();
+/// Minimum seconds per call for a baseline/kernel pair, measured
+/// **interleaved** over `reps` rounds (after one warmup each). Two
+/// defenses keep the recorded speedups reproducible enough for the
+/// `--check` regression gate on a shared box: the minimum (scheduler
+/// interference only ever adds time, so the fastest observation is the
+/// most stable estimate), and interleaving (frequency drift mid-run
+/// hits both sides equally instead of skewing their ratio).
+fn time_pair<A: FnMut(), B: FnMut()>(reps: usize, mut base: A, mut kernel: B) -> (f64, f64) {
+    base();
+    kernel();
+    let (mut best_base, mut best_kernel) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..reps {
-        f();
+        let t = Instant::now();
+        base();
+        best_base = best_base.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        kernel();
+        best_kernel = best_kernel.min(t.elapsed().as_secs_f64());
     }
-    start.elapsed().as_secs_f64() / reps as f64
+    (best_base, best_kernel)
 }
 
 fn pseudo(data: &mut [f32], seed: u64) {
@@ -65,9 +94,17 @@ struct ConvCase {
     batch: usize,
 }
 
-fn bench_conv(case: &ConvCase, reps: usize, smoke: bool) -> BenchResult {
-    let layer =
-        Conv2d::new(case.in_ch, case.out_ch, case.k, case.stride, case.pad, case.groups, false, 42);
+fn bench_conv(case: &ConvCase, trinary: bool, reps: usize, smoke: bool) -> BenchResult {
+    let layer = Conv2d::new(
+        case.in_ch,
+        case.out_ch,
+        case.k,
+        case.stride,
+        case.pad,
+        case.groups,
+        trinary,
+        42,
+    );
     let spec = ConvSpec {
         in_ch: case.in_ch,
         out_ch: case.out_ch,
@@ -83,7 +120,9 @@ fn bench_conv(case: &ConvCase, reps: usize, smoke: bool) -> BenchResult {
     let (alpha, bias) = (layer.alpha().to_vec(), layer.bias().to_vec());
 
     // Correctness gate before timing: kernel output must stay bitwise
-    // equal to the naive oracle at the benchmarked shape.
+    // equal to the naive oracle at the benchmarked shape — on the
+    // trinary path too, where `infer_with` routes through the bitplane
+    // kernels.
     let mut scratch = Scratch::default();
     let kernel_out = layer.infer_with(&input, &mut scratch);
     let (_, naive_out) = conv2d_forward(&spec, &w_eff, &alpha, &bias, &input);
@@ -92,22 +131,26 @@ fn bench_conv(case: &ConvCase, reps: usize, smoke: bool) -> BenchResult {
         assert!(a.to_bits() == b.to_bits(), "{} elem {i}: kernel {a} != naive {b}", case.name);
     }
 
-    let naive_reps = if smoke { 1 } else { reps.div_ceil(4).max(2) };
-    let naive_s = time_secs(naive_reps, || {
-        black_box(conv2d_forward(&spec, black_box(&w_eff), &alpha, &bias, black_box(&input)));
-    });
-    let kernel_s = time_secs(if smoke { 1 } else { reps }, || {
-        black_box(layer.infer_with(black_box(&input), &mut scratch));
-    });
+    let name = if trinary { format!("{}_trinary", case.name) } else { case.name.to_string() };
+    let (naive_s, kernel_s) = time_pair(
+        if smoke { 1 } else { reps },
+        || {
+            black_box(conv2d_forward(&spec, black_box(&w_eff), &alpha, &bias, black_box(&input)));
+        },
+        || {
+            black_box(layer.infer_with(black_box(&input), &mut scratch));
+        },
+    );
     let speedup = naive_s / kernel_s;
+    let backend =
+        format!("{}+{}", if trinary { "trinary" } else { "f32" }, pcnn_kernels::backend_label());
     println!(
-        "bench: conv/{:<28} naive {:>9.3}ms  kernel {:>9.3}ms  speedup {speedup:>6.2}x",
-        case.name,
+        "bench: conv/{name:<36} [{backend}] naive {:>9.3}ms  kernel {:>9.3}ms  speedup {speedup:>6.2}x",
         naive_s * 1e3,
         kernel_s * 1e3,
     );
     BenchResult {
-        name: case.name.to_string(),
+        name,
         // batch, in_ch, out_ch, h, w, k, stride, pad, groups
         dims: vec![
             case.batch,
@@ -120,6 +163,8 @@ fn bench_conv(case: &ConvCase, reps: usize, smoke: bool) -> BenchResult {
             case.pad,
             case.groups,
         ],
+        backend,
+        baseline: "naive".to_string(),
         naive_ms: naive_s * 1e3,
         kernel_ms: kernel_s * 1e3,
         speedup,
@@ -131,43 +176,159 @@ fn bench_raw_gemm(m: usize, k: usize, n: usize, reps: usize, smoke: bool) -> Ben
     let mut b = vec![0.0f32; k * n];
     pseudo(&mut a, 1);
     pseudo(&mut b, 2);
-    let mut c = vec![0.0f32; m * n];
+    let mut c_naive = vec![0.0f32; m * n];
+    let mut c_kernel = vec![0.0f32; m * n];
     let mut s = GemmScratch::default();
 
-    let naive_s = time_secs(if smoke { 1 } else { reps.div_ceil(4).max(2) }, || {
-        c.iter_mut().for_each(|v| *v = 0.0);
-        for i in 0..m {
-            for p in 0..k {
-                let av = a[i * k + p];
-                for j in 0..n {
-                    c[i * n + j] += av * b[p * n + j];
+    let (naive_s, kernel_s) = time_pair(
+        if smoke { 1 } else { reps },
+        || {
+            c_naive.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..m {
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    for j in 0..n {
+                        c_naive[i * n + j] += av * b[p * n + j];
+                    }
                 }
             }
-        }
-        black_box(&mut c);
-    });
-    let kernel_s = time_secs(if smoke { 1 } else { reps }, || {
-        c.iter_mut().for_each(|v| *v = 0.0);
-        gemm(&mut s, m, k, n, black_box(&a), k, black_box(&b), n, &mut c, n);
-        black_box(&mut c);
-    });
+            black_box(&mut c_naive);
+        },
+        || {
+            c_kernel.iter_mut().for_each(|v| *v = 0.0);
+            gemm(&mut s, m, k, n, black_box(&a), k, black_box(&b), n, &mut c_kernel, n);
+            black_box(&mut c_kernel);
+        },
+    );
     let speedup = naive_s / kernel_s;
+    let backend = format!("f32+{}", pcnn_kernels::backend_label());
     println!(
-        "bench: gemm/{m}x{k}x{n:<18} naive {:>9.3}ms  kernel {:>9.3}ms  speedup {speedup:>6.2}x",
+        "bench: gemm/{m}x{k}x{n:<26} [{backend}] naive {:>9.3}ms  kernel {:>9.3}ms  speedup {speedup:>6.2}x",
         naive_s * 1e3,
         kernel_s * 1e3,
     );
     BenchResult {
         name: format!("gemm_{m}x{k}x{n}"),
         dims: vec![m, k, n],
+        backend,
+        baseline: "naive".to_string(),
         naive_ms: naive_s * 1e3,
         kernel_ms: kernel_s * 1e3,
         speedup,
     }
 }
 
+/// The SIMD micro-kernel against the forced-scalar fallback on the same
+/// blocked GEMM — isolates what runtime dispatch buys over safe scalar.
+fn bench_simd_vs_scalar(m: usize, k: usize, n: usize, reps: usize, smoke: bool) -> BenchResult {
+    let hw = pcnn_kernels::detect_backend();
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    pseudo(&mut a, 3);
+    pseudo(&mut b, 4);
+    let mut c_scalar = vec![0.0f32; m * n];
+    let mut c_simd = vec![0.0f32; m * n];
+    let mut s_scalar = GemmScratch::default();
+    let mut s_simd = GemmScratch::default();
+
+    let (scalar_s, simd_s) = time_pair(
+        if smoke { 1 } else { reps },
+        || {
+            c_scalar.iter_mut().for_each(|v| *v = 0.0);
+            gemm_with_backend(
+                SimdBackend::Scalar,
+                &mut s_scalar,
+                m,
+                k,
+                n,
+                black_box(&a),
+                k,
+                black_box(&b),
+                n,
+                &mut c_scalar,
+                n,
+            );
+            black_box(&mut c_scalar);
+        },
+        || {
+            c_simd.iter_mut().for_each(|v| *v = 0.0);
+            gemm_with_backend(
+                hw,
+                &mut s_simd,
+                m,
+                k,
+                n,
+                black_box(&a),
+                k,
+                black_box(&b),
+                n,
+                &mut c_simd,
+                n,
+            );
+            black_box(&mut c_simd);
+        },
+    );
+    let speedup = scalar_s / simd_s;
+    let backend = format!("f32+{}", hw.name());
+    println!(
+        "bench: gemm/{m}x{k}x{n}_simd_vs_scalar  [{backend}] scalar {:>9.3}ms  simd {:>9.3}ms  speedup {speedup:>6.2}x",
+        scalar_s * 1e3,
+        simd_s * 1e3,
+    );
+    BenchResult {
+        name: format!("gemm_{m}x{k}x{n}_simd_vs_scalar"),
+        dims: vec![m, k, n],
+        backend,
+        baseline: "f32+scalar".to_string(),
+        naive_ms: scalar_s * 1e3,
+        kernel_ms: simd_s * 1e3,
+        speedup,
+    }
+}
+
+/// Compares fresh measurements against a committed results file:
+/// any entry whose measured speedup falls below `floor` × committed
+/// speedup is a regression. Entries present on only one side are
+/// reported but don't fail (they have nothing to regress against).
+fn check_regressions(measured: &[BenchResult], committed_path: &str, floor: f64) {
+    let text = std::fs::read_to_string(committed_path)
+        .unwrap_or_else(|e| panic!("read {committed_path}: {e}"));
+    let committed: BenchDoc = serde_json::from_str(&text).expect("parse committed bench doc");
+    let mut failures = Vec::new();
+    for old in &committed.results {
+        let Some(new) = measured.iter().find(|r| r.name == old.name) else {
+            println!("check: {:<40} committed but not measured — skipped", old.name);
+            continue;
+        };
+        let threshold = old.speedup * floor;
+        let verdict = if new.speedup < threshold { "REGRESSED" } else { "ok" };
+        println!(
+            "check: {:<40} committed {:>7.2}x  measured {:>7.2}x  (floor {threshold:>7.2}x) {verdict}",
+            old.name, old.speedup, new.speedup,
+        );
+        if new.speedup < threshold {
+            failures.push(format!(
+                "{}: speedup {:.2}x below {:.0}% of committed {:.2}x",
+                old.name,
+                new.speedup,
+                floor * 100.0,
+                old.speedup
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "bench regressions detected:\n  {}", failures.join("\n  "));
+    println!("check: no speedup fell below {:.0}% of its committed value", floor * 100.0);
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--test");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let check = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| default_results_path())
+    });
     let reps = if smoke { 1 } else { 20 };
 
     let cases = [
@@ -212,18 +373,30 @@ fn main() {
         },
     ];
 
-    let mut results: Vec<BenchResult> =
-        cases.iter().map(|case| bench_conv(case, reps, smoke)).collect();
+    let mut results: Vec<BenchResult> = Vec::new();
+    for case in &cases {
+        results.push(bench_conv(case, false, reps, smoke));
+        results.push(bench_conv(case, true, reps, smoke));
+    }
     // The raw GEMM behind the fig5 conv: (out_ch) x (in_ch*k*k) x (ho*wo).
     results.push(bench_raw_gemm(64, 288, 900, reps, smoke));
+    results.push(bench_simd_vs_scalar(64, 288, 900, reps, smoke));
 
+    if let Some(path) = check {
+        check_regressions(&results, &path, 0.8);
+        return;
+    }
     if smoke {
         println!("kernel_gemm: smoke mode (--test), skipping JSON write");
         return;
     }
     let doc = BenchDoc { bench: "kernel_gemm".to_string(), results };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_kernels.json");
-    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+    let path = default_results_path();
+    std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serialize"))
         .expect("write BENCH_kernels.json");
     println!("wrote {path}");
+}
+
+fn default_results_path() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_kernels.json").to_string()
 }

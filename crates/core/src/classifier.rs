@@ -21,8 +21,10 @@ pub enum WindowClassifier {
         /// The feature standardizer fitted on training descriptors.
         scaler: FeatureScaler,
     },
-    /// Eedn-constrained network.
-    Eedn(EednClassifier),
+    /// Eedn-constrained network, boxed: the classifier (network plus
+    /// its inference scratch) dwarfs the SVM variant, so indirection
+    /// keeps the enum itself small.
+    Eedn(Box<EednClassifier>),
 }
 
 impl std::fmt::Debug for WindowClassifier {
@@ -530,11 +532,11 @@ mod tests {
         let scaler = FeatureScaler::fit(&xs);
         let model = pcnn_svm::train(&scaler.apply_all(&xs), &ys, Default::default());
         let mut svm = WindowClassifier::Svm { model, scaler };
-        let mut eedn = WindowClassifier::Eedn(EednClassifier::train(
+        let mut eedn = WindowClassifier::Eedn(Box::new(EednClassifier::train(
             &xs,
             &ys,
             EednClassifierConfig { hidden1: 16, hidden2: 8, epochs: 15, ..Default::default() },
-        ));
+        )));
         // Both score positives above negatives on average.
         for c in [&mut svm, &mut eedn] {
             let mean_pos: f32 =

@@ -195,7 +195,7 @@ impl PartitionedSystem {
         }
         let classifier =
             EednClassifier::try_train_with(&xs, &ys, eedn, resume_from, on_checkpoint)?;
-        Ok(TrainedDetector { extractor, classifier: WindowClassifier::Eedn(classifier) })
+        Ok(TrainedDetector { extractor, classifier: WindowClassifier::Eedn(Box::new(classifier)) })
     }
 }
 
@@ -278,7 +278,10 @@ impl AbsorbedSystem {
             is_blind: majority_fraction >= 0.95,
             cores: classifier.core_count(),
         };
-        (TrainedDetector { extractor, classifier: WindowClassifier::Eedn(classifier) }, outcome)
+        (
+            TrainedDetector { extractor, classifier: WindowClassifier::Eedn(Box::new(classifier)) },
+            outcome,
+        )
     }
 }
 

@@ -73,7 +73,7 @@ impl TrainedDetector {
                 WindowClassifier::Svm { model: model.clone(), scaler: scaler.clone() }
             }
             ClassifierSnapshot::Eedn(state) => {
-                WindowClassifier::Eedn(EednClassifier::from_state(state)?)
+                WindowClassifier::Eedn(Box::new(EednClassifier::from_state(state)?))
             }
         };
         Ok(TrainedDetector { extractor, classifier })
@@ -172,7 +172,8 @@ mod tests {
             EednClassifierConfig { hidden1: 24, hidden2: 12, epochs: 2, ..Default::default() },
         )
         .unwrap();
-        let det = TrainedDetector { extractor: ex, classifier: WindowClassifier::Eedn(eedn) };
+        let det =
+            TrainedDetector { extractor: ex, classifier: WindowClassifier::Eedn(Box::new(eedn)) };
         let snap = det.to_snapshot();
         let json = serde_json::to_string(&snap).unwrap();
         let decoded: DetectorSnapshot = serde_json::from_str(&json).unwrap();

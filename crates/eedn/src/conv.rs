@@ -12,6 +12,13 @@
 //! and the `gw`/`galpha`/`gbias` gradients are bit-identical to the
 //! naive loops; only `grad_in` is tolerance-bound, because `col2im`
 //! reassociates its scatter sums.
+//!
+//! When the layer is trinary, [`Layer::infer_with`] routes through the
+//! multiply-free `gemm_trinary` over bitplane-packed weights instead of
+//! the f32 GEMM — bit-identical output (see `pcnn_kernels::trinary`),
+//! and `ops` instead of `flops` in traces. Training (`forward_with` /
+//! `backward_with`) stays on the f32 path, which needs the projected
+//! weights in float form anyway.
 
 use crate::init::trinary_uniform;
 use crate::layer::Layer;
@@ -20,7 +27,8 @@ use crate::reference::ConvSpec;
 use crate::tensor::Tensor;
 use crate::trinary::{clip_shadow, trinarize_into};
 use pcnn_kernels::{
-    col2im, gemm_abt, gemm_atb, gemm_prepacked, im2col, take_zeroed, ConvGeom, Scratch,
+    col2im, gemm_abt, gemm_atb, gemm_prepacked, gemm_trinary, im2col, take_resized, take_zeroed,
+    ConvGeom, Scratch,
 };
 
 /// A grouped 2-D convolution layer over `(batch, channels, h, w)` tensors.
@@ -189,6 +197,18 @@ impl Conv2d {
         (&self.gw, &self.galpha, &self.gbias)
     }
 
+    /// Replaces the shadow weights, so the equivalence tests can force
+    /// specific deployed densities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length doesn't match the layer's weight count.
+    #[doc(hidden)]
+    pub fn debug_set_shadow_weights(&mut self, w: &[f32]) {
+        assert_eq!(w.len(), self.w.len(), "weight count mismatch");
+        self.w.copy_from_slice(w);
+    }
+
     /// Packing geometry for one group over an `(h, w)` input.
     fn geom(&self, h: usize, w: usize) -> ConvGeom {
         ConvGeom {
@@ -235,7 +255,13 @@ impl Conv2d {
                 gemm_prepacked(gemm, wpack, cols, col, cols, cslice, cols);
             }
         }
-        let mut out = Tensor::zeros(&[batch, self.out_ch, ho, wo]);
+        let out = self.scale_pre(&pre, batch, cols);
+        (pre, out)
+    }
+
+    /// Applies the per-channel `α`/bias affine to a pre-scale tensor.
+    fn scale_pre(&self, pre: &Tensor, batch: usize, cols: usize) -> Tensor {
+        let mut out = Tensor::zeros(pre.shape());
         for n in 0..batch {
             for o in 0..self.out_ch {
                 let base = (n * self.out_ch + o) * cols;
@@ -247,7 +273,59 @@ impl Conv2d {
                 }
             }
         }
-        (pre, out)
+        out
+    }
+
+    /// [`Self::scale_pre`] applied in place, for inference where the
+    /// unscaled pre-activation is not kept. Same arithmetic per
+    /// element, so bit-identical to the copying form.
+    fn scale_pre_in_place(&self, pre: &mut Tensor, batch: usize, cols: usize) {
+        for n in 0..batch {
+            for o in 0..self.out_ch {
+                let base = (n * self.out_ch + o) * cols;
+                let (a, b) = (self.alpha[o], self.bias[o]);
+                for v in &mut pre.data_mut()[base..base + cols] {
+                    *v = a * *v + b;
+                }
+            }
+        }
+    }
+
+    /// The multiply-free inference path: weights bitplane-packed once
+    /// per group, each sample's column matrix consumed by
+    /// `gemm_trinary`. Bit-identical to [`Self::apply_with`] on a
+    /// trinary layer (the ascending-column bit walk reproduces the
+    /// im2col row order the f32 GEMM accumulates in).
+    fn infer_trinary_with(&self, input: &Tensor, s: &mut Scratch) -> Tensor {
+        assert!(self.trinary, "trinary path on a float layer");
+        assert_eq!(input.shape().len(), 4, "Conv2d takes (batch, channels, h, w)");
+        let (batch, cin, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!(cin, self.in_ch, "input channel mismatch");
+        let (ho, wo) = self.out_size(h, w);
+        let icg = self.in_ch / self.groups;
+        let ocg = self.out_ch / self.groups;
+        let geom = self.geom(h, w);
+        let krows = icg * self.k * self.k;
+        let cols = ho * wo;
+        let mut pre = Tensor::zeros(&[batch, self.out_ch, ho, wo]);
+        let Scratch { col, wbuf, wtri, .. } = s;
+        // Both scratch targets are fully overwritten (trinarize_into
+        // and im2col write every element), so plain resizes avoid two
+        // wasted zeroing passes per call.
+        let wb = take_resized(wbuf, self.w.len());
+        trinarize_into(&self.w, wb);
+        for g in 0..self.groups {
+            wtri.pack(&wb[g * ocg * krows..][..ocg * krows], krows, ocg, krows);
+            for n in 0..batch {
+                im2col(&geom, input.channels(n, g * icg, icg), take_resized(col, krows * cols));
+                let cslice =
+                    &mut pre.data_mut()[(n * self.out_ch + g * ocg) * cols..][..ocg * cols];
+                gemm_trinary(wtri, cols, col, cols, cslice, cols);
+            }
+        }
+        self.scale_pre_in_place(&mut pre, batch, cols);
+        pre
     }
 }
 
@@ -277,7 +355,11 @@ impl Layer for Conv2d {
     }
 
     fn infer_with(&self, input: &Tensor, scratch: &mut Scratch) -> Tensor {
-        self.apply_with(input, scratch).1
+        if self.trinary {
+            self.infer_trinary_with(input, scratch)
+        } else {
+            self.apply_with(input, scratch).1
+        }
     }
 
     fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {
@@ -296,7 +378,7 @@ impl Layer for Conv2d {
         let krows = icg * self.k * self.k;
         let cols = ho * wo;
         let mut grad_in = Tensor::zeros(input.shape());
-        let Scratch { gemm, col, dcol, wbuf, dbuf, wpack: _ } = scratch;
+        let Scratch { gemm, col, dcol, wbuf, dbuf, .. } = scratch;
         let w_eff: &[f32] = if self.trinary {
             let wb = take_zeroed(wbuf, self.w.len());
             trinarize_into(&self.w, wb);

@@ -18,6 +18,13 @@
 //! `pcnn-kernels`; all of them are bit-identical to the naive loops kept
 //! in [`crate::reference`] (each output element stays one sequential
 //! dot product — nothing reassociates).
+//!
+//! When the layer is trinary, [`Layer::infer_with`] routes through the
+//! multiply-free `gemm_trinary`: the group's input block is transposed
+//! into scratch (`in_g × batch`), multiplied against the bitplane-packed
+//! weights, and transposed back — each output element still accumulates
+//! its inputs in ascending order, so the result is bit-identical to the
+//! f32 path. Training stays on the f32 GEMMs.
 
 use crate::init::trinary_uniform;
 use crate::layer::Layer;
@@ -25,7 +32,7 @@ use crate::optimizer::adam_update;
 use crate::reference::LinearSpec;
 use crate::tensor::Tensor;
 use crate::trinary::{clip_shadow, trinarize, trinarize_into};
-use pcnn_kernels::{gemm, gemm_abt, gemm_atb, take_zeroed, Scratch};
+use pcnn_kernels::{gemm, gemm_abt, gemm_atb, gemm_trinary, take_resized, take_zeroed, Scratch};
 use serde::{Deserialize, Serialize};
 
 /// A grouped, optionally trinary, fully-connected layer.
@@ -183,6 +190,18 @@ impl GroupedLinear {
         (&self.gw, &self.galpha, &self.gbias)
     }
 
+    /// Replaces the shadow weights, so the equivalence tests can force
+    /// specific deployed densities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length doesn't match the layer's weight count.
+    #[doc(hidden)]
+    pub fn debug_set_shadow_weights(&mut self, w: &[f32]) {
+        assert_eq!(w.len(), self.w.len(), "weight count mismatch");
+        self.w.copy_from_slice(w);
+    }
+
     /// The pure forward computation: `(pre-scale, output)`.
     ///
     /// Per group: `pre_g [batch × out_g] = X_g [batch × in_g] · W_gᵀ`,
@@ -207,13 +226,69 @@ impl GroupedLinear {
             let cg = &mut pre.data_mut()[g * out_g..];
             gemm_abt(gs, batch, in_g, out_g, xg, self.in_dim, wg, in_g, cg, self.out_dim);
         }
+        let out = self.scale_pre(&pre, batch);
+        (pre, out)
+    }
+
+    /// Applies the per-output `α`/bias affine to a pre-scale tensor.
+    fn scale_pre(&self, pre: &Tensor, batch: usize) -> Tensor {
         let mut out = Tensor::zeros(&[batch, self.out_dim]);
         for n in 0..batch {
             for o in 0..self.out_dim {
                 *out.at2_mut(n, o) = self.alpha[o] * pre.at2(n, o) + self.bias[o];
             }
         }
-        (pre, out)
+        out
+    }
+
+    /// [`Self::scale_pre`] applied in place, for inference where the
+    /// unscaled pre-activation is not kept. Same arithmetic per
+    /// element, so bit-identical to the copying form.
+    fn scale_pre_in_place(&self, pre: &mut Tensor, batch: usize) {
+        for n in 0..batch {
+            for o in 0..self.out_dim {
+                let v = pre.at2_mut(n, o);
+                *v = self.alpha[o] * *v + self.bias[o];
+            }
+        }
+    }
+
+    /// The multiply-free inference path. `pre_gᵀ [out_g × batch] =
+    /// W⟨tri⟩_g · X_gᵀ [in_g × batch]`: each output element is one
+    /// ascending-input bit walk over the packed weight row, the same
+    /// accumulation order as the f32 `gemm_abt` — so bit-identical.
+    fn infer_trinary_with(&self, input: &Tensor, s: &mut Scratch) -> Tensor {
+        assert!(self.trinary, "trinary path on a float layer");
+        assert_eq!(input.shape().len(), 2, "GroupedLinear takes (batch, features)");
+        assert_eq!(input.shape()[1], self.in_dim, "input dim mismatch");
+        let batch = input.shape()[0];
+        let (in_g, out_g) = (self.in_dim / self.groups, self.out_dim / self.groups);
+        let mut pre = Tensor::zeros(&[batch, self.out_dim]);
+        let Scratch { wbuf, wtri, bt, ct, .. } = s;
+        // trinarize_into and the transpose pack overwrite every
+        // element of their targets, so plain resizes avoid wasted
+        // zeroing passes; `ct` stays zeroed — the GEMM accumulates.
+        let wb = take_resized(wbuf, self.w.len());
+        trinarize_into(&self.w, wb);
+        for g in 0..self.groups {
+            wtri.pack(&wb[g * out_g * in_g..][..out_g * in_g], in_g, out_g, in_g);
+            let btb = take_resized(bt, in_g * batch);
+            for n in 0..batch {
+                for (i, row) in btb.chunks_exact_mut(batch).enumerate() {
+                    row[n] = input.data()[n * self.in_dim + g * in_g + i];
+                }
+            }
+            let ctb = take_zeroed(ct, out_g * batch);
+            gemm_trinary(wtri, batch, btb, batch, ctb, batch);
+            for n in 0..batch {
+                let prow = &mut pre.data_mut()[n * self.out_dim + g * out_g..][..out_g];
+                for (ol, pv) in prow.iter_mut().enumerate() {
+                    *pv = ctb[ol * batch + n];
+                }
+            }
+        }
+        self.scale_pre_in_place(&mut pre, batch);
+        pre
     }
 }
 
@@ -243,7 +318,11 @@ impl Layer for GroupedLinear {
     }
 
     fn infer_with(&self, input: &Tensor, scratch: &mut Scratch) -> Tensor {
-        self.apply_with(input, scratch).1
+        if self.trinary {
+            self.infer_trinary_with(input, scratch)
+        } else {
+            self.apply_with(input, scratch).1
+        }
     }
 
     fn backward_with(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Tensor {

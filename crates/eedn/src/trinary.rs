@@ -7,6 +7,8 @@
 //! clipped to `[-1, 1]` after every update so the projection stays
 //! responsive to gradient pressure in both directions.
 
+pub use pcnn_kernels::TrinaryStats;
+
 /// Shadow-weight clipping bound.
 pub const SHADOW_CLIP: f32 = 1.0;
 /// Dead-zone half-width: shadows below this magnitude deploy as zero.
@@ -30,25 +32,52 @@ pub fn clip_shadow(shadow: f32) -> f32 {
     shadow.clamp(-SHADOW_CLIP, SHADOW_CLIP)
 }
 
-/// Projects a whole slice, writing the trinary values into `out`.
+/// Projects a whole slice, writing the trinary values into `out`, and
+/// returns the population counts — the same [`TrinaryStats`] the
+/// bitplane packer in `pcnn-kernels` reports, so deployment code can
+/// size/attribute the multiply-free path without a second pass.
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
-pub fn trinarize_into(shadows: &[f32], out: &mut [f32]) {
+pub fn trinarize_into(shadows: &[f32], out: &mut [f32]) -> TrinaryStats {
     assert_eq!(shadows.len(), out.len(), "length mismatch");
+    let mut stats = TrinaryStats { plus: 0, minus: 0, total: shadows.len() };
     for (o, &s) in out.iter_mut().zip(shadows) {
-        *o = trinarize(s);
+        let t = trinarize(s);
+        *o = t;
+        if t == 1.0 {
+            stats.plus += 1;
+        } else if t == -1.0 {
+            stats.minus += 1;
+        }
     }
+    stats
+}
+
+/// Population counts of the deployed projection of `shadows`, without
+/// materialising the projected values.
+pub fn stats(shadows: &[f32]) -> TrinaryStats {
+    let mut s = TrinaryStats { plus: 0, minus: 0, total: shadows.len() };
+    for &v in shadows {
+        let t = trinarize(v);
+        if t == 1.0 {
+            s.plus += 1;
+        } else if t == -1.0 {
+            s.minus += 1;
+        }
+    }
+    s
 }
 
 /// Fraction of non-zero deployed weights — the connectivity density a
 /// crossbar would actually program.
+///
+/// The empty slice has density `0.0` by definition (no weight is
+/// nonzero, so a crossbar would program no connections); this matches
+/// [`TrinaryStats::density`] on an empty buffer.
 pub fn density(shadows: &[f32]) -> f32 {
-    if shadows.is_empty() {
-        return 0.0;
-    }
-    shadows.iter().filter(|&&s| trinarize(s) != 0.0).count() as f32 / shadows.len() as f32
+    stats(shadows).density()
 }
 
 #[cfg(test)]
@@ -74,16 +103,35 @@ mod tests {
     }
 
     #[test]
-    fn bulk_projection() {
+    fn bulk_projection_reports_stats() {
         let s = [0.7, -0.7, 0.1];
         let mut out = [0.0; 3];
-        trinarize_into(&s, &mut out);
+        let stats = trinarize_into(&s, &mut out);
         assert_eq!(out, [1.0, -1.0, 0.0]);
+        assert_eq!(stats, TrinaryStats { plus: 1, minus: 1, total: 3 });
+        assert_eq!(stats.nonzero(), 2);
+    }
+
+    #[test]
+    fn stats_match_projection_without_materialising() {
+        let s = [0.7, -0.7, 0.1, -0.9];
+        let mut out = [0.0; 4];
+        assert_eq!(stats(&s), trinarize_into(&s, &mut out));
     }
 
     #[test]
     fn density_counts_nonzero() {
         assert_eq!(density(&[0.7, -0.7, 0.1, 0.2]), 0.5);
+        assert_eq!(density(&[0.1, 0.2]), 0.0);
+        assert_eq!(density(&[0.9, -0.9]), 1.0);
+    }
+
+    #[test]
+    fn density_of_empty_slice_is_zero_by_definition() {
+        // Documented behavior, not an accident: an empty buffer programs
+        // no crossbar connections.
         assert_eq!(density(&[]), 0.0);
+        assert_eq!(stats(&[]), TrinaryStats::default());
+        assert_eq!(TrinaryStats::default().density(), 0.0);
     }
 }

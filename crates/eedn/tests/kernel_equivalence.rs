@@ -136,6 +136,139 @@ fn grouped_linear_matches_reference_bitwise() {
     }
 }
 
+/// Shadow weights that deploy at an exact target density: `0.0` (all in
+/// the dead zone), `0.5` (alternating), or `1.0` (all ±1), with signs
+/// alternating among the nonzero slots.
+fn shadows_at_density(n: usize, density: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let nonzero = match density {
+                d if d == 0.0 => false,
+                d if d == 1.0 => true,
+                _ => i % 2 == 0,
+            };
+            if nonzero {
+                if i % 4 < 2 {
+                    0.9
+                } else {
+                    -0.9
+                }
+            } else {
+                0.1
+            }
+        })
+        .collect()
+}
+
+/// The trinary inference path across dead-zone densities 0%, 50% and
+/// 100%: bit-identical to the reference oracle AND to the f32 training
+/// forward, at every (k, stride, pad, groups) corner. The 0% case pins
+/// the degenerate all-zero bitplanes (output is pure bias), 100% the
+/// dense bit walk.
+#[test]
+fn trinary_density_sweep_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x7121_0000);
+    let (cin, cout, h, w) = (8usize, 8usize, 9usize, 7usize);
+    for density in [0.0f32, 0.5, 1.0] {
+        for k in [1usize, 3, 5] {
+            for stride in [1usize, 2] {
+                for pad in [0usize, 1] {
+                    for groups in [1usize, 4, 8] {
+                        let tag =
+                            format!("tri-conv d={density} k={k} s={stride} p={pad} g={groups}");
+                        let mut layer = Conv2d::new(cin, cout, k, stride, pad, groups, true, 3000);
+                        let n_w = cout * (cin / groups) * k * k;
+                        layer.debug_set_shadow_weights(&shadows_at_density(n_w, density));
+                        let w_eff = layer.effective_weights();
+                        assert_eq!(
+                            pcnn_eedn::trinary::density(&w_eff),
+                            density,
+                            "{tag}: crafted density"
+                        );
+                        let input = rand_tensor(&mut rng, &[2, cin, h, w]);
+                        let (_, out_ref) = conv2d_forward(
+                            &layer.spec(),
+                            &w_eff,
+                            layer.alpha(),
+                            layer.bias(),
+                            &input,
+                        );
+                        let inf = layer.infer(&input);
+                        assert_bits_eq(inf.data(), out_ref.data(), &format!("{tag}: infer"));
+                        let fwd = layer.forward(&input, false);
+                        assert_bits_eq(inf.data(), fwd.data(), &format!("{tag}: infer vs f32"));
+                    }
+                }
+            }
+        }
+        // GroupedLinear through the same densities.
+        for &(in_dim, out_dim, groups) in &[(8usize, 8usize, 2usize), (12, 8, 4), (6, 9, 3)] {
+            let tag = format!("tri-linear d={density} in={in_dim} out={out_dim} g={groups}");
+            let mut layer = GroupedLinear::new(in_dim, out_dim, groups, true, 4000);
+            let n_w = groups * (out_dim / groups) * (in_dim / groups);
+            layer.debug_set_shadow_weights(&shadows_at_density(n_w, density));
+            let w_eff = layer.effective_weights();
+            assert_eq!(pcnn_eedn::trinary::density(&w_eff), density, "{tag}: crafted density");
+            let input = rand_tensor(&mut rng, &[3, in_dim]);
+            let (_, out_ref) =
+                grouped_linear_forward(&layer.spec(), &w_eff, layer.alpha(), layer.bias(), &input);
+            let inf = layer.infer(&input);
+            assert_bits_eq(inf.data(), out_ref.data(), &format!("{tag}: infer"));
+            let fwd = layer.forward(&input, false);
+            assert_bits_eq(inf.data(), fwd.data(), &format!("{tag}: infer vs f32"));
+        }
+    }
+}
+
+/// Forcing the scalar fallback via `PCNN_KERNEL_BACKEND` must win over
+/// hardware detection, and the scalar kernels must agree bit-for-bit
+/// with whatever SIMD backend the CPU offers — on both the f32 and the
+/// trinary path. (Explicit-backend entry points are used for the
+/// comparison because the process-wide selection is cached on first
+/// kernel use; `crates/kernels/tests/dispatch_env.rs` covers the cached
+/// global in a single-test binary.)
+#[test]
+fn forced_scalar_dispatch_agrees_with_simd() {
+    use pcnn_kernels::SimdBackend;
+    std::env::set_var("PCNN_KERNEL_BACKEND", "scalar");
+    assert_eq!(pcnn_kernels::detect_backend(), SimdBackend::Scalar, "env override must win");
+    std::env::remove_var("PCNN_KERNEL_BACKEND");
+    let hw = pcnn_kernels::detect_backend();
+
+    let mut rng = SmallRng::seed_from_u64(0xd15_0e0);
+    let (m, k, n) = (13, 97, 29);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+    let mut s = pcnn_kernels::GemmScratch::default();
+    let mut c_scalar = vec![0.0f32; m * n];
+    pcnn_kernels::gemm_with_backend(
+        SimdBackend::Scalar,
+        &mut s,
+        m,
+        k,
+        n,
+        &a,
+        k,
+        &b,
+        n,
+        &mut c_scalar,
+        n,
+    );
+    let mut c_hw = vec![0.0f32; m * n];
+    pcnn_kernels::gemm_with_backend(hw, &mut s, m, k, n, &a, k, &b, n, &mut c_hw, n);
+    assert_bits_eq(&c_hw, &c_scalar, "f32 scalar vs simd");
+
+    let wtri: Vec<f32> =
+        shadows_at_density(m * k, 0.5).iter().map(|&v| pcnn_eedn::trinary::trinarize(v)).collect();
+    let mut tm = pcnn_kernels::TrinaryMatrix::default();
+    tm.pack(&wtri, k, m, k);
+    let mut t_scalar = vec![0.0f32; m * n];
+    pcnn_kernels::gemm_trinary_with_backend(SimdBackend::Scalar, &tm, n, &b, n, &mut t_scalar, n);
+    let mut t_hw = vec![0.0f32; m * n];
+    pcnn_kernels::gemm_trinary_with_backend(hw, &tm, n, &b, n, &mut t_hw, n);
+    assert_bits_eq(&t_hw, &t_scalar, "trinary scalar vs simd");
+}
+
 #[test]
 fn repeated_backward_accumulates_like_reference() {
     // Gradients accumulate across minibatches until `step`; the kernel

@@ -1,0 +1,635 @@
+//! Runtime SIMD dispatch for the micro-kernels.
+//!
+//! The widest instruction set is probed **once** per process (AVX2 on
+//! x86_64, NEON on aarch64) and every kernel entry point routes through
+//! the selected [`SimdBackend`]; the safe-scalar implementations remain
+//! the guaranteed fallback on every architecture. Setting the
+//! `PCNN_KERNEL_BACKEND` environment variable before the first kernel
+//! call overrides detection: `scalar` forces the fallback, `avx2` /
+//! `neon` request that backend (silently degrading to `scalar` when the
+//! CPU lacks it), and `auto` (or unset) probes the hardware.
+//!
+//! # Determinism contract
+//!
+//! Every SIMD micro-kernel vectorises **across output elements only**
+//! (the NR register-tile columns, or the independent columns of a
+//! trinary output-row tile): each output element still receives
+//! exactly the scalar kernel's sequence of operations, in the same
+//! order, as separate multiply and add instructions (never a fused
+//! multiply-add, which rounds once instead of twice). Backend
+//! selection therefore never changes a single output bit — the
+//! property `kernel_equivalence.rs` and this module's unit tests pin
+//! down.
+//!
+//! This is the one module in the crate allowed to contain `unsafe`
+//! code: the `core::arch` intrinsics it wraps are feature-gated
+//! functions whose callers prove availability at dispatch time.
+
+use crate::gemm::{MR, NR};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// A micro-kernel instruction-set tier, selected once at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// Safe scalar Rust — the guaranteed fallback everywhere.
+    Scalar,
+    /// 256-bit AVX2 lanes (x86_64 only).
+    Avx2,
+    /// 128-bit NEON lanes (aarch64 only).
+    Neon,
+}
+
+impl SimdBackend {
+    /// The backend's stable lowercase name, e.g. `"avx2"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Neon => "neon",
+        }
+    }
+}
+
+/// The widest backend this CPU supports.
+fn hw_detect() -> SimdBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdBackend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return SimdBackend::Neon;
+        }
+    }
+    SimdBackend::Scalar
+}
+
+/// Resolves an override string (the `PCNN_KERNEL_BACKEND` value)
+/// against the hardware. Pure, so tests can exercise every branch
+/// without touching the process environment.
+fn resolve(over: Option<&str>) -> SimdBackend {
+    match over {
+        Some("scalar") => SimdBackend::Scalar,
+        Some("avx2") => {
+            if hw_detect() == SimdBackend::Avx2 {
+                SimdBackend::Avx2
+            } else {
+                SimdBackend::Scalar
+            }
+        }
+        Some("neon") => {
+            if hw_detect() == SimdBackend::Neon {
+                SimdBackend::Neon
+            } else {
+                SimdBackend::Scalar
+            }
+        }
+        _ => hw_detect(),
+    }
+}
+
+/// Re-reads `PCNN_KERNEL_BACKEND` and the CPU features, bypassing the
+/// process-wide cache. Tests use this to assert what a fresh process
+/// would select; hot paths use [`active_backend`].
+pub fn detect_backend() -> SimdBackend {
+    resolve(std::env::var("PCNN_KERNEL_BACKEND").ok().as_deref())
+}
+
+/// The process-wide backend, detected on first use and fixed
+/// thereafter so every kernel call in a run uses the same lanes.
+pub fn active_backend() -> SimdBackend {
+    static ACTIVE: OnceLock<SimdBackend> = OnceLock::new();
+    *ACTIVE.get_or_init(detect_backend)
+}
+
+/// The active backend's name, e.g. `"avx2"`.
+pub fn backend_label() -> &'static str {
+    active_backend().name()
+}
+
+/// Set once the first trinary GEMM runs, so reports can attribute
+/// serving work to the multiply-free path.
+static TRINARY_USED: AtomicBool = AtomicBool::new(false);
+
+pub(crate) fn note_trinary_use() {
+    TRINARY_USED.store(true, Ordering::Relaxed);
+}
+
+/// A one-line description of the kernel configuration actually serving,
+/// e.g. `"trinary+avx2"` or `"f32+scalar"`: the trinary bitplane path
+/// once any [`gemm_trinary`](crate::gemm_trinary) call has run, the f32
+/// path otherwise, plus the active SIMD tier.
+pub fn backend_summary() -> String {
+    let numeric = if TRINARY_USED.load(Ordering::Relaxed) { "trinary" } else { "f32" };
+    format!("{numeric}+{}", backend_label())
+}
+
+/// The register tile: MR×NR running sums, each extended sequentially
+/// over the packed depth — the semantic every SIMD variant reproduces
+/// bit-for-bit.
+pub(crate) fn scalar_micro_kernel(acc: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let ai = av[i];
+            for (j, cell) in acc_row.iter_mut().enumerate() {
+                *cell += ai * bv[j];
+            }
+        }
+    }
+}
+
+/// Dispatches one register-tile update to the selected backend.
+#[inline]
+#[allow(unsafe_code)] // feature availability proven at dispatch time
+pub(crate) fn micro_kernel(kb: SimdBackend, acc: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
+    match kb {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` is only ever produced by `resolve` after
+        // `is_x86_feature_detected!("avx2")` succeeded on this CPU.
+        SimdBackend::Avx2 => unsafe { x86::micro_kernel_avx2(acc, ap, bp) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` is only ever produced by `resolve` after
+        // `is_aarch64_feature_detected!("neon")` succeeded on this CPU.
+        SimdBackend::Neon => unsafe { arm::micro_kernel_neon(acc, ap, bp) },
+        _ => scalar_micro_kernel(acc, ap, bp),
+    }
+}
+
+/// One output-row tile of the trinary GEMM, scalar form: for every set
+/// bit `k` of the row's bitplanes (ascending), `crow[j] ±= b[k*ldb+j]`.
+/// Each output element receives exactly its ascending-`k` sequence of
+/// adds and subs — the semantic every SIMD variant reproduces
+/// bit-for-bit, whatever its register blocking.
+pub(crate) fn scalar_trinary_row_tile(
+    crow: &mut [f32],
+    b: &[f32],
+    ldb: usize,
+    plus: &[u64],
+    minus: &[u64],
+) {
+    for (wi, (&pw, &mw)) in plus.iter().zip(minus).enumerate() {
+        let mut bits = pw | mw;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let brow = &b[(wi * 64 + bit) * ldb..][..crow.len()];
+            if pw >> bit & 1 == 1 {
+                for (d, s) in crow.iter_mut().zip(brow) {
+                    *d += s;
+                }
+            } else {
+                for (d, s) in crow.iter_mut().zip(brow) {
+                    *d -= s;
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches one trinary output-row tile to the selected backend:
+/// `crow[j] ±= b[k*ldb + j]` for every set bit `k` of the row's
+/// bitplanes, visited in ascending order. The SIMD variants hold a
+/// block of `crow` in registers across the whole bit walk, so each
+/// nonzero weight costs one streamed load + add per lane instead of a
+/// load/add/store round-trip through L1.
+///
+/// # Panics
+///
+/// Panics if the bitplanes differ in length, or if `b` is too short
+/// for the highest set bit at stride `ldb`.
+#[inline]
+#[allow(unsafe_code)] // feature availability proven at dispatch time
+pub(crate) fn trinary_row_tile(
+    kb: SimdBackend,
+    crow: &mut [f32],
+    b: &[f32],
+    ldb: usize,
+    plus: &[u64],
+    minus: &[u64],
+) {
+    assert_eq!(plus.len(), minus.len(), "bitplane length mismatch");
+    // Bounds proof for the raw-pointer kernels: the highest set bit
+    // indexes the last B row segment any backend will touch.
+    let Some(kmax) = plus
+        .iter()
+        .zip(minus)
+        .enumerate()
+        .rev()
+        .find(|(_, (&p, &m))| p | m != 0)
+        .map(|(wi, (&p, &m))| wi * 64 + (63 - (p | m).leading_zeros() as usize))
+    else {
+        return; // all-zero row: nothing to accumulate
+    };
+    assert!(kmax * ldb + crow.len() <= b.len(), "B exceeds slice");
+    match kb {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` availability proven at dispatch time (see
+        // above); row bounds proven by the `kmax` assertion.
+        SimdBackend::Avx2 => unsafe { x86::trinary_row_tile_avx2(crow, b, ldb, plus, minus) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` availability proven at dispatch time (see
+        // above); row bounds proven by the `kmax` assertion.
+        SimdBackend::Neon => unsafe { arm::trinary_row_tile_neon(crow, b, ldb, plus, minus) },
+        _ => scalar_trinary_row_tile(crow, b, ldb, plus, minus),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::{MR, NR};
+    use core::arch::x86_64::*;
+
+    // The 4×8 tile maps each accumulator row onto one 256-bit register;
+    // both constants are load-bearing for the hand-unrolled body below.
+    const _: () = assert!(MR == 4 && NR == 8);
+
+    /// One register-tile update with AVX lanes: per depth step, one
+    /// broadcast `a` per row, one `b` load, and separate mul + add
+    /// (no FMA — fusing would round once where the scalar kernel
+    /// rounds twice, breaking bit-identity).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn micro_kernel_avx2(acc: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
+        let mut c0 = _mm256_loadu_ps(acc[0].as_ptr());
+        let mut c1 = _mm256_loadu_ps(acc[1].as_ptr());
+        let mut c2 = _mm256_loadu_ps(acc[2].as_ptr());
+        let mut c3 = _mm256_loadu_ps(acc[3].as_ptr());
+        for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+            let b = _mm256_loadu_ps(bv.as_ptr());
+            c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_set1_ps(av[0]), b));
+            c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_set1_ps(av[1]), b));
+            c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_set1_ps(av[2]), b));
+            c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_set1_ps(av[3]), b));
+        }
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), c0);
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), c1);
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), c2);
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), c3);
+    }
+
+    /// One trinary output-row tile with AVX lanes: 64 accumulator
+    /// columns stay resident in eight 256-bit registers while the
+    /// row's nonzero weights stream `B` row segments through one add
+    /// or sub each — no per-weight round-trip of the accumulator
+    /// through L1. Narrower 8-wide and scalar loops finish the tail;
+    /// per element the operation sequence (ascending `k`) is the same
+    /// everywhere, so blocking width never changes a bit.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2, and `b` must cover
+    /// `k*ldb + crow.len()` for every set bit `k` (checked by the
+    /// safe dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn trinary_row_tile_avx2(
+        crow: &mut [f32],
+        b: &[f32],
+        ldb: usize,
+        plus: &[u64],
+        minus: &[u64],
+    ) {
+        let n = crow.len();
+        let words = plus.len();
+        let mut j = 0;
+        while j + 64 <= n {
+            let cp = crow.as_mut_ptr().add(j);
+            let mut acc = [
+                _mm256_loadu_ps(cp),
+                _mm256_loadu_ps(cp.add(8)),
+                _mm256_loadu_ps(cp.add(16)),
+                _mm256_loadu_ps(cp.add(24)),
+                _mm256_loadu_ps(cp.add(32)),
+                _mm256_loadu_ps(cp.add(40)),
+                _mm256_loadu_ps(cp.add(48)),
+                _mm256_loadu_ps(cp.add(56)),
+            ];
+            for wi in 0..words {
+                let pw = *plus.get_unchecked(wi);
+                let mw = *minus.get_unchecked(wi);
+                let mut bits = pw | mw;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let bp = b.as_ptr().add((wi * 64 + bit) * ldb + j);
+                    if pw >> bit & 1 == 1 {
+                        for (l, a) in acc.iter_mut().enumerate() {
+                            *a = _mm256_add_ps(*a, _mm256_loadu_ps(bp.add(8 * l)));
+                        }
+                    } else {
+                        for (l, a) in acc.iter_mut().enumerate() {
+                            *a = _mm256_sub_ps(*a, _mm256_loadu_ps(bp.add(8 * l)));
+                        }
+                    }
+                }
+            }
+            for (l, a) in acc.iter().enumerate() {
+                _mm256_storeu_ps(cp.add(8 * l), *a);
+            }
+            j += 64;
+        }
+        while j + 8 <= n {
+            let cp = crow.as_mut_ptr().add(j);
+            let mut acc = _mm256_loadu_ps(cp);
+            for wi in 0..words {
+                let pw = *plus.get_unchecked(wi);
+                let mw = *minus.get_unchecked(wi);
+                let mut bits = pw | mw;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let s = _mm256_loadu_ps(b.as_ptr().add((wi * 64 + bit) * ldb + j));
+                    acc = if pw >> bit & 1 == 1 {
+                        _mm256_add_ps(acc, s)
+                    } else {
+                        _mm256_sub_ps(acc, s)
+                    };
+                }
+            }
+            _mm256_storeu_ps(cp, acc);
+            j += 8;
+        }
+        while j < n {
+            let mut acc = *crow.get_unchecked(j);
+            for wi in 0..words {
+                let pw = *plus.get_unchecked(wi);
+                let mw = *minus.get_unchecked(wi);
+                let mut bits = pw | mw;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let s = *b.get_unchecked((wi * 64 + bit) * ldb + j);
+                    if pw >> bit & 1 == 1 {
+                        acc += s;
+                    } else {
+                        acc -= s;
+                    }
+                }
+            }
+            *crow.get_unchecked_mut(j) = acc;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod arm {
+    use super::{MR, NR};
+    use core::arch::aarch64::*;
+
+    // Each accumulator row maps onto two 128-bit registers.
+    const _: () = assert!(MR == 4 && NR == 8);
+
+    /// One register-tile update with NEON lanes: separate `vmulq` +
+    /// `vaddq` per half-row (never `vmlaq`, which fuses and would
+    /// break bit-identity with the scalar kernel).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support NEON.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn micro_kernel_neon(acc: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
+        let mut c: [[float32x4_t; 2]; MR] = [
+            [vld1q_f32(acc[0].as_ptr()), vld1q_f32(acc[0].as_ptr().add(4))],
+            [vld1q_f32(acc[1].as_ptr()), vld1q_f32(acc[1].as_ptr().add(4))],
+            [vld1q_f32(acc[2].as_ptr()), vld1q_f32(acc[2].as_ptr().add(4))],
+            [vld1q_f32(acc[3].as_ptr()), vld1q_f32(acc[3].as_ptr().add(4))],
+        ];
+        for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+            let b0 = vld1q_f32(bv.as_ptr());
+            let b1 = vld1q_f32(bv.as_ptr().add(4));
+            for (i, row) in c.iter_mut().enumerate() {
+                let a = vdupq_n_f32(av[i]);
+                row[0] = vaddq_f32(row[0], vmulq_f32(a, b0));
+                row[1] = vaddq_f32(row[1], vmulq_f32(a, b1));
+            }
+        }
+        for (i, row) in c.iter().enumerate() {
+            vst1q_f32(acc[i].as_mut_ptr(), row[0]);
+            vst1q_f32(acc[i].as_mut_ptr().add(4), row[1]);
+        }
+    }
+
+    /// One trinary output-row tile with NEON lanes: 32 accumulator
+    /// columns stay resident in eight 128-bit registers while the
+    /// row's nonzero weights stream `B` row segments through one add
+    /// or sub each. Narrower 4-wide and scalar loops finish the tail;
+    /// per element the operation sequence (ascending `k`) is the same
+    /// everywhere, so blocking width never changes a bit.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support NEON, and `b` must cover
+    /// `k*ldb + crow.len()` for every set bit `k` (checked by the
+    /// safe dispatcher).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn trinary_row_tile_neon(
+        crow: &mut [f32],
+        b: &[f32],
+        ldb: usize,
+        plus: &[u64],
+        minus: &[u64],
+    ) {
+        let n = crow.len();
+        let words = plus.len();
+        let mut j = 0;
+        while j + 32 <= n {
+            let cp = crow.as_mut_ptr().add(j);
+            let mut acc = [
+                vld1q_f32(cp),
+                vld1q_f32(cp.add(4)),
+                vld1q_f32(cp.add(8)),
+                vld1q_f32(cp.add(12)),
+                vld1q_f32(cp.add(16)),
+                vld1q_f32(cp.add(20)),
+                vld1q_f32(cp.add(24)),
+                vld1q_f32(cp.add(28)),
+            ];
+            for wi in 0..words {
+                let pw = *plus.get_unchecked(wi);
+                let mw = *minus.get_unchecked(wi);
+                let mut bits = pw | mw;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let bp = b.as_ptr().add((wi * 64 + bit) * ldb + j);
+                    if pw >> bit & 1 == 1 {
+                        for (l, a) in acc.iter_mut().enumerate() {
+                            *a = vaddq_f32(*a, vld1q_f32(bp.add(4 * l)));
+                        }
+                    } else {
+                        for (l, a) in acc.iter_mut().enumerate() {
+                            *a = vsubq_f32(*a, vld1q_f32(bp.add(4 * l)));
+                        }
+                    }
+                }
+            }
+            for (l, a) in acc.iter().enumerate() {
+                vst1q_f32(cp.add(4 * l), *a);
+            }
+            j += 32;
+        }
+        while j + 4 <= n {
+            let cp = crow.as_mut_ptr().add(j);
+            let mut acc = vld1q_f32(cp);
+            for wi in 0..words {
+                let pw = *plus.get_unchecked(wi);
+                let mw = *minus.get_unchecked(wi);
+                let mut bits = pw | mw;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let s = vld1q_f32(b.as_ptr().add((wi * 64 + bit) * ldb + j));
+                    acc = if pw >> bit & 1 == 1 { vaddq_f32(acc, s) } else { vsubq_f32(acc, s) };
+                }
+            }
+            vst1q_f32(cp, acc);
+            j += 4;
+        }
+        while j < n {
+            let mut acc = *crow.get_unchecked(j);
+            for wi in 0..words {
+                let pw = *plus.get_unchecked(wi);
+                let mw = *minus.get_unchecked(wi);
+                let mut bits = pw | mw;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let s = *b.get_unchecked((wi * 64 + bit) * ldb + j);
+                    if pw >> bit & 1 == 1 {
+                        acc += s;
+                    } else {
+                        acc -= s;
+                    }
+                }
+            }
+            *crow.get_unchecked_mut(j) = acc;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(rng: &mut SmallRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.random_range(-1.0..1.0f32)).collect()
+    }
+
+    #[test]
+    fn resolve_honors_overrides() {
+        assert_eq!(resolve(Some("scalar")), SimdBackend::Scalar);
+        assert_eq!(resolve(None), hw_detect());
+        assert_eq!(resolve(Some("auto")), hw_detect());
+        assert_eq!(resolve(Some("nonsense")), hw_detect());
+        // Requesting a specific tier yields it only when available,
+        // falling back to scalar (never a different SIMD tier).
+        for (req, tier) in [("avx2", SimdBackend::Avx2), ("neon", SimdBackend::Neon)] {
+            let got = resolve(Some(req));
+            if hw_detect() == tier {
+                assert_eq!(got, tier);
+            } else {
+                assert_eq!(got, SimdBackend::Scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(SimdBackend::Scalar.name(), "scalar");
+        assert_eq!(SimdBackend::Avx2.name(), "avx2");
+        assert_eq!(SimdBackend::Neon.name(), "neon");
+    }
+
+    /// Every available backend's micro-kernel must reproduce the scalar
+    /// tile bit-for-bit across random tiles and depths.
+    #[test]
+    fn simd_micro_kernel_is_bit_identical_to_scalar() {
+        let mut rng = SmallRng::seed_from_u64(0xd15_a);
+        for kc in [1usize, 2, 7, 64, 256] {
+            let ap = rand_vec(&mut rng, kc * MR);
+            let bp = rand_vec(&mut rng, kc * NR);
+            let mut base = [[0.0f32; NR]; MR];
+            for row in base.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = rng.random_range(-1.0..1.0);
+                }
+            }
+            let mut want = base;
+            scalar_micro_kernel(&mut want, &ap, &bp);
+            let mut got = base;
+            micro_kernel(hw_detect(), &mut got, &ap, &bp);
+            for i in 0..MR {
+                for j in 0..NR {
+                    assert_eq!(
+                        got[i][j].to_bits(),
+                        want[i][j].to_bits(),
+                        "kc={kc} tile[{i}][{j}]: {} vs {}",
+                        got[i][j],
+                        want[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// The register-blocked trinary row tile — wide blocks, narrow
+    /// blocks and both tails — must match the scalar walk exactly on
+    /// every backend, across word counts and densities.
+    #[test]
+    fn simd_trinary_row_tile_is_bit_identical_to_scalar() {
+        let mut rng = SmallRng::seed_from_u64(0xd15_b);
+        for words in [1usize, 3, 5] {
+            for len in [1usize, 3, 8, 31, 32, 63, 64, 65, 100, 256, 300] {
+                let kdim = words * 64;
+                let ldb = len + 5;
+                let b = rand_vec(&mut rng, kdim * ldb);
+                let base = rand_vec(&mut rng, len);
+                for density in [0.0f64, 0.3, 1.0] {
+                    let mut plus = vec![0u64; words];
+                    let mut minus = vec![0u64; words];
+                    for k in 0..kdim {
+                        if rng.random_bool(density) {
+                            let target = if rng.random_bool(0.5) { &mut plus } else { &mut minus };
+                            target[k / 64] |= 1 << (k % 64);
+                        }
+                    }
+                    let mut want = base.clone();
+                    scalar_trinary_row_tile(&mut want, &b, ldb, &plus, &minus);
+                    let mut got = base.clone();
+                    trinary_row_tile(hw_detect(), &mut got, &b, ldb, &plus, &minus);
+                    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "words={words} len={len} density={density} [{i}]: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_summary_names_the_numeric_path() {
+        let summary = backend_summary();
+        assert!(
+            summary == format!("f32+{}", backend_label())
+                || summary == format!("trinary+{}", backend_label()),
+            "unexpected summary {summary}"
+        );
+        note_trinary_use();
+        assert_eq!(backend_summary(), format!("trinary+{}", backend_label()));
+    }
+}

@@ -15,7 +15,12 @@
 //! only *across* output elements, never within one. The result is
 //! bit-identical to the textbook three-loop product for all finite
 //! inputs — the property the `pcnn-eedn` reference-equivalence tests pin
-//! down.
+//! down. The register tile runs on the SIMD backend selected at startup
+//! (see [`crate::dispatch`]); because every backend reproduces the
+//! scalar tile bit-for-bit, the contract holds regardless of which one
+//! is active.
+
+use crate::dispatch::{self, SimdBackend};
 
 /// Rows per register tile (micro-kernel height).
 pub const MR: usize = 4;
@@ -116,7 +121,46 @@ pub fn gemm(
     c: &mut [f32],
     ldc: usize,
 ) {
-    driver(s, m, k, n, a, lda, Op::Plain, None, b, ldb, Op::Plain, c, ldc);
+    driver(
+        dispatch::active_backend(),
+        s,
+        m,
+        k,
+        n,
+        a,
+        lda,
+        Op::Plain,
+        None,
+        b,
+        ldb,
+        Op::Plain,
+        c,
+        ldc,
+    );
+}
+
+/// [`gemm`] on an explicit [`SimdBackend`] instead of the process-wide
+/// selection. Results are bit-identical across backends; tests use this
+/// to compare lanes directly, benches to time scalar vs SIMD.
+///
+/// # Panics
+///
+/// Panics if a slice is too short for its described matrix.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemm parameter list
+pub fn gemm_with_backend(
+    kb: SimdBackend,
+    s: &mut GemmScratch,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    driver(kb, s, m, k, n, a, lda, Op::Plain, None, b, ldb, Op::Plain, c, ldc);
 }
 
 /// `C += Aᵀ · B`: `a` is stored `k × m` (stride `lda`).
@@ -137,7 +181,22 @@ pub fn gemm_atb(
     c: &mut [f32],
     ldc: usize,
 ) {
-    driver(s, m, k, n, a, lda, Op::Trans, None, b, ldb, Op::Plain, c, ldc);
+    driver(
+        dispatch::active_backend(),
+        s,
+        m,
+        k,
+        n,
+        a,
+        lda,
+        Op::Trans,
+        None,
+        b,
+        ldb,
+        Op::Plain,
+        c,
+        ldc,
+    );
 }
 
 /// `C += A · Bᵀ`: `b` is stored `n × k` (stride `ldb`).
@@ -158,7 +217,22 @@ pub fn gemm_abt(
     c: &mut [f32],
     ldc: usize,
 ) {
-    driver(s, m, k, n, a, lda, Op::Plain, None, b, ldb, Op::Trans, c, ldc);
+    driver(
+        dispatch::active_backend(),
+        s,
+        m,
+        k,
+        n,
+        a,
+        lda,
+        Op::Plain,
+        None,
+        b,
+        ldb,
+        Op::Trans,
+        c,
+        ldc,
+    );
 }
 
 /// `C += A · B` with `A` packed once via [`PackedA::pack`].
@@ -179,7 +253,22 @@ pub fn gemm_prepacked(
     c: &mut [f32],
     ldc: usize,
 ) {
-    driver(s, pa.m, pa.k, n, &[], 0, Op::Plain, Some(&pa.data), b, ldb, Op::Plain, c, ldc);
+    driver(
+        dispatch::active_backend(),
+        s,
+        pa.m,
+        pa.k,
+        n,
+        &[],
+        0,
+        Op::Plain,
+        Some(&pa.data),
+        b,
+        ldb,
+        Op::Plain,
+        c,
+        ldc,
+    );
 }
 
 /// The shared blocked driver. `prepacked` supplies `A` in full-depth
@@ -187,6 +276,7 @@ pub fn gemm_prepacked(
 /// packed into scratch on the fly.
 #[allow(clippy::too_many_arguments)]
 fn driver(
+    kb: SimdBackend,
     s: &mut GemmScratch,
     m: usize,
     k: usize,
@@ -236,7 +326,7 @@ fn driver(
                         (&s.apack[..], kc * MR, 0)
                     }
                 };
-                block_kernel(c, ldc, m0, n0, apanels, astride, akoff, &s.bpack, mb, nb, kc);
+                block_kernel(kb, c, ldc, m0, n0, apanels, astride, akoff, &s.bpack, mb, nb, kc);
             }
         }
     }
@@ -318,6 +408,7 @@ fn pack_b_block(
 /// B-block, extending the running sums held in `C`.
 #[allow(clippy::too_many_arguments)]
 fn block_kernel(
+    kb: SimdBackend,
     c: &mut [f32],
     ldc: usize,
     row0: usize,
@@ -343,24 +434,10 @@ fn block_kernel(
                 let crow = &c[(row0 + ir + i) * ldc + col0 + jr..][..nw];
                 acc_row[..nw].copy_from_slice(crow);
             }
-            micro_kernel(&mut acc, ap, bp);
+            dispatch::micro_kernel(kb, &mut acc, ap, bp);
             for (i, acc_row) in acc.iter().enumerate().take(mh) {
                 let crow = &mut c[(row0 + ir + i) * ldc + col0 + jr..][..nw];
                 crow.copy_from_slice(&acc_row[..nw]);
-            }
-        }
-    }
-}
-
-/// The register tile: MR×NR running sums, each extended sequentially
-/// over the packed depth.
-#[inline]
-fn micro_kernel(acc: &mut [[f32; NR]; MR], ap: &[f32], bp: &[f32]) {
-    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
-        for (i, acc_row) in acc.iter_mut().enumerate() {
-            let ai = av[i];
-            for (j, cell) in acc_row.iter_mut().enumerate() {
-                *cell += ai * bv[j];
             }
         }
     }
@@ -480,6 +557,21 @@ mod tests {
             assert_eq!((pa.rows(), pa.depth()), (m, k));
             gemm_prepacked(&mut s, &pa, n, &b, n, &mut c, n);
             assert_bits_eq(&c, &naive(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    fn explicit_backends_match_active_selection_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(0x6E_06);
+        let mut s = GemmScratch::default();
+        for (m, k, n) in shape_sweep() {
+            let a = rand_vec(&mut rng, m * k);
+            let b = rand_vec(&mut rng, k * n);
+            let mut c_active = vec![0.0f32; m * n];
+            gemm(&mut s, m, k, n, &a, k, &b, n, &mut c_active, n);
+            let mut c_scalar = vec![0.0f32; m * n];
+            gemm_with_backend(SimdBackend::Scalar, &mut s, m, k, n, &a, k, &b, n, &mut c_scalar, n);
+            assert_bits_eq(&c_active, &c_scalar);
         }
     }
 

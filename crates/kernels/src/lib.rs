@@ -1,20 +1,32 @@
 //! Compute kernels for the PCNN reproduction: a cache-blocked,
-//! register-tiled `f32` GEMM with a bit-exact determinism contract,
-//! `im2col`/`col2im` packing for GEMM-backed convolution, and the
-//! reusable [`Scratch`] buffers the eedn layers thread through their
-//! hot paths.
+//! register-tiled `f32` GEMM with a bit-exact determinism contract, a
+//! multiply-free [`gemm_trinary`] over bitplane-packed `{-1, 0, 1}`
+//! weights, `im2col`/`col2im` packing for GEMM-backed convolution,
+//! runtime SIMD [`dispatch`] (AVX2/NEON with a safe-scalar fallback),
+//! and the reusable [`Scratch`] buffers the eedn layers thread through
+//! their hot paths.
 //!
 //! See `DESIGN.md` ("Compute kernels") for the blocking scheme and the
 //! determinism argument; `crates/eedn/src/reference.rs` keeps the naive
 //! loops as the golden oracle these kernels are tested against.
+//!
+//! `unsafe` is denied crate-wide and allowed only inside the
+//! arch-specific intrinsic wrappers in [`dispatch`], each gated behind
+//! runtime feature detection.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod gemm;
 pub mod pack;
 pub mod scratch;
+pub mod trinary;
 
-pub use gemm::{gemm, gemm_abt, gemm_atb, gemm_prepacked, GemmScratch, PackedA, MR, NR};
+pub use dispatch::{backend_label, backend_summary, detect_backend, SimdBackend};
+pub use gemm::{
+    gemm, gemm_abt, gemm_atb, gemm_prepacked, gemm_with_backend, GemmScratch, PackedA, MR, NR,
+};
 pub use pack::{col2im, im2col, ConvGeom};
-pub use scratch::{take_zeroed, Scratch};
+pub use scratch::{take_resized, take_zeroed, Scratch};
+pub use trinary::{gemm_trinary, gemm_trinary_with_backend, TrinaryMatrix, TrinaryStats};

@@ -68,6 +68,17 @@ pub fn im2col(g: &ConvGeom, img: &[f32], col: &mut [f32]) {
         for ky in 0..g.k {
             for kx in 0..g.k {
                 let dst = row.next().expect("row count");
+                // The in-bounds output positions form one contiguous
+                // run: ix = ox*stride + kx - pad lies in [0, w) iff
+                // ox in [ox_lo, ox_hi). Padding fills flank it, and
+                // for stride 1 the run is a straight span copy.
+                let ox_lo = g.pad.saturating_sub(kx).div_ceil(g.stride.max(1)).min(wo);
+                let ox_hi = if g.w + g.pad > kx {
+                    ((g.w + g.pad - kx - 1) / g.stride + 1).min(wo)
+                } else {
+                    0
+                }
+                .max(ox_lo);
                 let mut idx = 0;
                 for oy in 0..ho {
                     let iy = (oy * g.stride + ky) as isize - g.pad as isize;
@@ -77,12 +88,18 @@ pub fn im2col(g: &ConvGeom, img: &[f32], col: &mut [f32]) {
                         continue;
                     }
                     let src = &plane[iy as usize * g.w..][..g.w];
-                    for ox in 0..wo {
-                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                        dst[idx] =
-                            if ix < 0 || ix >= g.w as isize { 0.0 } else { src[ix as usize] };
-                        idx += 1;
+                    dst[idx..idx + ox_lo].fill(0.0);
+                    let run = &mut dst[idx + ox_lo..idx + ox_hi];
+                    let ix0 = ox_lo * g.stride + kx - g.pad;
+                    if g.stride == 1 {
+                        run.copy_from_slice(&src[ix0..ix0 + run.len()]);
+                    } else {
+                        for (d, s) in run.iter_mut().zip(src[ix0..].iter().step_by(g.stride)) {
+                            *d = *s;
+                        }
                     }
+                    dst[idx + ox_hi..idx + wo].fill(0.0);
+                    idx += wo;
                 }
             }
         }

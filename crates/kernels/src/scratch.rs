@@ -1,6 +1,7 @@
 //! Reusable scratch buffers threaded through the eedn compute layer.
 
 use crate::gemm::{GemmScratch, PackedA};
+use crate::trinary::TrinaryMatrix;
 
 /// All per-call temporaries the GEMM-backed layers need, grouped so a
 /// network can allocate once and reuse across every layer and step.
@@ -22,6 +23,15 @@ pub struct Scratch {
     pub dbuf: Vec<f32>,
     /// Weight matrix packed once per call and reused across the batch.
     pub wpack: PackedA,
+    /// Trinary weight bitplanes packed once per call on the inference
+    /// path and reused across the batch.
+    pub wtri: TrinaryMatrix,
+    /// Transposed input block (`in × batch`) for the trinary linear
+    /// path.
+    pub bt: Vec<f32>,
+    /// Transposed output block (`out × batch`) for the trinary linear
+    /// path.
+    pub ct: Vec<f32>,
 }
 
 /// Resizes `buf` to `len` and zeroes the live prefix, returning it as a
@@ -32,9 +42,28 @@ pub fn take_zeroed(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
     &mut buf[..]
 }
 
+/// Resizes `buf` to `len` **without** clearing surviving contents:
+/// for scratch slices whose next use overwrites every element (an
+/// `im2col` destination, a transpose pack, a trinarize target), where
+/// re-zeroing would only add a wasted pass over the buffer. Elements
+/// beyond the old length come back zeroed; the rest keep stale values.
+pub fn take_resized(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    buf.resize(len, 0.0);
+    &mut buf[..]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn take_resized_keeps_surviving_contents() {
+        let mut v = vec![1.0f32, 2.0];
+        let s = take_resized(&mut v, 4);
+        assert_eq!(s, &[1.0, 2.0, 0.0, 0.0], "old prefix survives, growth is zeroed");
+        let s = take_resized(&mut v, 2);
+        assert_eq!(s, &[1.0, 2.0]);
+    }
 
     #[test]
     fn take_zeroed_resets_contents_and_keeps_capacity() {

@@ -1,0 +1,62 @@
+//! Forces the scalar fallback via `PCNN_KERNEL_BACKEND` and pins that
+//! (a) the override wins over hardware detection and (b) scalar output
+//! agrees bit-for-bit with the widest SIMD backend this CPU offers.
+//!
+//! This lives in its own test binary with a single `#[test]` so the
+//! environment variable is set before anything can populate the
+//! process-wide `OnceLock` backend cache.
+
+use pcnn_kernels::{
+    gemm_trinary_with_backend, gemm_with_backend, GemmScratch, SimdBackend, TrinaryMatrix,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn forced_scalar_backend_agrees_with_simd() {
+    // Safety of set_var is not a concern here: this binary has exactly
+    // one test, so no other thread exists yet.
+    std::env::set_var("PCNN_KERNEL_BACKEND", "scalar");
+    assert_eq!(pcnn_kernels::detect_backend(), SimdBackend::Scalar);
+    assert_eq!(pcnn_kernels::backend_label(), "scalar");
+
+    // The widest backend a fresh process would pick with no override.
+    std::env::remove_var("PCNN_KERNEL_BACKEND");
+    let hw = pcnn_kernels::detect_backend();
+
+    let mut rng = SmallRng::seed_from_u64(0xd15_c);
+    let (m, k, n) = (17, 131, 45);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.random_range(-1.0..1.0f32)).collect();
+
+    // f32 path: global entry (cached scalar) vs explicit SIMD backend.
+    let mut s = GemmScratch::default();
+    let mut c_global = vec![0.0f32; m * n];
+    pcnn_kernels::gemm(&mut s, m, k, n, &a, k, &b, n, &mut c_global, n);
+    let mut c_hw = vec![0.0f32; m * n];
+    gemm_with_backend(hw, &mut s, m, k, n, &a, k, &b, n, &mut c_hw, n);
+    for (i, (g, w)) in c_global.iter().zip(&c_hw).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "f32 element {i}: {g} vs {w}");
+    }
+
+    // Trinary path: same comparison over bitplane-packed weights.
+    let wtri: Vec<f32> = (0..m * k)
+        .map(|_| match rng.random_range(0..4) {
+            0 => 1.0,
+            1 => -1.0,
+            _ => 0.0,
+        })
+        .collect();
+    let mut tm = TrinaryMatrix::default();
+    tm.pack(&wtri, k, m, k);
+    let mut t_global = vec![0.0f32; m * n];
+    pcnn_kernels::gemm_trinary(&tm, n, &b, n, &mut t_global, n);
+    let mut t_hw = vec![0.0f32; m * n];
+    gemm_trinary_with_backend(hw, &tm, n, &b, n, &mut t_hw, n);
+    for (i, (g, w)) in t_global.iter().zip(&t_hw).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "trinary element {i}: {g} vs {w}");
+    }
+
+    // The summary reflects both the forced backend and the trinary use.
+    assert_eq!(pcnn_kernels::backend_summary(), "trinary+scalar");
+}

@@ -387,6 +387,7 @@ impl Metrics {
             stalls_detected: self.stalls_detected.load(Ordering::Relaxed),
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             checkpoints_restored: self.checkpoints_restored.load(Ordering::Relaxed),
+            kernel_backend: pcnn_kernels::backend_summary(),
             system,
             trace: None,
         }
@@ -399,6 +400,11 @@ impl Metrics {
 /// dependency-free, so the serde derives live here).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceSummary {
+    /// The kernel path and SIMD tier the traced spans ran on, e.g.
+    /// `"trinary+avx2"` or `"f32+scalar"` (see
+    /// [`pcnn_kernels::backend_summary`]).
+    #[serde(default)]
+    pub kernel_backend: String,
     /// One entry per traced stage, sorted by descending total duration.
     pub stages: Vec<StageSummary>,
 }
@@ -427,6 +433,7 @@ pub struct StageSummary {
 impl From<pcnn_trace::ProfileReport> for TraceSummary {
     fn from(report: pcnn_trace::ProfileReport) -> Self {
         TraceSummary {
+            kernel_backend: pcnn_kernels::backend_summary(),
             stages: report
                 .stages
                 .into_iter()
@@ -509,6 +516,12 @@ pub struct RuntimeReport {
     /// Checkpoints restored from disk.
     #[serde(default)]
     pub checkpoints_restored: u64,
+    /// The kernel path and SIMD tier this process serves on, e.g.
+    /// `"trinary+avx2"` or `"f32+scalar"`. Snapshotted from
+    /// [`pcnn_kernels::backend_summary`] at report time, so the trinary
+    /// half reflects whether a multiply-free GEMM has actually run.
+    #[serde(default)]
+    pub kernel_backend: String,
     /// Neurosynaptic-simulator counters, when the extractor or
     /// classifier runs on the simulated TrueNorth substrate.
     pub system: Option<SystemStats>,
@@ -575,6 +588,11 @@ impl RuntimeReport {
             stalls_detected: self.stalls_detected + other.stalls_detected,
             checkpoints_written: self.checkpoints_written + other.checkpoints_written,
             checkpoints_restored: self.checkpoints_restored + other.checkpoints_restored,
+            kernel_backend: if self.kernel_backend.is_empty() {
+                other.kernel_backend.clone()
+            } else {
+                self.kernel_backend.clone()
+            },
             system,
             trace: self.trace.clone().or_else(|| other.trace.clone()),
         }
@@ -594,6 +612,9 @@ impl std::fmt::Display for RuntimeReport {
             "  windows scored {:>10}   max queue depth {:>4}",
             self.windows_scored, self.max_queue_depth
         )?;
+        if !self.kernel_backend.is_empty() {
+            writeln!(f, "  kernel backend: {}", self.kernel_backend)?;
+        }
         writeln!(
             f,
             "  stage ms: pyramid {:>9.2}  cells {:>9.2}  classify {:>9.2}  nms {:>7.2}",
@@ -932,6 +953,21 @@ mod tests {
         assert_eq!(merged.bounds_us, LATENCY_BOUNDS_US.to_vec());
         assert_eq!(merged.total(), longer.total(), "no sample is lost in a merge");
         assert_eq!(merged.overflow(), 4, "tail buckets fold into overflow");
+    }
+
+    #[test]
+    fn kernel_backend_reaches_report_and_display() {
+        let report = Metrics::new().report(1, None);
+        // "<numeric>+<simd>", e.g. "f32+avx2" or "trinary+scalar".
+        let (numeric, simd) = report.kernel_backend.split_once('+').expect("numeric+simd label");
+        assert!(numeric == "f32" || numeric == "trinary", "{numeric}");
+        assert!(["scalar", "avx2", "neon"].contains(&simd), "{simd}");
+        assert!(report.to_string().contains("kernel backend"));
+        // Merge keeps a non-empty label over an empty (pre-field) one.
+        let mut old = report.clone();
+        old.kernel_backend = String::new();
+        assert_eq!(report.merge(&old).kernel_backend, report.kernel_backend);
+        assert_eq!(old.merge(&report).kernel_backend, report.kernel_backend);
     }
 
     #[test]

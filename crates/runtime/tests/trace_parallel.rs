@@ -41,6 +41,7 @@ fn traced_totals(detector: &TrainedDetector, ds: &SynthDataset, workers: usize) 
         trace.counter_total(stages::RUNTIME_BATCH, Counter::Frames),
         trace.counter_total(stages::RUNTIME_CLASSIFY, Counter::Windows),
         trace.counter_total(stages::KERNELS_GEMM, Counter::Flops),
+        trace.counter_total(stages::KERNELS_GEMM_TRINARY, Counter::Ops),
         trace.spans().filter(|s| s.name == stages::RUNTIME_BATCH).count() as u64,
     ]
 }
@@ -53,6 +54,9 @@ fn parallel_counter_totals_match_serial() {
         let serial = traced_totals(&detector, &ds, 1);
         assert!(serial[0] == 2, "seed {seed}: batch saw both frames");
         assert!(serial[1] > 0, "seed {seed}: classify scored windows");
+        // The Eedn classifier's layers are all trinary, so serving
+        // inference runs the multiply-free path and reports ops.
+        assert!(serial[3] > 0, "seed {seed}: trinary kernels counted ops");
         for workers in [2usize, 4] {
             let parallel = traced_totals(&detector, &ds, workers);
             assert_eq!(

@@ -74,6 +74,8 @@ pub mod stages {
     pub const TRUENORTH_TICK: &str = "truenorth.tick";
     /// One GEMM through the `pcnn-kernels` driver (any variant).
     pub const KERNELS_GEMM: &str = "kernels.gemm";
+    /// One bitplane add/sub GEMM through the trinary inference path.
+    pub const KERNELS_GEMM_TRINARY: &str = "kernels.gemm_trinary";
     /// One `im2col` patch gather.
     pub const KERNELS_IM2COL: &str = "kernels.im2col";
     /// One `col2im` scatter-accumulate.

@@ -25,6 +25,9 @@ pub enum Counter {
     SynapticEvents,
     /// Floating-point multiply-adds, counted as 2 flops each.
     Flops,
+    /// Multiply-free add/subtract selections executed by the trinary
+    /// kernels (one op per nonzero weight per output column).
+    Ops,
     /// Elements moved by a packing kernel (im2col/col2im).
     Elements,
     /// Video frames processed.
@@ -51,6 +54,7 @@ impl Counter {
             Counter::SpikesRouted => "spikes_routed",
             Counter::SynapticEvents => "synaptic_events",
             Counter::Flops => "flops",
+            Counter::Ops => "ops",
             Counter::Elements => "elements",
             Counter::Frames => "frames",
             Counter::Windows => "windows",
@@ -123,6 +127,7 @@ mod tests {
             Counter::SpikesRouted,
             Counter::SynapticEvents,
             Counter::Flops,
+            Counter::Ops,
             Counter::Elements,
             Counter::Frames,
             Counter::Windows,

@@ -196,5 +196,13 @@ fn golden_counters_are_exact() {
 
     // GEMM flop counts are structural: derived from layer shapes, so
     // any nonzero total is already pinned exactly by the fixture.
+    // Training runs the f32 GEMMs (flops); serving inference routes the
+    // trinary classifier through the multiply-free path (ops).
     assert!(trace.counter_total(pcnn_trace::stages::KERNELS_GEMM, Counter::Flops) > 0);
+    assert!(trace.counter_total(pcnn_trace::stages::KERNELS_GEMM_TRINARY, Counter::Ops) > 0);
+    assert_eq!(
+        trace.counter_total(pcnn_trace::stages::KERNELS_GEMM_TRINARY, Counter::Flops),
+        0,
+        "the trinary stage must report ops, never phantom flops"
+    );
 }
