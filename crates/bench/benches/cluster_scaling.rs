@@ -88,6 +88,7 @@ fn main() {
                 .backpressure(Backpressure::Block)
                 .build()
                 .expect("valid runtime config"),
+            ..ClusterConfig::default()
         };
         let cluster = Cluster::new(&snapshot, config).expect("valid cluster config");
         let slo = run_slo(&cluster, &schedule, budget, |a| {

@@ -327,7 +327,7 @@ fn main() {
         args.get(i + 1)
             .filter(|p| !p.starts_with("--"))
             .cloned()
-            .unwrap_or_else(|| default_results_path())
+            .unwrap_or_else(default_results_path)
     });
     let reps = if smoke { 1 } else { 20 };
 

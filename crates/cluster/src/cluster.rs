@@ -5,14 +5,31 @@ use crate::report::{ClusterReport, ShardReport};
 use crate::router::ShardRouter;
 use crate::shard::{Shard, ShardModel};
 use pcnn_core::pipeline::{DetectorConfig, TrainedDetector};
-use pcnn_core::{DetectorSnapshot, Error, Result};
-use pcnn_runtime::{Metrics, PushError, RequestQueue, RuntimeConfig};
+use pcnn_core::{DetectorSnapshot, Error, Result, StreamId};
+use pcnn_runtime::StreamFrameResult;
+use pcnn_runtime::{Backpressure, Metrics, PushError, RequestQueue, RuntimeConfig};
 use pcnn_store::CheckpointDir;
 use pcnn_vision::{Detection, GrayImage};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How [`Cluster::swap_model`] rolls a new model generation across the
+/// shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SwapPolicy {
+    /// Shard by shard: each shard publishes and drains before the next
+    /// swaps. At most one shard is ever draining, so capacity dips by
+    /// at most one replica — the safe default.
+    #[default]
+    Rolling,
+    /// All shards at once: every detector is rebuilt up front (failing
+    /// fast before any shard changes), then every shard publishes and
+    /// drains concurrently. Fastest convergence to the new generation,
+    /// at the cost of the whole tier draining at the same time.
+    Parallel,
+}
 
 /// Cluster-tier parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,22 +43,48 @@ pub struct ClusterConfig {
     /// Per-shard serving-runtime parameters (worker pool, chunking,
     /// request queue). Every shard gets its own queue and pool.
     pub runtime: RuntimeConfig,
+    /// Per-shard cap on cached temporal stream states (cell/window
+    /// caches plus trackers). The least recently served stream is
+    /// evicted when a shard exceeds it; eviction costs only warmth.
+    pub stream_cache_capacity: usize,
+    /// How [`swap_model`](Cluster::swap_model) rolls new generations
+    /// across the shards.
+    pub swap: SwapPolicy,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { shards: 4, router_seed: 0, runtime: RuntimeConfig::default() }
+        ClusterConfig {
+            shards: 4,
+            router_seed: 0,
+            runtime: RuntimeConfig::default(),
+            stream_cache_capacity: 64,
+            swap: SwapPolicy::Rolling,
+        }
     }
 }
 
 impl ClusterConfig {
-    /// Validates the shard count and the per-shard runtime parameters
-    /// (through the same builder validation a single server uses).
+    /// A validating builder over the cluster and per-shard runtime
+    /// parameters, mirroring [`RuntimeConfig::builder`].
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder { config: ClusterConfig::default() }
+    }
+
+    /// Validates the shard count, the stream-cache capacity and the
+    /// per-shard runtime parameters (through the same builder
+    /// validation a single server uses).
     pub fn validate(&self) -> Result<()> {
         if self.shards == 0 {
             return Err(Error::InvalidConfig {
                 what: "cluster.shards".to_owned(),
                 reason: "shard count must be positive".to_owned(),
+            });
+        }
+        if self.stream_cache_capacity == 0 {
+            return Err(Error::InvalidConfig {
+                what: "cluster.stream_cache_capacity".to_owned(),
+                reason: "a shard must be able to cache at least one stream".to_owned(),
             });
         }
         RuntimeConfig::builder()
@@ -55,12 +98,94 @@ impl ClusterConfig {
     }
 }
 
+/// Builder for [`ClusterConfig`]; [`build`](ClusterConfigBuilder::build)
+/// validates everything at once.
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Detector shards (replicas).
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Salt for the stream router.
+    #[must_use]
+    pub fn router_seed(mut self, seed: u64) -> Self {
+        self.config.router_seed = seed;
+        self
+    }
+
+    /// Worker threads per shard.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.runtime.workers = workers;
+        self
+    }
+
+    /// Image rows per work chunk on each shard.
+    #[must_use]
+    pub fn chunk_rows(mut self, rows: usize) -> Self {
+        self.config.runtime.chunk_rows = rows;
+        self
+    }
+
+    /// Request-queue depth per shard.
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.runtime.queue.capacity = capacity;
+        self
+    }
+
+    /// Frames drained per batch on each shard.
+    #[must_use]
+    pub fn batch_size(mut self, size: usize) -> Self {
+        self.config.runtime.queue.batch_size = size;
+        self
+    }
+
+    /// Full-queue behaviour on each shard.
+    #[must_use]
+    pub fn backpressure(mut self, policy: Backpressure) -> Self {
+        self.config.runtime.queue.backpressure = policy;
+        self
+    }
+
+    /// Per-shard cap on cached temporal stream states.
+    #[must_use]
+    pub fn stream_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.stream_cache_capacity = capacity;
+        self
+    }
+
+    /// How model swaps roll across the shards.
+    #[must_use]
+    pub fn swap_policy(mut self, policy: SwapPolicy) -> Self {
+        self.config.swap = policy;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the first offending field.
+    pub fn build(self) -> Result<ClusterConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// One frame of one stream, as submitted to the cluster.
 #[derive(Debug, Clone)]
 pub struct StreamFrame {
     /// The stream (camera, client connection) the frame belongs to.
     /// All frames of a stream are served by the same shard.
-    pub stream: u64,
+    pub stream: StreamId,
     /// The frame itself.
     pub image: GrayImage,
 }
@@ -108,7 +233,7 @@ impl Cluster {
         let shards = (0..config.shards)
             .map(|id| {
                 let detector = TrainedDetector::from_snapshot(snapshot)?;
-                Ok(Shard::new(id, detector, config.runtime, engine))
+                Ok(Shard::new(id, detector, config.runtime, engine, config.stream_cache_capacity))
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Cluster {
@@ -172,27 +297,58 @@ impl Cluster {
     }
 
     /// The shard currently serving `stream`.
-    pub fn route(&self, stream: u64) -> u32 {
-        self.router.lock().expect("router lock").route(stream)
+    pub fn route(&self, stream: StreamId) -> u32 {
+        self.router.lock().expect("router lock").route(stream.raw())
     }
 
-    /// Blue/green swap, rolling shard by shard: each shard publishes
-    /// the model rebuilt from `snapshot`, then drains its in-flight
-    /// batches before the next shard swaps. Queued frames are untouched
-    /// throughout — every submitted frame is served exactly once, by
-    /// exactly one model generation. Returns the last shard's new
-    /// generation.
+    /// Blue/green swap across the shards, honouring the configured
+    /// [`SwapPolicy`]: each shard publishes the model rebuilt from
+    /// `snapshot`, then drains the batches in flight under older
+    /// generations. Queued frames are untouched throughout — every
+    /// submitted frame is served exactly once, by exactly one model
+    /// generation — and every shard's temporal stream caches are
+    /// invalidated once its drain completes, so the new generation
+    /// never serves cells extracted by the old one. Returns the last
+    /// shard's new generation.
     ///
     /// # Errors
     ///
-    /// Snapshot-rebuild failures; shards already swapped keep the new
-    /// model (the roll stops, it does not revert).
+    /// Snapshot-rebuild failures. Under [`SwapPolicy::Rolling`], shards
+    /// already swapped keep the new model (the roll stops, it does not
+    /// revert); under [`SwapPolicy::Parallel`] every detector is
+    /// rebuilt before any shard changes, so a rebuild failure leaves
+    /// the tier untouched.
     pub fn swap_model(&self, snapshot: &DetectorSnapshot) -> Result<u64> {
-        let mut generation = 0;
-        for shard in &self.shards {
-            let detector = TrainedDetector::from_snapshot(snapshot)?;
-            generation = shard.install(detector);
-        }
+        let generation = match self.config.swap {
+            SwapPolicy::Rolling => {
+                let mut generation = 0;
+                for shard in &self.shards {
+                    let detector = TrainedDetector::from_snapshot(snapshot)?;
+                    generation = shard.install(detector);
+                }
+                generation
+            }
+            SwapPolicy::Parallel => {
+                let detectors = self
+                    .shards
+                    .iter()
+                    .map(|_| TrainedDetector::from_snapshot(snapshot))
+                    .collect::<Result<Vec<_>>>()?;
+                std::thread::scope(|scope| {
+                    let installs: Vec<_> = self
+                        .shards
+                        .iter()
+                        .zip(detectors)
+                        .map(|(shard, detector)| scope.spawn(move || shard.install(detector)))
+                        .collect();
+                    installs
+                        .into_iter()
+                        .map(|h| h.join().expect("install does not panic"))
+                        .last()
+                        .expect("validated config has at least one shard")
+                })
+            }
+        };
         self.swaps.fetch_add(1, Ordering::Relaxed);
         Ok(generation)
     }
@@ -226,10 +382,94 @@ impl Cluster {
     ///
     /// [`Error::WorkerPanic`] when a pipeline stage panicked for this
     /// frame.
-    pub fn detect(&self, stream: u64, frame: &GrayImage) -> Result<Vec<Detection>> {
+    pub fn detect(&self, stream: StreamId, frame: &GrayImage) -> Result<Vec<Detection>> {
         let shard = self.route(stream);
         self.frames_routed.fetch_add(1, Ordering::Relaxed);
         self.shards[shard as usize].run_batch(&[frame]).pop().expect("one frame in, one result out")
+    }
+
+    /// Detects over one frame of a video stream on the caller's thread,
+    /// using the temporal cache and tracker the routed shard keeps for
+    /// `stream`. Frames of a stream must be submitted in capture order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WorkerPanic`] when a pipeline stage panicked for this
+    /// frame; the stream's cache is invalidated and its next frame runs
+    /// cold.
+    pub fn detect_stream(&self, stream: StreamId, frame: &GrayImage) -> Result<StreamFrameResult> {
+        let shard = self.route(stream);
+        self.frames_routed.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard as usize].run_stream_frame(stream, frame)
+    }
+
+    /// Serves interleaved video-stream frames through the sharded tier:
+    /// the feeder routes every frame to its shard's queue in input
+    /// order while one drainer per shard serves them through
+    /// [`Shard::run_stream_frame`]. A single drainer per shard means
+    /// each stream's frames are served strictly in submission order, so
+    /// temporal caches and trackers observe the stream as a camera
+    /// would produce it.
+    ///
+    /// Returns per-frame outcomes in input order; `None` marks frames
+    /// shed by a full shard queue under
+    /// [`Backpressure::Reject`](pcnn_runtime::Backpressure::Reject),
+    /// and `Some(Err(_))` a frame whose pipeline stage panicked.
+    pub fn serve_streams(&self, frames: &[StreamFrame]) -> Vec<Option<Result<StreamFrameResult>>> {
+        let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_SERVE);
+        if span.is_recording() {
+            span.add(pcnn_trace::Counter::Frames, frames.len() as u64);
+        }
+        let queues: Vec<RequestQueue<usize>> =
+            self.shards.iter().map(|_| RequestQueue::new(self.config.runtime.queue)).collect();
+        let mut results: Vec<Option<Result<StreamFrameResult>>> =
+            (0..frames.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let drainers: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&queues)
+                .map(|(shard, queue)| {
+                    scope.spawn(move || {
+                        let mut served: Vec<(usize, Result<StreamFrameResult>)> = Vec::new();
+                        while let Some(batch) = queue.pop_batch() {
+                            for i in batch {
+                                let frame = &frames[i];
+                                served
+                                    .push((i, shard.run_stream_frame(frame.stream, &frame.image)));
+                            }
+                        }
+                        served
+                    })
+                })
+                .collect();
+            let mut shed = 0u64;
+            for (i, frame) in frames.iter().enumerate() {
+                let shard = self.route(frame.stream);
+                self.frames_routed.fetch_add(1, Ordering::Relaxed);
+                match queues[shard as usize].push(i) {
+                    Ok(_) => {}
+                    Err(PushError::Full | PushError::Timeout) => shed += 1,
+                    Err(PushError::Closed) => unreachable!("cluster closes queues after feeding"),
+                }
+            }
+            for queue in &queues {
+                queue.close();
+            }
+            self.frames_shed.fetch_add(shed, Ordering::Relaxed);
+            for drainer in drainers {
+                match drainer.join() {
+                    Ok(served) => {
+                        for (i, outcome) in served {
+                            results[i] = Some(outcome);
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        drop(span);
+        results
     }
 
     /// Serves a stream of frames through the sharded tier: a feeder

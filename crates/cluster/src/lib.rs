@@ -16,8 +16,11 @@
 //!   per-shard fallback floor;
 //! * [`cluster`] — [`Cluster`] / [`ClusterHandle`]: the data plane
 //!   (feeder + per-shard queues and drainers, load shedding at the
-//!   edge) and the control plane (blue/green [`swap_model`]
-//!   drains each shard in turn with zero dropped frames);
+//!   edge, plus [`serve_streams`] for temporal video streams with
+//!   per-shard cell caches and trackers) and the control plane
+//!   (blue/green [`swap_model`] drains each shard — rolling or all at
+//!   once per [`SwapPolicy`] — with zero dropped frames and stream
+//!   caches invalidated at install);
 //! * [`report`] — [`ClusterReport`]: every shard's
 //!   [`RuntimeReport`](pcnn_runtime::RuntimeReport) plus their merge;
 //! * [`loadgen`] — seeded open-loop Poisson load and the SLO harness
@@ -40,6 +43,8 @@
 //! (`tests/swap.rs`).
 //!
 //! [`swap_model`]: Cluster::swap_model
+//! [`serve_streams`]: Cluster::serve_streams
+//! [`SwapPolicy`]: cluster::SwapPolicy
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,7 +55,9 @@ pub mod report;
 pub mod router;
 pub mod shard;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterHandle, StreamFrame};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterConfigBuilder, ClusterHandle, StreamFrame, SwapPolicy,
+};
 pub use loadgen::{arrivals, run_slo, Arrival, LoadProfile, SloBudget, SloReport};
 pub use report::{ClusterReport, ShardReport};
 pub use router::ShardRouter;

@@ -148,8 +148,10 @@ pub fn run_slo<F>(
 where
     F: FnMut(&Arrival) -> GrayImage,
 {
-    let frames: Vec<StreamFrame> =
-        schedule.iter().map(|a| StreamFrame { stream: a.stream, image: frame_for(a) }).collect();
+    let frames: Vec<StreamFrame> = schedule
+        .iter()
+        .map(|a| StreamFrame { stream: pcnn_core::StreamId::new(a.stream), image: frame_for(a) })
+        .collect();
     let at_us: Vec<u64> = schedule.iter().map(|a| a.at_us).collect();
     let latency = Histogram::new(&LATENCY_BOUNDS_US);
 

@@ -53,6 +53,16 @@ impl ClusterReport {
     pub fn degraded_batches(&self) -> u64 {
         self.aggregate.degraded_batches
     }
+
+    /// Stream-cache cells reused across every shard (video serving).
+    pub fn cells_reused(&self) -> u64 {
+        self.aggregate.cells_reused
+    }
+
+    /// Stream-cache cells recomputed across every shard (video serving).
+    pub fn cells_recomputed(&self) -> u64 {
+        self.aggregate.cells_recomputed
+    }
 }
 
 impl std::fmt::Display for ClusterReport {
@@ -87,6 +97,16 @@ impl std::fmt::Display for ClusterReport {
                 "  batch latency: p50 {:.2}ms  p99 {:.2}ms",
                 p50 as f64 / 1e3,
                 p99 as f64 / 1e3
+            )?;
+        }
+        if self.aggregate.cells_reused + self.aggregate.cells_recomputed > 0 {
+            let total = self.aggregate.cells_reused + self.aggregate.cells_recomputed;
+            writeln!(
+                f,
+                "  stream cache: {} cells reused, {} recomputed ({:.1}% hit)",
+                self.aggregate.cells_reused,
+                self.aggregate.cells_recomputed,
+                100.0 * self.aggregate.cells_reused as f64 / total as f64
             )?;
         }
         if self.aggregate.degraded_batches > 0 {

@@ -22,10 +22,10 @@
 //! fallback floor.
 
 use pcnn_core::pipeline::{Detector, DetectorConfig, TrainedDetector};
-use pcnn_core::Error;
+use pcnn_core::{Error, StreamId};
 use pcnn_runtime::{
     canary_reference, DetectionServer, FallbackChain, Metrics, RuntimeConfig, RuntimeReport,
-    ServiceLevel,
+    ServiceLevel, StreamFrameResult, StreamState,
 };
 use pcnn_vision::{Detection, GrayImage};
 use std::collections::BTreeMap;
@@ -75,6 +75,57 @@ struct ShardState {
     in_flight: BTreeMap<u64, usize>,
 }
 
+/// Per-stream temporal state owned by the shard, bounded by an LRU cap
+/// so an unbounded stream-id space cannot grow shard memory without
+/// limit.
+#[derive(Debug)]
+struct StreamStore {
+    states: BTreeMap<u64, (u64, StreamState)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl StreamStore {
+    fn new(capacity: usize) -> Self {
+        StreamStore { states: BTreeMap::new(), tick: 0, capacity }
+    }
+
+    /// Removes the stream's state (creating fresh state for an unseen —
+    /// or evicted — stream). The caller runs the frame outside the
+    /// store lock and puts the state back with [`put`](StreamStore::put).
+    fn take(&mut self, stream: StreamId) -> StreamState {
+        match self.states.remove(&stream.raw()) {
+            Some((_, state)) => state,
+            None => StreamState::new(stream),
+        }
+    }
+
+    /// Returns a stream's state after a frame, evicting the least
+    /// recently used stream when over capacity. Eviction costs only
+    /// warmth: an evicted stream's next frame runs cold and re-tracks.
+    fn put(&mut self, stream: StreamId, state: StreamState) {
+        self.tick += 1;
+        self.states.insert(stream.raw(), (self.tick, state));
+        while self.states.len() > self.capacity {
+            let oldest = self
+                .states
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(&id, _)| id)
+                .expect("non-empty over-capacity store");
+            self.states.remove(&oldest);
+        }
+    }
+
+    /// Drops every stream's cached pixels (trackers keep their
+    /// identity) — called when a new model generation installs.
+    fn invalidate(&mut self) {
+        for (_, state) in self.states.values_mut() {
+            state.invalidate();
+        }
+    }
+}
+
 /// One serving replica: an owned model, a worker pool configuration and
 /// accumulated metrics.
 #[derive(Debug)]
@@ -88,16 +139,19 @@ pub struct Shard {
     engine: DetectorConfig,
     report: Mutex<RuntimeReport>,
     swaps: AtomicU64,
+    streams: Mutex<StreamStore>,
 }
 
 impl Shard {
     /// A shard serving `detector` (as generation 0) under the given
-    /// runtime and engine configuration.
+    /// runtime and engine configuration, caching temporal state for up
+    /// to `stream_cache_capacity` streams.
     pub fn new(
         id: u32,
         detector: TrainedDetector,
         config: RuntimeConfig,
         engine: DetectorConfig,
+        stream_cache_capacity: usize,
     ) -> Self {
         Shard {
             id,
@@ -111,6 +165,7 @@ impl Shard {
             engine,
             report: Mutex::new(Metrics::new().report(config.workers, None)),
             swaps: AtomicU64::new(0),
+            streams: Mutex::new(StreamStore::new(stream_cache_capacity.max(1))),
         }
     }
 
@@ -161,6 +216,11 @@ impl Shard {
             state = self.batch_done.wait(state).expect("shard state lock");
         }
         drop(state);
+        // Cached cell histograms and window scores were produced by the
+        // old generation; they must never be served by the new one.
+        // Trackers keep their identity — a swap changes the model, not
+        // the scene.
+        self.streams.lock().expect("shard stream lock").invalidate();
         self.swaps.fetch_add(1, Ordering::Relaxed);
         drop(span);
         generation
@@ -168,7 +228,7 @@ impl Shard {
 
     /// Serves one batch with the currently installed model, returning
     /// per-frame results in input order (worker panics isolated per
-    /// frame, as in [`DetectionServer::try_detect_batch`]).
+    /// frame, as in [`DetectionServer::detect_batch`]).
     pub fn run_batch(&self, frames: &[&GrayImage]) -> Vec<Result<Vec<Detection>, Error>> {
         if frames.is_empty() {
             return Vec::new();
@@ -194,6 +254,59 @@ impl Shard {
         results
     }
 
+    /// Serves one frame of a video stream with the currently installed
+    /// model, using (and updating) the stream's temporal cache and
+    /// tracker owned by this shard. Frames of one stream must arrive in
+    /// order — the cluster's per-shard drainer guarantees that.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WorkerPanic`] when a pipeline stage panicked; the
+    /// stream's cache is invalidated so the next frame runs cold.
+    pub fn run_stream_frame(
+        &self,
+        stream: StreamId,
+        frame: &GrayImage,
+    ) -> Result<StreamFrameResult, Error> {
+        let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_SHARD_BATCH);
+        if span.is_recording() {
+            span.add(pcnn_trace::Counter::Frames, 1);
+        }
+        let model = {
+            let mut state = self.state.lock().expect("shard state lock");
+            let generation = state.model.generation;
+            *state.in_flight.entry(generation).or_insert(0) += 1;
+            Arc::clone(&state.model)
+        };
+        // The stream's state leaves the store while its frame runs, so
+        // a long frame never blocks other streams on the store lock.
+        let mut stream_state = self.streams.lock().expect("shard stream lock").take(stream);
+
+        let mut chain = FallbackChain::new().push_level(model.level());
+        if let Some(fallback) = &self.fallback {
+            chain = chain.push_level(fallback.level());
+        }
+        let server = DetectionServer::with_chain(Detector::new(self.engine), chain, self.config)
+            .expect("shard config validated at cluster build");
+        let result = server.detect_stream_state(&mut stream_state, frame);
+        let batch_report = server.report(None);
+        {
+            let mut report = self.report.lock().expect("shard report lock");
+            *report = RuntimeReport { workers: self.config.workers, ..report.merge(&batch_report) };
+        }
+        self.streams.lock().expect("shard stream lock").put(stream, stream_state);
+
+        let mut state = self.state.lock().expect("shard state lock");
+        let count = state.in_flight.get_mut(&model.generation).expect("registered generation");
+        *count -= 1;
+        if *count == 0 {
+            state.in_flight.remove(&model.generation);
+            self.batch_done.notify_all();
+        }
+        drop(state);
+        result
+    }
+
     /// One batch through a transient [`DetectionServer`] built around
     /// `model` (and the fallback floor, when configured), with the
     /// batch's report merged into the shard accumulator.
@@ -208,7 +321,7 @@ impl Shard {
         }
         let server = DetectionServer::with_chain(Detector::new(self.engine), chain, self.config)
             .expect("shard config validated at cluster build");
-        let results = server.try_detect_batch(frames);
+        let results = server.detect_batch(frames);
         let batch_report = server.report(None);
         let mut report = self.report.lock().expect("shard report lock");
         // merge() sums `workers` (an aggregate over shards reports total

@@ -6,7 +6,7 @@
 
 use pcnn_cluster::{Cluster, ClusterConfig, StreamFrame};
 use pcnn_core::pipeline::{Detector, TrainedDetector};
-use pcnn_core::{Error, Extractor, WindowClassifier};
+use pcnn_core::{Error, Extractor, StreamId, WindowClassifier};
 use pcnn_hog::BlockNorm;
 use pcnn_runtime::{Backpressure, RuntimeConfig};
 use pcnn_store::CheckpointDir;
@@ -45,7 +45,10 @@ fn frames_for_test() -> Vec<StreamFrame> {
     let ds = SynthDataset::new(SynthConfig::default());
     let scenes: Vec<_> = (0..4).map(|i| ds.test_scene(i).image.clone()).collect();
     (0..12)
-        .map(|i| StreamFrame { stream: (i % 5) as u64, image: scenes[i % scenes.len()].clone() })
+        .map(|i| StreamFrame {
+            stream: StreamId::new((i % 5) as u64),
+            image: scenes[i % scenes.len()].clone(),
+        })
         .collect()
 }
 
@@ -69,6 +72,7 @@ fn cluster_output_is_bit_identical_to_serial_at_any_worker_count() {
                 .backpressure(Backpressure::Block)
                 .build()
                 .unwrap(),
+            ..ClusterConfig::default()
         };
         let cluster = Cluster::new(&snapshot, config).unwrap();
         let results = cluster.serve(&frames);
@@ -100,7 +104,7 @@ fn warm_start_resumes_from_the_newest_checkpoint() {
     let scene = SynthDataset::new(SynthConfig::default()).test_scene(0);
     let expected = Detector::default().detect(&fresh, &scene.image);
     assert_eq!(
-        cluster.detect(0, &scene.image).unwrap(),
+        cluster.detect(StreamId::new(0), &scene.image).unwrap(),
         expected,
         "warm start must serve the newest (epoch 5) snapshot"
     );
@@ -130,6 +134,7 @@ fn reject_backpressure_sheds_at_the_cluster_edge_with_honest_accounting() {
             .backpressure(Backpressure::Reject)
             .build()
             .unwrap(),
+        ..ClusterConfig::default()
     };
     let cluster = Cluster::new(&snapshot, config).unwrap();
     let frames: Vec<StreamFrame> =
@@ -166,6 +171,7 @@ fn report_aggregates_every_shard() {
             .backpressure(Backpressure::Block)
             .build()
             .unwrap(),
+        ..ClusterConfig::default()
     };
     let cluster = Cluster::new(&snapshot, config).unwrap();
     let frames = frames_for_test();

@@ -6,7 +6,7 @@
 
 use pcnn_cluster::{Cluster, ClusterConfig, StreamFrame};
 use pcnn_core::pipeline::{Detector, TrainedDetector};
-use pcnn_core::{Extractor, WindowClassifier};
+use pcnn_core::{Extractor, StreamId, WindowClassifier};
 use pcnn_hog::BlockNorm;
 use pcnn_runtime::{Backpressure, RuntimeConfig};
 use pcnn_svm::{train, FeatureScaler, TrainConfig};
@@ -42,6 +42,7 @@ fn cluster_config(shards: u32, workers: usize) -> ClusterConfig {
             .backpressure(Backpressure::Block)
             .build()
             .unwrap(),
+        ..ClusterConfig::default()
     }
 }
 
@@ -55,7 +56,10 @@ fn mid_stream_swap_serves_every_frame_exactly_once() {
     let ds = SynthDataset::new(SynthConfig::default());
     let scenes: Vec<_> = (0..4).map(|i| ds.test_scene(i).image.clone()).collect();
     let frames: Vec<StreamFrame> = (0..24)
-        .map(|i| StreamFrame { stream: (i % 6) as u64, image: scenes[i % scenes.len()].clone() })
+        .map(|i| StreamFrame {
+            stream: StreamId::new((i % 6) as u64),
+            image: scenes[i % scenes.len()].clone(),
+        })
         .collect();
 
     // Per-frame serial references for both models: any served result

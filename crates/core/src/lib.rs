@@ -46,6 +46,7 @@ pub mod power;
 pub mod report;
 pub mod resources;
 pub mod snapshot;
+pub mod stream;
 
 pub use classifier::{
     EednCheckpoint, EednClassifier, EednClassifierConfig, EednClassifierState, WindowClassifier,
@@ -58,3 +59,4 @@ pub use pipeline::{Detector, DetectorConfig, TrainedDetector};
 pub use power::{DeploymentPower, FpgaPower, PowerTable, Table2Row};
 pub use resources::ResourceBudget;
 pub use snapshot::{ClassifierSnapshot, DetectorSnapshot};
+pub use stream::StreamId;

@@ -1,0 +1,68 @@
+//! Stream identity shared by the serving runtime and the cluster tier.
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one video stream (one camera), stable across frames,
+/// batches, shards and model swaps.
+///
+/// A newtype over `u64` so a stream id cannot be confused with a frame
+/// index, a shard id or a generation — the runtime's per-stream caches
+/// and the cluster's rendezvous routing both key on this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StreamId(u64);
+
+impl StreamId {
+    /// A stream id from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        StreamId(raw)
+    }
+
+    /// The raw value (for hashing/routing).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for StreamId {
+    fn from(raw: u64) -> Self {
+        StreamId(raw)
+    }
+}
+
+impl From<StreamId> for u64 {
+    fn from(id: StreamId) -> Self {
+        id.0
+    }
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let id = StreamId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(StreamId::from(42u64), id);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(StreamId::new(7).to_string(), "stream-7");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let id = StreamId::new(9001);
+        let v = serde::Serialize::to_value(&id);
+        let back: StreamId = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, id);
+    }
+}

@@ -142,10 +142,12 @@ fn grouped_linear_matches_reference_bitwise() {
 fn shadows_at_density(n: usize, density: f32) -> Vec<f32> {
     (0..n)
         .map(|i| {
-            let nonzero = match density {
-                d if d == 0.0 => false,
-                d if d == 1.0 => true,
-                _ => i % 2 == 0,
+            let nonzero = if density == 0.0 {
+                false
+            } else if density == 1.0 {
+                true
+            } else {
+                i % 2 == 0
             };
             if nonzero {
                 if i % 4 < 2 {

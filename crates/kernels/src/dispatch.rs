@@ -556,7 +556,7 @@ mod tests {
     /// tile bit-for-bit across random tiles and depths.
     #[test]
     fn simd_micro_kernel_is_bit_identical_to_scalar() {
-        let mut rng = SmallRng::seed_from_u64(0xd15_a);
+        let mut rng = SmallRng::seed_from_u64(0xd15a);
         for kc in [1usize, 2, 7, 64, 256] {
             let ap = rand_vec(&mut rng, kc * MR);
             let bp = rand_vec(&mut rng, kc * NR);
@@ -589,7 +589,7 @@ mod tests {
     /// every backend, across word counts and densities.
     #[test]
     fn simd_trinary_row_tile_is_bit_identical_to_scalar() {
-        let mut rng = SmallRng::seed_from_u64(0xd15_b);
+        let mut rng = SmallRng::seed_from_u64(0xd15b);
         for words in [1usize, 3, 5] {
             for len in [1usize, 3, 8, 31, 32, 63, 64, 65, 100, 256, 300] {
                 let kdim = words * 64;

@@ -24,7 +24,7 @@ fn forced_scalar_backend_agrees_with_simd() {
     std::env::remove_var("PCNN_KERNEL_BACKEND");
     let hw = pcnn_kernels::detect_backend();
 
-    let mut rng = SmallRng::seed_from_u64(0xd15_c);
+    let mut rng = SmallRng::seed_from_u64(0xd15c);
     let (m, k, n) = (17, 131, 45);
     let a: Vec<f32> = (0..m * k).map(|_| rng.random_range(-1.0..1.0f32)).collect();
     let b: Vec<f32> = (0..k * n).map(|_| rng.random_range(-1.0..1.0f32)).collect();

@@ -17,6 +17,14 @@
 //!   threaded through;
 //! * [`server`] — [`DetectionServer`], the front-end tying the three
 //!   together;
+//! * [`cache`] / [`stream`] — temporal video serving: a per-stream
+//!   [`CellCache`] diffs each frame's pyramid cells against the
+//!   previous frame so only changed cells re-run the extractor (and
+//!   only windows touching them re-run the classifier), and a
+//!   [`StreamHandle`] pairs that cache with a
+//!   [`Tracker`](pcnn_track::Tracker) for tracking-by-detection via
+//!   [`DetectionServer::detect_stream`] — output detections stay
+//!   **bit-identical** to a cold run;
 //! * [`degrade`] — graceful degradation: a [`FallbackChain`] of
 //!   service levels with per-batch canary health probes, so a detector
 //!   whose simulated hardware carries an injected
@@ -36,10 +44,9 @@
 //!
 //! Worker panics are caught per work item
 //! ([`scheduler::try_parallel_map`]): a poisoned input fails only the
-//! frames it belongs to via
-//! [`DetectionServer::try_detect_batch`], while
-//! [`DetectionServer::submit`] layers deadlines and bounded retry on
-//! top. Queue locks recover from poisoning, so one crashed worker never
+//! frames it belongs to — [`DetectionServer::detect_batch`] returns a
+//! per-frame `Result` — while [`DetectionServer::submit`] layers
+//! deadlines and bounded retry on top. Queue locks recover from poisoning, so one crashed worker never
 //! wedges producers or consumers.
 //!
 //! ## Determinism
@@ -76,14 +83,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chaos;
 pub mod degrade;
 pub mod metrics;
 pub mod queue;
 pub mod scheduler;
 pub mod server;
+pub mod stream;
 pub mod supervise;
 
+pub use cache::{CacheStats, CellCache, LevelCache};
 pub use chaos::PanicInjector;
 pub use degrade::{canary_reference, FallbackChain, ServiceLevel, DEFAULT_PROBE_TOLERANCE};
 pub use metrics::{
@@ -93,4 +103,5 @@ pub use metrics::{
 pub use queue::{Backpressure, PushError, QueueConfig, RequestQueue};
 pub use scheduler::{parallel_map, plan_chunks, try_parallel_map, Chunk, WorkerPanic};
 pub use server::{DetectionServer, RuntimeConfig, RuntimeConfigBuilder};
+pub use stream::{StreamFrameResult, StreamHandle, StreamState};
 pub use supervise::{RetryPolicy, Watchdog, WatchdogStatus};

@@ -170,6 +170,9 @@ pub struct Metrics {
     stalls_detected: AtomicU64,
     checkpoints_written: AtomicU64,
     checkpoints_restored: AtomicU64,
+    cells_reused: AtomicU64,
+    cells_recomputed: AtomicU64,
+    tracks_active: AtomicU64,
     // Watchdog heartbeat: work in flight plus the last time any stage
     // completed, as milliseconds since these metrics were created.
     in_flight: AtomicU64,
@@ -225,6 +228,9 @@ impl Metrics {
             stalls_detected: AtomicU64::new(0),
             checkpoints_written: AtomicU64::new(0),
             checkpoints_restored: AtomicU64::new(0),
+            cells_reused: AtomicU64::new(0),
+            cells_recomputed: AtomicU64::new(0),
+            tracks_active: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             last_beat_ms: AtomicU64::new(0),
             created: Instant::now(),
@@ -312,6 +318,23 @@ impl Metrics {
         self.checkpoints_restored.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts `n` pyramid cells served from a stream's temporal cache.
+    pub fn add_cells_reused(&self, n: u64) {
+        self.cells_reused.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` pyramid cells recomputed because their pixels changed.
+    pub fn add_cells_recomputed(&self, n: u64) {
+        self.cells_recomputed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` live tracks observed after one tracker update (one
+    /// observation per tracked frame, so totals are conserved across
+    /// worker counts and shard layouts).
+    pub fn add_tracks_active(&self, n: u64) {
+        self.tracks_active.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Marks the start of one unit of supervised work (a batch).
     pub fn begin_work(&self) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -387,6 +410,9 @@ impl Metrics {
             stalls_detected: self.stalls_detected.load(Ordering::Relaxed),
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             checkpoints_restored: self.checkpoints_restored.load(Ordering::Relaxed),
+            cells_reused: self.cells_reused.load(Ordering::Relaxed),
+            cells_recomputed: self.cells_recomputed.load(Ordering::Relaxed),
+            tracks_active: self.tracks_active.load(Ordering::Relaxed),
             kernel_backend: pcnn_kernels::backend_summary(),
             system,
             trace: None,
@@ -516,6 +542,15 @@ pub struct RuntimeReport {
     /// Checkpoints restored from disk.
     #[serde(default)]
     pub checkpoints_restored: u64,
+    /// Pyramid cells served from stream temporal caches.
+    #[serde(default)]
+    pub cells_reused: u64,
+    /// Pyramid cells recomputed because their pixels changed.
+    #[serde(default)]
+    pub cells_recomputed: u64,
+    /// Live-track observations summed over tracked stream frames.
+    #[serde(default)]
+    pub tracks_active: u64,
     /// The kernel path and SIMD tier this process serves on, e.g.
     /// `"trinary+avx2"` or `"f32+scalar"`. Snapshotted from
     /// [`pcnn_kernels::backend_summary`] at report time, so the trinary
@@ -588,6 +623,9 @@ impl RuntimeReport {
             stalls_detected: self.stalls_detected + other.stalls_detected,
             checkpoints_written: self.checkpoints_written + other.checkpoints_written,
             checkpoints_restored: self.checkpoints_restored + other.checkpoints_restored,
+            cells_reused: self.cells_reused + other.cells_reused,
+            cells_recomputed: self.cells_recomputed + other.cells_recomputed,
+            tracks_active: self.tracks_active + other.tracks_active,
             kernel_backend: if self.kernel_backend.is_empty() {
                 other.kernel_backend.clone()
             } else {
@@ -638,6 +676,21 @@ impl std::fmt::Display for RuntimeReport {
                 f,
                 "  supervision: {} panics caught, {} retries, {} deadline misses, {} stalls",
                 self.panics_caught, self.retries, self.deadline_misses, self.stalls_detected
+            )?;
+        }
+        if self.cells_reused + self.cells_recomputed > 0 {
+            writeln!(f)?;
+            let stats = crate::cache::CacheStats {
+                cells_reused: self.cells_reused,
+                cells_recomputed: self.cells_recomputed,
+            };
+            write!(
+                f,
+                "  stream cache: {} cells reused, {} recomputed ({:.1}% hit), {} track observations",
+                self.cells_reused,
+                self.cells_recomputed,
+                stats.hit_rate() * 100.0,
+                self.tracks_active
             )?;
         }
         if self.checkpoints_written + self.checkpoints_restored > 0 {
@@ -866,6 +919,27 @@ mod tests {
         assert!(!stripped.contains("panics_caught"));
         let back: RuntimeReport = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn stream_counters_reach_report_merge_and_display() {
+        let a = Metrics::new();
+        a.add_cells_reused(300);
+        a.add_cells_recomputed(100);
+        a.add_tracks_active(7);
+        let b = Metrics::new();
+        b.add_cells_reused(50);
+        b.add_tracks_active(3);
+        let merged = a.report(1, None).merge(&b.report(1, None));
+        assert_eq!(merged.cells_reused, 350);
+        assert_eq!(merged.cells_recomputed, 100);
+        assert_eq!(merged.tracks_active, 10);
+        let text = a.report(1, None).to_string();
+        assert!(text.contains("stream cache: 300 cells reused"), "{text}");
+        assert!(text.contains("75.0% hit"), "{text}");
+        let json = serde_json::to_string(&merged).unwrap();
+        let back: RuntimeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, merged);
     }
 
     #[test]

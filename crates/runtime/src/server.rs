@@ -13,18 +13,23 @@
 //! NMS, so the parallel output is bit-identical to
 //! [`Detector::detect`]'s serial scan for any worker count.
 
+use crate::cache::{cell_patch_hash, frame_hash, CacheStats, CellCache, LevelCache};
 use crate::chaos::PanicInjector;
 use crate::degrade::FallbackChain;
 use crate::metrics::{LevelReport, Metrics, RuntimeReport, Stage};
 use crate::queue::{Backpressure, PushError, QueueConfig, RequestQueue};
 use crate::scheduler::{plan_chunks, try_parallel_map, WorkerPanic};
+use crate::stream::{StreamFrameResult, StreamHandle, StreamState};
 use crate::supervise::RetryPolicy;
 use pcnn_core::pipeline::{Detector, TrainedDetector};
-use pcnn_core::Error;
-use pcnn_hog::cell::CELL_SIZE;
+use pcnn_core::{Error, StreamId};
+use pcnn_hog::block::assemble_descriptor;
+use pcnn_hog::cell::{cell_patch, CELL_SIZE};
 use pcnn_truenorth::SystemStats;
 use pcnn_vision::pyramid::scale_pyramid;
-use pcnn_vision::{non_maximum_suppression, Detection, GrayImage, WINDOW_WIDTH};
+use pcnn_vision::{
+    non_maximum_suppression, BoundingBox, Detection, GrayImage, WINDOW_HEIGHT, WINDOW_WIDTH,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -51,18 +56,6 @@ impl RuntimeConfig {
     /// `RuntimeConfig::builder().workers(8).queue_capacity(64).build()?`.
     pub fn builder() -> RuntimeConfigBuilder {
         RuntimeConfigBuilder::default()
-    }
-
-    /// The default configuration with the given worker count, validated
-    /// exactly like the builder path: `with_workers(0)` returns the same
-    /// [`Error::InvalidConfig`] as `builder().workers(0).build()`.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::InvalidConfig`] when `workers` is zero.
-    #[deprecated(since = "0.1.0", note = "use RuntimeConfig::builder().workers(n).build()")]
-    pub fn with_workers(workers: usize) -> Result<Self, Error> {
-        RuntimeConfig::builder().workers(workers).build()
     }
 
     /// Validates every field, mirroring what [`DetectionServer::new`]
@@ -229,13 +222,13 @@ impl<'d> DetectionServer<'d> {
         &self.chain
     }
 
-    /// Probes the chain and returns the level that would serve the next
-    /// batch, recording any probe failures.
-    fn select_level(&self, frames: u64) -> &'d TrainedDetector {
+    /// Probes the chain and returns the level index and detector that
+    /// would serve the next batch, recording any probe failures.
+    fn select_level(&self, frames: u64) -> (usize, &'d TrainedDetector) {
         let levels = self.chain.levels();
         if levels.len() == 1 {
             self.metrics.add_level_batch(0);
-            return levels[0].detector();
+            return (0, levels[0].detector());
         }
         let (index, failures) = self.chain.select();
         self.metrics.add_health_failures(failures);
@@ -243,37 +236,24 @@ impl<'d> DetectionServer<'d> {
         if index > 0 {
             self.metrics.add_degraded_batch(frames);
         }
-        levels[index].detector()
+        (index, levels[index].detector())
     }
 
     /// Runs one batch of frames through the staged parallel pipeline,
-    /// returning per-frame NMS-filtered detections in input order. With
-    /// a fallback chain the serving level is chosen per batch by health
-    /// probe.
+    /// returning per-frame results in input order. With a fallback
+    /// chain the serving level is chosen per batch by health probe.
     ///
-    /// # Panics
-    ///
-    /// Re-raises the first per-frame failure from
-    /// [`try_detect_batch`](DetectionServer::try_detect_batch) — use
-    /// that method when a panicking frame must not take the caller
-    /// down.
-    pub fn detect_batch(&self, frames: &[&GrayImage]) -> Vec<Vec<Detection>> {
-        self.try_detect_batch(frames)
-            .into_iter()
-            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
-            .collect()
-    }
-
-    /// Like [`detect_batch`](DetectionServer::detect_batch), but
-    /// supervised: a worker panic inside any stage fails **only the
+    /// Supervised: a worker panic inside any stage fails **only the
     /// frames it belongs to** — every other frame in the batch still
     /// returns its detections, the caught panic is counted in the
-    /// report, and no lock is left poisoned.
-    pub fn try_detect_batch(&self, frames: &[&GrayImage]) -> Vec<Result<Vec<Detection>, Error>> {
+    /// report, and no lock is left poisoned. Use
+    /// [`detect_frame`](DetectionServer::detect_frame) when a panicking
+    /// convenience wrapper is acceptable.
+    pub fn detect_batch(&self, frames: &[&GrayImage]) -> Vec<Result<Vec<Detection>, Error>> {
         if frames.is_empty() {
             return Vec::new();
         }
-        let detector = self.select_level(frames.len() as u64);
+        let (_, detector) = self.select_level(frames.len() as u64);
         self.try_run_batch(detector, frames)
     }
 
@@ -440,14 +420,19 @@ impl<'d> DetectionServer<'d> {
     }
 
     /// Detects over a single frame on the worker pool. Output is
-    /// bit-identical to [`Detector::detect`].
+    /// bit-identical to [`Detector::detect`]. A thin convenience
+    /// wrapper over [`detect_batch`](DetectionServer::detect_batch).
     ///
     /// # Panics
     ///
-    /// Re-raises worker panics, like
-    /// [`detect_batch`](DetectionServer::detect_batch).
+    /// Re-raises the frame's failure as a panic — use
+    /// [`detect_batch`](DetectionServer::detect_batch) when a worker
+    /// panic must not take the caller down.
     pub fn detect_frame(&self, img: &GrayImage) -> Vec<Detection> {
-        self.detect_batch(&[img]).pop().expect("one frame in, one result out")
+        self.detect_batch(&[img])
+            .pop()
+            .expect("one frame in, one result out")
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Submits one frame under a [`RetryPolicy`]: failed attempts are
@@ -474,7 +459,7 @@ impl<'d> DetectionServer<'d> {
                     });
                 }
             }
-            match self.try_detect_batch(&[frame]).pop().expect("one frame in, one result out") {
+            match self.detect_batch(&[frame]).pop().expect("one frame in, one result out") {
                 Ok(detections) => return Ok(detections),
                 Err(e) => {
                     last_err = Some(e);
@@ -526,12 +511,301 @@ impl<'d> DetectionServer<'d> {
                 drop(assemble_span);
                 let dets = self.detect_batch(&imgs);
                 for (&i, d) in batch.iter().zip(dets) {
-                    results[i] = Some(d);
+                    results[i] = Some(d.unwrap_or_else(|e| panic!("{e}")));
                 }
             }
             feeder.join().expect("feeder thread panicked");
         });
         results
+    }
+
+    /// Opens a video stream: mints a self-contained [`StreamHandle`]
+    /// holding the stream's temporal cache and tracker. The server
+    /// keeps no registry — dropping the last handle clone releases the
+    /// state.
+    pub fn open_stream(&self, id: StreamId) -> StreamHandle {
+        StreamHandle::new(id)
+    }
+
+    /// Processes the next frame of a stream: detections come from the
+    /// temporal cell cache (only changed cells re-run the extractor,
+    /// only windows touching them re-run the classifier) and feed the
+    /// stream's tracker. Frames of one stream must arrive in order.
+    ///
+    /// Output detections are **bit-identical** to a cold
+    /// [`Detector::detect`] run on the same frame.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WorkerPanic`] if a worker died mid-frame; the stream's
+    /// cache is invalidated (the next frame runs cold) and the tracker
+    /// is left as of the previous frame.
+    pub fn detect_stream(
+        &self,
+        handle: &StreamHandle,
+        img: &GrayImage,
+    ) -> Result<StreamFrameResult, Error> {
+        let mut state = handle.lock();
+        self.detect_stream_state(&mut state, img)
+    }
+
+    /// [`detect_stream`](DetectionServer::detect_stream) over directly
+    /// owned state — the entry point for owners that manage stream
+    /// state themselves (cluster shards hold one [`StreamState`] per
+    /// routed stream).
+    pub fn detect_stream_state(
+        &self,
+        state: &mut StreamState,
+        img: &GrayImage,
+    ) -> Result<StreamFrameResult, Error> {
+        let (level_index, detector) = self.select_level(1);
+        let batch_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_BATCH);
+        if batch_span.is_recording() {
+            batch_span.add(pcnn_trace::Counter::Frames, 1);
+        }
+        let start = Instant::now();
+        self.metrics.begin_work();
+        let outcome = self.try_run_stream(detector, level_index as u64, &mut state.cache, img);
+        let (detections, stats) = match outcome {
+            Ok(v) => v,
+            Err(e) => {
+                self.metrics.end_work();
+                return Err(e);
+            }
+        };
+
+        let track_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_TRACK);
+        let tracks = state.tracker.update(&detections);
+        let active = tracks.len() as u64;
+        if track_span.is_recording() {
+            track_span.add(pcnn_trace::Counter::TracksActive, active);
+        }
+        drop(track_span);
+
+        self.metrics.add_cells_reused(stats.cells_reused);
+        self.metrics.add_cells_recomputed(stats.cells_recomputed);
+        self.metrics.add_tracks_active(active);
+        self.metrics.add_frames(1);
+        self.metrics.add_batch(start.elapsed());
+        self.metrics.end_work();
+        Ok(StreamFrameResult {
+            detections,
+            tracks,
+            cells_reused: stats.cells_reused,
+            cells_recomputed: stats.cells_recomputed,
+        })
+    }
+
+    /// The change-driven detection pipeline over one frame of a stream.
+    ///
+    /// Reuse decisions are pure functions of pixel content (per-cell
+    /// FNV hashes), so the reuse/recompute counters and the output are
+    /// identical for any worker count. On any worker panic the cache is
+    /// invalidated before the error is returned, so partial state never
+    /// survives.
+    fn try_run_stream(
+        &self,
+        detector: &TrainedDetector,
+        token: u64,
+        cache: &mut CellCache,
+        img: &GrayImage,
+    ) -> Result<(Vec<Detection>, CacheStats), Error> {
+        let workers = self.config.workers;
+        let window_cells_x = WINDOW_WIDTH / CELL_SIZE;
+        let window_cells_y = WINDOW_HEIGHT / CELL_SIZE;
+
+        // Probe: is this frame (or most of it) already cached?
+        let probe_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_CACHE_PROBE);
+        cache.ensure_token(token);
+        let fhash = frame_hash(img);
+        if let Some(dets) = cache.unchanged(fhash) {
+            // Unchanged frame: serve the last result without touching
+            // the pyramid. Every cached cell counts as reused.
+            let stats = CacheStats { cells_reused: cache.total_cells(), cells_recomputed: 0 };
+            if probe_span.is_recording() {
+                probe_span.add(pcnn_trace::Counter::CellsReused, stats.cells_reused);
+                probe_span.add(pcnn_trace::Counter::CellsRecomputed, 0);
+            }
+            return Ok((dets.clone(), stats));
+        }
+
+        // Pyramid (shared with the batch path's stage 1).
+        let t = Instant::now();
+        let pyramid = scale_pyramid(img, self.engine.config().pyramid);
+        self.metrics.add_stage(Stage::Pyramid, t.elapsed());
+
+        // Diff cells against the cache: hash every cell's padded patch
+        // and mark mismatches for recomputation.
+        let t = Instant::now();
+        let n_levels = pyramid.levels.len();
+        let mut recompute: Vec<(usize, usize)> = Vec::new();
+        let mut reused = 0u64;
+        {
+            let levels = cache.levels_mut(n_levels);
+            for (l, level) in pyramid.levels.iter().enumerate() {
+                let cells_x = level.image.width() / CELL_SIZE;
+                let cells_y = level.image.height() / CELL_SIZE;
+                let lc = &mut levels[l];
+                if !lc.matches(cells_x, cells_y, level.scale) {
+                    *lc = LevelCache {
+                        cells_x,
+                        cells_y,
+                        scale: level.scale,
+                        cell_hashes: vec![0; cells_x * cells_y],
+                        histograms: vec![Vec::new(); cells_x * cells_y],
+                        window_hashes: Vec::new(),
+                        window_scores: Vec::new(),
+                    };
+                }
+                for cy in 0..cells_y {
+                    for cx in 0..cells_x {
+                        let idx = cy * cells_x + cx;
+                        let h = cell_patch_hash(&level.image, cx, cy);
+                        // An empty histogram marks a never-computed cell
+                        // (fresh level), which must recompute even if
+                        // its stored hash happens to collide.
+                        if lc.cell_hashes[idx] == h && !lc.histograms[idx].is_empty() {
+                            reused += 1;
+                        } else {
+                            lc.cell_hashes[idx] = h;
+                            recompute.push((l, idx));
+                        }
+                    }
+                }
+            }
+        }
+        let stats = CacheStats { cells_reused: reused, cells_recomputed: recompute.len() as u64 };
+        if probe_span.is_recording() {
+            probe_span.add(pcnn_trace::Counter::CellsReused, stats.cells_reused);
+            probe_span.add(pcnn_trace::Counter::CellsRecomputed, stats.cells_recomputed);
+        }
+        drop(probe_span);
+
+        // Recompute changed cells' histograms on the worker pool.
+        let stage_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_CELLS);
+        let histograms = {
+            let cache_view: &CellCache = cache;
+            try_parallel_map(workers, recompute.len(), |i| {
+                let (l, idx) = recompute[i];
+                let level = &pyramid.levels[l];
+                let cells_x = cache_view.levels()[l].cells_x;
+                let patch = cell_patch(&level.image, 0, 0, idx % cells_x, idx / cells_x);
+                detector.extractor.cell_histogram(&patch)
+            })
+        };
+        if let Some(p) = histograms.iter().find_map(|r| r.as_ref().err()) {
+            self.metrics.add_panics(1);
+            let message = p.message.clone();
+            cache.invalidate();
+            return Err(Error::WorkerPanic { stage: "stream_cells".to_owned(), message });
+        }
+        {
+            let levels = cache.levels_mut(n_levels);
+            for (&(l, idx), h) in recompute.iter().zip(histograms) {
+                levels[l].histograms[idx] = h.expect("errors returned above");
+            }
+        }
+        self.metrics.add_stage(Stage::Cells, t.elapsed());
+        drop(stage_span);
+
+        // Diff windows: a window's hash covers its contributing cells,
+        // so it changes exactly when one of them recomputed.
+        let stage_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_CLASSIFY);
+        let t = Instant::now();
+        let mut rescore: Vec<(usize, usize)> = Vec::new();
+        {
+            let levels = cache.levels_mut(n_levels);
+            for (l, lc) in levels.iter_mut().enumerate() {
+                let (rows, cols) = window_dims(lc, window_cells_x, window_cells_y);
+                let n = rows * cols;
+                let warm = lc.window_hashes.len() == n && lc.window_scores.len() == n;
+                if !warm {
+                    lc.window_hashes = vec![0; n];
+                    lc.window_scores = vec![0.0; n];
+                }
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let w = r * cols + c;
+                        let h = lc.window_hash(r, c, window_cells_x, window_cells_y);
+                        if !warm || lc.window_hashes[w] != h {
+                            lc.window_hashes[w] = h;
+                            rescore.push((l, w));
+                        }
+                    }
+                }
+            }
+        }
+        let norm = detector.extractor.norm();
+        let scores = {
+            let cache_view: &CellCache = cache;
+            try_parallel_map(workers, rescore.len(), |i| {
+                let (l, w) = rescore[i];
+                let lc = &cache_view.levels()[l];
+                let (_, cols) = window_dims(lc, window_cells_x, window_cells_y);
+                let (cy0, cx0) = (w / cols, w % cols);
+                // Reproduces Detector::score_rows's window computation
+                // exactly: same sub-grid, descriptor and classifier.
+                let sub: Vec<Vec<Vec<f32>>> = (cy0..cy0 + window_cells_y)
+                    .map(|cy| {
+                        lc.histograms[cy * lc.cells_x + cx0..cy * lc.cells_x + cx0 + window_cells_x]
+                            .to_vec()
+                    })
+                    .collect();
+                let descriptor = assemble_descriptor(&sub, norm);
+                detector.classifier.score(&descriptor)
+            })
+        };
+        if let Some(p) = scores.iter().find_map(|r| r.as_ref().err()) {
+            self.metrics.add_panics(1);
+            let message = p.message.clone();
+            cache.invalidate();
+            return Err(Error::WorkerPanic { stage: "stream_classify".to_owned(), message });
+        }
+        {
+            let levels = cache.levels_mut(n_levels);
+            for (&(l, w), s) in rescore.iter().zip(scores) {
+                levels[l].window_scores[w] = s.expect("errors returned above");
+            }
+        }
+        self.metrics.add_windows(rescore.len() as u64);
+        if stage_span.is_recording() {
+            stage_span.add(pcnn_trace::Counter::Windows, rescore.len() as u64);
+        }
+        self.metrics.add_stage(Stage::Classify, t.elapsed());
+        drop(stage_span);
+
+        // Rebuild the raw detection sequence from cached scores in the
+        // serial scan order (level, row, column) and suppress — exactly
+        // what Detector::detect does with freshly computed scores.
+        let stage_span = pcnn_trace::span(pcnn_trace::stages::RUNTIME_NMS);
+        let t = Instant::now();
+        let floor = self.engine.config().score_floor;
+        let mut raw = Vec::new();
+        for lc in cache.levels() {
+            let (rows, cols) = window_dims(lc, window_cells_x, window_cells_y);
+            for cy0 in 0..rows {
+                for cx0 in 0..cols {
+                    let score = lc.window_scores[cy0 * cols + cx0];
+                    if score < floor {
+                        continue;
+                    }
+                    let bbox = BoundingBox::new(
+                        (cx0 * CELL_SIZE) as f32,
+                        (cy0 * CELL_SIZE) as f32,
+                        WINDOW_WIDTH as f32,
+                        WINDOW_HEIGHT as f32,
+                    )
+                    .unscale(lc.scale);
+                    raw.push(Detection { bbox, score });
+                }
+            }
+        }
+        let detections = non_maximum_suppression(raw, self.engine.config().nms_epsilon);
+        self.metrics.add_stage(Stage::Nms, t.elapsed());
+        drop(stage_span);
+
+        cache.finish_frame(fhash, detections.clone());
+        Ok((detections, stats))
     }
 
     /// Snapshots the serving metrics. Pass the simulator counters when
@@ -550,5 +824,16 @@ impl<'d> DetectionServer<'d> {
             .collect();
         report.trace = pcnn_trace::profile_snapshot().map(crate::metrics::TraceSummary::from);
         report
+    }
+}
+
+/// Valid window start (rows, cols) in a cached level's cell grid —
+/// `(0, 0)` when the level is too small to hold one window, matching
+/// [`Detector::window_rows`].
+fn window_dims(lc: &LevelCache, window_cells_x: usize, window_cells_y: usize) -> (usize, usize) {
+    if lc.cells_y < window_cells_y || lc.cells_x < window_cells_x {
+        (0, 0)
+    } else {
+        (lc.cells_y - window_cells_y + 1, lc.cells_x - window_cells_x + 1)
     }
 }

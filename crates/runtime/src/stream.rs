@@ -1,0 +1,146 @@
+//! Per-stream serving state: temporal cache + tracker behind a handle.
+//!
+//! A video stream is stateful where a batch is not: consecutive frames
+//! share pixels (exploited by the [`CellCache`]) and detections carry
+//! identity across frames (maintained by the [`Tracker`]). That state
+//! lives in a [`StreamState`], owned either directly (cluster shards
+//! keep one per routed stream) or behind a cloneable, thread-safe
+//! [`StreamHandle`] minted by
+//! [`DetectionServer::open_stream`](crate::DetectionServer::open_stream).
+//!
+//! The handle is self-contained — the server keeps no registry — so a
+//! stream's lifetime is exactly the lifetime of its handles, and
+//! dropping the last handle releases the cache with no unbounded
+//! server-side growth.
+
+use crate::cache::CellCache;
+use pcnn_core::StreamId;
+use pcnn_track::{Track, Tracker, TrackerConfig};
+use pcnn_vision::Detection;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One processed stream frame: final detections, the tracks they
+/// updated, and how much work the temporal cache saved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFrameResult {
+    /// NMS-filtered detections, bit-identical to a cold
+    /// [`Detector::detect`](pcnn_core::pipeline::Detector::detect) run
+    /// on the same frame.
+    pub detections: Vec<Detection>,
+    /// Live tracks after folding this frame's detections in.
+    pub tracks: Vec<Track>,
+    /// Pyramid cells served from the temporal cache.
+    pub cells_reused: u64,
+    /// Pyramid cells recomputed because their pixels changed.
+    pub cells_recomputed: u64,
+}
+
+/// The mutable state of one video stream: its temporal cell cache and
+/// its tracker.
+#[derive(Debug)]
+pub struct StreamState {
+    id: StreamId,
+    /// The temporal cell/window cache for this stream.
+    pub cache: CellCache,
+    /// The tracking-by-detection state for this stream.
+    pub tracker: Tracker,
+}
+
+impl StreamState {
+    /// Fresh state for a stream, with the default tracker.
+    pub fn new(id: StreamId) -> Self {
+        StreamState::with_tracker(id, TrackerConfig::default())
+    }
+
+    /// Fresh state with an explicit tracker configuration.
+    pub fn with_tracker(id: StreamId, tracker: TrackerConfig) -> Self {
+        StreamState { id, cache: CellCache::new(), tracker: Tracker::new(tracker) }
+    }
+
+    /// The stream's identity.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// Drops all cached detection state (the tracker is kept: identity
+    /// survives a model swap, cached pixels must not).
+    pub fn invalidate(&mut self) {
+        self.cache.invalidate();
+    }
+}
+
+/// A cloneable, thread-safe handle to one stream's state.
+///
+/// Clones share the same underlying [`StreamState`]; frames for one
+/// stream must still be submitted in order (the cache diffs against the
+/// previous frame), but different streams' handles can be served
+/// concurrently.
+#[derive(Debug, Clone)]
+pub struct StreamHandle {
+    inner: Arc<Mutex<StreamState>>,
+}
+
+impl StreamHandle {
+    /// A handle over fresh default state.
+    pub fn new(id: StreamId) -> Self {
+        StreamHandle { inner: Arc::new(Mutex::new(StreamState::new(id))) }
+    }
+
+    /// A handle over fresh state with an explicit tracker configuration.
+    pub fn with_tracker(id: StreamId, tracker: TrackerConfig) -> Self {
+        StreamHandle { inner: Arc::new(Mutex::new(StreamState::with_tracker(id, tracker))) }
+    }
+
+    /// The stream's identity.
+    pub fn id(&self) -> StreamId {
+        self.lock().id()
+    }
+
+    /// Locks the underlying state. Recovers from poisoning: a panic
+    /// while holding the lock must not wedge the stream — the cache is
+    /// conservative (worst case it recomputes), and the next
+    /// [`detect_stream`](crate::DetectionServer::detect_stream) call
+    /// invalidates on error anyway.
+    pub fn lock(&self) -> MutexGuard<'_, StreamState> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Drops the stream's cached detection state (e.g. after swapping
+    /// the model underneath it).
+    pub fn invalidate(&self) {
+        self.lock().invalidate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_clones_share_state() {
+        let a = StreamHandle::new(StreamId::new(3));
+        let b = a.clone();
+        a.lock().cache.ensure_token(7);
+        a.lock().cache.finish_frame(99, vec![]);
+        assert!(b.lock().cache.unchanged(99).is_some());
+        b.invalidate();
+        assert!(a.lock().cache.unchanged(99).is_none());
+        assert_eq!(b.id(), StreamId::new(3));
+    }
+
+    #[test]
+    fn invalidate_keeps_tracker_identity() {
+        let mut state = StreamState::new(StreamId::new(1));
+        let det =
+            Detection { bbox: pcnn_vision::BoundingBox::new(0.0, 0.0, 64.0, 128.0), score: 1.0 };
+        state.tracker.update(&[det]);
+        state.tracker.update(&[det]);
+        assert_eq!(state.tracker.tracks().len(), 1);
+        state.invalidate();
+        assert_eq!(state.tracker.tracks().len(), 1, "tracks survive invalidation");
+        assert!(!state.cache.is_warm());
+    }
+}

@@ -112,22 +112,9 @@ fn builder_rejects_degenerate_configs() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn with_workers_shim_matches_builder() {
-    let shim = RuntimeConfig::with_workers(3).unwrap();
-    let built = RuntimeConfig::builder().workers(3).build().unwrap();
-    assert_eq!(shim, built);
-}
-
-#[test]
-#[allow(deprecated)]
-fn with_workers_shim_validates_like_builder() {
-    // The deprecated shim routes through the builder, so an invalid
-    // worker count produces the identical error on both paths.
-    let shim_err = RuntimeConfig::with_workers(0).unwrap_err();
-    let builder_err = RuntimeConfig::builder().workers(0).build().unwrap_err();
-    assert_eq!(shim_err, builder_err);
-    assert!(shim_err.to_string().contains("worker count"), "{shim_err}");
+fn builder_defaults_match_config_defaults() {
+    let built = RuntimeConfig::builder().build().unwrap();
+    assert_eq!(built, RuntimeConfig::default());
 }
 
 #[test]

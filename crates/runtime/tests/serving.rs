@@ -76,6 +76,7 @@ fn batch_and_serve_match_per_frame_results() {
     let served = server.serve(&frames);
     assert_eq!(served.len(), frames.len());
     for (frame, (batch, serve)) in batched.iter().zip(&served).enumerate() {
+        let batch = batch.as_ref().expect("healthy batch frames all succeed");
         let serve = serve.as_ref().expect("Block backpressure never drops frames");
         assert_eq!(batch, serve, "frame {frame} differs between detect_batch and serve");
     }

@@ -104,6 +104,11 @@ pub mod stages {
     pub const RUNTIME_CLASSIFY: &str = "runtime.classify";
     /// The non-maximum-suppression stage of a batch.
     pub const RUNTIME_NMS: &str = "runtime.nms";
+    /// Probing a stream's temporal cell cache for one frame (carries
+    /// the cells_reused/cells_recomputed split).
+    pub const RUNTIME_CACHE_PROBE: &str = "runtime.cache_probe";
+    /// One tracker update on a stream's detections.
+    pub const RUNTIME_TRACK: &str = "runtime.track";
     /// One checkpoint save.
     pub const STORE_SAVE: &str = "store.save";
     /// One checkpoint load.

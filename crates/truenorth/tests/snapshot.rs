@@ -92,7 +92,8 @@ fn tampered_snapshots_are_rejected() {
     sys.run(5);
     let good = sys.snapshot();
 
-    let tamper = |f: &dyn Fn(&mut Vec<(String, Value)>)| -> SystemSnapshot {
+    type FieldEdit<'a> = &'a dyn Fn(&mut Vec<(String, Value)>);
+    let tamper = |f: FieldEdit| -> SystemSnapshot {
         let mut v = good.to_value();
         if let Value::Map(m) = &mut v {
             f(m);

@@ -8,6 +8,9 @@
 //!   dataset generator;
 //! * [`synth`] — a seeded synthetic pedestrian dataset standing in for the
 //!   INRIA Person Dataset (see `DESIGN.md` for the substitution rationale);
+//! * [`temporal`] — seeded video streams over the synthetic scenes:
+//!   walking pedestrians with spawn/despawn, occlusion, lighting drift
+//!   and camera pan, deterministic per `(seed, frame_idx)`;
 //! * [`pyramid`] — bilinear rescaling and the 1.1×-spaced scale pyramid;
 //! * [`window`] — 64×128 sliding detection windows;
 //! * [`bbox`] — boxes and overlap math;
@@ -26,6 +29,7 @@ pub mod image;
 pub mod nms;
 pub mod pyramid;
 pub mod synth;
+pub mod temporal;
 pub mod window;
 
 pub use bbox::BoundingBox;
@@ -34,4 +38,5 @@ pub use image::{GrayImage, RgbImage};
 pub use nms::non_maximum_suppression;
 pub use pyramid::{scale_pyramid, Pyramid};
 pub use synth::{SynthConfig, SynthDataset, SynthScene};
+pub use temporal::{ActorState, SceneState, TemporalConfig, VideoStream};
 pub use window::{Detection, WindowIter, WINDOW_HEIGHT, WINDOW_WIDTH};

@@ -1,0 +1,654 @@
+//! Seeded temporal scene sequences — the video workload over [`synth`].
+//!
+//! A [`VideoStream`] extends the single-frame synthetic dataset to a
+//! deterministic video: pedestrians walk through a persistent scene with
+//! per-actor velocity, spawn and despawn on schedule, occlude each other
+//! by depth order, and the scene optionally pans and drifts in lighting.
+//! Everything is a pure function of `(seed, frame_idx)`:
+//!
+//! * the **backdrop** (clutter, distractors) is painted once per stream
+//!   and reused by every frame, so a static camera really is static;
+//! * **sensor noise** is a fixed per-stream pattern (fixed-pattern
+//!   noise, as real image sensors exhibit) added after blur — unchanged
+//!   pixels stay bit-identical across frames, which is what makes
+//!   temporal-coherence caching in the serving tier worth anything;
+//! * **actors** advance in closed form (position = entry + velocity ×
+//!   frames alive), so [`VideoStream::state`] supports random access:
+//!   frame 500 needs no simulation of frames 0–499 and two processes
+//!   rendering the same `(seed, frame_idx)` produce bit-identical
+//!   images;
+//! * **lighting drift** is a slow sinusoidal gain quantized to 1/64
+//!   steps, so between steps the scene holds bit-still and a cache sees
+//!   full reuse, while across a step every cell legitimately changes;
+//! * **panning** shifts an extra-wide backdrop under the camera in
+//!   whole pixels (ping-pong, so the stream never runs off the edge).
+//!
+//! [`synth`]: crate::synth
+
+use crate::bbox::BoundingBox;
+use crate::draw;
+use crate::image::GrayImage;
+use crate::synth::{SynthConfig, SynthScene};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one temporal scene stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemporalConfig {
+    /// Base rendering parameters (seed, scene size, clutter, noise
+    /// amplitude, blur, contrast). The seed here is the stream seed.
+    pub synth: SynthConfig,
+    /// Actor lanes: the maximum number of concurrently walking
+    /// pedestrians (crowd density). Each lane cycles walk → gap → walk.
+    pub lanes: usize,
+    /// Walking speed range in pixels per frame.
+    pub speed: (f32, f32),
+    /// Idle frames between one lane's despawn and its next spawn.
+    pub gap: (u64, u64),
+    /// Amplitude of the sinusoidal global lighting gain (0 disables
+    /// drift; 0.1 means gain swings between 0.9× and 1.1×).
+    pub lighting_drift: f32,
+    /// Frames per lighting-drift cycle.
+    pub lighting_period: u64,
+    /// Camera pan speed in pixels per frame (0 = static camera). The
+    /// backdrop is rendered twice the scene width and the camera
+    /// ping-pongs across it.
+    pub pan: f32,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig {
+            synth: SynthConfig::default(),
+            lanes: 2,
+            speed: (1.0, 3.0),
+            gap: (5, 30),
+            lighting_drift: 0.0,
+            lighting_period: 240,
+            pan: 0.0,
+        }
+    }
+}
+
+impl TemporalConfig {
+    /// A static-camera stream with no actors and no drift: every frame
+    /// is bit-identical, the best case for temporal caching.
+    pub fn static_scene(seed: u64) -> Self {
+        TemporalConfig {
+            synth: SynthConfig { seed, ..SynthConfig::default() },
+            lanes: 0,
+            ..TemporalConfig::default()
+        }
+    }
+
+    /// A sparse street scene: a couple of walkers, static camera.
+    pub fn sparse_scene(seed: u64) -> Self {
+        TemporalConfig { synth: SynthConfig { seed, ..SynthConfig::default() }, ..Self::default() }
+    }
+
+    /// A panning camera over a sparse scene: almost every cell changes
+    /// every frame, the worst case for temporal caching.
+    pub fn panning_scene(seed: u64) -> Self {
+        TemporalConfig { pan: 1.5, ..Self::sparse_scene(seed) }
+    }
+
+    /// A crowded scene: many overlapping walkers with mutual occlusion.
+    pub fn crowded_scene(seed: u64) -> Self {
+        TemporalConfig { lanes: 6, ..Self::sparse_scene(seed) }
+    }
+}
+
+/// One pedestrian visible in a frame, in camera coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActorState {
+    /// Stable identity: unique per walk instance across the stream's
+    /// whole lifetime (lane-major). A tracker that works should hold
+    /// one track id per actor id while the actor is on screen.
+    pub id: u64,
+    /// The actor's box in camera coordinates (may extend past the frame
+    /// edges while entering or leaving).
+    pub bbox: BoundingBox,
+    /// Velocity in pixels per frame, camera coordinates.
+    pub velocity: (f32, f32),
+    /// Frames since this actor spawned.
+    pub age: u64,
+}
+
+/// Everything that varies frame to frame: the actor population, camera
+/// pan offset and quantized lighting gain. A pure function of
+/// `(seed, frame_idx)` — see [`VideoStream::state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneState {
+    /// The frame index this state describes.
+    pub frame: u64,
+    /// Camera left edge in backdrop coordinates.
+    pub pan_offset: usize,
+    /// Quantized global lighting gain applied to the frame.
+    pub lighting_gain: f32,
+    /// Visible actors, back to front (painting order).
+    pub actors: Vec<ActorState>,
+}
+
+/// Per-instance appearance drawn once at spawn and held for the walk,
+/// so an actor does not flicker between frames.
+#[derive(Debug, Clone, Copy)]
+struct WalkerLook {
+    body: f32,
+    torso: f32,
+    legs: f32,
+    torso_rx_frac: f32,
+}
+
+/// One walk instance's full schedule and kinematics, in backdrop
+/// coordinates.
+#[derive(Debug, Clone, Copy)]
+struct Walk {
+    id: u64,
+    born: u64,
+    dies: u64,
+    x0: f32,
+    vx: f32,
+    y: f32,
+    w: f32,
+    h: f32,
+    look: WalkerLook,
+    stride: f32,
+}
+
+/// A deterministic temporal scene stream.
+///
+/// Construction renders the stream's persistent backdrop and
+/// fixed-pattern noise; [`render`](VideoStream::render) then produces
+/// any frame on demand.
+#[derive(Debug, Clone)]
+pub struct VideoStream {
+    config: TemporalConfig,
+    /// Painted clutter + distractors, `pan_width()` wide, no blur/noise.
+    backdrop: GrayImage,
+    /// Fixed-pattern sensor noise, scene sized, added after blur.
+    noise: GrayImage,
+}
+
+impl VideoStream {
+    /// A stream for `config`, with the backdrop and noise pattern
+    /// rendered up front.
+    pub fn new(config: TemporalConfig) -> Self {
+        let (w, h) = (Self::backdrop_width(&config), config.synth.scene_height);
+        let mut backdrop = GrayImage::new(w, h);
+        let mut rng = rng_for(&config, 0xE0, 0);
+        paint_backdrop(&mut backdrop, &mut rng, config.synth.clutter * 2, config.synth.distractors);
+        let noise = {
+            let mut rng = rng_for(&config, 0xE1, 0);
+            let amp = config.synth.noise;
+            GrayImage::from_fn(config.synth.scene_width, config.synth.scene_height, |_, _| {
+                if amp > 0.0 {
+                    rng.random_range(-amp..=amp)
+                } else {
+                    0.0
+                }
+            })
+        };
+        VideoStream { config, backdrop, noise }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &TemporalConfig {
+        &self.config
+    }
+
+    fn backdrop_width(config: &TemporalConfig) -> usize {
+        if config.pan != 0.0 {
+            config.synth.scene_width * 2
+        } else {
+            config.synth.scene_width
+        }
+    }
+
+    /// The scene state at `frame_idx`: pan offset, lighting gain and
+    /// the visible actor population, each in closed form — random
+    /// access is O(frames elapsed / mean walk length) per lane, with no
+    /// mutable simulation state.
+    pub fn state(&self, frame_idx: u64) -> SceneState {
+        let cfg = &self.config;
+        let span = self.backdrop.width() - cfg.synth.scene_width;
+        let pan_offset = if span == 0 {
+            0
+        } else {
+            // Ping-pong over [0, span] in whole pixels.
+            let travelled = (cfg.pan.abs() as f64 * frame_idx as f64) as usize;
+            let cycle = travelled % (2 * span);
+            if cycle <= span {
+                cycle
+            } else {
+                2 * span - cycle
+            }
+        };
+        let lighting_gain = if cfg.lighting_drift > 0.0 && cfg.lighting_period > 0 {
+            let phase = 2.0 * std::f32::consts::PI * (frame_idx % cfg.lighting_period) as f32
+                / cfg.lighting_period as f32;
+            // Quantized so consecutive frames usually share a gain step
+            // (bit-still between steps, global change across one).
+            ((1.0 + cfg.lighting_drift * phase.sin()) * 64.0).round() / 64.0
+        } else {
+            1.0
+        };
+        let mut actors: Vec<(Walk, ActorState)> = Vec::new();
+        for lane in 0..cfg.lanes {
+            if let Some(walk) = self.active_walk(lane, frame_idx) {
+                let age = frame_idx - walk.born;
+                let x_world = walk.x0 + walk.vx * age as f32;
+                let bbox = BoundingBox::new(0.0, 0.0, walk.w, walk.h);
+                let bbox = BoundingBox { x: x_world - pan_offset as f32, y: walk.y, ..bbox };
+                actors
+                    .push((walk, ActorState { id: walk.id, bbox, velocity: (walk.vx, 0.0), age }));
+            }
+        }
+        // Paint (and report) back to front: shorter ⇒ farther away, so
+        // taller actors occlude shorter ones where they overlap.
+        actors.sort_by(|a, b| {
+            a.1.bbox
+                .height
+                .partial_cmp(&b.1.bbox.height)
+                .expect("finite heights")
+                .then(a.1.id.cmp(&b.1.id))
+        });
+        SceneState {
+            frame: frame_idx,
+            pan_offset,
+            lighting_gain,
+            actors: actors.into_iter().map(|(_, a)| a).collect(),
+        }
+    }
+
+    /// Renders frame `frame_idx`: backdrop crop, actors (depth order),
+    /// blur, lighting gain, fixed-pattern noise, clamp. Ground truth
+    /// lists each actor at least 40% visible inside the frame.
+    ///
+    /// Bit-deterministic: the same `(seed, frame_idx)` renders the same
+    /// image in any process, in any order of calls.
+    pub fn render(&self, frame_idx: u64) -> SynthScene {
+        let state = self.state(frame_idx);
+        self.render_state(&state)
+    }
+
+    /// Renders a previously computed [`state`](VideoStream::state).
+    pub fn render_state(&self, state: &SceneState) -> SynthScene {
+        let cfg = &self.config;
+        let (sw, sh) = (cfg.synth.scene_width, cfg.synth.scene_height);
+        let mut img = GrayImage::from_fn(sw, sh, |x, y| self.backdrop.get(x + state.pan_offset, y));
+        for actor in &state.actors {
+            let walk = self
+                .active_walk_by_id(actor.id, state.frame)
+                .expect("state actors come from active walks");
+            let phase = walk.stride * actor.age as f32;
+            paint_walker(&mut img, &actor.bbox, &walk.look, phase);
+        }
+        if cfg.synth.blur > 0 {
+            img = draw::box_blur(&img, cfg.synth.blur);
+        }
+        if state.lighting_gain != 1.0 {
+            for p in img.pixels_mut() {
+                *p *= state.lighting_gain;
+            }
+        }
+        for (p, n) in img.pixels_mut().iter_mut().zip(self.noise.pixels()) {
+            *p += n;
+        }
+        img.clamp();
+        let scene = BoundingBox::new(0.0, 0.0, sw as f32, sh as f32);
+        let pedestrians = state
+            .actors
+            .iter()
+            .filter(|a| {
+                let area = a.bbox.area();
+                area > 0.0 && a.bbox.intersection_area(&scene) >= 0.4 * area
+            })
+            .map(|a| clip_box(&a.bbox, sw as f32, sh as f32))
+            .collect();
+        SynthScene { image: img, pedestrians }
+    }
+
+    /// The walk instance active on `lane` at `frame_idx`, if any.
+    fn active_walk(&self, lane: usize, frame_idx: u64) -> Option<Walk> {
+        let cfg = &self.config;
+        let mut born =
+            rng_for(cfg, 0xF0, lane as u64).random_range(0..=(cfg.gap.1.max(cfg.gap.0) + 1));
+        let mut instance = 0u64;
+        loop {
+            let walk = self.walk_params(lane, instance, born);
+            if frame_idx < walk.born {
+                return None;
+            }
+            if frame_idx < walk.dies {
+                return Some(walk);
+            }
+            let mut rng = rng_for(cfg, 0xF2, walk.id);
+            let gap = rng.random_range(cfg.gap.0..=cfg.gap.1.max(cfg.gap.0));
+            born = walk.dies + gap;
+            instance += 1;
+        }
+    }
+
+    fn active_walk_by_id(&self, id: u64, frame_idx: u64) -> Option<Walk> {
+        let lane = (id % LANE_STRIDE) as usize;
+        self.active_walk(lane, frame_idx).filter(|w| w.id == id)
+    }
+
+    /// Kinematics and appearance of walk `instance` on `lane`, born at
+    /// `born`. Pure function of `(seed, lane, instance)` plus the
+    /// schedule-threaded `born`.
+    fn walk_params(&self, lane: usize, instance: u64, born: u64) -> Walk {
+        let cfg = &self.config;
+        let id = instance * LANE_STRIDE + lane as u64;
+        let mut rng = rng_for(cfg, 0xF1, id);
+        let sh = cfg.synth.scene_height as f32;
+        let bw = self.backdrop.width() as f32;
+        let h = rng.random_range((sh * 0.45)..=(sh * 0.75));
+        let w = h * rng.random_range(0.38..=0.46);
+        let speed = rng.random_range(cfg.speed.0..=cfg.speed.1.max(cfg.speed.0)).max(0.25);
+        let ltr = rng.random_bool(0.5);
+        let (x0, vx) = if ltr { (-w, speed) } else { (bw, -speed) };
+        let y = (sh - h) * rng.random_range(0.55..=0.95);
+        let cross = ((bw + w) / speed).ceil() as u64;
+        let look = {
+            let local = band_mean(&self.backdrop, y, h);
+            let delta = rng.random_range(cfg.synth.contrast.0..=cfg.synth.contrast.1);
+            let body = if local > 0.5 || (local > 0.25 && rng.random_bool(0.5)) {
+                (local - delta).clamp(0.02, 0.98)
+            } else {
+                (local + delta).clamp(0.02, 0.98)
+            };
+            WalkerLook {
+                body,
+                torso: (body + rng.random_range(-0.06..=0.06)).clamp(0.02, 0.98),
+                legs: (body + rng.random_range(-0.08..=0.08)).clamp(0.02, 0.98),
+                torso_rx_frac: rng.random_range(0.30..=0.38),
+            }
+        };
+        // Stride frequency tied to speed: faster walkers swing faster.
+        let stride = 0.12 + 0.10 * speed;
+        Walk { id, born, dies: born + cross, x0, vx, y, w, h, look, stride }
+    }
+}
+
+/// Lane capacity inside actor ids: `id = instance * LANE_STRIDE + lane`.
+const LANE_STRIDE: u64 = 64;
+
+/// Independent, reproducible stream per `(kind, index)`, same mixing as
+/// the single-frame dataset.
+fn rng_for(config: &TemporalConfig, stream: u64, index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(
+        config
+            .synth
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream << 56)
+            .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+    )
+}
+
+/// Mean backdrop luminance over the horizontal band an actor walks in,
+/// sampled on a sparse grid. Fixed per walk so the actor's tone does
+/// not flicker as the local background changes under it.
+fn band_mean(backdrop: &GrayImage, y: f32, h: f32) -> f32 {
+    let y0 = (y.max(0.0) as usize).min(backdrop.height() - 1);
+    let y1 = ((y + h) as usize).clamp(y0 + 1, backdrop.height());
+    let mut acc = 0.0;
+    let mut n = 0u32;
+    for yy in (y0..y1).step_by(8) {
+        for xx in (0..backdrop.width()).step_by(16) {
+            acc += backdrop.get(xx, yy);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.5
+    } else {
+        acc / n as f32
+    }
+}
+
+/// Paints the persistent backdrop: luminance ramp, clutter and
+/// pedestrian-like distractors (no blur or noise — those are applied
+/// per frame so actors integrate into the scene).
+fn paint_backdrop(img: &mut GrayImage, rng: &mut SmallRng, clutter: usize, distractors: usize) {
+    let base = rng.random_range(0.25..=0.65);
+    let tilt = rng.random_range(-0.2..=0.2);
+    draw::gradient_fill(img, base - tilt, base + tilt, rng.random_bool(0.5));
+    let (w, h) = (img.width() as f32, img.height() as f32);
+    for _ in 0..clutter {
+        let v: f32 = rng.random_range(0.05..=0.95);
+        match rng.random_range(0..3) {
+            0 => {
+                let rw = rng.random_range(0.05..=0.35) * w;
+                let rh = rng.random_range(0.05..=0.35) * h;
+                let x = rng.random_range(-rw..=w);
+                let y = rng.random_range(-rh..=h);
+                draw::fill_rect(img, x as isize, y as isize, rw as usize, rh as usize, v);
+            }
+            1 => {
+                let rx = rng.random_range(0.03..=0.2) * w;
+                let ry = rng.random_range(0.03..=0.2) * h;
+                draw::fill_ellipse(
+                    img,
+                    rng.random_range(0.0..=w),
+                    rng.random_range(0.0..=h),
+                    rx,
+                    ry,
+                    v,
+                );
+            }
+            _ => {
+                let x0 = rng.random_range(0.0..=w);
+                let y0 = rng.random_range(0.0..=h);
+                let x1 = rng.random_range(0.0..=w);
+                let y1 = rng.random_range(0.0..=h);
+                draw::draw_line(img, x0, y0, x1, y1, rng.random_range(1.0..=5.0), v);
+            }
+        }
+    }
+    for _ in 0..distractors {
+        paint_static_distractor(img, rng);
+    }
+}
+
+/// A pedestrian-like distractor (lamppost, bar pair, upright blob) —
+/// the same hard negatives the single-frame dataset plants.
+fn paint_static_distractor(img: &mut GrayImage, rng: &mut SmallRng) {
+    let (w, h) = (img.width() as f32, img.height() as f32);
+    let hh = rng.random_range(0.35..=0.8) * h;
+    let x = rng.random_range(0.0..=w);
+    let y = rng.random_range(0.0..=(h - hh).max(1.0));
+    let local = img.get_clamped(x as isize, (y + hh / 2.0) as isize);
+    let tone: f32 = if local > 0.5 {
+        (local - rng.random_range(0.15..=0.4)).clamp(0.02, 0.98)
+    } else {
+        (local + rng.random_range(0.15..=0.4)).clamp(0.02, 0.98)
+    };
+    match rng.random_range(0..3) {
+        0 => {
+            let t = rng.random_range(2.0..=5.0);
+            draw::draw_line(img, x, y + hh * 0.12, x, y + hh, t, tone);
+            let r = rng.random_range(0.04..=0.08) * hh;
+            draw::fill_ellipse(img, x, y + hh * 0.07, r, r, tone);
+        }
+        1 => {
+            let gap = rng.random_range(0.06..=0.16) * hh;
+            let t = rng.random_range(2.5..=6.0);
+            draw::draw_line(img, x - gap / 2.0, y, x - gap / 2.0, y + hh, t, tone);
+            draw::draw_line(img, x + gap / 2.0, y, x + gap / 2.0, y + hh, t, tone);
+        }
+        _ => {
+            let rx = hh * rng.random_range(0.16..=0.24);
+            draw::fill_ellipse(img, x, y + hh / 2.0, rx, hh / 2.0, tone);
+        }
+    }
+}
+
+/// Paints one walking pedestrian with a fixed look and an animated
+/// gait: leg spread and arm swing follow `phase`, so consecutive frames
+/// of the same walk differ exactly where the figure moved.
+fn paint_walker(img: &mut GrayImage, bb: &BoundingBox, look: &WalkerLook, phase: f32) {
+    let (x, y, w, h) = (bb.x, bb.y, bb.width, bb.height);
+    let cx = x + w / 2.0;
+
+    let head_r = h * 0.065;
+    draw::fill_ellipse(img, cx, y + h * 0.09, head_r, head_r, look.body);
+
+    let torso_top = y + h * 0.17;
+    let torso_bot = y + h * 0.52;
+    let torso_cy = (torso_top + torso_bot) / 2.0;
+    let torso_ry = (torso_bot - torso_top) / 2.0;
+    let torso_rx = w * look.torso_rx_frac;
+    draw::fill_ellipse(img, cx, torso_cy, torso_rx, torso_ry, look.torso);
+
+    let swing = phase.sin();
+    let hip_y = torso_bot - h * 0.02;
+    let foot_y = y + h * 0.98;
+    let spread = w * (0.10 + 0.18 * swing.abs());
+    let gait = w * 0.08 * swing;
+    let leg_t = w * 0.16;
+    draw::draw_line(img, cx - w * 0.08, hip_y, cx - spread + gait, foot_y, leg_t, look.legs);
+    draw::draw_line(img, cx + w * 0.08, hip_y, cx + spread + gait, foot_y, leg_t, look.legs);
+
+    let sho_y = torso_top + h * 0.03;
+    let hand_y = y + h * 0.50;
+    let arm_t = w * 0.10;
+    let arm = w * 0.10 * swing;
+    draw::draw_line(
+        img,
+        cx - torso_rx * 0.9,
+        sho_y,
+        cx - torso_rx - arm.abs(),
+        hand_y,
+        arm_t,
+        look.torso,
+    );
+    draw::draw_line(
+        img,
+        cx + torso_rx * 0.9,
+        sho_y,
+        cx + torso_rx + arm.abs(),
+        hand_y,
+        arm_t,
+        look.torso,
+    );
+}
+
+/// Clips a box to the frame rectangle.
+fn clip_box(bb: &BoundingBox, w: f32, h: f32) -> BoundingBox {
+    let x0 = bb.x.max(0.0);
+    let y0 = bb.y.max(0.0);
+    let x1 = (bb.x + bb.width).min(w);
+    let y1 = (bb.y + bb.height).min(h);
+    BoundingBox::new(x0, y0, (x1 - x0).max(0.0), (y1 - y0).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_scene_frames_are_bit_identical() {
+        let stream = VideoStream::new(TemporalConfig::static_scene(11));
+        let a = stream.render(0);
+        let b = stream.render(57);
+        assert_eq!(a.image, b.image, "a static scene must hold bit-still");
+        assert!(a.pedestrians.is_empty());
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_order_free() {
+        let cfg = TemporalConfig::sparse_scene(3);
+        let s1 = VideoStream::new(cfg);
+        let s2 = VideoStream::new(cfg);
+        // Render in different orders from independent streams.
+        let a40 = s1.render(40);
+        let _ = s1.render(7);
+        let b7 = s2.render(7);
+        let b40 = s2.render(40);
+        assert_eq!(a40.image, b40.image);
+        assert_eq!(s1.render(7).image, b7.image);
+        assert_eq!(a40.pedestrians, b40.pedestrians);
+    }
+
+    #[test]
+    fn actors_move_with_stated_velocity() {
+        let stream = VideoStream::new(TemporalConfig::sparse_scene(5));
+        // Find a frame with an actor fully alive in the next frame too.
+        for t in 0..200 {
+            let s0 = stream.state(t);
+            let s1 = stream.state(t + 1);
+            for a in &s0.actors {
+                if let Some(b) = s1.actors.iter().find(|b| b.id == a.id) {
+                    let dx = b.bbox.x - a.bbox.x;
+                    assert!(
+                        (dx - a.velocity.0).abs() < 1e-3,
+                        "actor {} moved {dx} with velocity {}",
+                        a.id,
+                        a.velocity.0
+                    );
+                    return;
+                }
+            }
+        }
+        panic!("no actor survived two consecutive frames in 200");
+    }
+
+    #[test]
+    fn panning_offset_ping_pongs_in_bounds() {
+        let stream = VideoStream::new(TemporalConfig::panning_scene(9));
+        let span = stream.backdrop.width() - stream.config.synth.scene_width;
+        let mut seen_nonzero = false;
+        for t in 0..1000 {
+            let s = stream.state(t);
+            assert!(s.pan_offset <= span);
+            seen_nonzero |= s.pan_offset > 0;
+        }
+        assert!(seen_nonzero, "a panning camera must actually move");
+    }
+
+    #[test]
+    fn lighting_drift_is_quantized_and_bounded() {
+        let cfg = TemporalConfig {
+            lighting_drift: 0.1,
+            lighting_period: 64,
+            ..TemporalConfig::static_scene(2)
+        };
+        let stream = VideoStream::new(cfg);
+        for t in 0..130 {
+            let g = stream.state(t).lighting_gain;
+            assert!((0.89..=1.11).contains(&g), "gain {g} out of range");
+            let steps = g * 64.0;
+            assert!((steps - steps.round()).abs() < 1e-5, "gain {g} not on a 1/64 step");
+        }
+    }
+
+    #[test]
+    fn crowded_scene_spawns_and_despawns() {
+        let stream = VideoStream::new(TemporalConfig::crowded_scene(4));
+        let mut ids = std::collections::BTreeSet::new();
+        let mut max_concurrent = 0;
+        for t in 0..400 {
+            let s = stream.state(t);
+            max_concurrent = max_concurrent.max(s.actors.len());
+            ids.extend(s.actors.iter().map(|a| a.id));
+        }
+        assert!(max_concurrent >= 3, "crowded scene had at most {max_concurrent} actors");
+        assert!(ids.len() > 6, "only {} distinct walks in 400 frames — no respawn", ids.len());
+    }
+
+    #[test]
+    fn ground_truth_boxes_stay_inside_frame() {
+        let stream = VideoStream::new(TemporalConfig::crowded_scene(8));
+        for t in (0..300).step_by(17) {
+            let scene = stream.render(t);
+            for b in &scene.pedestrians {
+                assert!(b.x >= 0.0 && b.y >= 0.0);
+                assert!(b.x + b.width <= scene.image.width() as f32 + 0.5);
+                assert!(b.y + b.height <= scene.image.height() as f32 + 0.5);
+            }
+        }
+    }
+}

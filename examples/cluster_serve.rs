@@ -38,6 +38,7 @@ fn main() {
             .backpressure(Backpressure::Block)
             .build()
             .expect("valid runtime config"),
+        ..ClusterConfig::default()
     };
     let cluster = Cluster::warm_start(&checkpoints, config).expect("warm start from checkpoints");
     println!("warm-started {} shards from {}\n", config.shards, dir.display());
@@ -49,7 +50,7 @@ fn main() {
     let profile = LoadProfile { seed: 42, streams: 6, rate_hz: 6.0, frames: 30 };
     let schedule = arrivals(&profile);
     for stream in 0..u64::from(profile.streams) {
-        println!("stream {stream} -> shard {}", cluster.route(stream));
+        println!("stream {stream} -> shard {}", cluster.route(stream.into()));
     }
 
     let scenes: Vec<GrayImage> = (0..4u64).map(|i| dataset.test_scene(i).image.clone()).collect();

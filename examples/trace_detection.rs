@@ -55,7 +55,8 @@ fn main() {
     let scenes = [dataset.test_scene(0).image.clone(), dataset.test_scene(1).image.clone()];
     let refs: Vec<_> = scenes.iter().collect();
     let detections = server.detect_batch(&refs);
-    println!("  {} detection(s) across the batch", detections.iter().map(Vec::len).sum::<usize>());
+    let found: usize = detections.iter().map(|r| r.as_ref().map_or(0, Vec::len)).sum();
+    println!("  {found} detection(s) across the batch");
 
     let trace = tracer.drain();
     Tracer::uninstall();

@@ -9,8 +9,11 @@
 //! * [`faults`] — seeded, replayable fault plans (dead cores, stuck
 //!   axons/neurons, spike loss, delay jitter, threshold drift) injected
 //!   into the simulator;
-//! * [`vision`] — image substrate, synthetic pedestrian dataset, detection
-//!   evaluation (miss rate vs. false positives per image);
+//! * [`vision`] — image substrate, synthetic pedestrian dataset (still
+//!   scenes and seeded temporal video streams), detection evaluation
+//!   (miss rate vs. false positives per image);
+//! * [`track`] — tracking-by-detection over video streams: temporal NMS
+//!   and a greedy-IoU multi-object tracker;
 //! * [`hog`] — HoG feature-extraction variants (Dalal–Triggs, FPGA
 //!   fixed-point, NApprox neuromorphic approximation);
 //! * [`eedn`] — Eedn-style constrained CNN training (trinary weights,
@@ -23,7 +26,8 @@
 //!   and power/throughput models;
 //! * [`runtime`] — the parallel, batched detection-serving subsystem
 //!   (deterministic work scheduling, request batching with backpressure,
-//!   serving metrics, panic isolation, deadlines and retry);
+//!   serving metrics, panic isolation, deadlines and retry, plus
+//!   temporal video streaming with change-driven cell caching);
 //! * [`cluster`] — the sharded, replicated serving tier over the
 //!   runtime: rendezvous stream routing, per-shard warm start from
 //!   checkpoints, blue/green model swap with drain, cluster-level load
@@ -51,5 +55,6 @@ pub use pcnn_runtime as runtime;
 pub use pcnn_store as store;
 pub use pcnn_svm as svm;
 pub use pcnn_trace as trace;
+pub use pcnn_track as track;
 pub use pcnn_truenorth as truenorth;
 pub use pcnn_vision as vision;
