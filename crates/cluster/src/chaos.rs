@@ -1,0 +1,262 @@
+//! Seeded fault injection for the cluster tier.
+//!
+//! [`ChaosPlan`] extends the runtime's per-frame
+//! [`PanicInjector`](pcnn_runtime::PanicInjector) to whole-tier fault
+//! classes: killing a shard's serve loop outright, stalling a drainer
+//! long enough for the watchdog to condemn it, failing a single frame's
+//! first attempt (exercising the edge retry), and corrupting the newest
+//! checkpoint right before a respawn reads it (exercising the
+//! corrupt-newest fallback in [`CheckpointDir::load_latest`]).
+//!
+//! Every trigger keys off *frame counts*, never wall time: event
+//! `at_frame = t` fires when the target shard begins serving its
+//! `t`-th stream frame (0-based, counted across respawns, retries of a
+//! frame counted once). That makes a plan's effect on the
+//! failover/respawn/retry counters a pure function of the plan and the
+//! submitted frames — the determinism contract
+//! `crates/cluster/tests/failover.rs` pins across seeds and worker
+//! counts.
+//!
+//! [`CheckpointDir::load_latest`]: pcnn_store::CheckpointDir::load_latest
+
+use pcnn_core::{Error, Result};
+use pcnn_store::CheckpointDir;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosEvent {
+    /// Panic the shard's serve loop just before it serves its
+    /// `at_frame`-th frame — a hard shard death. The frame (and
+    /// everything queued behind it) fails over to the survivors; the
+    /// shard respawns from the latest checkpoint.
+    KillShard {
+        /// The shard whose drainer dies.
+        shard: u32,
+        /// Frames the shard serves before dying (0-based trigger).
+        at_frame: u64,
+    },
+    /// Put the shard's drainer to sleep for `for_ms` before serving its
+    /// `at_frame`-th frame, with a frame registered in flight — exactly
+    /// what a wedged worker looks like to the [`Watchdog`]. A stalled
+    /// drainer wakes, notices it was condemned, and hands its unserved
+    /// frames back for re-routing.
+    ///
+    /// [`Watchdog`]: pcnn_runtime::Watchdog
+    StallShard {
+        /// The shard whose drainer stalls.
+        shard: u32,
+        /// Frames the shard serves before stalling (0-based trigger).
+        at_frame: u64,
+        /// How long the drainer sleeps, in milliseconds.
+        for_ms: u64,
+    },
+    /// Fail the first serve attempt of the shard's `at_frame`-th frame
+    /// (as if a worker panicked), leaving the stream's state untouched
+    /// — the deadline-aware edge retry serves it on the next attempt.
+    FailFrame {
+        /// The shard whose frame fails once.
+        shard: u32,
+        /// Frames the shard serves before the failure (0-based trigger).
+        at_frame: u64,
+    },
+    /// Corrupt the newest checkpoint file before the next respawn loads
+    /// it, forcing [`CheckpointDir::load_latest`]'s corrupt-newest
+    /// fallback onto the respawn path.
+    ///
+    /// [`CheckpointDir::load_latest`]: pcnn_store::CheckpointDir::load_latest
+    CorruptNewestCheckpoint,
+}
+
+/// A seeded, serde-able script of cluster faults, consumed by
+/// [`Cluster::serve_streams_with`](crate::Cluster::serve_streams_with).
+/// Each event fires at most once per serve call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Seed recorded with the plan; [`seeded`](ChaosPlan::seeded) draws
+    /// the events from it, and the edge retry uses it to salt backoff
+    /// jitter so replays are bit-identical.
+    pub seed: u64,
+    /// The scripted faults.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (no faults) carrying `seed` for jitter salting.
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan { seed, events: Vec::new() }
+    }
+
+    /// This plan with one more scripted fault.
+    #[must_use]
+    pub fn with_event(mut self, event: ChaosEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Draws a representative fault script from `seed` for a tier of
+    /// `shards` shards serving about `frames` frames: one shard kill in
+    /// the first half of its expected frame share, one single-frame
+    /// failure on a different shard (when the tier has one), and a
+    /// corrupted newest checkpoint half the time. Same seed, same plan
+    /// — byte for byte.
+    pub fn seeded(seed: u64, shards: u32, frames: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let share = (frames as u64 / u64::from(shards)).max(2);
+        let victim = rng.random_range(0..u64::from(shards)) as u32;
+        let kill_at = rng.random_range(1..share.max(2));
+        let mut plan = ChaosPlan::new(seed)
+            .with_event(ChaosEvent::KillShard { shard: victim, at_frame: kill_at });
+        if shards > 1 {
+            let other = (victim + 1 + rng.random_range(0..u64::from(shards - 1)) as u32) % shards;
+            let fail_at = rng.random_range(0..share.max(2));
+            plan = plan.with_event(ChaosEvent::FailFrame { shard: other, at_frame: fail_at });
+        }
+        if rng.random_range(0..2u32) == 1 {
+            plan = plan.with_event(ChaosEvent::CorruptNewestCheckpoint);
+        }
+        plan
+    }
+}
+
+/// What a drainer must do before serving its next frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChaosAction {
+    /// Panic the serve loop (hard shard death).
+    Kill,
+    /// Sleep this long with the frame registered in flight.
+    Stall(Duration),
+    /// Fail the frame's first serve attempt.
+    Fail,
+}
+
+/// A [`ChaosPlan`] armed for one serve call: per-shard frame counters
+/// plus fire-once latches.
+#[derive(Debug)]
+pub(crate) struct ActiveChaos {
+    events: Vec<ChaosEvent>,
+    fired: Vec<AtomicBool>,
+    attempts: Vec<AtomicU64>,
+    corrupt_pending: AtomicBool,
+}
+
+impl ActiveChaos {
+    pub(crate) fn new(plan: &ChaosPlan, shards: u32) -> Self {
+        let corrupt = plan.events.iter().any(|e| matches!(e, ChaosEvent::CorruptNewestCheckpoint));
+        ActiveChaos {
+            events: plan.events.clone(),
+            fired: plan.events.iter().map(|_| AtomicBool::new(false)).collect(),
+            attempts: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            corrupt_pending: AtomicBool::new(corrupt),
+        }
+    }
+
+    /// Called by shard `shard`'s drainer as it begins serving a frame;
+    /// counts the frame and returns the scripted action, if any event
+    /// targets exactly this (shard, frame) and has not fired yet.
+    pub(crate) fn on_frame(&self, shard: u32) -> Option<ChaosAction> {
+        let n = self.attempts[shard as usize].fetch_add(1, Ordering::Relaxed);
+        for (event, fired) in self.events.iter().zip(&self.fired) {
+            let action = match *event {
+                ChaosEvent::KillShard { shard: s, at_frame } if s == shard && at_frame == n => {
+                    ChaosAction::Kill
+                }
+                ChaosEvent::StallShard { shard: s, at_frame, for_ms }
+                    if s == shard && at_frame == n =>
+                {
+                    ChaosAction::Stall(Duration::from_millis(for_ms))
+                }
+                ChaosEvent::FailFrame { shard: s, at_frame } if s == shard && at_frame == n => {
+                    ChaosAction::Fail
+                }
+                _ => continue,
+            };
+            if !fired.swap(true, Ordering::Relaxed) {
+                return Some(action);
+            }
+        }
+        None
+    }
+
+    /// Whether a pending [`ChaosEvent::CorruptNewestCheckpoint`] should
+    /// strike the respawn about to happen; consumes the charge.
+    pub(crate) fn take_corrupt_checkpoint(&self) -> bool {
+        self.corrupt_pending.swap(false, Ordering::Relaxed)
+    }
+}
+
+/// Corrupts the newest checkpoint in `dir` by flipping its final byte —
+/// the envelope checksum no longer matches, so the next
+/// [`load_latest`](CheckpointDir::load_latest) skips it and falls back
+/// to the next-newest valid snapshot. Returns the corrupted epoch, or
+/// `None` when the directory holds no checkpoints.
+///
+/// # Errors
+///
+/// [`Error::Io`] when the directory cannot be listed or the file cannot
+/// be rewritten.
+pub fn corrupt_newest_checkpoint(dir: &CheckpointDir) -> Result<Option<usize>> {
+    let Some(&epoch) = dir.epochs()?.last() else {
+        return Ok(None);
+    };
+    let path = dir.path_for(epoch);
+    let io = |reason: std::io::Error| Error::Io {
+        path: path.display().to_string(),
+        reason: reason.to_string(),
+    };
+    let mut bytes = std::fs::read(&path).map_err(io)?;
+    if let Some(last) = bytes.last_mut() {
+        *last ^= 0xFF;
+    }
+    std::fs::write(&path, bytes).map_err(io)?;
+    Ok(Some(epoch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..32u64 {
+            let a = ChaosPlan::seeded(seed, 3, 60);
+            assert_eq!(a, ChaosPlan::seeded(seed, 3, 60), "seed {seed} must replay");
+            assert!(a.events.iter().any(|e| matches!(e, ChaosEvent::KillShard { .. })));
+            for event in &a.events {
+                match *event {
+                    ChaosEvent::KillShard { shard, at_frame } => {
+                        assert!(shard < 3);
+                        assert!((1..20).contains(&at_frame));
+                    }
+                    ChaosEvent::FailFrame { shard, at_frame } => {
+                        assert!(shard < 3);
+                        assert!(at_frame < 20);
+                    }
+                    ChaosEvent::StallShard { shard, .. } => assert!(shard < 3),
+                    ChaosEvent::CorruptNewestCheckpoint => {}
+                }
+            }
+        }
+        assert_ne!(ChaosPlan::seeded(1, 3, 60), ChaosPlan::seeded(2, 3, 60));
+    }
+
+    #[test]
+    fn events_fire_once_at_their_exact_frame() {
+        let plan = ChaosPlan::new(0)
+            .with_event(ChaosEvent::FailFrame { shard: 1, at_frame: 2 })
+            .with_event(ChaosEvent::CorruptNewestCheckpoint);
+        let active = ActiveChaos::new(&plan, 2);
+        assert_eq!(active.on_frame(0), None, "wrong shard");
+        assert_eq!(active.on_frame(1), None, "frame 0");
+        assert_eq!(active.on_frame(1), None, "frame 1");
+        assert_eq!(active.on_frame(1), Some(ChaosAction::Fail), "frame 2 fires");
+        assert_eq!(active.on_frame(1), None, "fired events stay quiet");
+        assert!(active.take_corrupt_checkpoint());
+        assert!(!active.take_corrupt_checkpoint(), "one charge only");
+    }
+}

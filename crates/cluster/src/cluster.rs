@@ -1,19 +1,36 @@
 //! The cluster front-end: a router over N shards, a feeder/drainer
 //! serve loop with load shedding, and the rolling blue/green swap.
 
+use crate::chaos::{ActiveChaos, ChaosAction, ChaosPlan};
 use crate::report::{ClusterReport, ShardReport};
 use crate::router::ShardRouter;
 use crate::shard::{Shard, ShardModel};
 use pcnn_core::pipeline::{DetectorConfig, TrainedDetector};
 use pcnn_core::{DetectorSnapshot, Error, Result, StreamId};
 use pcnn_runtime::StreamFrameResult;
-use pcnn_runtime::{Backpressure, Metrics, PushError, RequestQueue, RuntimeConfig};
+use pcnn_runtime::{
+    Backpressure, Metrics, PushError, QueueConfig, RequestQueue, RetryPolicy, RuntimeConfig,
+    Watchdog, WatchdogStatus,
+};
 use pcnn_store::CheckpointDir;
 use pcnn_vision::{Detection, GrayImage};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
+
+/// How often a blocked push or a quiesce wait re-checks tier health, and
+/// the granularity at which a chaos stall re-checks condemnation.
+const SUPERVISE_SLICE: Duration = Duration::from_millis(5);
+
+/// How long `heal` waits for a condemned drainer to acknowledge death
+/// before harvesting its in-flight frames anyway. Cooperative exits
+/// (panics, condemnation checks, chaos stalls) acknowledge within
+/// milliseconds; only a drainer wedged inside a single serve call for
+/// this long is abandoned in place.
+const HEAL_GRACE: Duration = Duration::from_secs(5);
 
 /// How [`Cluster::swap_model`] rolls a new model generation across the
 /// shards.
@@ -29,6 +46,37 @@ pub enum SwapPolicy {
     /// drains concurrently. Fastest convergence to the new generation,
     /// at the cost of the whole tier draining at the same time.
     Parallel,
+}
+
+/// Self-healing parameters: how the tier detects, retries and recovers
+/// from shard failures during [`Cluster::serve_streams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisionConfig {
+    /// Per-frame retry policy at the serving edge: failed attempts are
+    /// retried up to `max_attempts` with seeded-jitter exponential
+    /// backoff, bounded by `deadline` when one is set. The default is
+    /// [`RetryPolicy::no_retry`] — a failed frame fails, exactly as the
+    /// tier behaved before supervision existed.
+    pub retry: RetryPolicy,
+    /// How long a shard's serve loop may hold work in flight without a
+    /// heartbeat before the [`Watchdog`] condemns it as stalled and the
+    /// supervisor fails its streams over.
+    pub stall_after: Duration,
+    /// Whether a dead or condemned shard is respawned warm (from the
+    /// warm-start checkpoint directory when there is one, else from the
+    /// seed snapshot). When `false` the shard stays drained and its
+    /// streams remain on the survivors.
+    pub respawn: bool,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            retry: RetryPolicy::no_retry(),
+            stall_after: Duration::from_secs(5),
+            respawn: true,
+        }
+    }
 }
 
 /// Cluster-tier parameters.
@@ -50,6 +98,11 @@ pub struct ClusterConfig {
     /// How [`swap_model`](Cluster::swap_model) rolls new generations
     /// across the shards.
     pub swap: SwapPolicy,
+    /// Self-healing: stall detection, edge retries and shard respawn.
+    /// Defaults preserve pre-supervision behaviour (no retries, 5 s
+    /// stall threshold, respawn on).
+    #[serde(default)]
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for ClusterConfig {
@@ -60,6 +113,7 @@ impl Default for ClusterConfig {
             runtime: RuntimeConfig::default(),
             stream_cache_capacity: 64,
             swap: SwapPolicy::Rolling,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -85,6 +139,18 @@ impl ClusterConfig {
             return Err(Error::InvalidConfig {
                 what: "cluster.stream_cache_capacity".to_owned(),
                 reason: "a shard must be able to cache at least one stream".to_owned(),
+            });
+        }
+        if self.supervision.retry.max_attempts == 0 {
+            return Err(Error::InvalidConfig {
+                what: "cluster.supervision.retry.max_attempts".to_owned(),
+                reason: "a frame needs at least one attempt".to_owned(),
+            });
+        }
+        if self.supervision.stall_after.is_zero() {
+            return Err(Error::InvalidConfig {
+                what: "cluster.supervision.stall_after".to_owned(),
+                reason: "a zero stall threshold condemns every in-flight frame".to_owned(),
             });
         }
         RuntimeConfig::builder()
@@ -169,6 +235,29 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Per-frame retry policy at the serving edge.
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.supervision.retry = policy;
+        self
+    }
+
+    /// Heartbeat silence after which a shard's serve loop is condemned
+    /// as stalled.
+    #[must_use]
+    pub fn stall_after(mut self, threshold: Duration) -> Self {
+        self.config.supervision.stall_after = threshold;
+        self
+    }
+
+    /// Whether dead shards are respawned warm from the latest
+    /// checkpoint (or the seed snapshot).
+    #[must_use]
+    pub fn respawn(mut self, respawn: bool) -> Self {
+        self.config.supervision.respawn = respawn;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -190,6 +279,222 @@ pub struct StreamFrame {
     pub image: GrayImage,
 }
 
+/// What finally happened to one submitted stream frame, after retries,
+/// failovers and re-dispatches — the per-frame return of
+/// [`Cluster::serve_streams_with`].
+#[derive(Debug)]
+pub enum StreamOutcome {
+    /// The frame was served (possibly after retries, possibly by a
+    /// failover shard after its primary died mid-run).
+    Served {
+        /// The frame's detections, tracks and cache accounting.
+        result: StreamFrameResult,
+        /// Serve attempts the frame took, first try included.
+        attempts: u32,
+        /// Whether the frame was re-dispatched after its original shard
+        /// died or stalled with the frame still queued.
+        redispatched: bool,
+    },
+    /// Shed at the edge by a full shard queue under
+    /// [`Backpressure::Reject`].
+    Shed,
+    /// The frame's deadline expired before an attempt could succeed.
+    DeadlineExceeded,
+    /// Every attempt failed (and, when the whole tier is down, frames
+    /// that could not be dispatched at all).
+    Failed {
+        /// The last attempt's error.
+        error: Error,
+        /// Serve attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl StreamOutcome {
+    /// The served frame result, when there is one.
+    pub fn served(&self) -> Option<&StreamFrameResult> {
+        match self {
+            StreamOutcome::Served { result, .. } => Some(result),
+            _ => None,
+        }
+    }
+}
+
+/// One incarnation of a shard's serve loop: its queue, its heartbeat,
+/// the batch it currently owns, and the flags the supervisor uses to
+/// condemn and bury it. A respawned shard gets a fresh lane — stale
+/// state from the dead incarnation can never leak into the new one.
+#[derive(Debug)]
+struct Lane {
+    queue: RequestQueue<usize>,
+    heartbeat: Metrics,
+    /// Set by the supervisor when the watchdog declares the lane
+    /// stalled; the drainer checks it before serving each frame (and
+    /// between chaos-stall sleep slices) and exits without serving.
+    condemned: AtomicBool,
+    /// Set when the drainer is gone — a caught panic, or a condemned
+    /// exit. The supervisor heals a dead lane: orphans re-dispatch,
+    /// streams fail over, the shard respawns.
+    dead: AtomicBool,
+    /// The popped batch the drainer owns right now, front = next to
+    /// serve. On death these frames are orphans, recovered ahead of
+    /// the queue's remainder so per-stream order survives the failover.
+    current: Mutex<VecDeque<usize>>,
+}
+
+impl Lane {
+    fn new(config: QueueConfig) -> Self {
+        Lane {
+            queue: RequestQueue::new(config),
+            heartbeat: Metrics::new(),
+            condemned: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            current: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Locks the current batch, recovering from poisoning — indices in
+    /// a deque are valid after any panic, and a poisoned lock here
+    /// would lose the dead drainer's orphans.
+    fn lock_current(&self) -> MutexGuard<'_, VecDeque<usize>> {
+        self.current.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Counters accumulated by one supervised serve call, folded into the
+/// cluster totals when it returns.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    shed: AtomicU64,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    respawns: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// Everything a drainer borrows from the serve call, bundled so thread
+/// spawns stay readable.
+#[derive(Clone, Copy)]
+struct DrainShared<'a> {
+    frames: &'a [StreamFrame],
+    results: &'a [OnceLock<StreamOutcome>],
+    redispatched: &'a [AtomicBool],
+    chaos: Option<&'a ActiveChaos>,
+    policy: RetryPolicy,
+    seed: u64,
+    counters: &'a ServeCounters,
+}
+
+/// Installs (once) a panic hook that swallows the default backtrace
+/// print for chaos-injected kills — their panics are scripted, caught
+/// by the drainer's `catch_unwind`, and would otherwise spray stderr on
+/// every chaos run. Any other panic still reaches the previous hook.
+fn quiet_chaos_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let chaotic = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|message| message.starts_with("chaos:"));
+            if !chaotic {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// The error a chaos-injected frame failure surfaces as (shaped like a
+/// real worker panic, so the retry path cannot tell them apart).
+fn chaos_failure(shard: u32) -> Error {
+    Error::WorkerPanic {
+        stage: "cluster.chaos".to_owned(),
+        message: format!("injected frame failure on shard {shard}"),
+    }
+}
+
+/// One shard's supervised serve loop. Runs on the drainer thread inside
+/// `catch_unwind`; panics (real or chaos-injected) kill only this lane.
+fn drain_lane(shard: &Shard, lane: &Lane, shared: DrainShared<'_>) {
+    while let Some(batch) = lane.queue.pop_batch() {
+        *lane.lock_current() = batch.into();
+        loop {
+            if lane.condemned.load(Ordering::Acquire) {
+                lane.dead.store(true, Ordering::Release);
+                return;
+            }
+            let Some(&i) = lane.lock_current().front() else { break };
+            lane.heartbeat.begin_work();
+            let mut forced_fail = false;
+            match shared.chaos.and_then(|chaos| chaos.on_frame(shard.id())) {
+                Some(ChaosAction::Kill) => {
+                    panic!("chaos: shard {} killed before frame {i}", shard.id())
+                }
+                Some(ChaosAction::Stall(how_long)) => {
+                    // Sleep in slices, re-checking condemnation: a
+                    // condemned stall wakes into a clean exit, leaving
+                    // the unserved frame for the supervisor to recover.
+                    let stalled_at = Instant::now();
+                    while stalled_at.elapsed() < how_long {
+                        std::thread::sleep(SUPERVISE_SLICE);
+                        if lane.condemned.load(Ordering::Acquire) {
+                            lane.heartbeat.end_work();
+                            lane.dead.store(true, Ordering::Release);
+                            return;
+                        }
+                    }
+                }
+                Some(ChaosAction::Fail) => forced_fail = true,
+                None => {}
+            }
+            let frame = &shared.frames[i];
+            let frame_start = Instant::now();
+            let mut attempt = 0u32;
+            let outcome = loop {
+                attempt += 1;
+                let served = if forced_fail && attempt == 1 {
+                    Err(chaos_failure(shard.id()))
+                } else {
+                    shard.run_stream_frame(frame.stream, &frame.image)
+                };
+                match served {
+                    Ok(result) => {
+                        break StreamOutcome::Served {
+                            result,
+                            attempts: attempt,
+                            redispatched: shared.redispatched[i].load(Ordering::Relaxed),
+                        }
+                    }
+                    Err(error) => {
+                        if attempt >= shared.policy.max_attempts.max(1) {
+                            break StreamOutcome::Failed { error, attempts: attempt };
+                        }
+                        let backoff =
+                            shared.policy.backoff_jittered(attempt, shared.seed ^ i as u64);
+                        if shared
+                            .policy
+                            .deadline
+                            .is_some_and(|d| frame_start.elapsed() + backoff >= d)
+                        {
+                            shared.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                            break StreamOutcome::DeadlineExceeded;
+                        }
+                        shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_RETRY);
+                        std::thread::sleep(backoff);
+                        drop(span);
+                    }
+                }
+            };
+            let _ = shared.results[i].set(outcome);
+            lane.lock_current().pop_front();
+            lane.heartbeat.end_work();
+        }
+    }
+}
+
 /// A sharded, replicated serving tier over the detection runtime.
 ///
 /// Frames are routed by stream id to one of `shards` replicas, each an
@@ -203,9 +508,22 @@ pub struct Cluster {
     router: Mutex<ShardRouter>,
     shards: Vec<Shard>,
     config: ClusterConfig,
+    /// The snapshot the tier was built from — the respawn source of
+    /// last resort when no checkpoint directory is attached (or its
+    /// contents are all corrupt).
+    seed_snapshot: DetectorSnapshot,
+    /// The warm-start checkpoint directory, when the tier came from
+    /// one: respawns reload the newest valid snapshot from here.
+    respawn_dir: Option<PathBuf>,
     frames_routed: AtomicU64,
     frames_shed: AtomicU64,
     swaps: AtomicU64,
+    failovers: AtomicU64,
+    respawns: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    stalls: AtomicU64,
 }
 
 impl Cluster {
@@ -240,9 +558,17 @@ impl Cluster {
             router: Mutex::new(router),
             shards,
             config,
+            seed_snapshot: snapshot.clone(),
+            respawn_dir: None,
             frames_routed: AtomicU64::new(0),
             frames_shed: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
         })
     }
 
@@ -260,7 +586,35 @@ impl Cluster {
                 what: format!("detector snapshot in {}", dir.path().display()),
             });
         };
-        Self::new(&snapshot, config)
+        let mut cluster = Self::new(&snapshot, config)?;
+        // Respawns reload from the same directory, picking up epochs
+        // saved after the warm start (and falling past corrupt ones).
+        cluster.respawn_dir = Some(dir.path().to_path_buf());
+        Ok(cluster)
+    }
+
+    /// The detector a respawned shard comes back with: the newest valid
+    /// snapshot in the warm-start directory when there is one (chaos
+    /// may corrupt the newest file first — that is the point of the
+    /// [`ChaosEvent::CorruptNewestCheckpoint`](crate::ChaosEvent)
+    /// fault), else the seed snapshot the tier was built from.
+    fn respawn_detector(&self, chaos: Option<&ActiveChaos>) -> Result<TrainedDetector> {
+        if let Some(path) = &self.respawn_dir {
+            let dir = CheckpointDir::create(path)?;
+            if chaos.is_some_and(ActiveChaos::take_corrupt_checkpoint) {
+                let _ = crate::chaos::corrupt_newest_checkpoint(&dir);
+            }
+            if let Ok(Some((_, snapshot))) = dir.load_latest::<DetectorSnapshot>() {
+                return TrainedDetector::from_snapshot(&snapshot);
+            }
+        }
+        TrainedDetector::from_snapshot(&self.seed_snapshot)
+    }
+
+    /// Locks the router, recovering from poisoning — drain lists and
+    /// seeds stay structurally valid across any panic.
+    fn lock_router(&self) -> MutexGuard<'_, ShardRouter> {
+        self.router.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Registers a fallback floor rebuilt from `snapshot` and shared by
@@ -298,7 +652,7 @@ impl Cluster {
 
     /// The shard currently serving `stream`.
     pub fn route(&self, stream: StreamId) -> u32 {
-        self.router.lock().expect("router lock").route(stream.raw())
+        self.lock_router().route(stream.raw())
     }
 
     /// Blue/green swap across the shards, honouring the configured
@@ -363,7 +717,7 @@ impl Cluster {
     /// [`Error::InvalidConfig`] for an out-of-range shard or when this
     /// would leave no shard in rotation.
     pub fn drain_shard(&self, shard: u32) -> Result<()> {
-        self.router.lock().expect("router lock").drain(shard)
+        self.lock_router().drain(shard)
     }
 
     /// Returns a drained shard to the rotation.
@@ -372,7 +726,7 @@ impl Cluster {
     ///
     /// [`Error::InvalidConfig`] for an out-of-range shard.
     pub fn restore_shard(&self, shard: u32) -> Result<()> {
-        self.router.lock().expect("router lock").restore(shard)
+        self.lock_router().restore(shard)
     }
 
     /// Detects over a single routed frame on the caller's thread (the
@@ -411,65 +765,92 @@ impl Cluster {
     /// temporal caches and trackers observe the stream as a camera
     /// would produce it.
     ///
+    /// The loop is supervised: drainers run under `catch_unwind` with a
+    /// per-lane heartbeat, and the feeder doubles as supervisor — a
+    /// dead or watchdog-condemned shard is drained from the rotation,
+    /// its streams fail over to the survivors (trackers migrate,
+    /// caches rebuild warmth), its unserved frames re-dispatch in
+    /// order, and the shard respawns warm from the latest checkpoint.
+    ///
     /// Returns per-frame outcomes in input order; `None` marks frames
     /// shed by a full shard queue under
     /// [`Backpressure::Reject`](pcnn_runtime::Backpressure::Reject),
-    /// and `Some(Err(_))` a frame whose pipeline stage panicked.
+    /// and `Some(Err(_))` a frame whose attempts all failed.
     pub fn serve_streams(&self, frames: &[StreamFrame]) -> Vec<Option<Result<StreamFrameResult>>> {
+        self.serve_streams_with(frames, None)
+            .into_iter()
+            .map(|outcome| match outcome {
+                StreamOutcome::Served { result, .. } => Some(Ok(result)),
+                StreamOutcome::Shed | StreamOutcome::DeadlineExceeded => None,
+                StreamOutcome::Failed { error, .. } => Some(Err(error)),
+            })
+            .collect()
+    }
+
+    /// [`serve_streams`](Cluster::serve_streams) with full per-frame
+    /// outcomes and optional scripted fault injection — the entry point
+    /// the chaos harness drives. `plan` (when given) arms the scripted
+    /// kills, stalls, frame failures and checkpoint corruption; its
+    /// seed also salts the retry backoff jitter.
+    pub fn serve_streams_with(
+        &self,
+        frames: &[StreamFrame],
+        plan: Option<&ChaosPlan>,
+    ) -> Vec<StreamOutcome> {
         let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_SERVE);
         if span.is_recording() {
             span.add(pcnn_trace::Counter::Frames, frames.len() as u64);
         }
-        let queues: Vec<RequestQueue<usize>> =
-            self.shards.iter().map(|_| RequestQueue::new(self.config.runtime.queue)).collect();
-        let mut results: Vec<Option<Result<StreamFrameResult>>> =
-            (0..frames.len()).map(|_| None).collect();
+        if plan.is_some() {
+            quiet_chaos_panics();
+        }
+        let chaos = plan.map(|p| ActiveChaos::new(p, self.config.shards));
+        let counters = ServeCounters::default();
+        let results: Vec<OnceLock<StreamOutcome>> =
+            (0..frames.len()).map(|_| OnceLock::new()).collect();
+        let redispatched: Vec<AtomicBool> =
+            (0..frames.len()).map(|_| AtomicBool::new(false)).collect();
         std::thread::scope(|scope| {
-            let drainers: Vec<_> = self
-                .shards
-                .iter()
-                .zip(&queues)
-                .map(|(shard, queue)| {
-                    scope.spawn(move || {
-                        let mut served: Vec<(usize, Result<StreamFrameResult>)> = Vec::new();
-                        while let Some(batch) = queue.pop_batch() {
-                            for i in batch {
-                                let frame = &frames[i];
-                                served
-                                    .push((i, shard.run_stream_frame(frame.stream, &frame.image)));
-                            }
-                        }
-                        served
-                    })
-                })
-                .collect();
-            let mut shed = 0u64;
-            for (i, frame) in frames.iter().enumerate() {
-                let shard = self.route(frame.stream);
+            let mut run = ServeLoop {
+                cluster: self,
+                frames,
+                results: &results,
+                redispatched: &redispatched,
+                chaos: chaos.as_ref(),
+                counters: &counters,
+                lanes: (0..self.shards.len())
+                    .map(|_| Arc::new(Lane::new(self.config.runtime.queue)))
+                    .collect(),
+                down: vec![false; self.shards.len()],
+                tier_down: false,
+                pending: VecDeque::new(),
+                last_route: HashMap::new(),
+                last_pushed: HashMap::new(),
+                watchdog: Watchdog::new(self.config.supervision.stall_after),
+                seed: plan.map_or(self.config.router_seed, |p| p.seed),
+            };
+            for k in 0..run.lanes.len() {
+                run.spawn_drainer(scope, k, Arc::clone(&run.lanes[k]));
+            }
+            for i in 0..frames.len() {
+                run.flush_pending(scope);
                 self.frames_routed.fetch_add(1, Ordering::Relaxed);
-                match queues[shard as usize].push(i) {
-                    Ok(_) => {}
-                    Err(PushError::Full | PushError::Timeout) => shed += 1,
-                    Err(PushError::Closed) => unreachable!("cluster closes queues after feeding"),
-                }
+                run.dispatch(scope, i);
             }
-            for queue in &queues {
-                queue.close();
-            }
-            self.frames_shed.fetch_add(shed, Ordering::Relaxed);
-            for drainer in drainers {
-                match drainer.join() {
-                    Ok(served) => {
-                        for (i, outcome) in served {
-                            results[i] = Some(outcome);
-                        }
-                    }
-                    Err(panic) => std::panic::resume_unwind(panic),
-                }
-            }
+            run.finish(scope);
         });
+        self.frames_shed.fetch_add(counters.shed.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.retries.fetch_add(counters.retries.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.failovers.fetch_add(counters.failovers.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.respawns.fetch_add(counters.respawns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.deadline_exceeded
+            .fetch_add(counters.deadline_exceeded.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.stalls.fetch_add(counters.stalls.load(Ordering::Relaxed), Ordering::Relaxed);
         drop(span);
         results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("finish() resolves every frame"))
+            .collect()
     }
 
     /// Serves a stream of frames through the sharded tier: a feeder
@@ -488,7 +869,7 @@ impl Cluster {
     /// Re-raises per-frame worker panics, like
     /// [`DetectionServer::detect_batch`](pcnn_runtime::DetectionServer::detect_batch).
     pub fn serve(&self, frames: &[StreamFrame]) -> Vec<Option<Vec<Detection>>> {
-        self.serve_paced(frames, None, None)
+        self.serve_paced(frames, None, None).0
     }
 
     /// [`serve`](Cluster::serve) with optional open-loop pacing and
@@ -501,12 +882,18 @@ impl Cluster {
     /// schedule-to-completion time in microseconds, so queueing delay —
     /// including delay the feeder never observes — lands in the
     /// histogram.
+    ///
+    /// When the supervision retry policy carries a deadline, admission
+    /// is deadline-aware: a frame blocked past half its deadline is
+    /// *hedged* — re-dispatched to its stream's rendezvous failover
+    /// shard for the remaining budget — and only counted
+    /// deadline-exceeded when both shards stay full.
     pub(crate) fn serve_paced(
         &self,
         frames: &[StreamFrame],
         at_us: Option<&[u64]>,
         latency: Option<&pcnn_runtime::Histogram>,
-    ) -> Vec<Option<Vec<Detection>>> {
+    ) -> (Vec<Option<Vec<Detection>>>, EdgeStats) {
         let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_SERVE);
         if span.is_recording() {
             span.add(pcnn_trace::Counter::Frames, frames.len() as u64);
@@ -515,6 +902,7 @@ impl Cluster {
             self.shards.iter().map(|_| RequestQueue::new(self.config.runtime.queue)).collect();
         let start = Instant::now();
         let mut results: Vec<Option<Vec<Detection>>> = (0..frames.len()).map(|_| None).collect();
+        let mut stats = EdgeStats::default();
         std::thread::scope(|scope| {
             let drainers: Vec<_> = self
                 .shards
@@ -542,7 +930,7 @@ impl Cluster {
                 .collect();
             // The feeder runs on the calling thread: route each frame in
             // input order, pacing against the schedule when one is given.
-            let mut shed = 0u64;
+            let deadline = self.config.supervision.retry.deadline;
             for (i, frame) in frames.iter().enumerate() {
                 if let Some(at) = at_us {
                     let due = Duration::from_micros(at[i]);
@@ -553,16 +941,44 @@ impl Cluster {
                 }
                 let shard = self.route(frame.stream);
                 self.frames_routed.fetch_add(1, Ordering::Relaxed);
-                match queues[shard as usize].push(i) {
+                let pushed = match deadline {
+                    None => queues[shard as usize].push(i),
+                    Some(budget) => {
+                        // Half the budget on the primary; a blocked
+                        // frame hedges to the failover shard for the
+                        // rest rather than riding out the whole wait.
+                        let half = budget / 2;
+                        match queues[shard as usize].push_timeout(i, half) {
+                            Err(PushError::Timeout) => {
+                                stats.hedges += 1;
+                                let hedge_span =
+                                    pcnn_trace::span(pcnn_trace::stages::CLUSTER_RETRY);
+                                let target = self
+                                    .lock_router()
+                                    .failover(frame.stream.raw())
+                                    .unwrap_or(shard);
+                                let result = queues[target as usize]
+                                    .push_timeout(i, budget.saturating_sub(half));
+                                drop(hedge_span);
+                                result
+                            }
+                            other => other,
+                        }
+                    }
+                };
+                match pushed {
                     Ok(_) => {}
-                    Err(PushError::Full | PushError::Timeout) => shed += 1,
+                    Err(PushError::Full) => stats.shed += 1,
+                    Err(PushError::Timeout) => stats.deadline_exceeded += 1,
                     Err(PushError::Closed) => unreachable!("cluster closes queues after feeding"),
                 }
             }
             for queue in &queues {
                 queue.close();
             }
-            self.frames_shed.fetch_add(shed, Ordering::Relaxed);
+            self.frames_shed.fetch_add(stats.shed, Ordering::Relaxed);
+            self.hedges.fetch_add(stats.hedges, Ordering::Relaxed);
+            self.deadline_exceeded.fetch_add(stats.deadline_exceeded, Ordering::Relaxed);
             for drainer in drainers {
                 match drainer.join() {
                     Ok(served) => {
@@ -575,7 +991,7 @@ impl Cluster {
             }
         });
         drop(span);
-        results
+        (results, stats)
     }
 
     /// Snapshots the whole tier: every shard's accumulated
@@ -583,7 +999,7 @@ impl Cluster {
     /// aggregate, routing/shedding/swap counters and the live trace
     /// summary when a tracer is installed.
     pub fn report(&self) -> ClusterReport {
-        let router = self.router.lock().expect("router lock");
+        let router = self.lock_router();
         let shards: Vec<ShardReport> = self
             .shards
             .iter()
@@ -607,7 +1023,369 @@ impl Cluster {
             frames_routed: self.frames_routed.load(Ordering::Relaxed),
             frames_shed: self.frames_shed.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
             trace: pcnn_trace::profile_snapshot().map(pcnn_runtime::TraceSummary::from),
+        }
+    }
+}
+
+/// Edge-of-tier accounting for one batch serve call: what never made it
+/// to a shard, and what only made it by hedging.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EdgeStats {
+    /// Frames rejected outright by a full queue.
+    pub shed: u64,
+    /// Frames whose admission deadline expired (primary and hedge both
+    /// stayed full).
+    pub deadline_exceeded: u64,
+    /// Frames re-dispatched to their failover shard when the primary
+    /// blocked past half the deadline.
+    pub hedges: u64,
+}
+
+/// How one push attempt at the serving edge resolved.
+enum PushOutcome {
+    /// Queued on the target lane.
+    Pushed,
+    /// Rejected by a full queue ([`Backpressure::Reject`]).
+    Shed,
+    /// The admission deadline expired while the queue stayed full.
+    Deadline,
+    /// The target lane died (or was respawned) mid-push — re-route and
+    /// try again.
+    Rerouted,
+}
+
+/// The feeder-as-supervisor state for one supervised serve call. The
+/// feeder thread owns it exclusively; drainers see only the shared
+/// slices ([`DrainShared`]) and their own [`Lane`].
+struct ServeLoop<'a> {
+    cluster: &'a Cluster,
+    frames: &'a [StreamFrame],
+    results: &'a [OnceLock<StreamOutcome>],
+    redispatched: &'a [AtomicBool],
+    chaos: Option<&'a ActiveChaos>,
+    counters: &'a ServeCounters,
+    /// One lane per shard, replaced wholesale on respawn.
+    lanes: Vec<Arc<Lane>>,
+    /// Shards that died and were not respawned; they stay drained.
+    down: Vec<bool>,
+    /// The last shard died and could not be drained or respawned —
+    /// nothing is left to serve, remaining frames fail fast.
+    tier_down: bool,
+    /// Orphaned frame indices awaiting re-dispatch, oldest first.
+    pending: VecDeque<usize>,
+    /// Where each stream's frames were last pushed — route changes
+    /// (failover out, return after respawn) migrate tracker state.
+    last_route: HashMap<u64, u32>,
+    /// Each stream's most recently pushed frame index, for quiescing
+    /// before a migration.
+    last_pushed: HashMap<u64, usize>,
+    watchdog: Watchdog,
+    seed: u64,
+}
+
+impl<'a> ServeLoop<'a> {
+    /// Spawns `lane`'s drainer for shard `k` under `catch_unwind`: a
+    /// panic (chaos kill, or a real bug) marks the lane dead instead of
+    /// tearing down the serve call.
+    fn spawn_drainer<'s, 'e>(
+        &self,
+        scope: &'s std::thread::Scope<'s, 'e>,
+        k: usize,
+        lane: Arc<Lane>,
+    ) where
+        'a: 'e,
+    {
+        let shard = &self.cluster.shards[k];
+        let shared = DrainShared {
+            frames: self.frames,
+            results: self.results,
+            redispatched: self.redispatched,
+            chaos: self.chaos,
+            policy: self.cluster.config.supervision.retry,
+            seed: self.seed,
+            counters: self.counters,
+        };
+        scope.spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                drain_lane(shard, &lane, shared);
+            }));
+            // Dead on EVERY exit path — panic or clean return — so the
+            // supervisor's pre-harvest wait in `heal` always terminates.
+            lane.dead.store(true, Ordering::Release);
+        });
+    }
+
+    /// One supervision sweep: heal every dead lane, and condemn (then
+    /// heal) every lane whose heartbeat the watchdog flags as stalled.
+    fn supervise<'s, 'e>(&mut self, scope: &'s std::thread::Scope<'s, 'e>)
+    where
+        'a: 'e,
+    {
+        for k in 0..self.lanes.len() {
+            if self.down[k] {
+                continue;
+            }
+            let lane = Arc::clone(&self.lanes[k]);
+            if lane.dead.load(Ordering::Acquire) {
+                self.heal(scope, k);
+            } else if !lane.condemned.load(Ordering::Acquire)
+                && matches!(self.watchdog.check(&lane.heartbeat), WatchdogStatus::Stalled { .. })
+            {
+                self.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                lane.condemned.store(true, Ordering::Release);
+                self.heal(scope, k);
+            }
+        }
+    }
+
+    /// Buries shard `k`'s dead lane and brings the tier back to full
+    /// strength: recover the orphaned frames (the dead drainer's
+    /// current batch, then its queue, preserving per-stream order),
+    /// drain the shard from the rotation, migrate its stream trackers
+    /// to the survivors, respawn it warm, and restore it. Orphans go to
+    /// the front of the pending deque for re-dispatch.
+    fn heal<'s, 'e>(&mut self, scope: &'s std::thread::Scope<'s, 'e>, k: usize)
+    where
+        'a: 'e,
+    {
+        let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_FAILOVER);
+        let lane = Arc::clone(&self.lanes[k]);
+        lane.condemned.store(true, Ordering::Release);
+        lane.queue.close();
+        // A condemned-but-alive drainer may still be mid-serve on its
+        // front frame. Harvesting that frame (and snapshotting the
+        // shard's trackers) while the serve can still commit would let
+        // one frame update a tracker twice — once in the old lane, once
+        // re-dispatched against the migrated snapshot. Wait for the
+        // drainer to acknowledge death: it checks condemnation between
+        // frames and inside chaos stalls, and the spawn wrapper marks
+        // the lane dead on every exit. A thread still unresponsive
+        // after the grace window is abandoned wedged-in-place and its
+        // frames are recovered best-effort.
+        let grace = Instant::now();
+        while !lane.dead.load(Ordering::Acquire) && grace.elapsed() < HEAL_GRACE {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let mut orphans: Vec<usize> = lane.lock_current().drain(..).collect();
+        while let Some(batch) = lane.queue.pop_batch() {
+            orphans.extend(batch);
+        }
+        orphans.retain(|&i| self.results[i].get().is_none());
+        if span.is_recording() {
+            span.add(pcnn_trace::Counter::Frames, orphans.len() as u64);
+        }
+        let shard = &self.cluster.shards[k];
+        let drained = self.cluster.lock_router().drain(k as u32).is_ok();
+        if drained {
+            let snapshots = shard.take_stream_snapshots();
+            let router = self.cluster.lock_router();
+            for snapshot in snapshots {
+                let stream = snapshot.id.raw();
+                let target = router.route(stream);
+                self.cluster.shards[target as usize].install_stream_snapshot(snapshot);
+                self.last_route.insert(stream, target);
+                self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut respawned = false;
+        if self.cluster.config.supervision.respawn {
+            if let Ok(detector) = self.cluster.respawn_detector(self.chaos) {
+                let respawn_span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_RESPAWN);
+                shard.respawn(detector);
+                self.counters.respawns.fetch_add(1, Ordering::Relaxed);
+                let fresh = Arc::new(Lane::new(self.cluster.config.runtime.queue));
+                self.lanes[k] = Arc::clone(&fresh);
+                self.spawn_drainer(scope, k, fresh);
+                if drained {
+                    let _ = self.cluster.lock_router().restore(k as u32);
+                }
+                respawned = true;
+                drop(respawn_span);
+            }
+        }
+        if !respawned {
+            self.down[k] = true;
+            if !drained {
+                self.tier_down = true;
+            }
+        }
+        for &i in orphans.iter().rev() {
+            self.pending.push_front(i);
+        }
+        drop(span);
+    }
+
+    /// Re-dispatches every orphaned frame, oldest first. An orphan's
+    /// stream keeps its frame order: orphans of one stream all come
+    /// from the same dead lane, in queue order, ahead of any input
+    /// frame not yet dispatched.
+    fn flush_pending<'s, 'e>(&mut self, scope: &'s std::thread::Scope<'s, 'e>)
+    where
+        'a: 'e,
+    {
+        while let Some(i) = self.pending.pop_front() {
+            if self.results[i].get().is_some() {
+                continue;
+            }
+            self.redispatched[i].store(true, Ordering::Relaxed);
+            self.dispatch(scope, i);
+        }
+    }
+
+    /// Routes and pushes frame `i`, healing the tier as needed: route
+    /// changes migrate the stream's tracker (after quiescing its last
+    /// in-flight frame), dead targets trigger failover and re-route,
+    /// full queues shed or run down the admission deadline.
+    fn dispatch<'s, 'e>(&mut self, scope: &'s std::thread::Scope<'s, 'e>, i: usize)
+    where
+        'a: 'e,
+    {
+        let stream = self.frames[i].stream;
+        loop {
+            if self.tier_down {
+                let _ = self.results[i].set(StreamOutcome::Failed {
+                    error: Error::WorkerPanic {
+                        stage: "cluster.supervise".to_owned(),
+                        message: "no shard in rotation (last shard died, respawn unavailable)"
+                            .to_owned(),
+                    },
+                    attempts: 0,
+                });
+                return;
+            }
+            self.supervise(scope);
+            if self.tier_down {
+                continue;
+            }
+            let target = self.cluster.lock_router().route(stream.raw());
+            if self.down[target as usize] {
+                continue;
+            }
+            if let Some(&previous) = self.last_route.get(&stream.raw()) {
+                if previous != target {
+                    // The stream moved (failover out, or home again
+                    // after a respawn): wait out its in-flight frame,
+                    // then carry the tracker over. The cache stays
+                    // behind — cold serves are bit-identical, warmth
+                    // rebuilds on the next frame.
+                    self.quiesce(scope, stream, i);
+                    if let Some(snapshot) =
+                        self.cluster.shards[previous as usize].take_stream_snapshot(stream)
+                    {
+                        let now = self.cluster.lock_router().route(stream.raw());
+                        self.cluster.shards[now as usize].install_stream_snapshot(snapshot);
+                        self.last_route.insert(stream.raw(), now);
+                    } else {
+                        self.last_route.insert(stream.raw(), target);
+                    }
+                    continue;
+                }
+            }
+            match self.push_to(scope, target as usize, i) {
+                PushOutcome::Pushed => {
+                    self.last_route.insert(stream.raw(), target);
+                    self.last_pushed.insert(stream.raw(), i);
+                    return;
+                }
+                PushOutcome::Shed => {
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.results[i].set(StreamOutcome::Shed);
+                    return;
+                }
+                PushOutcome::Deadline => {
+                    self.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.results[i].set(StreamOutcome::DeadlineExceeded);
+                    return;
+                }
+                PushOutcome::Rerouted => continue,
+            }
+        }
+    }
+
+    /// Waits until `stream` has no frame in flight, so its tracker can
+    /// migrate without racing a serve. A frame is quiesced when it is
+    /// resolved, orphaned into `pending` (its lane died — nothing is
+    /// serving it), or is the very frame being dispatched.
+    fn quiesce<'s, 'e>(
+        &mut self,
+        scope: &'s std::thread::Scope<'s, 'e>,
+        stream: StreamId,
+        current: usize,
+    ) where
+        'a: 'e,
+    {
+        loop {
+            let Some(&last) = self.last_pushed.get(&stream.raw()) else { return };
+            if last == current || self.results[last].get().is_some() || self.pending.contains(&last)
+            {
+                return;
+            }
+            self.supervise(scope);
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Pushes frame `i` to shard `target`'s lane in supervised slices:
+    /// between blocked slices the tier is re-checked (so a dead drainer
+    /// behind a full queue cannot wedge the feeder), and the configured
+    /// deadline bounds the total wait.
+    fn push_to<'s, 'e>(
+        &mut self,
+        scope: &'s std::thread::Scope<'s, 'e>,
+        target: usize,
+        i: usize,
+    ) -> PushOutcome
+    where
+        'a: 'e,
+    {
+        let lane = Arc::clone(&self.lanes[target]);
+        let deadline = self.cluster.config.supervision.retry.deadline;
+        let started = Instant::now();
+        loop {
+            if lane.dead.load(Ordering::Acquire) {
+                return PushOutcome::Rerouted;
+            }
+            match lane.queue.push_timeout(i, SUPERVISE_SLICE) {
+                Ok(_) => return PushOutcome::Pushed,
+                Err(PushError::Full) => return PushOutcome::Shed,
+                Err(PushError::Closed) => return PushOutcome::Rerouted,
+                Err(PushError::Timeout) => {
+                    if deadline.is_some_and(|d| started.elapsed() >= d) {
+                        return PushOutcome::Deadline;
+                    }
+                    self.supervise(scope);
+                    if !Arc::ptr_eq(&lane, &self.lanes[target]) {
+                        // The lane was respawned out from under us.
+                        return PushOutcome::Rerouted;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Epilogue: keep supervising and re-dispatching until every frame
+    /// has an outcome, then close the lanes so the drainers exit.
+    fn finish<'s, 'e>(&mut self, scope: &'s std::thread::Scope<'s, 'e>)
+    where
+        'a: 'e,
+    {
+        loop {
+            self.supervise(scope);
+            self.flush_pending(scope);
+            if self.results.iter().all(|slot| slot.get().is_some()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        for lane in &self.lanes {
+            lane.queue.close();
         }
     }
 }

@@ -49,16 +49,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod loadgen;
 pub mod report;
 pub mod router;
 pub mod shard;
 
+pub use chaos::{corrupt_newest_checkpoint, ChaosEvent, ChaosPlan};
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterConfigBuilder, ClusterHandle, StreamFrame, SwapPolicy,
+    Cluster, ClusterConfig, ClusterConfigBuilder, ClusterHandle, StreamFrame, StreamOutcome,
+    SupervisionConfig, SwapPolicy,
 };
-pub use loadgen::{arrivals, run_slo, Arrival, LoadProfile, SloBudget, SloReport};
+pub use loadgen::{arrivals, run_slo, run_stream_slo, Arrival, LoadProfile, SloBudget, SloReport};
 pub use report::{ClusterReport, ShardReport};
 pub use router::ShardRouter;
 pub use shard::{Shard, ShardModel};

@@ -96,6 +96,17 @@ pub struct SloReport {
     pub served: u64,
     /// Frames shed at the cluster edge.
     pub shed: u64,
+    /// Frames whose admission deadline expired with the primary and
+    /// hedge queues both full (zero when no deadline is configured).
+    #[serde(default)]
+    pub deadline_exceeded: u64,
+    /// Frames admitted only by hedging to their failover shard.
+    #[serde(default)]
+    pub hedged: u64,
+    /// Frames served after at least one failed attempt was retried
+    /// (stream runs under a chaos plan; zero on the batch path).
+    #[serde(default)]
+    pub retried_served: u64,
     /// Wall time of the run in seconds.
     pub wall_s: f64,
     /// Served throughput in frames per second.
@@ -128,7 +139,15 @@ impl std::fmt::Display for SloReport {
             self.budget.p50_us as f64 / 1e3,
             ms(self.p99_us),
             self.budget.p99_us as f64 / 1e3,
-        )
+        )?;
+        if self.deadline_exceeded + self.hedged + self.retried_served > 0 {
+            write!(
+                f,
+                "  [{} deadline-exceeded, {} hedged, {} retried-then-served]",
+                self.deadline_exceeded, self.hedged, self.retried_served
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -156,22 +175,104 @@ where
     let latency = Histogram::new(&LATENCY_BOUNDS_US);
 
     let start = Instant::now();
-    let results = cluster.serve_paced(&frames, Some(&at_us), Some(&latency));
+    let (results, edge) = cluster.serve_paced(&frames, Some(&at_us), Some(&latency));
     let wall_s = start.elapsed().as_secs_f64();
 
     let offered = schedule.len() as u64;
     let served = results.iter().filter(|r| r.is_some()).count() as u64;
-    let shed = offered - served;
-    let snapshot = latency.snapshot();
+    judge(
+        offered,
+        served,
+        edge.shed,
+        edge.deadline_exceeded,
+        edge.hedges,
+        0,
+        wall_s,
+        latency.snapshot(),
+        budget,
+    )
+}
+
+/// Runs a supervised *stream* serve under an optional chaos plan and
+/// judges it like [`run_slo`] — the harness behind the chaos bench.
+/// Frames are submitted as fast as the tier admits them (the stream
+/// path's latency is dominated by queueing, which the per-frame deadline
+/// already bounds); losses split into shed, deadline-exceeded and
+/// retried-then-served, and all three land in the report.
+pub fn run_stream_slo(
+    cluster: &Cluster,
+    frames: &[StreamFrame],
+    budget: SloBudget,
+    plan: Option<&crate::ChaosPlan>,
+) -> SloReport {
+    use crate::cluster::StreamOutcome;
+    let latency = Histogram::new(&LATENCY_BOUNDS_US);
+    let start = Instant::now();
+    let outcomes = cluster.serve_streams_with(frames, plan);
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    let mut deadline_exceeded = 0u64;
+    let mut retried_served = 0u64;
+    for outcome in &outcomes {
+        match outcome {
+            StreamOutcome::Served { attempts, .. } => {
+                served += 1;
+                if *attempts > 1 {
+                    retried_served += 1;
+                }
+            }
+            StreamOutcome::Shed => shed += 1,
+            StreamOutcome::DeadlineExceeded => deadline_exceeded += 1,
+            StreamOutcome::Failed { .. } => {}
+        }
+    }
+    // The stream path has no schedule; spread the wall time over the
+    // served frames so the histogram still carries a meaningful p50/p99.
+    if let Some(per_frame_us) = ((wall_s * 1e6) as u64).checked_div(served) {
+        for _ in 0..served {
+            latency.record(per_frame_us);
+        }
+    }
+    judge(
+        frames.len() as u64,
+        served,
+        shed,
+        deadline_exceeded,
+        0,
+        retried_served,
+        wall_s,
+        latency.snapshot(),
+        budget,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn judge(
+    offered: u64,
+    served: u64,
+    shed: u64,
+    deadline_exceeded: u64,
+    hedged: u64,
+    retried_served: u64,
+    wall_s: f64,
+    snapshot: HistogramReport,
+    budget: SloBudget,
+) -> SloReport {
     let (p50_us, p99_us) = (snapshot.p50(), snapshot.p99());
-    let shed_ppm = (shed * 1_000_000).checked_div(offered).unwrap_or(0);
+    // Every frame the tier failed to serve counts against the loss
+    // budget, whether it was shed outright or timed out.
+    let lost_ppm = ((shed + deadline_exceeded) * 1_000_000).checked_div(offered).unwrap_or(0);
     let pass = p50_us.is_some_and(|p| p <= budget.p50_us)
         && p99_us.is_some_and(|p| p <= budget.p99_us)
-        && shed_ppm <= budget.shed_ppm;
+        && lost_ppm <= budget.shed_ppm;
     SloReport {
         offered,
         served,
         shed,
+        deadline_exceeded,
+        hedged,
+        retried_served,
         wall_s,
         throughput_fps: if wall_s > 0.0 { served as f64 / wall_s } else { 0.0 },
         p50_us,

@@ -35,6 +35,28 @@ pub struct ClusterReport {
     pub frames_shed: u64,
     /// Completed cluster-wide blue/green swaps.
     pub swaps: u64,
+    /// Streams migrated off a dead shard to a survivor (tracker state
+    /// carried over, cache warmth rebuilt).
+    #[serde(default)]
+    pub failovers: u64,
+    /// Dead or stalled shards respawned warm from the latest
+    /// checkpoint (or the seed snapshot).
+    #[serde(default)]
+    pub respawns: u64,
+    /// Failed frame attempts retried at the serving edge.
+    #[serde(default)]
+    pub retries: u64,
+    /// Frames hedged to their failover shard when the primary blocked
+    /// past half the deadline.
+    #[serde(default)]
+    pub hedges: u64,
+    /// Frames whose deadline expired before any attempt could succeed.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
+    /// Shard serve loops condemned by the watchdog for heartbeat
+    /// silence with work in flight.
+    #[serde(default)]
+    pub stalls: u64,
     /// Live per-stage tracing statistics, when a `pcnn_trace` tracer is
     /// installed (spans from every shard land in the same process-global
     /// tracer, so this is the tier-wide view).
@@ -107,6 +129,20 @@ impl std::fmt::Display for ClusterReport {
                 self.aggregate.cells_reused,
                 self.aggregate.cells_recomputed,
                 100.0 * self.aggregate.cells_reused as f64 / total as f64
+            )?;
+        }
+        if self.failovers + self.respawns + self.retries + self.stalls > 0 {
+            writeln!(
+                f,
+                "  self-healing: {} failovers  {} respawns  {} retries  {} stalls",
+                self.failovers, self.respawns, self.retries, self.stalls
+            )?;
+        }
+        if self.hedges + self.deadline_exceeded > 0 {
+            writeln!(
+                f,
+                "  deadlines: {} hedged  {} exceeded",
+                self.hedges, self.deadline_exceeded
             )?;
         }
         if self.aggregate.degraded_batches > 0 {

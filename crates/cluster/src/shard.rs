@@ -25,12 +25,12 @@ use pcnn_core::pipeline::{Detector, DetectorConfig, TrainedDetector};
 use pcnn_core::{Error, StreamId};
 use pcnn_runtime::{
     canary_reference, DetectionServer, FallbackChain, Metrics, RuntimeConfig, RuntimeReport,
-    ServiceLevel, StreamFrameResult, StreamState,
+    ServiceLevel, StreamFrameResult, StreamSnapshot, StreamState,
 };
 use pcnn_vision::{Detection, GrayImage};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// An installed model: the detector plus the healthy canary histograms
 /// captured at install time and the generation that installed it.
@@ -124,6 +124,28 @@ impl StreamStore {
             state.invalidate();
         }
     }
+
+    /// Removes one stream's state as a migratable snapshot (tracker
+    /// only — cache warmth is not portable), or `None` when the shard
+    /// holds no state for it.
+    fn take_snapshot(&mut self, stream: StreamId) -> Option<StreamSnapshot> {
+        self.states.remove(&stream.raw()).map(|(_, state)| state.snapshot())
+    }
+
+    /// Removes every stream's state as migratable snapshots, in
+    /// ascending stream-id order (deterministic for a given store
+    /// content, whatever order the streams were served in).
+    fn drain_snapshots(&mut self) -> Vec<StreamSnapshot> {
+        let states = std::mem::take(&mut self.states);
+        states.into_values().map(|(_, state)| state.snapshot()).collect()
+    }
+
+    /// Installs a migrated stream's state (cold cache, live tracker),
+    /// subject to the same LRU cap as served frames.
+    fn install(&mut self, snapshot: StreamSnapshot) {
+        let stream = snapshot.id;
+        self.put(stream, StreamState::from_snapshot(snapshot));
+    }
 }
 
 /// One serving replica: an owned model, a worker pool configuration and
@@ -181,9 +203,32 @@ impl Shard {
         self.id
     }
 
+    /// Locks the model/in-flight state, recovering from poisoning: the
+    /// invariants are a model `Arc` and a counter map, both valid after
+    /// any panic mid-critical-section.
+    fn lock_state(&self) -> MutexGuard<'_, ShardState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Locks the report accumulator, recovering from poisoning.
+    fn lock_report(&self) -> MutexGuard<'_, RuntimeReport> {
+        self.report.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Locks the per-stream store, recovering from poisoning the way
+    /// [`RequestQueue`](pcnn_runtime::RequestQueue) does. A panic while
+    /// the lock is held (an injected chaos panic, an eviction bug)
+    /// leaves a map and a tick counter — both structurally valid — and
+    /// the worst a half-applied update can cost is cache warmth, which
+    /// the caller's error path invalidates anyway. Poisoning must not
+    /// permanently wedge every stream routed to this shard.
+    fn lock_streams(&self) -> MutexGuard<'_, StreamStore> {
+        self.streams.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// The generation of the currently installed model.
     pub fn generation(&self) -> u64 {
-        self.state.lock().expect("shard state lock").model.generation
+        self.lock_state().model.generation
     }
 
     /// Completed model swaps.
@@ -193,7 +238,55 @@ impl Shard {
 
     /// A snapshot of the shard's accumulated serving report.
     pub fn report(&self) -> RuntimeReport {
-        self.report.lock().expect("shard report lock").clone()
+        self.lock_report().clone()
+    }
+
+    /// Streams with temporal state currently cached on this shard.
+    pub fn cached_streams(&self) -> usize {
+        self.lock_streams().states.len()
+    }
+
+    /// Removes one stream's migratable state (tracker, no cache) for
+    /// failover to another shard, or `None` when this shard holds no
+    /// state for it. Only call when no frame of the stream is in
+    /// flight on this shard — the cluster's supervisor quiesces the
+    /// stream first.
+    pub fn take_stream_snapshot(&self, stream: StreamId) -> Option<StreamSnapshot> {
+        self.lock_streams().take_snapshot(stream)
+    }
+
+    /// Removes every stream's migratable state, ascending by stream id
+    /// — the bulk form used when this shard dies and its streams
+    /// scatter to the survivors.
+    pub fn take_stream_snapshots(&self) -> Vec<StreamSnapshot> {
+        self.lock_streams().drain_snapshots()
+    }
+
+    /// Installs a stream's migrated state on this shard: the tracker
+    /// resumes where the source shard left it, the cache starts cold
+    /// and rebuilds warmth from the stream's next frame.
+    pub fn install_stream_snapshot(&self, snapshot: StreamSnapshot) {
+        self.lock_streams().install(snapshot);
+    }
+
+    /// Replaces the model after this shard's serve loop died (a panic
+    /// escaped a drainer, or the watchdog condemned a stall): publishes
+    /// `detector` as the next generation, discards stale in-flight
+    /// registrations — the loop that made them is gone and can never
+    /// deregister, so draining them like [`install`](Shard::install)
+    /// would wait forever — and invalidates this shard's stream caches
+    /// (only this shard's: survivors keep their warmth). Returns the
+    /// new generation.
+    pub fn respawn(&self, detector: TrainedDetector) -> u64 {
+        let model = ShardModel::new(detector, 0);
+        let mut state = self.lock_state();
+        let generation = state.model.generation + 1;
+        state.model = Arc::new(ShardModel { generation, ..model });
+        state.in_flight.clear();
+        drop(state);
+        self.batch_done.notify_all();
+        self.lock_streams().invalidate();
+        generation
     }
 
     /// Installs `detector` as the next model generation and drains the
@@ -209,18 +302,18 @@ impl Shard {
     pub fn install(&self, detector: TrainedDetector) -> u64 {
         let span = pcnn_trace::span(pcnn_trace::stages::CLUSTER_SWAP);
         let model = ShardModel::new(detector, 0);
-        let mut state = self.state.lock().expect("shard state lock");
+        let mut state = self.lock_state();
         let generation = state.model.generation + 1;
         state.model = Arc::new(ShardModel { generation, ..model });
         while state.in_flight.range(..generation).next().is_some() {
-            state = self.batch_done.wait(state).expect("shard state lock");
+            state = self.batch_done.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         drop(state);
         // Cached cell histograms and window scores were produced by the
         // old generation; they must never be served by the new one.
         // Trackers keep their identity — a swap changes the model, not
         // the scene.
-        self.streams.lock().expect("shard stream lock").invalidate();
+        self.lock_streams().invalidate();
         self.swaps.fetch_add(1, Ordering::Relaxed);
         drop(span);
         generation
@@ -238,13 +331,13 @@ impl Shard {
             span.add(pcnn_trace::Counter::Frames, frames.len() as u64);
         }
         let model = {
-            let mut state = self.state.lock().expect("shard state lock");
+            let mut state = self.lock_state();
             let generation = state.model.generation;
             *state.in_flight.entry(generation).or_insert(0) += 1;
             Arc::clone(&state.model)
         };
         let results = self.serve_with(&model, frames);
-        let mut state = self.state.lock().expect("shard state lock");
+        let mut state = self.lock_state();
         let count = state.in_flight.get_mut(&model.generation).expect("registered generation");
         *count -= 1;
         if *count == 0 {
@@ -273,14 +366,14 @@ impl Shard {
             span.add(pcnn_trace::Counter::Frames, 1);
         }
         let model = {
-            let mut state = self.state.lock().expect("shard state lock");
+            let mut state = self.lock_state();
             let generation = state.model.generation;
             *state.in_flight.entry(generation).or_insert(0) += 1;
             Arc::clone(&state.model)
         };
         // The stream's state leaves the store while its frame runs, so
         // a long frame never blocks other streams on the store lock.
-        let mut stream_state = self.streams.lock().expect("shard stream lock").take(stream);
+        let mut stream_state = self.lock_streams().take(stream);
 
         let mut chain = FallbackChain::new().push_level(model.level());
         if let Some(fallback) = &self.fallback {
@@ -291,17 +384,18 @@ impl Shard {
         let result = server.detect_stream_state(&mut stream_state, frame);
         let batch_report = server.report(None);
         {
-            let mut report = self.report.lock().expect("shard report lock");
+            let mut report = self.lock_report();
             *report = RuntimeReport { workers: self.config.workers, ..report.merge(&batch_report) };
         }
-        self.streams.lock().expect("shard stream lock").put(stream, stream_state);
+        self.lock_streams().put(stream, stream_state);
 
-        let mut state = self.state.lock().expect("shard state lock");
-        let count = state.in_flight.get_mut(&model.generation).expect("registered generation");
-        *count -= 1;
-        if *count == 0 {
-            state.in_flight.remove(&model.generation);
-            self.batch_done.notify_all();
+        let mut state = self.lock_state();
+        if let Some(count) = state.in_flight.get_mut(&model.generation) {
+            *count -= 1;
+            if *count == 0 {
+                state.in_flight.remove(&model.generation);
+                self.batch_done.notify_all();
+            }
         }
         drop(state);
         result
@@ -323,10 +417,91 @@ impl Shard {
             .expect("shard config validated at cluster build");
         let results = server.detect_batch(frames);
         let batch_report = server.report(None);
-        let mut report = self.report.lock().expect("shard report lock");
+        let mut report = self.lock_report();
         // merge() sums `workers` (an aggregate over shards reports total
         // threads); within one shard the pool size is constant.
         *report = RuntimeReport { workers: self.config.workers, ..report.merge(&batch_report) };
         results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_core::{Extractor, WindowClassifier};
+    use pcnn_hog::BlockNorm;
+    use pcnn_svm::{train, FeatureScaler, TrainConfig};
+    use pcnn_vision::{SynthConfig, SynthDataset, TemporalConfig, VideoStream};
+
+    fn small_detector() -> TrainedDetector {
+        let ds = SynthDataset::new(SynthConfig::default());
+        let extractor = Extractor::napprox_fp(BlockNorm::L2);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..12 {
+            xs.push(extractor.crop_descriptor(&ds.train_positive(i)));
+            ys.push(true);
+            xs.push(extractor.crop_descriptor(&ds.train_negative(i)));
+            ys.push(false);
+        }
+        let scaler = FeatureScaler::fit(&xs);
+        let model = train(&scaler.apply_all(&xs), &ys, TrainConfig::default());
+        TrainedDetector { extractor, classifier: WindowClassifier::Svm { model, scaler } }
+    }
+
+    fn small_shard() -> Shard {
+        Shard::new(0, small_detector(), RuntimeConfig::default(), DetectorConfig::default(), 8)
+    }
+
+    /// Regression for the poisoned stream-store lock: a panic while
+    /// holding the store mutex (here: forced from another thread) used
+    /// to wedge every later `run_stream_frame` on this shard with
+    /// "shard stream lock" panics. The store must recover like the
+    /// request queue does.
+    #[test]
+    fn stream_store_survives_a_poisoned_lock() {
+        let shard = std::sync::Arc::new(small_shard());
+        let stream = StreamId::new(3);
+        let video = VideoStream::new(TemporalConfig::sparse_scene(1));
+        let first = video.render(0).image;
+        shard.run_stream_frame(stream, &first).expect("clean first frame");
+        assert_eq!(shard.cached_streams(), 1);
+
+        // Poison the store mutex: panic while holding it.
+        let poisoner = std::sync::Arc::clone(&shard);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.streams.lock().unwrap();
+            panic!("poison the stream store");
+        });
+        assert!(handle.join().is_err());
+        assert!(shard.streams.lock().is_err(), "store mutex must actually be poisoned");
+
+        // Every store entry point recovers instead of propagating.
+        let second = video.render(1).image;
+        let warm = shard.run_stream_frame(stream, &second).expect("poisoned store must recover");
+        assert!(warm.cells_reused > 0, "state survived the poisoning, frame 2 runs warm");
+        let snap = shard.take_stream_snapshot(stream).expect("state still present");
+        shard.install_stream_snapshot(snap);
+        assert_eq!(shard.cached_streams(), 1);
+        assert_eq!(shard.take_stream_snapshots().len(), 1);
+        assert_eq!(shard.cached_streams(), 0);
+    }
+
+    /// Respawn publishes a fresh generation, clears stale in-flight
+    /// registrations (the dead loop can never deregister them) and
+    /// invalidates only this shard's caches.
+    #[test]
+    fn respawn_clears_in_flight_and_bumps_generation() {
+        let shard = small_shard();
+        // Simulate a drainer that died between registering and
+        // deregistering a batch under generation 0.
+        shard.lock_state().in_flight.insert(0, 1);
+        let generation = shard.respawn(small_detector());
+        assert_eq!(generation, 1);
+        assert_eq!(shard.generation(), 1);
+        assert!(shard.lock_state().in_flight.is_empty(), "stale registrations discarded");
+        // install() after a respawn must not hang on the stale count.
+        let generation = shard.install(small_detector());
+        assert_eq!(generation, 2);
     }
 }

@@ -103,5 +103,5 @@ pub use metrics::{
 pub use queue::{Backpressure, PushError, QueueConfig, RequestQueue};
 pub use scheduler::{parallel_map, plan_chunks, try_parallel_map, Chunk, WorkerPanic};
 pub use server::{DetectionServer, RuntimeConfig, RuntimeConfigBuilder};
-pub use stream::{StreamFrameResult, StreamHandle, StreamState};
+pub use stream::{StreamFrameResult, StreamHandle, StreamSnapshot, StreamState};
 pub use supervise::{RetryPolicy, Watchdog, WatchdogStatus};

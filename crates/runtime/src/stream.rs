@@ -17,6 +17,7 @@ use crate::cache::CellCache;
 use pcnn_core::StreamId;
 use pcnn_track::{Track, Tracker, TrackerConfig};
 use pcnn_vision::Detection;
+use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// One processed stream frame: final detections, the tracks they
@@ -67,6 +68,36 @@ impl StreamState {
     pub fn invalidate(&mut self) {
         self.cache.invalidate();
     }
+
+    /// The stream's migratable identity: its id and tracker, without
+    /// the cell cache. See [`StreamSnapshot`].
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot { id: self.id, tracker: self.tracker.clone() }
+    }
+
+    /// Rebuilds stream state from a migrated snapshot. The cache starts
+    /// cold (warmth is not portable across shards — cached cells were
+    /// extracted by the old host's model instance), the tracker resumes
+    /// exactly where the snapshot left it, so track identity survives.
+    pub fn from_snapshot(snapshot: StreamSnapshot) -> Self {
+        StreamState { id: snapshot.id, cache: CellCache::new(), tracker: snapshot.tracker }
+    }
+}
+
+/// The serde-able, migratable part of a stream's serving state: the
+/// stream id and its tracker. This is what moves between shards on
+/// failover — tracks survive, cached pixels do not (the destination
+/// shard rebuilds cache warmth from its first frame). The cell cache is
+/// deliberately excluded: it is large, host-specific and always safe to
+/// drop, since a cold cache is bit-identical to a warm one by the
+/// streaming determinism contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSnapshot {
+    /// The stream's identity.
+    pub id: StreamId,
+    /// The tracking-by-detection state, resumed verbatim by the
+    /// destination shard.
+    pub tracker: Tracker,
 }
 
 /// A cloneable, thread-safe handle to one stream's state.

@@ -18,6 +18,15 @@ pub struct RetryPolicy {
     /// Overall in-flight budget. `None` means attempts alone bound the
     /// request.
     pub deadline: Option<Duration>,
+    /// Jitter width applied to each backoff, in per-mille of the
+    /// exponential base. `0` keeps the exact exponential schedule; `j`
+    /// spreads each backoff uniformly over `[base·(1 − j/2000),
+    /// base·(1 + j/2000))` so that N producers retrying the same failed
+    /// shard do not stampede it in lockstep. The draw is a pure
+    /// function of the caller's seed and the attempt number — fully
+    /// deterministic, no clock involved.
+    #[serde(default)]
+    pub jitter_pm: u32,
 }
 
 impl Default for RetryPolicy {
@@ -26,22 +35,61 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             base_backoff: Duration::from_millis(5),
             deadline: Some(Duration::from_secs(30)),
+            jitter_pm: 0,
         }
     }
+}
+
+/// The `splitmix64` finalizer, used to derive deterministic jitter
+/// draws from a seed without pulling a generator into the policy.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
     /// A single attempt, no backoff, no deadline — the "fail fast"
     /// policy, equivalent to an unsupervised call.
     pub fn no_retry() -> Self {
-        RetryPolicy { max_attempts: 1, base_backoff: Duration::ZERO, deadline: None }
+        RetryPolicy { max_attempts: 1, base_backoff: Duration::ZERO, deadline: None, jitter_pm: 0 }
+    }
+
+    /// This policy with the given jitter width (per-mille of the
+    /// exponential base, clamped to 1000).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter_pm: u32) -> Self {
+        self.jitter_pm = jitter_pm.min(1000);
+        self
     }
 
     /// The backoff to sleep after failed attempt number `attempt`
-    /// (1-based): `base_backoff << (attempt - 1)`, saturating.
+    /// (1-based): `base_backoff << (attempt - 1)`, saturating. The
+    /// exact exponential schedule, jitter excluded.
     pub fn backoff_after(&self, attempt: u32) -> Duration {
         self.base_backoff
             .saturating_mul(1_u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+    }
+
+    /// The jittered backoff after failed attempt `attempt` for the
+    /// request identified by `seed`: the exponential base spread
+    /// uniformly over `[base·(1 − j/2000), base·(1 + j/2000))` by a
+    /// seeded `splitmix64` draw. Deterministic: the same `(policy,
+    /// seed, attempt)` always sleeps the same duration, so retry
+    /// schedules replay bit-identically under `Clock::Mock` traces —
+    /// while distinct seeds de-synchronize, which is the point.
+    pub fn backoff_jittered(&self, attempt: u32, seed: u64) -> Duration {
+        let base = self.backoff_after(attempt);
+        let jitter = u64::from(self.jitter_pm.min(1000));
+        if jitter == 0 || base.is_zero() {
+            return base;
+        }
+        let draw = mix(seed ^ (u64::from(attempt) << 32)) % (jitter + 1);
+        // factor in per-mille: 1000 - j/2 + draw, draw ∈ [0, j].
+        let factor_pm = 1000 - jitter / 2 + draw;
+        let nanos = base.as_nanos().saturating_mul(u128::from(factor_pm)) / 1000;
+        Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
     }
 }
 
@@ -116,10 +164,54 @@ mod tests {
             max_attempts: 4,
             base_backoff: Duration::from_millis(10),
             deadline: None,
+            jitter_pm: 0,
         };
         assert_eq!(p.backoff_after(1), Duration::from_millis(10));
         assert_eq!(p.backoff_after(2), Duration::from_millis(20));
         assert_eq!(p.backoff_after(3), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn zero_jitter_keeps_the_exact_exponential_schedule() {
+        let p = RetryPolicy::default();
+        for attempt in 1..6 {
+            for seed in [0u64, 1, 0xDAC17] {
+                assert_eq!(p.backoff_jittered(attempt, seed), p.backoff_after(attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_seed_dependent() {
+        let p = RetryPolicy::default().with_jitter(500); // ±25 %
+        for attempt in 1..6 {
+            let base = p.backoff_after(attempt);
+            let lo = base.mul_f64(0.75);
+            let hi = base.mul_f64(1.25);
+            for seed in 0..64u64 {
+                let d = p.backoff_jittered(attempt, seed);
+                assert_eq!(d, p.backoff_jittered(attempt, seed), "same seed must replay");
+                assert!(
+                    d >= lo && d <= hi,
+                    "attempt {attempt} seed {seed}: {d:?} ∉ [{lo:?}, {hi:?}]"
+                );
+            }
+        }
+        // Distinct seeds must actually de-synchronize the schedule.
+        let draws: std::collections::BTreeSet<Duration> =
+            (0..64u64).map(|seed| p.backoff_jittered(2, seed)).collect();
+        assert!(draws.len() > 8, "only {} distinct backoffs across 64 seeds", draws.len());
+    }
+
+    #[test]
+    fn with_jitter_clamps_to_full_width() {
+        let p = RetryPolicy::default().with_jitter(5000);
+        assert_eq!(p.jitter_pm, 1000);
+        let base = p.backoff_after(1);
+        for seed in 0..32u64 {
+            let d = p.backoff_jittered(1, seed);
+            assert!(d >= base.mul_f64(0.5) && d <= base.mul_f64(1.5));
+        }
     }
 
     #[test]

@@ -89,8 +89,12 @@ fn submit_retries_past_a_transient_panic() {
     let server = DetectionServer::new(Detector::default(), &detector, config_with_workers(2))
         .unwrap()
         .with_panic_injection(PanicInjector::new(0, 1));
-    let policy =
-        RetryPolicy { max_attempts: 3, base_backoff: Duration::from_millis(1), deadline: None };
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(1),
+        deadline: None,
+        jitter_pm: 0,
+    };
     let detections = server.submit(&frame, &policy).expect("retry recovers the request");
     assert_eq!(detections, expected, "retried result diverged from the clean run");
     let report = server.report(None);
@@ -112,6 +116,7 @@ fn submit_gives_up_at_the_deadline() {
         max_attempts: 100,
         base_backoff: Duration::from_millis(50),
         deadline: Some(Duration::from_millis(40)),
+        jitter_pm: 0,
     };
     match server.submit(&frame, &policy) {
         Err(Error::DeadlineExceeded { waited_ms, deadline_ms }) => {
@@ -134,8 +139,12 @@ fn exhausted_attempts_return_the_last_worker_panic() {
     let server = DetectionServer::new(Detector::default(), &detector, config_with_workers(2))
         .unwrap()
         .with_panic_injection(PanicInjector::new(0, u64::MAX));
-    let policy =
-        RetryPolicy { max_attempts: 2, base_backoff: Duration::from_millis(1), deadline: None };
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        deadline: None,
+        jitter_pm: 0,
+    };
     match server.submit(&frame, &policy) {
         Err(Error::WorkerPanic { stage, .. }) => assert_eq!(stage, "classify"),
         other => panic!("expected WorkerPanic, got {other:?}"),

@@ -1,0 +1,88 @@
+//! Concurrent checkpoint-directory contract: readers calling
+//! [`CheckpointDir::load_latest`] while a writer is saving new epochs
+//! (atomic tmp-file rename) and corrupting old ones never observe a
+//! torn file, never error, and never return a payload that disagrees
+//! with its epoch — corruption only ever costs fallback depth, not
+//! consistency. This is the store-side half of the cluster's
+//! respawn-under-chaos guarantee.
+
+use pcnn_store::CheckpointDir;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pcnn-store-conc-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A payload whose contents encode its epoch, so a reader can detect
+/// any mixture of two checkpoints.
+fn payload(epoch: usize) -> Vec<u64> {
+    (0..512).map(|i| epoch as u64 * 1_000_003 + i).collect()
+}
+
+/// Flips one mid-file byte, leaving the length intact: the CRC must
+/// catch it.
+fn corrupt(path: &PathBuf) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn load_latest_is_consistent_under_concurrent_saves_and_corruption() {
+    const EPOCHS: usize = 39;
+    let root = scratch("load-vs-save");
+    let dir = CheckpointDir::create(&root).unwrap();
+    dir.save(1, &payload(1)).unwrap();
+
+    let writing = AtomicBool::new(true);
+    std::thread::scope(|scope| {
+        // Readers hammer load_latest for the writer's whole run.
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let dir = CheckpointDir::create(&root).unwrap();
+                let mut observed = 0usize;
+                while writing.load(Ordering::Acquire) || observed == 0 {
+                    let loaded = dir
+                        .load_latest::<Vec<u64>>()
+                        .expect("listing the directory must never fail mid-save");
+                    let (epoch, value) = loaded.expect("epoch 1 is valid before the readers start");
+                    assert_eq!(
+                        value,
+                        payload(epoch),
+                        "epoch {epoch} returned a payload that is not its own: \
+                         a torn or mixed read leaked through the envelope checks"
+                    );
+                    observed += 1;
+                }
+            });
+        }
+        // The writer saves new epochs as fast as it can, corrupting
+        // every third one right after the rename lands.
+        for epoch in 2..=EPOCHS {
+            let path = dir.save(epoch, &payload(epoch)).unwrap();
+            if epoch % 3 == 0 {
+                corrupt(&path);
+            }
+        }
+        writing.store(false, Ordering::Release);
+    });
+
+    // Steady state: the newest *valid* epoch wins; every corrupted one
+    // is skipped, not fatal.
+    let (epoch, value) = dir.load_latest::<Vec<u64>>().unwrap().expect("valid epochs remain");
+    assert_eq!(
+        epoch,
+        EPOCHS - 1,
+        "epoch {EPOCHS} is corrupt (divisible by 3), {} wins",
+        EPOCHS - 1
+    );
+    assert_eq!(value, payload(epoch));
+    assert_eq!(dir.epochs().unwrap().len(), EPOCHS, "corrupt files still exist on disk");
+
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -119,6 +119,15 @@ pub mod stages {
     pub const CLUSTER_SHARD_BATCH: &str = "cluster.shard_batch";
     /// One blue/green model install draining a cluster shard.
     pub const CLUSTER_SWAP: &str = "cluster.swap";
+    /// Re-routing a dead shard's streams and queued frames to the
+    /// surviving shards (tracker state migrates, cache warmth does not).
+    pub const CLUSTER_FAILOVER: &str = "cluster.failover";
+    /// Respawning a dead or stalled shard warm from the latest
+    /// checkpoint snapshot.
+    pub const CLUSTER_RESPAWN: &str = "cluster.respawn";
+    /// One deadline-aware retry of a failed stream frame at the
+    /// cluster edge.
+    pub const CLUSTER_RETRY: &str = "cluster.retry";
 }
 
 /// Installs a wall-clock tracer when the `PCNN_TRACE` environment

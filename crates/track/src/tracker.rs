@@ -91,7 +91,7 @@ impl Track {
 /// Fully deterministic: ties in the association are broken by track id
 /// then detection index, so the same detection sequence always yields
 /// the same ids.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tracker {
     config: TrackerConfig,
     tracks: Vec<Track>,
