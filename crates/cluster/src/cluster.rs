@@ -774,7 +774,7 @@ impl Cluster {
     ///
     /// Returns per-frame outcomes in input order; `None` marks frames
     /// shed by a full shard queue under
-    /// [`Backpressure::Reject`](pcnn_runtime::Backpressure::Reject),
+    /// [`Backpressure::Reject`],
     /// and `Some(Err(_))` a frame whose attempts all failed.
     pub fn serve_streams(&self, frames: &[StreamFrame]) -> Vec<Option<Result<StreamFrameResult>>> {
         self.serve_streams_with(frames, None)
@@ -860,8 +860,8 @@ impl Cluster {
     ///
     /// Returns per-frame detections in input order; `None` marks frames
     /// shed by a full shard queue under
-    /// [`Backpressure::Reject`](pcnn_runtime::Backpressure::Reject).
-    /// With [`Backpressure::Block`](pcnn_runtime::Backpressure::Block)
+    /// [`Backpressure::Reject`].
+    /// With [`Backpressure::Block`]
     /// every slot is `Some`.
     ///
     /// # Panics

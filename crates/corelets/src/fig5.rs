@@ -1,0 +1,237 @@
+//! Chip-scale NApprox cell arrays: the Fig. 5 deployment shapes.
+//!
+//! The paper's Fig. 5 classifier budget is 2864 TrueNorth cores, and the
+//! power model assumes full 4096-core chips. This module tiles the
+//! single-cell NApprox corelet ([`crate::napprox`]) into one shared
+//! [`System`]: every cell gets its own block of ~30 cores and its own
+//! 18-pin histogram window, and all cells decide **concurrently** — one
+//! coding window amortizes over the whole array instead of one cell.
+//!
+//! Arrays can span chips: [`Fig5CellArray::set_mesh`] places the cores
+//! onto 4096-core chips on a line mesh, after which cell modules that
+//! straddle a chip boundary pay the configured hop latency on their
+//! internal stage-1 → AND routes. Because each vote's three verdict
+//! spikes travel the same core-to-core route, they stay coincident under
+//! any uniform transit delay, so straddling cells produce the same
+//! histograms — just a few ticks later (the array extends its drain
+//! window accordingly).
+//!
+//! Fault plans attach to the whole array ([`Fig5CellArray::set_fault_plan`]),
+//! which is how the chip-scale yield/degradation experiments run the
+//! Fig. 5 configuration under `pcnn-faults` injection.
+
+use crate::napprox::{build_cell, CellWiring, BINS};
+use pcnn_hog::cell::PATCH_SIZE;
+use pcnn_hog::quantize::Quantization;
+use pcnn_truenorth::{Mesh, Placement, RateCode, SpikeCode, System, CHIP_CORES};
+use pcnn_vision::GrayImage;
+
+/// An array of independent NApprox cell modules sharing one simulated
+/// multi-chip TrueNorth system.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_corelets::Fig5CellArray;
+/// use pcnn_vision::GrayImage;
+///
+/// let mut array = Fig5CellArray::new(16, 3);
+/// let patch = GrayImage::from_fn(10, 10, |x, _| x as f32 / 10.0);
+/// let patches = vec![patch.clone(), patch.clone(), patch];
+/// let histograms = array.extract_batch(&patches);
+/// assert_eq!(histograms.len(), 3);
+/// // Identical patches produce identical histograms on every cell.
+/// assert_eq!(histograms[0], histograms[1]);
+/// ```
+#[derive(Debug)]
+pub struct Fig5CellArray {
+    system: System,
+    cells: Vec<CellWiring>,
+    window: u32,
+    quant: Quantization,
+}
+
+impl Fig5CellArray {
+    /// Builds an array of `cells` cell modules at `spikes`-spike coding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes == 0` or `cells == 0`.
+    pub fn new(spikes: u32, cells: usize) -> Self {
+        assert!(cells > 0, "array needs at least one cell");
+        let mut system = System::new();
+        let mut wirings = Vec::with_capacity(cells);
+        let mut quant = None;
+        for cell in 0..cells {
+            let (wiring, q) = build_cell(&mut system, spikes, (cell * BINS) as u32);
+            wirings.push(wiring);
+            quant.get_or_insert(q);
+        }
+        Fig5CellArray {
+            system,
+            cells: wirings,
+            window: spikes,
+            quant: quant.expect("at least one cell"),
+        }
+    }
+
+    /// The paper's Fig. 5 classifier budget: as many cell modules as fit
+    /// in 2864 cores.
+    pub fn paper_classifier(spikes: u32) -> Self {
+        let probe = Self::new(spikes, 1);
+        let cells = 2864 / probe.core_count();
+        Self::new(spikes, cells)
+    }
+
+    /// Number of cell modules in the array.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total simulated cores.
+    pub fn core_count(&self) -> usize {
+        self.system.core_count()
+    }
+
+    /// The input coding window in ticks.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Chips the array occupies at 4096 cores per chip.
+    pub fn chip_count(&self) -> u32 {
+        self.core_count().div_ceil(CHIP_CORES) as u32
+    }
+
+    /// Places the array onto 4096-core chips arranged on a line mesh
+    /// with the given per-hop transit latency. Cells whose cores
+    /// straddle a chip boundary keep producing correct histograms; the
+    /// extraction drain window stretches to absorb the transit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`pcnn_truenorth::TrueNorthError::InvalidMesh`].
+    pub fn set_mesh(&mut self, hop_latency: u32) -> pcnn_truenorth::Result<()> {
+        let placement = Placement::sequential_with_capacity(self.core_count(), CHIP_CORES);
+        self.system.set_mesh(Mesh::line(placement, hop_latency))
+    }
+
+    /// Worker threads for the event engine's core stepping.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.system.set_workers(workers);
+    }
+
+    /// Activity counters accumulated over every extraction so far.
+    pub fn stats(&self) -> pcnn_truenorth::SystemStats {
+        self.system.stats()
+    }
+
+    /// Attaches a fault-injection plan to the array's fabric; it
+    /// persists across [`extract_batch`](Fig5CellArray::extract_batch)
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// [`pcnn_truenorth::TrueNorthError::InvalidFaultPlan`] if the plan
+    /// does not fit the array.
+    pub fn set_fault_plan(
+        &mut self,
+        plan: &pcnn_truenorth::FaultPlan,
+    ) -> pcnn_truenorth::Result<()> {
+        self.system.set_fault_plan(plan)
+    }
+
+    /// Detaches any fault plan, restoring the healthy fabric.
+    pub fn clear_fault_plan(&mut self) {
+        self.system.clear_fault_plan();
+    }
+
+    /// Fault-activity counters, when a plan is attached.
+    pub fn fault_stats(&self) -> Option<pcnn_truenorth::FaultStats> {
+        self.system.fault_stats()
+    }
+
+    /// Runs one 10×10 patch through every cell concurrently and returns
+    /// each cell's 18-bin count-voted histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patches.len()` differs from the cell count or any
+    /// patch is not 10×10.
+    pub fn extract_batch(&mut self, patches: &[GrayImage]) -> Vec<Vec<f32>> {
+        assert_eq!(patches.len(), self.cells.len(), "one patch per cell");
+        self.system.reset_state();
+        let code = RateCode::new(self.window);
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let values: Vec<Vec<f32>> = patches
+            .iter()
+            .map(|patch| {
+                assert_eq!(
+                    (patch.width(), patch.height()),
+                    (PATCH_SIZE, PATCH_SIZE),
+                    "NApprox cells take 10x10 patches"
+                );
+                (0..PATCH_SIZE * PATCH_SIZE)
+                    .map(|i| self.quant.quantize(patch.get(i % PATCH_SIZE, i / PATCH_SIZE)))
+                    .collect()
+            })
+            .collect();
+        for t in 0..self.window {
+            for (cell, vals) in self.cells.iter().zip(&values) {
+                for (i, &v) in vals.iter().enumerate() {
+                    let spike = code.spike_at(v, t, &mut rng);
+                    for p in &cell.inject_map[i] {
+                        let fire = if p.complement { !spike } else { spike };
+                        if fire {
+                            self.system.inject(p.core, p.axon);
+                        }
+                    }
+                }
+            }
+            self.system.tick();
+        }
+        for cell in &self.cells {
+            for &(core, axon) in &cell.go_axons {
+                self.system.inject(core, axon);
+            }
+        }
+        // Decision pipeline plus worst-case mesh transit for cells that
+        // straddle a chip boundary.
+        let transit = self.system.mesh().map_or(0, Mesh::max_extra_delay);
+        self.system.run(u64::from(4 + transit));
+        let counts = self.system.drain_output_counts(self.cells.len() * BINS);
+        counts.chunks(BINS).map(|c| c.iter().map(|&v| v as f32).collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NApproxHogCorelet;
+
+    #[test]
+    fn array_cells_match_the_standalone_module() {
+        let mut array = Fig5CellArray::new(16, 4);
+        let mut single = NApproxHogCorelet::new(16);
+        assert_eq!(array.core_count(), 4 * single.core_count());
+        let patches: Vec<GrayImage> = (0..4)
+            .map(|k| {
+                GrayImage::from_fn(10, 10, |x, y| {
+                    0.5 + 0.4 * ((x as f32 * (0.4 + 0.2 * k as f32)).sin() * (y as f32 * 0.7).cos())
+                })
+            })
+            .collect();
+        let batch = array.extract_batch(&patches);
+        for (k, patch) in patches.iter().enumerate() {
+            assert_eq!(batch[k], single.extract(patch), "cell {k}");
+        }
+    }
+
+    #[test]
+    fn paper_classifier_fits_the_budget() {
+        let array = Fig5CellArray::paper_classifier(64);
+        assert!(array.core_count() <= 2864, "cores = {}", array.core_count());
+        assert!(array.core_count() > 2864 - 40, "cores = {}", array.core_count());
+        assert_eq!(array.chip_count(), 1);
+    }
+}

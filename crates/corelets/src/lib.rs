@@ -47,10 +47,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fig5;
 pub mod napprox;
 pub mod validate;
 pub mod window;
 
+pub use fig5::Fig5CellArray;
 pub use napprox::NApproxHogCorelet;
 pub use validate::{correlation_study, CorrelationReport};
 pub use window::NApproxWindowExtractor;

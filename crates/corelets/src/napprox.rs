@@ -9,7 +9,7 @@ use pcnn_truenorth::{
 use pcnn_vision::GrayImage;
 
 /// Number of direction bins.
-const BINS: usize = 18;
+pub(crate) const BINS: usize = 18;
 /// Linear-threshold neurons per (pixel, bin): prev-diff, next-diff, magnitude.
 const TESTS: usize = 3;
 /// Large decision-kick constant added by the "go" axon.
@@ -21,11 +21,157 @@ const ANDS_PER_CORE: usize = 85;
 
 /// Where one patch pixel's spike train must be injected.
 #[derive(Debug, Clone, Copy)]
-struct InjectionPoint {
-    core: CoreHandle,
-    axon: u16,
+pub(crate) struct InjectionPoint {
+    pub(crate) core: CoreHandle,
+    pub(crate) axon: u16,
     /// `true` when the axon expects the complement train (W/S roles).
-    complement: bool,
+    pub(crate) complement: bool,
+}
+
+/// The host-side wiring of one compiled cell module: where each patch
+/// pixel's spike train goes, and the go axons that trigger the decision.
+/// Produced by [`build_cell`], which lets many cell modules share one
+/// [`System`] (the chip-scale Fig. 5 arrays in [`crate::fig5`]).
+#[derive(Debug)]
+pub(crate) struct CellWiring {
+    /// Per patch pixel (row-major 10×10): injection fan-out.
+    pub(crate) inject_map: Vec<Vec<InjectionPoint>>,
+    /// Go axon on every stage-1 core.
+    pub(crate) go_axons: Vec<(CoreHandle, u16)>,
+}
+
+/// Compiles one NApprox cell module into `system`, starting at the
+/// system's current core count and emitting its 18 histogram bins on
+/// output pins `pin_base..pin_base + 18`. Returns the wiring plus the
+/// input quantization the module was compiled for.
+pub(crate) fn build_cell(
+    system: &mut System,
+    spikes: u32,
+    pin_base: u32,
+) -> (CellWiring, Quantization) {
+    assert!(spikes > 0, "spike window must be positive");
+    let model = NApproxHog::quantized(spikes);
+    let q = model.quant.expect("quantized model");
+    let quant = q.input;
+    let table = model.weight_table(q.weight_scale);
+    let window = spikes;
+    // Integer vote threshold — identical formula to the software model.
+    let tau = (model.vote_threshold * quant.levels() as f32 * q.weight_scale as f32).round() as i64;
+
+    // Cell pixels in row-major order; (x, y) are patch coordinates of
+    // the cell interior, 1..=8.
+    let cell_pixels: Vec<(usize, usize)> =
+        (1..=CELL_SIZE).flat_map(|y| (1..=CELL_SIZE).map(move |x| (x, y))).collect();
+    let stage1_cores = cell_pixels.len().div_ceil(PIXELS_PER_CORE);
+    let n_votes = cell_pixels.len() * BINS;
+    let base = system.core_count() as u32;
+    let and_core_of =
+        |vote: usize| CoreHandle::from_index(base + (stage1_cores + vote / ANDS_PER_CORE) as u32);
+
+    let mut inject_map: Vec<Vec<InjectionPoint>> = vec![Vec::new(); PATCH_SIZE * PATCH_SIZE];
+    let mut go_axons = Vec::new();
+
+    // ---- Stage 1: linear-threshold cores ----
+    for (chunk_idx, chunk) in cell_pixels.chunks(PIXELS_PER_CORE).enumerate() {
+        let core = CoreHandle::from_index(base + chunk_idx as u32);
+        let mut b = NeuroCoreBuilder::new();
+        // Axon layout: 4 per pixel slot (E, W̄, N, S̄), then the go axon.
+        let go_axon = (4 * chunk.len()) as u16;
+        for slot in 0..chunk.len() {
+            b.set_axon_type(4 * slot, 0); // E  → LUT[0] = cos-term weight
+            b.set_axon_type(4 * slot + 1, 0); // W̄ → same LUT (complement coded)
+            b.set_axon_type(4 * slot + 2, 1); // N  → LUT[1] = sin-term weight
+            b.set_axon_type(4 * slot + 3, 1); // S̄ → same LUT
+        }
+        b.set_axon_type(go_axon as usize, 2);
+
+        for (slot, &(x, y)) in chunk.iter().enumerate() {
+            let pixel_index = chunk_idx * PIXELS_PER_CORE + slot;
+            let neighbours = [
+                ((x + 1, y), 4 * slot, false),     // E
+                ((x - 1, y), 4 * slot + 1, true),  // W (complement)
+                ((x, y - 1), 4 * slot + 2, false), // N
+                ((x, y + 1), 4 * slot + 3, true),  // S (complement)
+            ];
+            for ((px, py), axon, complement) in neighbours {
+                inject_map[py * PATCH_SIZE + px].push(InjectionPoint {
+                    core,
+                    axon: axon as u16,
+                    complement,
+                });
+            }
+            for bin in 0..BINS {
+                let (c, s) = table[bin];
+                let (cp, sp) = table[(bin + BINS - 1) % BINS];
+                let (cn, sn) = table[(bin + 1) % BINS];
+                // (cos weight, sin weight, extra margin) per test:
+                //   IP_b − IP_{b−1} ≥ 0,  IP_b − IP_{b+1} > 0,  IP_b > τ.
+                let tests: [(i32, i32, i64); TESTS] =
+                    [(c - cp, s - sp, 0), (c - cn, s - sn, 1), (c, s, tau + 1)];
+                for (test, &(wc, ws, margin)) in tests.iter().enumerate() {
+                    let neuron = (slot * BINS + bin) * TESTS + test;
+                    // Complement coding shifts the accumulated sum by
+                    // window·(wc + ws); fold it into the threshold.
+                    let offset = i64::from(window) * i64::from(wc + ws);
+                    let threshold = i64::from(GO_KICK) + margin + offset;
+                    b.set_neuron(
+                        neuron,
+                        NeuronConfig {
+                            weights: [wc, ws, GO_KICK, 0],
+                            leak: 0,
+                            threshold: threshold.clamp(1, i64::from(i32::MAX)) as i32,
+                            floor: i32::MAX,
+                            reset: ResetMode::Zero,
+                            reset_value: 0,
+                            stochastic_mask: 0,
+                        },
+                    );
+                    for a in 0..4usize {
+                        b.connect(4 * slot + a, neuron);
+                    }
+                    b.connect(go_axon as usize, neuron);
+                    let vote = pixel_index * BINS + bin;
+                    let and_axon = ((vote % ANDS_PER_CORE) * TESTS + test) as u16;
+                    b.route_neuron(neuron, SpikeTarget::axon(and_core_of(vote), and_axon));
+                }
+            }
+        }
+        go_axons.push((core, go_axon));
+        system.add_core(b.build());
+    }
+
+    // ---- Stage 2: AND cores (threshold 3) ----
+    let and_cores = n_votes.div_ceil(ANDS_PER_CORE);
+    let mut and_builders: Vec<NeuroCoreBuilder> =
+        (0..and_cores).map(|_| NeuroCoreBuilder::new()).collect();
+    for vote in 0..n_votes {
+        let ab = &mut and_builders[vote / ANDS_PER_CORE];
+        let and_neuron = vote % ANDS_PER_CORE;
+        let bin = vote % BINS;
+        for test in 0..TESTS {
+            let axon = and_neuron * TESTS + test;
+            ab.set_axon_type(axon, 0);
+            ab.connect(axon, and_neuron);
+        }
+        ab.set_neuron(
+            and_neuron,
+            NeuronConfig {
+                weights: [1, 0, 0, 0],
+                leak: 0,
+                threshold: 3,
+                floor: 4,
+                reset: ResetMode::Zero,
+                reset_value: 0,
+                stochastic_mask: 0,
+            },
+        );
+        ab.route_neuron(and_neuron, SpikeTarget::output(pin_base + bin as u32));
+    }
+    for ab in &and_builders {
+        system.add_core(ab.build());
+    }
+
+    (CellWiring { inject_map, go_axons }, quant)
 }
 
 /// The NApprox HoG cell module, compiled onto simulator cores.
@@ -63,131 +209,17 @@ impl NApproxHogCorelet {
     ///
     /// Panics if `spikes == 0`.
     pub fn new(spikes: u32) -> Self {
-        assert!(spikes > 0, "spike window must be positive");
-        let model = NApproxHog::quantized(spikes);
-        let q = model.quant.expect("quantized model");
-        let quant = q.input;
-        let table = model.weight_table(q.weight_scale);
-        let window = spikes;
-        // Integer vote threshold — identical formula to the software model.
-        let tau =
-            (model.vote_threshold * quant.levels() as f32 * q.weight_scale as f32).round() as i64;
-
-        // Cell pixels in row-major order; (x, y) are patch coordinates of
-        // the cell interior, 1..=8.
-        let cell_pixels: Vec<(usize, usize)> =
-            (1..=CELL_SIZE).flat_map(|y| (1..=CELL_SIZE).map(move |x| (x, y))).collect();
-        let stage1_cores = cell_pixels.len().div_ceil(PIXELS_PER_CORE);
-        let n_votes = cell_pixels.len() * BINS;
-        let and_core_of =
-            |vote: usize| CoreHandle::from_index((stage1_cores + vote / ANDS_PER_CORE) as u32);
-
         let mut system = System::new();
-        let mut inject_map: Vec<Vec<InjectionPoint>> = vec![Vec::new(); PATCH_SIZE * PATCH_SIZE];
-        let mut go_axons = Vec::new();
-
-        // ---- Stage 1: linear-threshold cores ----
-        for (chunk_idx, chunk) in cell_pixels.chunks(PIXELS_PER_CORE).enumerate() {
-            let core = CoreHandle::from_index(chunk_idx as u32);
-            let mut b = NeuroCoreBuilder::new();
-            // Axon layout: 4 per pixel slot (E, W̄, N, S̄), then the go axon.
-            let go_axon = (4 * chunk.len()) as u16;
-            for slot in 0..chunk.len() {
-                b.set_axon_type(4 * slot, 0); // E  → LUT[0] = cos-term weight
-                b.set_axon_type(4 * slot + 1, 0); // W̄ → same LUT (complement coded)
-                b.set_axon_type(4 * slot + 2, 1); // N  → LUT[1] = sin-term weight
-                b.set_axon_type(4 * slot + 3, 1); // S̄ → same LUT
-            }
-            b.set_axon_type(go_axon as usize, 2);
-
-            for (slot, &(x, y)) in chunk.iter().enumerate() {
-                let pixel_index = chunk_idx * PIXELS_PER_CORE + slot;
-                let neighbours = [
-                    ((x + 1, y), 4 * slot, false),     // E
-                    ((x - 1, y), 4 * slot + 1, true),  // W (complement)
-                    ((x, y - 1), 4 * slot + 2, false), // N
-                    ((x, y + 1), 4 * slot + 3, true),  // S (complement)
-                ];
-                for ((px, py), axon, complement) in neighbours {
-                    inject_map[py * PATCH_SIZE + px].push(InjectionPoint {
-                        core,
-                        axon: axon as u16,
-                        complement,
-                    });
-                }
-                for bin in 0..BINS {
-                    let (c, s) = table[bin];
-                    let (cp, sp) = table[(bin + BINS - 1) % BINS];
-                    let (cn, sn) = table[(bin + 1) % BINS];
-                    // (cos weight, sin weight, extra margin) per test:
-                    //   IP_b − IP_{b−1} ≥ 0,  IP_b − IP_{b+1} > 0,  IP_b > τ.
-                    let tests: [(i32, i32, i64); TESTS] =
-                        [(c - cp, s - sp, 0), (c - cn, s - sn, 1), (c, s, tau + 1)];
-                    for (test, &(wc, ws, margin)) in tests.iter().enumerate() {
-                        let neuron = (slot * BINS + bin) * TESTS + test;
-                        // Complement coding shifts the accumulated sum by
-                        // window·(wc + ws); fold it into the threshold.
-                        let offset = i64::from(window) * i64::from(wc + ws);
-                        let threshold = i64::from(GO_KICK) + margin + offset;
-                        b.set_neuron(
-                            neuron,
-                            NeuronConfig {
-                                weights: [wc, ws, GO_KICK, 0],
-                                leak: 0,
-                                threshold: threshold.clamp(1, i64::from(i32::MAX)) as i32,
-                                floor: i32::MAX,
-                                reset: ResetMode::Zero,
-                                reset_value: 0,
-                                stochastic_mask: 0,
-                            },
-                        );
-                        for a in 0..4usize {
-                            b.connect(4 * slot + a, neuron);
-                        }
-                        b.connect(go_axon as usize, neuron);
-                        let vote = pixel_index * BINS + bin;
-                        let and_axon = ((vote % ANDS_PER_CORE) * TESTS + test) as u16;
-                        b.route_neuron(neuron, SpikeTarget::axon(and_core_of(vote), and_axon));
-                    }
-                }
-            }
-            go_axons.push((core, go_axon));
-            system.add_core(b.build());
-        }
-
-        // ---- Stage 2: AND cores (threshold 3) ----
-        let and_cores = n_votes.div_ceil(ANDS_PER_CORE);
-        let mut and_builders: Vec<NeuroCoreBuilder> =
-            (0..and_cores).map(|_| NeuroCoreBuilder::new()).collect();
-        for vote in 0..n_votes {
-            let ab = &mut and_builders[vote / ANDS_PER_CORE];
-            let and_neuron = vote % ANDS_PER_CORE;
-            let bin = vote % BINS;
-            for test in 0..TESTS {
-                let axon = and_neuron * TESTS + test;
-                ab.set_axon_type(axon, 0);
-                ab.connect(axon, and_neuron);
-            }
-            ab.set_neuron(
-                and_neuron,
-                NeuronConfig {
-                    weights: [1, 0, 0, 0],
-                    leak: 0,
-                    threshold: 3,
-                    floor: 4,
-                    reset: ResetMode::Zero,
-                    reset_value: 0,
-                    stochastic_mask: 0,
-                },
-            );
-            ab.route_neuron(and_neuron, SpikeTarget::output(bin as u32));
-        }
-        for ab in &and_builders {
-            system.add_core(ab.build());
-        }
+        let (wiring, quant) = build_cell(&mut system, spikes, 0);
         let core_count = system.core_count();
-
-        NApproxHogCorelet { system, inject_map, go_axons, window, quant, core_count }
+        NApproxHogCorelet {
+            system,
+            inject_map: wiring.inject_map,
+            go_axons: wiring.go_axons,
+            window: spikes,
+            quant,
+            core_count,
+        }
     }
 
     /// Cores the module occupies.

@@ -247,6 +247,15 @@ impl ActiveFaults {
         &self.always_live
     }
 
+    /// Whether this plan does *anything* on a tick with no scheduled cores
+    /// and no due deliveries. When `false`, an idle tick under this plan is
+    /// indistinguishable from an idle unfaulted tick (no deliveries, no
+    /// wakeups, no counter movement), so a simulator may fast-forward
+    /// across idle stretches without consulting the plan per tick.
+    pub fn has_tick_wakeups(&self) -> bool {
+        !self.active_axons.is_empty() || !self.always_live.is_empty()
+    }
+
     /// Rewrites a core's fired-neuron list in place: stuck-silent firings
     /// are removed, stuck-active neurons are inserted (once per tick).
     /// `fired` must be in ascending neuron order, as the core produces
@@ -343,6 +352,22 @@ mod tests {
         assert_eq!(f.output_route_fate(), 1);
         assert!(!f.has_stochastic_routing());
         assert_eq!(f.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn tick_wakeups_track_stuck_active_elements() {
+        assert!(!compile(&FaultPlan::default()).has_tick_wakeups());
+        // Structural and stochastic faults act only on traffic already in
+        // flight — idle ticks stay skippable.
+        assert!(!compile(&FaultPlan::seeded(4).with_dead_core(1)).has_tick_wakeups());
+        assert!(!compile(&FaultPlan::seeded(4).with_drop_rate(0.5)).has_tick_wakeups());
+        assert!(!compile(&FaultPlan::seeded(4).with_stuck_axon(0, 0, StuckAt::Silent))
+            .has_tick_wakeups());
+        // Stuck-active elements generate traffic each tick.
+        assert!(compile(&FaultPlan::seeded(4).with_stuck_axon(0, 0, StuckAt::Active))
+            .has_tick_wakeups());
+        assert!(compile(&FaultPlan::seeded(4).with_stuck_neuron(0, 0, StuckAt::Active))
+            .has_tick_wakeups());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! One neurosynaptic core: crossbar + axon types + 256 neurons.
 
-use crate::crossbar::{Crossbar, AXONS_PER_CORE, NEURONS_PER_CORE};
+use crate::crossbar::{Crossbar, CsrSynapses, AXONS_PER_CORE, NEURONS_PER_CORE};
 use crate::error::{Result, TrueNorthError};
 use crate::neuron::{NeuronConfig, NeuronState};
 use crate::system::SpikeTarget;
@@ -131,6 +131,77 @@ impl NeuroCoreBuilder {
             states: vec![NeuronState::default(); NEURONS_PER_CORE],
             accum: vec![0i64; NEURONS_PER_CORE],
             pending_axons: Vec::new(),
+        }
+    }
+}
+
+pub(crate) const MASK_WORDS: usize = NEURONS_PER_CORE / 64;
+
+/// Derived per-core acceleration state for the event-driven engine.
+///
+/// Everything here is recomputable from the owning [`NeuroCore`]: a CSR
+/// view of the (immutable) crossbar with pre-resolved synapse weights, the
+/// list of stochastic neurons (for the serial eta pre-draw), a mask of
+/// autonomously-evolving neurons, and a mask of neurons currently holding
+/// charge. `CoreMeta` is never serialized — snapshots carry only the
+/// `NeuroCore` and the meta is rebuilt on load.
+///
+/// The weight cache is sound because the crossbar and the weight LUTs are
+/// immutable once a core is owned by a system; the only post-build config
+/// mutation is threshold drift, which `tick_hot` reads live from the core.
+#[derive(Debug, Clone)]
+pub(crate) struct CoreMeta {
+    csr: CsrSynapses,
+    /// Per-synapse resolved weight, aligned with `csr.all_targets()`.
+    weights: Vec<i32>,
+    /// `(neuron, mask)` for every neuron with a non-zero stochastic mask,
+    /// ascending — the order in which the serial sweep draws etas.
+    pub(crate) stoch: Vec<(u16, u32)>,
+    /// Bit set for neurons with leak or stochastic behaviour: they must be
+    /// visited every tick the core steps.
+    auto_mask: [u64; MASK_WORDS],
+    /// Bit set for neurons whose potential was non-zero after the last
+    /// sweep. Maintained by `tick_hot`; rebuilt from the states on load.
+    charged: [u64; MASK_WORDS],
+}
+
+impl CoreMeta {
+    /// Builds the acceleration state for `core`, reading the current
+    /// potentials into the charged mask.
+    pub(crate) fn build(core: &NeuroCore) -> Self {
+        let csr = CsrSynapses::from_crossbar(&core.crossbar);
+        let mut weights = Vec::with_capacity(csr.synapse_count());
+        for axon in 0..AXONS_PER_CORE {
+            let ty = core.axon_types[axon] as usize;
+            for &neuron in csr.targets(axon) {
+                weights.push(core.configs[neuron as usize].weights[ty]);
+            }
+        }
+        let mut stoch = Vec::new();
+        let mut auto_mask = [0u64; MASK_WORDS];
+        let mut charged = [0u64; MASK_WORDS];
+        for (j, cfg) in core.configs.iter().enumerate() {
+            if cfg.stochastic_mask != 0 {
+                stoch.push((j as u16, cfg.stochastic_mask));
+            }
+            if cfg.leak != 0 || cfg.stochastic_mask != 0 {
+                auto_mask[j / 64] |= 1 << (j % 64);
+            }
+            if core.states[j].potential != 0 {
+                charged[j / 64] |= 1 << (j % 64);
+            }
+        }
+        CoreMeta { csr, weights, stoch, auto_mask, charged }
+    }
+
+    /// Re-syncs the charged mask with the core's potentials (after a state
+    /// reset or snapshot restore).
+    pub(crate) fn resync_charged(&mut self, core: &NeuroCore) {
+        self.charged = [0u64; MASK_WORDS];
+        for (j, state) in core.states.iter().enumerate() {
+            if state.potential != 0 {
+                self.charged[j / 64] |= 1 << (j % 64);
+            }
         }
     }
 }
@@ -273,6 +344,72 @@ impl NeuroCore {
         self.configs.iter().any(|c| c.leak != 0 || c.stochastic_mask != 0)
     }
 
+    /// Event-driven step: identical semantics to [`tick`](NeuroCore::tick),
+    /// but integration walks the CSR synapse lists in `meta` and the
+    /// leak/threshold sweep visits only neurons that can change state —
+    /// those integrated this tick, holding non-zero potential, or
+    /// configured with leak/stochastic behaviour. All other neurons would
+    /// hit `tick`'s quiescent-skip branch, so skipping them wholesale
+    /// leaves the fired list, the live verdict and the RNG consumption
+    /// (via `etas`, one entry per stochastic neuron in ascending index
+    /// order) bit-identical to the full scan.
+    pub(crate) fn tick_hot(
+        &mut self,
+        meta: &mut CoreMeta,
+        etas: &[i64],
+        fired: &mut Vec<u16>,
+    ) -> (u64, bool) {
+        let mut synaptic_events = 0u64;
+        let mut touched = [0u64; MASK_WORDS];
+        for &axon in &self.pending_axons {
+            let range = meta.csr.target_range(axon as usize);
+            synaptic_events += range.len() as u64;
+            for (&neuron, &weight) in
+                meta.csr.all_targets()[range.clone()].iter().zip(&meta.weights[range])
+            {
+                let n = neuron as usize;
+                self.accum[n] += i64::from(weight);
+                touched[n / 64] |= 1 << (n % 64);
+            }
+        }
+        self.pending_axons.clear();
+
+        let mut live = false;
+        let mut eta_iter = etas.iter();
+        for (word, &touched_bits) in touched.iter().enumerate() {
+            let mut bits = touched_bits | meta.auto_mask[word] | meta.charged[word];
+            let mut charged = 0u64;
+            while bits != 0 {
+                let bit = bits & bits.wrapping_neg();
+                let j = word * 64 + bits.trailing_zeros() as usize;
+                bits ^= bit;
+                let state = &mut self.states[j];
+                state.potential += self.accum[j];
+                self.accum[j] = 0;
+                let cfg = &self.configs[j];
+                // The same quiescent-skip condition as the full scan: no
+                // state, no drive, no RNG consumption.
+                if state.potential == 0 && cfg.leak == 0 && cfg.stochastic_mask == 0 {
+                    continue;
+                }
+                let eta = if cfg.stochastic_mask != 0 {
+                    *eta_iter.next().expect("one eta per stochastic neuron")
+                } else {
+                    0
+                };
+                if state.leak_and_fire_with_eta(cfg, eta) {
+                    fired.push(j as u16);
+                }
+                live = live || cfg.leak != 0 || cfg.stochastic_mask != 0 || state.potential != 0;
+                if state.potential != 0 {
+                    charged |= bit;
+                }
+            }
+            meta.charged[word] = charged;
+        }
+        (synaptic_events, live)
+    }
+
     /// Shifts `neuron`'s firing threshold by `delta` (clamped so the
     /// threshold stays positive) and returns the shift actually applied,
     /// so the fault layer can revert the drift exactly when a plan is
@@ -288,6 +425,7 @@ impl NeuroCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::neuron::ResetMode;
     use rand::SeedableRng;
 
     #[test]
@@ -349,6 +487,64 @@ mod tests {
         core.reset_state();
         assert_eq!(core.potential(0), 0);
         assert!(!core.has_pending());
+    }
+
+    #[test]
+    fn tick_hot_matches_tick_bit_for_bit() {
+        // Random core with leaky, stochastic and plain neurons; drive both
+        // engines with the same axon schedule and compare state, fired
+        // lists, event counts, live verdicts and RNG consumption per tick.
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        use rand::Rng;
+        let mut b = NeuroCoreBuilder::new();
+        for a in 0..64usize {
+            b.set_axon_type(a, rng.random_range(0..4));
+            for _ in 0..4 {
+                b.connect(a, rng.random_range(0..NEURONS_PER_CORE));
+            }
+        }
+        for n in 0..NEURONS_PER_CORE {
+            let mut cfg = NeuronConfig::excitatory(
+                &[rng.random_range(-3..=3), 2, -1, 1],
+                rng.random_range(1..6),
+            );
+            match n % 5 {
+                0 => cfg.leak = rng.random_range(-2..=2),
+                1 => cfg.stochastic_mask = 7,
+                2 => cfg.reset = ResetMode::Linear,
+                _ => {}
+            }
+            b.set_neuron(n, cfg);
+        }
+        let mut scan = b.build();
+        let mut hot = scan.clone();
+        let mut meta = CoreMeta::build(&hot);
+
+        let mut scan_rng = SmallRng::seed_from_u64(7);
+        let mut hot_rng = SmallRng::seed_from_u64(7);
+        for tick in 0..40 {
+            for _ in 0..3 {
+                let axon = rng.random_range(0..64u16);
+                scan.deliver(axon);
+                hot.deliver(axon);
+            }
+            let mut scan_fired = Vec::new();
+            let mut hot_fired = Vec::new();
+            let (scan_ev, scan_live) = scan.tick(&mut scan_rng, &mut scan_fired);
+            // Pre-draw etas in ascending stochastic-neuron order, exactly
+            // as the system's event path does.
+            let etas: Vec<i64> = meta
+                .stoch
+                .iter()
+                .map(|&(_, mask)| i64::from(hot_rng.random_range(0..=mask)))
+                .collect();
+            let (hot_ev, hot_live) = hot.tick_hot(&mut meta, &etas, &mut hot_fired);
+            assert_eq!(scan_fired, hot_fired, "tick {tick}");
+            assert_eq!(scan_ev, hot_ev, "tick {tick}");
+            assert_eq!(scan_live, hot_live, "tick {tick}");
+            assert_eq!(scan.states, hot.states, "tick {tick}");
+            assert_eq!(scan_rng.state(), hot_rng.state(), "tick {tick}");
+        }
     }
 
     #[test]

@@ -95,6 +95,68 @@ impl Crossbar {
     }
 }
 
+/// Compressed-sparse-row view of a [`Crossbar`]: per axon, the ascending
+/// neuron indices it connects to, stored contiguously.
+///
+/// The bitmask representation is ideal for membership tests and random
+/// edits; the event-driven integration loop instead wants to walk exactly
+/// the synapses of an active axon without scanning empty words. A
+/// `CsrSynapses` is derived from a finished crossbar (which is immutable
+/// once a core is built) and holds `offsets[a]..offsets[a + 1]` as the
+/// target range of axon `a`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrSynapses {
+    /// `AXONS_PER_CORE + 1` prefix offsets into `targets`.
+    offsets: Vec<u32>,
+    /// Neuron indices, ascending within each axon's range.
+    targets: Vec<u16>,
+}
+
+impl CsrSynapses {
+    /// Builds the CSR view of `crossbar`.
+    pub fn from_crossbar(crossbar: &Crossbar) -> Self {
+        let mut offsets = Vec::with_capacity(AXONS_PER_CORE + 1);
+        let mut targets = Vec::with_capacity(crossbar.synapse_count());
+        offsets.push(0);
+        for axon in 0..AXONS_PER_CORE {
+            targets.extend(crossbar.connected_neurons(axon).map(|n| n as u16));
+            offsets.push(targets.len() as u32);
+        }
+        CsrSynapses { offsets, targets }
+    }
+
+    /// The neurons connected to `axon`, in ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axon >= 256`.
+    #[inline]
+    pub fn targets(&self, axon: usize) -> &[u16] {
+        let start = self.offsets[axon] as usize;
+        let end = self.offsets[axon + 1] as usize;
+        &self.targets[start..end]
+    }
+
+    /// The flat range of `axon`'s synapses within
+    /// [`all_targets`](CsrSynapses::all_targets), for callers carrying
+    /// per-synapse side tables aligned with the target array.
+    #[inline]
+    pub fn target_range(&self, axon: usize) -> std::ops::Range<usize> {
+        self.offsets[axon] as usize..self.offsets[axon + 1] as usize
+    }
+
+    /// Every synapse target, concatenated in (axon, neuron) order.
+    #[inline]
+    pub fn all_targets(&self) -> &[u16] {
+        &self.targets
+    }
+
+    /// Number of synapses.
+    pub fn synapse_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
 struct BitIter {
     bits: u64,
     base: usize,
@@ -175,5 +237,29 @@ mod tests {
     #[should_panic(expected = "axon")]
     fn set_out_of_range_panics() {
         Crossbar::new().set(256, 0, true);
+    }
+
+    #[test]
+    fn csr_matches_bitmask_view() {
+        let mut xb = Crossbar::new();
+        for &(a, n) in &[(0usize, 5usize), (0, 63), (0, 64), (3, 255), (255, 0), (255, 128)] {
+            xb.set(a, n, true);
+        }
+        let csr = CsrSynapses::from_crossbar(&xb);
+        assert_eq!(csr.synapse_count(), xb.synapse_count());
+        for a in 0..AXONS_PER_CORE {
+            let from_bits: Vec<u16> = xb.connected_neurons(a).map(|n| n as u16).collect();
+            assert_eq!(csr.targets(a), &from_bits[..], "axon {a}");
+            assert_eq!(csr.target_range(a).len(), xb.fan_out(a));
+        }
+        assert_eq!(csr.all_targets().len(), csr.synapse_count());
+    }
+
+    #[test]
+    fn csr_of_empty_crossbar() {
+        let csr = CsrSynapses::from_crossbar(&Crossbar::new());
+        assert_eq!(csr.synapse_count(), 0);
+        assert!(csr.targets(0).is_empty());
+        assert!(csr.targets(255).is_empty());
     }
 }

@@ -76,6 +76,12 @@ pub enum TrueNorthError {
         /// Which consistency check failed.
         reason: String,
     },
+    /// A multi-chip mesh did not validate against the system it was
+    /// attached to (or was internally inconsistent).
+    InvalidMesh {
+        /// Which consistency check failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrueNorthError {
@@ -113,6 +119,9 @@ impl fmt::Display for TrueNorthError {
             }
             TrueNorthError::InvalidSnapshot { reason } => {
                 write!(f, "invalid system snapshot: {reason}")
+            }
+            TrueNorthError::InvalidMesh { reason } => {
+                write!(f, "invalid chip mesh: {reason}")
             }
         }
     }

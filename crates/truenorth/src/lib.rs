@@ -84,15 +84,15 @@ mod core_impl;
 pub use coding::{BernoulliCode, RateCode, SpikeCode};
 pub use core_impl::{NeuroCore, NeuroCoreBuilder};
 pub use corelet::{Corelet, CoreletBuilder, Pin};
-pub use crossbar::{Crossbar, AXONS_PER_CORE, NEURONS_PER_CORE};
+pub use crossbar::{Crossbar, CsrSynapses, AXONS_PER_CORE, NEURONS_PER_CORE};
 pub use error::{Result, TrueNorthError};
 pub use ids::{AxonIndex, CoreHandle, NeuronIndex};
 pub use model::{SystemModel, MODEL_VERSION};
 pub use neuron::{NeuronConfig, NeuronState, ResetMode};
-pub use placement::{audit_routes, Placement, RoutingAudit};
+pub use placement::{audit_routes, Chip, ChipCoord, Mesh, Placement, RoutingAudit};
 pub use power::{PowerEstimate, PowerModel, CHIP_CORES, CHIP_POWER_MW, CORE_POWER_UW};
 pub use probe::{PotentialTrace, SpikeRaster};
-pub use system::{SpikeTarget, System, SystemSnapshot, SystemStats};
+pub use system::{reference, Engine, SpikeTarget, System, SystemSnapshot, SystemStats};
 
 // Fault-injection vocabulary, re-exported so simulator users can build
 // plans without depending on `pcnn-faults` directly.

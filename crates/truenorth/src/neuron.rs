@@ -128,12 +128,23 @@ impl NeuronState {
     /// Integration (synaptic input) is performed by the core before calling
     /// this, because it needs crossbar context.
     pub fn leak_and_fire(&mut self, cfg: &NeuronConfig, rng: &mut SmallRng) -> bool {
-        self.potential += i64::from(cfg.leak);
         let eta: i64 = if cfg.stochastic_mask != 0 {
             i64::from(rng.random_range(0..=cfg.stochastic_mask))
         } else {
             0
         };
+        self.leak_and_fire_with_eta(cfg, eta)
+    }
+
+    /// Like [`leak_and_fire`](NeuronState::leak_and_fire), but with the
+    /// stochastic threshold offset `eta` supplied by the caller instead of
+    /// drawn here. The event-driven engine pre-draws etas serially (in the
+    /// canonical core/neuron order) so parallel core stepping consumes the
+    /// exact RNG stream of the serial sweep; pass `0` for deterministic
+    /// neurons.
+    #[inline]
+    pub fn leak_and_fire_with_eta(&mut self, cfg: &NeuronConfig, eta: i64) -> bool {
+        self.potential += i64::from(cfg.leak);
         let fired = self.potential >= i64::from(cfg.threshold) + eta;
         if fired {
             match cfg.reset {
@@ -250,6 +261,27 @@ mod tests {
         }
         let p = fired as f64 / 10_000.0;
         assert!((p - 0.5).abs() < 0.03, "empirical p = {p}");
+    }
+
+    #[test]
+    fn supplied_eta_matches_drawn_eta() {
+        // Replaying the same eta values through the split entry point must
+        // reproduce leak_and_fire exactly, including the leak and reset
+        // sequencing.
+        let cfg = NeuronConfig { threshold: 4, stochastic_mask: 7, ..NeuronConfig::default() }
+            .with_leak(1);
+        let mut drawn = SmallRng::seed_from_u64(9);
+        let mut replay = SmallRng::seed_from_u64(9);
+        let mut a = NeuronState { potential: 2 };
+        let mut b = NeuronState { potential: 2 };
+        for _ in 0..64 {
+            let fired_a = a.leak_and_fire(&cfg, &mut drawn);
+            let eta = i64::from(replay.random_range(0..=cfg.stochastic_mask));
+            let fired_b = b.leak_and_fire_with_eta(&cfg, eta);
+            assert_eq!(fired_a, fired_b);
+            assert_eq!(a, b);
+        }
+        assert_eq!(drawn.state(), replay.state());
     }
 
     #[test]

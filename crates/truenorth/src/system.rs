@@ -2,22 +2,54 @@
 //!
 //! TrueNorth's global interconnect delivers each fired neuron's spike to
 //! exactly one `(core, axon)` destination after a configurable delay of
-//! 1..=15 ticks. The simulator models this with a circular delay wheel of
-//! per-tick delivery queues. Spikes produced at tick `t` with delay `d`
-//! integrate at tick `t + d`; injections from the host arrive at the next
-//! tick boundary (delay 1), matching the hardware's one-tick input latency.
+//! 1..=15 ticks; multi-chip systems add a per-hop mesh latency on top
+//! (see [`Mesh`]). The simulator ships two interchangeable engines:
+//!
+//! * the **event engine** (default, [`Engine::Event`]) — in-flight spikes
+//!   live in a deterministic priority queue keyed by absolute delivery
+//!   tick, cores integrate over CSR synapse lists and sweep only neurons
+//!   that can change state, idle stretches are skipped wholesale, and the
+//!   per-tick core stepping can be partitioned across worker threads
+//!   ([`System::set_workers`]) with a canonical merge;
+//! * the **reference engine** ([`Engine::Reference`]) — the original
+//!   scan-based tick over a circular delay wheel, kept as the golden
+//!   oracle the event engine is differentially tested against.
+//!
+//! Both engines honour the same contract: spikes produced at tick `t`
+//! with delay `d` integrate at tick `t + d`, injections from the host
+//! arrive at the next tick boundary (delay 1), and — pinned by this
+//! crate's equivalence suite — output spikes, [`SystemStats`] and the
+//! shared PRNG stream are **bit-identical** between engines, at any
+//! worker count, with or without an attached fault plan.
 
-use crate::core_impl::NeuroCore;
+use crate::core_impl::{CoreMeta, NeuroCore};
 use crate::crossbar::{AXONS_PER_CORE, NEURONS_PER_CORE};
 use crate::error::{Result, TrueNorthError};
 use crate::ids::CoreHandle;
+use crate::placement::Mesh;
 use pcnn_faults::{ActiveFaults, FaultPlan, FaultStats};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
-/// Maximum routing delay in ticks supported by the fabric.
+/// Maximum on-chip routing delay in ticks supported by the fabric.
+/// Inter-chip mesh transit ([`Mesh::extra_delay`]) is paid on top.
 pub const MAX_DELAY: u32 = 15;
+
+/// Which tick implementation a [`System`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Event-driven engine: delivery queue keyed by absolute due tick,
+    /// CSR integration, hot-neuron sweep, idle-tick skipping, optional
+    /// deterministic parallel core stepping. The default.
+    #[default]
+    Event,
+    /// The original per-tick scan over a circular delay wheel — the
+    /// golden oracle for differential testing (see [`mod@reference`]).
+    Reference,
+}
 
 /// Destination of a neuron's output spike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -78,6 +110,35 @@ pub struct SystemStats {
     pub synaptic_events: u64,
 }
 
+/// Packs a delivery destination into one word: `(core << 16) | axon`.
+/// Sorting packed deliveries yields the canonical (core, axon) order the
+/// event engine delivers in, which makes the parallel tick's merge — and
+/// therefore the whole simulation — independent of worker count.
+#[inline]
+fn pack(core: u32, axon: u16) -> u64 {
+    (u64::from(core) << 16) | u64::from(axon)
+}
+
+#[inline]
+fn unpack(packed: u64) -> (u32, u16) {
+    ((packed >> 16) as u32, (packed & 0xFFFF) as u16)
+}
+
+/// Total fabric delay of a spike from `src` core to `dst` core whose
+/// programmed-plus-jitter delay is `base`: the on-chip component clamps to
+/// [`MAX_DELAY`] exactly as the single-chip fabric always has, then mesh
+/// transit (if a mesh is attached and the cores sit on different chips)
+/// adds on top. With no mesh this is bit-identical to the historic
+/// behaviour.
+#[inline]
+fn fabric_delay(mesh: &Option<Mesh>, src: u32, dst: u32, base: u32) -> u32 {
+    let on_chip = base.min(MAX_DELAY);
+    match mesh {
+        Some(m) => on_chip + m.extra_delay(src, dst),
+        None => on_chip,
+    }
+}
+
 /// A complete simulated neurosynaptic system.
 ///
 /// Cores are registered with [`add_core`](System::add_core); the host
@@ -87,8 +148,18 @@ pub struct SystemStats {
 #[derive(Debug, Clone)]
 pub struct System {
     cores: Vec<NeuroCore>,
-    /// Delay wheel: `wheel[(now + d) % len]` holds `(core, axon)` deliveries.
+    /// Derived per-core acceleration state for the event engine (CSR
+    /// synapses, resolved weights, hot-neuron masks). Never serialized;
+    /// rebuilt from the cores on snapshot restore.
+    meta: Vec<CoreMeta>,
+    engine: Engine,
+    /// Reference-engine pending store. Delay wheel: `wheel[(now + d) %
+    /// len]` holds `(core, axon)` deliveries. Empty while the event
+    /// engine is active.
     wheel: Vec<Vec<(u32, u16)>>,
+    /// Event-engine pending store: absolute due tick → packed deliveries
+    /// (see [`pack`]). Empty while the reference engine is active.
+    queue: BTreeMap<u64, Vec<u64>>,
     /// Output events as `(tick, pin)`.
     outputs: Vec<(u64, u32)>,
     now: u64,
@@ -108,8 +179,18 @@ pub struct System {
     /// be rescheduled after [`reset_state`](System::reset_state) even though
     /// its potentials were cleared.
     auto_active: Vec<bool>,
-    /// Reusable buffer for spikes routed during a tick.
-    route_scratch: Vec<SpikeTarget>,
+    /// Reusable buffer for spikes routed during a tick, as `(source core,
+    /// target)` — the source is needed to price mesh transit.
+    route_scratch: Vec<(u32, SpikeTarget)>,
+    /// Reusable buffer of pre-drawn stochastic threshold offsets.
+    eta_scratch: Vec<i64>,
+    /// Multi-chip topology, if attached. `None` simulates one chip.
+    mesh: Option<Mesh>,
+    /// Worst-case total routing delay under the current mesh:
+    /// `MAX_DELAY + mesh.max_extra_delay()`. Sizes the reference wheel.
+    max_delay: u32,
+    /// Worker threads for the event engine's core stepping (1 = serial).
+    workers: usize,
     /// Attached fault-injection layer, if any. Boxed so the fault-free
     /// fast path only pays for a null check; taken out of `self` for the
     /// duration of a tick to keep the borrow checker out of the hot loop.
@@ -117,9 +198,9 @@ pub struct System {
 }
 
 /// A serializable image of a [`System`]'s complete simulation state —
-/// network configuration, neuron potentials, in-flight spikes on the
-/// delay wheel, undrained outputs, tick count, PRNG position, activity
-/// stats and the active-core worklists.
+/// network configuration, neuron potentials, in-flight spikes (as
+/// absolute delivery ticks), undrained outputs, tick count, PRNG
+/// position, activity stats and the live-core worklist.
 ///
 /// Produced by [`System::snapshot`] and consumed by
 /// [`System::from_snapshot`]; the restored system replays **bit-identically**
@@ -127,19 +208,26 @@ pub struct System {
 /// [`System::snapshot`] captures the fault-free configuration (reverting
 /// any applied threshold drift in the copy it serializes), and the
 /// caller re-attaches a plan after restore if desired.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The on-disk format is engine-independent: pending spikes are stored as
+/// sorted `(due_tick, core, axon)` triples rather than wheel slots.
+/// Snapshots written by older versions of this crate (wheel-based) are
+/// still decoded transparently; a snapshot that is neither format fails
+/// with a typed [`serde::Error`] at decode time or
+/// [`TrueNorthError::InvalidSnapshot`] at restore time.
+#[derive(Debug, Clone)]
 pub struct SystemSnapshot {
     cores: Vec<NeuroCore>,
-    wheel: Vec<Vec<(u32, u16)>>,
+    /// In-flight spikes as `(absolute due tick, core, axon)`, sorted.
+    pending: Vec<(u64, u32, u16)>,
     outputs: Vec<(u64, u32)>,
     now: u64,
     rng_state: [u64; 4],
     stats: SystemStats,
-    ready: Vec<u32>,
-    in_ready: Vec<bool>,
-    ready_next: Vec<u32>,
-    in_ready_next: Vec<bool>,
+    /// Cores scheduled for the next tick, ascending and deduplicated.
+    live: Vec<u32>,
     auto_active: Vec<bool>,
+    mesh: Option<Mesh>,
 }
 
 impl SystemSnapshot {
@@ -152,6 +240,114 @@ impl SystemSnapshot {
     pub fn now(&self) -> u64 {
         self.now
     }
+
+    /// Number of in-flight spikes awaiting delivery.
+    pub fn pending_spikes(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl Serialize for SystemSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("cores".to_string(), self.cores.to_value()),
+            ("pending".to_string(), self.pending.to_value()),
+            ("outputs".to_string(), self.outputs.to_value()),
+            ("now".to_string(), self.now.to_value()),
+            ("rng_state".to_string(), self.rng_state.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("live".to_string(), self.live.to_value()),
+            ("auto_active".to_string(), self.auto_active.to_value()),
+            ("mesh".to_string(), self.mesh.to_value()),
+        ])
+    }
+}
+
+/// Decodes a required snapshot field, naming it in the error.
+fn snapshot_field<T: Deserialize>(v: &Value, key: &str) -> std::result::Result<T, serde::Error> {
+    match v.get(key) {
+        Some(field) => T::from_value(field),
+        None => Err(serde::Error::msg(format!("system snapshot missing field `{key}`"))),
+    }
+}
+
+impl Deserialize for SystemSnapshot {
+    fn from_value(v: &Value) -> std::result::Result<Self, serde::Error> {
+        if v.as_map().is_none() {
+            return Err(serde::Error::msg(format!(
+                "expected a system snapshot map, found {}",
+                v.kind()
+            )));
+        }
+        if v.get("wheel").is_some() {
+            return Self::from_legacy(v);
+        }
+        Ok(SystemSnapshot {
+            cores: snapshot_field(v, "cores")?,
+            pending: snapshot_field(v, "pending")?,
+            outputs: snapshot_field(v, "outputs")?,
+            now: snapshot_field(v, "now")?,
+            rng_state: snapshot_field(v, "rng_state")?,
+            stats: snapshot_field(v, "stats")?,
+            live: snapshot_field(v, "live")?,
+            auto_active: snapshot_field(v, "auto_active")?,
+            mesh: match v.get("mesh") {
+                None | Some(Value::Null) => None,
+                Some(m) => Some(Mesh::from_value(m)?),
+            },
+        })
+    }
+}
+
+impl SystemSnapshot {
+    /// Decodes the wheel-based snapshot layout written before the event
+    /// engine existed. Wheel slots convert to absolute due ticks relative
+    /// to the captured `now`; the old split worklists merge into `live`
+    /// (the next-tick list was always empty at a tick boundary, where
+    /// snapshots are taken, so the union is exact).
+    fn from_legacy(v: &Value) -> std::result::Result<Self, serde::Error> {
+        let wheel: Vec<Vec<(u32, u16)>> = snapshot_field(v, "wheel")?;
+        if wheel.len() != MAX_DELAY as usize + 1 {
+            return Err(serde::Error::msg(format!(
+                "legacy snapshot delay wheel has {} slots, expected {}",
+                wheel.len(),
+                MAX_DELAY + 1
+            )));
+        }
+        let now: u64 = snapshot_field(v, "now")?;
+        let len = wheel.len() as u64;
+        let mut pending = Vec::new();
+        for (s, slot) in wheel.iter().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            // Slot s is next drained at the first tick T > now with
+            // T % len == s; k = 0 means a full cycle away.
+            let mut k = (s as u64 + len - now % len) % len;
+            if k == 0 {
+                k = len;
+            }
+            for &(core, axon) in slot {
+                pending.push((now + k, core, axon));
+            }
+        }
+        pending.sort_unstable();
+        let mut live: Vec<u32> = snapshot_field(v, "ready")?;
+        live.extend(snapshot_field::<Vec<u32>>(v, "ready_next")?);
+        live.sort_unstable();
+        live.dedup();
+        Ok(SystemSnapshot {
+            cores: snapshot_field(v, "cores")?,
+            pending,
+            outputs: snapshot_field(v, "outputs")?,
+            now,
+            rng_state: snapshot_field(v, "rng_state")?,
+            stats: snapshot_field(v, "stats")?,
+            live,
+            auto_active: snapshot_field(v, "auto_active")?,
+            mesh: None,
+        })
+    }
 }
 
 /// An [`ActiveFaults`] table plus the bookkeeping needed to detach it
@@ -163,6 +359,18 @@ struct FaultLayer {
     /// `(core, neuron, applied_delta)` — deltas as actually applied after
     /// clamping, in application order.
     applied_drift: Vec<(u32, u16, i32)>,
+}
+
+/// One core's disjoint slice of work for the parallel event tick.
+struct StepTask<'a> {
+    ci: u32,
+    core: &'a mut NeuroCore,
+    meta: &'a mut CoreMeta,
+    /// Pre-drawn stochastic threshold offsets for this core's neurons.
+    etas: &'a [i64],
+    fired: Vec<u16>,
+    events: u64,
+    live: bool,
 }
 
 impl Default for System {
@@ -182,7 +390,10 @@ impl System {
     pub fn with_seed(seed: u64) -> Self {
         System {
             cores: Vec::new(),
+            meta: Vec::new(),
+            engine: Engine::default(),
             wheel: (0..=MAX_DELAY as usize).map(|_| Vec::new()).collect(),
+            queue: BTreeMap::new(),
             outputs: Vec::new(),
             now: 0,
             rng: SmallRng::seed_from_u64(seed),
@@ -194,7 +405,128 @@ impl System {
             in_ready_next: Vec::new(),
             auto_active: Vec::new(),
             route_scratch: Vec::new(),
+            eta_scratch: Vec::new(),
+            mesh: None,
+            max_delay: MAX_DELAY,
+            workers: 1,
             faults: None,
+        }
+    }
+
+    /// The engine currently stepping this system.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Switches the tick implementation, converting any in-flight spikes
+    /// between the engines' pending stores. Switching engines mid-run is
+    /// lossless: the simulation continues bit-identically under either
+    /// engine. No-op if `engine` is already active.
+    pub fn set_engine(&mut self, engine: Engine) {
+        if self.engine == engine {
+            return;
+        }
+        match engine {
+            Engine::Event => {
+                // The reference engine does not maintain the hot-sweep
+                // charged masks; rebuild them from the live potentials.
+                for (core, meta) in self.cores.iter().zip(&mut self.meta) {
+                    meta.resync_charged(core);
+                }
+                let len = self.wheel.len() as u64;
+                for s in 0..self.wheel.len() {
+                    let entries = std::mem::take(&mut self.wheel[s]);
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    // Slot s is next drained at the first tick T > now
+                    // with T % len == s; k = 0 means a full cycle away.
+                    let mut k = (s as u64 + len - self.now % len) % len;
+                    if k == 0 {
+                        k = len;
+                    }
+                    let due = self.queue.entry(self.now + k).or_default();
+                    due.extend(entries.into_iter().map(|(core, axon)| pack(core, axon)));
+                }
+            }
+            Engine::Reference => {
+                // The wheel needs one slot per distinct future due tick;
+                // max_delay bounds new routes, but pending spikes scheduled
+                // under a larger (since-detached) mesh may reach further.
+                let mut slots = self.max_delay as usize + 1;
+                if let Some((&due, _)) = self.queue.iter().next_back() {
+                    slots = slots.max((due - self.now) as usize + 1);
+                }
+                self.wheel = (0..slots).map(|_| Vec::new()).collect();
+                let queue = std::mem::take(&mut self.queue);
+                for (due, entries) in queue {
+                    let slot = (due % slots as u64) as usize;
+                    self.wheel[slot].extend(entries.into_iter().map(unpack));
+                }
+            }
+        }
+        self.engine = engine;
+    }
+
+    /// Number of worker threads the event engine steps cores with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the worker-thread count for the event engine's core stepping
+    /// (clamped to at least 1). The simulation is bit-identical at every
+    /// worker count: etas are pre-drawn serially in canonical order and
+    /// per-worker results merge in ascending core order. The reference
+    /// engine ignores this and always steps serially.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The attached multi-chip mesh, if any.
+    pub fn mesh(&self) -> Option<&Mesh> {
+        self.mesh.as_ref()
+    }
+
+    /// Attaches a multi-chip mesh topology, replacing any previous one.
+    ///
+    /// From the next routed spike onwards, deliveries between cores on
+    /// different chips pay [`Mesh::extra_delay`] ticks of transit on top
+    /// of their programmed delay. Spikes already in flight keep their
+    /// original delivery ticks.
+    ///
+    /// # Errors
+    ///
+    /// [`TrueNorthError::InvalidMesh`] if the mesh is internally
+    /// inconsistent or its placement does not cover every registered core.
+    pub fn set_mesh(&mut self, mesh: Mesh) -> Result<()> {
+        mesh.validate()?;
+        if mesh.placement().core_count() < self.cores.len() {
+            return Err(TrueNorthError::InvalidMesh {
+                reason: format!(
+                    "mesh placement covers {} cores but the system has {}",
+                    mesh.placement().core_count(),
+                    self.cores.len()
+                ),
+            });
+        }
+        self.apply_mesh(Some(mesh));
+        Ok(())
+    }
+
+    /// Detaches the mesh: the system routes as a single chip again.
+    /// Spikes already in flight keep their scheduled delivery ticks.
+    pub fn clear_mesh(&mut self) {
+        self.apply_mesh(None);
+    }
+
+    fn apply_mesh(&mut self, mesh: Option<Mesh>) {
+        self.mesh = mesh;
+        self.max_delay = MAX_DELAY + self.mesh.as_ref().map_or(0, Mesh::max_extra_delay);
+        if self.engine == Engine::Reference {
+            // Re-slot the wheel for the new delay bound by round-tripping
+            // the pending spikes through absolute due ticks.
+            self.set_engine(Engine::Event);
+            self.set_engine(Engine::Reference);
         }
     }
 
@@ -212,7 +544,8 @@ impl System {
     /// trivial plan leaves the simulation bit-identical to an unfaulted
     /// run, and re-running the same `(system seed, plan)` pair reproduces
     /// identical spike trains — all stochastic fault decisions draw from
-    /// the plan's own PRNG, never from the system's.
+    /// the plan's own PRNG, never from the system's. Both contracts hold
+    /// under either engine and at any worker count.
     ///
     /// # Errors
     ///
@@ -254,9 +587,23 @@ impl System {
     }
 
     /// Registers a core and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mesh is attached whose placement does not cover the
+    /// new core's index.
     pub fn add_core(&mut self, core: NeuroCore) -> CoreHandle {
+        if let Some(mesh) = &self.mesh {
+            assert!(
+                mesh.placement().core_count() > self.cores.len(),
+                "attached mesh placement ({} cores) does not cover core {}",
+                mesh.placement().core_count(),
+                self.cores.len()
+            );
+        }
         let h = CoreHandle(self.cores.len() as u32);
         self.auto_active.push(core.autonomously_active());
+        self.meta.push(CoreMeta::build(&core));
         self.cores.push(core);
         // Schedule the new core once so its initial state is observed; a
         // quiescent step is free and drops it from the worklist again.
@@ -292,6 +639,13 @@ impl System {
         self.stats
     }
 
+    /// The PRNG's full internal state — the strongest cheap witness that
+    /// two runs consumed identical randomness. Used by the engine
+    /// equivalence suite.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
     /// Injects a host spike onto `(core, axon)`, arriving next tick.
     ///
     /// # Panics
@@ -317,8 +671,15 @@ impl System {
         if axon as usize >= AXONS_PER_CORE {
             return Err(TrueNorthError::AxonOutOfRange { index: axon as usize });
         }
-        let slot = ((self.now + 1) % self.wheel.len() as u64) as usize;
-        self.wheel[slot].push((core.0, axon));
+        match self.engine {
+            Engine::Event => {
+                self.queue.entry(self.now + 1).or_default().push(pack(core.0, axon));
+            }
+            Engine::Reference => {
+                let slot = ((self.now + 1) % self.wheel.len() as u64) as usize;
+                self.wheel[slot].push((core.0, axon));
+            }
+        }
         self.stats.injected_spikes += 1;
         Ok(())
     }
@@ -331,6 +692,16 @@ impl System {
     /// state (non-zero potential, leak, or stochastic neurons). Large idle
     /// regions of the fabric therefore cost nothing per tick.
     pub fn tick(&mut self) {
+        match self.engine {
+            Engine::Event => self.tick_event(),
+            Engine::Reference => self.tick_reference(),
+        }
+    }
+
+    /// One tick of the reference (scan) engine — the golden oracle. Kept
+    /// deliberately close to the original implementation: full-core
+    /// crossbar scans, per-neuron RNG draws inline.
+    fn tick_reference(&mut self) {
         let span = pcnn_trace::span(pcnn_trace::stages::TRUENORTH_TICK);
         let stats_before = if span.is_recording() { Some(self.stats) } else { None };
         let mut delivered: u64 = 0;
@@ -339,25 +710,7 @@ impl System {
         // The fault layer (if any) is moved out for the duration of the
         // tick so its &mut hooks can interleave with field borrows.
         let mut faults = self.faults.take();
-        if let Some(layer) = faults.as_mut() {
-            // Stuck-active axons see a spike on every tick, and cores with
-            // stuck-active elements must be stepped even when otherwise
-            // idle so their forced firings are observed.
-            let (cores, in_ready, ready) = (&mut self.cores, &mut self.in_ready, &mut self.ready);
-            layer.active.for_each_stuck_active_delivery(|core, axon| {
-                cores[core as usize].deliver(axon);
-                if !in_ready[core as usize] {
-                    in_ready[core as usize] = true;
-                    ready.push(core);
-                }
-            });
-            for &core in layer.active.always_live_cores() {
-                if !self.in_ready[core as usize] {
-                    self.in_ready[core as usize] = true;
-                    self.ready.push(core);
-                }
-            }
-        }
+        self.fault_wakeups(&mut faults);
         let slot = (self.now % self.wheel.len() as u64) as usize;
         let mut due = std::mem::take(&mut self.wheel[slot]);
         for &(core, axon) in &due {
@@ -398,7 +751,7 @@ impl System {
             let core = &self.cores[ci as usize];
             for &n in &self.fired_scratch {
                 if let Some(target) = core.route(n as usize) {
-                    self.route_scratch.push(target);
+                    self.route_scratch.push((ci, target));
                 }
             }
             if live && !self.in_ready_next[ci as usize] {
@@ -410,25 +763,246 @@ impl System {
         self.ready = std::mem::replace(&mut self.ready_next, ready);
         std::mem::swap(&mut self.in_ready, &mut self.in_ready_next);
 
+        self.route_spikes(&mut faults);
+        self.faults = faults;
+        if let Some(before) = stats_before {
+            use pcnn_trace::Counter;
+            span.add(Counter::Ticks, 1);
+            span.add(Counter::ActiveCores, active_cores);
+            span.add(Counter::SpikesDelivered, delivered);
+            span.add(Counter::SpikesRouted, self.stats.routed_spikes - before.routed_spikes);
+            span.add(Counter::SynapticEvents, self.stats.synaptic_events - before.synaptic_events);
+        }
+    }
+
+    /// One tick of the event engine. The phase sequence — wakeups,
+    /// deliveries, core stepping in ascending index order, worklist swap,
+    /// routing — mirrors [`tick_reference`](System::tick_reference)
+    /// exactly; only the data structures differ.
+    fn tick_event(&mut self) {
+        let span = pcnn_trace::span(pcnn_trace::stages::TRUENORTH_TICK);
+        let stats_before = if span.is_recording() { Some(self.stats) } else { None };
+        let mut delivered: u64 = 0;
+        self.now += 1;
+        self.stats.ticks += 1;
+        let mut faults = self.faults.take();
+        self.fault_wakeups(&mut faults);
+        if let Some(mut due) = self.queue.remove(&self.now) {
+            // Canonical (core, axon) delivery order: bit-for-bit
+            // reproducible regardless of how routing interleaved pushes.
+            due.sort_unstable();
+            for &packed in &due {
+                let (core, axon) = unpack(packed);
+                if let Some(layer) = faults.as_mut() {
+                    if layer.active.suppresses_delivery(core, axon) {
+                        continue;
+                    }
+                }
+                self.cores[core as usize].deliver(axon);
+                delivered += 1;
+                if !self.in_ready[core as usize] {
+                    self.in_ready[core as usize] = true;
+                    self.ready.push(core);
+                }
+            }
+        }
+
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.sort_unstable();
+        let active_cores = ready.len() as u64;
+        if self.workers > 1 && ready.len() > 1 {
+            self.step_parallel(&ready, &mut faults);
+        } else {
+            self.step_serial(&ready, &mut faults);
+        }
+        ready.clear();
+        self.ready = std::mem::replace(&mut self.ready_next, ready);
+        std::mem::swap(&mut self.in_ready, &mut self.in_ready_next);
+
+        self.route_spikes(&mut faults);
+        self.faults = faults;
+        if let Some(before) = stats_before {
+            use pcnn_trace::Counter;
+            span.add(Counter::Ticks, 1);
+            span.add(Counter::ActiveCores, active_cores);
+            span.add(Counter::SpikesDelivered, delivered);
+            span.add(Counter::SpikesRouted, self.stats.routed_spikes - before.routed_spikes);
+            span.add(Counter::SynapticEvents, self.stats.synaptic_events - before.synaptic_events);
+        }
+    }
+
+    /// Stuck-active deliveries and always-live wakeups at the top of a
+    /// tick — shared verbatim by both engines.
+    fn fault_wakeups(&mut self, faults: &mut Option<Box<FaultLayer>>) {
+        if let Some(layer) = faults.as_mut() {
+            // Stuck-active axons see a spike on every tick, and cores with
+            // stuck-active elements must be stepped even when otherwise
+            // idle so their forced firings are observed.
+            let (cores, in_ready, ready) = (&mut self.cores, &mut self.in_ready, &mut self.ready);
+            layer.active.for_each_stuck_active_delivery(|core, axon| {
+                cores[core as usize].deliver(axon);
+                if !in_ready[core as usize] {
+                    in_ready[core as usize] = true;
+                    ready.push(core);
+                }
+            });
+            for &core in layer.active.always_live_cores() {
+                if !self.in_ready[core as usize] {
+                    self.in_ready[core as usize] = true;
+                    self.ready.push(core);
+                }
+            }
+        }
+    }
+
+    /// Steps the sorted `ready` cores serially through the hot path,
+    /// pre-drawing each core's stochastic etas immediately before its
+    /// step — the same RNG sequence as the reference engine's inline
+    /// draws.
+    fn step_serial(&mut self, ready: &[u32], faults: &mut Option<Box<FaultLayer>>) {
+        for &ci in ready {
+            let i = ci as usize;
+            self.in_ready[i] = false;
+            if faults.as_ref().is_some_and(|l| l.active.is_dead(ci)) {
+                continue;
+            }
+            self.eta_scratch.clear();
+            for &(_, mask) in &self.meta[i].stoch {
+                self.eta_scratch.push(i64::from(self.rng.random_range(0..=mask)));
+            }
+            self.fired_scratch.clear();
+            let (events, live) = self.cores[i].tick_hot(
+                &mut self.meta[i],
+                &self.eta_scratch,
+                &mut self.fired_scratch,
+            );
+            self.stats.synaptic_events += events;
+            if let Some(layer) = faults.as_mut() {
+                layer.active.filter_fired(ci, &mut self.fired_scratch);
+            }
+            let core = &self.cores[i];
+            for &n in &self.fired_scratch {
+                if let Some(target) = core.route(n as usize) {
+                    self.route_scratch.push((ci, target));
+                }
+            }
+            if live && !self.in_ready_next[i] {
+                self.in_ready_next[i] = true;
+                self.ready_next.push(ci);
+            }
+        }
+    }
+
+    /// Steps the sorted `ready` cores across `self.workers` threads.
+    ///
+    /// Determinism: etas are pre-drawn serially in ascending (core,
+    /// neuron) order — consuming the PRNG exactly as the serial sweep
+    /// does — cores are stepped in disjoint batches (a core's step only
+    /// touches its own state), and results merge in ascending core order.
+    /// The outcome is bit-identical to [`step_serial`](System::step_serial)
+    /// at every worker count.
+    fn step_parallel(&mut self, ready: &[u32], faults: &mut Option<Box<FaultLayer>>) {
+        // Reset the dedup flags for every scheduled core (dead ones too),
+        // then drop dead cores — the serial loop's bookkeeping.
+        let mut stepped: Vec<u32> = Vec::with_capacity(ready.len());
+        for &ci in ready {
+            self.in_ready[ci as usize] = false;
+            if !faults.as_ref().is_some_and(|l| l.active.is_dead(ci)) {
+                stepped.push(ci);
+            }
+        }
+        self.eta_scratch.clear();
+        let mut eta_ranges: Vec<(usize, usize)> = Vec::with_capacity(stepped.len());
+        for &ci in &stepped {
+            let start = self.eta_scratch.len();
+            for &(_, mask) in &self.meta[ci as usize].stoch {
+                self.eta_scratch.push(i64::from(self.rng.random_range(0..=mask)));
+            }
+            eta_ranges.push((start, self.eta_scratch.len()));
+        }
+
+        // Disjoint &mut views of each stepped core and its meta, gathered
+        // by walking the full arrays once (stepped is ascending).
+        let eta_scratch = &self.eta_scratch;
+        let mut stepped_iter = stepped.iter().copied().peekable();
+        let mut tasks: Vec<StepTask<'_>> = Vec::with_capacity(stepped.len());
+        for (i, (core, meta)) in self.cores.iter_mut().zip(self.meta.iter_mut()).enumerate() {
+            if stepped_iter.peek() == Some(&(i as u32)) {
+                stepped_iter.next();
+                let (start, end) = eta_ranges[tasks.len()];
+                tasks.push(StepTask {
+                    ci: i as u32,
+                    core,
+                    meta,
+                    etas: &eta_scratch[start..end],
+                    fired: Vec::new(),
+                    events: 0,
+                    live: false,
+                });
+            }
+        }
+
+        if !tasks.is_empty() {
+            let batch = tasks.len().div_ceil(self.workers);
+            let batches: Vec<Mutex<&mut [StepTask<'_>]>> =
+                tasks.chunks_mut(batch).map(Mutex::new).collect();
+            // Each batch index is claimed exactly once; the mutex only
+            // proves exclusive access to the type system (uncontended).
+            pcnn_sched::parallel_map(self.workers, batches.len(), |b| {
+                let mut guard = batches[b].lock().expect("batch mutex poisoned");
+                for task in guard.iter_mut() {
+                    let (events, live) = task.core.tick_hot(task.meta, task.etas, &mut task.fired);
+                    task.events = events;
+                    task.live = live;
+                }
+            });
+        }
+
+        // Merge in ascending core order — identical observable sequence
+        // (stats, fault filtering, route collection, rescheduling) to the
+        // serial sweep.
+        for task in &mut tasks {
+            self.stats.synaptic_events += task.events;
+            if let Some(layer) = faults.as_mut() {
+                layer.active.filter_fired(task.ci, &mut task.fired);
+            }
+            for &n in &task.fired {
+                if let Some(target) = task.core.route(n as usize) {
+                    self.route_scratch.push((task.ci, target));
+                }
+            }
+            if task.live && !self.in_ready_next[task.ci as usize] {
+                self.in_ready_next[task.ci as usize] = true;
+                self.ready_next.push(task.ci);
+            }
+        }
+    }
+
+    /// Enqueues every spike collected during the step phase: fabric fate
+    /// (drop/duplicate/jitter) under a fault plan, mesh transit pricing,
+    /// and delivery into whichever pending store the engine uses.
+    fn route_spikes(&mut self, faults: &mut Option<Box<FaultLayer>>) {
         let stochastic_fabric = faults.as_ref().is_some_and(|l| l.active.has_stochastic_routing());
         let mut to_route = std::mem::take(&mut self.route_scratch);
-        for &target in &to_route {
+        for &(src, target) in &to_route {
             match target {
                 SpikeTarget::Axon { core, axon, delay } => {
                     if stochastic_fabric {
                         let layer = faults.as_mut().expect("stochastic_fabric implies a layer");
                         let fate = layer.active.fabric_route_fate();
                         for copy in 0..fate.copies as usize {
-                            let d = (u32::from(delay) + u32::from(fate.extra[copy])).min(MAX_DELAY);
-                            let slot =
-                                ((self.now + u64::from(d)) % self.wheel.len() as u64) as usize;
-                            self.wheel[slot].push((core.0, axon));
+                            let d = fabric_delay(
+                                &self.mesh,
+                                src,
+                                core.0,
+                                u32::from(delay) + u32::from(fate.extra[copy]),
+                            );
+                            self.enqueue_delivery(core.0, axon, d);
                             self.stats.routed_spikes += 1;
                         }
                     } else {
-                        let slot =
-                            ((self.now + u64::from(delay)) % self.wheel.len() as u64) as usize;
-                        self.wheel[slot].push((core.0, axon));
+                        let d = fabric_delay(&self.mesh, src, core.0, u32::from(delay));
+                        self.enqueue_delivery(core.0, axon, d);
                         self.stats.routed_spikes += 1;
                     }
                 }
@@ -448,20 +1022,51 @@ impl System {
         }
         to_route.clear();
         self.route_scratch = to_route;
-        self.faults = faults;
-        if let Some(before) = stats_before {
-            use pcnn_trace::Counter;
-            span.add(Counter::Ticks, 1);
-            span.add(Counter::ActiveCores, active_cores);
-            span.add(Counter::SpikesDelivered, delivered);
-            span.add(Counter::SpikesRouted, self.stats.routed_spikes - before.routed_spikes);
-            span.add(Counter::SynapticEvents, self.stats.synaptic_events - before.synaptic_events);
+    }
+
+    #[inline]
+    fn enqueue_delivery(&mut self, core: u32, axon: u16, delay: u32) {
+        match self.engine {
+            Engine::Event => {
+                self.queue.entry(self.now + u64::from(delay)).or_default().push(pack(core, axon));
+            }
+            Engine::Reference => {
+                let slot = ((self.now + u64::from(delay)) % self.wheel.len() as u64) as usize;
+                self.wheel[slot].push((core, axon));
+            }
         }
     }
 
     /// Runs `n` ticks.
+    ///
+    /// Under the event engine, stretches of provably idle ticks — no
+    /// scheduled cores, no due deliveries, no fault plan that wakes cores
+    /// per tick — are skipped in O(1) per stretch: only `now` and the
+    /// tick counter advance, which is exactly what the reference engine
+    /// does on such ticks. Skipping is disabled while `pcnn-trace` is
+    /// recording so per-tick span counts stay faithful.
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
+        if self.engine == Engine::Reference || pcnn_trace::is_enabled() {
+            for _ in 0..n {
+                self.tick();
+            }
+            return;
+        }
+        let end = self.now + n;
+        while self.now < end {
+            if self.ready.is_empty()
+                && !self.faults.as_ref().is_some_and(|l| l.active.has_tick_wakeups())
+            {
+                let next_due = self.queue.keys().next().copied().unwrap_or(u64::MAX);
+                if next_due > self.now + 1 {
+                    // Jump to just before the next delivery (or the end of
+                    // the requested run, whichever comes first).
+                    let target = end.min(next_due - 1);
+                    self.stats.ticks += target - self.now;
+                    self.now = target;
+                    continue;
+                }
+            }
             self.tick();
         }
     }
@@ -492,84 +1097,125 @@ impl System {
     /// (reverting its threshold drift exactly), so the snapshot always
     /// describes the fault-free system; re-attach a plan after
     /// [`from_snapshot`](System::from_snapshot) to continue a faulted
-    /// experiment.
+    /// experiment. Pending spikes are normalized to absolute delivery
+    /// ticks, so snapshots are engine-independent.
     pub fn snapshot(&self) -> SystemSnapshot {
         let mut clean = self.clone();
         clean.clear_fault_plan();
+        clean.set_engine(Engine::Event);
+        let mut pending: Vec<(u64, u32, u16)> =
+            Vec::with_capacity(clean.queue.values().map(Vec::len).sum());
+        for (&due, entries) in &clean.queue {
+            let mut entries = entries.clone();
+            entries.sort_unstable();
+            pending.extend(entries.into_iter().map(|p| {
+                let (core, axon) = unpack(p);
+                (due, core, axon)
+            }));
+        }
+        // Between ticks `ready_next` is invariantly empty (the tick-end
+        // swap drains it), but fold it in anyway so a snapshot taken from
+        // any state is faithful.
+        let mut live: Vec<u32> =
+            clean.ready.iter().chain(clean.ready_next.iter()).copied().collect();
+        live.sort_unstable();
+        live.dedup();
         SystemSnapshot {
             cores: clean.cores,
-            wheel: clean.wheel,
+            pending,
             outputs: clean.outputs,
             now: clean.now,
             rng_state: clean.rng.state(),
             stats: clean.stats,
-            ready: clean.ready,
-            in_ready: clean.in_ready,
-            ready_next: clean.ready_next,
-            in_ready_next: clean.in_ready_next,
+            live,
             auto_active: clean.auto_active,
+            mesh: clean.mesh,
         }
     }
 
     /// Rebuilds a system from a [`SystemSnapshot`].
     ///
-    /// The result ticks bit-identically to the system the snapshot was
-    /// captured from (no fault plan attached; see
-    /// [`snapshot`](System::snapshot)).
+    /// The result runs the event engine (switch with
+    /// [`set_engine`](System::set_engine) if the oracle is wanted) and
+    /// ticks bit-identically to the system the snapshot was captured
+    /// from (no fault plan attached; see [`snapshot`](System::snapshot)).
     ///
     /// # Errors
     ///
     /// [`TrueNorthError::InvalidSnapshot`] if the snapshot's internal
     /// shapes are inconsistent — the kind of damage a decoded-but-tampered
-    /// checkpoint would present.
+    /// checkpoint would present — and [`TrueNorthError::InvalidMesh`] if
+    /// its mesh does not cover its cores.
     pub fn from_snapshot(s: SystemSnapshot) -> Result<Self> {
         let n = s.cores.len();
         let invalid = |reason: String| TrueNorthError::InvalidSnapshot { reason };
-        if s.wheel.len() != MAX_DELAY as usize + 1 {
+        if s.auto_active.len() != n {
             return Err(invalid(format!(
-                "delay wheel has {} slots, expected {}",
-                s.wheel.len(),
-                MAX_DELAY + 1
+                "auto_active covers {} cores, system has {n}",
+                s.auto_active.len()
             )));
         }
-        for (name, len) in [
-            ("in_ready", s.in_ready.len()),
-            ("in_ready_next", s.in_ready_next.len()),
-            ("auto_active", s.auto_active.len()),
-        ] {
-            if len != n {
-                return Err(invalid(format!("{name} covers {len} cores, system has {n}")));
+        if s.live.iter().any(|&c| c as usize >= n) {
+            return Err(invalid(format!("live worklist references a core beyond {n}")));
+        }
+        for &(due, core, axon) in &s.pending {
+            if core as usize >= n || axon as usize >= AXONS_PER_CORE {
+                return Err(invalid(format!(
+                    "in-flight spike targets (core {core}, axon {axon}) outside the system"
+                )));
+            }
+            if due <= s.now {
+                return Err(invalid(format!(
+                    "in-flight spike due at tick {due}, but the snapshot was taken at {}",
+                    s.now
+                )));
             }
         }
-        for (name, list) in [("ready", &s.ready), ("ready_next", &s.ready_next)] {
-            if list.iter().any(|&c| c as usize >= n) {
-                return Err(invalid(format!("{name} worklist references a core beyond {n}")));
+        if let Some(mesh) = &s.mesh {
+            mesh.validate()?;
+            if mesh.placement().core_count() < n {
+                return Err(TrueNorthError::InvalidMesh {
+                    reason: format!(
+                        "snapshot mesh placement covers {} cores but the system has {n}",
+                        mesh.placement().core_count()
+                    ),
+                });
             }
         }
-        for slot in &s.wheel {
-            for &(core, axon) in slot {
-                if core as usize >= n || axon as usize >= AXONS_PER_CORE {
-                    return Err(invalid(format!(
-                        "in-flight spike targets (core {core}, axon {axon}) \
-                         outside the system"
-                    )));
-                }
-            }
+        let mut queue: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for &(due, core, axon) in &s.pending {
+            queue.entry(due).or_default().push(pack(core, axon));
         }
+        let mut live = s.live;
+        live.sort_unstable();
+        live.dedup();
+        let mut in_ready = vec![false; n];
+        for &c in &live {
+            in_ready[c as usize] = true;
+        }
+        let meta = s.cores.iter().map(CoreMeta::build).collect();
+        let max_delay = MAX_DELAY + s.mesh.as_ref().map_or(0, Mesh::max_extra_delay);
         Ok(System {
+            meta,
             cores: s.cores,
-            wheel: s.wheel,
+            engine: Engine::Event,
+            wheel: (0..=MAX_DELAY as usize).map(|_| Vec::new()).collect(),
+            queue,
             outputs: s.outputs,
             now: s.now,
             rng: SmallRng::from_state(s.rng_state),
             stats: s.stats,
             fired_scratch: Vec::new(),
-            ready: s.ready,
-            in_ready: s.in_ready,
-            ready_next: s.ready_next,
-            in_ready_next: s.in_ready_next,
+            ready: live,
+            in_ready,
+            ready_next: Vec::new(),
+            in_ready_next: vec![false; n],
             auto_active: s.auto_active,
             route_scratch: Vec::new(),
+            eta_scratch: Vec::new(),
+            mesh: s.mesh,
+            max_delay,
+            workers: 1,
             faults: None,
         })
     }
@@ -578,12 +1224,14 @@ impl System {
     /// network configuration and the PRNG position). Call between input
     /// presentations when re-using a deployed network.
     pub fn reset_state(&mut self) {
-        for core in &mut self.cores {
+        for (core, meta) in self.cores.iter_mut().zip(&mut self.meta) {
             core.reset_state();
+            meta.resync_charged(core);
         }
         for slot in &mut self.wheel {
             slot.clear();
         }
+        self.queue.clear();
         self.outputs.clear();
         self.ready.clear();
         self.ready_next.clear();
@@ -604,11 +1252,33 @@ impl System {
     }
 }
 
+/// The scan-based golden oracle, exposed as free functions that force
+/// [`Engine::Reference`] before stepping. Differential tests drive one
+/// system through here and a twin through the default event engine, then
+/// compare spikes, stats and PRNG state bit-for-bit.
+pub mod reference {
+    use super::{Engine, System};
+
+    /// One tick under the reference engine (switching the system to it,
+    /// and converting pending spikes, if needed).
+    pub fn tick(system: &mut System) {
+        system.set_engine(Engine::Reference);
+        system.tick();
+    }
+
+    /// `n` ticks under the reference engine.
+    pub fn run(system: &mut System, n: u64) {
+        system.set_engine(Engine::Reference);
+        system.run(n);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::core_impl::NeuroCoreBuilder;
     use crate::neuron::NeuronConfig;
+    use crate::placement::Placement;
 
     fn relay_core(out: SpikeTarget) -> NeuroCore {
         // Neuron 0 fires whenever axon 0 spikes.
@@ -720,11 +1390,14 @@ mod tests {
     #[test]
     fn idle_system_reactivates_on_injection() {
         // After the worklist drains, a long-idle system must still wake up
-        // when the host injects again.
+        // when the host injects again. Under the event engine the idle
+        // stretch is skipped, not iterated — same observable state.
         let mut sys = System::new();
         let c = sys.add_core(relay_core(SpikeTarget::output(2)));
         sys.inject(c, 0);
         sys.run(100);
+        assert_eq!(sys.now(), 100);
+        assert_eq!(sys.stats().ticks, 100);
         assert_eq!(sys.drain_output_spikes(), vec![(1, 2)]);
         sys.inject(c, 0);
         sys.run(2);
@@ -765,5 +1438,132 @@ mod tests {
         sys.run(4);
         let counts = sys.drain_output_counts(4);
         assert_eq!(counts[3], 21);
+    }
+
+    #[test]
+    fn default_engine_is_event() {
+        assert_eq!(System::new().engine(), Engine::Event);
+    }
+
+    #[test]
+    fn engine_switch_preserves_in_flight_spikes() {
+        // Fire a delayed spike, switch engines mid-flight (both ways),
+        // and check it still lands on its original tick.
+        for &(first, second) in
+            &[(Engine::Reference, Engine::Event), (Engine::Event, Engine::Reference)]
+        {
+            let mut sys = System::new();
+            sys.set_engine(first);
+            let sink = sys.add_core(relay_core(SpikeTarget::output(1)));
+            let mut b = NeuroCoreBuilder::new();
+            b.connect(0, 0);
+            b.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+            b.route_neuron(0, SpikeTarget::axon_delayed(sink, 0, 9).unwrap());
+            let src = sys.add_core(b.build());
+            sys.inject(src, 0);
+            sys.run(3); // src fired @1; delivery due @10
+            sys.set_engine(second);
+            sys.run(10);
+            assert_eq!(sys.drain_output_spikes(), vec![(10, 1)], "{first:?} -> {second:?}");
+        }
+    }
+
+    #[test]
+    fn reference_module_forces_scan_engine() {
+        let mut sys = System::new();
+        let c = sys.add_core(relay_core(SpikeTarget::output(0)));
+        sys.inject(c, 0);
+        reference::run(&mut sys, 2);
+        assert_eq!(sys.engine(), Engine::Reference);
+        assert_eq!(sys.drain_output_spikes(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn mesh_hop_latency_delays_cross_chip_spikes() {
+        // Two relay chips, hop latency 4: an inter-chip hop that would
+        // deliver at tick 2 lands at tick 6 instead.
+        let build = || {
+            let mut sys = System::new();
+            let sink = sys.add_core(relay_core(SpikeTarget::output(9)));
+            let src = sys.add_core(relay_core(SpikeTarget::axon(sink, 0)));
+            (sys, src)
+        };
+        let (mut meshed, src) = build();
+        meshed
+            .set_mesh(crate::placement::Mesh::line(Placement::sequential_with_capacity(2, 1), 4))
+            .unwrap();
+        meshed.inject(src, 0);
+        meshed.run(8);
+        assert_eq!(meshed.drain_output_spikes(), vec![(6, 9)]);
+
+        // Hop latency 0 must be bit-identical to no mesh at all.
+        let (mut zero_hop, src) = build();
+        zero_hop
+            .set_mesh(crate::placement::Mesh::line(Placement::sequential_with_capacity(2, 1), 0))
+            .unwrap();
+        let (mut plain, src_p) = build();
+        zero_hop.inject(src, 0);
+        plain.inject(src_p, 0);
+        zero_hop.run(8);
+        plain.run(8);
+        assert_eq!(zero_hop.drain_output_spikes(), plain.drain_output_spikes());
+        assert_eq!(zero_hop.stats(), plain.stats());
+        assert_eq!(zero_hop.rng_state(), plain.rng_state());
+    }
+
+    #[test]
+    fn mesh_applies_under_reference_engine_too() {
+        let mut sys = System::new();
+        sys.set_engine(Engine::Reference);
+        let sink = sys.add_core(relay_core(SpikeTarget::output(9)));
+        let src = sys.add_core(relay_core(SpikeTarget::axon(sink, 0)));
+        // Hop latency larger than MAX_DELAY forces the wheel to grow.
+        sys.set_mesh(crate::placement::Mesh::line(Placement::sequential_with_capacity(2, 1), 20))
+            .unwrap();
+        sys.inject(src, 0);
+        sys.run(30);
+        // src fires @1; 1 (programmed) + 20 (one hop) => sink @22.
+        assert_eq!(sys.drain_output_spikes(), vec![(22, 9)]);
+    }
+
+    #[test]
+    fn mesh_must_cover_all_cores() {
+        let mut sys = System::new();
+        sys.add_core(relay_core(SpikeTarget::output(0)));
+        sys.add_core(relay_core(SpikeTarget::output(1)));
+        let err = sys
+            .set_mesh(crate::placement::Mesh::line(Placement::sequential_with_capacity(1, 1), 1))
+            .unwrap_err();
+        assert!(matches!(err, TrueNorthError::InvalidMesh { .. }));
+        assert!(sys.mesh().is_none());
+    }
+
+    #[test]
+    fn parallel_workers_match_serial_exactly() {
+        // A stochastic multi-core system stepped with 1 vs 4 workers must
+        // agree on outputs, stats and the PRNG stream. (The dedicated
+        // equivalence suite sweeps this much harder; this is the smoke
+        // check that lives next to the implementation.)
+        let run_with = |workers: usize| {
+            let mut sys = System::with_seed(99);
+            sys.set_workers(workers);
+            let mut handles = Vec::new();
+            for i in 0..6u32 {
+                let mut b = NeuroCoreBuilder::new();
+                b.connect(0, 0);
+                b.set_neuron(
+                    0,
+                    NeuronConfig::excitatory(&[2, 0, 0, 0], 3).with_leak(1).with_stochastic_mask(3),
+                );
+                b.route_neuron(0, SpikeTarget::output(i));
+                handles.push(sys.add_core(b.build()));
+            }
+            for t in 0..50 {
+                sys.inject(handles[(t % 6) as usize], 0);
+                sys.tick();
+            }
+            (sys.drain_output_spikes(), sys.stats(), sys.rng_state())
+        };
+        assert_eq!(run_with(1), run_with(4));
     }
 }

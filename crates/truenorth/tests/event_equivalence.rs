@@ -1,0 +1,522 @@
+//! Differential oracle suite: the event-driven engine against the
+//! scan-based reference engine.
+//!
+//! Every test here drives twin systems — identical configuration, seed
+//! and injection schedule — through [`Engine::Reference`] and
+//! [`Engine::Event`] and demands the complete observable state agree
+//! **bit-for-bit**: the output spike train (ticks, pins, order),
+//! [`SystemStats`], the shared PRNG's internal state, and (when a fault
+//! plan is attached) the fault counters. The sweep crosses network
+//! shape × neuron coding × run length × worker count {1, 2, 4}, with
+//! and without multi-chip meshes and fault plans.
+//!
+//! Set `PCNN_TN_WORKERS` to add an extra worker count to every sweep
+//! (the CI `truenorth` job runs the suite at 1 and 4).
+
+use pcnn_truenorth::{
+    CoreHandle, Engine, FaultPlan, Mesh, NeuroCoreBuilder, NeuronConfig, Placement, ResetMode,
+    SpikeTarget, StuckAt, System,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Axons/neurons actually used per random core — small enough to keep
+/// the sweep fast, large enough to exercise multi-word hot masks.
+const SPAN: usize = 24;
+
+/// Worker counts every sweep runs the event engine at.
+fn worker_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    if let Ok(v) = std::env::var("PCNN_TN_WORKERS") {
+        for part in v.split(',') {
+            if let Ok(n) = part.trim().parse::<usize>() {
+                if n > 0 && !counts.contains(&n) {
+                    counts.push(n);
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// A randomly wired multi-core system: mixed axon types, random
+/// crossbar density, excitatory/inhibitory weights, every reset mode,
+/// leaky and stochastic neurons, delayed routes, cross-core fan-out and
+/// host outputs. `sys_seed` seeds the system PRNG; `rng` drives the
+/// construction.
+fn random_system(rng: &mut SmallRng, cores: usize, sys_seed: u64) -> System {
+    let mut sys = System::with_seed(sys_seed);
+    for c in 0..cores {
+        let mut b = NeuroCoreBuilder::new();
+        for axon in 0..SPAN {
+            b.set_axon_type(axon, rng.random_range(0..4u32) as u8);
+        }
+        let synapses = rng.random_range(SPAN..SPAN * 4);
+        for _ in 0..synapses {
+            b.connect(rng.random_range(0..SPAN), rng.random_range(0..SPAN));
+        }
+        for n in 0..SPAN {
+            let mut weights = [0i32; 4];
+            for w in &mut weights {
+                *w = rng.random_range(-2..=3);
+            }
+            let mut cfg = NeuronConfig::excitatory(&weights, rng.random_range(1..=5));
+            if rng.random_range(0..3u32) == 0 {
+                cfg = cfg.with_leak(rng.random_range(-1..=1));
+            }
+            if rng.random_range(0..3u32) == 0 {
+                cfg = cfg.with_stochastic_mask([1u32, 3, 7][rng.random_range(0..3usize)]);
+            }
+            if rng.random_range(0..4u32) == 0 {
+                cfg = cfg.with_floor(rng.random_range(0..=4));
+            }
+            cfg.reset = match rng.random_range(0..3u32) {
+                0 => ResetMode::Zero,
+                1 => ResetMode::Linear,
+                _ => ResetMode::None,
+            };
+            b.set_neuron(n, cfg);
+            // ~60% fabric routes, ~25% host outputs, rest unrouted.
+            match rng.random_range(0..100u32) {
+                0..=59 => {
+                    let dst = CoreHandle::from_index(rng.random_range(0..cores as u32));
+                    let axon = rng.random_range(0..SPAN) as u16;
+                    let delay = rng.random_range(1..=15u32);
+                    b.route_neuron(n, SpikeTarget::axon_delayed(dst, axon, delay).unwrap());
+                }
+                60..=84 => {
+                    b.route_neuron(n, SpikeTarget::output((c * SPAN + n) as u32));
+                }
+                _ => {}
+            }
+        }
+        sys.add_core(b.build());
+    }
+    sys
+}
+
+/// A deterministic injection schedule: `(tick, core, axon)` triples.
+fn random_schedule(rng: &mut SmallRng, cores: usize, ticks: u64) -> Vec<(u64, u32, u16)> {
+    let mut schedule = Vec::new();
+    for t in 0..ticks {
+        for _ in 0..rng.random_range(0..4u32) {
+            schedule.push((t, rng.random_range(0..cores as u32), rng.random_range(0..SPAN as u16)));
+        }
+    }
+    schedule
+}
+
+/// Everything two equivalent runs must agree on.
+#[derive(Debug, PartialEq)]
+struct Trace {
+    outputs: Vec<(u64, u32)>,
+    stats: pcnn_truenorth::SystemStats,
+    rng_state: [u64; 4],
+    fault_events: Option<u64>,
+}
+
+/// Runs the schedule in segments, draining outputs after each so
+/// divergence is caught close to where it happens.
+fn run_traced(sys: &mut System, schedule: &[(u64, u32, u16)], ticks: u64) -> Vec<Trace> {
+    let mut traces = Vec::new();
+    let segment = (ticks / 4).max(1);
+    let mut cursor = 0usize;
+    let mut t = 0u64;
+    while t < ticks {
+        let end = (t + segment).min(ticks);
+        while t < end {
+            while cursor < schedule.len() && schedule[cursor].0 == t {
+                let (_, core, axon) = schedule[cursor];
+                sys.inject(CoreHandle::from_index(core), axon);
+                cursor += 1;
+            }
+            sys.tick();
+            t += 1;
+        }
+        traces.push(Trace {
+            outputs: sys.drain_output_spikes(),
+            stats: sys.stats(),
+            rng_state: sys.rng_state(),
+            fault_events: sys.fault_stats().map(|f| f.total_events()),
+        });
+    }
+    traces
+}
+
+/// The core assertion: reference vs. event at every worker count, on
+/// the same configuration/seed/schedule, optionally faulted and meshed.
+fn assert_engines_agree(
+    label: &str,
+    build: &dyn Fn() -> System,
+    schedule: &[(u64, u32, u16)],
+    ticks: u64,
+    plan: Option<&FaultPlan>,
+    mesh: Option<&Mesh>,
+) {
+    let mut oracle = build();
+    oracle.set_engine(Engine::Reference);
+    if let Some(m) = mesh {
+        oracle.set_mesh(m.clone()).unwrap();
+    }
+    if let Some(p) = plan {
+        oracle.set_fault_plan(p).unwrap();
+    }
+    let expected = run_traced(&mut oracle, schedule, ticks);
+
+    for workers in worker_counts() {
+        let mut sys = build();
+        assert_eq!(sys.engine(), Engine::Event, "event engine is the default");
+        sys.set_workers(workers);
+        if let Some(m) = mesh {
+            sys.set_mesh(m.clone()).unwrap();
+        }
+        if let Some(p) = plan {
+            sys.set_fault_plan(p).unwrap();
+        }
+        let got = run_traced(&mut sys, schedule, ticks);
+        for (seg, (e, g)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(
+                e, g,
+                "[{label}] event engine ({workers} workers) diverged from reference \
+                 in segment {seg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_networks_match_reference_bit_for_bit() {
+    // The main sweep: shape (core count) x run length x worker count,
+    // across independently seeded random networks and schedules.
+    for (case, &(cores, ticks)) in
+        [(1usize, 64u64), (2, 96), (3, 128), (5, 160), (8, 80)].iter().enumerate()
+    {
+        let scenario_seed = 0xE0_0000 + case as u64;
+        let mut rng = SmallRng::seed_from_u64(scenario_seed);
+        let sys_seed = rng.random_range(0..u64::MAX / 2);
+        let schedule = {
+            let mut srng = SmallRng::seed_from_u64(scenario_seed ^ 0xFACE);
+            random_schedule(&mut srng, cores, ticks)
+        };
+        let build_rng_state = rng.state();
+        let build = move || {
+            let mut brng = SmallRng::from_state(build_rng_state);
+            random_system(&mut brng, cores, sys_seed)
+        };
+        assert_engines_agree(
+            &format!("sweep case {case}: {cores} cores x {ticks} ticks"),
+            &build,
+            &schedule,
+            ticks,
+            None,
+            None,
+        );
+    }
+}
+
+#[test]
+fn rate_coded_relay_matches_reference() {
+    // Deterministic rate coding: spike-count semantics end to end.
+    let build = || {
+        let mut sys = System::with_seed(7);
+        let mut sink = NeuroCoreBuilder::new();
+        sink.connect(0, 0);
+        sink.set_neuron(0, NeuronConfig::integrator(&[2, 0, 0, 0], 3));
+        sink.route_neuron(0, SpikeTarget::output(0));
+        let out = sys.add_core(sink.build());
+        let mut src = NeuroCoreBuilder::new();
+        src.connect(0, 0);
+        src.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+        src.route_neuron(0, SpikeTarget::axon_delayed(out, 0, 3).unwrap());
+        sys.add_core(src.build());
+        sys
+    };
+    // 3-of-4 duty cycle injection on the source.
+    let schedule: Vec<(u64, u32, u16)> =
+        (0..120).filter(|t| t % 4 != 0).map(|t| (t, 1, 0)).collect();
+    assert_engines_agree("rate relay", &build, &schedule, 128, None, None);
+}
+
+#[test]
+fn stochastic_networks_consume_identical_rng_streams() {
+    // All-stochastic cores: every tick draws etas for every scheduled
+    // neuron, so any ordering or skip discrepancy desynchronizes the
+    // PRNG immediately. rng_state equality per segment pins this.
+    let build = || {
+        let mut sys = System::with_seed(0x570C);
+        let mut handles = Vec::new();
+        for i in 0..4u32 {
+            let mut b = NeuroCoreBuilder::new();
+            for n in 0..SPAN {
+                b.connect(n, n);
+                b.set_neuron(
+                    n,
+                    NeuronConfig::excitatory(&[1, 0, 0, 0], 2)
+                        .with_stochastic_mask(3)
+                        .with_leak(if n % 2 == 0 { 1 } else { 0 }),
+                );
+                b.route_neuron(n, SpikeTarget::output(i * SPAN as u32 + n as u32));
+            }
+            handles.push(sys.add_core(b.build()));
+        }
+        sys
+    };
+    let mut rng = SmallRng::seed_from_u64(0xAB);
+    let schedule = random_schedule(&mut rng, 4, 100);
+    assert_engines_agree("stochastic mesh of cores", &build, &schedule, 100, None, None);
+}
+
+#[test]
+fn meshed_multichip_systems_match_reference() {
+    // 2 chips (line, hop latency 3) and 4 chips (2x2 grid, hop latency 1):
+    // cross-chip transit must be priced identically by both engines.
+    let cores = 4;
+    let meshes = [
+        Mesh::line(Placement::sequential_with_capacity(cores, 2), 3),
+        Mesh::grid(Placement::sequential_with_capacity(cores, 1), 2, 1),
+    ];
+    for (case, mesh) in meshes.into_iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(0x3E5 + case as u64);
+        let sys_seed = rng.random_range(0..u64::MAX / 2);
+        let schedule = {
+            let mut srng = SmallRng::seed_from_u64(0xBEEF + case as u64);
+            random_schedule(&mut srng, cores, 90)
+        };
+        let build_rng_state = rng.state();
+        let build = move || {
+            let mut brng = SmallRng::from_state(build_rng_state);
+            random_system(&mut brng, cores, sys_seed)
+        };
+        assert_engines_agree(
+            &format!("mesh case {case}"),
+            &build,
+            &schedule,
+            90,
+            None,
+            Some(&mesh),
+        );
+    }
+}
+
+#[test]
+fn every_fault_plan_variant_matches_reference() {
+    // Fault-replay regression: each FaultPlan variant (and a kitchen-sink
+    // combination) through the event path at every worker count, with
+    // fault counters included in the per-segment comparison.
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("trivial", FaultPlan::seeded(11)),
+        ("dead core", FaultPlan::seeded(12).with_dead_core(1)),
+        ("stuck-silent axon", FaultPlan::seeded(13).with_stuck_axon(0, 2, StuckAt::Silent)),
+        ("stuck-active axon", FaultPlan::seeded(14).with_stuck_axon(1, 5, StuckAt::Active)),
+        ("stuck-silent neuron", FaultPlan::seeded(15).with_stuck_neuron(2, 1, StuckAt::Silent)),
+        ("stuck-active neuron", FaultPlan::seeded(16).with_stuck_neuron(0, 0, StuckAt::Active)),
+        ("drop rate", FaultPlan::seeded(17).with_drop_rate(0.2)),
+        ("duplicate rate", FaultPlan::seeded(18).with_duplicate_rate(0.2)),
+        ("delay jitter", FaultPlan::seeded(19).with_delay_jitter(0.3, 6)),
+        ("threshold drift", FaultPlan::seeded(20).with_threshold_drift(0.5, 3)),
+        (
+            "kitchen sink",
+            FaultPlan::seeded(21)
+                .with_dead_core(2)
+                .with_stuck_axon(0, 7, StuckAt::Active)
+                .with_stuck_neuron(1, 3, StuckAt::Silent)
+                .with_drop_rate(0.1)
+                .with_duplicate_rate(0.1)
+                .with_delay_jitter(0.15, 4)
+                .with_threshold_drift(0.25, 2),
+        ),
+    ];
+    let cores = 3;
+    let mut rng = SmallRng::seed_from_u64(0xFA_017);
+    let sys_seed = rng.random_range(0..u64::MAX / 2);
+    let schedule = {
+        let mut srng = SmallRng::seed_from_u64(0xFA_5EED);
+        random_schedule(&mut srng, cores, 120)
+    };
+    let build_rng_state = rng.state();
+    let build = move || {
+        let mut brng = SmallRng::from_state(build_rng_state);
+        random_system(&mut brng, cores, sys_seed)
+    };
+    for (name, plan) in &plans {
+        assert_engines_agree(
+            &format!("fault plan: {name}"),
+            &build,
+            &schedule,
+            120,
+            Some(plan),
+            None,
+        );
+    }
+}
+
+#[test]
+fn faulted_mesh_at_chip_scale_smoke() {
+    // A meshed, faulted run at a few hundred cores — the shape of the
+    // Fig. 5 deployments — still matches the oracle. Kept small enough
+    // for debug builds; the full 4096-core runs live in the bench and
+    // the corelets chip-scale tests.
+    let cores = 64;
+    let mut rng = SmallRng::seed_from_u64(0xC1F5);
+    let sys_seed = rng.random_range(0..u64::MAX / 2);
+    let schedule = {
+        let mut srng = SmallRng::seed_from_u64(0xC1F5_0002);
+        random_schedule(&mut srng, cores, 48)
+    };
+    let build_rng_state = rng.state();
+    let build = move || {
+        let mut brng = SmallRng::from_state(build_rng_state);
+        random_system(&mut brng, cores, sys_seed)
+    };
+    let mesh = Mesh::grid(Placement::sequential_with_capacity(cores, 16), 2, 2);
+    let plan =
+        FaultPlan::seeded(0xC1F5).with_dead_core(17).with_drop_rate(0.05).with_delay_jitter(0.1, 3);
+    assert_engines_agree(
+        "chip-scale faulted mesh",
+        &build,
+        &schedule,
+        48,
+        Some(&plan),
+        Some(&mesh),
+    );
+}
+
+#[test]
+fn engine_switch_mid_run_is_lossless() {
+    // Alternate engines every segment on one system; a twin runs pure
+    // reference. In-flight spike conversion must be exact in both
+    // directions, repeatedly.
+    let cores = 3;
+    let mut rng = SmallRng::seed_from_u64(0x5117C4);
+    let sys_seed = rng.random_range(0..u64::MAX / 2);
+    let mut brng = SmallRng::seed_from_u64(0x5117C4 ^ 1);
+    let mut switcher = random_system(&mut brng, cores, sys_seed);
+    let mut brng = SmallRng::seed_from_u64(0x5117C4 ^ 1);
+    let mut oracle = random_system(&mut brng, cores, sys_seed);
+    oracle.set_engine(Engine::Reference);
+    let schedule = {
+        let mut srng = SmallRng::seed_from_u64(0x5117C4 ^ 2);
+        random_schedule(&mut srng, cores, 96)
+    };
+    let mut cursor = 0usize;
+    for t in 0..96u64 {
+        if t % 8 == 0 {
+            let next =
+                if switcher.engine() == Engine::Event { Engine::Reference } else { Engine::Event };
+            switcher.set_engine(next);
+        }
+        while cursor < schedule.len() && schedule[cursor].0 == t {
+            let (_, core, axon) = schedule[cursor];
+            switcher.inject(CoreHandle::from_index(core), axon);
+            oracle.inject(CoreHandle::from_index(core), axon);
+            cursor += 1;
+        }
+        switcher.tick();
+        oracle.tick();
+    }
+    assert_eq!(switcher.drain_output_spikes(), oracle.drain_output_spikes());
+    assert_eq!(switcher.stats(), oracle.stats());
+    assert_eq!(switcher.rng_state(), oracle.rng_state());
+}
+
+#[test]
+fn snapshot_roundtrip_from_either_engine_replays_identically() {
+    // Snapshots normalize to absolute due ticks: capturing under the
+    // reference engine and restoring (which yields an event-engine
+    // system) must preserve in-flight spikes exactly, and vice versa.
+    let cores = 3;
+    let mut brng = SmallRng::seed_from_u64(0x5A4B);
+    let build = random_system(&mut brng, cores, 0xDD);
+    let schedule = {
+        let mut srng = SmallRng::seed_from_u64(0x5A4C);
+        random_schedule(&mut srng, cores, 80)
+    };
+    for capture_engine in [Engine::Event, Engine::Reference] {
+        let mut sys = build.clone();
+        sys.set_engine(capture_engine);
+        let mut cursor = 0usize;
+        for t in 0..40u64 {
+            while cursor < schedule.len() && schedule[cursor].0 == t {
+                let (_, core, axon) = schedule[cursor];
+                sys.inject(CoreHandle::from_index(core), axon);
+                cursor += 1;
+            }
+            sys.tick();
+        }
+        let mut restored = System::from_snapshot(sys.snapshot()).unwrap();
+        // Finish the run on both; outputs after the capture point match.
+        sys.drain_output_spikes();
+        restored.drain_output_spikes();
+        let mut c2 = cursor;
+        for t in 40..80u64 {
+            while cursor < schedule.len() && schedule[cursor].0 == t {
+                let (_, core, axon) = schedule[cursor];
+                sys.inject(CoreHandle::from_index(core), axon);
+                cursor += 1;
+            }
+            while c2 < schedule.len() && schedule[c2].0 == t {
+                let (_, core, axon) = schedule[c2];
+                restored.inject(CoreHandle::from_index(core), axon);
+                c2 += 1;
+            }
+            sys.tick();
+            restored.tick();
+        }
+        assert_eq!(
+            sys.drain_output_spikes(),
+            restored.drain_output_spikes(),
+            "capture under {capture_engine:?}"
+        );
+        assert_eq!(sys.stats(), restored.stats());
+        assert_eq!(sys.rng_state(), restored.rng_state());
+    }
+}
+
+#[test]
+fn fabric_fault_counters_conserve_spikes() {
+    // Deterministic relay into an *unrouted* sink: N injected spikes
+    // produce exactly N fabric route attempts and nothing else touches
+    // the fault PRNG, so the books must balance exactly:
+    //   routed          == N - dropped + duplicated
+    //   synaptic_events == N (source deliveries) + routed (sink deliveries)
+    // Checked under the reference engine and the event engine at every
+    // worker count, which must also agree with each other bit-for-bit.
+    let n = 400u64;
+    let run_relay = |engine: Engine, workers: usize| {
+        let mut sys = System::with_seed(3);
+        let mut sink = NeuroCoreBuilder::new();
+        sink.connect(0, 0);
+        sink.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+        let out = sys.add_core(sink.build());
+        let mut src = NeuroCoreBuilder::new();
+        src.connect(0, 0);
+        src.set_neuron(0, NeuronConfig::excitatory(&[1, 0, 0, 0], 1));
+        src.route_neuron(0, SpikeTarget::axon(out, 0));
+        let input = sys.add_core(src.build());
+        sys.set_engine(engine);
+        sys.set_workers(workers);
+        sys.set_fault_plan(
+            &FaultPlan::seeded(0xD0D0).with_drop_rate(0.25).with_duplicate_rate(0.25),
+        )
+        .unwrap();
+        for _ in 0..n {
+            sys.inject(input, 0);
+            sys.tick();
+        }
+        sys.run(20);
+        let fs = sys.fault_stats().unwrap();
+        let stats = sys.stats();
+        assert_eq!(
+            stats.routed_spikes,
+            n - fs.spikes_dropped + fs.spikes_duplicated,
+            "fabric books must balance"
+        );
+        assert_eq!(stats.synaptic_events, n + stats.routed_spikes, "every copy is delivered");
+        assert!(fs.spikes_dropped > 0 && fs.spikes_duplicated > 0);
+        (stats, fs)
+    };
+    let reference = run_relay(Engine::Reference, 1);
+    for workers in worker_counts() {
+        assert_eq!(run_relay(Engine::Event, workers), reference, "{workers} workers");
+    }
+}

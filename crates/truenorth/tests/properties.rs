@@ -2,8 +2,8 @@
 //! seeded `rand` sampling over many cases per property.
 
 use pcnn_truenorth::{
-    BernoulliCode, Crossbar, NeuroCoreBuilder, NeuronConfig, RateCode, SpikeCode, SpikeTarget,
-    System,
+    BernoulliCode, CoreHandle, Crossbar, CsrSynapses, Engine, NeuroCoreBuilder, NeuronConfig,
+    RateCode, SpikeCode, SpikeTarget, System,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -114,5 +114,96 @@ fn stats_never_decrease() {
         assert!(s2.ticks >= s1.ticks);
         assert!(s2.injected_spikes >= s1.injected_spikes);
         assert!(s2.output_spikes >= s1.output_spikes);
+    }
+}
+
+#[test]
+fn csr_view_matches_any_random_crossbar() {
+    // The event engine's CSR storage must enumerate exactly the synapses
+    // of the bitmask crossbar it was built from, for any density.
+    let mut rng = SmallRng::seed_from_u64(0x74_07);
+    for _ in 0..64 {
+        let density = rng.random_range(0..400usize);
+        let mut xb = Crossbar::new();
+        for _ in 0..density {
+            xb.set(rng.random_range(0..256usize), rng.random_range(0..256usize), true);
+        }
+        let csr = CsrSynapses::from_crossbar(&xb);
+        assert_eq!(csr.synapse_count(), xb.synapse_count());
+        for axon in 0..256usize {
+            let targets: Vec<usize> = csr.targets(axon).iter().map(|&n| n as usize).collect();
+            let expected: Vec<usize> = (0..256).filter(|&n| xb.get(axon, n)).collect();
+            assert_eq!(targets, expected, "axon {axon} row mismatch");
+        }
+    }
+}
+
+#[test]
+fn event_engine_matches_reference_on_random_crossbars() {
+    // Property loop over random 2-core networks: the event engine and
+    // the scan oracle agree on the full observable state. (The dedicated
+    // equivalence suite in event_equivalence.rs sweeps far harder; this
+    // keeps a fast canary among the property tests.)
+    let mut rng = SmallRng::seed_from_u64(0x74_08);
+    for case in 0..24 {
+        let sys_seed = rng.random_range(0..u64::MAX / 2);
+        let make = {
+            let snapshot = rng.state();
+            move || {
+                let mut brng = SmallRng::from_state(snapshot);
+                let mut sys = System::with_seed(sys_seed);
+                for c in 0..2u32 {
+                    let mut b = NeuroCoreBuilder::new();
+                    for _ in 0..brng.random_range(4..40usize) {
+                        b.connect(brng.random_range(0..12usize), brng.random_range(0..12usize));
+                    }
+                    for n in 0..12usize {
+                        let mut cfg = NeuronConfig::excitatory(
+                            &[brng.random_range(-1..=2), 1, 0, 0],
+                            brng.random_range(1..=3),
+                        );
+                        if n % 3 == 0 {
+                            cfg = cfg.with_stochastic_mask(3);
+                        }
+                        if n % 4 == 0 {
+                            cfg = cfg.with_leak(1);
+                        }
+                        b.set_neuron(n, cfg);
+                        if n % 2 == 0 {
+                            b.route_neuron(
+                                n,
+                                SpikeTarget::axon_delayed(
+                                    CoreHandle::from_index(brng.random_range(0..2u32)),
+                                    brng.random_range(0..12u16),
+                                    brng.random_range(1..=15u32),
+                                )
+                                .unwrap(),
+                            );
+                        } else {
+                            b.route_neuron(n, SpikeTarget::output(c * 12 + n as u32));
+                        }
+                    }
+                    sys.add_core(b.build());
+                }
+                sys
+            }
+        };
+        let drive = |sys: &mut System| {
+            let mut drng = SmallRng::seed_from_u64(sys_seed ^ 0xD21F);
+            for _ in 0..60 {
+                if drng.random_range(0..3u32) > 0 {
+                    let core = CoreHandle::from_index(drng.random_range(0..2u32));
+                    sys.inject(core, drng.random_range(0..12u16));
+                }
+                sys.tick();
+            }
+            (sys.drain_output_spikes(), sys.stats(), sys.rng_state())
+        };
+        let mut oracle = make();
+        oracle.set_engine(Engine::Reference);
+        let mut event = make();
+        assert_eq!(drive(&mut event), drive(&mut oracle), "case {case} diverged");
+        // Advance the outer RNG so the next case builds a different net.
+        let _ = rng.random_range(0..u64::MAX / 2);
     }
 }

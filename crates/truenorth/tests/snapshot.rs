@@ -114,12 +114,85 @@ fn tampered_snapshots_are_rejected() {
     assert!(System::from_snapshot(truncated).is_err());
 
     // Point a worklist entry at a nonexistent core.
-    let bad_ready = tamper(&|m| {
+    let bad_live = tamper(&|m| {
         for (k, v) in m.iter_mut() {
-            if k == "ready" {
+            if k == "live" {
                 *v = Value::Array(vec![Value::UInt(99)]);
             }
         }
     });
-    assert!(System::from_snapshot(bad_ready).is_err());
+    assert!(System::from_snapshot(bad_live).is_err());
+
+    // Schedule an in-flight spike in the past.
+    let stale_spike = tamper(&|m| {
+        for (k, v) in m.iter_mut() {
+            if k == "pending" {
+                *v = Value::Array(vec![(0u64, 0u32, 0u16).to_value()]);
+            }
+        }
+    });
+    assert!(System::from_snapshot(stale_spike).is_err());
+}
+
+#[test]
+fn legacy_wheel_snapshots_still_load() {
+    use serde::{Deserialize, Serialize, Value};
+
+    // Reconstruct the pre-event-engine snapshot layout by hand from a
+    // current snapshot: wheel slots indexed by `due % 16`, split
+    // ready/ready_next worklists with their dedup flag vectors.
+    let mut original = busy_system(0x2f);
+    original.run(23);
+    let snap = original.snapshot();
+    let v = snap.to_value();
+    let now = match v.get("now") {
+        Some(Value::UInt(n)) => *n,
+        other => panic!("unexpected `now` encoding: {other:?}"),
+    };
+    let cores = match v.get("cores") {
+        Some(Value::Array(c)) => c.len(),
+        other => panic!("unexpected `cores` encoding: {other:?}"),
+    };
+    let mut wheel: Vec<Vec<(u32, u16)>> = vec![Vec::new(); 16];
+    if let Some(Value::Array(pending)) = v.get("pending") {
+        for p in pending {
+            let (due, core, axon) = <(u64, u32, u16)>::from_value(p).unwrap();
+            wheel[(due % 16) as usize].push((core, axon));
+        }
+    }
+    let live: Vec<u32> = match v.get("live") {
+        Some(l) => Vec::<u32>::from_value(l).unwrap(),
+        None => Vec::new(),
+    };
+    let mut in_ready = vec![false; cores];
+    for &c in &live {
+        in_ready[c as usize] = true;
+    }
+    let legacy = Value::Map(vec![
+        ("cores".to_string(), v.get("cores").unwrap().clone()),
+        ("wheel".to_string(), wheel.to_value()),
+        ("outputs".to_string(), v.get("outputs").unwrap().clone()),
+        ("now".to_string(), Value::UInt(now)),
+        ("rng_state".to_string(), v.get("rng_state").unwrap().clone()),
+        ("stats".to_string(), v.get("stats").unwrap().clone()),
+        ("ready".to_string(), live.to_value()),
+        ("in_ready".to_string(), in_ready.to_value()),
+        ("ready_next".to_string(), Vec::<u32>::new().to_value()),
+        ("in_ready_next".to_string(), vec![false; cores].to_value()),
+        ("auto_active".to_string(), v.get("auto_active").unwrap().clone()),
+    ]);
+
+    let decoded = SystemSnapshot::from_value(&legacy).expect("legacy snapshot decodes");
+    let mut restored = System::from_snapshot(decoded).unwrap();
+    let a = run_outputs(&mut original, 40);
+    let b = run_outputs(&mut restored, 40);
+    assert_eq!(a, b, "legacy-decoded system diverged from the original");
+
+    // A wheel with the wrong slot count is neither format: typed error.
+    let broken = Value::Map(vec![
+        ("wheel".to_string(), Vec::<Vec<(u32, u16)>>::new().to_value()),
+        ("now".to_string(), Value::UInt(0)),
+    ]);
+    let err = SystemSnapshot::from_value(&broken).unwrap_err();
+    assert!(err.to_string().contains("delay wheel"), "unexpected error: {err}");
 }
